@@ -1,0 +1,96 @@
+package yask
+
+import "testing"
+
+func whyNotFixture(t *testing.T) (*Engine, Query, ObjectID) {
+	t.Helper()
+	e, err := NewEngine(demoObjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 0, Y: 0, Keywords: []string{"coffee", "cafe"}, K: 2}
+	return e, q, 3 // Far Cafe, guaranteed outside the top-2
+}
+
+func TestRankProfile(t *testing.T) {
+	e, q, missing := whyNotFixture(t)
+	steps, err := e.RankProfile(q, missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || steps[0].FromWt != 0 || steps[len(steps)-1].ToWt != 1 {
+		t.Fatalf("bad profile: %+v", steps)
+	}
+	// The initial weight 0.5 must fall into a step whose rank matches
+	// the Rank accessor.
+	rank, err := e.Rank(q, missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps {
+		if 0.5 >= s.FromWt && 0.5 < s.ToWt {
+			if s.Rank != rank {
+				t.Fatalf("profile rank %d at wt=0.5, Rank() says %d", s.Rank, rank)
+			}
+			return
+		}
+	}
+	t.Fatal("wt=0.5 not covered")
+}
+
+func TestRankProfileRejectsResultMembers(t *testing.T) {
+	e, q, _ := whyNotFixture(t)
+	res, _ := e.TopK(q)
+	if _, err := e.RankProfile(q, res[0].ID); err == nil {
+		t.Fatal("result member accepted")
+	}
+}
+
+func TestSuggestKeywords(t *testing.T) {
+	e, q, missing := whyNotFixture(t)
+	sugs, err := e.SuggestKeywords(q, []ObjectID{missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i].Improvement > sugs[i-1].Improvement {
+			t.Fatal("suggestions not sorted best-first")
+		}
+	}
+	for _, s := range sugs {
+		if s.Keyword == "" {
+			t.Fatal("empty keyword in suggestion")
+		}
+	}
+}
+
+func TestWhyNotBest(t *testing.T) {
+	e, q, missing := whyNotFixture(t)
+	best, err := e.WhyNotBest(q, []ObjectID{missing}, RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model != "preference" && best.Model != "keyword" && best.Model != "combined" {
+		t.Fatalf("unexpected model %q", best.Model)
+	}
+	if best.Penalty > best.PreferencePenalty+1e-12 || best.Penalty > best.KeywordPenalty+1e-12 {
+		t.Fatalf("best penalty %v worse than singles", best.Penalty)
+	}
+	// The winning query must revive the missing object.
+	res, err := e.TopK(best.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.ID == missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("WhyNotBest result %+v did not revive %d", best, missing)
+	}
+}

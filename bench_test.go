@@ -1,0 +1,295 @@
+package yask_test
+
+// testing.B benchmarks, one family per experiment of DESIGN.md's
+// experiment index. `go test -bench=. -benchmem` measures single
+// operations; `cmd/yaskbench` prints the full parameter-sweep tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/yask-engine/yask"
+	"github.com/yask-engine/yask/internal/bench"
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/irtree"
+	"github.com/yask-engine/yask/internal/kcrtree"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+const benchN = 20_000
+
+var benchEnv = struct {
+	env *bench.Env
+}{}
+
+func env(b *testing.B) *bench.Env {
+	b.Helper()
+	if benchEnv.env == nil {
+		benchEnv.env = bench.NewEnv(benchN)
+	}
+	return benchEnv.env
+}
+
+// E1 — top-k query engines.
+
+func BenchmarkE1TopKSetRTree(b *testing.B) {
+	for _, k := range []int{3, 10, 50} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e := env(b)
+			qs := e.Queries(64, k, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Set.TopK(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+func BenchmarkE1TopKIRTree(b *testing.B) {
+	for _, k := range []int{3, 10, 50} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e := env(b)
+			qs := e.Queries(64, k, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Ir.TopK(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+func BenchmarkE1TopKScan(b *testing.B) {
+	for _, k := range []int{3, 50} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e := env(b)
+			qs := e.Queries(64, k, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				settree.ScanTopK(e.DS.Objects, qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+// E2 — index construction.
+
+func benchBuild(b *testing.B, build func(*dataset.Dataset)) {
+	ds, err := dataset.Generate(dataset.DefaultConfig(benchN, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build(ds)
+	}
+}
+
+func BenchmarkE2BuildRTree(b *testing.B) {
+	benchBuild(b, func(ds *dataset.Dataset) {
+		t := rtree.New(rtree.NoAug[object.Object](), rtree.DefaultMaxEntries)
+		entries := make([]rtree.LeafEntry[object.Object], ds.Objects.Len())
+		for i, o := range ds.Objects.All() {
+			entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+		}
+		t.BulkLoad(entries)
+	})
+}
+
+func BenchmarkE2BuildSetRTree(b *testing.B) {
+	benchBuild(b, func(ds *dataset.Dataset) {
+		settree.Build(ds.Objects, rtree.DefaultMaxEntries)
+	})
+}
+
+func BenchmarkE2BuildKcRTree(b *testing.B) {
+	benchBuild(b, func(ds *dataset.Dataset) {
+		kcrtree.Build(ds.Objects, rtree.DefaultMaxEntries)
+	})
+}
+
+func BenchmarkE2BuildIRTree(b *testing.B) {
+	benchBuild(b, func(ds *dataset.Dataset) {
+		irtree.Build(ds.Objects, ds.Vocab.Len(), rtree.DefaultMaxEntries)
+	})
+}
+
+// E3 — preference adjustment.
+
+func benchPreference(b *testing.B, alg core.PreferenceAlgorithm, nMiss int) {
+	e := env(b)
+	qs := e.Queries(32, 5, 2)
+	type job struct {
+		q score.Query
+		m []object.ID
+	}
+	jobs := make([]job, 0, len(qs))
+	for _, q := range qs {
+		if m := e.MissingFor(q, nMiss); len(m) == nMiss {
+			jobs = append(jobs, job{q, m})
+		}
+	}
+	if len(jobs) == 0 {
+		b.Skip("no valid why-not jobs")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i%len(jobs)]
+		if _, err := e.Engine.AdjustPreference(j.q, j.m, core.PreferenceOptions{
+			Lambda: 0.5, Algorithm: alg, Samples: 64,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3PreferenceSweepIndexed(b *testing.B) {
+	for _, m := range []int{1, 4} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) { benchPreference(b, core.PrefSweepIndexed, m) })
+	}
+}
+
+func BenchmarkE3PreferenceSweepScan(b *testing.B) {
+	for _, m := range []int{1, 4} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) { benchPreference(b, core.PrefSweep, m) })
+	}
+}
+
+func BenchmarkE3PreferenceSampling(b *testing.B) {
+	b.Run("M=1", func(b *testing.B) { benchPreference(b, core.PrefSampling, 1) })
+}
+
+// E4 — keyword adaption.
+
+func benchKeyword(b *testing.B, alg core.KeywordAlgorithm, kw int) {
+	e := env(b)
+	qs := e.Queries(16, 5, kw)
+	type job struct {
+		q score.Query
+		m []object.ID
+	}
+	jobs := make([]job, 0, len(qs))
+	for _, q := range qs {
+		if m := e.MissingFor(q, 1); len(m) == 1 {
+			jobs = append(jobs, job{q, m})
+		}
+	}
+	if len(jobs) == 0 {
+		b.Skip("no valid why-not jobs")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i%len(jobs)]
+		if _, err := e.Engine.AdaptKeywords(j.q, j.m, core.KeywordOptions{
+			Lambda: 0.5, Algorithm: alg,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4KeywordBoundPrune(b *testing.B) {
+	for _, kw := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("kw=%d", kw), func(b *testing.B) { benchKeyword(b, core.KwBoundPrune, kw) })
+	}
+}
+
+func BenchmarkE4KeywordExhaustive(b *testing.B) {
+	for _, kw := range []int{1, 2} {
+		b.Run(fmt.Sprintf("kw=%d", kw), func(b *testing.B) { benchKeyword(b, core.KwExhaustive, kw) })
+	}
+}
+
+// E5 — λ impact (latency is flat; the bench exists to regenerate the
+// quality table cheaply — run cmd/yaskbench -exp e5 for the table).
+
+func BenchmarkE5LambdaSweep(b *testing.B) {
+	e := env(b)
+	q := e.Queries(1, 5, 2)[0]
+	missing := e.MissingFor(q, 2)
+	if len(missing) < 2 {
+		b.Skip("no valid why-not job")
+	}
+	lambdas := []float64{0.1, 0.5, 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := lambdas[i%len(lambdas)]
+		if _, err := e.Engine.AdjustPreference(q, missing, core.PreferenceOptions{Lambda: l}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 — scalability of the top-k engine across N.
+
+func BenchmarkE6ScaleTopK(b *testing.B) {
+	for _, n := range []int{2_000, 20_000, 100_000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			e := bench.NewEnv(n)
+			qs := e.Queries(64, 5, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Set.TopK(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+// E7 — end-to-end public API round trip (query → explain → refine).
+
+func BenchmarkE7WhyNotRoundTrip(b *testing.B) {
+	engine := yask.HKDemoEngine()
+	q := yask.Query{X: 114.172, Y: 22.298, Keywords: []string{"wifi", "breakfast"}, K: 3}
+	res, err := engine.TopK(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inResult := map[yask.ObjectID]bool{}
+	for _, r := range res {
+		inResult[r.ID] = true
+	}
+	var missing yask.ObjectID
+	for id := yask.ObjectID(0); int(id) < engine.Len(); id++ {
+		if !inResult[id] {
+			missing = id
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.TopK(q); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Explain(q, []yask.ObjectID{missing}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.WhyNotPreference(q, []yask.ObjectID{missing}, yask.RefineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.WhyNotKeywords(q, []yask.ObjectID{missing}, yask.RefineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8 — SetR-tree bound ablation (full vs textbook Jaccard bound).
+
+func BenchmarkE8BoundAblation(b *testing.B) {
+	e := env(b)
+	basic := settree.Build(e.DS.Objects, rtree.DefaultMaxEntries)
+	basic.SetBoundMode(settree.BoundBasic)
+	qs := e.Queries(64, 10, 2)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Set.TopK(qs[i%len(qs)])
+		}
+	})
+	b.Run("basic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			basic.TopK(qs[i%len(qs)])
+		}
+	})
+}

@@ -1,0 +1,58 @@
+// Command yaskbench regenerates the experiment tables of DESIGN.md's
+// experiment index (E1–E7): query-engine comparisons, index
+// construction, why-not refinement latency and quality, λ sweeps,
+// scalability, and HTTP round trips.
+//
+// Usage:
+//
+//	yaskbench              # all experiments, quick scale
+//	yaskbench -exp e3,e5   # selected experiments
+//	yaskbench -full        # paper-shaped dataset sizes (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/yask-engine/yask/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e7) or 'all'")
+	full := flag.Bool("full", false, "run at paper-shaped scale (much slower)")
+	flag.Parse()
+
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range bench.Experiments {
+		if *exp != "all" && !want[e.ID] {
+			continue
+		}
+		if ran > 0 {
+			fmt.Println()
+		}
+		e.Run(os.Stdout, scale)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; available:", *exp)
+		for _, e := range bench.Experiments {
+			fmt.Fprintf(os.Stderr, " %s", e.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

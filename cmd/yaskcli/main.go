@@ -1,0 +1,137 @@
+// Command yaskcli runs YASK queries and why-not questions from the
+// terminal — the demo's interaction loop without the browser.
+//
+// Usage:
+//
+//	yaskcli [-data hotels.json] query -x 114.17 -y 22.30 -k 3 -keywords "wifi breakfast"
+//	yaskcli [-data hotels.json] explain -x ... -missing 42,117
+//	yaskcli [-data hotels.json] whynot -model preference -lambda 0.5 -x ... -missing 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/yask-engine/yask"
+)
+
+func main() {
+	log.SetFlags(0)
+	data := flag.String("data", "", "dataset file (.json or .csv); empty uses the HK hotel demo")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	var (
+		engine *yask.Engine
+		err    error
+	)
+	if *data == "" {
+		engine = yask.HKDemoEngine()
+	} else {
+		engine, err = yask.LoadEngine(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "query":
+		q, _ := parseQueryFlags(args[1:], false)
+		runQuery(engine, q)
+	case "explain":
+		q, missing := parseQueryFlags(args[1:], true)
+		exps, err := engine.Explain(q, missing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ex := range exps {
+			fmt.Printf("#%d %s\n  rank %d, score %.4f (SDist %.3f, TSim %.3f), reason: %s\n  %s\n",
+				ex.ID, ex.Name, ex.Rank, ex.Score, ex.SDist, ex.TSim, ex.Reason, ex.Detail)
+		}
+	case "whynot":
+		fs := flag.NewFlagSet("whynot", flag.ExitOnError)
+		model := fs.String("model", "preference", "refinement model: preference or keyword")
+		lambda := fs.Float64("lambda", 0.5, "penalty trade-off λ")
+		q, missing := parseQueryFlagSet(fs, args[1:], true)
+		opts := yask.RefineOptions{Lambda: *lambda, LambdaIsZero: *lambda == 0}
+		switch *model {
+		case "preference":
+			ref, err := engine.WhyNotPreference(q, missing, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("refined weights ⟨%.4f, %.4f⟩, k=%d (penalty %.4f: Δk=%d, Δw=%.4f)\n",
+				ref.Ws, ref.Wt, ref.K, ref.Penalty, ref.DeltaK, ref.DeltaW)
+			fmt.Printf("missing object rank: %d → %d\n", ref.RankBefore, ref.RankAfter)
+			runQuery(engine, ref.Query)
+		case "keyword":
+			ref, err := engine.WhyNotKeywords(q, missing, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("refined keywords %v, k=%d (penalty %.4f: Δk=%d, Δdoc=%d; +%v −%v)\n",
+				ref.Keywords, ref.K, ref.Penalty, ref.DeltaK, ref.DeltaDoc, ref.Added, ref.Removed)
+			fmt.Printf("missing object rank: %d → %d\n", ref.RankBefore, ref.RankAfter)
+			runQuery(engine, ref.Query)
+		default:
+			log.Fatalf("unknown -model %q", *model)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: yaskcli [-data file] {query|explain|whynot} [flags]")
+	os.Exit(2)
+}
+
+func parseQueryFlags(args []string, wantMissing bool) (yask.Query, []yask.ObjectID) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	return parseQueryFlagSet(fs, args, wantMissing)
+}
+
+func parseQueryFlagSet(fs *flag.FlagSet, args []string, wantMissing bool) (yask.Query, []yask.ObjectID) {
+	x := fs.Float64("x", 114.172, "query x (longitude)")
+	y := fs.Float64("y", 22.298, "query y (latitude)")
+	k := fs.Int("k", 3, "result size")
+	wt := fs.Float64("wt", 0, "textual weight (0 = server default 0.5)")
+	keywords := fs.String("keywords", "wifi", "space-separated query keywords")
+	missingStr := fs.String("missing", "", "comma-separated missing object IDs")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	q := yask.Query{X: *x, Y: *y, K: *k, Wt: *wt, Keywords: strings.Fields(*keywords)}
+	var missing []yask.ObjectID
+	if *missingStr != "" {
+		for _, part := range strings.Split(*missingStr, ",") {
+			id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				log.Fatalf("bad missing ID %q: %v", part, err)
+			}
+			missing = append(missing, yask.ObjectID(id))
+		}
+	}
+	if wantMissing && len(missing) == 0 {
+		log.Fatal("this subcommand needs -missing with at least one object ID")
+	}
+	return q, missing
+}
+
+func runQuery(engine *yask.Engine, q yask.Query) {
+	res, err := engine.TopK(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d for %v @ (%.4f, %.4f):\n", q.K, q.Keywords, q.X, q.Y)
+	for i, r := range res {
+		fmt.Printf("%2d. #%-4d %-30s score %.4f  %v\n", i+1, r.ID, r.Name, r.Score, r.Keywords)
+	}
+}

@@ -1,0 +1,59 @@
+// Command yaskd serves the YASK web service: the spatial keyword top-k
+// query engine and why-not question answering engine behind a JSON API
+// and an embedded map UI (the browser–server deployment of the paper's
+// Fig. 1).
+//
+// Usage:
+//
+//	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m]
+//
+// Without -data it serves the built-in demo dataset, a deterministic
+// synthetic stand-in for the paper's 539 Hong Kong hotels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"github.com/yask-engine/yask"
+	"github.com/yask-engine/yask/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "dataset file (.json or .csv); empty serves the HK hotel demo")
+	ttl := flag.Duration("session-ttl", server.DefaultSessionTTL, "idle lifetime of cached query sessions")
+	flag.Parse()
+
+	var (
+		engine *yask.Engine
+		err    error
+	)
+	if *data == "" {
+		engine = yask.HKDemoEngine()
+		log.Printf("serving built-in demo dataset (%d HK hotels)", engine.Len())
+	} else {
+		engine, err = yask.LoadEngine(*data)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *data, err)
+		}
+		log.Printf("serving %s (%d objects)", *data, engine.Len())
+	}
+
+	srv := server.New(engine, server.Config{SessionTTL: *ttl})
+	log.Printf("YASK listening on %s — open http://localhost%s/", *addr, portSuffix(*addr))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func portSuffix(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[i:]
+		}
+	}
+	return fmt.Sprintf(":%s", addr)
+}

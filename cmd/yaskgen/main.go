@@ -1,0 +1,61 @@
+// Command yaskgen generates synthetic spatial keyword datasets in the
+// formats yaskd and the examples consume.
+//
+// Usage:
+//
+//	yaskgen -n 100000 -seed 7 -out objects.json
+//	yaskgen -hk -out hotels.csv          # the 539-hotel demo dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/yask-engine/yask/internal/dataset"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of objects")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "objects.json", "output file (.json or .csv)")
+	hk := flag.Bool("hk", false, "emit the built-in 539-hotel HK demo dataset instead")
+	spatial := flag.String("spatial", "clustered", "spatial layout: clustered or uniform")
+	clusters := flag.Int("clusters", 16, "number of spatial clusters (clustered layout)")
+	vocabSize := flag.Int("vocab", 400, "vocabulary size")
+	minKw := flag.Int("min-keywords", 3, "minimum keywords per object")
+	maxKw := flag.Int("max-keywords", 12, "maximum keywords per object")
+	flag.Parse()
+
+	var (
+		ds  *dataset.Dataset
+		err error
+	)
+	if *hk {
+		ds = dataset.HKHotels()
+	} else {
+		cfg := dataset.DefaultConfig(*n, *seed)
+		cfg.Clusters = *clusters
+		cfg.VocabSize = *vocabSize
+		cfg.MinKeywords = *minKw
+		cfg.MaxKeywords = *maxKw
+		switch *spatial {
+		case "clustered":
+			cfg.Spatial = dataset.Clustered
+		case "uniform":
+			cfg.Spatial = dataset.Uniform
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -spatial %q (want clustered or uniform)\n", *spatial)
+			os.Exit(2)
+		}
+		ds, err = dataset.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ds.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, ds.Describe())
+}

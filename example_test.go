@@ -1,0 +1,98 @@
+package yask_test
+
+import (
+	"fmt"
+
+	"github.com/yask-engine/yask"
+)
+
+// The examples run on a fixed block of cafes so their output is stable.
+func exampleEngine() *yask.Engine {
+	engine, err := yask.NewEngine([]yask.Object{
+		{Name: "Cafe Uno", X: 0, Y: 0, Keywords: []string{"coffee", "cafe"}},
+		{Name: "Cafe Duo", X: 1, Y: 0, Keywords: []string{"coffee", "wifi"}},
+		{Name: "Tea House", X: 0, Y: 1, Keywords: []string{"tea"}},
+		{Name: "Far Cafe", X: 50, Y: 50, Keywords: []string{"coffee", "cafe"}},
+		{Name: "Book Shop", X: 2, Y: 2, Keywords: []string{"books"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return engine
+}
+
+func ExampleEngine_TopK() {
+	engine := exampleEngine()
+	results, err := engine.TopK(yask.Query{
+		X: 0, Y: 0, Keywords: []string{"coffee"}, K: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%d. %s\n", i+1, r.Name)
+	}
+	// Output:
+	// 1. Cafe Uno
+	// 2. Cafe Duo
+}
+
+func ExampleEngine_Explain() {
+	engine := exampleEngine()
+	query := yask.Query{X: 0, Y: 0, Keywords: []string{"coffee", "cafe"}, K: 2}
+	// Why is "Far Cafe" (ID 3) not in the top-2?
+	explanations, err := engine.Explain(query, []yask.ObjectID{3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rank %d, reason: %s\n", explanations[0].Rank, explanations[0].Reason)
+	// Output:
+	// rank 3, reason: too-far
+}
+
+func ExampleEngine_WhyNotPreference() {
+	engine := exampleEngine()
+	query := yask.Query{X: 0, Y: 0, Keywords: []string{"coffee", "cafe"}, K: 2}
+	refined, err := engine.WhyNotPreference(query, []yask.ObjectID{3}, yask.RefineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// The refined query's result contains the missing cafe.
+	results, err := engine.TopK(refined.Query)
+	if err != nil {
+		panic(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.ID == 3 {
+			found = true
+		}
+	}
+	fmt.Printf("revived: %v (rank %d -> %d)\n", found, refined.RankBefore, refined.RankAfter)
+	// Output:
+	// revived: true (rank 3 -> 2)
+}
+
+func ExampleEngine_WhyNotKeywords() {
+	engine := exampleEngine()
+	// "wifi" does not describe Cafe Uno; the adapter edits the keywords
+	// minimally so the expected cafe enters the result.
+	query := yask.Query{X: 0.4, Y: 0.1, Keywords: []string{"coffee", "wifi"}, K: 1}
+	refined, err := engine.WhyNotKeywords(query, []yask.ObjectID{0}, yask.RefineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	results, err := engine.TopK(refined.Query)
+	if err != nil {
+		panic(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.ID == 0 {
+			found = true
+		}
+	}
+	fmt.Printf("revived: %v with %d keyword edit(s)\n", found, refined.DeltaDoc)
+	// Output:
+	// revived: true with 1 keyword edit(s)
+}

@@ -1,0 +1,77 @@
+// Example 1 of the paper (Bob's scenario): a top-3 query with keyword
+// "coffee" misses the Starbucks down the street because spatial
+// proximity carries too little weight. The preference-adjusted why-not
+// query finds the minimally modified weighting that revives it.
+//
+// Run with: go run ./examples/coffee-preference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/yask-engine/yask"
+)
+
+func main() {
+	// Midtown block: Bob stands at the origin. The Starbucks is one
+	// street away and a perfect keyword match; three specialty cafes are
+	// textually richer matches for "coffee" but farther uptown.
+	objects := []yask.Object{
+		{Name: "Starbucks 5th Ave", X: 0.08, Y: 0.05, Keywords: []string{"coffee", "starbucks", "chain"}},
+		{Name: "Blue Bottle", X: 0.9, Y: 1.0, Keywords: []string{"coffee"}},
+		{Name: "Third Rail", X: 1.1, Y: 0.8, Keywords: []string{"coffee"}},
+		{Name: "Stumptown", X: 0.8, Y: 1.2, Keywords: []string{"coffee"}},
+		{Name: "Joe's Pizza", X: 0.2, Y: 0.1, Keywords: []string{"pizza", "slice"}},
+		{Name: "Grand Central Deli", X: 2.0, Y: 2.0, Keywords: []string{"deli", "sandwich", "coffee", "bagel"}},
+	}
+	engine, err := yask.NewEngine(objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := yask.Query{X: 0, Y: 0, Keywords: []string{"coffee"}, K: 3}
+	results, err := engine.TopK(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Bob's top-3 for \"coffee\":")
+	inResult := map[yask.ObjectID]bool{}
+	for i, r := range results {
+		inResult[r.ID] = true
+		fmt.Printf("  %d. %s (score %.4f)\n", i+1, r.Name, r.Score)
+	}
+	const starbucks = yask.ObjectID(0)
+	if inResult[starbucks] {
+		log.Fatal("scenario broken: Starbucks already in the result")
+	}
+
+	// "Why is the Starbucks cafe not in the result?"
+	exps, err := engine.Explain(query, []yask.ObjectID{starbucks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nExplanation: %s\n", exps[0].Detail)
+
+	// "How can the ranking function be adjusted so that it appears?"
+	for _, lambda := range []float64{0.1, 0.5, 0.9} {
+		ref, err := engine.WhyNotPreference(query, []yask.ObjectID{starbucks},
+			yask.RefineOptions{Lambda: lambda})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nλ=%.1f → weights ⟨ws=%.4f, wt=%.4f⟩, k=%d, penalty %.4f (Δk=%d, Δw=%.4f)\n",
+			lambda, ref.Ws, ref.Wt, ref.K, ref.Penalty, ref.DeltaK, ref.DeltaW)
+		refined, err := engine.TopK(ref.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range refined {
+			marker := "  "
+			if r.ID == starbucks {
+				marker = "→ "
+			}
+			fmt.Printf("  %s%d. %s (score %.4f)\n", marker, i+1, r.Name, r.Score)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Example 2 of the paper (Carol's scenario): a top-3 hotel query for
+// "clean comfortable" near a conference venue returns only local hotels;
+// the well-known international hotel is missing because it is described
+// by "luxury" rather than the query terms. The keyword-adapted why-not
+// query finds the minimal keyword edit that revives it.
+//
+// Run with: go run ./examples/hotel-keyword
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/yask-engine/yask"
+)
+
+func main() {
+	// Hotels around the conference venue at the origin.
+	objects := []yask.Object{
+		{Name: "Conference Inn", X: 0.1, Y: 0.1, Keywords: []string{"clean", "comfortable", "budget"}},
+		{Name: "Expo Lodge", X: 0.2, Y: 0.05, Keywords: []string{"clean", "comfortable", "shuttle"}},
+		{Name: "Hall Residence", X: 0.05, Y: 0.25, Keywords: []string{"clean", "comfortable"}},
+		{Name: "The Peninsula", X: 0.3, Y: 0.3, Keywords: []string{"luxury", "spa", "harbour", "concierge"}},
+		{Name: "Backpacker Hub", X: 0.15, Y: 0.2, Keywords: []string{"hostel", "budget"}},
+		{Name: "Airport Motel", X: 5.0, Y: 5.0, Keywords: []string{"clean", "parking"}},
+	}
+	engine, err := yask.NewEngine(objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := yask.Query{X: 0, Y: 0, Keywords: []string{"clean", "comfortable"}, K: 3}
+	results, err := engine.TopK(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Carol's top-3 for \"clean comfortable\":")
+	for i, r := range results {
+		fmt.Printf("  %d. %s (score %.4f) %v\n", i+1, r.Name, r.Score, r.Keywords)
+	}
+
+	const peninsula = yask.ObjectID(3)
+	exps, err := engine.Explain(query, []yask.ObjectID{peninsula})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWhy is The Peninsula missing?\n  %s\n", exps[0].Detail)
+	if !exps[0].SuggestKeyword {
+		log.Fatal("scenario broken: explanation should suggest keyword adaption")
+	}
+
+	// "How can the query keywords be minimally modified?"
+	for _, lambda := range []float64{0.2, 0.5, 0.8} {
+		ref, err := engine.WhyNotKeywords(query, []yask.ObjectID{peninsula},
+			yask.RefineOptions{Lambda: lambda})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nλ=%.1f → keywords %v, k=%d, penalty %.4f (Δk=%d, Δdoc=%d; added %v, removed %v)\n",
+			lambda, ref.Keywords, ref.K, ref.Penalty, ref.DeltaK, ref.DeltaDoc, ref.Added, ref.Removed)
+		refined, err := engine.TopK(ref.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range refined {
+			marker := "  "
+			if r.ID == peninsula {
+				marker = "→ "
+			}
+			fmt.Printf("  %s%d. %s (score %.4f)\n", marker, i+1, r.Name, r.Score)
+		}
+	}
+}

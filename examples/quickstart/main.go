@@ -1,0 +1,80 @@
+// Quickstart: index a handful of objects, run a spatial keyword top-k
+// query, ask a why-not question, and apply both refinement models.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/yask-engine/yask"
+)
+
+func main() {
+	// A tiny city block: cafes, a tea house, a book shop.
+	objects := []yask.Object{
+		{Name: "Cafe Aroma", X: 0.1, Y: 0.2, Keywords: []string{"coffee", "cafe", "wifi"}},
+		{Name: "Espresso Bar", X: 0.3, Y: 0.1, Keywords: []string{"coffee", "espresso"}},
+		{Name: "Tea Pavilion", X: 0.2, Y: 0.4, Keywords: []string{"tea", "quiet"}},
+		{Name: "Roastery", X: 4.0, Y: 4.2, Keywords: []string{"coffee", "roastery", "beans"}},
+		{Name: "Book & Bean", X: 0.5, Y: 0.5, Keywords: []string{"books", "coffee"}},
+		{Name: "Night Owl Diner", X: 1.0, Y: 1.1, Keywords: []string{"diner", "late"}},
+	}
+	engine, err := yask.NewEngine(objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A top-3 "coffee" query from the corner of the block.
+	query := yask.Query{X: 0, Y: 0, Keywords: []string{"coffee"}, K: 3}
+	results, err := engine.TopK(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top-3 for \"coffee\":")
+	for i, r := range results {
+		fmt.Printf("  %d. %-16s score %.4f (SDist %.3f, TSim %.3f)\n",
+			i+1, r.Name, r.Score, r.SDist, r.TSim)
+	}
+
+	// The Roastery (ID 3) is missing — why?
+	missing := []yask.ObjectID{3}
+	exps, err := engine.Explain(query, missing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWhy not %q?\n  %s\n", exps[0].Name, exps[0].Detail)
+
+	// Refinement model 1: adjust the spatial/textual preference.
+	pref, err := engine.WhyNotPreference(query, missing, yask.RefineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPreference adjustment: weights ⟨%.4f, %.4f⟩, k=%d (penalty %.4f)\n",
+		pref.Ws, pref.Wt, pref.K, pref.Penalty)
+	showRevived(engine, pref.Query, 3)
+
+	// Refinement model 2: adapt the query keywords.
+	kw, err := engine.WhyNotKeywords(query, missing, yask.RefineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nKeyword adaption: keywords %v, k=%d (penalty %.4f; added %v, removed %v)\n",
+		kw.Keywords, kw.K, kw.Penalty, kw.Added, kw.Removed)
+	showRevived(engine, kw.Query, 3)
+}
+
+func showRevived(engine *yask.Engine, q yask.Query, want yask.ObjectID) {
+	res, err := engine.TopK(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range res {
+		marker := " "
+		if r.ID == want {
+			marker = "*"
+		}
+		fmt.Printf("  %s %d. %-16s score %.4f\n", marker, i+1, r.Name, r.Score)
+	}
+}

@@ -1,0 +1,475 @@
+// Package bench implements the experiment harness behind both the
+// `yaskbench` command and the root-level testing.B benchmarks. Each
+// exported Run function regenerates one experiment of DESIGN.md's
+// experiment index (E1–E7): it builds the workload, sweeps the
+// parameter the experiment varies, and prints one table in the style
+// the papers report (who wins, by what factor, where the crossover is).
+//
+// Absolute numbers depend on the machine; the *shape* of each table is
+// the reproduction target recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/irtree"
+	"github.com/yask-engine/yask/internal/kcrtree"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+// Scale selects how large the experiment datasets are.
+type Scale int
+
+const (
+	// Quick keeps every experiment under a few seconds; used by tests
+	// and the default yaskbench run.
+	Quick Scale = iota
+	// Full is the paper-shaped run (hundreds of thousands to a million
+	// objects); minutes of runtime.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// sizes returns the dataset-size sweep for scalability experiments.
+func (s Scale) sizes() []int {
+	if s == Full {
+		return []int{10_000, 100_000, 1_000_000}
+	}
+	return []int{2_000, 10_000, 50_000}
+}
+
+// baseN returns the dataset size for fixed-size experiments.
+func (s Scale) baseN() int {
+	if s == Full {
+		return 100_000
+	}
+	return 10_000
+}
+
+// queries returns how many queries each measurement averages over.
+func (s Scale) queries() int {
+	if s == Full {
+		return 50
+	}
+	return 20
+}
+
+const seed = 42
+
+// Env bundles the shared experiment state: one dataset with the three
+// engine indexes built over it.
+type Env struct {
+	DS     *dataset.Dataset
+	Set    *settree.Index
+	Kc     *kcrtree.Index
+	Ir     *irtree.Index
+	Engine *core.Engine
+}
+
+// NewEnv builds the experiment environment for n objects.
+func NewEnv(n int) *Env {
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		// Config is static; failure is a programming error.
+		panic(err)
+	}
+	return &Env{
+		DS:     ds,
+		Set:    settree.Build(ds.Objects, rtree.DefaultMaxEntries),
+		Kc:     kcrtree.Build(ds.Objects, rtree.DefaultMaxEntries),
+		Ir:     irtree.Build(ds.Objects, ds.Vocab.Len(), rtree.DefaultMaxEntries),
+		Engine: core.NewEngine(ds.Objects, core.Options{}),
+	}
+}
+
+// Queries generates a deterministic query workload over the env.
+func (e *Env) Queries(n, k, kw int) []score.Query {
+	return dataset.Workload(e.DS, dataset.WorkloadConfig{
+		Queries: n, Seed: seed + 1, K: k, Keywords: kw,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+}
+
+// MissingFor returns `count` valid missing objects for q: the objects
+// ranked k+1 … k+count.
+func (e *Env) MissingFor(q score.Query, count int) []object.ID {
+	extended := q
+	extended.K = q.K + count
+	res := e.Set.TopK(extended)
+	if len(res) <= q.K {
+		return nil
+	}
+	ids := make([]object.ID, 0, count)
+	for _, r := range res[q.K:] {
+		ids = append(ids, r.Obj.ID)
+	}
+	return ids
+}
+
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+}
+
+// timeIt runs fn and returns the wall-clock duration.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// us formats a duration as microseconds with 1 decimal.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+// ms formats a duration as milliseconds with 2 decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// heapAllocMB measures live heap after a GC, in MiB.
+func heapAllocMB() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / (1 << 20)
+}
+
+// RunE1TopK regenerates experiment E1: spatial keyword top-k latency
+// and node accesses, SetR-tree vs IR-tree vs full scan, sweeping k and
+// the number of query keywords.
+func RunE1TopK(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	fmt.Fprintf(w, "E1 — top-k query engines (N=%d, %s scale)\n", scale.baseN(), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "k\t|q.doc|\tSetR µs\tSetR nodes\tIR µs\tIR nodes\tscan µs\tspeedup\t")
+	for _, k := range []int{1, 3, 5, 10, 20, 50} {
+		for _, kw := range []int{1, 3} {
+			qs := env.Queries(scale.queries(), k, kw)
+
+			env.Set.Stats().Reset()
+			setTime := timeIt(func() {
+				for _, q := range qs {
+					env.Set.TopK(q)
+				}
+			}) / time.Duration(len(qs))
+			setNodes := env.Set.Stats().NodeAccesses() / int64(len(qs))
+
+			env.Ir.Stats().Reset()
+			irTime := timeIt(func() {
+				for _, q := range qs {
+					env.Ir.TopK(q)
+				}
+			}) / time.Duration(len(qs))
+			irNodes := env.Ir.Stats().NodeAccesses() / int64(len(qs))
+
+			scanTime := timeIt(func() {
+				for _, q := range qs {
+					settree.ScanTopK(env.DS.Objects, q)
+				}
+			}) / time.Duration(len(qs))
+
+			speedup := float64(scanTime) / float64(setTime)
+			fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%s\t%d\t%s\t%.1fx\t\n",
+				k, kw, us(setTime), setNodes, us(irTime), irNodes, us(scanTime), speedup)
+		}
+	}
+	tw.Flush()
+}
+
+// RunE2IndexBuild regenerates experiment E2: construction time, node
+// count, and live-heap cost of the four indexes across dataset sizes.
+func RunE2IndexBuild(w io.Writer, scale Scale) {
+	fmt.Fprintf(w, "E2 — index construction (%s scale)\n", scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\tindex\tbuild ms\tnodes\theight\theap MB\t")
+	for _, n := range scale.sizes() {
+		ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+		if err != nil {
+			panic(err)
+		}
+		type build struct {
+			name string
+			// fn returns the built index (kept alive through the heap
+			// measurement) plus its node count and height.
+			fn func() (index any, nodes, height int)
+		}
+		builds := []build{
+			{"R-tree", func() (any, int, int) {
+				t := rtree.New(rtree.NoAug[object.Object](), rtree.DefaultMaxEntries)
+				entries := make([]rtree.LeafEntry[object.Object], ds.Objects.Len())
+				for i, o := range ds.Objects.All() {
+					entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+				}
+				t.BulkLoad(entries)
+				return t, t.NodeCount(), t.Height()
+			}},
+			{"SetR-tree", func() (any, int, int) {
+				t := settree.Build(ds.Objects, rtree.DefaultMaxEntries)
+				return t, t.Tree().NodeCount(), t.Tree().Height()
+			}},
+			{"KcR-tree", func() (any, int, int) {
+				t := kcrtree.Build(ds.Objects, rtree.DefaultMaxEntries)
+				return t, t.Tree().NodeCount(), t.Tree().Height()
+			}},
+			{"IR-tree", func() (any, int, int) {
+				t := irtree.Build(ds.Objects, ds.Vocab.Len(), rtree.DefaultMaxEntries)
+				return t, t.Tree().NodeCount(), t.Tree().Height()
+			}},
+		}
+		for _, b := range builds {
+			before := heapAllocMB()
+			var sink any
+			var nodes, height int
+			d := timeIt(func() { sink, nodes, height = b.fn() })
+			after := heapAllocMB() // sink still referenced: measures the index
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%.1f\t\n", n, b.name, ms(d), nodes, height, after-before)
+			runtime.KeepAlive(sink)
+		}
+	}
+	tw.Flush()
+}
+
+// RunE3Preference regenerates experiment E3: preference-adjustment
+// latency and result penalty for the three algorithms, sweeping the
+// number of missing objects.
+func RunE3Preference(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	fmt.Fprintf(w, "E3 — preference adjustment (N=%d, λ=0.5, %s scale)\n", scale.baseN(), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "|M|\talgorithm\tms/query\tavg penalty\tavg Δk\tavg Δw\t")
+	algos := []core.PreferenceAlgorithm{core.PrefSweepIndexed, core.PrefSweep, core.PrefSampling}
+	for _, nMiss := range []int{1, 2, 4, 8} {
+		qs := env.Queries(scale.queries(), 5, 2)
+		for _, alg := range algos {
+			var total time.Duration
+			var penalty, dw float64
+			var dk, count int
+			for _, q := range qs {
+				missing := env.MissingFor(q, nMiss)
+				if len(missing) < nMiss {
+					continue
+				}
+				var res core.PreferenceResult
+				var err error
+				total += timeIt(func() {
+					res, err = env.Engine.AdjustPreference(q, missing, core.PreferenceOptions{
+						Lambda: 0.5, Algorithm: alg, Samples: 64,
+					})
+				})
+				if err != nil {
+					panic(err)
+				}
+				penalty += res.Penalty
+				dw += res.DeltaW
+				dk += res.DeltaK
+				count++
+			}
+			if count == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%.4f\t%.1f\t%.4f\t\n",
+				nMiss, alg, ms(total/time.Duration(count)),
+				penalty/float64(count), float64(dk)/float64(count), dw/float64(count))
+		}
+	}
+	tw.Flush()
+}
+
+// RunE4Keyword regenerates experiment E4: keyword-adaption latency and
+// pruning effectiveness, bound-and-prune vs exhaustive, sweeping the
+// query keyword count.
+func RunE4Keyword(w io.Writer, scale Scale) {
+	// Keyword adaption cost is dominated by the candidate space, not N;
+	// a moderate N keeps the exhaustive baseline feasible.
+	n := scale.baseN()
+	if scale == Full {
+		n = 50_000
+	}
+	env := NewEnv(n)
+	fmt.Fprintf(w, "E4 — keyword adaption (N=%d, λ=0.5, %s scale)\n", n, scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "|q.doc|\talgorithm\tms/query\tavg penalty\tcand gen\tcand eval\t")
+	algos := []core.KeywordAlgorithm{core.KwBoundPrune, core.KwExhaustive}
+	for _, kw := range []int{1, 2, 3} {
+		qs := env.Queries(scale.queries(), 5, kw)
+		for _, alg := range algos {
+			var total time.Duration
+			var penalty float64
+			var gen, eval, count int
+			for _, q := range qs {
+				missing := env.MissingFor(q, 1)
+				if len(missing) == 0 {
+					continue
+				}
+				var res core.KeywordResult
+				var err error
+				total += timeIt(func() {
+					res, err = env.Engine.AdaptKeywords(q, missing, core.KeywordOptions{
+						Lambda: 0.5, Algorithm: alg,
+					})
+				})
+				if err != nil {
+					panic(err)
+				}
+				penalty += res.Penalty
+				gen += res.CandidatesGenerated
+				eval += res.CandidatesEvaluated
+				count++
+			}
+			if count == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%.4f\t%d\t%d\t\n",
+				kw, alg, ms(total/time.Duration(count)),
+				penalty/float64(count), gen/count, eval/count)
+		}
+	}
+	tw.Flush()
+}
+
+// RunE5Lambda regenerates experiment E5: the impact of the penalty
+// trade-off λ on both refinement models — the demo's "Query Refinement
+// Effectiveness" scenario.
+func RunE5Lambda(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	fmt.Fprintf(w, "E5 — λ impact on refinement quality (N=%d, %s scale)\n", scale.baseN(), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "λ\tpref penalty\tpref Δk\tpref Δw\tkw penalty\tkw Δk\tkw Δdoc\t")
+	qs := env.Queries(scale.queries(), 5, 2)
+	for _, lambda := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		var pPen, pDw, kPen float64
+		var pDk, kDk, kDd, count int
+		for _, q := range qs {
+			missing := env.MissingFor(q, 2)
+			if len(missing) < 2 {
+				continue
+			}
+			pres, err := env.Engine.AdjustPreference(q, missing, core.PreferenceOptions{Lambda: lambda})
+			if err != nil {
+				panic(err)
+			}
+			kres, err := env.Engine.AdaptKeywords(q, missing, core.KeywordOptions{Lambda: lambda})
+			if err != nil {
+				panic(err)
+			}
+			pPen += pres.Penalty
+			pDw += pres.DeltaW
+			pDk += pres.DeltaK
+			kPen += kres.Penalty
+			kDk += kres.DeltaK
+			kDd += kres.DeltaDoc
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		c := float64(count)
+		fmt.Fprintf(tw, "%.1f\t%.4f\t%.1f\t%.4f\t%.4f\t%.1f\t%.1f\t\n",
+			lambda, pPen/c, float64(pDk)/c, pDw/c, kPen/c, float64(kDk)/c, float64(kDd)/c)
+	}
+	tw.Flush()
+}
+
+// RunE6Scale regenerates experiment E6: end-to-end latency of the three
+// operations as the dataset grows — the paper's "scalable ... for data
+// sets with millions of objects" claim.
+func RunE6Scale(w io.Writer, scale Scale) {
+	fmt.Fprintf(w, "E6 — scalability (%s scale)\n", scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\tbuild ms\ttop-k µs\texplain µs\tpref ms\tkeyword ms\t")
+	for _, n := range scale.sizes() {
+		var env *Env
+		buildTime := timeIt(func() { env = NewEnv(n) })
+		qs := env.Queries(scale.queries(), 5, 2)
+
+		topk := timeIt(func() {
+			for _, q := range qs {
+				env.Set.TopK(q)
+			}
+		}) / time.Duration(len(qs))
+
+		var explainTotal, prefTotal, kwTotal time.Duration
+		count := 0
+		for _, q := range qs {
+			missing := env.MissingFor(q, 1)
+			if len(missing) == 0 {
+				continue
+			}
+			explainTotal += timeIt(func() {
+				if _, err := env.Engine.Explain(q, missing); err != nil {
+					panic(err)
+				}
+			})
+			prefTotal += timeIt(func() {
+				if _, err := env.Engine.AdjustPreference(q, missing, core.PreferenceOptions{Lambda: 0.5}); err != nil {
+					panic(err)
+				}
+			})
+			kwTotal += timeIt(func() {
+				if _, err := env.Engine.AdaptKeywords(q, missing, core.KeywordOptions{Lambda: 0.5}); err != nil {
+					panic(err)
+				}
+			})
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t\n",
+			n, ms(buildTime), us(topk),
+			us(explainTotal/time.Duration(count)),
+			ms(prefTotal/time.Duration(count)),
+			ms(kwTotal/time.Duration(count)))
+	}
+	tw.Flush()
+}
+
+// RunE8BoundAblation regenerates the ablation of DESIGN.md §5: the
+// SetR-tree's doc-length-tightened Jaccard bound vs the textbook
+// |q ∩ U|/|q ∪ I| bound, measured as top-k latency and node accesses.
+func RunE8BoundAblation(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	basic := settree.Build(env.DS.Objects, rtree.DefaultMaxEntries)
+	basic.SetBoundMode(settree.BoundBasic)
+	fmt.Fprintf(w, "E8 — SetR-tree bound ablation (N=%d, %s scale)\n", scale.baseN(), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "k\t|q.doc|\tfull µs\tfull nodes\tbasic µs\tbasic nodes\t")
+	for _, k := range []int{3, 10, 50} {
+		for _, kw := range []int{1, 3} {
+			qs := env.Queries(scale.queries(), k, kw)
+			env.Set.Stats().Reset()
+			fullTime := timeIt(func() {
+				for _, q := range qs {
+					env.Set.TopK(q)
+				}
+			}) / time.Duration(len(qs))
+			fullNodes := env.Set.Stats().NodeAccesses() / int64(len(qs))
+			basic.Stats().Reset()
+			basicTime := timeIt(func() {
+				for _, q := range qs {
+					basic.TopK(q)
+				}
+			}) / time.Duration(len(qs))
+			basicNodes := basic.Stats().NodeAccesses() / int64(len(qs))
+			fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%s\t%d\t\n",
+				k, kw, us(fullTime), fullNodes, us(basicTime), basicNodes)
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsRunQuickScale smoke-tests every experiment runner at a
+// tiny scale: each must produce a non-empty table and not panic.
+func TestExperimentsRunQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(&buf, Quick)
+			out := buf.String()
+			if !strings.Contains(out, "—") {
+				t.Fatalf("experiment %s produced no header:\n%s", e.ID, out)
+			}
+			if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+				t.Fatalf("experiment %s produced no rows:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestEnvHelpers(t *testing.T) {
+	env := NewEnv(500)
+	if env.DS.Objects.Len() != 500 {
+		t.Fatalf("env size %d", env.DS.Objects.Len())
+	}
+	qs := env.Queries(5, 3, 2)
+	if len(qs) != 5 {
+		t.Fatalf("queries %d", len(qs))
+	}
+	m := env.MissingFor(qs[0], 2)
+	if len(m) != 2 {
+		t.Fatalf("missing %v", m)
+	}
+	// The missing objects must really be outside the top-k.
+	res := env.Set.TopK(qs[0])
+	for _, r := range res {
+		for _, id := range m {
+			if r.Obj.ID == id {
+				t.Fatalf("missing object %d is in the result", id)
+			}
+		}
+	}
+}
+
+func TestScaleSettings(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Fatal("scale names wrong")
+	}
+	if len(Quick.sizes()) == 0 || len(Full.sizes()) == 0 {
+		t.Fatal("empty size sweeps")
+	}
+	if Quick.baseN() >= Full.baseN() {
+		t.Fatal("quick scale should be smaller than full")
+	}
+}

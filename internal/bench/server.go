@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/yask-engine/yask"
+	"github.com/yask-engine/yask/internal/server"
+)
+
+// RunE7Server regenerates experiment E7: the full client→server round
+// trip of the demo loop (query → explain → refine) over HTTP against
+// the demo dataset, the interaction Figs. 3–5 demonstrate.
+func RunE7Server(w io.Writer, scale Scale) {
+	engine := yask.HKDemoEngine()
+	srv := httptest.NewServer(server.New(engine, server.Config{}))
+	defer srv.Close()
+
+	fmt.Fprintf(w, "E7 — HTTP round trips over the %d-hotel demo (%s scale)\n", engine.Len(), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "operation\tms/call\tcalls\t")
+
+	iters := 20
+	if scale == Full {
+		iters = 100
+	}
+
+	post := func(path string, body any, out any) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			panic(err)
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			panic(fmt.Sprintf("%s: status %d: %s", path, resp.StatusCode, raw))
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	type queryResp struct {
+		SessionID string        `json:"sessionId"`
+		Results   []yask.Result `json:"results"`
+	}
+
+	// Deterministic sequence of query points around the HK districts.
+	locs := []struct{ x, y float64 }{
+		{114.158, 22.281}, {114.172, 22.298}, {114.169, 22.319}, {114.184, 22.280},
+	}
+	keywordSets := [][]string{{"wifi", "breakfast"}, {"clean", "wifi"}, {"harbour", "view"}}
+
+	var queryTotal, explainTotal, prefTotal, kwTotal time.Duration
+	queries, whynots := 0, 0
+	for i := 0; i < iters; i++ {
+		loc := locs[i%len(locs)]
+		kws := keywordSets[i%len(keywordSets)]
+		var qr queryResp
+		queryTotal += timeIt(func() {
+			post("/api/query", map[string]any{
+				"x": loc.x, "y": loc.y, "keywords": kws, "k": 3,
+			}, &qr)
+		})
+		queries++
+
+		// Pick a missing object: the first object not in the result.
+		inResult := map[yask.ObjectID]bool{}
+		for _, r := range qr.Results {
+			inResult[r.ID] = true
+		}
+		var missing yask.ObjectID
+		for id := yask.ObjectID(0); int(id) < engine.Len(); id++ {
+			if !inResult[id] {
+				missing = id
+				break
+			}
+		}
+
+		explainTotal += timeIt(func() {
+			post("/api/explain", map[string]any{
+				"sessionId": qr.SessionID, "missing": []yask.ObjectID{missing},
+			}, nil)
+		})
+		prefTotal += timeIt(func() {
+			post("/api/whynot", map[string]any{
+				"sessionId": qr.SessionID, "missing": []yask.ObjectID{missing}, "model": "preference",
+			}, nil)
+		})
+		kwTotal += timeIt(func() {
+			post("/api/whynot", map[string]any{
+				"sessionId": qr.SessionID, "missing": []yask.ObjectID{missing}, "model": "keyword",
+			}, nil)
+		})
+		whynots++
+	}
+	fmt.Fprintf(tw, "query\t%s\t%d\t\n", ms(queryTotal/time.Duration(queries)), queries)
+	fmt.Fprintf(tw, "explain\t%s\t%d\t\n", ms(explainTotal/time.Duration(whynots)), whynots)
+	fmt.Fprintf(tw, "whynot-preference\t%s\t%d\t\n", ms(prefTotal/time.Duration(whynots)), whynots)
+	fmt.Fprintf(tw, "whynot-keyword\t%s\t%d\t\n", ms(kwTotal/time.Duration(whynots)), whynots)
+	tw.Flush()
+}
+
+// Experiments maps experiment IDs to their runners, in report order.
+var Experiments = []struct {
+	ID   string
+	Name string
+	Run  func(io.Writer, Scale)
+}{
+	{"e1", "top-k query engines", RunE1TopK},
+	{"e2", "index construction", RunE2IndexBuild},
+	{"e3", "preference adjustment", RunE3Preference},
+	{"e4", "keyword adaption", RunE4Keyword},
+	{"e5", "lambda impact", RunE5Lambda},
+	{"e6", "scalability", RunE6Scale},
+	{"e7", "server round trip", RunE7Server},
+	{"e8", "SetR-tree bound ablation", RunE8BoundAblation},
+}

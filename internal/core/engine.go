@@ -1,0 +1,127 @@
+// Package core implements YASK's query processor (Fig. 1 of the paper):
+// the spatial keyword top-k query engine and the why-not question
+// answering engine with its three modules — the explanation generator,
+// the preference-adjusted why-not module (Definition 2, penalty Eqn 3),
+// and the keyword-adapted why-not module (Definition 3, penalty Eqn 4).
+//
+// The Engine owns a SetR-tree (top-k, explanations, preference
+// adjustment) and a KcR-tree (keyword adaption) over one immutable
+// collection. All methods are safe for concurrent use.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/yask-engine/yask/internal/kcrtree"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// DefaultLambda is the default preference λ between modifying k and
+// modifying w⃗/doc in the penalty functions (Eqns 3 and 4).
+const DefaultLambda = 0.5
+
+// Engine is the YASK query processor.
+type Engine struct {
+	coll *object.Collection
+	set  *settree.Index
+	kc   *kcrtree.Index
+}
+
+// Options configures engine construction.
+type Options struct {
+	// MaxEntries is the R-tree node fanout for both indexes.
+	// Zero means rtree.DefaultMaxEntries.
+	MaxEntries int
+}
+
+// NewEngine builds the engine (both indexes) over the collection.
+func NewEngine(c *object.Collection, opts Options) *Engine {
+	maxE := opts.MaxEntries
+	if maxE == 0 {
+		maxE = rtree.DefaultMaxEntries
+	}
+	return &Engine{
+		coll: c,
+		set:  settree.Build(c, maxE),
+		kc:   kcrtree.Build(c, maxE),
+	}
+}
+
+// Collection returns the indexed collection.
+func (e *Engine) Collection() *object.Collection { return e.coll }
+
+// SetIndex returns the SetR-tree the top-k engine runs on.
+func (e *Engine) SetIndex() *settree.Index { return e.set }
+
+// KcIndex returns the KcR-tree the keyword-adaption module runs on.
+func (e *Engine) KcIndex() *kcrtree.Index { return e.kc }
+
+// TopK answers a spatial keyword top-k query (Definition 1).
+func (e *Engine) TopK(q score.Query) ([]score.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return e.set.TopK(q), nil
+}
+
+// validateWhyNot checks the common preconditions of the why-not
+// operations: a valid initial query and a non-empty missing set of
+// objects that are genuinely absent from the initial result (rank > k).
+// It returns the scorer, the missing objects, and R(M, q) — the lowest
+// (worst) rank of any missing object under the initial query, the
+// normalization constant of both penalty functions.
+func (e *Engine) validateWhyNot(q score.Query, missing []object.ID) (score.Scorer, []object.Object, int, error) {
+	if err := q.Validate(); err != nil {
+		return score.Scorer{}, nil, 0, err
+	}
+	if len(missing) == 0 {
+		return score.Scorer{}, nil, 0, errors.New("core: why-not question needs at least one missing object")
+	}
+	s := score.NewScorer(q, e.coll)
+	seen := make(map[object.ID]bool, len(missing))
+	objs := make([]object.Object, 0, len(missing))
+	worst := 0
+	for _, id := range missing {
+		if int(id) >= e.coll.Len() {
+			return score.Scorer{}, nil, 0, fmt.Errorf("core: unknown object ID %d", id)
+		}
+		if seen[id] {
+			return score.Scorer{}, nil, 0, fmt.Errorf("core: duplicate missing object %d", id)
+		}
+		seen[id] = true
+		o := e.coll.Get(id)
+		rank := e.set.RankOf(s, id)
+		if rank <= q.K {
+			return score.Scorer{}, nil, 0, fmt.Errorf(
+				"core: object %d is already in the top-%d result (rank %d); not a why-not question", id, q.K, rank)
+		}
+		if rank > worst {
+			worst = rank
+		}
+		objs = append(objs, o)
+	}
+	return s, objs, worst, nil
+}
+
+// MissingDocUnion returns M.doc = ⋃ o.doc over the missing objects, the
+// keyword universe of the Δdoc normalization in Eqn 4.
+func MissingDocUnion(objs []object.Object) vocab.KeywordSet {
+	var u vocab.KeywordSet
+	for _, o := range objs {
+		u = u.Union(o.Doc)
+	}
+	return u
+}
+
+// validateLambda rejects λ outside [0, 1].
+func validateLambda(lambda float64) error {
+	if lambda < 0 || lambda > 1 {
+		return fmt.Errorf("core: lambda %v outside [0, 1]", lambda)
+	}
+	return nil
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/yask-engine/yask/internal/kcrtree"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// PreferenceAlgorithm selects the preference-adjustment implementation.
+type PreferenceAlgorithm int
+
+const (
+	// PrefSweepIndexed is the paper's algorithm [5]: the missing
+	// objects' score segments are intersected only with the segments the
+	// index proves can cross them (the "two range queries"), then a
+	// sweep with the rank update theorem finds the minimum-penalty
+	// intersection. Exact.
+	PrefSweepIndexed PreferenceAlgorithm = iota
+	// PrefSweep is the same sweep with the crossing segments found by a
+	// full scan instead of the index. Exact; the baseline that isolates
+	// the index's contribution.
+	PrefSweep
+	// PrefSampling evaluates a fixed grid of candidate weights.
+	// Approximate; the naive baseline of [5]'s evaluation.
+	PrefSampling
+)
+
+// String implements fmt.Stringer.
+func (a PreferenceAlgorithm) String() string {
+	switch a {
+	case PrefSweepIndexed:
+		return "sweep-indexed"
+	case PrefSweep:
+		return "sweep-scan"
+	case PrefSampling:
+		return "sampling"
+	default:
+		return fmt.Sprintf("PreferenceAlgorithm(%d)", int(a))
+	}
+}
+
+// PreferenceOptions configures AdjustPreference.
+type PreferenceOptions struct {
+	// Lambda is the penalty preference λ ∈ [0, 1] of Eqn 3 between
+	// enlarging k (λ side) and moving w⃗ (1−λ side). DefaultLambda is
+	// the paper's default; the zero value is a legitimate λ = 0.
+	Lambda float64
+	// Algorithm selects the implementation; the zero value is the
+	// paper's indexed sweep.
+	Algorithm PreferenceAlgorithm
+	// Samples is the grid size for PrefSampling (default 64).
+	Samples int
+}
+
+// PreferenceResult is a preference-adjusted refined query (Definition 2)
+// together with its penalty decomposition.
+type PreferenceResult struct {
+	// Refined is the refined query q′ = (loc, doc, k′, w⃗′): original
+	// location and keywords, possibly enlarged k, adjusted weights.
+	Refined score.Query
+	// Penalty is Eqn 3 evaluated for Refined.
+	Penalty float64
+	// DeltaK is max(0, R(M, q′) − q.k), the k enlargement.
+	DeltaK int
+	// DeltaW is ‖q.w⃗ − q′.w⃗‖₂.
+	DeltaW float64
+	// RankBefore is R(M, q): the worst missing-object rank under the
+	// initial query. RankAfter is R(M, q′) under the refined query.
+	RankBefore, RankAfter int
+	// Candidates is the number of candidate weight vectors evaluated.
+	Candidates int
+}
+
+// scoreLine is one object's ranking score as a function of wt ∈ (0, 1):
+// f(wt) = a + b·wt, with a = 1 − SDist and b = TSim − a. This is the 1-D
+// form of the paper's segment in the 2-D weight plane (ws + wt = 1
+// collapses the plane to the wt axis).
+type scoreLine struct {
+	a, b float64
+	id   object.ID
+}
+
+func lineOf(s score.Scorer, o object.Object) scoreLine {
+	spatial, textual := s.Components(o)
+	return scoreLine{a: spatial, b: textual - spatial, id: o.ID}
+}
+
+// eval returns the score at wt.
+func (l scoreLine) eval(wt float64) float64 { return l.a + l.b*wt }
+
+// aboveNear0 reports whether l ranks above m on the open interval just
+// inside wt = 0 (ties between identical lines break by ID, matching
+// score.Better).
+func (l scoreLine) aboveNear0(m scoreLine) bool {
+	da := l.a - m.a
+	db := l.b - m.b
+	if da != 0 {
+		return da > 0
+	}
+	if db != 0 {
+		return db > 0
+	}
+	return l.id < m.id
+}
+
+// aboveNear1 reports whether l ranks above m just inside wt = 1.
+func (l scoreLine) aboveNear1(m scoreLine) bool {
+	d1 := (l.a + l.b) - (m.a + m.b)
+	if d1 != 0 {
+		return d1 > 0
+	}
+	db := l.b - m.b
+	if db != 0 {
+		// Equal at 1; approaching from the left the sign is −db.
+		return db < 0
+	}
+	return l.id < m.id
+}
+
+// crossing returns the interior crossing point of l and m and whether
+// the two lines swap order inside (0, 1). Crossings that round to the
+// interval boundary are dropped: the pair then keeps one order over
+// (numerically) the whole interval.
+func (l scoreLine) crossing(m scoreLine) (float64, bool) {
+	if l.aboveNear0(m) == l.aboveNear1(m) {
+		return 0, false
+	}
+	wt := (m.a - l.a) / (l.b - m.b)
+	if !(wt > 0 && wt < 1) {
+		return 0, false
+	}
+	return wt, true
+}
+
+// prefEvent is one crossing of a missing object's line.
+type prefEvent struct {
+	wt       float64
+	mIdx     int       // index into the missing set
+	other    scoreLine // the line crossing the missing object's line
+	wasAbove bool      // other above missing before the crossing
+}
+
+// AdjustPreference answers the preference-adjusted why-not query
+// (Definition 2): it returns the refined query (loc, doc, k′, w⃗′) with
+// minimum penalty Eqn 3 whose result contains every missing object.
+func (e *Engine) AdjustPreference(q score.Query, missing []object.ID, opts PreferenceOptions) (PreferenceResult, error) {
+	s, objs, rankBefore, err := e.validateWhyNot(q, missing)
+	if err != nil {
+		return PreferenceResult{}, err
+	}
+	if err := validateLambda(opts.Lambda); err != nil {
+		return PreferenceResult{}, err
+	}
+	switch opts.Algorithm {
+	case PrefSweep, PrefSweepIndexed:
+		return e.adjustBySweep(s, objs, rankBefore, opts)
+	case PrefSampling:
+		return e.adjustBySampling(s, objs, rankBefore, opts)
+	default:
+		return PreferenceResult{}, fmt.Errorf("core: unknown preference algorithm %d", opts.Algorithm)
+	}
+}
+
+// prefPenalty evaluates Eqn 3.
+func prefPenalty(q score.Query, lambda float64, rankBefore, rankAfter int, wtNew float64) (penalty float64, deltaK int, deltaW float64) {
+	deltaK = rankAfter - q.K
+	if deltaK < 0 {
+		deltaK = 0
+	}
+	w2 := score.WeightsFromWt(wtNew)
+	deltaW = q.W.Dist(w2)
+	kNorm := float64(rankBefore - q.K)
+	wNorm := math.Sqrt(1 + q.W.Ws*q.W.Ws + q.W.Wt*q.W.Wt)
+	penalty = lambda*float64(deltaK)/kNorm + (1-lambda)*deltaW/wNorm
+	return penalty, deltaK, deltaW
+}
+
+// crossingNudge is how far past a crossing point a candidate weight is
+// placed. Ranks are piecewise constant between crossings and the rank a
+// refinement is after is attained on the far side of the crossing (at
+// the crossing itself, ties can resolve against the missing object), so
+// the minimum-penalty weight is the crossing plus an arbitrarily small
+// step away from the initial weight. The nudge realizes that step; it
+// also keeps the refined query's re-evaluated scores clear of the exact
+// tie, where floating point could order either way.
+const crossingNudge = 1e-9
+
+// adjustBySweep implements the exact algorithm of [5]: build the crossing
+// events of every missing object's line, sweep them in wt order
+// maintaining each missing object's rank incrementally (the rank update
+// theorem), and evaluate penalty Eqn 3 at every intersection, nudged one
+// epsilon past the crossing away from the initial weight.
+func (e *Engine) adjustBySweep(s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+	q := s.Query
+	mLines := make([]scoreLine, len(objs))
+	for i, o := range objs {
+		mLines[i] = lineOf(s, o)
+	}
+
+	var events []prefEvent
+	curAbove := make([]int, len(objs)) // objects above m in the current interval
+
+	addObject := func(line scoreLine) {
+		for mi, ml := range mLines {
+			if line.id == ml.id {
+				continue
+			}
+			above0 := line.aboveNear0(ml)
+			if wt, ok := line.crossing(ml); ok {
+				events = append(events, prefEvent{wt: wt, mIdx: mi, other: line, wasAbove: above0})
+				if above0 {
+					curAbove[mi]++
+				}
+			} else if above0 {
+				curAbove[mi]++ // above on the whole interval
+			}
+		}
+	}
+
+	if opts.Algorithm == PrefSweep {
+		// Missing objects are competitors of each other too, so no
+		// object other than m itself is skipped (addObject handles it).
+		for _, o := range e.coll.All() {
+			addObject(lineOf(s, o))
+		}
+	} else {
+		e.collectCrossings(s, mLines, curAbove, &events)
+	}
+
+	sort.Slice(events, func(i, j int) bool { return events[i].wt < events[j].wt })
+
+	// Candidate 0: keep w⃗, only enlarge k. Penalty λ·1 + (1−λ)·0 = λ.
+	best := PreferenceResult{
+		Refined:    q.WithWeights(q.W),
+		Penalty:    opts.Lambda,
+		DeltaK:     rankBefore - q.K,
+		DeltaW:     0,
+		RankBefore: rankBefore,
+		RankAfter:  rankBefore,
+		Candidates: 1,
+	}
+	best.Refined.K = rankBefore
+
+	update := func(wt float64, rankAfter int) {
+		pen, dk, dw := prefPenalty(q, opts.Lambda, rankBefore, rankAfter, wt)
+		better := pen < best.Penalty-1e-15 ||
+			(math.Abs(pen-best.Penalty) <= 1e-15 && dw < best.DeltaW)
+		if better {
+			refined := q.WithWeights(score.WeightsFromWt(wt))
+			if rankAfter > q.K {
+				refined.K = rankAfter
+			}
+			best = PreferenceResult{
+				Refined: refined, Penalty: pen, DeltaK: dk, DeltaW: dw,
+				RankBefore: rankBefore, RankAfter: rankAfter,
+				Candidates: best.Candidates,
+			}
+		}
+	}
+
+	// Sweep groups of events sharing one intersection wt, ascending.
+	// curAbove always holds the interval counts between the previous
+	// group and the current one.
+	wt0 := q.W.Wt
+	prevWt := 0.0
+	for gi := 0; gi < len(events); {
+		gj := gi
+		wt := events[gi].wt
+		for gj < len(events) && events[gj].wt == wt {
+			gj++
+		}
+		nextWt := 1.0
+		if gj < len(events) {
+			nextWt = events[gj].wt
+		}
+
+		worstBefore := 0 // interval (prevWt, wt)
+		for mi := range mLines {
+			if r := 1 + curAbove[mi]; r > worstBefore {
+				worstBefore = r
+			}
+		}
+		// Apply the flips for the interval after wt.
+		for _, ev := range events[gi:gj] {
+			if ev.wasAbove {
+				curAbove[ev.mIdx]--
+			} else {
+				curAbove[ev.mIdx]++
+			}
+		}
+		worstAfter := 0 // interval (wt, nextWt)
+		for mi := range mLines {
+			if r := 1 + curAbove[mi]; r > worstAfter {
+				worstAfter = r
+			}
+		}
+
+		// The candidate weight steps just past the crossing, away from
+		// the initial weight, into the interval whose rank it attains.
+		if wt < wt0 {
+			if cand := wt - min2(crossingNudge, (wt-prevWt)/2, wt/2); cand > 0 && cand < wt {
+				best.Candidates++
+				update(cand, worstBefore)
+			}
+		} else {
+			if cand := wt + min2(crossingNudge, (nextWt-wt)/2, (1-wt)/2); cand < 1 && cand > wt {
+				best.Candidates++
+				update(cand, worstAfter)
+			}
+		}
+		prevWt = wt
+		gi = gj
+	}
+	return best, nil
+}
+
+func min2(a, b, c float64) float64 {
+	return math.Min(a, math.Min(b, c))
+}
+
+// collectCrossings is the indexed event construction: a KcR-tree descent
+// per missing object that prunes subtrees whose score bounds prove every
+// object stays on one side of the missing object's line over the whole
+// weight interval — the index-based analogue of the paper's two range
+// queries over segment endpoints.
+func (e *Engine) collectCrossings(s score.Scorer, mLines []scoreLine, curAbove []int, events *[]prefEvent) {
+	root := e.kc.Tree().Root()
+	if root == nil {
+		return
+	}
+	stats := e.kc.Stats()
+	for mi, ml := range mLines {
+		m0, m1 := ml.a, ml.a+ml.b // scores of m at wt = 0 and wt = 1
+		var walk func(n *rtree.Node[object.Object, kcrtree.Aug])
+		walk = func(n *rtree.Node[object.Object, kcrtree.Aug]) {
+			stats.AddNodeAccesses(1)
+			if n.IsLeaf() {
+				for _, en := range n.Entries() {
+					if en.Item.ID == ml.id {
+						continue
+					}
+					line := lineOf(s, en.Item)
+					above0 := line.aboveNear0(ml)
+					if wt, ok := line.crossing(ml); ok {
+						*events = append(*events, prefEvent{wt: wt, mIdx: mi, other: line, wasAbove: above0})
+						if above0 {
+							curAbove[mi]++
+						}
+					} else if above0 {
+						curAbove[mi]++
+					}
+				}
+				return
+			}
+			for _, c := range n.Children() {
+				// Subtree score bounds at the two endpoints of the
+				// weight interval: a = 1 − SDist ∈ [aLo, aHi] and the
+				// Jaccard bounds give the wt = 1 endpoint.
+				tLo, tHi := kcrtree.TSimBounds(c.Aug(), s.Query.Doc, s.Query.Sim)
+				aLo := 1 - s.SDistRectMax(c.Rect())
+				aHi := 1 - s.SDistRectMin(c.Rect())
+				if aHi < m0 && tHi < m1 {
+					continue // strictly below m at both ends: never above, never crossing
+				}
+				if aLo > m0 && tLo > m1 {
+					curAbove[mi] += int(c.Aug().Cnt) // strictly above throughout
+					continue
+				}
+				walk(c)
+			}
+		}
+		walk(root)
+	}
+}
+
+// adjustBySampling evaluates a uniform grid of wt values, computing
+// R(M, q′) through the SetR-tree rank primitive. Approximate: the best
+// grid point's penalty upper-bounds the optimum.
+func (e *Engine) adjustBySampling(s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+	q := s.Query
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 64
+	}
+	best := PreferenceResult{
+		Refined:    q,
+		Penalty:    opts.Lambda,
+		DeltaK:     rankBefore - q.K,
+		RankBefore: rankBefore,
+		RankAfter:  rankBefore,
+		Candidates: 1,
+	}
+	best.Refined.K = rankBefore
+	for i := 1; i <= samples; i++ {
+		wt := float64(i) / float64(samples+1)
+		s2 := score.Scorer{Query: q.WithWeights(score.WeightsFromWt(wt)), MaxDist: s.MaxDist}
+		worst := 0
+		for _, o := range objs {
+			if r := e.set.RankOf(s2, o.ID); r > worst {
+				worst = r
+			}
+		}
+		pen, dk, dw := prefPenalty(q, opts.Lambda, rankBefore, worst, wt)
+		best.Candidates++
+		if pen < best.Penalty-1e-15 || (math.Abs(pen-best.Penalty) <= 1e-15 && dw < best.DeltaW) {
+			refined := q.WithWeights(score.WeightsFromWt(wt))
+			if worst > q.K {
+				refined.K = worst
+			}
+			best = PreferenceResult{
+				Refined: refined, Penalty: pen, DeltaK: dk, DeltaW: dw,
+				RankBefore: rankBefore, RankAfter: worst,
+				Candidates: best.Candidates,
+			}
+		}
+	}
+	return best, nil
+}

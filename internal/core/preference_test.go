@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+// prefOracle computes the exact minimum-penalty preference refinement by
+// brute force: enumerate every interior crossing of every missing
+// object's score line with every other object's line, and evaluate the
+// penalty at each candidate with full-scan rank computation.
+func prefOracle(e *Engine, q score.Query, missing []object.ID, lambda float64) PreferenceResult {
+	s := score.NewScorer(q, e.Collection())
+	mObjs := make([]object.Object, len(missing))
+	for i, id := range missing {
+		mObjs[i] = e.Collection().Get(id)
+	}
+	rankBefore := 0
+	for _, m := range mObjs {
+		if r := settree.ScanRank(e.Collection(), s, m.ID); r > rankBefore {
+			rankBefore = r
+		}
+	}
+	// Candidates step one nudge past each crossing, away from the
+	// initial weight — the same semantics the sweep realizes.
+	candidates := []float64{}
+	for _, m := range mObjs {
+		ml := lineOf(s, m)
+		for _, o := range e.Collection().All() {
+			if o.ID == m.ID {
+				continue
+			}
+			if wt, ok := lineOf(s, o).crossing(ml); ok {
+				if wt < q.W.Wt {
+					wt -= crossingNudge
+				} else {
+					wt += crossingNudge
+				}
+				if wt > 0 && wt < 1 {
+					candidates = append(candidates, wt)
+				}
+			}
+		}
+	}
+	best := PreferenceResult{
+		Refined: q, Penalty: lambda,
+		DeltaK: rankBefore - q.K, RankBefore: rankBefore, RankAfter: rankBefore,
+	}
+	best.Refined.K = rankBefore
+	for _, wt := range candidates {
+		s2 := score.Scorer{Query: q.WithWeights(score.WeightsFromWt(wt)), MaxDist: s.MaxDist}
+		worst := 0
+		for _, m := range mObjs {
+			if r := settree.ScanRank(e.Collection(), s2, m.ID); r > worst {
+				worst = r
+			}
+		}
+		pen, dk, dw := prefPenalty(q, lambda, rankBefore, worst, wt)
+		if pen < best.Penalty-1e-15 || (math.Abs(pen-best.Penalty) <= 1e-15 && dw < best.DeltaW) {
+			refined := q.WithWeights(score.WeightsFromWt(wt))
+			if worst > q.K {
+				refined.K = worst
+			}
+			best = PreferenceResult{
+				Refined: refined, Penalty: pen, DeltaK: dk, DeltaW: dw,
+				RankBefore: rankBefore, RankAfter: worst,
+			}
+		}
+	}
+	return best
+}
+
+// assertRevived checks the defining property of Definitions 2 and 3: the
+// refined query's result contains every missing object.
+func assertRevived(t *testing.T, e *Engine, refined score.Query, missing []object.ID) {
+	t.Helper()
+	res, err := e.TopK(refined)
+	if err != nil {
+		t.Fatalf("refined query invalid: %v", err)
+	}
+	in := map[object.ID]bool{}
+	for _, r := range res {
+		in[r.Obj.ID] = true
+	}
+	for _, id := range missing {
+		if !in[id] {
+			t.Fatalf("missing object %d not revived by refined query %+v", id, refined)
+		}
+	}
+}
+
+func prefWorkload(t *testing.T, e *Engine, ds *dataset.Dataset, seed int64, k, kw, nMiss int) (score.Query, []object.ID) {
+	t.Helper()
+	q := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: 1, Seed: seed, K: k, Keywords: kw, W: score.DefaultWeights, FromObjectDocs: true,
+	})[0]
+	return q, missingFromResult(e, q, nMiss)
+}
+
+func TestAdjustPreferenceRevivesMissing(t *testing.T) {
+	e, ds := testEngine(t, 400, 10)
+	for seed := int64(0); seed < 8; seed++ {
+		q, miss := prefWorkload(t, e, ds, seed, 5, 2, 2)
+		for _, alg := range []PreferenceAlgorithm{PrefSweepIndexed, PrefSweep, PrefSampling} {
+			res, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.5, Algorithm: alg})
+			if err != nil {
+				t.Fatalf("seed %d alg %v: %v", seed, alg, err)
+			}
+			assertRevived(t, e, res.Refined, miss)
+			if res.RankBefore <= q.K {
+				t.Fatal("rank before must exceed k")
+			}
+			if res.Penalty < 0 || res.Penalty > 1+1e-12 {
+				t.Fatalf("penalty %v out of range", res.Penalty)
+			}
+		}
+	}
+}
+
+func TestAdjustPreferenceSweepMatchesOracle(t *testing.T) {
+	e, ds := testEngine(t, 250, 11)
+	for seed := int64(0); seed < 10; seed++ {
+		q, miss := prefWorkload(t, e, ds, seed, 4, 2, 1+int(seed)%3)
+		for _, lambda := range []float64{0.2, 0.5, 0.8} {
+			want := prefOracle(e, q, miss, lambda)
+			for _, alg := range []PreferenceAlgorithm{PrefSweep, PrefSweepIndexed} {
+				got, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: lambda, Algorithm: alg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got.Penalty-want.Penalty) > 1e-6 {
+					t.Fatalf("seed %d λ=%v alg %v: penalty %v, oracle %v (wt %v vs %v)",
+						seed, lambda, alg, got.Penalty, want.Penalty, got.Refined.W, want.Refined.W)
+				}
+				if got.RankBefore != want.RankBefore {
+					t.Fatalf("rankBefore %d, oracle %d", got.RankBefore, want.RankBefore)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjustPreferenceSweepVariantsAgree(t *testing.T) {
+	e, ds := testEngine(t, 600, 12)
+	for seed := int64(20); seed < 26; seed++ {
+		q, miss := prefWorkload(t, e, ds, seed, 5, 3, 2)
+		a, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.5, Algorithm: PrefSweep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.5, Algorithm: PrefSweepIndexed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Penalty-b.Penalty) > 1e-12 {
+			t.Fatalf("seed %d: scan %v vs indexed %v", seed, a.Penalty, b.Penalty)
+		}
+		if a.Refined.W != b.Refined.W || a.RankAfter != b.RankAfter {
+			t.Fatalf("seed %d: refined differ: %+v vs %+v", seed, a, b)
+		}
+		if a.Candidates != b.Candidates {
+			t.Fatalf("seed %d: candidate counts differ: %d vs %d", seed, a.Candidates, b.Candidates)
+		}
+	}
+}
+
+func TestAdjustPreferenceSamplingNeverBeatsExact(t *testing.T) {
+	e, ds := testEngine(t, 300, 13)
+	for seed := int64(30); seed < 36; seed++ {
+		q, miss := prefWorkload(t, e, ds, seed, 5, 2, 1)
+		exact, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.5, Algorithm: PrefSweep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.5, Algorithm: PrefSampling, Samples: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approx.Penalty < exact.Penalty-1e-6 {
+			t.Fatalf("seed %d: sampling %v beat exact %v", seed, approx.Penalty, exact.Penalty)
+		}
+		assertRevived(t, e, approx.Refined, miss)
+	}
+}
+
+func TestAdjustPreferencePenaltyDecomposition(t *testing.T) {
+	e, ds := testEngine(t, 300, 14)
+	q, miss := prefWorkload(t, e, ds, 40, 5, 2, 2)
+	res, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.3, Algorithm: PrefSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kNorm := float64(res.RankBefore - q.K)
+	wNorm := math.Sqrt(1 + q.W.Ws*q.W.Ws + q.W.Wt*q.W.Wt)
+	want := 0.3*float64(res.DeltaK)/kNorm + 0.7*res.DeltaW/wNorm
+	if math.Abs(res.Penalty-want) > 1e-12 {
+		t.Fatalf("penalty %v, recomputed %v", res.Penalty, want)
+	}
+	// DeltaW must match the weight vectors.
+	if got := q.W.Dist(res.Refined.W); math.Abs(got-res.DeltaW) > 1e-12 {
+		t.Fatalf("DeltaW %v, vectors say %v", res.DeltaW, got)
+	}
+	// Refined K follows the paper: max(q.k, R(M, q')).
+	wantK := q.K
+	if res.RankAfter > q.K {
+		wantK = res.RankAfter
+	}
+	if res.Refined.K != wantK {
+		t.Fatalf("refined K %d, want %d", res.Refined.K, wantK)
+	}
+}
+
+func TestAdjustPreferenceLambdaExtremes(t *testing.T) {
+	e, ds := testEngine(t, 300, 15)
+	q, miss := prefWorkload(t, e, ds, 50, 5, 2, 1)
+	// λ = 0: only weight movement is penalized; keeping w⃗ and enlarging
+	// k costs 0, so that must be the optimum.
+	res0, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0, Algorithm: PrefSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Penalty != 0 || res0.DeltaW != 0 {
+		t.Fatalf("λ=0: penalty %v ΔW %v; keeping weights should be free", res0.Penalty, res0.DeltaW)
+	}
+	assertRevived(t, e, res0.Refined, miss)
+	// λ = 1: only Δk is penalized; the optimum minimizes the refined
+	// rank regardless of weight movement.
+	res1, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 1, Algorithm: PrefSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRevived(t, e, res1.Refined, miss)
+	if res1.RankAfter > res0.RankAfter {
+		t.Fatalf("λ=1 should minimize rank: got %d vs λ=0's %d", res1.RankAfter, res0.RankAfter)
+	}
+}
+
+func TestAdjustPreferenceInvalidInputs(t *testing.T) {
+	e, ds := testEngine(t, 100, 16)
+	q, miss := prefWorkload(t, e, ds, 60, 3, 2, 1)
+	if _, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: -1}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := e.AdjustPreference(q, miss, PreferenceOptions{Lambda: 0.5, Algorithm: PreferenceAlgorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := e.AdjustPreference(q, nil, PreferenceOptions{Lambda: 0.5}); err == nil {
+		t.Error("no missing objects accepted")
+	}
+}
+
+func TestScoreLineGeometry(t *testing.T) {
+	// f_a(wt) = 0.8 − 0.6wt; f_b(wt) = 0.2 + 0.6wt → cross at wt = 0.5.
+	a := scoreLine{a: 0.8, b: -0.6, id: 0}
+	b := scoreLine{a: 0.2, b: 0.6, id: 1}
+	if !a.aboveNear0(b) || a.aboveNear1(b) {
+		t.Fatal("endpoint orders wrong")
+	}
+	wt, ok := a.crossing(b)
+	if !ok || math.Abs(wt-0.5) > 1e-12 {
+		t.Fatalf("crossing = %v, %v", wt, ok)
+	}
+	// Parallel lines never cross.
+	c := scoreLine{a: 0.5, b: -0.6, id: 2}
+	if _, ok := a.crossing(c); ok {
+		t.Fatal("parallel lines reported crossing")
+	}
+	// Identical lines tie by ID and never cross.
+	d := scoreLine{a: 0.8, b: -0.6, id: 3}
+	if _, ok := a.crossing(d); ok {
+		t.Fatal("identical lines reported crossing")
+	}
+	if !a.aboveNear0(d) || !a.aboveNear1(d) {
+		t.Fatal("identical lines: smaller ID should be above")
+	}
+	if d.aboveNear0(a) {
+		t.Fatal("identical lines: larger ID should be below")
+	}
+	// Crossing exactly at an endpoint is not interior.
+	ep := scoreLine{a: 0.8, b: 0.6, id: 4} // equal to a at wt=0
+	if _, ok := ep.crossing(a); ok {
+		t.Fatal("endpoint-touching lines reported interior crossing")
+	}
+}
+
+func TestPrefPenaltyFormula(t *testing.T) {
+	q := score.Query{K: 3, W: score.DefaultWeights}
+	// rankBefore 8, rankAfter 5, wt 0.7.
+	pen, dk, dw := prefPenalty(q, 0.5, 8, 5, 0.7)
+	if dk != 2 {
+		t.Fatalf("dk = %d", dk)
+	}
+	wantDW := math.Sqrt(2 * 0.2 * 0.2)
+	if math.Abs(dw-wantDW) > 1e-12 {
+		t.Fatalf("dw = %v, want %v", dw, wantDW)
+	}
+	wantPen := 0.5*2/5 + 0.5*wantDW/math.Sqrt(1.5)
+	if math.Abs(pen-wantPen) > 1e-12 {
+		t.Fatalf("penalty = %v, want %v", pen, wantPen)
+	}
+	// Rank already within k: Δk clamps to 0.
+	if _, dk, _ := prefPenalty(q, 0.5, 8, 2, 0.5); dk != 0 {
+		t.Fatalf("dk = %d, want 0", dk)
+	}
+}

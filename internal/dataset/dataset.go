@@ -1,0 +1,339 @@
+// Package dataset builds the data the YASK demo and benches run on.
+//
+// The paper demonstrates on 539 Hong Kong hotels crawled from
+// booking.com, with keyword sets extracted from hotel facilities and
+// user comments. That crawl is not redistributable, so HKHotels
+// generates a deterministic synthetic stand-in with the same published
+// statistics: 539 hotels, clustered around real Hong Kong district
+// coordinates, described by facility/comment vocabulary whose
+// frequencies follow the heavy-tailed (Zipf-like) distribution real
+// amenity keywords show. Generate scales the same recipe to the
+// "millions of objects" regime the paper claims the engines support.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// Dataset is a generated or loaded collection plus its vocabulary.
+type Dataset struct {
+	Objects *object.Collection
+	Vocab   *vocab.Vocabulary
+}
+
+// SpatialDist selects the spatial layout of generated objects.
+type SpatialDist int
+
+const (
+	// Uniform scatters locations uniformly over the unit square scaled
+	// by Extent.
+	Uniform SpatialDist = iota
+	// Clustered draws locations from Gaussian clusters, the layout of
+	// real points of interest in cities.
+	Clustered
+)
+
+// Config parameterizes Generate. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// N is the number of objects.
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Spatial selects the location layout.
+	Spatial SpatialDist
+	// Extent is the side length of the square data space.
+	Extent float64
+	// Clusters is the number of Gaussian clusters (Clustered only).
+	Clusters int
+	// ClusterStd is the cluster standard deviation relative to Extent.
+	ClusterStd float64
+	// VocabSize is the number of distinct keywords.
+	VocabSize int
+	// ZipfS is the Zipf exponent of keyword frequencies (> 1).
+	ZipfS float64
+	// MinKeywords and MaxKeywords bound keywords per object.
+	MinKeywords, MaxKeywords int
+}
+
+// DefaultConfig returns the configuration the benches use as baseline:
+// a clustered city-like layout with a heavy-tailed facility vocabulary.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		N:          n,
+		Seed:       seed,
+		Spatial:    Clustered,
+		Extent:     1000,
+		Clusters:   16,
+		ClusterStd: 0.04,
+		// Vocabulary statistics follow real POI tag sets: thousands of
+		// distinct terms with a heavy but not degenerate tail, so that
+		// document frequencies span common ("wifi") to rare ("rooftop
+		// shisha") — the regime the textual index bounds matter in.
+		VocabSize:   2000,
+		ZipfS:       1.15,
+		MinKeywords: 3,
+		MaxKeywords: 12,
+	}
+}
+
+func (c Config) validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("dataset: negative N %d", c.N)
+	}
+	if c.VocabSize < 1 {
+		return fmt.Errorf("dataset: vocab size %d < 1", c.VocabSize)
+	}
+	if c.MinKeywords < 1 || c.MaxKeywords < c.MinKeywords {
+		return fmt.Errorf("dataset: keyword bounds [%d,%d] invalid", c.MinKeywords, c.MaxKeywords)
+	}
+	if c.MaxKeywords > c.VocabSize {
+		return fmt.Errorf("dataset: MaxKeywords %d exceeds vocabulary %d", c.MaxKeywords, c.VocabSize)
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("dataset: Zipf exponent %v must be > 1", c.ZipfS)
+	}
+	if c.Extent <= 0 {
+		return fmt.Errorf("dataset: extent %v must be positive", c.Extent)
+	}
+	if c.Spatial == Clustered && c.Clusters < 1 {
+		return fmt.Errorf("dataset: clustered layout needs at least 1 cluster")
+	}
+	return nil
+}
+
+// Generate produces a synthetic dataset according to cfg. The same cfg
+// always yields the same dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := vocab.NewVocabulary()
+	// Synthetic vocabulary: kw0000 … kwNNNN. Word identity does not
+	// matter for the engines; frequency distribution does.
+	words := make([]vocab.Keyword, cfg.VocabSize)
+	for i := range words {
+		words[i] = v.Intern(fmt.Sprintf("kw%04d", i))
+	}
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+
+	var centers []geo.Point
+	if cfg.Spatial == Clustered {
+		centers = make([]geo.Point, cfg.Clusters)
+		for i := range centers {
+			centers[i] = geo.Point{X: rng.Float64() * cfg.Extent, Y: rng.Float64() * cfg.Extent}
+		}
+	}
+
+	objs := make([]object.Object, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		var loc geo.Point
+		switch cfg.Spatial {
+		case Uniform:
+			loc = geo.Point{X: rng.Float64() * cfg.Extent, Y: rng.Float64() * cfg.Extent}
+		case Clustered:
+			c := centers[rng.Intn(len(centers))]
+			std := cfg.ClusterStd * cfg.Extent
+			loc = geo.Point{
+				X: clamp(c.X+rng.NormFloat64()*std, 0, cfg.Extent),
+				Y: clamp(c.Y+rng.NormFloat64()*std, 0, cfg.Extent),
+			}
+		}
+		nk := cfg.MinKeywords + rng.Intn(cfg.MaxKeywords-cfg.MinKeywords+1)
+		ids := make([]vocab.Keyword, 0, nk)
+		for len(vocab.NewKeywordSet(ids...)) < nk {
+			ids = append(ids, words[zipf.Uint64()])
+		}
+		objs[i] = object.Object{
+			ID:   object.ID(i),
+			Loc:  loc,
+			Doc:  vocab.NewKeywordSet(ids...),
+			Name: fmt.Sprintf("obj-%06d", i),
+		}
+	}
+	return &Dataset{Objects: object.NewCollection(objs), Vocab: v}, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// hkDistricts are the demo's spatial clusters: Hong Kong districts with
+// hotel density weights. Coordinates are (longitude, latitude).
+var hkDistricts = []struct {
+	name   string
+	center geo.Point
+	weight int
+}{
+	{"Central", geo.Point{X: 114.158, Y: 22.281}, 9},
+	{"Wan Chai", geo.Point{X: 114.173, Y: 22.277}, 8},
+	{"Causeway Bay", geo.Point{X: 114.184, Y: 22.280}, 8},
+	{"Tsim Sha Tsui", geo.Point{X: 114.172, Y: 22.298}, 10},
+	{"Jordan", geo.Point{X: 114.171, Y: 22.305}, 7},
+	{"Mong Kok", geo.Point{X: 114.169, Y: 22.319}, 7},
+	{"Sheung Wan", geo.Point{X: 114.150, Y: 22.287}, 5},
+	{"North Point", geo.Point{X: 114.200, Y: 22.291}, 4},
+	{"Hung Hom", geo.Point{X: 114.182, Y: 22.306}, 3},
+	{"Kowloon Bay", geo.Point{X: 114.214, Y: 22.323}, 2},
+	{"Tung Chung", geo.Point{X: 113.941, Y: 22.289}, 1},
+	{"Sha Tin", geo.Point{X: 114.188, Y: 22.381}, 1},
+}
+
+// hkFacilities is the facility/comment vocabulary of the demo dataset,
+// ordered by descending real-world frequency; the generator assigns them
+// Zipf-decaying probabilities in this order.
+var hkFacilities = []string{
+	"wifi", "clean", "comfortable", "breakfast", "restaurant", "bar",
+	"gym", "pool", "spa", "harbour", "view", "metro", "shuttle",
+	"luxury", "budget", "family", "business", "quiet", "modern",
+	"spacious", "rooftop", "parking", "laundry", "concierge", "airport",
+	"seaview", "boutique", "historic", "shopping", "nightlife", "pets",
+	"accessible", "kitchen", "balcony", "terrace", "lounge", "sauna",
+	"coffee", "tea", "minibar", "safe", "desk", "aircon", "heating",
+	"soundproof", "nonsmoking", "smoking", "suite", "penthouse", "hostel",
+}
+
+// hotelAdjectives and hotelNouns build synthetic hotel names.
+var hotelAdjectives = []string{
+	"Grand", "Royal", "Harbour", "Golden", "Imperial", "Pearl", "Jade",
+	"Lucky", "Silver", "Crystal", "Island", "Garden", "Star", "Dragon",
+	"Victoria", "Panorama", "Metro", "City", "Bay", "Peak",
+}
+var hotelNouns = []string{
+	"Hotel", "Inn", "Suites", "Residence", "Lodge", "Palace", "House",
+	"Court", "Plaza", "Mansion",
+}
+
+// HKHotelCount is the size of the demo dataset, matching the 539 hotels
+// of the paper's Section 4.
+const HKHotelCount = 539
+
+// HKHotels returns the deterministic synthetic stand-in for the demo's
+// Hong Kong hotel dataset: exactly 539 hotels clustered around real
+// district coordinates with facility/comment keyword sets.
+func HKHotels() *Dataset {
+	rng := rand.New(rand.NewSource(20160913)) // PVLDB Vol 9 No 13.
+	v := vocab.NewVocabulary()
+	facilityIDs := make([]vocab.Keyword, len(hkFacilities))
+	for i, w := range hkFacilities {
+		facilityIDs[i] = v.Intern(w)
+	}
+	zipf := rand.NewZipf(rng, 1.2, 1.8, uint64(len(hkFacilities)-1))
+
+	totalWeight := 0
+	for _, d := range hkDistricts {
+		totalWeight += d.weight
+	}
+
+	objs := make([]object.Object, HKHotelCount)
+	for i := range objs {
+		// Weighted district choice.
+		pick := rng.Intn(totalWeight)
+		di := 0
+		for acc := 0; ; di++ {
+			acc += hkDistricts[di].weight
+			if pick < acc {
+				break
+			}
+		}
+		d := hkDistricts[di]
+		// ~0.004° ≈ 400 m standard deviation around the district core.
+		loc := geo.Point{
+			X: d.center.X + rng.NormFloat64()*0.004,
+			Y: d.center.Y + rng.NormFloat64()*0.004,
+		}
+		nk := 4 + rng.Intn(9) // 4..12 facility keywords
+		ids := make([]vocab.Keyword, 0, nk)
+		for len(vocab.NewKeywordSet(ids...)) < nk {
+			ids = append(ids, facilityIDs[zipf.Uint64()])
+		}
+		name := fmt.Sprintf("%s %s %s",
+			hotelAdjectives[rng.Intn(len(hotelAdjectives))],
+			hotelNouns[rng.Intn(len(hotelNouns))],
+			d.name)
+		objs[i] = object.Object{
+			ID:   object.ID(i),
+			Loc:  loc,
+			Doc:  vocab.NewKeywordSet(ids...),
+			Name: name,
+		}
+	}
+	return &Dataset{Objects: object.NewCollection(objs), Vocab: v}
+}
+
+// WorkloadConfig parameterizes query generation.
+type WorkloadConfig struct {
+	// Queries is the number of queries to generate.
+	Queries int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// K is the result size of each query.
+	K int
+	// Keywords is the number of query keywords.
+	Keywords int
+	// W is the preference weight vector.
+	W score.Weights
+	// FromObjectDocs draws query keywords from a random object's
+	// document (guaranteeing non-trivial textual matches, the way real
+	// users query for things that exist) instead of uniformly from the
+	// vocabulary.
+	FromObjectDocs bool
+}
+
+// Workload generates queries over ds: locations are perturbed object
+// locations (users stand near things), keywords per cfg.
+func Workload(ds *Dataset, cfg WorkloadConfig) []score.Query {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ds.Objects.Len()
+	if n == 0 || cfg.Queries <= 0 {
+		return nil
+	}
+	space := ds.Objects.Space()
+	jitter := space.Diagonal() * 0.02
+	queries := make([]score.Query, cfg.Queries)
+	for qi := range queries {
+		anchor := ds.Objects.Get(object.ID(rng.Intn(n)))
+		loc := geo.Point{
+			X: anchor.Loc.X + (rng.Float64()*2-1)*jitter,
+			Y: anchor.Loc.Y + (rng.Float64()*2-1)*jitter,
+		}
+		var doc vocab.KeywordSet
+		if cfg.FromObjectDocs {
+			// Draw keywords from the anchor's own document: users ask
+			// for things that exist near where they stand (the paper's
+			// Example 1 — Bob queries "coffee" near a cafe).
+			src := anchor.Doc
+			for doc.Len() < cfg.Keywords {
+				if doc.Len() >= src.Len() {
+					// Anchor doc exhausted; top up from another object.
+					src = src.Union(ds.Objects.Get(object.ID(rng.Intn(n))).Doc)
+					continue
+				}
+				doc = doc.Add(src[rng.Intn(src.Len())])
+			}
+		} else {
+			for doc.Len() < cfg.Keywords {
+				doc = doc.Add(vocab.Keyword(rng.Intn(ds.Vocab.Len())))
+			}
+		}
+		queries[qi] = score.Query{Loc: loc, Doc: doc, K: cfg.K, W: cfg.W}
+	}
+	return queries
+}
+
+// Describe returns a short human-readable summary of the dataset.
+func (d *Dataset) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d objects, %d keywords, space %s",
+		d.Objects.Len(), d.Vocab.Len(), d.Objects.Space())
+	return b.String()
+}

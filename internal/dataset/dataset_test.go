@@ -1,0 +1,280 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(200, 42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objects.Len() != 200 || b.Objects.Len() != 200 {
+		t.Fatalf("sizes %d/%d", a.Objects.Len(), b.Objects.Len())
+	}
+	for i := 0; i < 200; i++ {
+		oa, ob := a.Objects.Get(object.ID(i)), b.Objects.Get(object.ID(i))
+		if oa.Loc != ob.Loc || !oa.Doc.Equal(ob.Doc) {
+			t.Fatalf("object %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(DefaultConfig(50, 1))
+	b, _ := Generate(DefaultConfig(50, 2))
+	same := true
+	for i := 0; i < 50; i++ {
+		if a.Objects.Get(object.ID(i)).Loc != b.Objects.Get(object.ID(i)).Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical locations")
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	cfg := DefaultConfig(300, 7)
+	cfg.MinKeywords, cfg.MaxKeywords = 2, 5
+	cfg.Extent = 100
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := ds.Objects.Space()
+	for _, o := range ds.Objects.All() {
+		if n := o.Doc.Len(); n < 2 || n > 5 {
+			t.Fatalf("object %d has %d keywords, want [2,5]", o.ID, n)
+		}
+		if o.Loc.X < 0 || o.Loc.X > 100 || o.Loc.Y < 0 || o.Loc.Y > 100 {
+			t.Fatalf("object %d at %v outside extent", o.ID, o.Loc)
+		}
+		if !o.Doc.Canonical() {
+			t.Fatalf("object %d doc not canonical", o.ID)
+		}
+	}
+	if space.Width() > 100 || space.Height() > 100 {
+		t.Fatalf("space %v larger than extent", space)
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	cfg := DefaultConfig(500, 3)
+	cfg.Spatial = Uniform
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform data should spread over most of the extent.
+	if ds.Objects.Space().Width() < cfg.Extent/2 {
+		t.Fatalf("uniform data suspiciously narrow: %v", ds.Objects.Space())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{N: -1, VocabSize: 10, MinKeywords: 1, MaxKeywords: 2, ZipfS: 1.5, Extent: 1, Clusters: 1},
+		{N: 10, VocabSize: 0, MinKeywords: 1, MaxKeywords: 2, ZipfS: 1.5, Extent: 1, Clusters: 1},
+		{N: 10, VocabSize: 10, MinKeywords: 0, MaxKeywords: 2, ZipfS: 1.5, Extent: 1, Clusters: 1},
+		{N: 10, VocabSize: 10, MinKeywords: 3, MaxKeywords: 2, ZipfS: 1.5, Extent: 1, Clusters: 1},
+		{N: 10, VocabSize: 4, MinKeywords: 1, MaxKeywords: 5, ZipfS: 1.5, Extent: 1, Clusters: 1},
+		{N: 10, VocabSize: 10, MinKeywords: 1, MaxKeywords: 2, ZipfS: 0.9, Extent: 1, Clusters: 1},
+		{N: 10, VocabSize: 10, MinKeywords: 1, MaxKeywords: 2, ZipfS: 1.5, Extent: 0, Clusters: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestHKHotels(t *testing.T) {
+	ds := HKHotels()
+	if ds.Objects.Len() != HKHotelCount {
+		t.Fatalf("HKHotels = %d objects, want %d", ds.Objects.Len(), HKHotelCount)
+	}
+	// Deterministic across calls.
+	ds2 := HKHotels()
+	for i := 0; i < HKHotelCount; i++ {
+		a, b := ds.Objects.Get(object.ID(i)), ds2.Objects.Get(object.ID(i))
+		if a.Loc != b.Loc || !a.Doc.Equal(b.Doc) || a.Name != b.Name {
+			t.Fatalf("HKHotels not deterministic at %d", i)
+		}
+	}
+	// All hotels in the Hong Kong bounding box.
+	for _, o := range ds.Objects.All() {
+		if o.Loc.X < 113.8 || o.Loc.X > 114.4 || o.Loc.Y < 22.1 || o.Loc.Y > 22.6 {
+			t.Fatalf("hotel %q at %v outside Hong Kong", o.Name, o.Loc)
+		}
+		if o.Doc.Len() < 4 || o.Doc.Len() > 12 {
+			t.Fatalf("hotel %q has %d keywords", o.Name, o.Doc.Len())
+		}
+		if o.Name == "" {
+			t.Fatal("hotel without name")
+		}
+	}
+	// The demo's query keywords must exist in the vocabulary.
+	for _, w := range []string{"clean", "comfortable", "luxury", "wifi"} {
+		if _, ok := ds.Vocab.Lookup(w); !ok {
+			t.Errorf("keyword %q missing from HK vocabulary", w)
+		}
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	ds := HKHotels()
+	qs := Workload(ds, WorkloadConfig{
+		Queries: 20, Seed: 5, K: 3, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+		if q.Doc.Len() != 2 {
+			t.Fatalf("query %d has %d keywords", i, q.Doc.Len())
+		}
+	}
+	// Deterministic.
+	qs2 := Workload(ds, WorkloadConfig{
+		Queries: 20, Seed: 5, K: 3, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	for i := range qs {
+		if qs[i].Loc != qs2[i].Loc || !qs[i].Doc.Equal(qs2[i].Doc) {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestWorkloadUniformKeywords(t *testing.T) {
+	ds, _ := Generate(DefaultConfig(100, 9))
+	qs := Workload(ds, WorkloadConfig{Queries: 5, Seed: 1, K: 10, Keywords: 3, W: score.DefaultWeights})
+	for _, q := range qs {
+		if q.Doc.Len() != 3 || q.K != 10 {
+			t.Fatalf("bad query %+v", q)
+		}
+	}
+}
+
+func TestWorkloadEmpty(t *testing.T) {
+	ds := &Dataset{Objects: object.NewCollection(nil), Vocab: nil}
+	if qs := Workload(ds, WorkloadConfig{Queries: 5}); qs != nil {
+		t.Fatal("workload over empty dataset should be nil")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := HKHotels()
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDatasets(t, ds, back)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := HKHotels()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDatasets(t, ds, back)
+}
+
+func compareDatasets(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if a.Objects.Len() != b.Objects.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Objects.Len(), b.Objects.Len())
+	}
+	for i := 0; i < a.Objects.Len(); i++ {
+		oa, ob := a.Objects.Get(object.ID(i)), b.Objects.Get(object.ID(i))
+		if oa.Loc != ob.Loc {
+			t.Fatalf("object %d location %v vs %v", i, oa.Loc, ob.Loc)
+		}
+		if oa.Name != ob.Name {
+			t.Fatalf("object %d name %q vs %q", i, oa.Name, ob.Name)
+		}
+		wa := a.Vocab.Words(oa.Doc)
+		wb := b.Vocab.Words(ob.Doc)
+		if len(wa) != len(wb) {
+			t.Fatalf("object %d keyword count %d vs %d", i, len(wa), len(wb))
+		}
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("object %d keyword %q vs %q", i, wa[j], wb[j])
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	ds, _ := Generate(DefaultConfig(50, 11))
+	dir := t.TempDir()
+	for _, name := range []string{"ds.json", "ds.csv"} {
+		path := filepath.Join(dir, name)
+		if err := ds.SaveFile(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		compareDatasets(t, ds, back)
+	}
+	if err := ds.SaveFile(filepath.Join(dir, "ds.xml")); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "ds.xml")); err == nil {
+		t.Fatal("unknown extension accepted on load")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n")); err == nil {
+		t.Fatal("garbage CSV accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("id,name,x,y,keywords\n0,h,notanumber,2,wifi\n")); err == nil {
+		t.Fatal("bad coordinate accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ds := HKHotels()
+	s := ds.Describe()
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// jsonObject is the wire form of one object. Keywords travel as strings
+// so files survive vocabulary re-interning.
+type jsonObject struct {
+	ID       uint32   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords"`
+}
+
+// WriteJSON writes the dataset as a JSON array of objects.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	objs := make([]jsonObject, d.Objects.Len())
+	for i, o := range d.Objects.All() {
+		objs[i] = jsonObject{
+			ID:       uint32(o.ID),
+			Name:     o.Name,
+			X:        o.Loc.X,
+			Y:        o.Loc.Y,
+			Keywords: d.Vocab.Words(o.Doc),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(objs)
+}
+
+// ReadJSON reads a dataset written by WriteJSON. Object IDs are
+// reassigned densely in file order.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var objs []jsonObject
+	if err := json.NewDecoder(r).Decode(&objs); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON: %w", err)
+	}
+	v := vocab.NewVocabulary()
+	out := make([]object.Object, len(objs))
+	for i, jo := range objs {
+		out[i] = object.Object{
+			ID:   object.ID(i),
+			Name: jo.Name,
+			Loc:  geo.Point{X: jo.X, Y: jo.Y},
+			Doc:  v.InternSet(jo.Keywords...),
+		}
+	}
+	return &Dataset{Objects: object.NewCollection(out), Vocab: v}, nil
+}
+
+// WriteCSV writes the dataset as CSV rows: id,name,x,y,keywords where
+// keywords are space-separated.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "name", "x", "y", "keywords"}); err != nil {
+		return err
+	}
+	for _, o := range d.Objects.All() {
+		rec := []string{
+			strconv.FormatUint(uint64(o.ID), 10),
+			o.Name,
+			strconv.FormatFloat(o.Loc.X, 'g', -1, 64),
+			strconv.FormatFloat(o.Loc.Y, 'g', -1, 64),
+			strings.Join(d.Vocab.Words(o.Doc), " "),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV. Object IDs are reassigned
+// densely in file order.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if header[0] != "id" {
+		return nil, fmt.Errorf("dataset: unexpected CSV header %v", header)
+	}
+	v := vocab.NewVocabulary()
+	var out []object.Object
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: bad x %q: %w", len(out)+1, rec[2], err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: bad y %q: %w", len(out)+1, rec[3], err)
+		}
+		out = append(out, object.Object{
+			ID:   object.ID(len(out)),
+			Name: rec[1],
+			Loc:  geo.Point{X: x, Y: y},
+			Doc:  v.InternSet(strings.Fields(rec[4])...),
+		})
+	}
+	return &Dataset{Objects: object.NewCollection(out), Vocab: v}, nil
+}
+
+// SaveFile writes the dataset to path, choosing the format from the
+// extension: .json or .csv.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		err = d.WriteJSON(bw)
+	case strings.HasSuffix(path, ".csv"):
+		err = d.WriteCSV(bw)
+	default:
+		err = fmt.Errorf("dataset: unknown extension in %q (want .json or .csv)", path)
+	}
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path, choosing the format from the
+// extension: .json or .csv.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		return ReadJSON(br)
+	case strings.HasSuffix(path, ".csv"):
+		return ReadCSV(br)
+	default:
+		return nil, fmt.Errorf("dataset: unknown extension in %q (want .json or .csv)", path)
+	}
+}

@@ -1,0 +1,205 @@
+// Package geo provides the planar geometry substrate used by every index
+// and engine in YASK: points, axis-aligned rectangles (MBRs), and the
+// distance primitives the ranking function and the R-tree family need.
+//
+// All coordinates are float64 and distances are Euclidean, matching the
+// paper's SDist. Rectangles are closed on all sides.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane. In the demo deployment X is longitude
+// and Y is latitude, but nothing in the library assumes geographic
+// coordinates: any planar space works.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths where only comparisons are needed.
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y)
+}
+
+// Rect is a closed axis-aligned rectangle with Min at the lower-left and
+// Max at the upper-right corner. A Rect with Min == Max is a point; the
+// zero Rect is the point at the origin.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points given in
+// any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Point{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// RectFromPoint returns the degenerate rectangle covering exactly p.
+func RectFromPoint(p Point) Rect {
+	return Rect{Min: p, Max: p}
+}
+
+// Valid reports whether r.Min is component-wise no greater than r.Max.
+func (r Rect) Valid() bool {
+	return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y
+}
+
+// Width returns the extent of r along the X axis.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the extent of r along the Y axis.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Margin returns half the perimeter of r, the classic R*-tree margin
+// measure.
+func (r Rect) Margin() float64 { return r.Width() + r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Diagonal returns the length of the diagonal of r, used to normalize
+// spatial distances into [0, 1].
+func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }
+
+// ContainsPoint reports whether p lies inside r (boundaries included).
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{X: math.Min(r.Min.X, s.Min.X), Y: math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{X: math.Max(r.Max.X, s.Max.X), Y: math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// UnionPoint returns the smallest rectangle covering r and p.
+func (r Rect) UnionPoint(p Point) Rect {
+	return r.Union(RectFromPoint(p))
+}
+
+// Enlargement returns the area increase needed for r to cover s. It is
+// the standard insertion heuristic of Guttman's R-tree.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// OverlapArea returns the area of the intersection of r and s, or 0 if
+// they are disjoint.
+func (r Rect) OverlapArea(s Rect) float64 {
+	w := math.Min(r.Max.X, s.Max.X) - math.Max(r.Min.X, s.Min.X)
+	if w <= 0 {
+		return 0
+	}
+	h := math.Min(r.Max.Y, s.Max.Y) - math.Max(r.Min.Y, s.Min.Y)
+	if h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// MinDist returns the smallest Euclidean distance from p to any point of
+// r. It is zero when p is inside r. MinDist lower-bounds the distance
+// from p to every object stored under an R-tree node with MBR r, which
+// makes it the admissible bound used by best-first search.
+func (r Rect) MinDist(p Point) float64 {
+	return math.Sqrt(r.MinDist2(p))
+}
+
+// MinDist2 returns the squared MinDist.
+func (r Rect) MinDist2(p Point) float64 {
+	dx := axisDelta(p.X, r.Min.X, r.Max.X)
+	dy := axisDelta(p.Y, r.Min.Y, r.Max.Y)
+	return dx*dx + dy*dy
+}
+
+// MaxDist returns the largest Euclidean distance from p to any point of
+// r (always attained at one of the four corners). It upper-bounds the
+// distance from p to every object under a node with MBR r.
+func (r Rect) MaxDist(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-r.Min.X), math.Abs(p.X-r.Max.X))
+	dy := math.Max(math.Abs(p.Y-r.Min.Y), math.Abs(p.Y-r.Max.Y))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// axisDelta returns how far v lies outside the interval [lo, hi] along
+// one axis, or 0 if it is inside.
+func axisDelta(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return hi - v
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Min, r.Max)
+}
+
+// MBR returns the minimum bounding rectangle of the given points. It
+// panics if pts is empty, because an empty MBR has no meaningful value.
+func MBR(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geo: MBR of empty point set")
+	}
+	r := RectFromPoint(pts[0])
+	for _, p := range pts[1:] {
+		r = r.UnionPoint(p)
+	}
+	return r
+}
+
+// UnionAll returns the union of the given rectangles. It panics if rs is
+// empty.
+func UnionAll(rs []Rect) Rect {
+	if len(rs) == 0 {
+		panic("geo: UnionAll of empty rect set")
+	}
+	u := rs[0]
+	for _, r := range rs[1:] {
+		u = u.Union(r)
+	}
+	return u
+}

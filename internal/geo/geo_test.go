@@ -1,0 +1,275 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1.5, 2.5}, Point{1.5, 2.5}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want) {
+			t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.Dist2(tt.q); !almostEqual(got, tt.want*tt.want) {
+			t.Errorf("Dist2(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		// The computation is exactly symmetric (squares of negated
+		// deltas), so exact equality must hold, including ±Inf.
+		d1, d2 := a.Dist(b), b.Dist(a)
+		return d1 == d2 || (math.IsNaN(d1) && math.IsNaN(d2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, 1}, Point{2, 7})
+	if r.Min != (Point{2, 1}) || r.Max != (Point{5, 7}) {
+		t.Fatalf("NewRect corners not normalized: %v", r)
+	}
+	if !r.Valid() {
+		t.Fatal("normalized rect should be valid")
+	}
+}
+
+func TestRectMeasures(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{4, 3})
+	if got := r.Width(); got != 4 {
+		t.Errorf("Width = %v, want 4", got)
+	}
+	if got := r.Height(); got != 3 {
+		t.Errorf("Height = %v, want 3", got)
+	}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := r.Margin(); got != 7 {
+		t.Errorf("Margin = %v, want 7", got)
+	}
+	if got := r.Diagonal(); !almostEqual(got, 5) {
+		t.Errorf("Diagonal = %v, want 5", got)
+	}
+	if got := r.Center(); got != (Point{2, 1.5}) {
+		t.Errorf("Center = %v, want (2, 1.5)", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}} {
+		if !r.ContainsPoint(p) {
+			t.Errorf("ContainsPoint(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []Point{{-0.001, 5}, {10.001, 5}, {5, -1}, {5, 11}} {
+		if r.ContainsPoint(p) {
+			t.Errorf("ContainsPoint(%v) = true, want false", p)
+		}
+	}
+	if !r.ContainsRect(NewRect(Point{1, 1}, Point{9, 9})) {
+		t.Error("ContainsRect inner = false, want true")
+	}
+	if r.ContainsRect(NewRect(Point{1, 1}, Point{11, 9})) {
+		t.Error("ContainsRect overflowing = true, want false")
+	}
+	if !r.ContainsRect(r) {
+		t.Error("rect should contain itself")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	cases := []struct {
+		s    Rect
+		want bool
+	}{
+		{NewRect(Point{5, 5}, Point{15, 15}), true},
+		{NewRect(Point{10, 10}, Point{12, 12}), true}, // corner touch
+		{NewRect(Point{11, 11}, Point{12, 12}), false},
+		{NewRect(Point{-5, -5}, Point{-1, -1}), false},
+		{NewRect(Point{2, 2}, Point{3, 3}), true}, // contained
+		{NewRect(Point{-1, 4}, Point{11, 6}), true},
+	}
+	for _, tt := range cases {
+		if got := r.Intersects(tt.s); got != tt.want {
+			t.Errorf("Intersects(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+		if got := tt.s.Intersects(r); got != tt.want {
+			t.Errorf("Intersects not symmetric for %v", tt.s)
+		}
+	}
+}
+
+func TestUnionAndEnlargement(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{3, 3}, Point{4, 4})
+	u := a.Union(b)
+	if u != NewRect(Point{0, 0}, Point{4, 4}) {
+		t.Fatalf("Union = %v", u)
+	}
+	if got := a.Enlargement(b); !almostEqual(got, 16-4) {
+		t.Errorf("Enlargement = %v, want 12", got)
+	}
+	if got := a.Enlargement(NewRect(Point{1, 1}, Point{2, 2})); got != 0 {
+		t.Errorf("Enlargement of contained rect = %v, want 0", got)
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{4, 4})
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{NewRect(Point{2, 2}, Point{6, 6}), 4},
+		{NewRect(Point{4, 4}, Point{6, 6}), 0}, // touching only
+		{NewRect(Point{5, 5}, Point{6, 6}), 0},
+		{NewRect(Point{1, 1}, Point{2, 2}), 1},
+		{a, 16},
+	}
+	for _, tt := range cases {
+		if got := a.OverlapArea(tt.b); !almostEqual(got, tt.want) {
+			t.Errorf("OverlapArea(%v) = %v, want %v", tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	cases := []struct {
+		p        Point
+		min, max float64
+	}{
+		{Point{5, 5}, 0, math.Sqrt(50)},
+		{Point{-3, 0}, 3, math.Sqrt(13*13 + 10*10)},
+		{Point{15, 5}, 5, math.Sqrt(15*15 + 5*5)},
+		{Point{0, 0}, 0, math.Sqrt(200)},
+		{Point{-3, -4}, 5, math.Sqrt(13*13 + 14*14)},
+	}
+	for _, tt := range cases {
+		if got := r.MinDist(tt.p); !almostEqual(got, tt.min) {
+			t.Errorf("MinDist(%v) = %v, want %v", tt.p, got, tt.min)
+		}
+		if got := r.MaxDist(tt.p); !almostEqual(got, tt.max) {
+			t.Errorf("MaxDist(%v) = %v, want %v", tt.p, got, tt.max)
+		}
+	}
+}
+
+// TestMinMaxDistBracketsActual checks the fundamental index soundness
+// property: for random rects and query points, the distance from the
+// query to any point inside the rect is within [MinDist, MaxDist].
+func TestMinMaxDistBracketsActual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := NewRect(
+			Point{rng.Float64() * 100, rng.Float64() * 100},
+			Point{rng.Float64() * 100, rng.Float64() * 100},
+		)
+		q := Point{rng.Float64()*200 - 50, rng.Float64()*200 - 50}
+		// Random point inside r.
+		in := Point{
+			X: r.Min.X + rng.Float64()*r.Width(),
+			Y: r.Min.Y + rng.Float64()*r.Height(),
+		}
+		d := q.Dist(in)
+		if d < r.MinDist(q)-1e-9 {
+			t.Fatalf("point %v in %v at dist %v below MinDist %v from %v", in, r, d, r.MinDist(q), q)
+		}
+		if d > r.MaxDist(q)+1e-9 {
+			t.Fatalf("point %v in %v at dist %v above MaxDist %v from %v", in, r, d, r.MaxDist(q), q)
+		}
+	}
+}
+
+func TestMBR(t *testing.T) {
+	pts := []Point{{3, 1}, {-2, 5}, {0, 0}, {7, -4}}
+	r := MBR(pts)
+	if r != NewRect(Point{-2, -4}, Point{7, 5}) {
+		t.Fatalf("MBR = %v", r)
+	}
+	for _, p := range pts {
+		if !r.ContainsPoint(p) {
+			t.Errorf("MBR does not contain %v", p)
+		}
+	}
+}
+
+func TestMBRPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MBR(nil) did not panic")
+		}
+	}()
+	MBR(nil)
+}
+
+func TestUnionAll(t *testing.T) {
+	rs := []Rect{
+		NewRect(Point{0, 0}, Point{1, 1}),
+		NewRect(Point{5, 5}, Point{6, 6}),
+		NewRect(Point{-1, 2}, Point{0, 3}),
+	}
+	u := UnionAll(rs)
+	if u != NewRect(Point{-1, 0}, Point{6, 6}) {
+		t.Fatalf("UnionAll = %v", u)
+	}
+}
+
+func TestUnionAllPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionAll(nil) did not panic")
+		}
+	}()
+	UnionAll(nil)
+}
+
+// Property: union is commutative, associative-compatible and monotone.
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := NewRect(Point{ax, ay}, Point{bx, by})
+		b := NewRect(Point{cx, cy}, Point{dx, dy})
+		u := a.Union(b)
+		return u == b.Union(a) && u.ContainsRect(a) && u.ContainsRect(b) &&
+			u.Area() >= a.Area() && u.Area() >= b.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinDist <= distance to center <= MaxDist.
+func TestMinDistLeqCenterLeqMaxDist(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		r := NewRect(Point{ax, ay}, Point{bx, by})
+		p := Point{px, py}
+		dc := p.Dist(r.Center())
+		return r.MinDist(p) <= dc+1e-9 && dc <= r.MaxDist(p)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package irtree implements the IR-tree of Cong, Jensen & Wu [4], the
+// index the paper's top-k algorithm was originally designed for: an
+// R-tree whose every node carries an inverted file over the keywords of
+// the objects below it. Each posting stores the *maximum* normalized
+// term weight of any object in the subtree, which upper-bounds the
+// cosine text relevance of the subtree to any query and hence, combined
+// with spatial MinDist, the ranking score.
+//
+// As the paper notes, the IR-tree "does not support Jaccard similarity"
+// — its bounds are only admissible for weighted-vector models — which is
+// why YASK swaps in the SetR-tree. This package exists as that named
+// baseline: it implements the tf-idf cosine model the IR-tree was built
+// for, and the E1 benches compare the two engines under their native
+// text models.
+package irtree
+
+import (
+	"math"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/pqueue"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// TextModel holds the corpus statistics of the tf-idf cosine model:
+// per-keyword inverse document frequency and per-object vector norms.
+// Keyword sets have unit term frequency, so an object's weight for term
+// t is idf(t)/‖o‖.
+type TextModel struct {
+	idf   []float64 // indexed by vocab.Keyword
+	norms []float64 // indexed by object.ID
+}
+
+// NewTextModel computes corpus statistics over the collection. vocabSize
+// must cover every keyword ID used by the collection.
+func NewTextModel(c *object.Collection, vocabSize int) *TextModel {
+	df := make([]int, vocabSize)
+	for _, o := range c.All() {
+		for _, kw := range o.Doc {
+			df[kw]++
+		}
+	}
+	n := float64(c.Len())
+	m := &TextModel{idf: make([]float64, vocabSize), norms: make([]float64, c.Len())}
+	for t, d := range df {
+		if d > 0 {
+			m.idf[t] = math.Log(1 + n/float64(d))
+		}
+	}
+	for i, o := range c.All() {
+		sum := 0.0
+		for _, kw := range o.Doc {
+			sum += m.idf[kw] * m.idf[kw]
+		}
+		m.norms[i] = math.Sqrt(sum)
+	}
+	return m
+}
+
+// IDF returns the inverse document frequency of kw (0 for unseen terms).
+func (m *TextModel) IDF(kw vocab.Keyword) float64 {
+	if int(kw) >= len(m.idf) {
+		return 0
+	}
+	return m.idf[kw]
+}
+
+// Weight returns the normalized weight of term kw in object oid's
+// vector, i.e. idf(kw)/‖o‖, assuming kw ∈ o.doc.
+func (m *TextModel) Weight(oid object.ID, kw vocab.Keyword) float64 {
+	norm := m.norms[oid]
+	if norm == 0 {
+		return 0
+	}
+	return m.IDF(kw) / norm
+}
+
+// queryVector returns the normalized query weights for qdoc.
+func (m *TextModel) queryVector(qdoc vocab.KeywordSet) map[vocab.Keyword]float64 {
+	sum := 0.0
+	for _, kw := range qdoc {
+		sum += m.IDF(kw) * m.IDF(kw)
+	}
+	norm := math.Sqrt(sum)
+	out := make(map[vocab.Keyword]float64, len(qdoc))
+	if norm == 0 {
+		return out
+	}
+	for _, kw := range qdoc {
+		out[kw] = m.IDF(kw) / norm
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity between object oid's document and
+// qdoc, in [0, 1].
+func (m *TextModel) Cosine(oid object.ID, doc, qdoc vocab.KeywordSet) float64 {
+	norm := m.norms[oid]
+	if norm == 0 {
+		return 0
+	}
+	qv := m.queryVector(qdoc)
+	sum := 0.0
+	for _, kw := range doc.Intersect(qdoc) {
+		sum += (m.IDF(kw) / norm) * qv[kw]
+	}
+	return sum
+}
+
+// Posting is one inverted-file entry: the maximum normalized weight of
+// the term in any object below the node.
+type Posting struct {
+	K vocab.Keyword
+	W float64
+}
+
+// Aug is the IR-tree node augmentation: a per-node inverted file of
+// max-weight postings, sorted by keyword.
+type Aug struct {
+	Postings []Posting
+}
+
+// maxWeight returns the posting weight for kw, 0 if absent.
+func (a Aug) maxWeight(kw vocab.Keyword) float64 {
+	lo, hi := 0, len(a.Postings)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.Postings[mid].K < kw {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.Postings) && a.Postings[lo].K == kw {
+		return a.Postings[lo].W
+	}
+	return 0
+}
+
+type augmenter struct {
+	model *TextModel
+}
+
+func (g augmenter) FromLeaf(o object.Object) Aug {
+	ps := make([]Posting, len(o.Doc))
+	for i, kw := range o.Doc {
+		ps[i] = Posting{K: kw, W: g.model.Weight(o.ID, kw)}
+	}
+	return Aug{Postings: ps}
+}
+
+func (g augmenter) Merge(a, b Aug) Aug {
+	out := make([]Posting, 0, len(a.Postings)+len(b.Postings))
+	i, j := 0, 0
+	for i < len(a.Postings) && j < len(b.Postings) {
+		pa, pb := a.Postings[i], b.Postings[j]
+		switch {
+		case pa.K == pb.K:
+			w := pa.W
+			if pb.W > w {
+				w = pb.W
+			}
+			out = append(out, Posting{K: pa.K, W: w})
+			i++
+			j++
+		case pa.K < pb.K:
+			out = append(out, pa)
+			i++
+		default:
+			out = append(out, pb)
+			j++
+		}
+	}
+	out = append(out, a.Postings[i:]...)
+	out = append(out, b.Postings[j:]...)
+	return Aug{Postings: out}
+}
+
+// Index is an IR-tree over a collection. It is immutable after
+// construction and safe for concurrent readers.
+type Index struct {
+	tree  *rtree.Tree[object.Object, Aug]
+	coll  *object.Collection
+	model *TextModel
+}
+
+// Build bulk-loads an IR-tree over the collection. vocabSize must cover
+// every keyword ID in use.
+func Build(c *object.Collection, vocabSize, maxEntries int) *Index {
+	model := NewTextModel(c, vocabSize)
+	t := rtree.New[object.Object, Aug](augmenter{model: model}, maxEntries)
+	entries := make([]rtree.LeafEntry[object.Object], c.Len())
+	for i, o := range c.All() {
+		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+	}
+	t.BulkLoad(entries)
+	return &Index{tree: t, coll: c, model: model}
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *object.Collection { return ix.coll }
+
+// Model returns the text model the index scores with.
+func (ix *Index) Model() *TextModel { return ix.model }
+
+// Tree exposes the underlying augmented R-tree.
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.tree }
+
+// Stats returns the node-access statistics collector.
+func (ix *Index) Stats() *rtree.Stats { return ix.tree.Stats() }
+
+// Score returns the IR-tree ranking score of object o for query q:
+// ws·(1 − SDist) + wt·Cosine. It mirrors Eqn 1 with the cosine model in
+// place of Jaccard.
+func (ix *Index) Score(q score.Query, maxDist float64, o object.Object) float64 {
+	d := q.Loc.Dist(o.Loc) / maxDist
+	if d > 1 {
+		d = 1
+	}
+	return q.W.Ws*(1-d) + q.W.Wt*ix.model.Cosine(o.ID, o.Doc, q.Doc)
+}
+
+// TopK runs the best-first top-k algorithm of [4] over the IR-tree under
+// the tf-idf cosine model. Results are in rank order with ID tie-break.
+func (ix *Index) TopK(q score.Query) []score.Result {
+	root := ix.tree.Root()
+	if root == nil || q.K <= 0 {
+		return nil
+	}
+	maxDist := ix.coll.MaxDist()
+	qv := ix.model.queryVector(q.Doc)
+	stats := ix.tree.Stats()
+
+	nodeBound := func(n *rtree.Node[object.Object, Aug]) float64 {
+		d := n.Rect().MinDist(q.Loc) / maxDist
+		if d > 1 {
+			d = 1
+		}
+		text := 0.0
+		aug := n.Aug()
+		for kw, w := range qv {
+			text += w * aug.maxWeight(kw)
+		}
+		if text > 1 {
+			text = 1
+		}
+		return q.W.Ws*(1-d) + q.W.Wt*text
+	}
+
+	type qe struct {
+		bound float64
+		node  *rtree.Node[object.Object, Aug]
+	}
+	nodes := pqueue.NewWithCapacity(func(a, b qe) bool {
+		return a.bound > b.bound
+	}, 64)
+	nodes.Push(qe{bound: nodeBound(root), node: root})
+
+	worstFirst := func(a, b score.Result) bool {
+		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
+	}
+	cand := pqueue.NewWithCapacity(worstFirst, q.K+1)
+	for nodes.Len() > 0 {
+		top := nodes.Pop()
+		if cand.Len() == q.K && top.bound < cand.Peek().Score {
+			break
+		}
+		stats.AddNodeAccesses(1)
+		n := top.node
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				sc := ix.Score(q, maxDist, e.Item)
+				if cand.Len() < q.K {
+					cand.Push(score.Result{Obj: e.Item, Score: sc})
+				} else if w := cand.Peek(); score.Better(sc, e.Item.ID, w.Score, w.Obj.ID) {
+					cand.Pop()
+					cand.Push(score.Result{Obj: e.Item, Score: sc})
+				}
+			}
+			continue
+		}
+		kth := -1.0
+		if cand.Len() == q.K {
+			kth = cand.Peek().Score
+		}
+		for _, c := range n.Children() {
+			if b := nodeBound(c); b >= kth {
+				nodes.Push(qe{bound: b, node: c})
+			}
+		}
+	}
+	out := make([]score.Result, cand.Len())
+	for i := cand.Len() - 1; i >= 0; i-- {
+		out[i] = cand.Pop()
+	}
+	return out
+}
+
+// ScanTopK is the brute-force oracle under the cosine model.
+func (ix *Index) ScanTopK(q score.Query) []score.Result {
+	if q.K <= 0 || ix.coll.Len() == 0 {
+		return nil
+	}
+	maxDist := ix.coll.MaxDist()
+	worstFirst := func(a, b score.Result) bool {
+		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
+	}
+	pq := pqueue.NewWithCapacity(worstFirst, q.K+1)
+	for _, o := range ix.coll.All() {
+		pq.Push(score.Result{Obj: o, Score: ix.Score(q, maxDist, o)})
+		if pq.Len() > q.K {
+			pq.Pop()
+		}
+	}
+	out := make([]score.Result, pq.Len())
+	for i := pq.Len() - 1; i >= 0; i-- {
+		out[i] = pq.Pop()
+	}
+	return out
+}
+
+// SpatialOnlyNearest returns the spatially nearest object, a convenience
+// used by explanation heuristics and tests.
+func (ix *Index) SpatialOnlyNearest(p geo.Point) (object.Object, bool) {
+	nn := ix.tree.KNN(p, 1)
+	if len(nn) == 0 {
+		return object.Object{}, false
+	}
+	return nn[0].Item, true
+}

@@ -1,0 +1,201 @@
+package irtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+func testDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTextModelIDF(t *testing.T) {
+	v := vocab.NewVocabulary()
+	common := v.Intern("common")
+	rare := v.Intern("rare")
+	objs := make([]object.Object, 10)
+	for i := range objs {
+		doc := vocab.NewKeywordSet(common)
+		if i == 0 {
+			doc = doc.Add(rare)
+		}
+		objs[i] = object.Object{ID: object.ID(i), Loc: geo.Point{X: float64(i), Y: 0}, Doc: doc}
+	}
+	c := object.NewCollection(objs)
+	m := NewTextModel(c, v.Len())
+	if m.IDF(rare) <= m.IDF(common) {
+		t.Fatalf("idf(rare)=%v should exceed idf(common)=%v", m.IDF(rare), m.IDF(common))
+	}
+	if m.IDF(vocab.Keyword(99)) != 0 {
+		t.Fatal("unseen keyword should have idf 0")
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	ds := testDataset(t, 300, 1)
+	m := NewTextModel(ds.Objects, ds.Vocab.Len())
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		o := ds.Objects.Get(object.ID(rng.Intn(ds.Objects.Len())))
+		var qdoc vocab.KeywordSet
+		for qdoc.Len() < 1+rng.Intn(3) {
+			qdoc = qdoc.Add(vocab.Keyword(rng.Intn(ds.Vocab.Len())))
+		}
+		cos := m.Cosine(o.ID, o.Doc, qdoc)
+		if cos < -1e-12 || cos > 1+1e-12 {
+			t.Fatalf("cosine %v outside [0,1]", cos)
+		}
+		// Self-similarity of the full document must be 1.
+		self := m.Cosine(o.ID, o.Doc, o.Doc)
+		if math.Abs(self-1) > 1e-9 {
+			t.Fatalf("self cosine = %v", self)
+		}
+		// Disjoint query must score 0 — build one from an unseen ID space.
+		if got := m.Cosine(o.ID, o.Doc, vocab.NewKeywordSet(vocab.Keyword(ds.Vocab.Len()+5))); got != 0 {
+			t.Fatalf("disjoint cosine = %v", got)
+		}
+	}
+}
+
+func TestPostingInvariant(t *testing.T) {
+	ds := testDataset(t, 400, 3)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+	m := ix.Model()
+	var walk func(n *rtree.Node[object.Object, Aug]) map[vocab.Keyword]float64
+	walk = func(n *rtree.Node[object.Object, Aug]) map[vocab.Keyword]float64 {
+		want := map[vocab.Keyword]float64{}
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				for _, kw := range e.Item.Doc {
+					if w := m.Weight(e.Item.ID, kw); w > want[kw] {
+						want[kw] = w
+					}
+				}
+			}
+		} else {
+			for _, c := range n.Children() {
+				for k, w := range walk(c) {
+					if w > want[k] {
+						want[k] = w
+					}
+				}
+			}
+		}
+		aug := n.Aug()
+		if len(aug.Postings) != len(want) {
+			t.Fatalf("node has %d postings, want %d", len(aug.Postings), len(want))
+		}
+		for _, p := range aug.Postings {
+			if math.Abs(p.W-want[p.K]) > 1e-12 {
+				t.Fatalf("posting %d weight %v, want %v", p.K, p.W, want[p.K])
+			}
+		}
+		return want
+	}
+	walk(ix.Tree().Root())
+}
+
+func TestTopKMatchesScan(t *testing.T) {
+	ds := testDataset(t, 1000, 4)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 32)
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: 30, Seed: 5, K: 10, Keywords: 2, W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	for _, q := range qs {
+		got := ix.TopK(q)
+		want := ix.ScanTopK(q)
+		if len(got) != len(want) {
+			t.Fatalf("TopK %d results, scan %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Obj.ID != want[i].Obj.ID {
+				t.Fatalf("rank %d: index %d (%.6f), scan %d (%.6f)",
+					i, got[i].Obj.ID, got[i].Score, want[i].Obj.ID, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestTopKWeightSweep(t *testing.T) {
+	ds := testDataset(t, 500, 6)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+	for _, wt := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		qs := dataset.Workload(ds, dataset.WorkloadConfig{
+			Queries: 5, Seed: 7, K: 5, Keywords: 2, W: score.WeightsFromWt(wt), FromObjectDocs: true,
+		})
+		for _, q := range qs {
+			got := ix.TopK(q)
+			want := ix.ScanTopK(q)
+			for i := range want {
+				if got[i].Obj.ID != want[i].Obj.ID {
+					t.Fatalf("wt=%v rank %d: index %d, scan %d", wt, i, got[i].Obj.ID, want[i].Obj.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEmptyAndSmall(t *testing.T) {
+	empty := Build(object.NewCollection(nil), 10, 8)
+	q := score.Query{Loc: geo.Point{}, Doc: vocab.NewKeywordSet(1), K: 3, W: score.DefaultWeights}
+	if got := empty.TopK(q); got != nil {
+		t.Fatalf("TopK on empty = %v", got)
+	}
+	small := testDataset(t, 3, 8)
+	ix := Build(small.Objects, small.Vocab.Len(), 8)
+	q2 := dataset.Workload(small, dataset.WorkloadConfig{
+		Queries: 1, Seed: 9, K: 10, Keywords: 1, W: score.DefaultWeights, FromObjectDocs: true,
+	})[0]
+	if got := ix.TopK(q2); len(got) != 3 {
+		t.Fatalf("TopK k>n = %d results", len(got))
+	}
+}
+
+func TestTopKPrunes(t *testing.T) {
+	ds := testDataset(t, 5000, 10)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 64)
+	q := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: 1, Seed: 11, K: 10, Keywords: 2, W: score.DefaultWeights, FromObjectDocs: true,
+	})[0]
+	ix.Stats().Reset()
+	ix.TopK(q)
+	if got := ix.Stats().NodeAccesses(); got >= int64(ix.Tree().NodeCount()) {
+		t.Fatalf("top-k touched %d of %d nodes", got, ix.Tree().NodeCount())
+	}
+}
+
+func TestSpatialOnlyNearest(t *testing.T) {
+	ds := testDataset(t, 200, 12)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+	p := geo.Point{X: 500, Y: 500}
+	got, ok := ix.SpatialOnlyNearest(p)
+	if !ok {
+		t.Fatal("no nearest found")
+	}
+	bestDist := math.Inf(1)
+	var want object.Object
+	for _, o := range ds.Objects.All() {
+		if d := p.Dist(o.Loc); d < bestDist {
+			bestDist, want = d, o
+		}
+	}
+	if got.ID != want.ID {
+		t.Fatalf("nearest = %d, want %d", got.ID, want.ID)
+	}
+	if _, ok := Build(object.NewCollection(nil), 1, 8).SpatialOnlyNearest(p); ok {
+		t.Fatal("empty index returned a nearest object")
+	}
+}

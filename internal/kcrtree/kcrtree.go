@@ -1,0 +1,364 @@
+// Package kcrtree implements the KcR-tree (Keyword count R-tree) of the
+// paper's Section 3.3, Fig. 2, and refs [6, 9]: an R-tree whose every
+// node carries a keyword→count map — for each keyword in the union of
+// the documents below, the number of objects below that contain it — plus
+// a cnt field with the total number of objects below.
+//
+// From the count map, a traversal can bound the Jaccard similarity of
+// any object under a node to *any* candidate query keyword set, which is
+// what lets the keyword-adapted why-not algorithm bound the rank of a
+// missing object under a refined keyword set without touching objects.
+// Keywords present in every object below (count == cnt) form the node's
+// intersection set, keywords present at all form its union set, so the
+// count map strictly generalizes the SetR-tree augmentation.
+package kcrtree
+
+import (
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// KV is one keyword count entry.
+type KV struct {
+	K vocab.Keyword
+	N int32
+}
+
+// Counts is a keyword→count map stored as a slice sorted by keyword,
+// which merges like sorted lists and stays allocation-tight — the
+// in-memory analogue of the packed maps the disk layout of [6] uses.
+type Counts []KV
+
+// Get returns the count for kw, 0 if absent.
+func (c Counts) Get(kw vocab.Keyword) int32 {
+	lo, hi := 0, len(c)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c[mid].K < kw {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c) && c[lo].K == kw {
+		return c[lo].N
+	}
+	return 0
+}
+
+// merge returns the element-wise sum of two count maps.
+func (c Counts) merge(d Counts) Counts {
+	out := make(Counts, 0, len(c)+len(d))
+	i, j := 0, 0
+	for i < len(c) && j < len(d) {
+		switch {
+		case c[i].K == d[j].K:
+			out = append(out, KV{K: c[i].K, N: c[i].N + d[j].N})
+			i++
+			j++
+		case c[i].K < d[j].K:
+			out = append(out, c[i])
+			i++
+		default:
+			out = append(out, d[j])
+			j++
+		}
+	}
+	out = append(out, c[i:]...)
+	out = append(out, d[j:]...)
+	return out
+}
+
+// Aug is the KcR-tree node augmentation of Fig. 2, extended with the
+// derived statistics the rank bounds need in O(1): the size of the
+// implied intersection set and the document-length range of the objects
+// below.
+type Aug struct {
+	// Counts maps each keyword under the node to the number of objects
+	// below that contain it.
+	Counts Counts
+	// Cnt is the number of objects under the node.
+	Cnt int32
+	// InterLen is the number of keywords with count == Cnt (the size of
+	// the implied intersection set), precomputed at build time.
+	InterLen int32
+	// MinLen and MaxLen bound |o.doc| over the objects below.
+	MinLen, MaxLen int32
+}
+
+// Inter returns the implied intersection set: keywords every object
+// below contains.
+func (a Aug) Inter() vocab.KeywordSet {
+	var out vocab.KeywordSet
+	for _, kv := range a.Counts {
+		if kv.N == a.Cnt {
+			out = append(out, kv.K)
+		}
+	}
+	return out
+}
+
+// Union returns the implied union set: all keywords below.
+func (a Aug) Union() vocab.KeywordSet {
+	out := make(vocab.KeywordSet, len(a.Counts))
+	for i, kv := range a.Counts {
+		out[i] = kv.K
+	}
+	return out
+}
+
+type augmenter struct{}
+
+func (augmenter) FromLeaf(o object.Object) Aug {
+	counts := make(Counts, len(o.Doc))
+	for i, kw := range o.Doc {
+		counts[i] = KV{K: kw, N: 1}
+	}
+	n := int32(len(o.Doc))
+	return Aug{Counts: counts, Cnt: 1, InterLen: n, MinLen: n, MaxLen: n}
+}
+
+func (augmenter) Merge(a, b Aug) Aug {
+	out := Aug{
+		Counts: a.Counts.merge(b.Counts),
+		Cnt:    a.Cnt + b.Cnt,
+		MinLen: a.MinLen, MaxLen: a.MaxLen,
+	}
+	if b.MinLen < out.MinLen {
+		out.MinLen = b.MinLen
+	}
+	if b.MaxLen > out.MaxLen {
+		out.MaxLen = b.MaxLen
+	}
+	for _, kv := range out.Counts {
+		if kv.N == out.Cnt {
+			out.InterLen++
+		}
+	}
+	return out
+}
+
+// Index is a KcR-tree over a collection. It is immutable after
+// construction and safe for concurrent readers.
+type Index struct {
+	tree *rtree.Tree[object.Object, Aug]
+	coll *object.Collection
+}
+
+// Build bulk-loads a KcR-tree over the collection.
+func Build(c *object.Collection, maxEntries int) *Index {
+	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
+	entries := make([]rtree.LeafEntry[object.Object], c.Len())
+	for i, o := range c.All() {
+		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+	}
+	t.BulkLoad(entries)
+	return &Index{tree: t, coll: c}
+}
+
+// BuildByInsertion constructs the index by repeated insertion; used by
+// tests and the index-construction benches.
+func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
+	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
+	for _, o := range c.All() {
+		t.Insert(o.Rect(), o)
+	}
+	return &Index{tree: t, coll: c}
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *object.Collection { return ix.coll }
+
+// Tree exposes the underlying augmented R-tree.
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.tree }
+
+// Stats returns the node-access statistics collector.
+func (ix *Index) Stats() *rtree.Stats { return ix.tree.Stats() }
+
+// TSimBounds returns lower and upper bounds on the Jaccard similarity
+// between qdoc and the document of any object under a node with
+// augmentation a.
+//
+// Upper bound: an object can share at most the qdoc keywords present
+// anywhere below (count > 0) and its union with qdoc has at least
+// |Inter ∪ qdoc| keywords (every object contains the node intersection).
+// Lower bound: an object shares at least the qdoc keywords every object
+// below contains (count == cnt) and its union with qdoc has at most
+// |Union ∪ qdoc| keywords.
+func TSimBounds(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) (lo, hi float64) {
+	if a.Cnt == 0 || len(qdoc) == 0 {
+		return 0, 0
+	}
+	present, everywhere := 0, 0
+	for _, kw := range qdoc {
+		n := a.Counts.Get(kw)
+		if n > 0 {
+			present++
+		}
+		if n == a.Cnt {
+			everywhere++
+		}
+	}
+	if sim == score.SimDice {
+		// Dice = 2|o ∩ q| / (|o| + |q|): numerator bracketed by
+		// [everywhere, min(present, MaxLen)], denominator by
+		// [MinLen + |q|, MaxLen + |q|].
+		num := present
+		if int(a.MaxLen) < num {
+			num = int(a.MaxLen)
+		}
+		hi = 2 * float64(num) / float64(int(a.MinLen)+len(qdoc))
+		if hi > 1 {
+			hi = 1
+		}
+		lo = 2 * float64(everywhere) / float64(int(a.MaxLen)+len(qdoc))
+		if lo > hi {
+			lo = hi
+		}
+		return lo, hi
+	}
+	// Upper bound. |o ∩ q| ≤ min(present, MaxLen); |o ∪ q| ≥ the larger
+	// of |Inter ∪ q| (every object contains the intersection set) and
+	// MinLen + |q| − present (|o ∪ q| = |o.doc| + |q| − |o ∩ q|).
+	num := present
+	if int(a.MaxLen) < num {
+		num = int(a.MaxLen)
+	}
+	denHi := int(a.InterLen) + len(qdoc) - everywhere // |Inter ∪ q|
+	if byLen := int(a.MinLen) + len(qdoc) - present; byLen > denHi {
+		denHi = byLen
+	}
+	if denHi < num {
+		denHi = num
+	}
+	if num == 0 {
+		hi = 0
+	} else {
+		hi = float64(num) / float64(denHi)
+	}
+	// Lower bound. |o ∩ q| ≥ everywhere; |o ∪ q| ≤ the smaller of
+	// |Union ∪ q| and MaxLen + |q| − everywhere.
+	denLo := len(a.Counts) + len(qdoc) - present // |Union ∪ q|
+	if byLen := int(a.MaxLen) + len(qdoc) - everywhere; byLen < denLo {
+		denLo = byLen
+	}
+	if denLo > 0 {
+		lo = float64(everywhere) / float64(denLo)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ScoreBounds returns lower and upper bounds on ST(o, q) for every
+// object o under node n, under scorer s (whose query carries the —
+// possibly refined — keyword set).
+func (ix *Index) ScoreBounds(s score.Scorer, n *rtree.Node[object.Object, Aug]) (lo, hi float64) {
+	tLo, tHi := TSimBounds(n.Aug(), s.Query.Doc, s.Query.Sim)
+	w := s.Query.W
+	lo = w.Ws*(1-s.SDistRectMax(n.Rect())) + w.Wt*tLo
+	hi = w.Ws*(1-s.SDistRectMin(n.Rect())) + w.Wt*tHi
+	return lo, hi
+}
+
+// CountBetter returns the number of objects ranking strictly above the
+// reference (refScore, refID) under scorer s. Subtrees whose score upper
+// bound is below refScore are pruned; subtrees whose score lower bound
+// is above refScore are counted wholesale via cnt without descending —
+// the two-sided bound is what distinguishes the KcR-tree from the
+// SetR-tree for rank computation.
+func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) int {
+	root := ix.tree.Root()
+	if root == nil {
+		return 0
+	}
+	stats := ix.tree.Stats()
+	count := 0
+	var walk func(n *rtree.Node[object.Object, Aug])
+	walk = func(n *rtree.Node[object.Object, Aug]) {
+		stats.AddNodeAccesses(1)
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				if e.Item.ID == refID {
+					continue
+				}
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
+					count++
+				}
+			}
+			return
+		}
+		for _, c := range n.Children() {
+			lo, hi := ix.ScoreBounds(s, c)
+			if hi < refScore {
+				continue // nothing below can beat the reference
+			}
+			if lo > refScore {
+				count += int(c.Aug().Cnt) // everything below beats it
+				continue
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	return count
+}
+
+// RankOf returns the 1-based rank of object oid under scorer s.
+func (ix *Index) RankOf(s score.Scorer, oid object.ID) int {
+	o := ix.coll.Get(oid)
+	return ix.CountBetter(s, s.Score(o), oid) + 1
+}
+
+// RankBounds returns bounds [lo, hi] on the count of objects ranking
+// strictly above the reference, by traversing at most maxDepth levels
+// and bounding whole subtrees from their augmentation instead of
+// descending further. With maxDepth ≥ tree height it degenerates to the
+// exact CountBetter. The keyword-adaption candidate pruning uses shallow
+// depths to reject refined keyword sets cheaply.
+func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int) {
+	root := ix.tree.Root()
+	if root == nil {
+		return 0, 0
+	}
+	stats := ix.tree.Stats()
+	var walk func(n *rtree.Node[object.Object, Aug], depth int) (int, int)
+	walk = func(n *rtree.Node[object.Object, Aug], depth int) (int, int) {
+		stats.AddNodeAccesses(1)
+		if n.IsLeaf() {
+			exact := 0
+			for _, e := range n.Entries() {
+				if e.Item.ID == refID {
+					continue
+				}
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
+					exact++
+				}
+			}
+			return exact, exact
+		}
+		cLo, cHi := 0, 0
+		for _, c := range n.Children() {
+			bLo, bHi := ix.ScoreBounds(s, c)
+			switch {
+			case bHi < refScore:
+				// contributes nothing
+			case bLo > refScore:
+				cLo += int(c.Aug().Cnt)
+				cHi += int(c.Aug().Cnt)
+			case depth >= maxDepth:
+				// Unknown: between 0 and all objects below.
+				cHi += int(c.Aug().Cnt)
+			default:
+				l, h := walk(c, depth+1)
+				cLo += l
+				cHi += h
+			}
+		}
+		return cLo, cHi
+	}
+	return walk(root, 0)
+}

@@ -1,0 +1,93 @@
+// Package object defines the spatial-textual object model shared by every
+// index and engine: an object o = (o.loc, o.doc) per Section 2.1 of the
+// paper, carried together with a stable ID and an optional display name.
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// ID is a stable object identifier. IDs are dense per dataset and double
+// as the deterministic tie-breaker for equal ranking scores.
+type ID uint32
+
+// Object is one spatial web object: a point location plus a keyword set.
+type Object struct {
+	ID   ID
+	Loc  geo.Point
+	Doc  vocab.KeywordSet
+	Name string
+}
+
+// Rect returns the degenerate MBR of the object's location.
+func (o Object) Rect() geo.Rect { return geo.RectFromPoint(o.Loc) }
+
+// String implements fmt.Stringer.
+func (o Object) String() string {
+	if o.Name != "" {
+		return fmt.Sprintf("#%d %q @%s %s", o.ID, o.Name, o.Loc, o.Doc)
+	}
+	return fmt.Sprintf("#%d @%s %s", o.ID, o.Loc, o.Doc)
+}
+
+// Collection is an immutable, ID-addressable set of objects. Engines and
+// indexes share one Collection; the slice index of an object equals its
+// ID, which keeps lookups O(1).
+type Collection struct {
+	objs  []Object
+	space geo.Rect
+}
+
+// NewCollection builds a collection from objs. Object IDs must be dense
+// 0..n-1 (any order); NewCollection sorts by ID and validates density so
+// that later ID lookups are exact. It panics on duplicate or non-dense
+// IDs, which always indicate a dataset construction bug.
+func NewCollection(objs []Object) *Collection {
+	sorted := make([]Object, len(objs))
+	copy(sorted, objs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, o := range sorted {
+		if int(o.ID) != i {
+			panic(fmt.Sprintf("object: IDs must be dense 0..n-1; position %d has ID %d", i, o.ID))
+		}
+	}
+	c := &Collection{objs: sorted}
+	if len(sorted) > 0 {
+		r := sorted[0].Rect()
+		for _, o := range sorted[1:] {
+			r = r.UnionPoint(o.Loc)
+		}
+		c.space = r
+	}
+	return c
+}
+
+// Len returns the number of objects.
+func (c *Collection) Len() int { return len(c.objs) }
+
+// Get returns the object with the given ID. It panics on out-of-range
+// IDs.
+func (c *Collection) Get(id ID) Object { return c.objs[id] }
+
+// All returns the backing slice. Callers must not mutate it.
+func (c *Collection) All() []Object { return c.objs }
+
+// Space returns the MBR of all object locations; the zero Rect for an
+// empty collection. Its diagonal is the SDist normalization constant.
+func (c *Collection) Space() geo.Rect { return c.space }
+
+// MaxDist returns the spatial normalization constant: the largest
+// possible distance between a query point inside the data space and any
+// object, i.e. the diagonal of the data-space MBR. For degenerate spaces
+// (≤1 distinct location) it returns 1 so that SDist is well defined.
+func (c *Collection) MaxDist() float64 {
+	d := c.space.Diagonal()
+	if d <= 0 {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+package object
+
+import (
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+func TestNewCollectionSortsAndValidates(t *testing.T) {
+	objs := []Object{
+		{ID: 2, Loc: geo.Point{X: 2, Y: 2}},
+		{ID: 0, Loc: geo.Point{X: 0, Y: 0}},
+		{ID: 1, Loc: geo.Point{X: 1, Y: 1}},
+	}
+	c := NewCollection(objs)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if got := c.Get(ID(i)).ID; got != ID(i) {
+			t.Fatalf("Get(%d).ID = %d", i, got)
+		}
+	}
+	// Input slice must not be mutated.
+	if objs[0].ID != 2 {
+		t.Fatal("NewCollection mutated input")
+	}
+}
+
+func TestNewCollectionPanicsOnGaps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gapped IDs should panic")
+		}
+	}()
+	NewCollection([]Object{{ID: 0}, {ID: 2}})
+}
+
+func TestNewCollectionPanicsOnDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate IDs should panic")
+		}
+	}()
+	NewCollection([]Object{{ID: 0}, {ID: 0}})
+}
+
+func TestSpaceAndMaxDist(t *testing.T) {
+	c := NewCollection([]Object{
+		{ID: 0, Loc: geo.Point{X: 0, Y: 0}},
+		{ID: 1, Loc: geo.Point{X: 3, Y: 4}},
+	})
+	if c.Space() != geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 3, Y: 4}) {
+		t.Fatalf("Space = %v", c.Space())
+	}
+	if c.MaxDist() != 5 {
+		t.Fatalf("MaxDist = %v", c.MaxDist())
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	c := NewCollection(nil)
+	if c.Len() != 0 {
+		t.Fatal("empty collection should have Len 0")
+	}
+	if c.MaxDist() != 1 {
+		t.Fatalf("empty collection MaxDist = %v, want 1", c.MaxDist())
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := Object{ID: 7, Name: "Grand Hotel", Loc: geo.Point{X: 1, Y: 2}, Doc: vocab.NewKeywordSet(3)}
+	if o.String() == "" {
+		t.Fatal("empty String()")
+	}
+	anon := Object{ID: 8, Loc: geo.Point{X: 1, Y: 2}}
+	if anon.String() == "" {
+		t.Fatal("empty String() for unnamed object")
+	}
+}
+
+func TestObjectRect(t *testing.T) {
+	o := Object{ID: 0, Loc: geo.Point{X: 5, Y: 6}}
+	r := o.Rect()
+	if r.Min != o.Loc || r.Max != o.Loc {
+		t.Fatalf("Rect = %v", r)
+	}
+}

@@ -1,0 +1,103 @@
+// Package pqueue provides a small generic binary-heap priority queue used
+// by every best-first traversal in YASK (top-k search, kNN, rank
+// computation). It exists because container/heap requires a boilerplate
+// interface implementation at every call site and exposes the backing
+// slice; this wrapper keeps call sites to Push/Pop/Peek.
+package pqueue
+
+// Queue is a priority queue over T ordered by the less function given at
+// construction: Pop returns the element for which less ranks first.
+type Queue[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty queue. less must define a strict weak ordering;
+// the element that less orders first is popped first (so pass a
+// "higher-priority-first" comparison for a max-heap behaviour).
+func New[T any](less func(a, b T) bool) *Queue[T] {
+	return &Queue[T]{less: less}
+}
+
+// NewWithCapacity returns an empty queue with pre-allocated storage.
+func NewWithCapacity[T any](less func(a, b T) bool, capacity int) *Queue[T] {
+	return &Queue[T]{items: make([]T, 0, capacity), less: less}
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Empty reports whether the queue has no elements.
+func (q *Queue[T]) Empty() bool { return len(q.items) == 0 }
+
+// Push adds v to the queue.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the highest-priority element. It panics on an
+// empty queue.
+func (q *Queue[T]) Pop() T {
+	if len(q.items) == 0 {
+		panic("pqueue: Pop from empty queue")
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	var zero T
+	q.items[last] = zero
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// Peek returns the highest-priority element without removing it. It
+// panics on an empty queue.
+func (q *Queue[T]) Peek() T {
+	if len(q.items) == 0 {
+		panic("pqueue: Peek on empty queue")
+	}
+	return q.items[0]
+}
+
+// Reset removes all elements but keeps the allocated storage.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := range q.items {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && q.less(q.items[right], q.items[left]) {
+			best = right
+		}
+		if !q.less(q.items[best], q.items[i]) {
+			return
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+}

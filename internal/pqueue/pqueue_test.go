@@ -1,0 +1,131 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPushPopOrdering(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 1, 4, 2, 3} {
+		q.Push(v)
+	}
+	for want := 1; want <= 5; want++ {
+		if got := q.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestMaxHeapViaLess(t *testing.T) {
+	q := New(func(a, b float64) bool { return a > b })
+	for _, v := range []float64{0.3, 0.9, 0.1} {
+		q.Push(v)
+	}
+	if got := q.Pop(); got != 0.9 {
+		t.Fatalf("max-first Pop = %v", got)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	q.Push(2)
+	q.Push(1)
+	if q.Peek() != 1 || q.Len() != 2 {
+		t.Fatalf("Peek = %d, Len = %d", q.Peek(), q.Len())
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue should panic")
+		}
+	}()
+	q.Pop()
+}
+
+func TestPeekEmptyPanics(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peek on empty queue should panic")
+		}
+	}()
+	q.Peek()
+}
+
+func TestReset(t *testing.T) {
+	q := NewWithCapacity(func(a, b int) bool { return a < b }, 8)
+	q.Push(1)
+	q.Push(2)
+	q.Reset()
+	if !q.Empty() {
+		t.Fatal("Reset should empty the queue")
+	}
+	q.Push(9)
+	if q.Pop() != 9 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+func TestHeapSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(1000)
+		}
+		q := New(func(a, b int) bool { return a < b })
+		for _, v := range in {
+			q.Push(v)
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		for i, w := range want {
+			if got := q.Pop(); got != w {
+				t.Fatalf("trial %d pos %d: Pop = %d, want %d", trial, i, got, w)
+			}
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := New(func(a, b int) bool { return a < b })
+	oracle := []int{}
+	for op := 0; op < 2000; op++ {
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			v := rng.Intn(100)
+			q.Push(v)
+			oracle = append(oracle, v)
+			sort.Ints(oracle)
+		} else {
+			got := q.Pop()
+			if got != oracle[0] {
+				t.Fatalf("op %d: Pop = %d, want %d", op, got, oracle[0])
+			}
+			oracle = oracle[1:]
+		}
+	}
+}
+
+func TestStructElements(t *testing.T) {
+	type entry struct {
+		key  float64
+		name string
+	}
+	q := New(func(a, b entry) bool { return a.key < b.key })
+	q.Push(entry{2.5, "b"})
+	q.Push(entry{1.5, "a"})
+	q.Push(entry{3.5, "c"})
+	if got := q.Pop().name; got != "a" {
+		t.Fatalf("Pop name = %q", got)
+	}
+}

@@ -1,0 +1,473 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+)
+
+// id is the leaf payload used throughout the tests.
+type id int
+
+func randomPoints(rng *rand.Rand, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return pts
+}
+
+func buildByInsert(pts []geo.Point, maxE int) *Tree[id, None] {
+	t := New(NoAug[id](), maxE)
+	for i, p := range pts {
+		t.Insert(geo.RectFromPoint(p), id(i))
+	}
+	return t
+}
+
+func buildByBulk(pts []geo.Point, maxE int) *Tree[id, None] {
+	t := New(NoAug[id](), maxE)
+	entries := make([]LeafEntry[id], len(pts))
+	for i, p := range pts {
+		entries[i] = LeafEntry[id]{Rect: geo.RectFromPoint(p), Item: id(i)}
+	}
+	t.BulkLoad(entries)
+	return t
+}
+
+func bruteRange(pts []geo.Point, r geo.Rect) map[id]bool {
+	out := map[id]bool{}
+	for i, p := range pts {
+		if r.ContainsPoint(p) {
+			out[id(i)] = true
+		}
+	}
+	return out
+}
+
+func collectRange(t *Tree[id, None], r geo.Rect) map[id]bool {
+	out := map[id]bool{}
+	t.Range(r, func(e LeafEntry[id]) bool {
+		out[e.Item] = true
+		return true
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(NoAug[id](), 8)
+	if tr.Len() != 0 || tr.Height() != 0 || tr.NodeCount() != 0 {
+		t.Fatal("empty tree should have zero size/height/nodes")
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.KNN(geo.Point{}, 3); got != nil {
+		t.Fatalf("KNN on empty = %v", got)
+	}
+	if !tr.Range(geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 1}), func(LeafEntry[id]) bool { return true }) {
+		t.Fatal("Range on empty should complete")
+	}
+}
+
+func TestInsertSmall(t *testing.T) {
+	tr := buildByInsert([]geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}, 8)
+	if tr.Len() != 3 || tr.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGrowsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 500)
+	tr := buildByInsert(pts, 8)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected height >= 3 for 500 pts with fanout 8, got %d", tr.Height())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(rng, 800)
+	for _, build := range []func([]geo.Point, int) *Tree[id, None]{buildByInsert, buildByBulk} {
+		tr := build(pts, 16)
+		for trial := 0; trial < 50; trial++ {
+			r := geo.NewRect(
+				geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+				geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			)
+			got := collectRange(tr, r)
+			want := bruteRange(pts, r)
+			if len(got) != len(want) {
+				t.Fatalf("range size %d, want %d", len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("missing id %d", k)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := buildByInsert(randomPoints(rng, 100), 8)
+	count := 0
+	complete := tr.Range(geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000}), func(LeafEntry[id]) bool {
+		count++
+		return count < 5
+	})
+	if complete {
+		t.Fatal("early-stopped Range should report incomplete")
+	}
+	if count != 5 {
+		t.Fatalf("visited %d entries, want 5", count)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 600)
+	for _, build := range []func([]geo.Point, int) *Tree[id, None]{buildByInsert, buildByBulk} {
+		tr := build(pts, 16)
+		for trial := 0; trial < 30; trial++ {
+			q := geo.Point{X: rng.Float64() * 1200, Y: rng.Float64() * 1200}
+			k := 1 + rng.Intn(20)
+			got := tr.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("KNN returned %d, want %d", len(got), k)
+			}
+			dists := make([]float64, len(pts))
+			for i, p := range pts {
+				dists[i] = q.Dist(p)
+			}
+			sort.Float64s(dists)
+			for i, nb := range got {
+				if diff := nb.Dist - dists[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("neighbor %d dist %v, want %v", i, nb.Dist, dists[i])
+				}
+			}
+			// Ascending order.
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist < got[i-1].Dist {
+					t.Fatal("KNN result not sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMoreThanSize(t *testing.T) {
+	tr := buildByInsert([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, 8)
+	if got := tr.KNN(geo.Point{}, 10); len(got) != 2 {
+		t.Fatalf("KNN k>n returned %d", len(got))
+	}
+}
+
+func TestBulkLoadStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 7, 64, 65, 1000, 5000} {
+		pts := randomPoints(rng, n)
+		tr := buildByBulk(pts, 64)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 0 && n <= 64 && tr.Height() != 1 {
+			t.Fatalf("n=%d should fit a single leaf, height=%d", n, tr.Height())
+		}
+	}
+}
+
+func TestBulkLoadUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := buildByBulk(randomPoints(rng, 10000), 64)
+	// STR packing should use close to n/maxE leaves.
+	nodes := tr.NodeCount()
+	minNodes := 10000 / 64
+	if nodes > 2*minNodes+10 {
+		t.Fatalf("bulk-loaded tree too sparse: %d nodes for 10000 entries", nodes)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 300)
+	tr := buildByInsert(pts, 8)
+	// Delete half the points in random order.
+	perm := rng.Perm(300)
+	for i, pi := range perm {
+		ok := tr.Delete(geo.RectFromPoint(pts[pi]), func(v id) bool { return v == id(pi) })
+		if !ok {
+			t.Fatalf("delete %d failed", pi)
+		}
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+		if i == 149 {
+			break
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d, want 150", tr.Len())
+	}
+	// Remaining points must still be findable.
+	deleted := map[int]bool{}
+	for _, pi := range perm[:150] {
+		deleted[pi] = true
+	}
+	got := collectRange(tr, geo.NewRect(geo.Point{X: -1, Y: -1}, geo.Point{X: 1001, Y: 1001}))
+	for i := range pts {
+		if deleted[i] && got[id(i)] {
+			t.Fatalf("deleted id %d still present", i)
+		}
+		if !deleted[i] && !got[id(i)] {
+			t.Fatalf("surviving id %d missing", i)
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := buildByInsert([]geo.Point{{X: 1, Y: 1}}, 8)
+	if tr.Delete(geo.RectFromPoint(geo.Point{X: 9, Y: 9}), func(id) bool { return true }) {
+		t.Fatal("delete of absent rect should fail")
+	}
+	if tr.Delete(geo.RectFromPoint(geo.Point{X: 1, Y: 1}), func(id) bool { return false }) {
+		t.Fatal("delete with non-matching predicate should fail")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("failed deletes must not change size")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomPoints(rng, 100)
+	tr := buildByInsert(pts, 8)
+	for i := range pts {
+		if !tr.Delete(geo.RectFromPoint(pts[i]), func(v id) bool { return v == id(i) }) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree must remain usable.
+	tr.Insert(geo.RectFromPoint(geo.Point{X: 5, Y: 5}), 999)
+	if got := tr.KNN(geo.Point{X: 5, Y: 5}, 1); len(got) != 1 || got[0].Item != 999 {
+		t.Fatal("tree unusable after delete-all")
+	}
+}
+
+func TestMixedInsertDeleteAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(NoAug[id](), 8)
+	live := map[id]geo.Point{}
+	next := 0
+	for op := 0; op < 3000; op++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			tr.Insert(geo.RectFromPoint(p), id(next))
+			live[id(next)] = p
+			next++
+		} else {
+			// Delete a random live element.
+			var victim id
+			n := rng.Intn(len(live))
+			for k := range live {
+				if n == 0 {
+					victim = k
+					break
+				}
+				n--
+			}
+			p := live[victim]
+			if !tr.Delete(geo.RectFromPoint(p), func(v id) bool { return v == victim }) {
+				t.Fatalf("op %d: delete %d failed", op, victim)
+			}
+			delete(live, victim)
+		}
+		if op%500 == 0 {
+			if err := tr.Verify(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, oracle has %d", tr.Len(), len(live))
+	}
+	got := collectRange(tr, geo.NewRect(geo.Point{X: -1, Y: -1}, geo.Point{X: 101, Y: 101}))
+	if len(got) != len(live) {
+		t.Fatalf("range found %d, oracle has %d", len(got), len(live))
+	}
+	for k := range live {
+		if !got[k] {
+			t.Fatalf("live id %d missing from tree", k)
+		}
+	}
+}
+
+func TestStatsCountNodeAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := buildByBulk(randomPoints(rng, 2000), 16)
+	tr.Stats().Reset()
+	tr.Range(geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 10}), func(LeafEntry[id]) bool { return true })
+	small := tr.Stats().NodeAccesses()
+	tr.Stats().Reset()
+	tr.Range(geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000}), func(LeafEntry[id]) bool { return true })
+	large := tr.Stats().NodeAccesses()
+	if small == 0 || large == 0 {
+		t.Fatal("queries should record node accesses")
+	}
+	if small >= large {
+		t.Fatalf("small range touched %d nodes, full scan %d; expected fewer", small, large)
+	}
+	if large != int64(tr.NodeCount()) {
+		t.Fatalf("full-space range touched %d nodes, tree has %d", large, tr.NodeCount())
+	}
+}
+
+// sumAug tracks the sum of payloads under each node, a simple augmenter
+// for which correctness is easy to verify globally.
+type sumAug struct{}
+
+func (sumAug) FromLeaf(v id) int  { return int(v) }
+func (sumAug) Merge(a, b int) int { return a + b }
+
+func verifySums(t *testing.T, n *Node[id, int]) int {
+	t.Helper()
+	if n.IsLeaf() {
+		want := 0
+		for _, e := range n.Entries() {
+			want += int(e.Item)
+		}
+		if n.Aug() != want {
+			t.Fatalf("leaf aug %d, want %d", n.Aug(), want)
+		}
+		return want
+	}
+	want := 0
+	for _, c := range n.Children() {
+		want += verifySums(t, c)
+	}
+	if n.Aug() != want {
+		t.Fatalf("node aug %d, want %d", n.Aug(), want)
+	}
+	return want
+}
+
+func TestAugmentationMaintained(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New[id, int](sumAug{}, 8)
+	pts := randomPoints(rng, 400)
+	total := 0
+	for i, p := range pts {
+		tr.Insert(geo.RectFromPoint(p), id(i))
+		total += i
+	}
+	if tr.Root().Aug() != total {
+		t.Fatalf("root aug %d, want %d", tr.Root().Aug(), total)
+	}
+	verifySums(t, tr.Root())
+
+	// Deletion must keep augmentation exact.
+	for i := 0; i < 200; i++ {
+		if !tr.Delete(geo.RectFromPoint(pts[i]), func(v id) bool { return v == id(i) }) {
+			t.Fatalf("delete %d failed", i)
+		}
+		total -= i
+	}
+	if tr.Root().Aug() != total {
+		t.Fatalf("after deletes root aug %d, want %d", tr.Root().Aug(), total)
+	}
+	verifySums(t, tr.Root())
+}
+
+func TestAugmentationBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := New[id, int](sumAug{}, 16)
+	pts := randomPoints(rng, 777)
+	entries := make([]LeafEntry[id], len(pts))
+	total := 0
+	for i, p := range pts {
+		entries[i] = LeafEntry[id]{Rect: geo.RectFromPoint(p), Item: id(i)}
+		total += i
+	}
+	tr.BulkLoad(entries)
+	if tr.Root().Aug() != total {
+		t.Fatalf("root aug %d, want %d", tr.Root().Aug(), total)
+	}
+	verifySums(t, tr.Root())
+}
+
+func TestQuadraticPartitionRespectsMinFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(60)
+		minFill := 2 + rng.Intn(n/2-1)
+		rects := make([]geo.Rect, n)
+		for i := range rects {
+			a := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			b := geo.Point{X: a.X + rng.Float64()*10, Y: a.Y + rng.Float64()*10}
+			rects[i] = geo.NewRect(a, b)
+		}
+		ga, gb := quadraticPartition(rects, minFill)
+		if len(ga)+len(gb) != n {
+			t.Fatalf("partition lost rects: %d + %d != %d", len(ga), len(gb), n)
+		}
+		if len(ga) < minFill || len(gb) < minFill {
+			t.Fatalf("partition under min fill: %d/%d < %d", len(ga), len(gb), minFill)
+		}
+		seen := map[int]bool{}
+		for _, i := range append(append([]int{}, ga...), gb...) {
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestDuplicatePointsSupported(t *testing.T) {
+	tr := New(NoAug[id](), 4)
+	p := geo.Point{X: 5, Y: 5}
+	for i := 0; i < 50; i++ {
+		tr.Insert(geo.RectFromPoint(p), id(i))
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectRange(tr, geo.RectFromPoint(p))
+	if len(got) != 50 {
+		t.Fatalf("range on duplicate point found %d", len(got))
+	}
+	// Delete each by identity.
+	for i := 0; i < 50; i++ {
+		if !tr.Delete(geo.RectFromPoint(p), func(v id) bool { return v == id(i) }) {
+			t.Fatalf("delete dup %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("all duplicates should be gone")
+	}
+}

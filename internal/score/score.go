@@ -1,0 +1,213 @@
+// Package score defines the spatial keyword top-k query model of Section
+// 2.1 of the paper: the query tuple q = (loc, doc, k, w⃗), the ranking
+// function ST (Eqn 1) with normalized Euclidean distance and Jaccard
+// textual similarity (Eqn 2), and the deterministic ranking order every
+// engine and index in YASK agrees on.
+package score
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// Weights is the user preference w⃗ = ⟨ws, wt⟩ between spatial proximity
+// and textual similarity. Valid weights satisfy 0 < ws, wt < 1 and
+// ws + wt = 1.
+type Weights struct {
+	Ws, Wt float64
+}
+
+// DefaultWeights is the paper's default server-side setting w⃗ = ⟨0.5, 0.5⟩.
+var DefaultWeights = Weights{Ws: 0.5, Wt: 0.5}
+
+// WeightsFromWt returns the weight vector with the given textual weight.
+func WeightsFromWt(wt float64) Weights { return Weights{Ws: 1 - wt, Wt: wt} }
+
+// Validate returns an error unless 0 < ws,wt < 1 and ws + wt = 1 (within
+// floating-point tolerance).
+func (w Weights) Validate() error {
+	if !(w.Ws > 0 && w.Ws < 1 && w.Wt > 0 && w.Wt < 1) {
+		return fmt.Errorf("score: weights %v outside (0,1)", w)
+	}
+	if math.Abs(w.Ws+w.Wt-1) > 1e-9 {
+		return fmt.Errorf("score: weights %v do not sum to 1", w)
+	}
+	return nil
+}
+
+// Dist returns the Euclidean norm ‖w − o‖₂ between two weight vectors,
+// the Δw⃗ of penalty Eqn 3.
+func (w Weights) Dist(o Weights) float64 {
+	ds := w.Ws - o.Ws
+	dt := w.Wt - o.Wt
+	return math.Sqrt(ds*ds + dt*dt)
+}
+
+// String implements fmt.Stringer.
+func (w Weights) String() string { return fmt.Sprintf("⟨%.4g, %.4g⟩", w.Ws, w.Wt) }
+
+// TextSim selects the textual similarity model of Eqn 2. Jaccard is the
+// paper's default; Dice is the alternative its footnote 1 allows. Both
+// are set-based, so the SetR-tree and KcR-tree bounds adapt to either.
+type TextSim int
+
+const (
+	// SimJaccard is |o ∩ q| / |o ∪ q| (Eqn 2), the default.
+	SimJaccard TextSim = iota
+	// SimDice is 2|o ∩ q| / (|o| + |q|).
+	SimDice
+)
+
+// String implements fmt.Stringer.
+func (t TextSim) String() string {
+	switch t {
+	case SimJaccard:
+		return "jaccard"
+	case SimDice:
+		return "dice"
+	default:
+		return fmt.Sprintf("TextSim(%d)", int(t))
+	}
+}
+
+// Query is a spatial keyword top-k query.
+type Query struct {
+	Loc geo.Point
+	Doc vocab.KeywordSet
+	K   int
+	W   Weights
+	// Sim selects the textual similarity model; the zero value is the
+	// paper's Jaccard.
+	Sim TextSim
+}
+
+// Validate checks the query parameters.
+func (q Query) Validate() error {
+	if q.K <= 0 {
+		return errors.New("score: query k must be positive")
+	}
+	if q.Doc.Empty() {
+		return errors.New("score: query keyword set must not be empty")
+	}
+	if !q.Doc.Canonical() {
+		return errors.New("score: query keyword set not canonical")
+	}
+	if q.Sim != SimJaccard && q.Sim != SimDice {
+		return fmt.Errorf("score: unknown similarity model %d", int(q.Sim))
+	}
+	return q.W.Validate()
+}
+
+// WithWeights returns a copy of q with the weight vector replaced.
+func (q Query) WithWeights(w Weights) Query {
+	q.W = w
+	return q
+}
+
+// WithDoc returns a copy of q with the keyword set replaced.
+func (q Query) WithDoc(doc vocab.KeywordSet) Query {
+	q.Doc = doc
+	return q
+}
+
+// Scorer evaluates the ranking function for one query against one
+// collection. It fixes the spatial normalization constant (the data-space
+// diagonal) so that SDist ∈ [0, 1] for every object. Scorer is immutable
+// and safe for concurrent use.
+type Scorer struct {
+	Query   Query
+	MaxDist float64
+}
+
+// NewScorer returns a Scorer for q over the collection's space.
+func NewScorer(q Query, c *object.Collection) Scorer {
+	return Scorer{Query: q, MaxDist: c.MaxDist()}
+}
+
+// SDist returns the normalized spatial distance of o, clamped to [0, 1].
+// Clamping matters only when the query point lies outside the data space.
+func (s Scorer) SDist(o object.Object) float64 {
+	return s.SDistAt(o.Loc)
+}
+
+// SDistAt returns the normalized spatial distance of a location.
+func (s Scorer) SDistAt(p geo.Point) float64 {
+	d := s.Query.Loc.Dist(p) / s.MaxDist
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// SDistRectMin returns a lower bound on the normalized spatial distance
+// of every location inside r, clamped to [0, 1]. Index traversals use it
+// to upper-bound the spatial component ws·(1 − SDist) of a subtree.
+func (s Scorer) SDistRectMin(r geo.Rect) float64 {
+	d := r.MinDist(s.Query.Loc) / s.MaxDist
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// SDistRectMax returns an upper bound on the normalized spatial distance
+// of every location inside r, clamped to [0, 1].
+func (s Scorer) SDistRectMax(r geo.Rect) float64 {
+	d := r.MaxDist(s.Query.Loc) / s.MaxDist
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// TSim returns the textual similarity of o to the query keywords under
+// the query's similarity model (Eqn 2; Jaccard by default).
+func (s Scorer) TSim(o object.Object) float64 {
+	if s.Query.Sim == SimDice {
+		return s.Query.Doc.Dice(o.Doc)
+	}
+	return s.Query.Doc.Jaccard(o.Doc)
+}
+
+// Score returns ST(o, q) per Eqn 1.
+func (s Scorer) Score(o object.Object) float64 {
+	return s.Query.W.Ws*(1-s.SDist(o)) + s.Query.W.Wt*s.TSim(o)
+}
+
+// Components returns (1 − SDist) and TSim separately; the why-not engines
+// need both to build the per-object score lines of the weight plane.
+func (s Scorer) Components(o object.Object) (spatial, textual float64) {
+	return 1 - s.SDist(o), s.TSim(o)
+}
+
+// Better reports whether object a with score sa ranks strictly above
+// object b with score sb. Ties break by ascending object ID, which makes
+// the total ranking order deterministic — Definition 1 admits any
+// tie-break, and every engine here must use the same one.
+func Better(sa float64, a object.ID, sb float64, b object.ID) bool {
+	if sa != sb {
+		return sa > sb
+	}
+	return a < b
+}
+
+// Result is one ranked answer.
+type Result struct {
+	Obj   object.Object
+	Score float64
+}
+
+// ResultIDs projects results to their object IDs, a convenience for
+// tests and result diffing.
+func ResultIDs(rs []Result) []object.ID {
+	ids := make([]object.ID, len(rs))
+	for i, r := range rs {
+		ids[i] = r.Obj.ID
+	}
+	return ids
+}

@@ -1,0 +1,195 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+func collection() *object.Collection {
+	return object.NewCollection([]object.Object{
+		{ID: 0, Loc: geo.Point{X: 0, Y: 0}, Doc: vocab.NewKeywordSet(1, 2)},
+		{ID: 1, Loc: geo.Point{X: 3, Y: 4}, Doc: vocab.NewKeywordSet(1)},
+		{ID: 2, Loc: geo.Point{X: 6, Y: 8}, Doc: vocab.NewKeywordSet(3, 4)},
+	})
+}
+
+func TestWeightsValidate(t *testing.T) {
+	valid := []Weights{{0.5, 0.5}, {0.1, 0.9}, {0.999, 0.001}}
+	for _, w := range valid {
+		if err := w.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", w, err)
+		}
+	}
+	invalid := []Weights{{0, 1}, {1, 0}, {0.5, 0.6}, {-0.1, 1.1}, {0.3, 0.3}}
+	for _, w := range invalid {
+		if err := w.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", w)
+		}
+	}
+}
+
+func TestWeightsFromWt(t *testing.T) {
+	w := WeightsFromWt(0.3)
+	if w.Wt != 0.3 || math.Abs(w.Ws-0.7) > 1e-12 {
+		t.Fatalf("WeightsFromWt = %v", w)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightsDist(t *testing.T) {
+	a := Weights{0.5, 0.5}
+	b := Weights{0.2, 0.8}
+	want := math.Sqrt(0.09 + 0.09)
+	if got := a.Dist(b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Dist = %v, want %v", got, want)
+	}
+	if a.Dist(a) != 0 {
+		t.Fatal("Dist to self should be 0")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	good := Query{Loc: geo.Point{X: 1, Y: 1}, Doc: vocab.NewKeywordSet(1), K: 3, W: DefaultWeights}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	cases := []Query{
+		{Doc: vocab.NewKeywordSet(1), K: 0, W: DefaultWeights},
+		{Doc: nil, K: 3, W: DefaultWeights},
+		{Doc: vocab.NewKeywordSet(1), K: 3, W: Weights{0.5, 0.6}},
+		{Doc: vocab.KeywordSet{2, 1}, K: 3, W: DefaultWeights},
+	}
+	for i, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func TestSDistNormalization(t *testing.T) {
+	c := collection()
+	q := Query{Loc: geo.Point{X: 0, Y: 0}, Doc: vocab.NewKeywordSet(1), K: 1, W: DefaultWeights}
+	s := NewScorer(q, c)
+	// Space diagonal is dist((0,0),(6,8)) = 10.
+	if s.MaxDist != 10 {
+		t.Fatalf("MaxDist = %v, want 10", s.MaxDist)
+	}
+	if got := s.SDist(c.Get(0)); got != 0 {
+		t.Errorf("SDist(self) = %v", got)
+	}
+	if got := s.SDist(c.Get(1)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SDist(o1) = %v, want 0.5", got)
+	}
+	if got := s.SDist(c.Get(2)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SDist(o2) = %v, want 1", got)
+	}
+}
+
+func TestSDistClamped(t *testing.T) {
+	c := collection()
+	q := Query{Loc: geo.Point{X: 100, Y: 100}, Doc: vocab.NewKeywordSet(1), K: 1, W: DefaultWeights}
+	s := NewScorer(q, c)
+	for _, o := range c.All() {
+		if d := s.SDist(o); d != 1 {
+			t.Errorf("far query SDist(%v) = %v, want clamped 1", o.ID, d)
+		}
+	}
+}
+
+func TestScoreMatchesEqn1(t *testing.T) {
+	c := collection()
+	q := Query{Loc: geo.Point{X: 0, Y: 0}, Doc: vocab.NewKeywordSet(1, 2), K: 1, W: Weights{0.3, 0.7}}
+	s := NewScorer(q, c)
+	// o0: SDist 0, TSim 1 → 0.3*1 + 0.7*1 = 1.
+	if got := s.Score(c.Get(0)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Score(o0) = %v, want 1", got)
+	}
+	// o1: SDist 0.5, TSim |{1}|/|{1,2}| = 0.5 → 0.3*0.5 + 0.7*0.5 = 0.5.
+	if got := s.Score(c.Get(1)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Score(o1) = %v, want 0.5", got)
+	}
+	// o2: SDist 1, TSim 0 → 0.
+	if got := s.Score(c.Get(2)); got != 0 {
+		t.Errorf("Score(o2) = %v, want 0", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	c := collection()
+	q := Query{Loc: geo.Point{X: 0, Y: 0}, Doc: vocab.NewKeywordSet(1, 2), K: 1, W: DefaultWeights}
+	s := NewScorer(q, c)
+	sp, tx := s.Components(c.Get(1))
+	if math.Abs(sp-0.5) > 1e-12 || math.Abs(tx-0.5) > 1e-12 {
+		t.Fatalf("Components = %v, %v", sp, tx)
+	}
+	// Score must equal ws*spatial + wt*textual for any weights.
+	for _, w := range []Weights{{0.2, 0.8}, {0.5, 0.5}, {0.9, 0.1}} {
+		s2 := Scorer{Query: q.WithWeights(w), MaxDist: s.MaxDist}
+		want := w.Ws*sp + w.Wt*tx
+		if got := s2.Score(c.Get(1)); math.Abs(got-want) > 1e-12 {
+			t.Errorf("weights %v: Score = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestBetterTieBreak(t *testing.T) {
+	if !Better(0.5, 1, 0.4, 0) {
+		t.Error("higher score should rank above")
+	}
+	if Better(0.4, 0, 0.5, 1) {
+		t.Error("lower score should not rank above")
+	}
+	if !Better(0.5, 1, 0.5, 2) {
+		t.Error("equal score: lower ID should rank above")
+	}
+	if Better(0.5, 2, 0.5, 1) {
+		t.Error("equal score: higher ID should not rank above")
+	}
+	if Better(0.5, 1, 0.5, 1) {
+		t.Error("object should not rank above itself")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	q := Query{Loc: geo.Point{X: 1, Y: 1}, Doc: vocab.NewKeywordSet(1), K: 3, W: DefaultWeights}
+	q2 := q.WithWeights(Weights{0.2, 0.8})
+	if q.W != DefaultWeights {
+		t.Fatal("WithWeights mutated receiver")
+	}
+	if q2.W != (Weights{0.2, 0.8}) || q2.K != 3 {
+		t.Fatal("WithWeights result wrong")
+	}
+	q3 := q.WithDoc(vocab.NewKeywordSet(7, 8))
+	if !q.Doc.Equal(vocab.NewKeywordSet(1)) || !q3.Doc.Equal(vocab.NewKeywordSet(7, 8)) {
+		t.Fatal("WithDoc wrong")
+	}
+}
+
+func TestResultIDs(t *testing.T) {
+	c := collection()
+	rs := []Result{{Obj: c.Get(2), Score: 0.9}, {Obj: c.Get(0), Score: 0.8}}
+	ids := ResultIDs(rs)
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 0 {
+		t.Fatalf("ResultIDs = %v", ids)
+	}
+}
+
+func TestDegenerateSpaceMaxDist(t *testing.T) {
+	c := object.NewCollection([]object.Object{
+		{ID: 0, Loc: geo.Point{X: 5, Y: 5}, Doc: vocab.NewKeywordSet(1)},
+	})
+	if c.MaxDist() != 1 {
+		t.Fatalf("degenerate space MaxDist = %v, want 1", c.MaxDist())
+	}
+	q := Query{Loc: geo.Point{X: 5, Y: 5}, Doc: vocab.NewKeywordSet(1), K: 1, W: DefaultWeights}
+	s := NewScorer(q, c)
+	if got := s.Score(c.Get(0)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Score = %v, want 1", got)
+	}
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/yask-engine/yask"
+)
+
+// Server is the YASK web service.
+type Server struct {
+	engine   *yask.Engine
+	sessions *sessionStore
+	log      *queryLog
+	mux      *http.ServeMux
+}
+
+// Config configures New.
+type Config struct {
+	// SessionTTL is the idle lifetime of cached initial queries; zero
+	// means DefaultSessionTTL.
+	SessionTTL time.Duration
+	// LogCapacity bounds the in-memory query log; zero means 256.
+	LogCapacity int
+}
+
+// New returns a Server over the given engine.
+func New(engine *yask.Engine, cfg Config) *Server {
+	s := &Server{
+		engine:   engine,
+		sessions: newSessionStore(cfg.SessionTTL),
+		log:      newQueryLog(cfg.LogCapacity),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /", s.handleUI)
+	s.mux.HandleFunc("GET /api/objects", s.handleObjects)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /api/whynot", s.handleWhyNot)
+	s.mux.HandleFunc("POST /api/profile", s.handleProfile)
+	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("GET /api/log", s.handleLog)
+	s.mux.HandleFunc("DELETE /api/session/{id}", s.handleDropSession)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Sessions returns the number of live cached sessions (for monitoring
+// and tests).
+func (s *Server) Sessions() int { return s.sessions.len() }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is out can only be logged by the
+	// client; ignore them here.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// queryRequest is the wire form of a spatial keyword top-k query, the
+// payload of the paper's HTTP POST protocol.
+type queryRequest struct {
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords"`
+	K        int      `json:"k"`
+	// Wt is the textual weight; omitted (0) selects the server default
+	// 0.5, matching the paper ("the system ... leaves the weighting
+	// vector as a system parameter on the server").
+	Wt float64 `json:"wt,omitempty"`
+}
+
+func (qr queryRequest) query() yask.Query {
+	return yask.Query{X: qr.X, Y: qr.Y, Keywords: qr.Keywords, K: qr.K, Wt: qr.Wt}
+}
+
+type queryResponse struct {
+	SessionID string        `json:"sessionId"`
+	Results   []yask.Result `json:"results"`
+	ElapsedMS float64       `json:"elapsedMs"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := req.query()
+	start := time.Now()
+	results, err := s.engine.TopK(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	id := s.sessions.put(q, results)
+	s.log.add(logEntry{Time: time.Now(), Kind: "query", SessionID: id, Query: q, ElapsedMS: elapsed})
+	writeJSON(w, http.StatusOK, queryResponse{SessionID: id, Results: results, ElapsedMS: elapsed})
+}
+
+// whyNotRequest asks a follow-up question about a cached session's
+// initial query. Model selects the refinement module.
+type whyNotRequest struct {
+	SessionID string          `json:"sessionId"`
+	Missing   []yask.ObjectID `json:"missing"`
+	Model     string          `json:"model"` // "preference" or "keyword"
+	Lambda    float64         `json:"lambda,omitempty"`
+}
+
+type whyNotResponse struct {
+	Model      string                     `json:"model"`
+	Preference *yask.PreferenceRefinement `json:"preference,omitempty"`
+	Keyword    *yask.KeywordRefinement    `json:"keyword,omitempty"`
+	Best       *yask.BestRefinement       `json:"best,omitempty"`
+	// Results is the refined query's result set, displayed directly in
+	// the demo UI.
+	Results   []yask.Result `json:"results"`
+	ElapsedMS float64       `json:"elapsedMs"`
+}
+
+func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
+	var req whyNotRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	opts := yask.RefineOptions{Lambda: req.Lambda}
+	start := time.Now()
+	resp := whyNotResponse{Model: req.Model}
+	var refined yask.Query
+	switch req.Model {
+	case "preference":
+		ref, err := s.engine.WhyNotPreference(sess.query, req.Missing, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Preference = ref
+		refined = ref.Query
+	case "keyword":
+		ref, err := s.engine.WhyNotKeywords(sess.query, req.Missing, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Keyword = ref
+		refined = ref.Query
+	case "best":
+		ref, err := s.engine.WhyNotBest(sess.query, req.Missing, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Best = ref
+		refined = ref.Query
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown model %q (want preference, keyword, or best)", req.Model))
+		return
+	}
+	results, err := s.engine.TopK(refined)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Results = results
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	penalty := 0.0
+	switch {
+	case resp.Preference != nil:
+		penalty = resp.Preference.Penalty
+	case resp.Keyword != nil:
+		penalty = resp.Keyword.Penalty
+	case resp.Best != nil:
+		penalty = resp.Best.Penalty
+	}
+	s.log.add(logEntry{
+		Time: time.Now(), Kind: req.Model, SessionID: req.SessionID,
+		Query: refined, Penalty: penalty, ElapsedMS: resp.ElapsedMS,
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type explainRequest struct {
+	SessionID string          `json:"sessionId"`
+	Missing   []yask.ObjectID `json:"missing"`
+}
+
+type explainResponse struct {
+	Explanations []yask.Explanation `json:"explanations"`
+	ElapsedMS    float64            `json:"elapsedMs"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	start := time.Now()
+	exps, err := s.engine.Explain(sess.query, req.Missing)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	s.log.add(logEntry{Time: time.Now(), Kind: "explain", SessionID: req.SessionID, Query: sess.query, ElapsedMS: elapsed})
+	writeJSON(w, http.StatusOK, explainResponse{Explanations: exps, ElapsedMS: elapsed})
+}
+
+// profileRequest asks for a missing object's rank-vs-weight profile.
+type profileRequest struct {
+	SessionID string        `json:"sessionId"`
+	Missing   yask.ObjectID `json:"missing"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	steps, err := s.engine.RankProfile(sess.query, req.Missing)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, steps)
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	sugs, err := s.engine.SuggestKeywords(sess.query, req.Missing)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sugs)
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Objects())
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.log.recent(50))
+}
+
+func (s *Server) handleDropSession(w http.ResponseWriter, r *http.Request) {
+	s.sessions.drop(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

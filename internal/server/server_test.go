@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(yask.HKDemoEngine(), Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decoding %q: %v", raw.String(), err)
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+func runQuery(t *testing.T, ts *httptest.Server) queryResponse {
+	t.Helper()
+	var qr queryResponse
+	status, raw := postJSON(t, ts.URL+"/api/query", queryRequest{
+		X: 114.172, Y: 22.298, Keywords: []string{"wifi", "breakfast"}, K: 3,
+	}, &qr)
+	if status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, raw)
+	}
+	return qr
+}
+
+func pickMissing(t *testing.T, ts *httptest.Server, qr queryResponse) yask.ObjectID {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var objs []yask.Result
+	if err := json.NewDecoder(resp.Body).Decode(&objs); err != nil {
+		t.Fatal(err)
+	}
+	inResult := map[yask.ObjectID]bool{}
+	for _, r := range qr.Results {
+		inResult[r.ID] = true
+	}
+	for _, o := range objs {
+		if !inResult[o.ID] {
+			return o.ID
+		}
+	}
+	t.Fatal("no missing object available")
+	return 0
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	if len(qr.Results) != 3 {
+		t.Fatalf("got %d results", len(qr.Results))
+	}
+	if qr.SessionID == "" {
+		t.Fatal("no session ID")
+	}
+	if qr.ElapsedMS < 0 {
+		t.Fatal("negative elapsed")
+	}
+}
+
+func TestQueryEndpointRejectsBadInput(t *testing.T) {
+	_, ts := testServer(t)
+	status, _ := postJSON(t, ts.URL+"/api/query", queryRequest{K: 0, Keywords: []string{"x"}}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("k=0 status %d", status)
+	}
+	status, _ = postJSON(t, ts.URL+"/api/query", map[string]any{"bogus": 1}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d", status)
+	}
+	resp, err := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status %d", resp.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	missing := pickMissing(t, ts, qr)
+	var er explainResponse
+	status, raw := postJSON(t, ts.URL+"/api/explain", explainRequest{
+		SessionID: qr.SessionID, Missing: []yask.ObjectID{missing},
+	}, &er)
+	if status != http.StatusOK {
+		t.Fatalf("explain status %d: %s", status, raw)
+	}
+	if len(er.Explanations) != 1 || er.Explanations[0].Detail == "" {
+		t.Fatalf("bad explanations: %+v", er.Explanations)
+	}
+}
+
+func TestWhyNotEndpointBothModels(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	missing := pickMissing(t, ts, qr)
+	for _, model := range []string{"preference", "keyword"} {
+		var wr whyNotResponse
+		status, raw := postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+			SessionID: qr.SessionID, Missing: []yask.ObjectID{missing}, Model: model,
+		}, &wr)
+		if status != http.StatusOK {
+			t.Fatalf("%s status %d: %s", model, status, raw)
+		}
+		// Refined result must contain the missing object.
+		found := false
+		for _, r := range wr.Results {
+			if r.ID == missing {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s refinement did not revive %d", model, missing)
+		}
+		if model == "preference" && wr.Preference == nil {
+			t.Fatal("preference refinement missing from response")
+		}
+		if model == "keyword" && wr.Keyword == nil {
+			t.Fatal("keyword refinement missing from response")
+		}
+	}
+}
+
+func TestWhyNotUnknownModelAndSession(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	status, _ := postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+		SessionID: qr.SessionID, Missing: []yask.ObjectID{0}, Model: "sorcery",
+	}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown model status %d", status)
+	}
+	status, _ = postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+		SessionID: "nope", Missing: []yask.ObjectID{0}, Model: "preference",
+	}, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown session status %d", status)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv, ts := testServer(t)
+	qr := runQuery(t, ts)
+	if srv.Sessions() != 1 {
+		t.Fatalf("sessions = %d", srv.Sessions())
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/session/"+qr.SessionID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop status %d", resp.StatusCode)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("sessions after drop = %d", srv.Sessions())
+	}
+	// Why-not on a dropped session fails cleanly.
+	status, _ := postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+		SessionID: qr.SessionID, Missing: []yask.ObjectID{0}, Model: "preference",
+	}, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("dropped session status %d", status)
+	}
+}
+
+func TestSessionTTLExpiry(t *testing.T) {
+	st := newSessionStore(time.Minute)
+	base := time.Unix(1000, 0)
+	st.now = func() time.Time { return base }
+	id := st.put(yask.Query{}, nil)
+	if _, ok := st.get(id); !ok {
+		t.Fatal("fresh session missing")
+	}
+	base = base.Add(2 * time.Minute)
+	if _, ok := st.get(id); ok {
+		t.Fatal("expired session still served")
+	}
+	if st.len() != 0 {
+		t.Fatalf("store len = %d", st.len())
+	}
+}
+
+func TestSessionTTLRefreshOnUse(t *testing.T) {
+	st := newSessionStore(time.Minute)
+	base := time.Unix(1000, 0)
+	st.now = func() time.Time { return base }
+	id := st.put(yask.Query{}, nil)
+	for i := 0; i < 5; i++ {
+		base = base.Add(40 * time.Second)
+		if _, ok := st.get(id); !ok {
+			t.Fatalf("session expired despite activity (step %d)", i)
+		}
+	}
+}
+
+func TestQueryLogBounded(t *testing.T) {
+	l := newQueryLog(3)
+	for i := 0; i < 10; i++ {
+		l.add(logEntry{Kind: fmt.Sprintf("k%d", i)})
+	}
+	got := l.recent(100)
+	if len(got) != 3 {
+		t.Fatalf("log kept %d entries", len(got))
+	}
+	if got[0].Kind != "k9" || got[2].Kind != "k7" {
+		t.Fatalf("log order wrong: %+v", got)
+	}
+}
+
+func TestLogEndpointRecordsActivity(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	missing := pickMissing(t, ts, qr)
+	postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+		SessionID: qr.SessionID, Missing: []yask.ObjectID{missing}, Model: "preference",
+	}, nil)
+	resp, err := http.Get(ts.URL + "/api/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []logEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("log has %d entries, want >= 2", len(entries))
+	}
+	if entries[0].Kind != "preference" {
+		t.Fatalf("latest entry kind %q", entries[0].Kind)
+	}
+}
+
+func TestUIServed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("UI status %d", resp.StatusCode)
+	}
+	for _, needle := range []string{"YASK", "why-not", "/api/query", "canvas"} {
+		if !strings.Contains(strings.ToLower(body.String()), strings.ToLower(needle)) {
+			t.Fatalf("UI missing %q", needle)
+		}
+	}
+	resp2, _ := http.Get(ts.URL + "/definitely-not-here")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", resp2.StatusCode)
+	}
+}
+
+func TestObjectsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var objs []yask.Result
+	if err := json.NewDecoder(resp.Body).Decode(&objs); err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 539 {
+		t.Fatalf("objects = %d, want 539", len(objs))
+	}
+}
+
+func TestWhyNotBestModel(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	missing := pickMissing(t, ts, qr)
+	var wr whyNotResponse
+	status, raw := postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+		SessionID: qr.SessionID, Missing: []yask.ObjectID{missing}, Model: "best",
+	}, &wr)
+	if status != http.StatusOK {
+		t.Fatalf("best status %d: %s", status, raw)
+	}
+	if wr.Best == nil {
+		t.Fatal("best refinement missing from response")
+	}
+	found := false
+	for _, r := range wr.Results {
+		if r.ID == missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("best refinement did not revive %d", missing)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	missing := pickMissing(t, ts, qr)
+	var steps []yask.RankStep
+	status, raw := postJSON(t, ts.URL+"/api/profile", profileRequest{
+		SessionID: qr.SessionID, Missing: missing,
+	}, &steps)
+	if status != http.StatusOK {
+		t.Fatalf("profile status %d: %s", status, raw)
+	}
+	if len(steps) == 0 || steps[0].FromWt != 0 || steps[len(steps)-1].ToWt != 1 {
+		t.Fatalf("bad profile: %+v", steps)
+	}
+	// Unknown session.
+	status, _ = postJSON(t, ts.URL+"/api/profile", profileRequest{SessionID: "nope", Missing: missing}, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown session status %d", status)
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	qr := runQuery(t, ts)
+	missing := pickMissing(t, ts, qr)
+	var sugs []yask.KeywordSuggestion
+	status, raw := postJSON(t, ts.URL+"/api/suggest", explainRequest{
+		SessionID: qr.SessionID, Missing: []yask.ObjectID{missing},
+	}, &sugs)
+	if status != http.StatusOK {
+		t.Fatalf("suggest status %d: %s", status, raw)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+}

@@ -1,0 +1,154 @@
+// Package server implements YASK's browser–server deployment (Fig. 1 of
+// the paper): an HTTP JSON API over the public engine, a server-side
+// session cache of users' initial queries (kept until they stop asking
+// follow-up why-not questions), a query log exposing refined-query
+// parameters, penalties, and response times (Panel 5 of the demo UI),
+// and an embedded single-page map client standing in for the Google
+// Maps front end.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"github.com/yask-engine/yask"
+)
+
+// DefaultSessionTTL is how long a cached initial query survives without
+// follow-up why-not activity.
+const DefaultSessionTTL = 30 * time.Minute
+
+// session is one cached initial query and its result.
+type session struct {
+	id       string
+	query    yask.Query
+	results  []yask.Result
+	lastUsed time.Time
+}
+
+// sessionStore caches initial queries by session ID, mirroring the
+// paper's "the server caches users' initial spatial keyword queries
+// until users give up asking follow-up why-not questions".
+type sessionStore struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	now func() time.Time
+	m   map[string]*session
+}
+
+func newSessionStore(ttl time.Duration) *sessionStore {
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	return &sessionStore{ttl: ttl, now: time.Now, m: make(map[string]*session)}
+}
+
+// put stores a new session and returns its ID.
+func (st *sessionStore) put(q yask.Query, results []yask.Result) string {
+	id := newSessionID()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.evictLocked()
+	st.m[id] = &session{id: id, query: q, results: results, lastUsed: st.now()}
+	return id
+}
+
+// get fetches a live session and refreshes its TTL.
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	if st.now().Sub(s.lastUsed) > st.ttl {
+		delete(st.m, id)
+		return nil, false
+	}
+	s.lastUsed = st.now()
+	return s, true
+}
+
+// drop removes a session (the user gave up asking why-not questions).
+func (st *sessionStore) drop(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.m, id)
+}
+
+// len returns the number of live sessions.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.evictLocked()
+	return len(st.m)
+}
+
+// evictLocked removes expired sessions. Callers hold st.mu.
+func (st *sessionStore) evictLocked() {
+	cutoff := st.now().Add(-st.ttl)
+	for id, s := range st.m {
+		if s.lastUsed.Before(cutoff) {
+			delete(st.m, id)
+		}
+	}
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable environment breakage.
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// logEntry is one record of the query log (Panel 5): query parameters,
+// penalty for refined queries, and server response time.
+type logEntry struct {
+	Time      time.Time `json:"time"`
+	Kind      string    `json:"kind"` // "query", "explain", "preference", "keyword"
+	SessionID string    `json:"sessionId,omitempty"`
+	Query     yask.Query
+	Penalty   float64 `json:"penalty,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// queryLog is a bounded in-memory log of recent operations.
+type queryLog struct {
+	mu      sync.Mutex
+	entries []logEntry
+	cap     int
+}
+
+func newQueryLog(capacity int) *queryLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &queryLog{cap: capacity}
+}
+
+func (l *queryLog) add(e logEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.cap {
+		l.entries = l.entries[len(l.entries)-l.cap:]
+	}
+}
+
+// recent returns up to n latest entries, newest first.
+func (l *queryLog) recent(n int) []logEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > len(l.entries) {
+		n = len(l.entries)
+	}
+	out := make([]logEntry, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.entries[len(l.entries)-1-i]
+	}
+	return out
+}

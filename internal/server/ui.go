@@ -1,0 +1,219 @@
+package server
+
+// indexHTML is the embedded single-page client: a canvas map with the
+// three panels of the demo UI (Figs. 3–5). Grey markers are objects, the
+// red marker is the query location, green markers are results, black
+// markers are selected missing objects. It replaces the Google Maps
+// dependency of the original demo so the module stays offline.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>YASK — Why-Not Spatial Keyword Queries</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 0; display: flex; height: 100vh; }
+ #map-panel { flex: 1; position: relative; }
+ #map { width: 100%; height: 100%; background: #f3f0e9; cursor: crosshair; }
+ #side { width: 380px; padding: 12px; overflow-y: auto; border-left: 1px solid #ccc; }
+ fieldset { margin-bottom: 12px; border: 1px solid #bbb; border-radius: 6px; }
+ legend { font-weight: 600; }
+ label { display: block; margin: 6px 0 2px; font-size: 13px; }
+ input, select { width: 95%; padding: 4px; }
+ button { margin: 6px 4px 0 0; padding: 6px 10px; cursor: pointer; }
+ #results li, #log li { font-size: 13px; margin-bottom: 4px; }
+ .pill { display: inline-block; background: #e8e8e8; border-radius: 8px; padding: 0 6px; margin: 1px; font-size: 12px; }
+ #explain { background: #fffbe8; border: 1px solid #e5d97a; padding: 8px; border-radius: 6px; font-size: 13px; white-space: pre-wrap; }
+ .hidden { display: none; }
+</style>
+</head>
+<body>
+<div id="map-panel"><canvas id="map"></canvas></div>
+<div id="side">
+ <h2>YASK</h2>
+ <p style="font-size:13px">A whY-not question Answering engine for Spatial Keyword query services.
+ Click the map to set the query location (red). Results are green; click a grey marker to mark it
+ as an expected-but-missing object (black), then ask <em>why not?</em></p>
+
+ <fieldset>
+  <legend>Panel 2 — Spatial keyword top-k query</legend>
+  <label>Keywords (space separated)</label>
+  <input id="keywords" value="wifi breakfast">
+  <label>k</label>
+  <input id="k" type="number" value="3" min="1">
+  <button id="run">Run query</button>
+  <ol id="results"></ol>
+ </fieldset>
+
+ <fieldset>
+  <legend>Panel 3 — Why-not question</legend>
+  <div>Selected missing: <span id="missing-list">none</span></div>
+  <label>λ (penalty trade-off)</label>
+  <input id="lambda" type="number" value="0.5" min="0" max="1" step="0.1">
+  <button id="explain-btn" title="Why are these objects missing?">?</button>
+  <button id="refine-pref">Refine: preference</button>
+  <button id="refine-kw">Refine: keywords</button>
+ </fieldset>
+
+ <fieldset id="explain-panel" class="hidden">
+  <legend>Panel 4 — Explanation</legend>
+  <div id="explain"></div>
+ </fieldset>
+
+ <fieldset>
+  <legend>Panel 5 — Query log (i)</legend>
+  <button id="log-btn">Refresh log</button>
+  <ul id="log"></ul>
+ </fieldset>
+</div>
+<script>
+'use strict';
+const canvas = document.getElementById('map');
+const ctx = canvas.getContext('2d');
+let objects = [], results = [], missing = new Set(), queryLoc = null, sessionId = null;
+let bounds = null;
+
+function resize() {
+  canvas.width = canvas.parentElement.clientWidth;
+  canvas.height = canvas.parentElement.clientHeight;
+  draw();
+}
+window.addEventListener('resize', resize);
+
+function computeBounds() {
+  if (!objects.length) return;
+  let minX = Infinity, maxX = -Infinity, minY = Infinity, maxY = -Infinity;
+  for (const o of objects) {
+    minX = Math.min(minX, o.X); maxX = Math.max(maxX, o.X);
+    minY = Math.min(minY, o.Y); maxY = Math.max(maxY, o.Y);
+  }
+  const padX = (maxX - minX) * 0.05 || 1, padY = (maxY - minY) * 0.05 || 1;
+  bounds = {minX: minX - padX, maxX: maxX + padX, minY: minY - padY, maxY: maxY + padY};
+}
+function toPx(o) {
+  return {
+    x: (o.X - bounds.minX) / (bounds.maxX - bounds.minX) * canvas.width,
+    y: canvas.height - (o.Y - bounds.minY) / (bounds.maxY - bounds.minY) * canvas.height,
+  };
+}
+function toWorld(px, py) {
+  return {
+    X: bounds.minX + px / canvas.width * (bounds.maxX - bounds.minX),
+    Y: bounds.minY + (canvas.height - py) / canvas.height * (bounds.maxY - bounds.minY),
+  };
+}
+function draw() {
+  if (!bounds) return;
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const resultIds = new Set(results.map(r => r.ID));
+  for (const o of objects) {
+    const p = toPx(o);
+    ctx.beginPath();
+    ctx.arc(p.x, p.y, missing.has(o.ID) ? 7 : resultIds.has(o.ID) ? 6 : 3.5, 0, 7);
+    ctx.fillStyle = missing.has(o.ID) ? '#111' : resultIds.has(o.ID) ? '#1a9641' : '#9a9a9a';
+    ctx.fill();
+  }
+  if (queryLoc) {
+    const p = toPx(queryLoc);
+    ctx.beginPath(); ctx.arc(p.x, p.y, 8, 0, 7);
+    ctx.fillStyle = '#d7191c'; ctx.fill();
+    ctx.strokeStyle = '#fff'; ctx.lineWidth = 2; ctx.stroke();
+  }
+}
+canvas.addEventListener('click', ev => {
+  const rect = canvas.getBoundingClientRect();
+  const px = ev.clientX - rect.left, py = ev.clientY - rect.top;
+  // Near a marker? toggle missing. Otherwise set query location.
+  let nearest = null, nd = 1e9;
+  for (const o of objects) {
+    const p = toPx(o);
+    const d = Math.hypot(p.x - px, p.y - py);
+    if (d < nd) { nd = d; nearest = o; }
+  }
+  if (nearest && nd < 8) {
+    if (missing.has(nearest.ID)) missing.delete(nearest.ID); else missing.add(nearest.ID);
+    renderMissing();
+  } else {
+    queryLoc = toWorld(px, py);
+  }
+  draw();
+});
+function renderMissing() {
+  const el = document.getElementById('missing-list');
+  el.innerHTML = missing.size
+    ? [...missing].map(id => '<span class="pill">#' + id + '</span>').join('')
+    : 'none';
+}
+async function api(path, body, method) {
+  const res = await fetch(path, {
+    method: method || (body ? 'POST' : 'GET'),
+    headers: {'Content-Type': 'application/json'},
+    body: body ? JSON.stringify(body) : undefined,
+  });
+  const data = await res.json().catch(() => ({}));
+  if (!res.ok) throw new Error(data.error || res.statusText);
+  return data;
+}
+function renderResults(rs) {
+  results = rs;
+  document.getElementById('results').innerHTML = rs.map(r =>
+    '<li><b>' + (r.Name || '#' + r.ID) + '</b> score ' + r.Score.toFixed(4) +
+    '<br>' + (r.Keywords || []).map(k => '<span class="pill">' + k + '</span>').join('') + '</li>'
+  ).join('');
+  draw();
+}
+document.getElementById('run').onclick = async () => {
+  if (!queryLoc) { alert('Click the map to set the query location first.'); return; }
+  try {
+    const data = await api('/api/query', {
+      x: queryLoc.X, y: queryLoc.Y,
+      keywords: document.getElementById('keywords').value.trim().split(/\s+/),
+      k: parseInt(document.getElementById('k').value, 10),
+    });
+    sessionId = data.sessionId;
+    missing.clear(); renderMissing();
+    renderResults(data.results);
+  } catch (e) { alert(e.message); }
+};
+document.getElementById('explain-btn').onclick = async () => {
+  if (!sessionId || !missing.size) { alert('Run a query and select missing objects first.'); return; }
+  try {
+    const data = await api('/api/explain', {sessionId, missing: [...missing]});
+    document.getElementById('explain-panel').classList.remove('hidden');
+    document.getElementById('explain').textContent =
+      data.explanations.map(e => 'rank ' + e.Rank + ' — ' + e.Detail).join('\n\n');
+  } catch (e) { alert(e.message); }
+};
+async function refine(model) {
+  if (!sessionId || !missing.size) { alert('Run a query and select missing objects first.'); return; }
+  try {
+    const data = await api('/api/whynot', {
+      sessionId, missing: [...missing], model,
+      lambda: parseFloat(document.getElementById('lambda').value),
+    });
+    const ref = data.preference || data.keyword;
+    document.getElementById('explain-panel').classList.remove('hidden');
+    document.getElementById('explain').textContent =
+      'Refined (' + model + '): ' + JSON.stringify(ref.Query) +
+      '\npenalty ' + ref.Penalty.toFixed(4) + ', ' + data.elapsedMs.toFixed(2) + ' ms';
+    renderResults(data.results);
+  } catch (e) { alert(e.message); }
+}
+document.getElementById('refine-pref').onclick = () => refine('preference');
+document.getElementById('refine-kw').onclick = () => refine('keyword');
+document.getElementById('log-btn').onclick = async () => {
+  const entries = await api('/api/log');
+  document.getElementById('log').innerHTML = entries.map(e =>
+    '<li>[' + e.kind + '] k=' + e.Query.K + ' kw=' + (e.Query.Keywords || []).join(',') +
+    (e.penalty ? ' penalty=' + e.penalty.toFixed(4) : '') +
+    ' (' + e.elapsedMs.toFixed(2) + ' ms)</li>'
+  ).join('');
+};
+(async function init() {
+  objects = await api('/api/objects');
+  computeBounds();
+  resize();
+})();
+</script>
+</body>
+</html>
+`

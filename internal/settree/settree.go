@@ -1,0 +1,383 @@
+// Package settree implements the SetR-tree of the paper (Section 3.3 and
+// ref [6]): an R-tree whose every node carries the *intersection* and the
+// *union* of the keyword sets of all objects indexed below it. Those two
+// sets bound the Jaccard similarity of any object in the subtree to any
+// query keyword set, which — combined with the spatial MinDist/MaxDist
+// bounds — yields an admissible upper bound on the ranking score ST for
+// the whole subtree. The paper uses exactly this structure for its
+// spatial keyword top-k engine because the IR-tree of [4] cannot bound
+// Jaccard similarity.
+//
+// The package provides the best-first top-k algorithm of [4] over this
+// index, plus the rank-counting primitive (how many objects rank above a
+// given score) that both why-not modules are built on.
+package settree
+
+import (
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/pqueue"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// Aug is the SetR-tree node augmentation: the intersection and union of
+// all keyword sets below the node, plus the document-length range —
+// the extra pair of integers turns the near-vacuous root-level Jaccard
+// bound |q∩U|/|q∪I| into a useful one, because |o ∪ q.doc| is at least
+// |o.doc| + |q.doc| − |q.doc ∩ U| for every object below.
+type Aug struct {
+	// Inter is ⋂ o.doc over all objects o under the node. Every object
+	// below contains at least these keywords.
+	Inter vocab.KeywordSet
+	// Union is ⋃ o.doc over all objects o under the node. No object
+	// below contains a keyword outside this set.
+	Union vocab.KeywordSet
+	// MinLen and MaxLen bound |o.doc| over the objects below.
+	MinLen, MaxLen int32
+}
+
+type augmenter struct{}
+
+func (augmenter) FromLeaf(o object.Object) Aug {
+	n := int32(o.Doc.Len())
+	return Aug{Inter: o.Doc, Union: o.Doc, MinLen: n, MaxLen: n}
+}
+
+func (augmenter) Merge(a, b Aug) Aug {
+	out := Aug{
+		Inter:  a.Inter.Intersect(b.Inter),
+		Union:  a.Union.Union(b.Union),
+		MinLen: a.MinLen, MaxLen: a.MaxLen,
+	}
+	if b.MinLen < out.MinLen {
+		out.MinLen = b.MinLen
+	}
+	if b.MaxLen > out.MaxLen {
+		out.MaxLen = b.MaxLen
+	}
+	return out
+}
+
+// BoundMode selects the Jaccard bound the index prunes with; it exists
+// for the ablation study of the doc-length tightening (DESIGN.md §5).
+type BoundMode int
+
+const (
+	// BoundFull uses intersection/union sets plus document-length
+	// range — the production bound.
+	BoundFull BoundMode = iota
+	// BoundBasic uses only |q ∩ Union| / |q ∪ Inter|, the textbook
+	// SetR-tree bound. Sound but much looser near the root.
+	BoundBasic
+)
+
+// Index is a SetR-tree over a collection of objects. It is immutable
+// after construction and safe for concurrent readers (SetBoundMode must
+// be called before sharing).
+type Index struct {
+	tree  *rtree.Tree[object.Object, Aug]
+	coll  *object.Collection
+	bound BoundMode
+}
+
+// SetBoundMode switches the pruning bound; the default is BoundFull.
+func (ix *Index) SetBoundMode(m BoundMode) { ix.bound = m }
+
+// Build bulk-loads a SetR-tree over the collection with the given node
+// fanout (use rtree.DefaultMaxEntries when in doubt).
+func Build(c *object.Collection, maxEntries int) *Index {
+	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
+	entries := make([]rtree.LeafEntry[object.Object], c.Len())
+	for i, o := range c.All() {
+		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+	}
+	t.BulkLoad(entries)
+	return &Index{tree: t, coll: c}
+}
+
+// BuildByInsertion constructs the index by repeated insertion instead of
+// bulk loading; used by tests and the index-construction benches.
+func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
+	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
+	for _, o := range c.All() {
+		t.Insert(o.Rect(), o)
+	}
+	return &Index{tree: t, coll: c}
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *object.Collection { return ix.coll }
+
+// Tree exposes the underlying augmented R-tree for structural inspection
+// (tests, stats).
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.tree }
+
+// Stats returns the node-access statistics collector.
+func (ix *Index) Stats() *rtree.Stats { return ix.tree.Stats() }
+
+// TSimUpperBound returns an upper bound on the Jaccard similarity
+// between qdoc and the document of any object under a node with the
+// given augmentation.
+//
+// For any object o in the subtree, Inter ⊆ o.doc ⊆ Union and
+// MinLen ≤ |o.doc| ≤ MaxLen, so:
+//
+//	|o.doc ∩ q| ≤ min(|Union ∩ q|, MaxLen)
+//	|o.doc ∪ q| ≥ max(|Inter ∪ q|, MinLen + |q| − |Union ∩ q|)
+//
+// the second denominator term because |o ∪ q| = |o.doc| + |q| − |o ∩ q|
+// and the intersection cannot exceed |Union ∩ q|. The length terms are
+// what keeps the bound informative near the root, where Inter is empty
+// and Union covers the query.
+//
+// Under the Dice model the bound is 2·num / (MinLen + |q|), since the
+// denominator |o.doc| + |q| is bounded by the minimum document length.
+func TSimUpperBound(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) float64 {
+	if len(qdoc) == 0 {
+		return 0
+	}
+	// |Union ∩ q| via per-keyword binary search: |q| is tiny, Union can
+	// be the whole vocabulary near the root.
+	inUnion := 0
+	for _, kw := range qdoc {
+		if a.Union.Contains(kw) {
+			inUnion++
+		}
+	}
+	if inUnion == 0 {
+		return 0
+	}
+	num := inUnion
+	if int(a.MaxLen) < num {
+		num = int(a.MaxLen)
+	}
+	if sim == score.SimDice {
+		den := int(a.MinLen) + len(qdoc)
+		if den == 0 {
+			return 0
+		}
+		ub := 2 * float64(num) / float64(den)
+		if ub > 1 {
+			return 1
+		}
+		return ub
+	}
+	den := a.Inter.UnionLen(qdoc)
+	if byLen := int(a.MinLen) + len(qdoc) - inUnion; byLen > den {
+		den = byLen
+	}
+	if den < num {
+		den = num
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// scoreUpperBound bounds ST(o, q) for every object o under node n.
+func (ix *Index) scoreUpperBound(s score.Scorer, n *rtree.Node[object.Object, Aug]) float64 {
+	minSD := s.SDistRectMin(n.Rect())
+	var tUB float64
+	if ix.bound == BoundBasic {
+		tUB = TSimUpperBoundBasic(n.Aug(), s.Query.Doc)
+	} else {
+		tUB = TSimUpperBound(n.Aug(), s.Query.Doc, s.Query.Sim)
+	}
+	return s.Query.W.Ws*(1-minSD) + s.Query.W.Wt*tUB
+}
+
+// TSimUpperBoundBasic is the textbook SetR-tree Jaccard bound
+// |q ∩ Union| / |q ∪ Inter| without the doc-length tightening. Exported
+// for the ablation bench; production code uses TSimUpperBound.
+func TSimUpperBoundBasic(a Aug, qdoc vocab.KeywordSet) float64 {
+	if len(qdoc) == 0 {
+		return 0
+	}
+	num := 0
+	for _, kw := range qdoc {
+		if a.Union.Contains(kw) {
+			num++
+		}
+	}
+	if num == 0 {
+		return 0
+	}
+	den := a.Inter.UnionLen(qdoc)
+	if den < num {
+		den = num
+	}
+	return float64(num) / float64(den)
+}
+
+// TopK runs the best-first spatial keyword top-k algorithm of [4] over
+// the SetR-tree: a priority queue holds nodes keyed by their score upper
+// bound and objects keyed by their exact score; when an object surfaces
+// before every remaining node bound, it is guaranteed to be the next
+// result. Results come back in rank order (Definition 1 with ID
+// tie-break). Fewer than k results are returned only when the collection
+// is smaller than k.
+func (ix *Index) TopK(q score.Query) []score.Result {
+	s := score.NewScorer(q, ix.coll)
+	return ix.topK(s, q.K)
+}
+
+// TopKScorer is TopK with a caller-prepared scorer, letting the why-not
+// engines re-run queries with modified weights or keywords without
+// re-deriving normalization.
+func (ix *Index) TopKScorer(s score.Scorer) []score.Result {
+	return ix.topK(s, s.Query.K)
+}
+
+type pqEntry struct {
+	bound float64
+	node  *rtree.Node[object.Object, Aug]
+}
+
+// topK is the two-heap best-first search of [4]: a max-heap of nodes
+// ordered by score upper bound, and a bounded min-heap of the k best
+// objects seen. A node whose bound is strictly below the current k-th
+// best score cannot contribute (ties must still be expanded: they can
+// hide an equal-score object with a smaller ID).
+func (ix *Index) topK(s score.Scorer, k int) []score.Result {
+	root := ix.tree.Root()
+	if root == nil || k <= 0 {
+		return nil
+	}
+	stats := ix.tree.Stats()
+	nodes := pqueue.NewWithCapacity(func(a, b pqEntry) bool {
+		return a.bound > b.bound
+	}, 64)
+	nodes.Push(pqEntry{bound: ix.scoreUpperBound(s, root), node: root})
+
+	worstFirst := func(a, b score.Result) bool {
+		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
+	}
+	cand := pqueue.NewWithCapacity(worstFirst, k+1)
+
+	for nodes.Len() > 0 {
+		top := nodes.Pop()
+		if cand.Len() == k && top.bound < cand.Peek().Score {
+			break // no remaining node can improve the result
+		}
+		n := top.node
+		stats.AddNodeAccesses(1)
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				sc := s.Score(e.Item)
+				if cand.Len() < k {
+					cand.Push(score.Result{Obj: e.Item, Score: sc})
+				} else if w := cand.Peek(); score.Better(sc, e.Item.ID, w.Score, w.Obj.ID) {
+					cand.Pop()
+					cand.Push(score.Result{Obj: e.Item, Score: sc})
+				}
+			}
+			continue
+		}
+		kth := -1.0
+		if cand.Len() == k {
+			kth = cand.Peek().Score
+		}
+		for _, c := range n.Children() {
+			if b := ix.scoreUpperBound(s, c); b >= kth {
+				nodes.Push(pqEntry{bound: b, node: c})
+			}
+		}
+	}
+	out := make([]score.Result, cand.Len())
+	for i := cand.Len() - 1; i >= 0; i-- {
+		out[i] = cand.Pop()
+	}
+	return out
+}
+
+// CountBetter returns the number of objects that rank strictly above the
+// reference (refScore, refID) pair under scorer s, i.e. the reference's
+// rank minus one. The traversal prunes subtrees whose score upper bound
+// cannot beat the reference; it descends otherwise. The reference object
+// itself (matched by ID) is never counted.
+func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) int {
+	root := ix.tree.Root()
+	if root == nil {
+		return 0
+	}
+	stats := ix.tree.Stats()
+	count := 0
+	var walk func(n *rtree.Node[object.Object, Aug])
+	walk = func(n *rtree.Node[object.Object, Aug]) {
+		stats.AddNodeAccesses(1)
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				if e.Item.ID == refID {
+					continue
+				}
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
+					count++
+				}
+			}
+			return
+		}
+		for _, c := range n.Children() {
+			// A subtree whose best possible score is below the
+			// reference (or ties with a larger smallest-possible ID —
+			// unknowable cheaply, so only strict inequality prunes)
+			// contributes nothing.
+			if ix.scoreUpperBound(s, c) < refScore {
+				continue
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	return count
+}
+
+// RankOf returns the 1-based rank of object oid under scorer s: one plus
+// the number of objects ranking strictly above it.
+func (ix *Index) RankOf(s score.Scorer, oid object.ID) int {
+	o := ix.coll.Get(oid)
+	return ix.CountBetter(s, s.Score(o), oid) + 1
+}
+
+// ScanTopK is the brute-force oracle: score every object and select the
+// top k. It exists as the baseline the benches compare against and as
+// the reference implementation tests validate the index against.
+func ScanTopK(c *object.Collection, q score.Query) []score.Result {
+	s := score.NewScorer(q, c)
+	if q.K <= 0 || c.Len() == 0 {
+		return nil
+	}
+	// Keep a bounded max-heap (invert: pop worst) of the k best.
+	worstFirst := func(a, b score.Result) bool {
+		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
+	}
+	pq := pqueue.NewWithCapacity(worstFirst, q.K+1)
+	for _, o := range c.All() {
+		pq.Push(score.Result{Obj: o, Score: s.Score(o)})
+		if pq.Len() > q.K {
+			pq.Pop()
+		}
+	}
+	out := make([]score.Result, pq.Len())
+	for i := pq.Len() - 1; i >= 0; i-- {
+		out[i] = pq.Pop()
+	}
+	return out
+}
+
+// ScanRank is the brute-force rank oracle matching RankOf.
+func ScanRank(c *object.Collection, s score.Scorer, oid object.ID) int {
+	ref := c.Get(oid)
+	refScore := s.Score(ref)
+	rank := 1
+	for _, o := range c.All() {
+		if o.ID == oid {
+			continue
+		}
+		if score.Better(s.Score(o), o.ID, refScore, oid) {
+			rank++
+		}
+	}
+	return rank
+}

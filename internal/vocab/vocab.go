@@ -1,0 +1,371 @@
+// Package vocab provides the textual substrate of YASK: a vocabulary that
+// interns keyword strings to dense integer IDs, and KeywordSet, a sorted
+// set of keyword IDs with the set algebra the ranking function (Jaccard,
+// Eqn 2 of the paper) and the keyword-adaption model (keyword edit
+// distance, Eqn 4) are built on.
+//
+// Interning keywords once and operating on sorted []Keyword everywhere
+// keeps set intersection/union linear, allocation-light, and cheap to
+// store inside index nodes.
+package vocab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Keyword is a dense vocabulary ID. IDs are assigned in first-seen order
+// starting at 0.
+type Keyword uint32
+
+// Vocabulary interns keyword strings to Keyword IDs. It is safe for
+// concurrent use. The zero value is ready to use.
+type Vocabulary struct {
+	mu    sync.RWMutex
+	ids   map[string]Keyword
+	words []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]Keyword)}
+}
+
+// Intern returns the ID for word, assigning a fresh one if the word is
+// new. Words are case-folded to lower case before interning.
+func (v *Vocabulary) Intern(word string) Keyword {
+	word = Normalize(word)
+	v.mu.RLock()
+	id, ok := v.ids[word]
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok := v.ids[word]; ok {
+		return id
+	}
+	if v.ids == nil {
+		v.ids = make(map[string]Keyword)
+	}
+	id = Keyword(len(v.words))
+	v.ids[word] = id
+	v.words = append(v.words, word)
+	return id
+}
+
+// Lookup returns the ID for word if it has been interned.
+func (v *Vocabulary) Lookup(word string) (Keyword, bool) {
+	word = Normalize(word)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.ids[word]
+	return id, ok
+}
+
+// Word returns the string for id. It panics if id was never assigned,
+// because that always indicates corrupted caller state.
+func (v *Vocabulary) Word(id Keyword) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if int(id) >= len(v.words) {
+		panic(fmt.Sprintf("vocab: unknown keyword id %d (vocabulary size %d)", id, len(v.words)))
+	}
+	return v.words[id]
+}
+
+// Len returns the number of distinct interned keywords.
+func (v *Vocabulary) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.words)
+}
+
+// InternSet interns every word and returns them as a KeywordSet.
+func (v *Vocabulary) InternSet(words ...string) KeywordSet {
+	ids := make([]Keyword, 0, len(words))
+	for _, w := range words {
+		if Normalize(w) == "" {
+			continue
+		}
+		ids = append(ids, v.Intern(w))
+	}
+	return NewKeywordSet(ids...)
+}
+
+// InternText tokenizes free text (letters/digits runs, lower-cased) and
+// interns every token, returning the resulting set.
+func (v *Vocabulary) InternText(text string) KeywordSet {
+	return v.InternSet(Tokenize(text)...)
+}
+
+// Words materializes set back into sorted keyword strings.
+func (v *Vocabulary) Words(set KeywordSet) []string {
+	out := make([]string, len(set))
+	for i, id := range set {
+		out[i] = v.Word(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize lower-cases and trims a keyword.
+func Normalize(word string) string {
+	return strings.ToLower(strings.TrimSpace(word))
+}
+
+// Tokenize splits free text into lower-cased tokens of letters and
+// digits. Everything else separates tokens.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// KeywordSet is a strictly increasing slice of keyword IDs. The canonical
+// (sorted, deduplicated) form is required by every operation; construct
+// values with NewKeywordSet or the Vocabulary helpers to guarantee it.
+// A nil KeywordSet is the empty set.
+type KeywordSet []Keyword
+
+// NewKeywordSet returns the canonical set of the given IDs.
+func NewKeywordSet(ids ...Keyword) KeywordSet {
+	if len(ids) == 0 {
+		return nil
+	}
+	s := make(KeywordSet, len(ids))
+	copy(s, ids)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Deduplicate in place.
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Canonical reports whether s is sorted strictly ascending.
+func (s KeywordSet) Canonical() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the cardinality of s.
+func (s KeywordSet) Len() int { return len(s) }
+
+// Empty reports whether s has no elements.
+func (s KeywordSet) Empty() bool { return len(s) == 0 }
+
+// Contains reports whether id is in s.
+func (s KeywordSet) Contains(id Keyword) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// Clone returns an independent copy of s.
+func (s KeywordSet) Clone() KeywordSet {
+	if s == nil {
+		return nil
+	}
+	out := make(KeywordSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same keywords.
+func (s KeywordSet) Equal(t KeywordSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectLen returns |s ∩ t| without allocating.
+func (s KeywordSet) IntersectLen(t KeywordSet) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			n++
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// UnionLen returns |s ∪ t| without allocating.
+func (s KeywordSet) UnionLen(t KeywordSet) int {
+	return len(s) + len(t) - s.IntersectLen(t)
+}
+
+// Intersect returns s ∩ t.
+func (s KeywordSet) Intersect(t KeywordSet) KeywordSet {
+	var out KeywordSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < t[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s KeywordSet) Union(t KeywordSet) KeywordSet {
+	out := make(KeywordSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			out = append(out, t[j])
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Diff returns s \ t.
+func (s KeywordSet) Diff(t KeywordSet) KeywordSet {
+	var out KeywordSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] == t[j]:
+			i++
+			j++
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Add returns s ∪ {id}, reusing s when id is already present.
+func (s KeywordSet) Add(id Keyword) KeywordSet {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	out := make(KeywordSet, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, id)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// Remove returns s \ {id}, reusing s when id is absent.
+func (s KeywordSet) Remove(id Keyword) KeywordSet {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i >= len(s) || s[i] != id {
+		return s
+	}
+	out := make(KeywordSet, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Jaccard returns |s ∩ t| / |s ∪ t|, the textual similarity of Eqn 2.
+// The Jaccard similarity of two empty sets is defined as 0 here: an
+// object with no keywords has no textual evidence for any query.
+func (s KeywordSet) Jaccard(t KeywordSet) float64 {
+	inter := s.IntersectLen(t)
+	union := len(s) + len(t) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns the Dice–Sørensen coefficient 2|s ∩ t| / (|s| + |t|),
+// the alternative textual similarity model of the paper's footnote 1.
+// The Dice similarity of two empty sets is defined as 0, matching
+// Jaccard.
+func (s KeywordSet) Dice(t KeywordSet) float64 {
+	den := len(s) + len(t)
+	if den == 0 {
+		return 0
+	}
+	return 2 * float64(s.IntersectLen(t)) / float64(den)
+}
+
+// EditDistance returns the minimum number of single-keyword insert or
+// delete operations transforming s into t. Because both are sets this is
+// exactly |s \ t| + |t \ s| (the symmetric difference), the Δdoc measure
+// of Eqn 4.
+func (s KeywordSet) EditDistance(t KeywordSet) int {
+	inter := s.IntersectLen(t)
+	return (len(s) - inter) + (len(t) - inter)
+}
+
+// Key returns a compact string form usable as a map key. Distinct sets
+// map to distinct keys.
+func (s KeywordSet) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, id := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer using raw IDs; use Vocabulary.Words for
+// human-readable output.
+func (s KeywordSet) String() string {
+	return "{" + s.Key() + "}"
+}

@@ -1,0 +1,402 @@
+package vocab
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	v := NewVocabulary()
+	a := v.Intern("coffee")
+	b := v.Intern("wifi")
+	c := v.Intern("coffee")
+	if a != 0 || b != 1 {
+		t.Fatalf("expected dense IDs 0,1; got %d,%d", a, b)
+	}
+	if c != a {
+		t.Fatalf("re-interning returned %d, want %d", c, a)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestInternCaseFolds(t *testing.T) {
+	v := NewVocabulary()
+	if v.Intern("Coffee") != v.Intern("coffee") || v.Intern("  COFFEE ") != v.Intern("coffee") {
+		t.Fatal("case/space variants should intern to the same ID")
+	}
+}
+
+func TestLookupAndWord(t *testing.T) {
+	v := NewVocabulary()
+	id := v.Intern("spa")
+	if got, ok := v.Lookup("SPA"); !ok || got != id {
+		t.Fatalf("Lookup = %d,%v; want %d,true", got, ok, id)
+	}
+	if _, ok := v.Lookup("sauna"); ok {
+		t.Fatal("Lookup of unseen word should fail")
+	}
+	if v.Word(id) != "spa" {
+		t.Fatalf("Word(%d) = %q", id, v.Word(id))
+	}
+}
+
+func TestWordPanicsOnUnknownID(t *testing.T) {
+	v := NewVocabulary()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Word(99) should panic")
+		}
+	}()
+	v.Word(99)
+}
+
+func TestZeroValueVocabularyUsable(t *testing.T) {
+	var v Vocabulary
+	if v.Intern("pool") != 0 {
+		t.Fatal("zero-value vocabulary should work")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	v := NewVocabulary()
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				v.Intern(words[j%len(words)])
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Len() != len(words) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(words))
+	}
+	// Every word must round-trip.
+	for _, w := range words {
+		id, ok := v.Lookup(w)
+		if !ok || v.Word(id) != w {
+			t.Fatalf("round trip failed for %q", w)
+		}
+	}
+}
+
+func TestInternSetSkipsBlank(t *testing.T) {
+	v := NewVocabulary()
+	s := v.InternSet("wifi", "", "  ", "pool", "wifi")
+	if s.Len() != 2 {
+		t.Fatalf("set = %v, want 2 elements", s)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Free Wi-Fi, 24h front-desk & pool!")
+	want := []string{"free", "wi", "fi", "24h", "front", "desk", "pool"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestInternText(t *testing.T) {
+	v := NewVocabulary()
+	s := v.InternText("Clean, clean and comfortable.")
+	if got := v.Words(s); !reflect.DeepEqual(got, []string{"and", "clean", "comfortable"}) {
+		t.Fatalf("InternText words = %v", got)
+	}
+}
+
+func TestNewKeywordSetCanonicalizes(t *testing.T) {
+	s := NewKeywordSet(5, 1, 3, 1, 5, 2)
+	want := KeywordSet{1, 2, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("NewKeywordSet = %v, want %v", s, want)
+	}
+	if !s.Canonical() {
+		t.Fatal("result not canonical")
+	}
+	if NewKeywordSet() != nil {
+		t.Fatal("empty NewKeywordSet should be nil")
+	}
+}
+
+func TestContainsBinarySearch(t *testing.T) {
+	s := NewKeywordSet(2, 4, 6, 8)
+	for _, id := range []Keyword{2, 4, 6, 8} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []Keyword{0, 1, 3, 5, 7, 9} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewKeywordSet(1, 2, 3, 4)
+	b := NewKeywordSet(3, 4, 5, 6)
+	if got := a.Intersect(b); !got.Equal(NewKeywordSet(3, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(NewKeywordSet(1, 2, 3, 4, 5, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(NewKeywordSet(1, 2)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := b.Diff(a); !got.Equal(NewKeywordSet(5, 6)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if a.IntersectLen(b) != 2 || a.UnionLen(b) != 6 {
+		t.Errorf("IntersectLen/UnionLen = %d/%d", a.IntersectLen(b), a.UnionLen(b))
+	}
+}
+
+func TestSetAlgebraWithEmpty(t *testing.T) {
+	a := NewKeywordSet(1, 2)
+	var e KeywordSet
+	if !a.Intersect(e).Empty() || !e.Intersect(a).Empty() {
+		t.Error("intersect with empty should be empty")
+	}
+	if !a.Union(e).Equal(a) || !e.Union(a).Equal(a) {
+		t.Error("union with empty should be identity")
+	}
+	if !a.Diff(e).Equal(a) || !e.Diff(a).Empty() {
+		t.Error("diff with empty wrong")
+	}
+	if !e.Union(e).Empty() {
+		t.Error("empty union empty should stay empty")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := NewKeywordSet(1, 3)
+	s2 := s.Add(2)
+	if !s2.Equal(NewKeywordSet(1, 2, 3)) {
+		t.Fatalf("Add = %v", s2)
+	}
+	if !s.Equal(NewKeywordSet(1, 3)) {
+		t.Fatal("Add mutated receiver")
+	}
+	if got := s.Add(3); &got[0] != &s[0] {
+		t.Error("Add of existing element should reuse the slice")
+	}
+	r := s2.Remove(2)
+	if !r.Equal(s) {
+		t.Fatalf("Remove = %v", r)
+	}
+	if got := s.Remove(99); &got[0] != &s[0] {
+		t.Error("Remove of absent element should reuse the slice")
+	}
+	one := NewKeywordSet(7)
+	if one.Remove(7) != nil {
+		t.Error("removing last element should yield nil set")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b KeywordSet
+		want float64
+	}{
+		{NewKeywordSet(1, 2), NewKeywordSet(1, 2), 1},
+		{NewKeywordSet(1, 2), NewKeywordSet(3, 4), 0},
+		{NewKeywordSet(1, 2, 3), NewKeywordSet(2, 3, 4), 0.5},
+		{nil, nil, 0},
+		{NewKeywordSet(1), nil, 0},
+	}
+	for _, tt := range cases {
+		if got := tt.a.Jaccard(tt.b); got != tt.want {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Jaccard(tt.a); got != tt.want {
+			t.Errorf("Jaccard not symmetric for %v,%v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b KeywordSet
+		want int
+	}{
+		{NewKeywordSet(1, 2), NewKeywordSet(1, 2), 0},
+		{NewKeywordSet(1, 2), NewKeywordSet(2, 3), 2},
+		{NewKeywordSet(1, 2, 3), nil, 3},
+		{nil, NewKeywordSet(9), 1},
+		{NewKeywordSet(1, 2, 3), NewKeywordSet(1, 2, 3, 4, 5), 2},
+	}
+	for _, tt := range cases {
+		if got := tt.a.EditDistance(tt.b); got != tt.want {
+			t.Errorf("EditDistance(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestKeyDistinctness(t *testing.T) {
+	sets := []KeywordSet{
+		nil,
+		NewKeywordSet(1),
+		NewKeywordSet(11),
+		NewKeywordSet(1, 1),
+		NewKeywordSet(1, 2),
+		NewKeywordSet(12),
+	}
+	seen := map[string]KeywordSet{}
+	for _, s := range sets {
+		k := s.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(s) {
+			t.Fatalf("key collision: %v and %v both map to %q", prev, s, k)
+		}
+		seen[k] = s
+	}
+}
+
+func randomSet(rng *rand.Rand, maxID, maxLen int) KeywordSet {
+	n := rng.Intn(maxLen + 1)
+	ids := make([]Keyword, n)
+	for i := range ids {
+		ids[i] = Keyword(rng.Intn(maxID))
+	}
+	return NewKeywordSet(ids...)
+}
+
+// Property tests against a map-based oracle.
+func TestSetOpsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := randomSet(rng, 20, 12)
+		b := randomSet(rng, 20, 12)
+		inA := map[Keyword]bool{}
+		for _, id := range a {
+			inA[id] = true
+		}
+		inB := map[Keyword]bool{}
+		for _, id := range b {
+			inB[id] = true
+		}
+		wantInter, wantUnion, wantDiff := 0, 0, 0
+		for id := Keyword(0); id < 20; id++ {
+			switch {
+			case inA[id] && inB[id]:
+				wantInter++
+				wantUnion++
+			case inA[id] && !inB[id]:
+				wantDiff++
+				wantUnion++
+			case inB[id]:
+				wantUnion++
+			}
+		}
+		if got := a.Intersect(b).Len(); got != wantInter {
+			t.Fatalf("Intersect len = %d, want %d (a=%v b=%v)", got, wantInter, a, b)
+		}
+		if got := a.Union(b).Len(); got != wantUnion {
+			t.Fatalf("Union len = %d, want %d", got, wantUnion)
+		}
+		if got := a.Diff(b).Len(); got != wantDiff {
+			t.Fatalf("Diff len = %d, want %d", got, wantDiff)
+		}
+		if a.IntersectLen(b) != wantInter || a.UnionLen(b) != wantUnion {
+			t.Fatal("len-only ops disagree with materialized ops")
+		}
+		if !a.Intersect(b).Canonical() || !a.Union(b).Canonical() || !a.Diff(b).Canonical() {
+			t.Fatal("results must stay canonical")
+		}
+	}
+}
+
+func TestJaccardBounds(t *testing.T) {
+	f := func(aRaw, bRaw []uint16) bool {
+		toSet := func(raw []uint16) KeywordSet {
+			ids := make([]Keyword, len(raw))
+			for i, r := range raw {
+				ids[i] = Keyword(r % 64)
+			}
+			return NewKeywordSet(ids...)
+		}
+		a, b := toSet(aRaw), toSet(bRaw)
+		j := a.Jaccard(b)
+		if j < 0 || j > 1 {
+			return false
+		}
+		if a.Equal(b) && !a.Empty() && j != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// EditDistance must be a metric on sets: identity, symmetry, triangle
+// inequality.
+func TestEditDistanceMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a := randomSet(rng, 16, 8)
+		b := randomSet(rng, 16, 8)
+		c := randomSet(rng, 16, 8)
+		if a.EditDistance(a) != 0 {
+			t.Fatal("d(a,a) != 0")
+		}
+		if a.EditDistance(b) != b.EditDistance(a) {
+			t.Fatal("edit distance not symmetric")
+		}
+		if a.EditDistance(c) > a.EditDistance(b)+b.EditDistance(c) {
+			t.Fatalf("triangle inequality violated: a=%v b=%v c=%v", a, b, c)
+		}
+		if (a.EditDistance(b) == 0) != a.Equal(b) {
+			t.Fatal("identity of indiscernibles violated")
+		}
+	}
+}
+
+func TestDice(t *testing.T) {
+	cases := []struct {
+		a, b KeywordSet
+		want float64
+	}{
+		{NewKeywordSet(1, 2), NewKeywordSet(1, 2), 1},
+		{NewKeywordSet(1, 2), NewKeywordSet(3, 4), 0},
+		{NewKeywordSet(1, 2, 3), NewKeywordSet(2, 3, 4), 2.0 / 3},
+		{nil, nil, 0},
+		{NewKeywordSet(1), nil, 0},
+	}
+	for _, tt := range cases {
+		if got := tt.a.Dice(tt.b); got != tt.want {
+			t.Errorf("Dice(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Dice(tt.a); got != tt.want {
+			t.Errorf("Dice not symmetric for %v,%v", tt.a, tt.b)
+		}
+	}
+}
+
+// Dice and Jaccard are monotonically related: J = D/(2−D). Verify the
+// identity on random sets.
+func TestDiceJaccardIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		a := randomSet(rng, 20, 10)
+		b := randomSet(rng, 20, 10)
+		d := a.Dice(b)
+		j := a.Jaccard(b)
+		want := 0.0
+		if 2-d != 0 {
+			want = d / (2 - d)
+		}
+		if diff := j - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("identity violated for %v,%v: J=%v D=%v", a, b, j, d)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package yask is a whY-not question Answering engine for Spatial
+// Keyword query services — a Go implementation of the system presented
+// in "YASK: A Why-Not Question Answering Engine for Spatial Keyword
+// Query Services" (Chen, Xu, Jensen, Li; PVLDB 9(13), 2016).
+//
+// The engine answers spatial keyword top-k queries — "the k objects
+// ranked highest by a mix of spatial proximity and textual similarity" —
+// and, when a user asks why an expected object is missing from a result,
+// explains the absence and produces a minimally modified refined query
+// that revives the missing object, under two refinement models:
+//
+//   - Preference adjustment: move the weighting between spatial distance
+//     and textual similarity (and enlarge k if needed).
+//   - Keyword adaption: edit the query keyword set (and enlarge k if
+//     needed).
+//
+// Quick start:
+//
+//	eng, err := yask.NewEngine(objects)
+//	res, err := eng.TopK(yask.Query{X: 114.17, Y: 22.30, Keywords: []string{"coffee"}, K: 3})
+//	exp, err := eng.Explain(query, []yask.ObjectID{missingID})
+//	ref, err := eng.WhyNotPreference(query, []yask.ObjectID{missingID}, yask.RefineOptions{})
+//
+// All engine methods are safe for concurrent use.
+package yask
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// ObjectID identifies an object within an engine. IDs are assigned
+// densely, in input order, at engine construction.
+type ObjectID = uint32
+
+// Object is one spatial web object handed to NewEngine: a planar
+// location (for geographic data, X is longitude and Y latitude) and the
+// keywords describing it. Keywords are case-folded; duplicates are
+// dropped.
+type Object struct {
+	Name     string
+	X, Y     float64
+	Keywords []string
+}
+
+// Query is a spatial keyword top-k query. The weighting Wt between
+// textual similarity (Wt) and spatial proximity (1−Wt) is a system
+// parameter per the paper; the zero value selects the default ⟨0.5, 0.5⟩.
+type Query struct {
+	// X, Y is the query location.
+	X, Y float64
+	// Keywords is the query keyword set (at least one keyword).
+	Keywords []string
+	// K is the number of objects to retrieve.
+	K int
+	// Wt is the textual-similarity weight in (0, 1); 0 means the
+	// default 0.5. The spatial weight is 1 − Wt.
+	Wt float64
+	// Similarity selects the textual similarity model: "" or "jaccard"
+	// for the paper's default Jaccard coefficient, "dice" for the
+	// Dice–Sørensen coefficient.
+	Similarity string
+}
+
+// Result is one ranked answer.
+type Result struct {
+	ID    ObjectID
+	Name  string
+	X, Y  float64
+	Score float64
+	// SDist and TSim are the normalized components behind Score.
+	SDist, TSim float64
+	Keywords    []string
+}
+
+// Explanation mirrors core's explanation generator output with
+// human-readable keywords.
+type Explanation struct {
+	ID     ObjectID
+	Name   string
+	Rank   int
+	Score  float64
+	SDist  float64
+	TSim   float64
+	Reason string
+	Detail string
+	// SuggestPreference / SuggestKeyword indicate which refinement model
+	// the explanation generator expects to revive the object.
+	SuggestPreference, SuggestKeyword bool
+}
+
+// RefineOptions configures the why-not refinement calls.
+type RefineOptions struct {
+	// Lambda is the penalty trade-off λ ∈ [0, 1] between enlarging k
+	// and modifying the query (Eqns 3/4 of the paper). The zero value
+	// selects the paper's default 0.5. To request a true λ = 0, set
+	// LambdaIsZero.
+	Lambda       float64
+	LambdaIsZero bool
+}
+
+func (o RefineOptions) lambda() float64 {
+	if o.LambdaIsZero {
+		return 0
+	}
+	if o.Lambda == 0 {
+		return core.DefaultLambda
+	}
+	return o.Lambda
+}
+
+// PreferenceRefinement is a preference-adjusted refined query.
+type PreferenceRefinement struct {
+	// Ws, Wt are the refined weights; K is the refined result size.
+	Ws, Wt float64
+	K      int
+	// Penalty is Eqn 3 for this refinement; DeltaK and DeltaW are its
+	// components.
+	Penalty float64
+	DeltaK  int
+	DeltaW  float64
+	// RankBefore/RankAfter are the worst missing-object ranks under the
+	// initial and refined query.
+	RankBefore, RankAfter int
+	// Query is the ready-to-run refined query.
+	Query Query
+}
+
+// KeywordRefinement is a keyword-adapted refined query.
+type KeywordRefinement struct {
+	// Keywords is the refined keyword set; K the refined result size.
+	Keywords []string
+	K        int
+	// Added and Removed are the edits applied to the original keywords.
+	Added, Removed []string
+	// Penalty is Eqn 4; DeltaK and DeltaDoc are its components.
+	Penalty  float64
+	DeltaK   int
+	DeltaDoc int
+	// RankBefore/RankAfter are the worst missing-object ranks under the
+	// initial and refined query.
+	RankBefore, RankAfter int
+	// Query is the ready-to-run refined query.
+	Query Query
+}
+
+// Engine is the public YASK engine: a spatial keyword top-k query
+// processor with why-not question answering.
+type Engine struct {
+	core  *core.Engine
+	vocab *vocab.Vocabulary
+}
+
+// NewEngine indexes the given objects and returns a ready engine.
+func NewEngine(objects []Object) (*Engine, error) {
+	if len(objects) == 0 {
+		return nil, errors.New("yask: need at least one object")
+	}
+	v := vocab.NewVocabulary()
+	objs := make([]object.Object, len(objects))
+	for i, o := range objects {
+		objs[i] = object.Object{
+			ID:   object.ID(i),
+			Name: o.Name,
+			Loc:  geo.Point{X: o.X, Y: o.Y},
+			Doc:  v.InternSet(o.Keywords...),
+		}
+		if objs[i].Doc.Empty() {
+			return nil, fmt.Errorf("yask: object %d (%q) has no keywords", i, o.Name)
+		}
+	}
+	return &Engine{
+		core:  core.NewEngine(object.NewCollection(objs), core.Options{}),
+		vocab: v,
+	}, nil
+}
+
+// newFromDataset wraps an internal dataset; used by the demo constructor
+// and the server.
+func newFromDataset(ds *dataset.Dataset) *Engine {
+	return &Engine{
+		core:  core.NewEngine(ds.Objects, core.Options{}),
+		vocab: ds.Vocab,
+	}
+}
+
+// HKDemoEngine returns an engine over the built-in demo dataset: a
+// deterministic synthetic stand-in for the paper's 539 Hong Kong hotels.
+func HKDemoEngine() *Engine {
+	return newFromDataset(dataset.HKHotels())
+}
+
+// LoadEngine reads a dataset file (.json or .csv, as written by the
+// yaskgen tool) and indexes it.
+func LoadEngine(path string) (*Engine, error) {
+	ds, err := dataset.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if ds.Objects.Len() == 0 {
+		return nil, fmt.Errorf("yask: dataset %q is empty", path)
+	}
+	return newFromDataset(ds), nil
+}
+
+// Len returns the number of indexed objects.
+func (e *Engine) Len() int { return e.core.Collection().Len() }
+
+// Object returns the indexed object with the given ID.
+func (e *Engine) Object(id ObjectID) (Object, error) {
+	if int(id) >= e.Len() {
+		return Object{}, fmt.Errorf("yask: unknown object ID %d", id)
+	}
+	o := e.core.Collection().Get(object.ID(id))
+	return Object{
+		Name:     o.Name,
+		X:        o.Loc.X,
+		Y:        o.Loc.Y,
+		Keywords: e.vocab.Words(o.Doc),
+	}, nil
+}
+
+// Objects returns all indexed objects with their IDs, in ID order.
+func (e *Engine) Objects() []Result {
+	all := e.core.Collection().All()
+	out := make([]Result, len(all))
+	for i, o := range all {
+		out[i] = Result{
+			ID: uint32(o.ID), Name: o.Name, X: o.Loc.X, Y: o.Loc.Y,
+			Keywords: e.vocab.Words(o.Doc),
+		}
+	}
+	return out
+}
+
+// buildQuery converts and validates a public query. Keywords unknown to
+// the engine's vocabulary are still interned — they simply match no
+// object, exactly as a user typing a novel word experiences.
+func (e *Engine) buildQuery(q Query) (score.Query, error) {
+	wt := q.Wt
+	if wt == 0 {
+		wt = 0.5
+	}
+	var sim score.TextSim
+	switch q.Similarity {
+	case "", "jaccard":
+		sim = score.SimJaccard
+	case "dice":
+		sim = score.SimDice
+	default:
+		return score.Query{}, fmt.Errorf("yask: unknown similarity model %q (want jaccard or dice)", q.Similarity)
+	}
+	sq := score.Query{
+		Loc: geo.Point{X: q.X, Y: q.Y},
+		Doc: e.vocab.InternSet(q.Keywords...),
+		K:   q.K,
+		W:   score.WeightsFromWt(wt),
+		Sim: sim,
+	}
+	if err := sq.Validate(); err != nil {
+		return score.Query{}, err
+	}
+	return sq, nil
+}
+
+func (e *Engine) publicQuery(sq score.Query) Query {
+	sim := ""
+	if sq.Sim == score.SimDice {
+		sim = "dice"
+	}
+	return Query{
+		X: sq.Loc.X, Y: sq.Loc.Y,
+		Keywords:   e.vocab.Words(sq.Doc),
+		K:          sq.K,
+		Wt:         sq.W.Wt,
+		Similarity: sim,
+	}
+}
+
+// TopK answers a spatial keyword top-k query.
+func (e *Engine) TopK(q Query) ([]Result, error) {
+	sq, err := e.buildQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.core.TopK(sq)
+	if err != nil {
+		return nil, err
+	}
+	s := score.NewScorer(sq, e.core.Collection())
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{
+			ID: uint32(r.Obj.ID), Name: r.Obj.Name,
+			X: r.Obj.Loc.X, Y: r.Obj.Loc.Y,
+			Score: r.Score, SDist: s.SDist(r.Obj), TSim: s.TSim(r.Obj),
+			Keywords: e.vocab.Words(r.Obj.Doc),
+		}
+	}
+	return out, nil
+}
+
+func toInternalIDs(missing []ObjectID) []object.ID {
+	ids := make([]object.ID, len(missing))
+	for i, m := range missing {
+		ids[i] = object.ID(m)
+	}
+	return ids
+}
+
+// Explain asks why the given objects are missing from the query's
+// result and returns one explanation per object.
+func (e *Engine) Explain(q Query, missing []ObjectID) ([]Explanation, error) {
+	sq, err := e.buildQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	exps, err := e.core.Explain(sq, toInternalIDs(missing))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Explanation, len(exps))
+	for i, ex := range exps {
+		out[i] = Explanation{
+			ID: uint32(ex.Missing.ID), Name: ex.Missing.Name,
+			Rank: ex.Rank, Score: ex.Score, SDist: ex.SDist, TSim: ex.TSim,
+			Reason: ex.Reason.String(), Detail: ex.Detail,
+			SuggestPreference: ex.SuggestPreference,
+			SuggestKeyword:    ex.SuggestKeyword,
+		}
+	}
+	return out, nil
+}
+
+// WhyNotPreference answers the preference-adjusted why-not question: it
+// returns the minimum-penalty refined query (adjusted weights, possibly
+// enlarged k) whose result contains every missing object.
+func (e *Engine) WhyNotPreference(q Query, missing []ObjectID, opts RefineOptions) (*PreferenceRefinement, error) {
+	sq, err := e.buildQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.core.AdjustPreference(sq, toInternalIDs(missing), core.PreferenceOptions{
+		Lambda:    opts.lambda(),
+		Algorithm: core.PrefSweepIndexed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PreferenceRefinement{
+		Ws: res.Refined.W.Ws, Wt: res.Refined.W.Wt, K: res.Refined.K,
+		Penalty: res.Penalty, DeltaK: res.DeltaK, DeltaW: res.DeltaW,
+		RankBefore: res.RankBefore, RankAfter: res.RankAfter,
+		Query: e.publicQuery(res.Refined),
+	}, nil
+}
+
+// WhyNotKeywords answers the keyword-adapted why-not question: it
+// returns the minimum-penalty refined query (edited keyword set,
+// possibly enlarged k) whose result contains every missing object.
+func (e *Engine) WhyNotKeywords(q Query, missing []ObjectID, opts RefineOptions) (*KeywordRefinement, error) {
+	sq, err := e.buildQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.core.AdaptKeywords(sq, toInternalIDs(missing), core.KeywordOptions{
+		Lambda:    opts.lambda(),
+		Algorithm: core.KwBoundPrune,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KeywordRefinement{
+		Keywords: e.vocab.Words(res.Refined.Doc),
+		K:        res.Refined.K,
+		Added:    e.vocab.Words(res.Added),
+		Removed:  e.vocab.Words(res.Removed),
+		Penalty:  res.Penalty, DeltaK: res.DeltaK, DeltaDoc: res.DeltaDoc,
+		RankBefore: res.RankBefore, RankAfter: res.RankAfter,
+		Query: e.publicQuery(res.Refined),
+	}, nil
+}
+
+// Rank returns the true rank of an object under the query — the number
+// the explanation panel of the demo UI reports.
+func (e *Engine) Rank(q Query, id ObjectID) (int, error) {
+	sq, err := e.buildQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	if int(id) >= e.Len() {
+		return 0, fmt.Errorf("yask: unknown object ID %d", id)
+	}
+	s := score.NewScorer(sq, e.core.Collection())
+	return e.core.SetIndex().RankOf(s, object.ID(id)), nil
+}
