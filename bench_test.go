@@ -26,24 +26,27 @@ var benchEnv = struct {
 	env *bench.Env
 }{}
 
-func env(b *testing.B) *bench.Env {
-	b.Helper()
+func env(tb testing.TB) *bench.Env {
+	tb.Helper()
 	if benchEnv.env == nil {
 		benchEnv.env = bench.NewEnv(benchN)
 	}
 	return benchEnv.env
 }
 
-// E1 — top-k query engines.
+// E1 — top-k query engines. The benchmarks measure the warm serving
+// path — a caller reusing its result buffer across queries — which with
+// the pooled traversal scratch runs allocation-free.
 
 func BenchmarkE1TopKSetRTree(b *testing.B) {
 	for _, k := range []int{3, 10, 50} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			e := env(b)
 			qs := e.Queries(64, k, 2)
+			var buf []score.Result
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.Set.TopK(qs[i%len(qs)])
+				buf = e.Set.TopKAppend(qs[i%len(qs)], buf[:0])
 			}
 		})
 	}
@@ -54,11 +57,70 @@ func BenchmarkE1TopKIRTree(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			e := env(b)
 			qs := e.Queries(64, k, 2)
+			var buf []score.Result
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.Ir.TopK(qs[i%len(qs)])
+				buf = e.Ir.TopKAppend(qs[i%len(qs)], buf[:0])
 			}
 		})
+	}
+}
+
+// BenchmarkE1TopKBatch measures the concurrent batch executor end to
+// end: one op is a whole batch of queries fanned across the worker
+// pool. Throughput scales with GOMAXPROCS; on a single-core host it
+// tracks the sequential path.
+func BenchmarkE1TopKBatch(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := env(b)
+			qs := e.Queries(64, 10, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Engine.TopKBatch(qs, core.BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKAllocationGuard is the allocation-regression guard of the
+// zero-allocation work: a warm top-k (pooled scratch, reused result
+// buffer) must average at most ~1 allocation per query on either
+// engine, and the plain TopK path at most a handful (the result slice).
+// A regression that reintroduces per-node or per-entry allocations
+// shows up here as hundreds of allocs per run.
+func TestTopKAllocationGuard(t *testing.T) {
+	e := env(t)
+	qs := e.Queries(16, 10, 2)
+
+	var buf []score.Result
+	warmSet := testing.AllocsPerRun(50, func() {
+		for _, q := range qs {
+			buf = e.Set.TopKAppend(q, buf[:0])
+		}
+	}) / float64(len(qs))
+	if warmSet > 1 {
+		t.Errorf("warm SetR-tree TopK averaged %.2f allocs/query, want ≤ 1", warmSet)
+	}
+
+	warmIr := testing.AllocsPerRun(50, func() {
+		for _, q := range qs {
+			buf = e.Ir.TopKAppend(q, buf[:0])
+		}
+	}) / float64(len(qs))
+	if warmIr > 1 {
+		t.Errorf("warm IR-tree TopK averaged %.2f allocs/query, want ≤ 1", warmIr)
+	}
+
+	coldSet := testing.AllocsPerRun(50, func() {
+		for _, q := range qs {
+			e.Set.TopK(q)
+		}
+	}) / float64(len(qs))
+	if coldSet > 4 {
+		t.Errorf("plain SetR-tree TopK averaged %.2f allocs/query, want ≤ 4", coldSet)
 	}
 }
 

@@ -8,6 +8,12 @@
 //	yaskbench              # all experiments, quick scale
 //	yaskbench -exp e3,e5   # selected experiments
 //	yaskbench -full        # paper-shaped dataset sizes (slow)
+//	yaskbench -json        # machine-readable hot-path snapshot
+//
+// The -json mode measures the hot-path suite (warm top-k latency, node
+// accesses, allocs/query, batch throughput) and emits one JSON document;
+// BENCH_baseline.json at the repo root is a checked-in snapshot of it,
+// the reference future PRs diff against.
 package main
 
 import (
@@ -20,13 +26,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e7) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e9) or 'all'")
 	full := flag.Bool("full", false, "run at paper-shaped scale (much slower)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable hot-path snapshot instead of tables")
 	flag.Parse()
 
 	scale := bench.Quick
 	if *full {
 		scale = bench.Full
+	}
+
+	if *jsonOut {
+		if err := bench.WriteJSONReport(os.Stdout, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}

@@ -1,0 +1,3 @@
+module github.com/yask-engine/yask
+
+go 1.22

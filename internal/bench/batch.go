@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// RunE9Batch regenerates experiment E9: throughput of the concurrent
+// batch executor across worker counts, against the sequential loop
+// baseline. Speedup is bounded by GOMAXPROCS — on a single-core host
+// the table shows the executor's overhead instead of a win, which is
+// itself a reproduction target (the pool must not cost more than a few
+// percent when it cannot help).
+func RunE9Batch(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	qs := env.Queries(scale.queries()*8, 10, 2)
+	fmt.Fprintf(w, "E9 — concurrent batch executor (N=%d, %d queries/batch, GOMAXPROCS=%d, %s scale)\n",
+		scale.baseN(), len(qs), runtime.GOMAXPROCS(0), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workers\tms/batch\tqueries/s\tspeedup\t")
+
+	seq := timeIt(func() {
+		for _, q := range qs {
+			env.Set.TopK(q)
+		}
+	})
+	fmt.Fprintf(tw, "loop\t%s\t%.0f\t1.0x\t\n", ms(seq), float64(len(qs))/seq.Seconds())
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		var d time.Duration
+		d = timeIt(func() {
+			if _, err := env.Engine.TopKBatch(qs, core.BatchOptions{Workers: workers}); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(tw, "%d\t%s\t%.0f\t%.1fx\t\n",
+			workers, ms(d), float64(len(qs))/d.Seconds(), float64(seq)/float64(d))
+	}
+	tw.Flush()
+}
+
+// Metric is one machine-readable measurement of the JSON report.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Report is the machine-readable benchmark snapshot `yaskbench -json`
+// emits. Future PRs diff a fresh run against the checked-in
+// BENCH_baseline.json to track the perf trajectory.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Scale      string   `json:"scale"`
+	N          int      `json:"n"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// WriteJSONReport measures the hot-path suite — warm top-k latency,
+// node accesses, allocations per query, and batch throughput — and
+// writes it as indented JSON.
+func WriteJSONReport(w io.Writer, scale Scale) error {
+	env := NewEnv(scale.baseN())
+	rep := Report{
+		Schema:     "yask-bench/v1",
+		Scale:      scale.String(),
+		N:          scale.baseN(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, value float64, unit string) {
+		rep.Metrics = append(rep.Metrics, Metric{Name: name, Value: value, Unit: unit})
+	}
+
+	for _, k := range []int{3, 10, 50} {
+		qs := env.Queries(scale.queries(), k, 2)
+		var buf []score.Result
+
+		// Warm both scratch pools before timing.
+		for _, q := range qs {
+			buf = env.Set.TopKAppend(q, buf[:0])
+			buf = env.Ir.TopKAppend(q, buf[:0])
+		}
+
+		env.Set.Stats().Reset()
+		setTime := timeIt(func() {
+			for _, q := range qs {
+				buf = env.Set.TopKAppend(q, buf[:0])
+			}
+		}) / time.Duration(len(qs))
+		add(fmt.Sprintf("e1/topk/setr/k=%d", k), float64(setTime.Nanoseconds()), "ns/op")
+		add(fmt.Sprintf("e1/nodes/setr/k=%d", k),
+			float64(env.Set.Stats().NodeAccesses()/int64(len(qs))), "nodes/op")
+		setAllocs := testing.AllocsPerRun(10, func() {
+			for _, q := range qs {
+				buf = env.Set.TopKAppend(q, buf[:0])
+			}
+		}) / float64(len(qs))
+		add(fmt.Sprintf("e1/allocs/setr/k=%d", k), setAllocs, "allocs/op")
+
+		env.Ir.Stats().Reset()
+		irTime := timeIt(func() {
+			for _, q := range qs {
+				buf = env.Ir.TopKAppend(q, buf[:0])
+			}
+		}) / time.Duration(len(qs))
+		add(fmt.Sprintf("e1/topk/ir/k=%d", k), float64(irTime.Nanoseconds()), "ns/op")
+		add(fmt.Sprintf("e1/nodes/ir/k=%d", k),
+			float64(env.Ir.Stats().NodeAccesses()/int64(len(qs))), "nodes/op")
+		irAllocs := testing.AllocsPerRun(10, func() {
+			for _, q := range qs {
+				buf = env.Ir.TopKAppend(q, buf[:0])
+			}
+		}) / float64(len(qs))
+		add(fmt.Sprintf("e1/allocs/ir/k=%d", k), irAllocs, "allocs/op")
+	}
+
+	// Batch executor throughput.
+	qs := env.Queries(scale.queries()*8, 10, 2)
+	seq := timeIt(func() {
+		for _, q := range qs {
+			env.Set.TopK(q)
+		}
+	})
+	add("e9/batch/loop", float64(len(qs))/seq.Seconds(), "queries/s")
+	for _, workers := range []int{1, 8} {
+		d := timeIt(func() {
+			if _, err := env.Engine.TopKBatch(qs, core.BatchOptions{Workers: workers}); err != nil {
+				panic(err)
+			}
+		})
+		add(fmt.Sprintf("e9/batch/workers=%d", workers), float64(len(qs))/d.Seconds(), "queries/s")
+		add(fmt.Sprintf("e9/speedup/workers=%d", workers), float64(seq)/float64(d), "x")
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -61,5 +62,33 @@ func TestScaleSettings(t *testing.T) {
 	}
 	if Quick.baseN() >= Full.baseN() {
 		t.Fatal("quick scale should be smaller than full")
+	}
+}
+
+// TestWriteJSONReport smoke-tests the machine-readable snapshot: it
+// must be valid JSON with the expected schema and a non-empty metric
+// list where every metric has a name and unit.
+func TestWriteJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("JSON report smoke test skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONReport(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Schema != "yask-bench/v1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Fatal("no metrics")
+	}
+	for _, m := range rep.Metrics {
+		if m.Name == "" || m.Unit == "" {
+			t.Fatalf("incomplete metric %+v", m)
+		}
 	}
 }

@@ -126,4 +126,5 @@ var Experiments = []struct {
 	{"e6", "scalability", RunE6Scale},
 	{"e7", "server round trip", RunE7Server},
 	{"e8", "SetR-tree bound ablation", RunE8BoundAblation},
+	{"e9", "concurrent batch executor", RunE9Batch},
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// BatchOptions configures the concurrent batch executors.
+type BatchOptions struct {
+	// Workers bounds the worker pool; zero or negative means
+	// GOMAXPROCS. The pool never exceeds the number of jobs.
+	Workers int
+}
+
+func (o BatchOptions) workers(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunBatch fans jobs 0..n-1 across a bounded worker pool and blocks
+// until all complete. workers is clamped like BatchOptions.Workers
+// (≤ 0 means GOMAXPROCS; never more than n). Workers pull the next job
+// index from a shared atomic counter, so job costs balance without a
+// channel per job; per-query traversal scratch comes from the indexes'
+// sync.Pools, giving each worker its own warm state. job must be safe
+// to call concurrently and must only touch index i of any shared
+// output.
+func RunBatch(n, workers int, job func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers = BatchOptions{Workers: workers}.workers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TopKBatch answers many top-k queries concurrently over a bounded
+// worker pool and returns one result slice per query, index-aligned
+// with qs. Every query is validated before any work starts; the first
+// invalid query fails the whole batch.
+func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Result, error) {
+	for i := range qs {
+		if err := qs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	out := make([][]score.Result, len(qs))
+	RunBatch(len(qs), opts.Workers, func(i int) {
+		out[i] = e.set.TopK(qs[i])
+	})
+	return out, nil
+}
+
+// KeywordJob is one keyword-adaption why-not question of a batch.
+type KeywordJob struct {
+	Query   score.Query
+	Missing []object.ID
+}
+
+// AdaptKeywordsBatch answers many keyword-adaption why-not questions
+// concurrently. Results and errors are index-aligned with jobs; a job
+// that fails (for example because a missing object is already in the
+// top-k) reports its error without failing the rest of the batch.
+func (e *Engine) AdaptKeywordsBatch(jobs []KeywordJob, kopts KeywordOptions, bopts BatchOptions) ([]KeywordResult, []error) {
+	results := make([]KeywordResult, len(jobs))
+	errs := make([]error, len(jobs))
+	RunBatch(len(jobs), bopts.Workers, func(i int) {
+		results[i], errs[i] = e.AdaptKeywords(jobs[i].Query, jobs[i].Missing, kopts)
+	})
+	return results, errs
+}

@@ -7,7 +7,6 @@ import (
 
 	"github.com/yask-engine/yask/internal/kcrtree"
 	"github.com/yask-engine/yask/internal/object"
-	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 )
 
@@ -329,18 +328,22 @@ func min2(a, b, c float64) float64 {
 // weight interval — the index-based analogue of the paper's two range
 // queries over segment endpoints.
 func (e *Engine) collectCrossings(s score.Scorer, mLines []scoreLine, curAbove []int, events *[]prefEvent) {
-	root := e.kc.Tree().Root()
-	if root == nil {
+	f := e.kc.Flat()
+	if f.Empty() {
 		return
 	}
 	stats := e.kc.Stats()
+	stack := make([]int32, 0, 64)
+	accesses := int64(0)
 	for mi, ml := range mLines {
 		m0, m1 := ml.a, ml.a+ml.b // scores of m at wt = 0 and wt = 1
-		var walk func(n *rtree.Node[object.Object, kcrtree.Aug])
-		walk = func(n *rtree.Node[object.Object, kcrtree.Aug]) {
-			stats.AddNodeAccesses(1)
-			if n.IsLeaf() {
-				for _, en := range n.Entries() {
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			accesses++
+			if f.IsLeaf(n) {
+				for _, en := range f.Entries(n) {
 					if en.Item.ID == ml.id {
 						continue
 					}
@@ -355,27 +358,29 @@ func (e *Engine) collectCrossings(s score.Scorer, mLines []scoreLine, curAbove [
 						curAbove[mi]++
 					}
 				}
-				return
+				continue
 			}
-			for _, c := range n.Children() {
+			cLo, cHi := f.Children(n)
+			for c := cLo; c < cHi; c++ {
 				// Subtree score bounds at the two endpoints of the
 				// weight interval: a = 1 − SDist ∈ [aLo, aHi] and the
 				// Jaccard bounds give the wt = 1 endpoint.
-				tLo, tHi := kcrtree.TSimBounds(c.Aug(), s.Query.Doc, s.Query.Sim)
-				aLo := 1 - s.SDistRectMax(c.Rect())
-				aHi := 1 - s.SDistRectMin(c.Rect())
+				aug := f.Aug(c)
+				tLo, tHi := kcrtree.TSimBounds(*aug, s.Query.Doc, s.Query.Sim)
+				aLo := 1 - s.SDistRectMax(f.Rect(c))
+				aHi := 1 - s.SDistRectMin(f.Rect(c))
 				if aHi < m0 && tHi < m1 {
 					continue // strictly below m at both ends: never above, never crossing
 				}
 				if aLo > m0 && tLo > m1 {
-					curAbove[mi] += int(c.Aug().Cnt) // strictly above throughout
+					curAbove[mi] += int(aug.Cnt) // strictly above throughout
 					continue
 				}
-				walk(c)
+				stack = append(stack, c)
 			}
 		}
-		walk(root)
 	}
+	stats.AddNodeAccesses(accesses)
 }
 
 // adjustBySampling evaluates a uniform grid of wt values, computing

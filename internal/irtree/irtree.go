@@ -16,6 +16,8 @@ package irtree
 
 import (
 	"math"
+	"slices"
+	"sync"
 
 	"github.com/yask-engine/yask/internal/geo"
 	"github.com/yask-engine/yask/internal/object"
@@ -78,36 +80,58 @@ func (m *TextModel) Weight(oid object.ID, kw vocab.Keyword) float64 {
 	return m.IDF(kw) / norm
 }
 
-// queryVector returns the normalized query weights for qdoc.
-func (m *TextModel) queryVector(qdoc vocab.KeywordSet) map[vocab.Keyword]float64 {
+// queryWeights appends the normalized query weight of each qdoc keyword
+// (positionally aligned with qdoc) to dst; the hot query path calls it
+// with a pooled buffer so it never allocates when warm.
+func (m *TextModel) queryWeights(qdoc vocab.KeywordSet, dst []float64) []float64 {
 	sum := 0.0
 	for _, kw := range qdoc {
 		sum += m.IDF(kw) * m.IDF(kw)
 	}
 	norm := math.Sqrt(sum)
-	out := make(map[vocab.Keyword]float64, len(qdoc))
-	if norm == 0 {
-		return out
-	}
 	for _, kw := range qdoc {
-		out[kw] = m.IDF(kw) / norm
+		w := 0.0
+		if norm > 0 {
+			w = m.IDF(kw) / norm
+		}
+		dst = append(dst, w)
 	}
-	return out
+	return dst
 }
 
-// Cosine returns the cosine similarity between object oid's document and
-// qdoc, in [0, 1].
-func (m *TextModel) Cosine(oid object.ID, doc, qdoc vocab.KeywordSet) float64 {
+// cosineWeights returns the cosine similarity of object oid's document
+// to the query keywords whose normalized weights are qw (aligned with
+// qdoc), merge-walking the two sorted sets without allocating.
+func (m *TextModel) cosineWeights(oid object.ID, doc, qdoc vocab.KeywordSet, qw []float64) float64 {
 	norm := m.norms[oid]
 	if norm == 0 {
 		return 0
 	}
-	qv := m.queryVector(qdoc)
 	sum := 0.0
-	for _, kw := range doc.Intersect(qdoc) {
-		sum += (m.IDF(kw) / norm) * qv[kw]
+	i, j := 0, 0
+	for i < len(doc) && j < len(qdoc) {
+		switch {
+		case doc[i] == qdoc[j]:
+			sum += (m.idf[doc[i]] / norm) * qw[j]
+			i++
+			j++
+		case doc[i] < qdoc[j]:
+			i++
+		default:
+			j++
+		}
 	}
 	return sum
+}
+
+// Cosine returns the cosine similarity between object oid's document and
+// qdoc, in [0, 1]. It normalizes the query vector and delegates to the
+// same merge-walk the hot path uses; callers scoring many objects
+// against one query should hold the weights and call it once per
+// object via the index's TopK paths instead.
+func (m *TextModel) Cosine(oid object.ID, doc, qdoc vocab.KeywordSet) float64 {
+	qw := m.queryWeights(qdoc, make([]float64, 0, len(qdoc)))
+	return m.cosineWeights(oid, doc, qdoc, qw)
 }
 
 // Posting is one inverted-file entry: the maximum normalized weight of
@@ -183,8 +207,44 @@ func (g augmenter) Merge(a, b Aug) Aug {
 // construction and safe for concurrent readers.
 type Index struct {
 	tree  *rtree.Tree[object.Object, Aug]
+	flat  *rtree.Flat[object.Object, Aug]
 	coll  *object.Collection
 	model *TextModel
+	// scratch pools per-query traversal state so warm queries run
+	// allocation-free.
+	scratch sync.Pool
+}
+
+// searchScratch is the reusable traversal state of one query.
+type searchScratch struct {
+	nodes *pqueue.Queue[flatEntry]
+	cand  *pqueue.Queue[score.Result]
+	qw    []float64
+}
+
+// flatEntry is one best-first frontier element over the flat arena.
+type flatEntry struct {
+	bound float64
+	node  int32
+}
+
+func (ix *Index) getScratch() *searchScratch {
+	if sc, ok := ix.scratch.Get().(*searchScratch); ok {
+		return sc
+	}
+	return &searchScratch{
+		nodes: pqueue.NewWithCapacity(func(a, b flatEntry) bool {
+			return a.bound > b.bound
+		}, 64),
+		cand: pqueue.NewWithCapacity(score.WorstFirst, 16),
+	}
+}
+
+func (ix *Index) putScratch(sc *searchScratch) {
+	sc.nodes.Reset()
+	sc.cand.Reset()
+	sc.qw = sc.qw[:0]
+	ix.scratch.Put(sc)
 }
 
 // Build bulk-loads an IR-tree over the collection. vocabSize must cover
@@ -197,8 +257,11 @@ func Build(c *object.Collection, vocabSize, maxEntries int) *Index {
 		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
 	}
 	t.BulkLoad(entries)
-	return &Index{tree: t, coll: c, model: model}
+	return &Index{tree: t, flat: t.Freeze(), coll: c, model: model}
 }
+
+// Flat exposes the frozen arena the query algorithms traverse.
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.flat }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
@@ -226,23 +289,33 @@ func (ix *Index) Score(q score.Query, maxDist float64, o object.Object) float64 
 // TopK runs the best-first top-k algorithm of [4] over the IR-tree under
 // the tf-idf cosine model. Results are in rank order with ID tie-break.
 func (ix *Index) TopK(q score.Query) []score.Result {
-	root := ix.tree.Root()
-	if root == nil || q.K <= 0 {
-		return nil
+	return ix.TopKAppend(q, nil)
+}
+
+// TopKAppend is TopK appending results to dst, so a caller reusing its
+// buffer across queries runs the warm path without allocating. All
+// traversal state — the two heaps and the query weight vector — comes
+// from the per-index scratch pool.
+func (ix *Index) TopKAppend(q score.Query, dst []score.Result) []score.Result {
+	f := ix.flat
+	if f.Empty() || q.K <= 0 {
+		return dst
 	}
 	maxDist := ix.coll.MaxDist()
-	qv := ix.model.queryVector(q.Doc)
-	stats := ix.tree.Stats()
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	qw := ix.model.queryWeights(q.Doc, sc.qw[:0])
+	sc.qw = qw
 
-	nodeBound := func(n *rtree.Node[object.Object, Aug]) float64 {
-		d := n.Rect().MinDist(q.Loc) / maxDist
+	nodeBound := func(n int32) float64 {
+		d := f.Rect(n).MinDist(q.Loc) / maxDist
 		if d > 1 {
 			d = 1
 		}
 		text := 0.0
-		aug := n.Aug()
-		for kw, w := range qv {
-			text += w * aug.maxWeight(kw)
+		aug := f.Aug(n)
+		for j, kw := range q.Doc {
+			text += qw[j] * aug.maxWeight(kw)
 		}
 		if text > 1 {
 			text = 1
@@ -250,34 +323,25 @@ func (ix *Index) TopK(q score.Query) []score.Result {
 		return q.W.Ws*(1-d) + q.W.Wt*text
 	}
 
-	type qe struct {
-		bound float64
-		node  *rtree.Node[object.Object, Aug]
-	}
-	nodes := pqueue.NewWithCapacity(func(a, b qe) bool {
-		return a.bound > b.bound
-	}, 64)
-	nodes.Push(qe{bound: nodeBound(root), node: root})
+	nodes, cand := sc.nodes, sc.cand
+	nodes.Push(flatEntry{bound: nodeBound(0), node: 0})
 
-	worstFirst := func(a, b score.Result) bool {
-		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
-	}
-	cand := pqueue.NewWithCapacity(worstFirst, q.K+1)
+	accesses := int64(0)
 	for nodes.Len() > 0 {
 		top := nodes.Pop()
 		if cand.Len() == q.K && top.bound < cand.Peek().Score {
 			break
 		}
-		stats.AddNodeAccesses(1)
+		accesses++
 		n := top.node
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				sc := ix.Score(q, maxDist, e.Item)
+		if f.IsLeaf(n) {
+			for _, e := range f.Entries(n) {
+				scv := ix.scoreWeights(q, maxDist, qw, e.Item)
 				if cand.Len() < q.K {
-					cand.Push(score.Result{Obj: e.Item, Score: sc})
-				} else if w := cand.Peek(); score.Better(sc, e.Item.ID, w.Score, w.Obj.ID) {
+					cand.Push(score.Result{Obj: e.Item, Score: scv})
+				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
 					cand.Pop()
-					cand.Push(score.Result{Obj: e.Item, Score: sc})
+					cand.Push(score.Result{Obj: e.Item, Score: scv})
 				}
 			}
 			continue
@@ -286,17 +350,30 @@ func (ix *Index) TopK(q score.Query) []score.Result {
 		if cand.Len() == q.K {
 			kth = cand.Peek().Score
 		}
-		for _, c := range n.Children() {
+		lo, hi := f.Children(n)
+		for c := lo; c < hi; c++ {
 			if b := nodeBound(c); b >= kth {
-				nodes.Push(qe{bound: b, node: c})
+				nodes.Push(flatEntry{bound: b, node: c})
 			}
 		}
 	}
-	out := make([]score.Result, cand.Len())
-	for i := cand.Len() - 1; i >= 0; i-- {
-		out[i] = cand.Pop()
+	f.Stats().AddNodeAccesses(accesses)
+	base, n := len(dst), cand.Len()
+	dst = slices.Grow(dst, n)[:base+n]
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = cand.Pop()
 	}
-	return out
+	return dst
+}
+
+// scoreWeights is Score with a precomputed query weight vector, the
+// allocation-free scoring call of the hot path.
+func (ix *Index) scoreWeights(q score.Query, maxDist float64, qw []float64, o object.Object) float64 {
+	d := q.Loc.Dist(o.Loc) / maxDist
+	if d > 1 {
+		d = 1
+	}
+	return q.W.Ws*(1-d) + q.W.Wt*ix.model.cosineWeights(o.ID, o.Doc, q.Doc, qw)
 }
 
 // ScanTopK is the brute-force oracle under the cosine model.
@@ -305,10 +382,7 @@ func (ix *Index) ScanTopK(q score.Query) []score.Result {
 		return nil
 	}
 	maxDist := ix.coll.MaxDist()
-	worstFirst := func(a, b score.Result) bool {
-		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
-	}
-	pq := pqueue.NewWithCapacity(worstFirst, q.K+1)
+	pq := pqueue.NewWithCapacity(score.WorstFirst, q.K+1)
 	for _, o := range ix.coll.All() {
 		pq.Push(score.Result{Obj: o, Score: ix.Score(q, maxDist, o)})
 		if pq.Len() > q.K {

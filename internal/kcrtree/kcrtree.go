@@ -14,6 +14,8 @@
 package kcrtree
 
 import (
+	"sync"
+
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
@@ -144,7 +146,36 @@ func (augmenter) Merge(a, b Aug) Aug {
 // construction and safe for concurrent readers.
 type Index struct {
 	tree *rtree.Tree[object.Object, Aug]
+	flat *rtree.Flat[object.Object, Aug]
 	coll *object.Collection
+	// scratch pools the DFS stacks of the bound/exact rank passes so
+	// warm rank queries run allocation-free.
+	scratch sync.Pool
+}
+
+// rankScratch is the reusable traversal state of one rank computation.
+type rankScratch struct {
+	stack  []int32
+	frames []depthFrame
+}
+
+// depthFrame is one depth-limited DFS frame of RankBounds.
+type depthFrame struct {
+	node  int32
+	depth int32
+}
+
+func (ix *Index) getScratch() *rankScratch {
+	if sc, ok := ix.scratch.Get().(*rankScratch); ok {
+		return sc
+	}
+	return &rankScratch{stack: make([]int32, 0, 64), frames: make([]depthFrame, 0, 64)}
+}
+
+func (ix *Index) putScratch(sc *rankScratch) {
+	sc.stack = sc.stack[:0]
+	sc.frames = sc.frames[:0]
+	ix.scratch.Put(sc)
 }
 
 // Build bulk-loads a KcR-tree over the collection.
@@ -155,7 +186,7 @@ func Build(c *object.Collection, maxEntries int) *Index {
 		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
 	}
 	t.BulkLoad(entries)
-	return &Index{tree: t, coll: c}
+	return &Index{tree: t, flat: t.Freeze(), coll: c}
 }
 
 // BuildByInsertion constructs the index by repeated insertion; used by
@@ -165,8 +196,11 @@ func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 	for _, o := range c.All() {
 		t.Insert(o.Rect(), o)
 	}
-	return &Index{tree: t, coll: c}
+	return &Index{tree: t, flat: t.Freeze(), coll: c}
 }
+
+// Flat exposes the frozen arena the rank algorithms traverse.
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.flat }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
@@ -264,6 +298,16 @@ func (ix *Index) ScoreBounds(s score.Scorer, n *rtree.Node[object.Object, Aug]) 
 	return lo, hi
 }
 
+// scoreBoundsAt is ScoreBounds addressed into the flat arena.
+func (ix *Index) scoreBoundsAt(s score.Scorer, n int32) (lo, hi float64) {
+	r := ix.flat.Rect(n)
+	tLo, tHi := TSimBounds(*ix.flat.Aug(n), s.Query.Doc, s.Query.Sim)
+	w := s.Query.W
+	lo = w.Ws*(1-s.SDistRectMax(r)) + w.Wt*tLo
+	hi = w.Ws*(1-s.SDistRectMin(r)) + w.Wt*tHi
+	return lo, hi
+}
+
 // CountBetter returns the number of objects ranking strictly above the
 // reference (refScore, refID) under scorer s. Subtrees whose score upper
 // bound is below refScore are pruned; subtrees whose score lower bound
@@ -271,17 +315,21 @@ func (ix *Index) ScoreBounds(s score.Scorer, n *rtree.Node[object.Object, Aug]) 
 // the two-sided bound is what distinguishes the KcR-tree from the
 // SetR-tree for rank computation.
 func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) int {
-	root := ix.tree.Root()
-	if root == nil {
+	f := ix.flat
+	if f.Empty() {
 		return 0
 	}
-	stats := ix.tree.Stats()
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	stack := append(sc.stack[:0], 0)
 	count := 0
-	var walk func(n *rtree.Node[object.Object, Aug])
-	walk = func(n *rtree.Node[object.Object, Aug]) {
-		stats.AddNodeAccesses(1)
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
+	accesses := int64(0)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		accesses++
+		if f.IsLeaf(n) {
+			for _, e := range f.Entries(n) {
 				if e.Item.ID == refID {
 					continue
 				}
@@ -289,21 +337,23 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) 
 					count++
 				}
 			}
-			return
+			continue
 		}
-		for _, c := range n.Children() {
-			lo, hi := ix.ScoreBounds(s, c)
+		cLo, cHi := f.Children(n)
+		for c := cLo; c < cHi; c++ {
+			lo, hi := ix.scoreBoundsAt(s, c)
 			if hi < refScore {
 				continue // nothing below can beat the reference
 			}
 			if lo > refScore {
-				count += int(c.Aug().Cnt) // everything below beats it
+				count += int(f.Aug(c).Cnt) // everything below beats it
 				continue
 			}
-			walk(c)
+			stack = append(stack, c)
 		}
 	}
-	walk(root)
+	sc.stack = stack[:0]
+	f.Stats().AddNodeAccesses(accesses)
 	return count
 }
 
@@ -320,45 +370,49 @@ func (ix *Index) RankOf(s score.Scorer, oid object.ID) int {
 // exact CountBetter. The keyword-adaption candidate pruning uses shallow
 // depths to reject refined keyword sets cheaply.
 func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int) {
-	root := ix.tree.Root()
-	if root == nil {
+	f := ix.flat
+	if f.Empty() {
 		return 0, 0
 	}
-	stats := ix.tree.Stats()
-	var walk func(n *rtree.Node[object.Object, Aug], depth int) (int, int)
-	walk = func(n *rtree.Node[object.Object, Aug], depth int) (int, int) {
-		stats.AddNodeAccesses(1)
-		if n.IsLeaf() {
-			exact := 0
-			for _, e := range n.Entries() {
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	frames := append(sc.frames[:0], depthFrame{node: 0})
+	accesses := int64(0)
+	for len(frames) > 0 {
+		fr := frames[len(frames)-1]
+		frames = frames[:len(frames)-1]
+		accesses++
+		if f.IsLeaf(fr.node) {
+			for _, e := range f.Entries(fr.node) {
 				if e.Item.ID == refID {
 					continue
 				}
 				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
-					exact++
+					lo++
+					hi++
 				}
 			}
-			return exact, exact
+			continue
 		}
-		cLo, cHi := 0, 0
-		for _, c := range n.Children() {
-			bLo, bHi := ix.ScoreBounds(s, c)
+		cLo, cHi := f.Children(fr.node)
+		for c := cLo; c < cHi; c++ {
+			bLo, bHi := ix.scoreBoundsAt(s, c)
 			switch {
 			case bHi < refScore:
 				// contributes nothing
 			case bLo > refScore:
-				cLo += int(c.Aug().Cnt)
-				cHi += int(c.Aug().Cnt)
-			case depth >= maxDepth:
+				cnt := int(f.Aug(c).Cnt)
+				lo += cnt
+				hi += cnt
+			case int(fr.depth) >= maxDepth:
 				// Unknown: between 0 and all objects below.
-				cHi += int(c.Aug().Cnt)
+				hi += int(f.Aug(c).Cnt)
 			default:
-				l, h := walk(c, depth+1)
-				cLo += l
-				cHi += h
+				frames = append(frames, depthFrame{node: c, depth: fr.depth + 1})
 			}
 		}
-		return cLo, cHi
 	}
-	return walk(root, 0)
+	sc.frames = frames[:0]
+	f.Stats().AddNodeAccesses(accesses)
+	return lo, hi
 }

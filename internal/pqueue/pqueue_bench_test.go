@@ -1,0 +1,111 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResetKeepsStorage proves the reuse contract the traversal scratch
+// pools depend on: after Reset, refilling to the previous size performs
+// zero heap allocations, across many reuse cycles.
+func TestResetKeepsStorage(t *testing.T) {
+	const n = 1024
+	q := New(func(a, b int) bool { return a < b })
+	rng := rand.New(rand.NewSource(1))
+	fill := func() {
+		for i := 0; i < n; i++ {
+			q.Push(rng.Intn(1 << 20))
+		}
+	}
+	fill()
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len %d after Reset", q.Len())
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		fill()
+		q.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("refilling a Reset queue allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestResetZeroesItems checks Reset drops references so pooled queues
+// don't pin freed elements (important for pointer-carrying scratch).
+func TestResetZeroesItems(t *testing.T) {
+	q := New(func(a, b *int) bool { return *a < *b })
+	v := 7
+	q.Push(&v)
+	q.Reset()
+	q.Push(&v) // reuses slot 0 of the kept storage
+	if got := q.Pop(); got != &v {
+		t.Fatal("queue corrupted after Reset")
+	}
+}
+
+func benchPushPop(b *testing.B, n int) {
+	q := NewWithCapacity(func(a, b int) bool { return a < b }, n)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(1 << 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vals {
+			q.Push(v)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkPushPop64(b *testing.B)   { benchPushPop(b, 64) }
+func BenchmarkPushPop1024(b *testing.B) { benchPushPop(b, 1024) }
+
+// BenchmarkReuseWithReset measures the scratch-pool usage pattern: one
+// queue filled, drained halfway, and Reset per cycle. Steady state must
+// report 0 allocs/op.
+func BenchmarkReuseWithReset(b *testing.B) {
+	q := New(func(a, b int) bool { return a < b })
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int, 512)
+	for i := range vals {
+		vals[i] = rng.Intn(1 << 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vals {
+			q.Push(v)
+		}
+		for j := 0; j < len(vals)/2; j++ {
+			q.Pop()
+		}
+		q.Reset()
+	}
+}
+
+// BenchmarkFreshQueuePerOp is the anti-pattern the pools remove: a new
+// queue per cycle, growing from empty every time.
+func BenchmarkFreshQueuePerOp(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int, 512)
+	for i := range vals {
+		vals[i] = rng.Intn(1 << 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := New(func(a, b int) bool { return a < b })
+		for _, v := range vals {
+			q.Push(v)
+		}
+		for j := 0; j < len(vals)/2; j++ {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package rtree
+
+import "github.com/yask-engine/yask/internal/geo"
+
+// Flat is a frozen, contiguous snapshot of a Tree laid out as a struct
+// of arrays: per-node MBRs, augmentations, child ranges, and leaf
+// payload ranges live in flat slices indexed by a dense int32 node ID,
+// and all leaf entries share one backing slice. Nodes are numbered in
+// breadth-first order, so the children of any node are a contiguous
+// index range and the root is node 0.
+//
+// The layout removes the pointer chasing of the Node graph from query
+// traversals: a best-first search touches four parallel slices instead
+// of scattered heap objects, which is what makes the steady-state query
+// paths cache-friendly and allocation-free. Augmentation values are
+// copied by value, so slice-backed summaries (keyword sets, postings,
+// count maps) share their backing arrays with the source tree.
+//
+// A Flat is immutable and safe for concurrent readers. It records node
+// accesses into the source tree's Stats collector, so existing
+// instrumentation keeps working after a freeze.
+type Flat[L, A any] struct {
+	rects      []geo.Rect
+	augs       []A
+	childStart []int32
+	childEnd   []int32
+	entryStart []int32
+	entryEnd   []int32
+	entries    []LeafEntry[L]
+	size       int
+	stats      *Stats
+}
+
+// Freeze returns a Flat snapshot of the tree's current content. Later
+// mutations of the tree are not reflected in the snapshot; freeze after
+// construction has finished.
+func (t *Tree[L, A]) Freeze() *Flat[L, A] {
+	f := &Flat[L, A]{stats: &t.stats, size: t.size}
+	if t.root == nil {
+		return f
+	}
+	nodes := t.NodeCount()
+	f.rects = make([]geo.Rect, 0, nodes)
+	f.augs = make([]A, 0, nodes)
+	f.childStart = make([]int32, 0, nodes)
+	f.childEnd = make([]int32, 0, nodes)
+	f.entryStart = make([]int32, 0, nodes)
+	f.entryEnd = make([]int32, 0, nodes)
+	f.entries = make([]LeafEntry[L], 0, t.size)
+
+	// Breadth-first layout: the queue position of a node is its ID, so
+	// appending a node's children consecutively yields contiguous child
+	// ranges for free.
+	queue := make([]*Node[L, A], 1, nodes)
+	queue[0] = t.root
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		f.rects = append(f.rects, n.rect)
+		f.augs = append(f.augs, n.aug)
+		if n.leaf {
+			f.childStart = append(f.childStart, 0)
+			f.childEnd = append(f.childEnd, 0)
+			f.entryStart = append(f.entryStart, int32(len(f.entries)))
+			f.entries = append(f.entries, n.entries...)
+			f.entryEnd = append(f.entryEnd, int32(len(f.entries)))
+		} else {
+			lo := int32(len(queue))
+			queue = append(queue, n.children...)
+			f.childStart = append(f.childStart, lo)
+			f.childEnd = append(f.childEnd, lo+int32(len(n.children)))
+			f.entryStart = append(f.entryStart, 0)
+			f.entryEnd = append(f.entryEnd, 0)
+		}
+	}
+	return f
+}
+
+// Empty reports whether the snapshot holds no nodes.
+func (f *Flat[L, A]) Empty() bool { return len(f.rects) == 0 }
+
+// NumNodes returns the number of nodes in the snapshot.
+func (f *Flat[L, A]) NumNodes() int { return len(f.rects) }
+
+// Len returns the number of leaf items in the snapshot.
+func (f *Flat[L, A]) Len() int { return f.size }
+
+// Stats returns the statistics collector shared with the source tree.
+func (f *Flat[L, A]) Stats() *Stats { return f.stats }
+
+// Rect returns node n's MBR.
+func (f *Flat[L, A]) Rect(n int32) geo.Rect { return f.rects[n] }
+
+// Aug returns a pointer to node n's augmentation summary. The summary
+// must not be mutated.
+func (f *Flat[L, A]) Aug(n int32) *A { return &f.augs[n] }
+
+// IsLeaf reports whether node n is a leaf.
+func (f *Flat[L, A]) IsLeaf(n int32) bool { return f.childEnd[n] == f.childStart[n] }
+
+// Children returns the contiguous node-ID range [lo, hi) of node n's
+// children; empty for leaves.
+func (f *Flat[L, A]) Children(n int32) (lo, hi int32) {
+	return f.childStart[n], f.childEnd[n]
+}
+
+// Entries returns node n's leaf entries as a sub-slice of the shared
+// entry arena; empty for internal nodes. Callers must not mutate it.
+func (f *Flat[L, A]) Entries(n int32) []LeafEntry[L] {
+	return f.entries[f.entryStart[n]:f.entryEnd[n]]
+}
+
+// AllEntries returns every leaf entry in the snapshot in layout order.
+// Callers must not mutate the returned slice.
+func (f *Flat[L, A]) AllEntries() []LeafEntry[L] { return f.entries }

@@ -1,0 +1,120 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+)
+
+// freezeTestTree builds a tree of n random points, bulk-loaded or by
+// insertion, keyed by int payloads.
+func freezeTestTree(t *testing.T, n, maxE int, bulk bool) *Tree[int, None] {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tree := New(NoAug[int](), maxE)
+	if bulk {
+		entries := make([]LeafEntry[int], n)
+		for i := range entries {
+			p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			entries[i] = LeafEntry[int]{Rect: RectFromPointForTest(p), Item: i}
+		}
+		tree.BulkLoad(entries)
+		return tree
+	}
+	for i := 0; i < n; i++ {
+		p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		tree.Insert(RectFromPointForTest(p), i)
+	}
+	return tree
+}
+
+// RectFromPointForTest mirrors geo.RectFromPoint without importing it at
+// each call site.
+func RectFromPointForTest(p geo.Point) geo.Rect {
+	return geo.RectFromPoint(p)
+}
+
+// TestFreezeStructure checks that the flat snapshot reproduces the node
+// graph exactly: same node count, same per-node MBR/leaf-ness/fanout,
+// and the same multiset of leaf items, with children contiguous.
+func TestFreezeStructure(t *testing.T) {
+	for _, bulk := range []bool{true, false} {
+		tree := freezeTestTree(t, 5000, 8, bulk)
+		f := tree.Freeze()
+		if f.NumNodes() != tree.NodeCount() {
+			t.Fatalf("bulk=%v: flat has %d nodes, tree has %d", bulk, f.NumNodes(), tree.NodeCount())
+		}
+		if f.Len() != tree.Len() {
+			t.Fatalf("bulk=%v: flat Len %d, tree Len %d", bulk, f.Len(), tree.Len())
+		}
+
+		seen := make(map[int]bool)
+		var walk func(n *Node[int, None], id int32)
+		walk = func(n *Node[int, None], id int32) {
+			if f.Rect(id) != n.Rect() {
+				t.Fatalf("node %d: rect %v != %v", id, f.Rect(id), n.Rect())
+			}
+			if f.IsLeaf(id) != n.IsLeaf() {
+				t.Fatalf("node %d: leafness mismatch", id)
+			}
+			if n.IsLeaf() {
+				es := f.Entries(id)
+				if len(es) != len(n.Entries()) {
+					t.Fatalf("node %d: %d entries, want %d", id, len(es), len(n.Entries()))
+				}
+				for i, e := range es {
+					if e.Item != n.Entries()[i].Item || e.Rect != n.Entries()[i].Rect {
+						t.Fatalf("node %d entry %d mismatch", id, i)
+					}
+					if seen[e.Item] {
+						t.Fatalf("item %d appears twice", e.Item)
+					}
+					seen[e.Item] = true
+				}
+				return
+			}
+			lo, hi := f.Children(id)
+			if int(hi-lo) != len(n.Children()) {
+				t.Fatalf("node %d: child range %d, want %d", id, hi-lo, len(n.Children()))
+			}
+			for i, c := range n.Children() {
+				walk(c, lo+int32(i))
+			}
+		}
+		walk(tree.Root(), 0)
+		if len(seen) != tree.Len() {
+			t.Fatalf("bulk=%v: reached %d items, want %d", bulk, len(seen), tree.Len())
+		}
+	}
+}
+
+// TestFreezeEmpty checks the degenerate snapshots.
+func TestFreezeEmpty(t *testing.T) {
+	tree := New(NoAug[int](), 8)
+	f := tree.Freeze()
+	if !f.Empty() || f.NumNodes() != 0 || f.Len() != 0 {
+		t.Fatalf("empty tree froze to non-empty flat: %d nodes", f.NumNodes())
+	}
+
+	tree.Insert(geo.RectFromPoint(geo.Point{X: 1, Y: 2}), 42)
+	f = tree.Freeze()
+	if f.Empty() || f.NumNodes() != 1 || !f.IsLeaf(0) {
+		t.Fatalf("single-item tree should freeze to one leaf node")
+	}
+	if es := f.Entries(0); len(es) != 1 || es[0].Item != 42 {
+		t.Fatalf("unexpected entries %v", f.Entries(0))
+	}
+}
+
+// TestFreezeSharesStats checks that traversal instrumentation recorded
+// against the flat snapshot lands in the source tree's collector.
+func TestFreezeSharesStats(t *testing.T) {
+	tree := freezeTestTree(t, 100, 8, true)
+	f := tree.Freeze()
+	tree.Stats().Reset()
+	f.Stats().AddNodeAccesses(7)
+	if got := tree.Stats().NodeAccesses(); got != 7 {
+		t.Fatalf("tree stats saw %d accesses, want 7", got)
+	}
+}

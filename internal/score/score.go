@@ -202,6 +202,12 @@ type Result struct {
 	Score float64
 }
 
+// WorstFirst orders results worst-ranked first — the ordering of the
+// bounded min-heap every top-k engine keeps its k best candidates in.
+func WorstFirst(a, b Result) bool {
+	return Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
+}
+
 // ResultIDs projects results to their object IDs, a convenience for
 // tests and result diffing.
 func ResultIDs(rs []Result) []object.ID {

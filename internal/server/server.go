@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"github.com/yask-engine/yask"
@@ -37,6 +38,7 @@ func New(engine *yask.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /", s.handleUI)
 	s.mux.HandleFunc("GET /api/objects", s.handleObjects)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/batch/query", s.handleBatchQuery)
 	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /api/whynot", s.handleWhyNot)
 	s.mux.HandleFunc("POST /api/profile", s.handleProfile)
@@ -117,6 +119,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id := s.sessions.put(q, results)
 	s.log.add(logEntry{Time: time.Now(), Kind: "query", SessionID: id, Query: q, ElapsedMS: elapsed})
 	writeJSON(w, http.StatusOK, queryResponse{SessionID: id, Results: results, ElapsedMS: elapsed})
+}
+
+// batchQueryRequest is the wire form of a concurrent top-k batch: many
+// queries answered by one round trip over the engine's bounded worker
+// pool. Batch queries are stateless — no session is created — so bulk
+// clients (tile renderers, offline evaluators) don't flood the session
+// store.
+type batchQueryRequest struct {
+	Queries []queryRequest `json:"queries"`
+	// Workers bounds the executor's concurrency; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+type batchQueryResponse struct {
+	Results   [][]yask.Result `json:"results"`
+	ElapsedMS float64         `json:"elapsedMs"`
+}
+
+// maxBatchQueries bounds one batch request so a single client cannot
+// amplify one POST into unbounded server work. Bulk loads larger than
+// this split into multiple requests.
+const maxBatchQueries = 1024
+
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	var req batchQueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one query"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	// The worker count is client-supplied; clamp it so a request cannot
+	// spawn more goroutines than the host has CPUs.
+	workers := req.Workers
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	queries := make([]yask.Query, len(req.Queries))
+	for i, qr := range req.Queries {
+		queries[i] = qr.query()
+	}
+	start := time.Now()
+	results, err := s.engine.TopKBatch(queries, workers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	s.log.add(logEntry{Time: time.Now(), Kind: "batch", Query: queries[0],
+		BatchSize: len(queries), ElapsedMS: elapsed})
+	writeJSON(w, http.StatusOK, batchQueryResponse{Results: results, ElapsedMS: elapsed})
 }
 
 // whyNotRequest asks a follow-up question about a cached session's

@@ -374,3 +374,66 @@ func TestSuggestEndpoint(t *testing.T) {
 		t.Fatal("no suggestions")
 	}
 }
+
+func TestBatchQueryEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	req := batchQueryRequest{
+		Queries: []queryRequest{
+			{X: 114.172, Y: 22.298, Keywords: []string{"wifi", "breakfast"}, K: 3},
+			{X: 114.158, Y: 22.281, Keywords: []string{"clean", "wifi"}, K: 2},
+			{X: 114.184, Y: 22.280, Keywords: []string{"harbour", "view"}, K: 5},
+		},
+		Workers: 2,
+	}
+	var br batchQueryResponse
+	status, raw := postJSON(t, ts.URL+"/api/batch/query", req, &br)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d: %s", status, raw)
+	}
+	if len(br.Results) != len(req.Queries) {
+		t.Fatalf("got %d result sets, want %d", len(br.Results), len(req.Queries))
+	}
+	for i, q := range req.Queries {
+		var qr queryResponse
+		status, raw := postJSON(t, ts.URL+"/api/query", q, &qr)
+		if status != http.StatusOK {
+			t.Fatalf("query %d status %d: %s", i, status, raw)
+		}
+		if len(br.Results[i]) != len(qr.Results) {
+			t.Fatalf("query %d: batch %d results, single %d", i, len(br.Results[i]), len(qr.Results))
+		}
+		for j := range qr.Results {
+			if br.Results[i][j].ID != qr.Results[j].ID {
+				t.Fatalf("query %d rank %d: batch ID %d, single ID %d",
+					i, j, br.Results[i][j].ID, qr.Results[j].ID)
+			}
+		}
+	}
+	// Batch queries are stateless: only the single queries above created
+	// sessions.
+	if got := srv.Sessions(); got != len(req.Queries) {
+		t.Fatalf("batch created sessions: %d live, want %d", got, len(req.Queries))
+	}
+}
+
+func TestBatchQueryEndpointRejectsBadInput(t *testing.T) {
+	_, ts := testServer(t)
+	status, _ := postJSON(t, ts.URL+"/api/batch/query", batchQueryRequest{}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", status)
+	}
+	status, _ = postJSON(t, ts.URL+"/api/batch/query", batchQueryRequest{
+		Queries: []queryRequest{{X: 1, Y: 1, Keywords: []string{"wifi"}, K: 0}},
+	}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid member query status %d", status)
+	}
+	oversized := batchQueryRequest{Queries: make([]queryRequest, maxBatchQueries+1)}
+	for i := range oversized.Queries {
+		oversized.Queries[i] = queryRequest{X: 1, Y: 1, Keywords: []string{"wifi"}, K: 1}
+	}
+	status, raw := postJSON(t, ts.URL+"/api/batch/query", oversized, nil)
+	if status != http.StatusBadRequest || !strings.Contains(raw, "exceeds the limit") {
+		t.Fatalf("oversized batch status %d: %s", status, raw)
+	}
+}

@@ -109,9 +109,12 @@ func newSessionID() string {
 // penalty for refined queries, and server response time.
 type logEntry struct {
 	Time      time.Time `json:"time"`
-	Kind      string    `json:"kind"` // "query", "explain", "preference", "keyword"
+	Kind      string    `json:"kind"` // "query", "batch", "explain", "preference", "keyword"
 	SessionID string    `json:"sessionId,omitempty"`
 	Query     yask.Query
+	// BatchSize is the number of queries of a "batch" entry (the Query
+	// field holds only the first); zero for single-query kinds.
+	BatchSize int `json:"batchSize,omitempty"`
 	Penalty   float64 `json:"penalty,omitempty"`
 	ElapsedMS float64 `json:"elapsedMs"`
 }

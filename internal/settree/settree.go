@@ -14,6 +14,9 @@
 package settree
 
 import (
+	"slices"
+	"sync"
+
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/pqueue"
 	"github.com/yask-engine/yask/internal/rtree"
@@ -77,8 +80,45 @@ const (
 // be called before sharing).
 type Index struct {
 	tree  *rtree.Tree[object.Object, Aug]
+	flat  *rtree.Flat[object.Object, Aug]
 	coll  *object.Collection
 	bound BoundMode
+	// scratch pools per-query traversal state (priority queues, DFS
+	// stack) so warm queries run allocation-free.
+	scratch sync.Pool
+}
+
+// searchScratch is the reusable traversal state of one query. One value
+// serves one query at a time; the pool hands each concurrent query its
+// own.
+type searchScratch struct {
+	nodes *pqueue.Queue[flatEntry]
+	cand  *pqueue.Queue[score.Result]
+	stack []int32
+}
+
+// flatEntry is one best-first frontier element over the flat arena.
+type flatEntry struct {
+	bound float64
+	node  int32
+}
+
+func (ix *Index) getScratch() *searchScratch {
+	if sc, ok := ix.scratch.Get().(*searchScratch); ok {
+		return sc
+	}
+	return &searchScratch{
+		nodes: pqueue.NewWithCapacity(func(a, b flatEntry) bool {
+			return a.bound > b.bound
+		}, 64),
+		cand: pqueue.NewWithCapacity(score.WorstFirst, 16),
+	}
+}
+
+func (ix *Index) putScratch(sc *searchScratch) {
+	sc.nodes.Reset()
+	sc.cand.Reset()
+	ix.scratch.Put(sc)
 }
 
 // SetBoundMode switches the pruning bound; the default is BoundFull.
@@ -93,7 +133,7 @@ func Build(c *object.Collection, maxEntries int) *Index {
 		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
 	}
 	t.BulkLoad(entries)
-	return &Index{tree: t, coll: c}
+	return &Index{tree: t, flat: t.Freeze(), coll: c}
 }
 
 // BuildByInsertion constructs the index by repeated insertion instead of
@@ -103,8 +143,11 @@ func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 	for _, o := range c.All() {
 		t.Insert(o.Rect(), o)
 	}
-	return &Index{tree: t, coll: c}
+	return &Index{tree: t, flat: t.Freeze(), coll: c}
 }
+
+// Flat exposes the frozen arena the query algorithms traverse.
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.flat }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
@@ -176,14 +219,15 @@ func TSimUpperBound(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) float64 {
 	return float64(num) / float64(den)
 }
 
-// scoreUpperBound bounds ST(o, q) for every object o under node n.
-func (ix *Index) scoreUpperBound(s score.Scorer, n *rtree.Node[object.Object, Aug]) float64 {
-	minSD := s.SDistRectMin(n.Rect())
+// boundAt bounds ST(o, q) for every object o under flat node n.
+func (ix *Index) boundAt(s score.Scorer, n int32) float64 {
+	minSD := s.SDistRectMin(ix.flat.Rect(n))
+	a := ix.flat.Aug(n)
 	var tUB float64
 	if ix.bound == BoundBasic {
-		tUB = TSimUpperBoundBasic(n.Aug(), s.Query.Doc)
+		tUB = TSimUpperBoundBasic(*a, s.Query.Doc)
 	} else {
-		tUB = TSimUpperBound(n.Aug(), s.Query.Doc, s.Query.Sim)
+		tUB = TSimUpperBound(*a, s.Query.Doc, s.Query.Sim)
 	}
 	return s.Query.W.Ws*(1-minSD) + s.Query.W.Wt*tUB
 }
@@ -220,57 +264,61 @@ func TSimUpperBoundBasic(a Aug, qdoc vocab.KeywordSet) float64 {
 // is smaller than k.
 func (ix *Index) TopK(q score.Query) []score.Result {
 	s := score.NewScorer(q, ix.coll)
-	return ix.topK(s, q.K)
+	return ix.topKAppend(s, q.K, nil)
+}
+
+// TopKAppend is TopK appending results to dst, so a caller reusing its
+// buffer across queries runs the warm path without allocating.
+func (ix *Index) TopKAppend(q score.Query, dst []score.Result) []score.Result {
+	s := score.NewScorer(q, ix.coll)
+	return ix.topKAppend(s, q.K, dst)
 }
 
 // TopKScorer is TopK with a caller-prepared scorer, letting the why-not
 // engines re-run queries with modified weights or keywords without
 // re-deriving normalization.
 func (ix *Index) TopKScorer(s score.Scorer) []score.Result {
-	return ix.topK(s, s.Query.K)
+	return ix.topKAppend(s, s.Query.K, nil)
 }
 
-type pqEntry struct {
-	bound float64
-	node  *rtree.Node[object.Object, Aug]
+// TopKScorerAppend is TopKScorer appending into dst.
+func (ix *Index) TopKScorerAppend(s score.Scorer, dst []score.Result) []score.Result {
+	return ix.topKAppend(s, s.Query.K, dst)
 }
 
-// topK is the two-heap best-first search of [4]: a max-heap of nodes
-// ordered by score upper bound, and a bounded min-heap of the k best
-// objects seen. A node whose bound is strictly below the current k-th
-// best score cannot contribute (ties must still be expanded: they can
-// hide an equal-score object with a smaller ID).
-func (ix *Index) topK(s score.Scorer, k int) []score.Result {
-	root := ix.tree.Root()
-	if root == nil || k <= 0 {
-		return nil
+// topKAppend is the two-heap best-first search of [4] over the flat
+// arena: a max-heap of nodes ordered by score upper bound, and a bounded
+// min-heap of the k best objects seen. A node whose bound is strictly
+// below the current k-th best score cannot contribute (ties must still
+// be expanded: they can hide an equal-score object with a smaller ID).
+// Both heaps come from the per-index scratch pool, so the warm path does
+// not allocate.
+func (ix *Index) topKAppend(s score.Scorer, k int, dst []score.Result) []score.Result {
+	f := ix.flat
+	if f.Empty() || k <= 0 {
+		return dst
 	}
-	stats := ix.tree.Stats()
-	nodes := pqueue.NewWithCapacity(func(a, b pqEntry) bool {
-		return a.bound > b.bound
-	}, 64)
-	nodes.Push(pqEntry{bound: ix.scoreUpperBound(s, root), node: root})
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	nodes, cand := sc.nodes, sc.cand
+	nodes.Push(flatEntry{bound: ix.boundAt(s, 0), node: 0})
 
-	worstFirst := func(a, b score.Result) bool {
-		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
-	}
-	cand := pqueue.NewWithCapacity(worstFirst, k+1)
-
+	accesses := int64(0)
 	for nodes.Len() > 0 {
 		top := nodes.Pop()
 		if cand.Len() == k && top.bound < cand.Peek().Score {
 			break // no remaining node can improve the result
 		}
 		n := top.node
-		stats.AddNodeAccesses(1)
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				sc := s.Score(e.Item)
+		accesses++
+		if f.IsLeaf(n) {
+			for _, e := range f.Entries(n) {
+				scv := s.Score(e.Item)
 				if cand.Len() < k {
-					cand.Push(score.Result{Obj: e.Item, Score: sc})
-				} else if w := cand.Peek(); score.Better(sc, e.Item.ID, w.Score, w.Obj.ID) {
+					cand.Push(score.Result{Obj: e.Item, Score: scv})
+				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
 					cand.Pop()
-					cand.Push(score.Result{Obj: e.Item, Score: sc})
+					cand.Push(score.Result{Obj: e.Item, Score: scv})
 				}
 			}
 			continue
@@ -279,17 +327,20 @@ func (ix *Index) topK(s score.Scorer, k int) []score.Result {
 		if cand.Len() == k {
 			kth = cand.Peek().Score
 		}
-		for _, c := range n.Children() {
-			if b := ix.scoreUpperBound(s, c); b >= kth {
-				nodes.Push(pqEntry{bound: b, node: c})
+		lo, hi := f.Children(n)
+		for c := lo; c < hi; c++ {
+			if b := ix.boundAt(s, c); b >= kth {
+				nodes.Push(flatEntry{bound: b, node: c})
 			}
 		}
 	}
-	out := make([]score.Result, cand.Len())
-	for i := cand.Len() - 1; i >= 0; i-- {
-		out[i] = cand.Pop()
+	f.Stats().AddNodeAccesses(accesses)
+	base, n := len(dst), cand.Len()
+	dst = slices.Grow(dst, n)[:base+n]
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = cand.Pop()
 	}
-	return out
+	return dst
 }
 
 // CountBetter returns the number of objects that rank strictly above the
@@ -298,17 +349,21 @@ func (ix *Index) topK(s score.Scorer, k int) []score.Result {
 // cannot beat the reference; it descends otherwise. The reference object
 // itself (matched by ID) is never counted.
 func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) int {
-	root := ix.tree.Root()
-	if root == nil {
+	f := ix.flat
+	if f.Empty() {
 		return 0
 	}
-	stats := ix.tree.Stats()
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	stack := append(sc.stack[:0], 0)
 	count := 0
-	var walk func(n *rtree.Node[object.Object, Aug])
-	walk = func(n *rtree.Node[object.Object, Aug]) {
-		stats.AddNodeAccesses(1)
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
+	accesses := int64(0)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		accesses++
+		if f.IsLeaf(n) {
+			for _, e := range f.Entries(n) {
 				if e.Item.ID == refID {
 					continue
 				}
@@ -316,20 +371,22 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) 
 					count++
 				}
 			}
-			return
+			continue
 		}
-		for _, c := range n.Children() {
+		lo, hi := f.Children(n)
+		for c := lo; c < hi; c++ {
 			// A subtree whose best possible score is below the
 			// reference (or ties with a larger smallest-possible ID —
 			// unknowable cheaply, so only strict inequality prunes)
 			// contributes nothing.
-			if ix.scoreUpperBound(s, c) < refScore {
+			if ix.boundAt(s, c) < refScore {
 				continue
 			}
-			walk(c)
+			stack = append(stack, c)
 		}
 	}
-	walk(root)
+	sc.stack = stack[:0]
+	f.Stats().AddNodeAccesses(accesses)
 	return count
 }
 
@@ -349,10 +406,7 @@ func ScanTopK(c *object.Collection, q score.Query) []score.Result {
 		return nil
 	}
 	// Keep a bounded max-heap (invert: pop worst) of the k best.
-	worstFirst := func(a, b score.Result) bool {
-		return score.Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
-	}
-	pq := pqueue.NewWithCapacity(worstFirst, q.K+1)
+	pq := pqueue.NewWithCapacity(score.WorstFirst, q.K+1)
 	for _, o := range c.All() {
 		pq.Push(score.Result{Obj: o, Score: s.Score(o)})
 		if pq.Len() > q.K {

@@ -307,6 +307,105 @@ func (e *Engine) TopK(q Query) ([]Result, error) {
 	return out, nil
 }
 
+// TopKBatch answers many top-k queries concurrently over a bounded
+// worker pool (workers ≤ 0 selects GOMAXPROCS) and returns one result
+// slice per query, index-aligned with queries. The batch fails as a
+// whole if any query is invalid. Heavy-traffic callers should prefer it
+// over a TopK loop: queries share per-worker traversal scratch and the
+// pool bounds concurrency no matter how large the batch is.
+func (e *Engine) TopKBatch(queries []Query, workers int) ([][]Result, error) {
+	sqs := make([]score.Query, len(queries))
+	for i, q := range queries {
+		sq, err := e.buildQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("yask: batch query %d: %w", i, err)
+		}
+		sqs[i] = sq
+	}
+	opts := core.BatchOptions{Workers: workers}
+	batches, err := e.core.TopKBatch(sqs, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Converting to the public form (keyword materialization, score
+	// components) is itself per-query work; fan it over the same pool so
+	// it doesn't become a serial tail after the parallel query phase.
+	out := make([][]Result, len(batches))
+	core.RunBatch(len(batches), opts.Workers, func(i int) {
+		res := batches[i]
+		s := score.NewScorer(sqs[i], e.core.Collection())
+		rs := make([]Result, len(res))
+		for j, r := range res {
+			rs[j] = Result{
+				ID: uint32(r.Obj.ID), Name: r.Obj.Name,
+				X: r.Obj.Loc.X, Y: r.Obj.Loc.Y,
+				Score: r.Score, SDist: s.SDist(r.Obj), TSim: s.TSim(r.Obj),
+				Keywords: e.vocab.Words(r.Obj.Doc),
+			}
+		}
+		out[i] = rs
+	})
+	return out, nil
+}
+
+// WhyNotKeywordsJob is one keyword-adaption why-not question of a
+// WhyNotKeywordsBatch call.
+type WhyNotKeywordsJob struct {
+	Query   Query
+	Missing []ObjectID
+}
+
+// WhyNotKeywordsBatch answers many keyword-adapted why-not questions
+// concurrently (workers ≤ 0 selects GOMAXPROCS). Refinements and errors
+// are index-aligned with jobs; a job that fails — a malformed query, or
+// a "missing" object that is already in the result — reports its error
+// without failing the rest of the batch.
+func (e *Engine) WhyNotKeywordsBatch(jobs []WhyNotKeywordsJob, opts RefineOptions, workers int) ([]*KeywordRefinement, []error) {
+	coreJobs := make([]core.KeywordJob, len(jobs))
+	errs := make([]error, len(jobs))
+	valid := make([]bool, len(jobs))
+	for i, j := range jobs {
+		sq, err := e.buildQuery(j.Query)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		coreJobs[i] = core.KeywordJob{Query: sq, Missing: toInternalIDs(j.Missing)}
+		valid[i] = true
+	}
+	// Run only the well-formed jobs; invalid ones already carry errors.
+	idx := make([]int, 0, len(jobs))
+	run := make([]core.KeywordJob, 0, len(jobs))
+	for i, ok := range valid {
+		if ok {
+			idx = append(idx, i)
+			run = append(run, coreJobs[i])
+		}
+	}
+	results, runErrs := e.core.AdaptKeywordsBatch(run, core.KeywordOptions{
+		Lambda:    opts.lambda(),
+		Algorithm: core.KwBoundPrune,
+	}, core.BatchOptions{Workers: workers})
+	out := make([]*KeywordRefinement, len(jobs))
+	for n, i := range idx {
+		if runErrs[n] != nil {
+			errs[i] = runErrs[n]
+			continue
+		}
+		res := results[n]
+		out[i] = &KeywordRefinement{
+			Keywords: e.vocab.Words(res.Refined.Doc),
+			K:        res.Refined.K,
+			Added:    e.vocab.Words(res.Added),
+			Removed:  e.vocab.Words(res.Removed),
+			Penalty:  res.Penalty, DeltaK: res.DeltaK, DeltaDoc: res.DeltaDoc,
+			RankBefore: res.RankBefore, RankAfter: res.RankAfter,
+			Query: e.publicQuery(res.Refined),
+		}
+	}
+	return out, errs
+}
+
 func toInternalIDs(missing []ObjectID) []object.ID {
 	ids := make([]object.ID, len(missing))
 	for i, m := range missing {

@@ -252,3 +252,90 @@ func TestSimilarityModelSelection(t *testing.T) {
 		t.Fatal("unknown similarity model accepted")
 	}
 }
+
+func TestTopKBatchPublicAPI(t *testing.T) {
+	e, err := NewEngine(demoObjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{X: 0, Y: 0, Keywords: []string{"coffee"}, K: 2},
+		{X: 0, Y: 1, Keywords: []string{"tea"}, K: 1},
+		{X: 2, Y: 2, Keywords: []string{"books"}, K: 3},
+	}
+	batch, err := e.TopKBatch(queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("got %d result sets, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		want, err := e.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j].ID != want[j].ID || batch[i][j].Score != want[j].Score {
+				t.Fatalf("query %d rank %d: batch %+v != sequential %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+
+	// An invalid query fails the whole batch.
+	bad := append([]Query{}, queries...)
+	bad[1].K = 0
+	if _, err := e.TopKBatch(bad, 2); err == nil {
+		t.Fatal("batch with invalid query accepted")
+	}
+}
+
+func TestWhyNotKeywordsBatchPublicAPI(t *testing.T) {
+	e, err := NewEngine(demoObjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 0, Y: 0, Keywords: []string{"coffee"}, K: 2}
+	res, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inResult := map[ObjectID]bool{}
+	for _, r := range res {
+		inResult[r.ID] = true
+	}
+	var missing, present ObjectID
+	for id := ObjectID(0); int(id) < e.Len(); id++ {
+		if inResult[id] {
+			present = id
+		} else {
+			missing = id
+		}
+	}
+
+	jobs := []WhyNotKeywordsJob{
+		{Query: q, Missing: []ObjectID{missing}},
+		{Query: q, Missing: []ObjectID{present}},           // already in result: per-job error
+		{Query: Query{K: 1}, Missing: []ObjectID{missing}}, // malformed query: per-job error
+	}
+	refs, errs := e.WhyNotKeywordsBatch(jobs, RefineOptions{}, 2)
+	if errs[0] != nil {
+		t.Fatalf("valid job failed: %v", errs[0])
+	}
+	want, err := e.WhyNotKeywords(q, []ObjectID{missing}, RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs[0] == nil || refs[0].Penalty != want.Penalty || refs[0].K != want.K {
+		t.Fatalf("batch refinement %+v != sequential %+v", refs[0], want)
+	}
+	if errs[1] == nil || refs[1] != nil {
+		t.Fatal("in-result missing object should fail its job only")
+	}
+	if errs[2] == nil || refs[2] != nil {
+		t.Fatal("malformed query should fail its job only")
+	}
+}
