@@ -46,7 +46,7 @@ func BenchmarkE1TopKSetRTree(b *testing.B) {
 			var buf []score.Result
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				buf = e.Set.TopKAppend(qs[i%len(qs)], buf[:0])
+				buf, _ = e.Set.TopKAppend(qs[i%len(qs)], buf[:0])
 			}
 		})
 	}
@@ -60,7 +60,7 @@ func BenchmarkE1TopKIRTree(b *testing.B) {
 			var buf []score.Result
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				buf = e.Ir.TopKAppend(qs[i%len(qs)], buf[:0])
+				buf, _ = e.Ir.TopKAppend(qs[i%len(qs)], buf[:0])
 			}
 		})
 	}
@@ -98,7 +98,7 @@ func TestTopKAllocationGuard(t *testing.T) {
 	var buf []score.Result
 	warmSet := testing.AllocsPerRun(50, func() {
 		for _, q := range qs {
-			buf = e.Set.TopKAppend(q, buf[:0])
+			buf, _ = e.Set.TopKAppend(q, buf[:0])
 		}
 	}) / float64(len(qs))
 	if warmSet > 1 {
@@ -107,7 +107,7 @@ func TestTopKAllocationGuard(t *testing.T) {
 
 	warmIr := testing.AllocsPerRun(50, func() {
 		for _, q := range qs {
-			buf = e.Ir.TopKAppend(q, buf[:0])
+			buf, _ = e.Ir.TopKAppend(q, buf[:0])
 		}
 	}) / float64(len(qs))
 	if warmIr > 1 {

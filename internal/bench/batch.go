@@ -85,14 +85,14 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 
 		// Warm both scratch pools before timing.
 		for _, q := range qs {
-			buf = env.Set.TopKAppend(q, buf[:0])
-			buf = env.Ir.TopKAppend(q, buf[:0])
+			buf, _ = env.Set.TopKAppend(q, buf[:0])
+			buf, _ = env.Ir.TopKAppend(q, buf[:0])
 		}
 
 		env.Set.Stats().Reset()
 		setTime := timeIt(func() {
 			for _, q := range qs {
-				buf = env.Set.TopKAppend(q, buf[:0])
+				buf, _ = env.Set.TopKAppend(q, buf[:0])
 			}
 		}) / time.Duration(len(qs))
 		add(fmt.Sprintf("e1/topk/setr/k=%d", k), float64(setTime.Nanoseconds()), "ns/op")
@@ -100,7 +100,7 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 			float64(env.Set.Stats().NodeAccesses()/int64(len(qs))), "nodes/op")
 		setAllocs := testing.AllocsPerRun(10, func() {
 			for _, q := range qs {
-				buf = env.Set.TopKAppend(q, buf[:0])
+				buf, _ = env.Set.TopKAppend(q, buf[:0])
 			}
 		}) / float64(len(qs))
 		add(fmt.Sprintf("e1/allocs/setr/k=%d", k), setAllocs, "allocs/op")
@@ -108,7 +108,7 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 		env.Ir.Stats().Reset()
 		irTime := timeIt(func() {
 			for _, q := range qs {
-				buf = env.Ir.TopKAppend(q, buf[:0])
+				buf, _ = env.Ir.TopKAppend(q, buf[:0])
 			}
 		}) / time.Duration(len(qs))
 		add(fmt.Sprintf("e1/topk/ir/k=%d", k), float64(irTime.Nanoseconds()), "ns/op")
@@ -116,7 +116,7 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 			float64(env.Ir.Stats().NodeAccesses()/int64(len(qs))), "nodes/op")
 		irAllocs := testing.AllocsPerRun(10, func() {
 			for _, q := range qs {
-				buf = env.Ir.TopKAppend(q, buf[:0])
+				buf, _ = env.Ir.TopKAppend(q, buf[:0])
 			}
 		}) / float64(len(qs))
 		add(fmt.Sprintf("e1/allocs/ir/k=%d", k), irAllocs, "allocs/op")

@@ -110,7 +110,7 @@ func (e *Env) Queries(n, k, kw int) []score.Query {
 func (e *Env) MissingFor(q score.Query, count int) []object.ID {
 	extended := q
 	extended.K = q.K + count
-	res := e.Set.TopK(extended)
+	res, _ := e.Set.TopK(extended)
 	if len(res) <= q.K {
 		return nil
 	}

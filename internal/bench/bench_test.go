@@ -43,7 +43,7 @@ func TestEnvHelpers(t *testing.T) {
 		t.Fatalf("missing %v", m)
 	}
 	// The missing objects must really be outside the top-k.
-	res := env.Set.TopK(qs[0])
+	res, _ := env.Set.TopK(qs[0])
 	for _, r := range res {
 		for _, id := range m {
 			if r.Obj.ID == id {

@@ -38,7 +38,7 @@ func (e *Engine) WeightProfile(q score.Query, missing object.ID) ([]RankStep, er
 	var events []ev
 	above := 0
 	for _, o := range e.coll.All() {
-		if o.ID == m.ID {
+		if o.ID == m.ID || !e.coll.Alive(o.ID) {
 			continue
 		}
 		line := lineOf(s, o)
@@ -101,11 +101,15 @@ func (e *Engine) KeywordImpacts(q score.Query, missing []object.ID) ([]KeywordIm
 	}
 	universe := q.Doc.Union(MissingDocUnion(objs))
 
+	kf, err := e.kc.Snapshot()
+	if err != nil {
+		return nil, err
+	}
 	worstRank := func(doc vocab.KeywordSet) int {
 		s2 := score.Scorer{Query: q.WithDoc(doc), MaxDist: s.MaxDist}
 		worst := 0
 		for _, m := range objs {
-			if r := e.kc.RankOf(s2, m.ID); r > worst {
+			if r := e.kc.RankOfOn(kf, s2, m.ID); r > worst {
 				worst = r
 			}
 		}
@@ -217,10 +221,14 @@ func (e *Engine) RefineBest(q score.Query, missing []object.ID, lambda float64) 
 	// the keyword stage already needed no k enlargement there is nothing
 	// left to recover, so only try the composition when Δk > 0.
 	if kw.DeltaK > 0 {
+		sf, err := e.set.Snapshot()
+		if err != nil {
+			return BestRefinement{}, err
+		}
 		s2 := score.NewScorer(kw.Refined, e.coll)
 		stillMissing := make([]object.ID, 0, len(missing))
 		for _, id := range missing {
-			if e.set.RankOf(s2, id) > q.K {
+			if e.set.RankOfOn(sf, s2, id) > q.K {
 				stillMissing = append(stillMissing, id)
 			}
 		}
@@ -246,11 +254,16 @@ func (e *Engine) RefineBest(q score.Query, missing []object.ID, lambda float64) 
 }
 
 // allWithin reports whether every listed object ranks within q.K under
-// query q.
+// query q. A stale snapshot counts as "not within": the composition is
+// simply not accepted.
 func (e *Engine) allWithin(q score.Query, ids []object.ID) bool {
+	sf, err := e.set.Snapshot()
+	if err != nil {
+		return false
+	}
 	s := score.NewScorer(q, e.coll)
 	for _, id := range ids {
-		if e.set.RankOf(s, id) > q.K {
+		if e.set.RankOfOn(sf, s, id) > q.K {
 			return false
 		}
 	}

@@ -78,9 +78,16 @@ func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Resul
 			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
+	// One checked snapshot serves the whole batch: every query in it
+	// sees the same consistent arena even with mutations in flight.
+	sf, err := e.set.Snapshot()
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]score.Result, len(qs))
 	RunBatch(len(qs), opts.Workers, func(i int) {
-		out[i] = e.set.TopK(qs[i])
+		s := score.NewScorer(qs[i], e.coll)
+		out[i] = e.set.TopKScorerAppendOn(sf, s, nil)
 	})
 	return out, nil
 }

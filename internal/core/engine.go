@@ -5,13 +5,18 @@
 // and the keyword-adapted why-not module (Definition 3, penalty Eqn 4).
 //
 // The Engine owns a SetR-tree (top-k, explanations, preference
-// adjustment) and a KcR-tree (keyword adaption) over one immutable
-// collection. All methods are safe for concurrent use.
+// adjustment) and a KcR-tree (keyword adaption) over one collection.
+// Queries run against immutable frozen snapshots of the indexes, so all
+// methods — including the live-update path Insert/Remove/Refresh — are
+// safe for concurrent use: a query always sees a complete, consistent
+// arena, never a half-applied mutation.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"github.com/yask-engine/yask/internal/kcrtree"
 	"github.com/yask-engine/yask/internal/object"
@@ -30,6 +35,14 @@ type Engine struct {
 	coll *object.Collection
 	set  *settree.Index
 	kc   *kcrtree.Index
+
+	// mu serializes the mutation path (Insert/Remove/Refresh); queries
+	// never take it — they read atomically published snapshots.
+	mu sync.Mutex
+	// pending counts mutations applied to the trees since the last
+	// snapshot refresh; refreshEvery bounds it.
+	pending      int
+	refreshEvery int
 }
 
 // Options configures engine construction.
@@ -37,6 +50,22 @@ type Options struct {
 	// MaxEntries is the R-tree node fanout for both indexes.
 	// Zero means rtree.DefaultMaxEntries.
 	MaxEntries int
+	// RefreshEvery batches snapshot refreshes on the live-update path:
+	// the engine re-freezes the index arenas after every RefreshEvery
+	// mutations instead of after each one, amortizing the O(n) freeze
+	// over a mutation storm. Until the refresh, queries serve the last
+	// published snapshot (complete and consistent, minus the buffered
+	// mutations). Zero or one refreshes on every mutation; Refresh
+	// forces one at any time.
+	//
+	// One caveat while mutations are buffered: the SDist normalization
+	// constant (the data-space diagonal) is engine-global and grows the
+	// moment an out-of-space insert lands, so queries in the window
+	// between the insert and its refresh score the old arena under the
+	// new constant. Each query is still internally consistent — bounds
+	// and exact scores share one Scorer — but absolute scores can
+	// differ from both the pre-insert and post-refresh answers.
+	RefreshEvery int
 }
 
 // NewEngine builds the engine (both indexes) over the collection.
@@ -45,11 +74,92 @@ func NewEngine(c *object.Collection, opts Options) *Engine {
 	if maxE == 0 {
 		maxE = rtree.DefaultMaxEntries
 	}
-	return &Engine{
-		coll: c,
-		set:  settree.Build(c, maxE),
-		kc:   kcrtree.Build(c, maxE),
+	refreshEvery := opts.RefreshEvery
+	if refreshEvery < 1 {
+		refreshEvery = 1
 	}
+	return &Engine{
+		coll:         c,
+		set:          settree.Build(c, maxE),
+		kc:           kcrtree.Build(c, maxE),
+		refreshEvery: refreshEvery,
+	}
+}
+
+// Insert adds a new object to the collection and both indexes and
+// returns its assigned ID. The o.ID field is ignored; IDs stay dense.
+// The new object becomes visible to queries at the next snapshot refresh
+// (immediately unless Options.RefreshEvery batches mutations).
+func (e *Engine) Insert(o object.Object) (object.ID, error) {
+	if o.Doc.Empty() {
+		return 0, errors.New("core: object needs at least one keyword")
+	}
+	if !o.Doc.Canonical() {
+		return 0, errors.New("core: object keyword set not canonical")
+	}
+	if math.IsNaN(o.Loc.X) || math.IsInf(o.Loc.X, 0) ||
+		math.IsNaN(o.Loc.Y) || math.IsInf(o.Loc.Y, 0) {
+		return 0, fmt.Errorf("core: object location %v is not finite", o.Loc)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.coll.Append(o)
+	o = e.coll.Get(id) // pick up the assigned ID
+	e.set.Insert(o)
+	e.kc.Insert(o)
+	e.bumpPendingLocked()
+	return id, nil
+}
+
+// Remove tombstones the object and deletes it from both indexes. The ID
+// remains addressable (why-not questions over old sessions keep
+// resolving) but the object stops appearing in results at the next
+// snapshot refresh.
+func (e *Engine) Remove(id object.ID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(id) >= e.coll.Len() {
+		return fmt.Errorf("core: unknown object ID %d", id)
+	}
+	if !e.coll.Tombstone(id) {
+		return fmt.Errorf("core: object %d is already removed", id)
+	}
+	o := e.coll.Get(id)
+	e.set.Remove(o)
+	e.kc.Remove(o)
+	e.bumpPendingLocked()
+	return nil
+}
+
+// Refresh re-freezes both index arenas and atomically publishes them,
+// making every buffered mutation visible to queries. The copy-on-write
+// freeze runs off the query path: concurrent queries keep traversing the
+// old snapshots until the swap.
+func (e *Engine) Refresh() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+}
+
+func (e *Engine) bumpPendingLocked() {
+	e.pending++
+	if e.pending >= e.refreshEvery {
+		e.refreshLocked()
+	}
+}
+
+func (e *Engine) refreshLocked() {
+	e.set.Refresh()
+	e.kc.Refresh()
+	e.pending = 0
+}
+
+// PendingMutations returns the number of mutations buffered since the
+// last snapshot refresh (always 0 unless Options.RefreshEvery > 1).
+func (e *Engine) PendingMutations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pending
 }
 
 // Collection returns the indexed collection.
@@ -66,7 +176,7 @@ func (e *Engine) TopK(q score.Query) ([]score.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return e.set.TopK(q), nil
+	return e.set.TopK(q)
 }
 
 // validateWhyNot checks the common preconditions of the why-not
@@ -90,12 +200,18 @@ func (e *Engine) validateWhyNot(q score.Query, missing []object.ID) (score.Score
 		if int(id) >= e.coll.Len() {
 			return score.Scorer{}, nil, 0, fmt.Errorf("core: unknown object ID %d", id)
 		}
+		if !e.coll.Alive(id) {
+			return score.Scorer{}, nil, 0, fmt.Errorf("core: object %d has been removed", id)
+		}
 		if seen[id] {
 			return score.Scorer{}, nil, 0, fmt.Errorf("core: duplicate missing object %d", id)
 		}
 		seen[id] = true
 		o := e.coll.Get(id)
-		rank := e.set.RankOf(s, id)
+		rank, err := e.set.RankOf(s, id)
+		if err != nil {
+			return score.Scorer{}, nil, 0, err
+		}
 		if rank <= q.K {
 			return score.Scorer{}, nil, 0, fmt.Errorf(
 				"core: object %d is already in the top-%d result (rank %d); not a why-not question", id, q.K, rank)

@@ -76,7 +76,13 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 	if err != nil {
 		return nil, err
 	}
-	result := e.set.TopKScorer(s)
+	// One checked snapshot serves the whole analysis, so the top-k and
+	// every rank computation agree on one consistent arena.
+	sf, err := e.set.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	result := e.set.TopKScorerAppendOn(sf, s, nil)
 	if len(result) == 0 {
 		return nil, fmt.Errorf("core: initial query has an empty result")
 	}
@@ -95,7 +101,7 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 		ts := s.TSim(o)
 		ex := Explanation{
 			Missing:        o,
-			Rank:           e.set.RankOf(s, o.ID),
+			Rank:           e.set.RankOfOn(sf, s, o.ID),
 			Score:          s.Score(o),
 			SDist:          sd,
 			TSim:           ts,

@@ -130,6 +130,13 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 	best.CandidatesGenerated = 1
 	best.CandidatesEvaluated = 1
 
+	// One checked snapshot serves the whole enumeration: every candidate
+	// is ranked against the same consistent arena.
+	kf, err := e.kc.Snapshot()
+	if err != nil {
+		return KeywordResult{}, err
+	}
+
 	// worstRank returns R(M, q′) for candidate doc, exactly.
 	worstRank := func(doc vocab.KeywordSet) int {
 		s2 := score.Scorer{Query: q.WithDoc(doc), MaxDist: s.MaxDist}
@@ -139,7 +146,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 			if opts.Algorithm == KwExhaustive {
 				r = settree.ScanRank(e.coll, s2, m.ID)
 			} else {
-				r = e.kc.RankOf(s2, m.ID)
+				r = e.kc.RankOfOn(kf, s2, m.ID)
 			}
 			if r > worst {
 				worst = r
@@ -155,7 +162,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 		worstLo := 0
 		for _, m := range objs {
 			refScore := s2.Score(m)
-			lo, _ := e.kc.RankBounds(s2, refScore, m.ID, boundDepth)
+			lo, _ := e.kc.RankBoundsOn(kf, s2, refScore, m.ID, boundDepth)
 			if lo+1 > worstLo {
 				worstLo = lo + 1
 			}

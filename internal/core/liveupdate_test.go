@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+func liveTestEngine(t *testing.T, n int, seed int64, opts Options) (*Engine, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MaxEntries == 0 {
+		opts.MaxEntries = 16
+	}
+	return NewEngine(ds.Objects, opts), ds
+}
+
+func liveQuery(ds *dataset.Dataset, seed int64) score.Query {
+	return dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: 1, Seed: seed, K: 5, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})[0]
+}
+
+func TestEngineInsertVisibleAfterAutoRefresh(t *testing.T) {
+	e, ds := liveTestEngine(t, 300, 90, Options{})
+	q := liveQuery(ds, 91)
+
+	id, err := e.Insert(object.Object{Loc: q.Loc, Doc: q.Doc, Name: "newcomer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Obj.ID != id {
+		t.Fatalf("inserted object ranks %v first, want %d", res[0].Obj.ID, id)
+	}
+	// Agreement with the scan oracle over the mutated collection.
+	want := settree.ScanTopK(ds.Objects, q)
+	for i := range want {
+		if res[i].Obj.ID != want[i].Obj.ID {
+			t.Fatalf("rank %d: index %d, scan %d", i, res[i].Obj.ID, want[i].Obj.ID)
+		}
+	}
+}
+
+func TestEngineInsertValidation(t *testing.T) {
+	e, _ := liveTestEngine(t, 50, 92, Options{})
+	if _, err := e.Insert(object.Object{Loc: geo.Point{X: 1, Y: 1}}); err == nil {
+		t.Fatal("keywordless object accepted")
+	}
+	if _, err := e.Insert(object.Object{Loc: geo.Point{X: math.NaN(), Y: 0}, Doc: e.coll.Get(0).Doc}); err == nil {
+		t.Fatal("NaN location accepted")
+	}
+}
+
+func TestEngineRemove(t *testing.T) {
+	e, ds := liveTestEngine(t, 300, 93, Options{})
+	q := liveQuery(ds, 94)
+	res, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res[0].Obj.ID
+	if err := e.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove(victim); err == nil {
+		t.Fatal("double Remove accepted")
+	}
+	if err := e.Remove(object.ID(ds.Objects.Len() + 5)); err == nil {
+		t.Fatal("out-of-range Remove accepted")
+	}
+	after, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range after {
+		if r.Obj.ID == victim {
+			t.Fatalf("removed object %d still in results", victim)
+		}
+	}
+	// A removed object is no longer a valid why-not target.
+	if _, err := e.Explain(q, []object.ID{victim}); err == nil {
+		t.Fatal("Explain accepted a removed object")
+	}
+}
+
+func TestRefreshEveryBatchesMutations(t *testing.T) {
+	e, ds := liveTestEngine(t, 200, 95, Options{RefreshEvery: 3})
+	q := liveQuery(ds, 96)
+	before, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id1, err := e.Insert(object.Object{Loc: q.Loc, Doc: q.Doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PendingMutations() != 1 {
+		t.Fatalf("pending %d after 1 mutation, want 1", e.PendingMutations())
+	}
+	mid, err := e.TopK(q)
+	if err != nil {
+		t.Fatalf("query with buffered mutation: %v", err)
+	}
+	if mid[0].Obj.ID == id1 {
+		t.Fatal("buffered insert visible before refresh")
+	}
+	if mid[0].Obj.ID != before[0].Obj.ID {
+		t.Fatal("buffered insert disturbed the published snapshot")
+	}
+
+	// Forcing publication flushes the buffer.
+	e.Refresh()
+	if e.PendingMutations() != 0 {
+		t.Fatalf("pending %d after Refresh", e.PendingMutations())
+	}
+	after, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Obj.ID != id1 {
+		t.Fatalf("refreshed top result %d, want inserted %d", after[0].Obj.ID, id1)
+	}
+
+	// The third mutation auto-refreshes.
+	if _, err := e.Insert(object.Object{Loc: q.Loc, Doc: q.Doc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(object.Object{Loc: q.Loc, Doc: q.Doc}); err != nil {
+		t.Fatal(err)
+	}
+	if e.PendingMutations() != 2 {
+		t.Fatalf("pending %d after 2 buffered mutations", e.PendingMutations())
+	}
+	if _, err := e.Insert(object.Object{Loc: q.Loc, Doc: q.Doc}); err != nil {
+		t.Fatal(err)
+	}
+	if e.PendingMutations() != 0 {
+		t.Fatalf("pending %d after auto-refresh threshold", e.PendingMutations())
+	}
+}
+
+// TestStaleTreeMutationSurfacesAsError: bypassing the engine and
+// mutating an index tree directly must turn engine queries into
+// ErrStaleSnapshot errors until Refresh.
+func TestStaleTreeMutationSurfacesAsError(t *testing.T) {
+	e, ds := liveTestEngine(t, 200, 97, Options{})
+	q := liveQuery(ds, 98)
+	o := ds.Objects.Get(0)
+	e.SetIndex().Tree().Delete(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
+
+	if _, err := e.TopK(q); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("TopK err = %v, want ErrStaleSnapshot", err)
+	}
+	if _, err := e.TopKBatch([]score.Query{q}, BatchOptions{}); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("TopKBatch err = %v, want ErrStaleSnapshot", err)
+	}
+	e.Refresh()
+	if _, err := e.TopK(q); err != nil {
+		t.Fatalf("TopK after Refresh: %v", err)
+	}
+}
+
+// TestConcurrentQueriesDuringMutationStorm is the live-update race test:
+// queries, why-not questions, inserts, and removes run concurrently.
+// Every query must succeed (zero failed queries) and return a complete,
+// consistent result; run under -race this also proves the snapshot swap
+// is data-race free.
+func TestConcurrentQueriesDuringMutationStorm(t *testing.T) {
+	e, ds := liveTestEngine(t, 400, 99, Options{RefreshEvery: 4})
+	q := liveQuery(ds, 100)
+
+	const mutations = 150
+	var failed atomic.Int64
+	var queries atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// On a single-CPU host the mutation loop can finish before any query
+	// goroutine is scheduled; make each worker complete one iteration
+	// before the storm starts.
+	var ready sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var once sync.Once
+			markReady := func() { once.Do(ready.Done) }
+			defer markReady()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				queries.Add(1)
+				res, err := e.TopK(q)
+				if err != nil {
+					failed.Add(1)
+					t.Errorf("TopK failed during storm: %v", err)
+					return
+				}
+				if len(res) != q.K {
+					failed.Add(1)
+					t.Errorf("TopK returned %d results, want %d", len(res), q.K)
+					return
+				}
+				// Results must be sorted: a torn snapshot would scramble
+				// the heap order.
+				for i := 1; i < len(res); i++ {
+					if score.Better(res[i].Score, res[i].Obj.ID, res[i-1].Score, res[i-1].Obj.ID) {
+						failed.Add(1)
+						t.Errorf("results out of order during storm")
+						return
+					}
+				}
+				markReady()
+			}
+		}(w)
+	}
+	ready.Wait()
+
+	doc := ds.Objects.Get(0).Doc
+	inserted := make([]object.ID, 0, mutations)
+	for i := 0; i < mutations; i++ {
+		id, err := e.Insert(object.Object{
+			Loc: geo.Point{X: q.Loc.X + float64(i%10), Y: q.Loc.Y - float64(i%7)},
+			Doc: doc,
+		})
+		if err != nil {
+			t.Errorf("Insert %d: %v", i, err)
+			break
+		}
+		inserted = append(inserted, id)
+		if i%3 == 0 {
+			if err := e.Remove(inserted[len(inserted)/2]); err != nil {
+				// Removing an already-removed midpoint is fine; any other
+				// error is not.
+				if !alreadyRemoved(err) {
+					t.Errorf("Remove: %v", err)
+					break
+				}
+			}
+		}
+	}
+	e.Refresh()
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d concurrent queries failed", failed.Load(), queries.Load())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries ran during the storm")
+	}
+	// Post-storm: the index agrees with the scan oracle.
+	res, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := settree.ScanTopK(ds.Objects, q)
+	for i := range want {
+		if res[i].Obj.ID != want[i].Obj.ID {
+			t.Fatalf("post-storm rank %d: index %d, scan %d", i, res[i].Obj.ID, want[i].Obj.ID)
+		}
+	}
+}
+
+func alreadyRemoved(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "already removed")
+}

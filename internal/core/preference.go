@@ -7,6 +7,7 @@ import (
 
 	"github.com/yask-engine/yask/internal/kcrtree"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 )
 
@@ -225,10 +226,17 @@ func (e *Engine) adjustBySweep(s score.Scorer, objs []object.Object, rankBefore 
 		// Missing objects are competitors of each other too, so no
 		// object other than m itself is skipped (addObject handles it).
 		for _, o := range e.coll.All() {
+			if !e.coll.Alive(o.ID) {
+				continue
+			}
 			addObject(lineOf(s, o))
 		}
 	} else {
-		e.collectCrossings(s, mLines, curAbove, &events)
+		kf, err := e.kc.Snapshot()
+		if err != nil {
+			return PreferenceResult{}, err
+		}
+		e.collectCrossings(kf, s, mLines, curAbove, &events)
 	}
 
 	sort.Slice(events, func(i, j int) bool { return events[i].wt < events[j].wt })
@@ -327,8 +335,7 @@ func min2(a, b, c float64) float64 {
 // object stays on one side of the missing object's line over the whole
 // weight interval — the index-based analogue of the paper's two range
 // queries over segment endpoints.
-func (e *Engine) collectCrossings(s score.Scorer, mLines []scoreLine, curAbove []int, events *[]prefEvent) {
-	f := e.kc.Flat()
+func (e *Engine) collectCrossings(f *rtree.Flat[object.Object, kcrtree.Aug], s score.Scorer, mLines []scoreLine, curAbove []int, events *[]prefEvent) {
 	if f.Empty() {
 		return
 	}
@@ -401,12 +408,16 @@ func (e *Engine) adjustBySampling(s score.Scorer, objs []object.Object, rankBefo
 		Candidates: 1,
 	}
 	best.Refined.K = rankBefore
+	sf, err := e.set.Snapshot()
+	if err != nil {
+		return PreferenceResult{}, err
+	}
 	for i := 1; i <= samples; i++ {
 		wt := float64(i) / float64(samples+1)
 		s2 := score.Scorer{Query: q.WithWeights(score.WeightsFromWt(wt)), MaxDist: s.MaxDist}
 		worst := 0
 		for _, o := range objs {
-			if r := e.set.RankOf(s2, o.ID); r > worst {
+			if r := e.set.RankOfOn(sf, s2, o.ID); r > worst {
 				worst = r
 			}
 		}

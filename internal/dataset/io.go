@@ -126,13 +126,19 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 }
 
 // SaveFile writes the dataset to path, choosing the format from the
-// extension: .json or .csv.
-func (d *Dataset) SaveFile(path string) error {
+// extension: .json or .csv. The file is closed exactly once; a close
+// error (the last chance for the OS to report a failed write) is
+// returned unless an earlier write error already explains the failure.
+func (d *Dataset) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	bw := bufio.NewWriter(f)
 	switch {
 	case strings.HasSuffix(path, ".json"):
@@ -145,10 +151,7 @@ func (d *Dataset) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return f.Close()
+	return bw.Flush()
 }
 
 // LoadFile reads a dataset from path, choosing the format from the

@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSaveFileReportsWriteError: a failing write must surface as an
+// error from SaveFile instead of being swallowed by the old double-Close
+// path. /dev/full fails every write with ENOSPC; reach it through a
+// symlink so the extension-based format switch still sees ".json".
+func TestSaveFileReportsWriteError(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /dev/full")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	link := filepath.Join(t.TempDir(), "out.json")
+	if err := os.Symlink("/dev/full", link); err != nil {
+		t.Skipf("cannot symlink: %v", err)
+	}
+	ds := HKHotels()
+	if err := ds.SaveFile(link); err == nil {
+		t.Fatal("SaveFile to a full device reported success")
+	}
+}
+
+// TestSaveFileSingleClose: a successful save must not error (the old
+// code closed the file twice; on some platforms the second close
+// reports EBADF and a healthy save failed spuriously).
+func TestSaveFileSingleClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.csv")
+	ds := HKHotels()
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.Objects.Len() != ds.Objects.Len() {
+		t.Fatalf("round trip lost objects: %d != %d", back.Objects.Len(), ds.Objects.Len())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/yask-engine/yask/internal/geo"
 	"github.com/yask-engine/yask/internal/object"
@@ -36,23 +37,47 @@ type TextModel struct {
 	norms []float64 // indexed by object.ID
 }
 
-// NewTextModel computes corpus statistics over the collection. vocabSize
-// must cover every keyword ID used by the collection.
+// NewTextModel computes corpus statistics over the live objects of the
+// collection. vocabSize must cover every keyword ID used by the
+// collection; norms cover the whole ID space (tombstoned IDs get norm 0).
 func NewTextModel(c *object.Collection, vocabSize int) *TextModel {
+	return newTextModel(c.View(), vocabSize)
+}
+
+// newTextModel is NewTextModel over one consistent collection view, so
+// a concurrent Append cannot desynchronize the df/norms array sizes
+// from the objects iterated.
+func newTextModel(v object.View, vocabSize int) *TextModel {
+	// Keywords interned after the caller derived vocabSize would overrun
+	// df; widen to whatever this view actually contains.
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) || len(o.Doc) == 0 {
+			continue
+		}
+		if max := int(o.Doc[len(o.Doc)-1]) + 1; max > vocabSize {
+			vocabSize = max
+		}
+	}
 	df := make([]int, vocabSize)
-	for _, o := range c.All() {
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
 		for _, kw := range o.Doc {
 			df[kw]++
 		}
 	}
-	n := float64(c.Len())
-	m := &TextModel{idf: make([]float64, vocabSize), norms: make([]float64, c.Len())}
+	n := float64(v.LiveLen())
+	m := &TextModel{idf: make([]float64, vocabSize), norms: make([]float64, v.Len())}
 	for t, d := range df {
 		if d > 0 {
 			m.idf[t] = math.Log(1 + n/float64(d))
 		}
 	}
-	for i, o := range c.All() {
+	for i, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
 		sum := 0.0
 		for _, kw := range o.Doc {
 			sum += m.idf[kw] * m.idf[kw]
@@ -71,8 +96,13 @@ func (m *TextModel) IDF(kw vocab.Keyword) float64 {
 }
 
 // Weight returns the normalized weight of term kw in object oid's
-// vector, i.e. idf(kw)/‖o‖, assuming kw ∈ o.doc.
+// vector, i.e. idf(kw)/‖o‖, assuming kw ∈ o.doc. Objects appended to
+// the collection after this model was built weigh 0 until a Refresh
+// rebuilds the epoch (the model predates them).
 func (m *TextModel) Weight(oid object.ID, kw vocab.Keyword) float64 {
+	if int(oid) >= len(m.norms) {
+		return 0
+	}
 	norm := m.norms[oid]
 	if norm == 0 {
 		return 0
@@ -103,6 +133,11 @@ func (m *TextModel) queryWeights(qdoc vocab.KeywordSet, dst []float64) []float64
 // to the query keywords whose normalized weights are qw (aligned with
 // qdoc), merge-walking the two sorted sets without allocating.
 func (m *TextModel) cosineWeights(oid object.ID, doc, qdoc vocab.KeywordSet, qw []float64) float64 {
+	// Objects newer than the model (collection mutated, Refresh pending)
+	// weigh 0 rather than panicking on the short norms array.
+	if int(oid) >= len(m.norms) {
+		return 0
+	}
 	norm := m.norms[oid]
 	if norm == 0 {
 		return 0
@@ -203,16 +238,37 @@ func (g augmenter) Merge(a, b Aug) Aug {
 	return Aug{Postings: out}
 }
 
-// Index is an IR-tree over a collection. It is immutable after
-// construction and safe for concurrent readers.
+// Index is an IR-tree over a collection. Queries traverse an immutable
+// epoch — tree, frozen Flat arena, and the text model whose weights the
+// arena's postings were computed with — published through one atomic
+// pointer, so a query always sees a mutually consistent triple even
+// while Refresh swaps in a new epoch. Mutating the tree directly via
+// Tree() makes every query fail with rtree.ErrStaleSnapshot until
+// Refresh.
+//
+// Unlike the SetR-/KcR-trees, the IR-tree's per-node postings depend on
+// corpus statistics (idf, vector norms), so Refresh rebuilds the whole
+// epoch from the live collection instead of re-freezing the mutated
+// tree: direct tree edits are discarded, the collection is the source of
+// truth.
 type Index struct {
-	tree  *rtree.Tree[object.Object, Aug]
-	flat  *rtree.Flat[object.Object, Aug]
-	coll  *object.Collection
-	model *TextModel
+	st   atomic.Pointer[epoch]
+	coll *object.Collection
+	// mu serializes Refresh; queries never take it.
+	mu sync.Mutex
+	// knownGen is the generation of the published epoch's tree; the tree
+	// moving past it means an unmanaged mutation.
+	knownGen atomic.Uint64
 	// scratch pools per-query traversal state so warm queries run
 	// allocation-free.
 	scratch sync.Pool
+}
+
+// epoch is one immutable (tree, arena, model) triple.
+type epoch struct {
+	tree  *rtree.Tree[object.Object, Aug]
+	flat  *rtree.Flat[object.Object, Aug]
+	model *TextModel
 }
 
 // searchScratch is the reusable traversal state of one query.
@@ -247,33 +303,89 @@ func (ix *Index) putScratch(sc *searchScratch) {
 	ix.scratch.Put(sc)
 }
 
-// Build bulk-loads an IR-tree over the collection. vocabSize must cover
-// every keyword ID in use.
+// Build bulk-loads an IR-tree over the live objects of the collection.
+// vocabSize must cover every keyword ID in use.
 func Build(c *object.Collection, vocabSize, maxEntries int) *Index {
-	model := NewTextModel(c, vocabSize)
-	t := rtree.New[object.Object, Aug](augmenter{model: model}, maxEntries)
-	entries := make([]rtree.LeafEntry[object.Object], c.Len())
-	for i, o := range c.All() {
-		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
-	}
-	t.BulkLoad(entries)
-	return &Index{tree: t, flat: t.Freeze(), coll: c, model: model}
+	ix := &Index{coll: c}
+	ix.st.Store(buildEpoch(c, vocabSize, maxEntries))
+	ix.knownGen.Store(ix.st.Load().tree.Generation())
+	return ix
 }
 
-// Flat exposes the frozen arena the query algorithms traverse.
-func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.flat }
+// buildEpoch constructs a fresh (tree, arena, model) triple from one
+// consistent view of the collection, so model arrays and indexed
+// objects cannot disagree under a concurrent Append.
+func buildEpoch(c *object.Collection, vocabSize, maxEntries int) *epoch {
+	v := c.View()
+	model := newTextModel(v, vocabSize)
+	t := rtree.New[object.Object, Aug](augmenter{model: model}, maxEntries)
+	entries := make([]rtree.LeafEntry[object.Object], 0, v.LiveLen())
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
+		entries = append(entries, rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o})
+	}
+	t.BulkLoad(entries)
+	return &epoch{tree: t, flat: t.Freeze(), model: model}
+}
+
+// Snapshot returns the published epoch after verifying no unmanaged tree
+// mutation happened; it fails with a *rtree.StaleSnapshotError otherwise.
+//
+// NOTE: this mirrors rtree.SnapshotPublisher.Snapshot's settle-under-lock
+// protocol. The IR-tree cannot reuse the publisher because its unit of
+// publication is the (tree, arena, model) epoch — the arena's postings
+// are only meaningful next to the model they were weighted with, and
+// Refresh replaces the tree itself. Keep the two implementations in
+// sync when touching either.
+func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], *TextModel, error) {
+	st := ix.st.Load()
+	if g := st.tree.Generation(); g == ix.knownGen.Load() {
+		return st.flat, st.model, nil
+	}
+	// Settle a possible Refresh in flight under the mutation lock; only
+	// an unmanaged mutation still mismatches afterwards.
+	ix.mu.Lock()
+	st = ix.st.Load()
+	g, known := st.tree.Generation(), ix.knownGen.Load()
+	ix.mu.Unlock()
+	if g != known {
+		return nil, nil, &rtree.StaleSnapshotError{FrozenGen: st.flat.Generation(), TreeGen: g}
+	}
+	return st.flat, st.model, nil
+}
+
+// Refresh rebuilds the epoch — corpus statistics, tree, and frozen arena
+// — from the live collection and atomically publishes it. The vocabulary
+// size is re-derived from the data (newTextModel widens it from the
+// view) so documents interned after Build are covered.
+func (ix *Index) Refresh() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	old := ix.st.Load()
+	next := buildEpoch(ix.coll, len(old.model.idf), old.tree.MaxEntries())
+	ix.st.Store(next)
+	ix.knownGen.Store(next.tree.Generation())
+}
+
+// Flat exposes the current frozen arena without a freshness check; the
+// query algorithms go through Snapshot instead.
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.st.Load().flat }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
 
-// Model returns the text model the index scores with.
-func (ix *Index) Model() *TextModel { return ix.model }
+// Model returns the text model the index currently scores with.
+func (ix *Index) Model() *TextModel { return ix.st.Load().model }
 
-// Tree exposes the underlying augmented R-tree.
-func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.tree }
+// Tree exposes the underlying augmented R-tree. Mutating it directly
+// makes queries error until Refresh, which rebuilds from the collection.
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.st.Load().tree }
 
-// Stats returns the node-access statistics collector.
-func (ix *Index) Stats() *rtree.Stats { return ix.tree.Stats() }
+// Stats returns the node-access statistics collector of the current
+// epoch's tree.
+func (ix *Index) Stats() *rtree.Stats { return ix.st.Load().tree.Stats() }
 
 // Score returns the IR-tree ranking score of object o for query q:
 // ws·(1 − SDist) + wt·Cosine. It mirrors Eqn 1 with the cosine model in
@@ -283,12 +395,14 @@ func (ix *Index) Score(q score.Query, maxDist float64, o object.Object) float64 
 	if d > 1 {
 		d = 1
 	}
-	return q.W.Ws*(1-d) + q.W.Wt*ix.model.Cosine(o.ID, o.Doc, q.Doc)
+	return q.W.Ws*(1-d) + q.W.Wt*ix.st.Load().model.Cosine(o.ID, o.Doc, q.Doc)
 }
 
 // TopK runs the best-first top-k algorithm of [4] over the IR-tree under
 // the tf-idf cosine model. Results are in rank order with ID tie-break.
-func (ix *Index) TopK(q score.Query) []score.Result {
+// It fails with rtree.ErrStaleSnapshot when the tree was mutated without
+// a Refresh.
+func (ix *Index) TopK(q score.Query) ([]score.Result, error) {
 	return ix.TopKAppend(q, nil)
 }
 
@@ -296,15 +410,18 @@ func (ix *Index) TopK(q score.Query) []score.Result {
 // buffer across queries runs the warm path without allocating. All
 // traversal state — the two heaps and the query weight vector — comes
 // from the per-index scratch pool.
-func (ix *Index) TopKAppend(q score.Query, dst []score.Result) []score.Result {
-	f := ix.flat
+func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, error) {
+	f, model, err := ix.Snapshot()
+	if err != nil {
+		return nil, err
+	}
 	if f.Empty() || q.K <= 0 {
-		return dst
+		return dst, nil
 	}
 	maxDist := ix.coll.MaxDist()
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
-	qw := ix.model.queryWeights(q.Doc, sc.qw[:0])
+	qw := model.queryWeights(q.Doc, sc.qw[:0])
 	sc.qw = qw
 
 	nodeBound := func(n int32) float64 {
@@ -336,7 +453,7 @@ func (ix *Index) TopKAppend(q score.Query, dst []score.Result) []score.Result {
 		n := top.node
 		if f.IsLeaf(n) {
 			for _, e := range f.Entries(n) {
-				scv := ix.scoreWeights(q, maxDist, qw, e.Item)
+				scv := scoreWeights(model, q, maxDist, qw, e.Item)
 				if cand.Len() < q.K {
 					cand.Push(score.Result{Obj: e.Item, Score: scv})
 				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
@@ -363,17 +480,18 @@ func (ix *Index) TopKAppend(q score.Query, dst []score.Result) []score.Result {
 	for i := n - 1; i >= 0; i-- {
 		dst[base+i] = cand.Pop()
 	}
-	return dst
+	return dst, nil
 }
 
 // scoreWeights is Score with a precomputed query weight vector, the
-// allocation-free scoring call of the hot path.
-func (ix *Index) scoreWeights(q score.Query, maxDist float64, qw []float64, o object.Object) float64 {
+// allocation-free scoring call of the hot path. It takes the model
+// explicitly so one query scores every object against one epoch.
+func scoreWeights(model *TextModel, q score.Query, maxDist float64, qw []float64, o object.Object) float64 {
 	d := q.Loc.Dist(o.Loc) / maxDist
 	if d > 1 {
 		d = 1
 	}
-	return q.W.Ws*(1-d) + q.W.Wt*ix.model.cosineWeights(o.ID, o.Doc, q.Doc, qw)
+	return q.W.Ws*(1-d) + q.W.Wt*model.cosineWeights(o.ID, o.Doc, q.Doc, qw)
 }
 
 // ScanTopK is the brute-force oracle under the cosine model.
@@ -384,6 +502,9 @@ func (ix *Index) ScanTopK(q score.Query) []score.Result {
 	maxDist := ix.coll.MaxDist()
 	pq := pqueue.NewWithCapacity(score.WorstFirst, q.K+1)
 	for _, o := range ix.coll.All() {
+		if !ix.coll.Alive(o.ID) {
+			continue
+		}
 		pq.Push(score.Result{Obj: o, Score: ix.Score(q, maxDist, o)})
 		if pq.Len() > q.K {
 			pq.Pop()
@@ -399,7 +520,7 @@ func (ix *Index) ScanTopK(q score.Query) []score.Result {
 // SpatialOnlyNearest returns the spatially nearest object, a convenience
 // used by explanation heuristics and tests.
 func (ix *Index) SpatialOnlyNearest(p geo.Point) (object.Object, bool) {
-	nn := ix.tree.KNN(p, 1)
+	nn := ix.st.Load().tree.KNN(p, 1)
 	if len(nn) == 0 {
 		return object.Object{}, false
 	}

@@ -115,7 +115,7 @@ func TestTopKMatchesScan(t *testing.T) {
 		Queries: 30, Seed: 5, K: 10, Keywords: 2, W: score.DefaultWeights, FromObjectDocs: true,
 	})
 	for _, q := range qs {
-		got := ix.TopK(q)
+		got, _ := ix.TopK(q)
 		want := ix.ScanTopK(q)
 		if len(got) != len(want) {
 			t.Fatalf("TopK %d results, scan %d", len(got), len(want))
@@ -137,7 +137,7 @@ func TestTopKWeightSweep(t *testing.T) {
 			Queries: 5, Seed: 7, K: 5, Keywords: 2, W: score.WeightsFromWt(wt), FromObjectDocs: true,
 		})
 		for _, q := range qs {
-			got := ix.TopK(q)
+			got, _ := ix.TopK(q)
 			want := ix.ScanTopK(q)
 			for i := range want {
 				if got[i].Obj.ID != want[i].Obj.ID {
@@ -151,7 +151,7 @@ func TestTopKWeightSweep(t *testing.T) {
 func TestTopKEmptyAndSmall(t *testing.T) {
 	empty := Build(object.NewCollection(nil), 10, 8)
 	q := score.Query{Loc: geo.Point{}, Doc: vocab.NewKeywordSet(1), K: 3, W: score.DefaultWeights}
-	if got := empty.TopK(q); got != nil {
+	if got, _ := empty.TopK(q); got != nil {
 		t.Fatalf("TopK on empty = %v", got)
 	}
 	small := testDataset(t, 3, 8)
@@ -159,7 +159,7 @@ func TestTopKEmptyAndSmall(t *testing.T) {
 	q2 := dataset.Workload(small, dataset.WorkloadConfig{
 		Queries: 1, Seed: 9, K: 10, Keywords: 1, W: score.DefaultWeights, FromObjectDocs: true,
 	})[0]
-	if got := ix.TopK(q2); len(got) != 3 {
+	if got, _ := ix.TopK(q2); len(got) != 3 {
 		t.Fatalf("TopK k>n = %d results", len(got))
 	}
 }

@@ -1,0 +1,107 @@
+package irtree
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+func lifecycleQueries(ds *dataset.Dataset, n int, seed int64) []score.Query {
+	return dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: n, Seed: seed, K: 5, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+}
+
+func TestStaleGuardAndRebuildRefresh(t *testing.T) {
+	ds := testDataset(t, 300, 80)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+	q := lifecycleQueries(ds, 1, 81)[0]
+	if _, err := ix.TopK(q); err != nil {
+		t.Fatalf("query before mutation: %v", err)
+	}
+
+	o := ds.Objects.Get(0)
+	ix.Tree().Delete(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
+
+	if _, err := ix.TopK(q); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("TopK after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+
+	// Refresh rebuilds from the collection: the direct tree edit is
+	// discarded and the index matches the (unchanged) collection again.
+	ix.Refresh()
+	res, err := ix.TopK(q)
+	if err != nil {
+		t.Fatalf("query after Refresh: %v", err)
+	}
+	want := ix.ScanTopK(q)
+	for i := range want {
+		if res[i].Obj.ID != want[i].Obj.ID {
+			t.Fatalf("rank %d: index %d, scan %d", i, res[i].Obj.ID, want[i].Obj.ID)
+		}
+	}
+}
+
+// TestRefreshCoversCollectionMutations: after appending and tombstoning
+// collection objects, Refresh rebuilds model and tree so the index
+// matches the scan oracle over the live set.
+func TestRefreshCoversCollectionMutations(t *testing.T) {
+	ds := testDataset(t, 200, 82)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+	q := lifecycleQueries(ds, 1, 83)[0]
+
+	id := ds.Objects.Append(object.Object{Loc: q.Loc, Doc: q.Doc})
+	ds.Objects.Tombstone(0)
+	ix.Refresh()
+
+	res, err := ix.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.ScanTopK(q)
+	if len(res) != len(want) {
+		t.Fatalf("index %d results, scan %d", len(res), len(want))
+	}
+	for i := range want {
+		if res[i].Obj.ID != want[i].Obj.ID {
+			t.Fatalf("rank %d: index %d, scan %d", i, res[i].Obj.ID, want[i].Obj.ID)
+		}
+	}
+	if res[0].Obj.ID != id {
+		t.Fatalf("inserted object at the query point ranks %d first-ID, want %d", res[0].Obj.ID, id)
+	}
+	for _, r := range res {
+		if r.Obj.ID == 0 {
+			t.Fatal("tombstoned object 0 still in results after Refresh")
+		}
+	}
+}
+
+// TestScanTopKSurvivesAppendBeforeRefresh: an appended object whose ID
+// is past the text model's norms array must weigh 0 (Refresh pending),
+// not panic the collection-scan paths.
+func TestScanTopKSurvivesAppendBeforeRefresh(t *testing.T) {
+	ds := testDataset(t, 100, 84)
+	ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+	q := lifecycleQueries(ds, 1, 85)[0]
+
+	ds.Objects.Append(object.Object{Loc: q.Loc, Doc: q.Doc})
+	res := ix.ScanTopK(q) // must not panic on the model-unknown object
+	if len(res) == 0 {
+		t.Fatal("empty scan result")
+	}
+	// After Refresh the new object is modeled and ranked normally.
+	ix.Refresh()
+	res2, err := ix.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2[0].Obj.ID != object.ID(100) {
+		t.Fatalf("appended object not ranked first after Refresh (got %d)", res2[0].Obj.ID)
+	}
+}

@@ -142,11 +142,13 @@ func (augmenter) Merge(a, b Aug) Aug {
 	return out
 }
 
-// Index is a KcR-tree over a collection. It is immutable after
-// construction and safe for concurrent readers.
+// Index is a KcR-tree over a collection. Rank queries traverse an
+// immutable Flat snapshot published through an atomic pointer and are
+// safe for concurrent use with the managed mutation path
+// (Insert/Remove/Refresh); mutating the tree directly via Tree() makes
+// every query fail with rtree.ErrStaleSnapshot until Refresh.
 type Index struct {
-	tree *rtree.Tree[object.Object, Aug]
-	flat *rtree.Flat[object.Object, Aug]
+	pub  *rtree.SnapshotPublisher[object.Object, Aug]
 	coll *object.Collection
 	// scratch pools the DFS stacks of the bound/exact rank passes so
 	// warm rank queries run allocation-free.
@@ -178,38 +180,73 @@ func (ix *Index) putScratch(sc *rankScratch) {
 	ix.scratch.Put(sc)
 }
 
-// Build bulk-loads a KcR-tree over the collection.
+// Build bulk-loads a KcR-tree over the live objects of the collection.
 func Build(c *object.Collection, maxEntries int) *Index {
 	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
-	entries := make([]rtree.LeafEntry[object.Object], c.Len())
-	for i, o := range c.All() {
-		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+	v := c.View()
+	entries := make([]rtree.LeafEntry[object.Object], 0, v.LiveLen())
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
+		entries = append(entries, rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o})
 	}
 	t.BulkLoad(entries)
-	return &Index{tree: t, flat: t.Freeze(), coll: c}
+	return newIndex(t, c)
 }
 
 // BuildByInsertion constructs the index by repeated insertion; used by
 // tests and the index-construction benches.
 func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
-	for _, o := range c.All() {
+	v := c.View()
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
 		t.Insert(o.Rect(), o)
 	}
-	return &Index{tree: t, flat: t.Freeze(), coll: c}
+	return newIndex(t, c)
 }
 
-// Flat exposes the frozen arena the rank algorithms traverse.
-func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.flat }
+func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
+	return &Index{pub: rtree.NewSnapshotPublisher(t), coll: c}
+}
+
+// Flat exposes the current frozen arena without a freshness check; the
+// rank algorithms go through Snapshot instead.
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.pub.Flat() }
+
+// Snapshot returns the published frozen arena after verifying that every
+// tree mutation went through the managed path; it fails with a
+// *rtree.StaleSnapshotError on direct Tree() mutation without Refresh.
+func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], error) {
+	return ix.pub.Snapshot()
+}
+
+// Insert adds the object through the managed mutation path; queries keep
+// serving the previous snapshot until Refresh.
+func (ix *Index) Insert(o object.Object) { ix.pub.Insert(o.Rect(), o) }
+
+// Remove deletes the object (matched by ID at its location) through the
+// managed mutation path and reports whether it was present.
+func (ix *Index) Remove(o object.Object) bool {
+	return ix.pub.Remove(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
+}
+
+// Refresh re-freezes the tree and atomically publishes the new arena.
+func (ix *Index) Refresh() { ix.pub.Refresh() }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
 
-// Tree exposes the underlying augmented R-tree.
-func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.tree }
+// Tree exposes the underlying augmented R-tree. Mutating it directly
+// leaves the published snapshot stale and queries will error until
+// Refresh.
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.pub.Tree() }
 
 // Stats returns the node-access statistics collector.
-func (ix *Index) Stats() *rtree.Stats { return ix.tree.Stats() }
+func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
 
 // TSimBounds returns lower and upper bounds on the Jaccard similarity
 // between qdoc and the document of any object under a node with
@@ -299,9 +336,9 @@ func (ix *Index) ScoreBounds(s score.Scorer, n *rtree.Node[object.Object, Aug]) 
 }
 
 // scoreBoundsAt is ScoreBounds addressed into the flat arena.
-func (ix *Index) scoreBoundsAt(s score.Scorer, n int32) (lo, hi float64) {
-	r := ix.flat.Rect(n)
-	tLo, tHi := TSimBounds(*ix.flat.Aug(n), s.Query.Doc, s.Query.Sim)
+func (ix *Index) scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) (lo, hi float64) {
+	r := f.Rect(n)
+	tLo, tHi := TSimBounds(*f.Aug(n), s.Query.Doc, s.Query.Sim)
 	w := s.Query.W
 	lo = w.Ws*(1-s.SDistRectMax(r)) + w.Wt*tLo
 	hi = w.Ws*(1-s.SDistRectMin(r)) + w.Wt*tHi
@@ -313,9 +350,19 @@ func (ix *Index) scoreBoundsAt(s score.Scorer, n int32) (lo, hi float64) {
 // bound is below refScore are pruned; subtrees whose score lower bound
 // is above refScore are counted wholesale via cnt without descending —
 // the two-sided bound is what distinguishes the KcR-tree from the
-// SetR-tree for rank computation.
-func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) int {
-	f := ix.flat
+// SetR-tree for rank computation. It fails with rtree.ErrStaleSnapshot
+// when the tree was mutated without a Refresh.
+func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) (int, error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return ix.CountBetterOn(f, s, refScore, refID), nil
+}
+
+// CountBetterOn is CountBetter over a snapshot the caller already
+// acquired via Snapshot.
+func (ix *Index) CountBetterOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, refScore float64, refID object.ID) int {
 	if f.Empty() {
 		return 0
 	}
@@ -341,7 +388,7 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) 
 		}
 		cLo, cHi := f.Children(n)
 		for c := cLo; c < cHi; c++ {
-			lo, hi := ix.scoreBoundsAt(s, c)
+			lo, hi := ix.scoreBoundsAt(f, s, c)
 			if hi < refScore {
 				continue // nothing below can beat the reference
 			}
@@ -357,10 +404,22 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) 
 	return count
 }
 
-// RankOf returns the 1-based rank of object oid under scorer s.
-func (ix *Index) RankOf(s score.Scorer, oid object.ID) int {
+// RankOf returns the 1-based rank of object oid under scorer s. It fails
+// with rtree.ErrStaleSnapshot when the tree was mutated without a
+// Refresh.
+func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return ix.RankOfOn(f, s, oid), nil
+}
+
+// RankOfOn is RankOf over a snapshot the caller already acquired via
+// Snapshot.
+func (ix *Index) RankOfOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, oid object.ID) int {
 	o := ix.coll.Get(oid)
-	return ix.CountBetter(s, s.Score(o), oid) + 1
+	return ix.CountBetterOn(f, s, s.Score(o), oid) + 1
 }
 
 // RankBounds returns bounds [lo, hi] on the count of objects ranking
@@ -368,9 +427,20 @@ func (ix *Index) RankOf(s score.Scorer, oid object.ID) int {
 // and bounding whole subtrees from their augmentation instead of
 // descending further. With maxDepth ≥ tree height it degenerates to the
 // exact CountBetter. The keyword-adaption candidate pruning uses shallow
-// depths to reject refined keyword sets cheaply.
-func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int) {
-	f := ix.flat
+// depths to reject refined keyword sets cheaply. It fails with
+// rtree.ErrStaleSnapshot when the tree was mutated without a Refresh.
+func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int, err error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = ix.RankBoundsOn(f, s, refScore, refID, maxDepth)
+	return lo, hi, nil
+}
+
+// RankBoundsOn is RankBounds over a snapshot the caller already acquired
+// via Snapshot.
+func (ix *Index) RankBoundsOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int) {
 	if f.Empty() {
 		return 0, 0
 	}
@@ -396,7 +466,7 @@ func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, m
 		}
 		cLo, cHi := f.Children(fr.node)
 		for c := cLo; c < cHi; c++ {
-			bLo, bHi := ix.scoreBoundsAt(s, c)
+			bLo, bHi := ix.scoreBoundsAt(f, s, c)
 			switch {
 			case bHi < refScore:
 				// contributes nothing

@@ -230,7 +230,7 @@ func TestRankOfMatchesScan(t *testing.T) {
 		s := score.NewScorer(q, ds.Objects)
 		for trial := 0; trial < 5; trial++ {
 			oid := object.ID(rng.Intn(ds.Objects.Len()))
-			got := ix.RankOf(s, oid)
+			got, _ := ix.RankOf(s, oid)
 			want := settree.ScanRank(ds.Objects, s, oid)
 			if got != want {
 				t.Fatalf("RankOf(%d) = %d, scan %d", oid, got, want)
@@ -256,7 +256,8 @@ func TestRankOfWithRefinedDocs(t *testing.T) {
 		}
 		s := score.NewScorer(q, ds.Objects)
 		oid := object.ID(rng.Intn(ds.Objects.Len()))
-		if got, want := ix.RankOf(s, oid), settree.ScanRank(ds.Objects, s, oid); got != want {
+		got, _ := ix.RankOf(s, oid)
+		if want := settree.ScanRank(ds.Objects, s, oid); got != want {
 			t.Fatalf("trial %d: RankOf = %d, scan %d", trial, got, want)
 		}
 	}
@@ -275,10 +276,10 @@ func TestRankBoundsBracketExact(t *testing.T) {
 		oid := object.ID(rng.Intn(ds.Objects.Len()))
 		o := ds.Objects.Get(oid)
 		refScore := s.Score(o)
-		exact := ix.CountBetter(s, refScore, oid)
+		exact, _ := ix.CountBetter(s, refScore, oid)
 		prevLo, prevHi := -1, 1<<30
 		for depth := 0; depth <= height; depth++ {
-			lo, hi := ix.RankBounds(s, refScore, oid, depth)
+			lo, hi, _ := ix.RankBounds(s, refScore, oid, depth)
 			if lo > exact || hi < exact {
 				t.Fatalf("depth %d bounds [%d,%d] exclude exact %d", depth, lo, hi, exact)
 			}
@@ -289,7 +290,7 @@ func TestRankBoundsBracketExact(t *testing.T) {
 			prevLo, prevHi = lo, hi
 		}
 		// At full height the bounds must converge.
-		lo, hi := ix.RankBounds(s, refScore, oid, height)
+		lo, hi, _ := ix.RankBounds(s, refScore, oid, height)
 		if lo != exact || hi != exact {
 			t.Fatalf("full-depth bounds [%d,%d] != exact %d", lo, hi, exact)
 		}
@@ -308,7 +309,7 @@ func TestCountBetterPrunes(t *testing.T) {
 	// usually competitive).
 	best := settree.ScanTopK(ds.Objects, q)[0]
 	ix.Stats().Reset()
-	ix.RankOf(s, best.Obj.ID)
+	ix.RankOf(s, best.Obj.ID) //nolint:errcheck // stats probe
 	if got := ix.Stats().NodeAccesses(); got >= int64(ix.Tree().NodeCount()) {
 		t.Fatalf("rank query touched %d of %d nodes", got, ix.Tree().NodeCount())
 	}
@@ -318,10 +319,10 @@ func TestEmptyIndex(t *testing.T) {
 	ix := Build(object.NewCollection(nil), 8)
 	q := score.Query{Loc: geo.Point{}, Doc: vocab.NewKeywordSet(1), K: 1, W: score.DefaultWeights}
 	s := score.Scorer{Query: q, MaxDist: 1}
-	if got := ix.CountBetter(s, 0.5, 0); got != 0 {
+	if got, _ := ix.CountBetter(s, 0.5, 0); got != 0 {
 		t.Fatalf("CountBetter on empty = %d", got)
 	}
-	if lo, hi := ix.RankBounds(s, 0.5, 0, 3); lo != 0 || hi != 0 {
+	if lo, hi, _ := ix.RankBounds(s, 0.5, 0, 3); lo != 0 || hi != 0 {
 		t.Fatalf("RankBounds on empty = %d,%d", lo, hi)
 	}
 }

@@ -1,0 +1,68 @@
+package kcrtree
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+func lifecycleQueries(ds *dataset.Dataset, n int, seed int64) []score.Query {
+	return dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: n, Seed: seed, K: 5, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+}
+
+func TestStaleGuardAfterDirectTreeMutation(t *testing.T) {
+	ds := testDataset(t, 300, 70)
+	ix := Build(ds.Objects, 16)
+	q := lifecycleQueries(ds, 1, 71)[0]
+	s := score.NewScorer(q, ds.Objects)
+	if _, err := ix.RankOf(s, 3); err != nil {
+		t.Fatalf("rank before mutation: %v", err)
+	}
+
+	o := ds.Objects.Get(0)
+	ix.Tree().Delete(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
+
+	if _, err := ix.RankOf(s, 3); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("RankOf after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+	if _, _, err := ix.RankBounds(s, 0.5, 3, 2); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("RankBounds after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+
+	ix.Refresh()
+	if _, err := ix.RankOf(s, 3); err != nil {
+		t.Fatalf("rank after Refresh: %v", err)
+	}
+}
+
+// TestManagedInsertRanksAfterRefresh: ranks computed over the KcR-tree
+// must agree with the scan oracle after a managed insert + refresh.
+func TestManagedInsertRanksAfterRefresh(t *testing.T) {
+	ds := testDataset(t, 200, 72)
+	ix := Build(ds.Objects, 16)
+	q := lifecycleQueries(ds, 1, 73)[0]
+
+	id := ds.Objects.Append(object.Object{Loc: q.Loc, Doc: q.Doc})
+	ix.Insert(ds.Objects.Get(id))
+	ix.Refresh()
+
+	s := score.NewScorer(q, ds.Objects)
+	got, err := ix.RankOf(s, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := settree.ScanRank(ds.Objects, s, id); got != want {
+		t.Fatalf("inserted object rank %d, scan oracle %d", got, want)
+	}
+	if got != 1 {
+		t.Fatalf("object at the query point with the query doc ranks %d, want 1", got)
+	}
+}

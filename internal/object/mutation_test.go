@@ -1,0 +1,112 @@
+package object
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+func mutTestCollection(n int) *Collection {
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			ID:  ID(i),
+			Loc: geo.Point{X: float64(i), Y: float64(i % 7)},
+			Doc: vocab.NewKeywordSet(vocab.Keyword(i % 5)),
+		}
+	}
+	return NewCollection(objs)
+}
+
+func TestAppendAssignsDenseIDs(t *testing.T) {
+	c := mutTestCollection(3)
+	id := c.Append(Object{ID: 999, Loc: geo.Point{X: 10, Y: 10}, Doc: vocab.NewKeywordSet(1)})
+	if id != 3 {
+		t.Fatalf("Append assigned ID %d, want 3", id)
+	}
+	if c.Len() != 4 || c.LiveLen() != 4 {
+		t.Fatalf("Len %d LiveLen %d after append", c.Len(), c.LiveLen())
+	}
+	if got := c.Get(3); got.ID != 3 || got.Loc.X != 10 {
+		t.Fatalf("Get(3) = %+v", got)
+	}
+	// Space must have grown to include the new point.
+	if !c.Space().ContainsRect(geo.RectFromPoint(geo.Point{X: 10, Y: 10})) {
+		t.Fatalf("space %v does not cover the appended point", c.Space())
+	}
+}
+
+func TestTombstoneSemantics(t *testing.T) {
+	c := mutTestCollection(4)
+	if !c.Tombstone(2) {
+		t.Fatal("Tombstone(2) = false")
+	}
+	if c.Tombstone(2) {
+		t.Fatal("double Tombstone(2) = true")
+	}
+	if c.Tombstone(99) {
+		t.Fatal("Tombstone out of range = true")
+	}
+	if c.Alive(2) {
+		t.Fatal("tombstoned object reports alive")
+	}
+	if !c.Alive(1) {
+		t.Fatal("live object reports dead")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len shrank to %d; tombstoned IDs must stay addressable", c.Len())
+	}
+	if c.LiveLen() != 3 {
+		t.Fatalf("LiveLen %d, want 3", c.LiveLen())
+	}
+	// The object stays addressable.
+	if got := c.Get(2); got.ID != 2 {
+		t.Fatalf("Get(2) after tombstone = %+v", got)
+	}
+	// IDs continue from the full length, never reusing the tombstone.
+	if id := c.Append(Object{Loc: geo.Point{}, Doc: vocab.NewKeywordSet(0)}); id != 4 {
+		t.Fatalf("Append after tombstone assigned %d, want 4", id)
+	}
+}
+
+// TestConcurrentReadersDuringMutation drives readers over every accessor
+// while a writer appends and tombstones; meaningful under -race.
+func TestConcurrentReadersDuringMutation(t *testing.T) {
+	c := mutTestCollection(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := c.Len()
+				for i := 0; i < n; i++ {
+					o := c.Get(ID(i))
+					_ = c.Alive(o.ID)
+				}
+				_ = c.All()
+				_ = c.MaxDist()
+				_ = c.LiveLen()
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		id := c.Append(Object{Loc: geo.Point{X: float64(i), Y: 1}, Doc: vocab.NewKeywordSet(2)})
+		if i%3 == 0 {
+			c.Tombstone(id)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Len() != 64+500 {
+		t.Fatalf("Len %d after storm", c.Len())
+	}
+}

@@ -1,6 +1,37 @@
 package rtree
 
-import "github.com/yask-engine/yask/internal/geo"
+import (
+	"errors"
+	"fmt"
+
+	"github.com/yask-engine/yask/internal/geo"
+)
+
+// ErrStaleSnapshot is the sentinel matched (via errors.Is) by every
+// stale-snapshot error: the source tree has been mutated since the Flat
+// was frozen, so traversing the snapshot could silently serve results
+// that no longer reflect the data. Callers repair the condition by
+// re-freezing (Index.Refresh in the index packages).
+var ErrStaleSnapshot = errors.New("rtree: flat snapshot is stale")
+
+// StaleSnapshotError reports a freshness check failure together with the
+// two generations involved. It matches ErrStaleSnapshot under errors.Is.
+type StaleSnapshotError struct {
+	// FrozenGen is the tree generation the snapshot was frozen at.
+	FrozenGen uint64
+	// TreeGen is the tree's generation at check time.
+	TreeGen uint64
+}
+
+// Error implements error.
+func (e *StaleSnapshotError) Error() string {
+	return fmt.Sprintf(
+		"rtree: flat snapshot is stale (frozen at generation %d, tree now at %d); refresh the index before querying",
+		e.FrozenGen, e.TreeGen)
+}
+
+// Is reports whether target is ErrStaleSnapshot.
+func (e *StaleSnapshotError) Is(target error) bool { return target == ErrStaleSnapshot }
 
 // Flat is a frozen, contiguous snapshot of a Tree laid out as a struct
 // of arrays: per-node MBRs, augmentations, child ranges, and leaf
@@ -29,13 +60,18 @@ type Flat[L, A any] struct {
 	entries    []LeafEntry[L]
 	size       int
 	stats      *Stats
+	// tree is the source tree and gen the generation it had when the
+	// snapshot was frozen; together they implement the staleness check.
+	tree *Tree[L, A]
+	gen  uint64
 }
 
 // Freeze returns a Flat snapshot of the tree's current content. Later
-// mutations of the tree are not reflected in the snapshot; freeze after
-// construction has finished.
+// mutations of the tree are not reflected in the snapshot; the snapshot
+// records the tree generation it was frozen at, and CheckFresh reports
+// an error once the tree has moved past it.
 func (t *Tree[L, A]) Freeze() *Flat[L, A] {
-	f := &Flat[L, A]{stats: &t.stats, size: t.size}
+	f := &Flat[L, A]{stats: &t.stats, size: t.size, tree: t, gen: t.gen.Load()}
 	if t.root == nil {
 		return f
 	}
@@ -86,6 +122,34 @@ func (f *Flat[L, A]) Len() int { return f.size }
 
 // Stats returns the statistics collector shared with the source tree.
 func (f *Flat[L, A]) Stats() *Stats { return f.stats }
+
+// Generation returns the tree generation the snapshot was frozen at.
+func (f *Flat[L, A]) Generation() uint64 { return f.gen }
+
+// Stale reports whether the source tree has been mutated since the
+// snapshot was frozen. A Flat frozen from the zero-value (never-mutated)
+// path with no tree is never stale.
+func (f *Flat[L, A]) Stale() bool {
+	return f.tree != nil && f.tree.gen.Load() != f.gen
+}
+
+// CheckFresh returns a *StaleSnapshotError (matching ErrStaleSnapshot)
+// when the source tree has been mutated since the freeze, nil otherwise.
+// It is the primitive for callers holding a Flat directly; the index
+// packages do NOT call it per traversal — they gate queries through
+// their publisher's managed-generation check (SnapshotPublisher.Snapshot),
+// which additionally tolerates managed mutations pending a Refresh. A
+// Flat held past its index's Refresh keeps serving its frozen content
+// without error; check here explicitly if that matters to you.
+func (f *Flat[L, A]) CheckFresh() error {
+	if f.tree == nil {
+		return nil
+	}
+	if g := f.tree.gen.Load(); g != f.gen {
+		return &StaleSnapshotError{FrozenGen: f.gen, TreeGen: g}
+	}
+	return nil
+}
 
 // Rect returns node n's MBR.
 func (f *Flat[L, A]) Rect(n int32) geo.Rect { return f.rects[n] }

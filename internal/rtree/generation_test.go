@@ -1,0 +1,72 @@
+package rtree
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+)
+
+func TestGenerationBumpsOnMutation(t *testing.T) {
+	tree := New(NoAug[int](), 8)
+	if tree.Generation() != 0 {
+		t.Fatalf("fresh tree generation %d", tree.Generation())
+	}
+	p := geo.RectFromPoint(geo.Point{X: 1, Y: 2})
+	tree.Insert(p, 7)
+	g1 := tree.Generation()
+	if g1 == 0 {
+		t.Fatal("Insert did not bump the generation")
+	}
+	// A miss must not bump: nothing changed.
+	if tree.Delete(geo.RectFromPoint(geo.Point{X: 9, Y: 9}), func(int) bool { return true }) {
+		t.Fatal("unexpected delete hit")
+	}
+	if tree.Generation() != g1 {
+		t.Fatal("failed Delete bumped the generation")
+	}
+	if !tree.Delete(p, func(v int) bool { return v == 7 }) {
+		t.Fatal("delete missed")
+	}
+	if tree.Generation() == g1 {
+		t.Fatal("successful Delete did not bump the generation")
+	}
+	g2 := tree.Generation()
+	tree.BulkLoad([]LeafEntry[int]{{Rect: p, Item: 1}})
+	if tree.Generation() == g2 {
+		t.Fatal("BulkLoad did not bump the generation")
+	}
+}
+
+func TestFlatStaleness(t *testing.T) {
+	tree := freezeTestTree(t, 200, 8, true)
+	f := tree.Freeze()
+	if f.Stale() {
+		t.Fatal("fresh snapshot reports stale")
+	}
+	if err := f.CheckFresh(); err != nil {
+		t.Fatalf("fresh snapshot CheckFresh = %v", err)
+	}
+	tree.Insert(RectFromPointForTest(geo.Point{X: 5, Y: 5}), 999)
+	if !f.Stale() {
+		t.Fatal("snapshot not stale after tree mutation")
+	}
+	err := f.CheckFresh()
+	if err == nil {
+		t.Fatal("CheckFresh nil after mutation")
+	}
+	if !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("error %v does not match ErrStaleSnapshot", err)
+	}
+	var stale *StaleSnapshotError
+	if !errors.As(err, &stale) {
+		t.Fatalf("error %T is not a *StaleSnapshotError", err)
+	}
+	if stale.TreeGen <= stale.FrozenGen {
+		t.Fatalf("generations %d → %d not increasing", stale.FrozenGen, stale.TreeGen)
+	}
+	// Re-freezing yields a fresh snapshot again.
+	if err := tree.Freeze().CheckFresh(); err != nil {
+		t.Fatalf("re-frozen snapshot CheckFresh = %v", err)
+	}
+}

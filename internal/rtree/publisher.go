@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/yask-engine/yask/internal/geo"
+)
+
+// SnapshotPublisher owns the freeze/refresh lifecycle of one Tree: it
+// publishes an immutable Flat arena through an atomic pointer and
+// tracks which tree generations were produced by its own (managed)
+// mutation path. Index packages embed one publisher each so the
+// lifecycle protocol — including the subtle settle-under-lock check —
+// lives in exactly one place.
+//
+// Contract: queries acquire the arena via Snapshot, which fails with a
+// *StaleSnapshotError once the tree has been mutated outside Insert/
+// Remove/Refresh. Managed mutations leave the published snapshot
+// serving (complete and consistent, minus the buffered changes) until
+// Refresh re-freezes off the query path and swaps atomically.
+type SnapshotPublisher[L, A any] struct {
+	tree *Tree[L, A]
+	flat atomic.Pointer[Flat[L, A]]
+	// mu serializes mutations and refreshes; queries never take it.
+	mu sync.Mutex
+	// knownGen is the highest tree generation produced by the managed
+	// mutation path. The tree moving past it means someone mutated the
+	// tree behind the publisher's back.
+	knownGen atomic.Uint64
+}
+
+// NewSnapshotPublisher freezes the tree's current content and returns a
+// publisher serving it.
+func NewSnapshotPublisher[L, A any](t *Tree[L, A]) *SnapshotPublisher[L, A] {
+	p := &SnapshotPublisher[L, A]{tree: t}
+	p.flat.Store(t.Freeze())
+	p.knownGen.Store(t.Generation())
+	return p
+}
+
+// Tree returns the underlying tree. Mutating it directly leaves the
+// published snapshot stale and Snapshot will error until Refresh.
+func (p *SnapshotPublisher[L, A]) Tree() *Tree[L, A] { return p.tree }
+
+// Flat returns the current published arena without a freshness check.
+func (p *SnapshotPublisher[L, A]) Flat() *Flat[L, A] { return p.flat.Load() }
+
+// Snapshot returns the published arena after verifying that every tree
+// mutation went through the managed path; it fails with a
+// *StaleSnapshotError (matching ErrStaleSnapshot) otherwise.
+func (p *SnapshotPublisher[L, A]) Snapshot() (*Flat[L, A], error) {
+	f := p.flat.Load()
+	if g := p.tree.Generation(); g == p.knownGen.Load() {
+		return f, nil
+	}
+	// The mismatch may be a managed mutation caught mid-flight (the tree
+	// generation moves before knownGen catches up); settle under the
+	// mutation lock, after which only an unmanaged mutation still
+	// mismatches.
+	p.mu.Lock()
+	f = p.flat.Load()
+	g, known := p.tree.Generation(), p.knownGen.Load()
+	p.mu.Unlock()
+	if g != known {
+		return nil, &StaleSnapshotError{FrozenGen: f.Generation(), TreeGen: g}
+	}
+	return f, nil
+}
+
+// Insert adds an item through the managed mutation path; the published
+// snapshot keeps serving until Refresh.
+func (p *SnapshotPublisher[L, A]) Insert(rect geo.Rect, item L) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tree.Insert(rect, item)
+	p.knownGen.Store(p.tree.Generation())
+}
+
+// Remove deletes one matching item through the managed mutation path
+// and reports whether it was present.
+func (p *SnapshotPublisher[L, A]) Remove(rect geo.Rect, match func(L) bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ok := p.tree.Delete(rect, match)
+	p.knownGen.Store(p.tree.Generation())
+	return ok
+}
+
+// Refresh re-freezes the tree and atomically publishes the new arena.
+// Concurrent queries keep traversing the old snapshot and pick up the
+// new one on their next acquisition.
+func (p *SnapshotPublisher[L, A]) Refresh() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flat.Store(p.tree.Freeze())
+	p.knownGen.Store(p.tree.Generation())
+}

@@ -87,6 +87,12 @@ type Tree[L, A any] struct {
 	minE  int
 	maxE  int
 	stats Stats
+	// gen counts structural mutations (Insert, Delete, BulkLoad). Flat
+	// snapshots record the generation they were frozen at, which is how
+	// a reader can detect that its snapshot no longer reflects the tree.
+	// Atomic because snapshot freshness checks run concurrently with
+	// (externally serialized) mutations.
+	gen atomic.Uint64
 }
 
 // New returns an empty tree with the given augmenter and node fanout.
@@ -137,6 +143,11 @@ func (t *Tree[L, A]) Root() *Node[L, A] { return t.root }
 
 // Stats returns the query statistics collector of this tree.
 func (t *Tree[L, A]) Stats() *Stats { return &t.stats }
+
+// Generation returns the tree's mutation generation: a counter bumped by
+// every Insert, successful Delete, and BulkLoad. A Flat frozen at
+// generation g is stale exactly when Generation() != g.
+func (t *Tree[L, A]) Generation() uint64 { return t.gen.Load() }
 
 // Len returns the number of stored items.
 func (t *Tree[L, A]) Len() int { return t.size }
@@ -219,6 +230,7 @@ func (n *Node[L, A]) recomputeRect() {
 
 // Insert adds item with the given MBR.
 func (t *Tree[L, A]) Insert(rect geo.Rect, item L) {
+	t.gen.Add(1)
 	t.size++
 	if t.root == nil {
 		t.root = &Node[L, A]{leaf: true}
@@ -422,6 +434,7 @@ func (t *Tree[L, A]) Delete(rect geo.Rect, match func(L) bool) bool {
 	if leaf == nil {
 		return false
 	}
+	t.gen.Add(1)
 	for i, e := range leaf.entries {
 		if e.Rect == rect && match(e.Item) {
 			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
@@ -526,6 +539,7 @@ func collectEntries[L, A any](n *Node[L, A], out *[]LeafEntry[L]) {
 // (sort-tile-recursive) packing, which yields near-optimal space
 // utilisation and is how the benches construct large indexes.
 func (t *Tree[L, A]) BulkLoad(entries []LeafEntry[L]) {
+	t.gen.Add(1)
 	t.size = len(entries)
 	if len(entries) == 0 {
 		t.root = nil

@@ -28,9 +28,15 @@ var DefaultWeights = Weights{Ws: 0.5, Wt: 0.5}
 // WeightsFromWt returns the weight vector with the given textual weight.
 func WeightsFromWt(wt float64) Weights { return Weights{Ws: 1 - wt, Wt: wt} }
 
-// Validate returns an error unless 0 < ws,wt < 1 and ws + wt = 1 (within
-// floating-point tolerance).
+// Validate returns an error unless both weights are finite, 0 < ws,wt < 1
+// and ws + wt = 1 (within floating-point tolerance). Non-finite weights
+// must never reach the ranking heaps: NaN comparisons violate the strict
+// weak ordering the heap invariant depends on, turning rankings into
+// arbitrary orderings instead of an error.
 func (w Weights) Validate() error {
+	if math.IsNaN(w.Ws) || math.IsNaN(w.Wt) || math.IsInf(w.Ws, 0) || math.IsInf(w.Wt, 0) {
+		return fmt.Errorf("score: weights %v are not finite", w)
+	}
 	if !(w.Ws > 0 && w.Ws < 1 && w.Wt > 0 && w.Wt < 1) {
 		return fmt.Errorf("score: weights %v outside (0,1)", w)
 	}
@@ -86,8 +92,14 @@ type Query struct {
 	Sim TextSim
 }
 
-// Validate checks the query parameters.
+// Validate checks the query parameters. Non-finite coordinates are
+// rejected for the same reason as non-finite weights: a NaN location
+// makes every distance NaN, which corrupts the best-first heap order and
+// produces arbitrary rankings instead of an error.
 func (q Query) Validate() error {
+	if math.IsNaN(q.Loc.X) || math.IsNaN(q.Loc.Y) || math.IsInf(q.Loc.X, 0) || math.IsInf(q.Loc.Y, 0) {
+		return fmt.Errorf("score: query location %v is not finite", q.Loc)
+	}
 	if q.K <= 0 {
 		return errors.New("score: query k must be positive")
 	}

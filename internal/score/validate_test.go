@@ -1,0 +1,51 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// TestValidateRejectsNonFinite: NaN/Inf coordinates and weights must be
+// rejected up front — inside the best-first heaps a NaN comparison
+// violates the strict weak ordering and silently corrupts rankings.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	base := Query{
+		Loc: geo.Point{X: 1, Y: 2},
+		Doc: vocab.NewKeywordSet(1, 2),
+		K:   3,
+		W:   DefaultWeights,
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("finite base query rejected: %v", err)
+	}
+
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bads {
+		q := base
+		q.Loc.X = v
+		if err := q.Validate(); err == nil {
+			t.Errorf("X=%v accepted", v)
+		}
+		q = base
+		q.Loc.Y = v
+		if err := q.Validate(); err == nil {
+			t.Errorf("Y=%v accepted", v)
+		}
+		w := Weights{Ws: v, Wt: 0.5}
+		if err := w.Validate(); err == nil {
+			t.Errorf("Ws=%v accepted", v)
+		}
+		w = Weights{Ws: 0.5, Wt: v}
+		if err := w.Validate(); err == nil {
+			t.Errorf("Wt=%v accepted", v)
+		}
+	}
+
+	// WeightsFromWt(NaN) must also fail validation downstream.
+	if err := WeightsFromWt(math.NaN()).Validate(); err == nil {
+		t.Error("WeightsFromWt(NaN) accepted")
+	}
+}

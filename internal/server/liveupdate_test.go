@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestInsertObjectRoundTrip: POST /api/objects, then a query must see
+// the new object.
+func TestInsertObjectRoundTrip(t *testing.T) {
+	_, ts := testServer(t)
+
+	var ins insertObjectResponse
+	status, raw := postJSON(t, ts.URL+"/api/objects", insertObjectRequest{
+		Name: "pop-up espresso bar", X: 114.2001, Y: 22.3001,
+		Keywords: []string{"espresso", "popup"},
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("insert status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &ins); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+
+	var qr queryResponse
+	status, raw = postJSON(t, ts.URL+"/api/query", queryRequest{
+		X: 114.2001, Y: 22.3001, Keywords: []string{"espresso", "popup"}, K: 1,
+	}, &qr)
+	if status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, raw)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].ID != ins.ID {
+		t.Fatalf("query after insert returned %+v, want object %d", qr.Results, ins.ID)
+	}
+
+	// Keywordless insert is a client error.
+	status, _ = postJSON(t, ts.URL+"/api/objects", insertObjectRequest{Name: "nothing"}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("keywordless insert status %d, want 400", status)
+	}
+}
+
+func TestDeleteObjectEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	var ins insertObjectResponse
+	status, raw := postJSON(t, ts.URL+"/api/objects", insertObjectRequest{
+		Name: "doomed", X: 114.21, Y: 22.31, Keywords: []string{"transient"},
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("insert status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &ins); err != nil {
+		t.Fatal(err)
+	}
+
+	del := func(path string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := del(fmt.Sprintf("/api/objects/%d", ins.ID)); got != http.StatusNoContent {
+		t.Fatalf("delete status %d, want 204", got)
+	}
+	// Deleting twice fails.
+	if got := del(fmt.Sprintf("/api/objects/%d", ins.ID)); got != http.StatusNotFound {
+		t.Fatalf("double delete status %d, want 404", got)
+	}
+	if got := del("/api/objects/notanumber"); got != http.StatusBadRequest {
+		t.Fatalf("malformed id delete status %d, want 400", got)
+	}
+
+	// The deleted object no longer matches queries.
+	var qr queryResponse
+	status, raw = postJSON(t, ts.URL+"/api/query", queryRequest{
+		X: 114.21, Y: 22.31, Keywords: []string{"transient"}, K: 1,
+	}, &qr)
+	if status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, raw)
+	}
+	for _, r := range qr.Results {
+		if r.ID == ins.ID {
+			t.Fatal("deleted object still returned by a query")
+		}
+	}
+}
+
+// TestQuerySimilarityPlumbed: the similarity field must reach the
+// engine — "dice" is selectable and an unknown model is a 400, and a
+// client sending the field must not be rejected by
+// DisallowUnknownFields.
+func TestQuerySimilarityPlumbed(t *testing.T) {
+	_, ts := testServer(t)
+
+	var qr queryResponse
+	status, raw := postJSON(t, ts.URL+"/api/query", queryRequest{
+		X: 114.172, Y: 22.298, Keywords: []string{"wifi", "breakfast"}, K: 3,
+		Similarity: "dice",
+	}, &qr)
+	if status != http.StatusOK {
+		t.Fatalf("dice query status %d: %s", status, raw)
+	}
+	if len(qr.Results) != 3 {
+		t.Fatalf("dice query returned %d results", len(qr.Results))
+	}
+
+	status, raw = postJSON(t, ts.URL+"/api/query", queryRequest{
+		X: 114.172, Y: 22.298, Keywords: []string{"wifi"}, K: 3,
+		Similarity: "levenshtein",
+	}, nil)
+	if status != http.StatusBadRequest || !strings.Contains(raw, "similarity") {
+		t.Fatalf("unknown similarity: status %d body %s", status, raw)
+	}
+
+	// Batch queries carry the field too.
+	var br batchQueryResponse
+	status, raw = postJSON(t, ts.URL+"/api/batch/query", batchQueryRequest{
+		Queries: []queryRequest{
+			{X: 114.172, Y: 22.298, Keywords: []string{"wifi"}, K: 2, Similarity: "dice"},
+			{X: 114.18, Y: 22.30, Keywords: []string{"breakfast"}, K: 2},
+		},
+	}, &br)
+	if status != http.StatusOK {
+		t.Fatalf("batch with similarity status %d: %s", status, raw)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("batch returned %d result sets", len(br.Results))
+	}
+}
+
+// TestOversizeBodyIs413: a body past the 1 MiB cap must surface as 413
+// Request Entity Too Large, not a generic 400.
+func TestOversizeBodyIs413(t *testing.T) {
+	_, ts := testServer(t)
+	huge := bytes.Repeat([]byte("x"), 1<<20+1024)
+	body, _ := json.Marshal(map[string]any{
+		"x": 1.0, "y": 2.0, "k": 3, "keywords": []string{string(huge)},
+	})
+	resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestInsertThenWhyNot: a freshly inserted object can immediately be the
+// subject of a why-not question over a new session.
+func TestInsertThenWhyNot(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Far-away object that shares one query keyword: guaranteed outside
+	// a k=3 result near Tsim Sha Tsui.
+	var ins insertObjectResponse
+	status, raw := postJSON(t, ts.URL+"/api/objects", insertObjectRequest{
+		Name: "distant lodge", X: 114.9, Y: 22.9, Keywords: []string{"wifi", "hiking"},
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("insert status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &ins); err != nil {
+		t.Fatal(err)
+	}
+
+	qr := runQuery(t, ts)
+	var wn whyNotResponse
+	status, raw = postJSON(t, ts.URL+"/api/whynot", whyNotRequest{
+		SessionID: qr.SessionID, Missing: []uint32{ins.ID}, Model: "preference",
+	}, &wn)
+	if status != http.StatusOK {
+		t.Fatalf("why-not over inserted object: status %d: %s", status, raw)
+	}
+	if wn.Preference == nil {
+		t.Fatal("no preference refinement returned")
+	}
+}

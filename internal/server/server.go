@@ -2,9 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"github.com/yask-engine/yask"
@@ -37,6 +39,8 @@ func New(engine *yask.Engine, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /", s.handleUI)
 	s.mux.HandleFunc("GET /api/objects", s.handleObjects)
+	s.mux.HandleFunc("POST /api/objects", s.handleInsertObject)
+	s.mux.HandleFunc("DELETE /api/objects/{id}", s.handleDeleteObject)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/batch/query", s.handleBatchQuery)
 	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
@@ -73,10 +77,26 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// decodeBody decodes a JSON request body of at most 1 MiB. It needs the
+// real ResponseWriter: http.MaxBytesReader uses it to close the
+// connection once the limit is hit, so the client stops uploading.
+// Callers should surface the error through writeBodyError, which maps an
+// oversize body to 413 instead of a generic 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// writeBodyError reports a decodeBody failure: 413 Request Entity Too
+// Large for an oversize body, 400 otherwise.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // queryRequest is the wire form of a spatial keyword top-k query, the
@@ -90,10 +110,16 @@ type queryRequest struct {
 	// 0.5, matching the paper ("the system ... leaves the weighting
 	// vector as a system parameter on the server").
 	Wt float64 `json:"wt,omitempty"`
+	// Similarity selects the textual similarity model: "" or "jaccard"
+	// (default), or "dice".
+	Similarity string `json:"similarity,omitempty"`
 }
 
 func (qr queryRequest) query() yask.Query {
-	return yask.Query{X: qr.X, Y: qr.Y, Keywords: qr.Keywords, K: qr.K, Wt: qr.Wt}
+	return yask.Query{
+		X: qr.X, Y: qr.Y, Keywords: qr.Keywords, K: qr.K, Wt: qr.Wt,
+		Similarity: qr.Similarity,
+	}
 }
 
 type queryResponse struct {
@@ -104,8 +130,8 @@ type queryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	q := req.query()
@@ -144,8 +170,8 @@ const maxBatchQueries = 1024
 
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	var req batchQueryRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -201,8 +227,8 @@ type whyNotResponse struct {
 
 func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	var req whyNotRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	sess, ok := s.sessions.get(req.SessionID)
@@ -278,8 +304,8 @@ type explainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req explainRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	sess, ok := s.sessions.get(req.SessionID)
@@ -306,8 +332,8 @@ type profileRequest struct {
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var req profileRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	sess, ok := s.sessions.get(req.SessionID)
@@ -325,8 +351,8 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	var req explainRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	sess, ok := s.sessions.get(req.SessionID)
@@ -344,6 +370,49 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Objects())
+}
+
+// insertObjectRequest is the wire form of one live object insertion.
+type insertObjectRequest struct {
+	Name     string   `json:"name,omitempty"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords"`
+}
+
+type insertObjectResponse struct {
+	ID yask.ObjectID `json:"id"`
+}
+
+func (s *Server) handleInsertObject(w http.ResponseWriter, r *http.Request) {
+	var req insertObjectRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	id, err := s.engine.Insert(yask.Object{
+		Name: req.Name, X: req.X, Y: req.Y, Keywords: req.Keywords,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.log.add(logEntry{Time: time.Now(), Kind: "insert"})
+	writeJSON(w, http.StatusCreated, insertObjectResponse{ID: id})
+}
+
+func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad object id %q", r.PathValue("id")))
+		return
+	}
+	if err := s.engine.Remove(yask.ObjectID(id64)); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.log.add(logEntry{Time: time.Now(), Kind: "remove"})
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,123 @@
+package settree
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// TestStaleGuardAfterDirectTreeMutation is the staleness-bug regression
+// test: mutating the tree via Tree() must turn every query into an
+// error — never a silently stale answer — until Refresh.
+func TestStaleGuardAfterDirectTreeMutation(t *testing.T) {
+	ds := testDataset(t, 300, 60)
+	ix := Build(ds.Objects, 16)
+	q := testQueries(ds, 1, 61, 5, 2)[0]
+	if _, err := ix.TopK(q); err != nil {
+		t.Fatalf("query before mutation: %v", err)
+	}
+
+	o := ds.Objects.Get(0)
+	ix.Tree().Delete(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
+
+	if _, err := ix.TopK(q); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("TopK after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+	s := score.NewScorer(q, ds.Objects)
+	if _, err := ix.RankOf(s, 1); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("RankOf after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+	if _, err := ix.CountBetter(s, 0.5, 1); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("CountBetter after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+	if _, err := ix.Snapshot(); !errors.Is(err, rtree.ErrStaleSnapshot) {
+		t.Fatalf("Snapshot after direct mutation: err = %v, want ErrStaleSnapshot", err)
+	}
+
+	ix.Refresh()
+	res, err := ix.TopK(q)
+	if err != nil {
+		t.Fatalf("query after Refresh: %v", err)
+	}
+	for _, r := range res {
+		if r.Obj.ID == o.ID {
+			t.Fatalf("deleted object %d still in refreshed result", o.ID)
+		}
+	}
+}
+
+// TestManagedMutationServesOldSnapshot: Insert/Remove through the index
+// keep queries working against the previous consistent arena (no error),
+// and Refresh publishes the change.
+func TestManagedMutationServesOldSnapshot(t *testing.T) {
+	ds := testDataset(t, 200, 62)
+	ix := Build(ds.Objects, 16)
+	q := testQueries(ds, 1, 63, 5, 2)[0]
+
+	before, err := ix.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new object right at the query point with exactly the query's
+	// keywords would win rank 1 once visible.
+	winner := object.Object{
+		ID:  object.ID(ds.Objects.Len()),
+		Loc: q.Loc,
+		Doc: q.Doc,
+	}
+	ix.Insert(winner)
+
+	mid, err := ix.TopK(q)
+	if err != nil {
+		t.Fatalf("query with pending managed insert: %v", err)
+	}
+	if len(mid) != len(before) || mid[0].Obj.ID != before[0].Obj.ID {
+		t.Fatal("pending insert leaked into the published snapshot")
+	}
+
+	ix.Refresh()
+	after, err := ix.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Obj.ID != winner.ID {
+		t.Fatalf("after Refresh winner is %d, want inserted %d", after[0].Obj.ID, winner.ID)
+	}
+
+	if !ix.Remove(winner) {
+		t.Fatal("Remove missed the inserted object")
+	}
+	ix.Refresh()
+	final, err := ix.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[0].Obj.ID == winner.ID {
+		t.Fatal("removed object still ranked first after Refresh")
+	}
+}
+
+func TestSnapshotGenerationAdvances(t *testing.T) {
+	ds := testDataset(t, 50, 64)
+	ix := Build(ds.Objects, 8)
+	f1, err := ix.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Insert(object.Object{ID: object.ID(ds.Objects.Len()), Loc: geo.Point{X: 1, Y: 1}, Doc: ds.Objects.Get(0).Doc})
+	ix.Refresh()
+	f2, err := ix.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Generation() <= f1.Generation() {
+		t.Fatalf("generations %d → %d not increasing", f1.Generation(), f2.Generation())
+	}
+	if f2.Len() != f1.Len()+1 {
+		t.Fatalf("refreshed snapshot has %d entries, want %d", f2.Len(), f1.Len()+1)
+	}
+}

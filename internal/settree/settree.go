@@ -75,12 +75,20 @@ const (
 	BoundBasic
 )
 
-// Index is a SetR-tree over a collection of objects. It is immutable
-// after construction and safe for concurrent readers (SetBoundMode must
-// be called before sharing).
+// Index is a SetR-tree over a collection of objects. Queries traverse an
+// immutable Flat snapshot published through an atomic pointer, so they
+// are safe for concurrent use with the mutation path (SetBoundMode must
+// still be called before sharing).
+//
+// Snapshot lifecycle: Insert and Remove mutate the underlying tree and
+// record the new generation as "known" — queries keep serving the last
+// published snapshot, complete and consistent, until Refresh re-freezes
+// off the query path and atomically swaps it in. Mutating the tree
+// directly via Tree() bypasses that bookkeeping, and every query fails
+// with rtree.ErrStaleSnapshot until Refresh is called: stale answers are
+// an error, never a silent wrong result.
 type Index struct {
-	tree  *rtree.Tree[object.Object, Aug]
-	flat  *rtree.Flat[object.Object, Aug]
+	pub   *rtree.SnapshotPublisher[object.Object, Aug]
 	coll  *object.Collection
 	bound BoundMode
 	// scratch pools per-query traversal state (priority queues, DFS
@@ -124,40 +132,82 @@ func (ix *Index) putScratch(sc *searchScratch) {
 // SetBoundMode switches the pruning bound; the default is BoundFull.
 func (ix *Index) SetBoundMode(m BoundMode) { ix.bound = m }
 
-// Build bulk-loads a SetR-tree over the collection with the given node
-// fanout (use rtree.DefaultMaxEntries when in doubt).
+// Build bulk-loads a SetR-tree over the live objects of the collection
+// with the given node fanout (use rtree.DefaultMaxEntries when in doubt).
 func Build(c *object.Collection, maxEntries int) *Index {
 	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
-	entries := make([]rtree.LeafEntry[object.Object], c.Len())
-	for i, o := range c.All() {
-		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+	v := c.View()
+	entries := make([]rtree.LeafEntry[object.Object], 0, v.LiveLen())
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
+		entries = append(entries, rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o})
 	}
 	t.BulkLoad(entries)
-	return &Index{tree: t, flat: t.Freeze(), coll: c}
+	return newIndex(t, c)
 }
 
 // BuildByInsertion constructs the index by repeated insertion instead of
 // bulk loading; used by tests and the index-construction benches.
 func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
-	for _, o := range c.All() {
+	v := c.View()
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
 		t.Insert(o.Rect(), o)
 	}
-	return &Index{tree: t, flat: t.Freeze(), coll: c}
+	return newIndex(t, c)
 }
 
-// Flat exposes the frozen arena the query algorithms traverse.
-func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.flat }
+func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
+	return &Index{pub: rtree.NewSnapshotPublisher(t), coll: c}
+}
+
+// Flat exposes the current frozen arena without a freshness check; the
+// query algorithms go through Snapshot instead.
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.pub.Flat() }
+
+// Snapshot returns the published frozen arena after verifying that every
+// tree mutation went through the managed path (Insert/Remove/Refresh).
+// It returns a *rtree.StaleSnapshotError — matching rtree.ErrStaleSnapshot
+// — when the tree was mutated directly via Tree() without a Refresh. A
+// snapshot that merely lags managed mutations pending a Refresh is still
+// served: it is complete and consistent, which is the live-update
+// contract.
+func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], error) {
+	return ix.pub.Snapshot()
+}
+
+// Insert adds the object to the underlying tree through the managed
+// mutation path. Queries keep serving the previous snapshot until
+// Refresh publishes a new one.
+func (ix *Index) Insert(o object.Object) { ix.pub.Insert(o.Rect(), o) }
+
+// Remove deletes the object (matched by ID at its location) through the
+// managed mutation path and reports whether it was present.
+func (ix *Index) Remove(o object.Object) bool {
+	return ix.pub.Remove(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
+}
+
+// Refresh re-freezes the tree into a new Flat arena and atomically
+// publishes it. The freeze runs off the query path: concurrent queries
+// keep traversing the old snapshot and pick up the new one on their next
+// acquisition.
+func (ix *Index) Refresh() { ix.pub.Refresh() }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
 
 // Tree exposes the underlying augmented R-tree for structural inspection
-// (tests, stats).
-func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.tree }
+// (tests, stats). Mutating it directly leaves the published snapshot
+// stale and queries will error until Refresh.
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.pub.Tree() }
 
 // Stats returns the node-access statistics collector.
-func (ix *Index) Stats() *rtree.Stats { return ix.tree.Stats() }
+func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
 
 // TSimUpperBound returns an upper bound on the Jaccard similarity
 // between qdoc and the document of any object under a node with the
@@ -219,10 +269,10 @@ func TSimUpperBound(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) float64 {
 	return float64(num) / float64(den)
 }
 
-// boundAt bounds ST(o, q) for every object o under flat node n.
-func (ix *Index) boundAt(s score.Scorer, n int32) float64 {
-	minSD := s.SDistRectMin(ix.flat.Rect(n))
-	a := ix.flat.Aug(n)
+// boundAt bounds ST(o, q) for every object o under node n of arena f.
+func (ix *Index) boundAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) float64 {
+	minSD := s.SDistRectMin(f.Rect(n))
+	a := f.Aug(n)
 	var tUB float64
 	if ix.bound == BoundBasic {
 		tUB = TSimUpperBoundBasic(*a, s.Query.Doc)
@@ -261,29 +311,40 @@ func TSimUpperBoundBasic(a Aug, qdoc vocab.KeywordSet) float64 {
 // before every remaining node bound, it is guaranteed to be the next
 // result. Results come back in rank order (Definition 1 with ID
 // tie-break). Fewer than k results are returned only when the collection
-// is smaller than k.
-func (ix *Index) TopK(q score.Query) []score.Result {
-	s := score.NewScorer(q, ix.coll)
-	return ix.topKAppend(s, q.K, nil)
+// is smaller than k. It fails with rtree.ErrStaleSnapshot when the tree
+// was mutated without a Refresh.
+func (ix *Index) TopK(q score.Query) ([]score.Result, error) {
+	return ix.TopKAppend(q, nil)
 }
 
 // TopKAppend is TopK appending results to dst, so a caller reusing its
 // buffer across queries runs the warm path without allocating.
-func (ix *Index) TopKAppend(q score.Query, dst []score.Result) []score.Result {
+func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return nil, err
+	}
 	s := score.NewScorer(q, ix.coll)
-	return ix.topKAppend(s, q.K, dst)
+	return ix.topKAppend(f, s, q.K, dst), nil
 }
 
 // TopKScorer is TopK with a caller-prepared scorer, letting the why-not
 // engines re-run queries with modified weights or keywords without
 // re-deriving normalization.
-func (ix *Index) TopKScorer(s score.Scorer) []score.Result {
-	return ix.topKAppend(s, s.Query.K, nil)
+func (ix *Index) TopKScorer(s score.Scorer) ([]score.Result, error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return ix.topKAppend(f, s, s.Query.K, nil), nil
 }
 
-// TopKScorerAppend is TopKScorer appending into dst.
-func (ix *Index) TopKScorerAppend(s score.Scorer, dst []score.Result) []score.Result {
-	return ix.topKAppend(s, s.Query.K, dst)
+// TopKScorerAppendOn is TopKScorer appending into dst over a snapshot
+// the caller already acquired (and freshness-checked) via Snapshot —
+// the building block for multi-traversal algorithms that must run
+// entirely against one consistent arena.
+func (ix *Index) TopKScorerAppendOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, dst []score.Result) []score.Result {
+	return ix.topKAppend(f, s, s.Query.K, dst)
 }
 
 // topKAppend is the two-heap best-first search of [4] over the flat
@@ -293,15 +354,14 @@ func (ix *Index) TopKScorerAppend(s score.Scorer, dst []score.Result) []score.Re
 // be expanded: they can hide an equal-score object with a smaller ID).
 // Both heaps come from the per-index scratch pool, so the warm path does
 // not allocate.
-func (ix *Index) topKAppend(s score.Scorer, k int, dst []score.Result) []score.Result {
-	f := ix.flat
+func (ix *Index) topKAppend(f *rtree.Flat[object.Object, Aug], s score.Scorer, k int, dst []score.Result) []score.Result {
 	if f.Empty() || k <= 0 {
 		return dst
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	nodes, cand := sc.nodes, sc.cand
-	nodes.Push(flatEntry{bound: ix.boundAt(s, 0), node: 0})
+	nodes.Push(flatEntry{bound: ix.boundAt(f, s, 0), node: 0})
 
 	accesses := int64(0)
 	for nodes.Len() > 0 {
@@ -329,7 +389,7 @@ func (ix *Index) topKAppend(s score.Scorer, k int, dst []score.Result) []score.R
 		}
 		lo, hi := f.Children(n)
 		for c := lo; c < hi; c++ {
-			if b := ix.boundAt(s, c); b >= kth {
+			if b := ix.boundAt(f, s, c); b >= kth {
 				nodes.Push(flatEntry{bound: b, node: c})
 			}
 		}
@@ -345,11 +405,21 @@ func (ix *Index) topKAppend(s score.Scorer, k int, dst []score.Result) []score.R
 
 // CountBetter returns the number of objects that rank strictly above the
 // reference (refScore, refID) pair under scorer s, i.e. the reference's
-// rank minus one. The traversal prunes subtrees whose score upper bound
-// cannot beat the reference; it descends otherwise. The reference object
-// itself (matched by ID) is never counted.
-func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) int {
-	f := ix.flat
+// rank minus one. It fails with rtree.ErrStaleSnapshot when the tree was
+// mutated without a Refresh.
+func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) (int, error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return ix.CountBetterOn(f, s, refScore, refID), nil
+}
+
+// CountBetterOn is CountBetter over a snapshot the caller already
+// acquired via Snapshot. The traversal prunes subtrees whose score upper
+// bound cannot beat the reference; it descends otherwise. The reference
+// object itself (matched by ID) is never counted.
+func (ix *Index) CountBetterOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, refScore float64, refID object.ID) int {
 	if f.Empty() {
 		return 0
 	}
@@ -379,7 +449,7 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) 
 			// reference (or ties with a larger smallest-possible ID —
 			// unknowable cheaply, so only strict inequality prunes)
 			// contributes nothing.
-			if ix.boundAt(s, c) < refScore {
+			if ix.boundAt(f, s, c) < refScore {
 				continue
 			}
 			stack = append(stack, c)
@@ -391,10 +461,21 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) 
 }
 
 // RankOf returns the 1-based rank of object oid under scorer s: one plus
-// the number of objects ranking strictly above it.
-func (ix *Index) RankOf(s score.Scorer, oid object.ID) int {
+// the number of objects ranking strictly above it. It fails with
+// rtree.ErrStaleSnapshot when the tree was mutated without a Refresh.
+func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
+	f, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return ix.RankOfOn(f, s, oid), nil
+}
+
+// RankOfOn is RankOf over a snapshot the caller already acquired via
+// Snapshot.
+func (ix *Index) RankOfOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, oid object.ID) int {
 	o := ix.coll.Get(oid)
-	return ix.CountBetter(s, s.Score(o), oid) + 1
+	return ix.CountBetterOn(f, s, s.Score(o), oid) + 1
 }
 
 // ScanTopK is the brute-force oracle: score every object and select the
@@ -408,6 +489,9 @@ func ScanTopK(c *object.Collection, q score.Query) []score.Result {
 	// Keep a bounded max-heap (invert: pop worst) of the k best.
 	pq := pqueue.NewWithCapacity(score.WorstFirst, q.K+1)
 	for _, o := range c.All() {
+		if !c.Alive(o.ID) {
+			continue
+		}
 		pq.Push(score.Result{Obj: o, Score: s.Score(o)})
 		if pq.Len() > q.K {
 			pq.Pop()
@@ -426,7 +510,7 @@ func ScanRank(c *object.Collection, s score.Scorer, oid object.ID) int {
 	refScore := s.Score(ref)
 	rank := 1
 	for _, o := range c.All() {
-		if o.ID == oid {
+		if o.ID == oid || !c.Alive(o.ID) {
 			continue
 		}
 		if score.Better(s.Score(o), o.ID, refScore, oid) {

@@ -122,7 +122,7 @@ func TestTopKMatchesScan(t *testing.T) {
 	ds := testDataset(t, 1000, 4)
 	ix := Build(ds.Objects, 32)
 	for _, q := range testQueries(ds, 40, 5, 10, 2) {
-		got := ix.TopK(q)
+		got, _ := ix.TopK(q)
 		want := ScanTopK(ds.Objects, q)
 		if len(got) != len(want) {
 			t.Fatalf("TopK returned %d, scan %d", len(got), len(want))
@@ -148,7 +148,7 @@ func TestTopKVariousWeightsAndK(t *testing.T) {
 			W: score.WeightsFromWt(wt), FromObjectDocs: true,
 		})
 		q := qs[0]
-		got := ix.TopK(q)
+		got, _ := ix.TopK(q)
 		want := ScanTopK(ds.Objects, q)
 		for i := range want {
 			if got[i].Obj.ID != want[i].Obj.ID {
@@ -166,7 +166,7 @@ func TestTopKInsertionBuiltIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range testQueries(ds, 10, 9, 5, 2) {
-		got := ix.TopK(q)
+		got, _ := ix.TopK(q)
 		want := ScanTopK(ds.Objects, q)
 		for i := range want {
 			if got[i].Obj.ID != want[i].Obj.ID {
@@ -180,7 +180,7 @@ func TestTopKSmallerThanK(t *testing.T) {
 	ds := testDataset(t, 5, 10)
 	ix := Build(ds.Objects, 8)
 	q := testQueries(ds, 1, 1, 50, 2)[0]
-	got := ix.TopK(q)
+	got, _ := ix.TopK(q)
 	if len(got) != 5 {
 		t.Fatalf("got %d results, want all 5", len(got))
 	}
@@ -189,7 +189,7 @@ func TestTopKSmallerThanK(t *testing.T) {
 func TestTopKEmptyIndex(t *testing.T) {
 	ix := Build(object.NewCollection(nil), 8)
 	q := score.Query{Loc: geo.Point{X: 0, Y: 0}, Doc: vocab.NewKeywordSet(1), K: 3, W: score.DefaultWeights}
-	if got := ix.TopK(q); got != nil {
+	if got, _ := ix.TopK(q); got != nil {
 		t.Fatalf("TopK on empty = %v", got)
 	}
 }
@@ -198,7 +198,7 @@ func TestTopKResultsSorted(t *testing.T) {
 	ds := testDataset(t, 800, 11)
 	ix := Build(ds.Objects, 32)
 	for _, q := range testQueries(ds, 10, 12, 20, 2) {
-		got := ix.TopK(q)
+		got, _ := ix.TopK(q)
 		for i := 1; i < len(got); i++ {
 			if score.Better(got[i].Score, got[i].Obj.ID, got[i-1].Score, got[i-1].Obj.ID) {
 				t.Fatalf("results out of order at %d", i)
@@ -215,7 +215,7 @@ func TestRankOfMatchesScan(t *testing.T) {
 		s := score.NewScorer(q, ds.Objects)
 		for trial := 0; trial < 5; trial++ {
 			oid := object.ID(rng.Intn(ds.Objects.Len()))
-			got := ix.RankOf(s, oid)
+			got, _ := ix.RankOf(s, oid)
 			want := ScanRank(ds.Objects, s, oid)
 			if got != want {
 				t.Fatalf("RankOf(%d) = %d, scan %d", oid, got, want)
@@ -229,9 +229,9 @@ func TestRankConsistentWithTopK(t *testing.T) {
 	ix := Build(ds.Objects, 16)
 	q := testQueries(ds, 1, 17, 10, 2)[0]
 	s := score.NewScorer(q, ds.Objects)
-	res := ix.TopK(q)
+	res, _ := ix.TopK(q)
 	for i, r := range res {
-		if rank := ix.RankOf(s, r.Obj.ID); rank != i+1 {
+		if rank, _ := ix.RankOf(s, r.Obj.ID); rank != i+1 {
 			t.Fatalf("result %d has RankOf %d", i, rank)
 		}
 	}
@@ -242,9 +242,10 @@ func TestCountBetterPrunes(t *testing.T) {
 	ix := Build(ds.Objects, 64)
 	q := testQueries(ds, 1, 19, 5, 2)[0]
 	s := score.NewScorer(q, ds.Objects)
-	top := ix.TopK(q)[0]
+	topRes, _ := ix.TopK(q)
+	top := topRes[0]
 	ix.Stats().Reset()
-	ix.RankOf(s, top.Obj.ID)
+	ix.RankOf(s, top.Obj.ID) //nolint:errcheck // warm-path stats probe
 	accesses := ix.Stats().NodeAccesses()
 	if accesses >= int64(ix.Tree().NodeCount()) {
 		t.Fatalf("rank query touched all %d nodes; pruning ineffective", accesses)
@@ -256,7 +257,7 @@ func TestTopKNodeAccessesBelowFullScan(t *testing.T) {
 	ix := Build(ds.Objects, 64)
 	q := testQueries(ds, 1, 21, 10, 2)[0]
 	ix.Stats().Reset()
-	ix.TopK(q)
+	ix.TopK(q) //nolint:errcheck
 	if got := ix.Stats().NodeAccesses(); got >= int64(ix.Tree().NodeCount()) {
 		t.Fatalf("top-k touched %d of %d nodes", got, ix.Tree().NodeCount())
 	}
@@ -272,7 +273,8 @@ func TestScanTopKDeterministicTieBreak(t *testing.T) {
 	c := object.NewCollection(objs)
 	q := score.Query{Loc: geo.Point{X: 1, Y: 1}, Doc: vocab.NewKeywordSet(1), K: 4, W: score.DefaultWeights}
 	want := []object.ID{0, 1, 2, 3}
-	for _, got := range [][]score.Result{ScanTopK(c, q), Build(c, 4).TopK(q)} {
+	fromIndex, _ := Build(c, 4).TopK(q)
+	for _, got := range [][]score.Result{ScanTopK(c, q), fromIndex} {
 		ids := score.ResultIDs(got)
 		if len(ids) != 4 {
 			t.Fatalf("got %v", ids)
@@ -298,7 +300,7 @@ func TestHKHotelsQueryEndToEnd(t *testing.T) {
 		K:   3,
 		W:   score.DefaultWeights,
 	}
-	got := ix.TopK(q)
+	got, _ := ix.TopK(q)
 	want := ScanTopK(ds.Objects, q)
 	if len(got) != 3 {
 		t.Fatalf("got %d results", len(got))
@@ -318,7 +320,7 @@ func TestTopKDiceModel(t *testing.T) {
 	for _, base := range testQueries(ds, 20, 41, 10, 2) {
 		q := base
 		q.Sim = score.SimDice
-		got := ix.TopK(q)
+		got, _ := ix.TopK(q)
 		want := ScanTopK(ds.Objects, q)
 		for i := range want {
 			if got[i].Obj.ID != want[i].Obj.ID {
@@ -336,10 +338,12 @@ func TestDiceAndJaccardDisagree(t *testing.T) {
 	ix := Build(ds.Objects, 32)
 	differ := false
 	for _, base := range testQueries(ds, 40, 43, 10, 2) {
-		jac := score.ResultIDs(ix.TopK(base))
+		jacRes, _ := ix.TopK(base)
+		jac := score.ResultIDs(jacRes)
 		q := base
 		q.Sim = score.SimDice
-		dice := score.ResultIDs(ix.TopK(q))
+		diceRes, _ := ix.TopK(q)
+		dice := score.ResultIDs(diceRes)
 		for i := range jac {
 			if i < len(dice) && jac[i] != dice[i] {
 				differ = true
@@ -359,8 +363,10 @@ func TestBasicBoundSoundAndCorrect(t *testing.T) {
 	basic := Build(ds.Objects, 32)
 	basic.SetBoundMode(BoundBasic)
 	for _, q := range testQueries(ds, 15, 51, 10, 2) {
-		a := score.ResultIDs(full.TopK(q))
-		b := score.ResultIDs(basic.TopK(q))
+		fullRes, _ := full.TopK(q)
+		a := score.ResultIDs(fullRes)
+		basicRes, _ := basic.TopK(q)
+		b := score.ResultIDs(basicRes)
 		if len(a) != len(b) {
 			t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
 		}

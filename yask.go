@@ -158,8 +158,23 @@ type Engine struct {
 	vocab *vocab.Vocabulary
 }
 
+// EngineOptions configures NewEngineWith.
+type EngineOptions struct {
+	// RefreshEvery batches live-update snapshot refreshes: the engine
+	// re-freezes its index arenas after every RefreshEvery mutations
+	// instead of after each one, amortizing the freeze over a mutation
+	// storm (call Refresh to force publication early). Zero or one
+	// refreshes on every mutation.
+	RefreshEvery int
+}
+
 // NewEngine indexes the given objects and returns a ready engine.
 func NewEngine(objects []Object) (*Engine, error) {
+	return NewEngineWith(objects, EngineOptions{})
+}
+
+// NewEngineWith is NewEngine with explicit engine options.
+func NewEngineWith(objects []Object, opts EngineOptions) (*Engine, error) {
 	if len(objects) == 0 {
 		return nil, errors.New("yask: need at least one object")
 	}
@@ -177,7 +192,7 @@ func NewEngine(objects []Object) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		core:  core.NewEngine(object.NewCollection(objs), core.Options{}),
+		core:  core.NewEngine(object.NewCollection(objs), core.Options{RefreshEvery: opts.RefreshEvery}),
 		vocab: v,
 	}, nil
 }
@@ -210,10 +225,48 @@ func LoadEngine(path string) (*Engine, error) {
 	return newFromDataset(ds), nil
 }
 
-// Len returns the number of indexed objects.
+// Len returns the size of the engine's ID space: live objects plus
+// removed (tombstoned) ones, whose IDs stay addressable.
 func (e *Engine) Len() int { return e.core.Collection().Len() }
 
-// Object returns the indexed object with the given ID.
+// LiveLen returns the number of live (not removed) objects.
+func (e *Engine) LiveLen() int { return e.core.Collection().LiveLen() }
+
+// Insert adds a new object to the running engine and returns its
+// assigned ID. The object becomes visible to queries at the next
+// snapshot refresh — immediately under the default construction, after
+// at most Options.RefreshEvery mutations when batching is configured.
+// Concurrent queries are never disturbed: they keep reading the last
+// complete snapshot until the new one is atomically published.
+func (e *Engine) Insert(o Object) (ObjectID, error) {
+	doc := e.vocab.InternSet(o.Keywords...)
+	if doc.Empty() {
+		return 0, fmt.Errorf("yask: object %q has no keywords", o.Name)
+	}
+	id, err := e.core.Insert(object.Object{
+		Name: o.Name,
+		Loc:  geo.Point{X: o.X, Y: o.Y},
+		Doc:  doc,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return uint32(id), nil
+}
+
+// Remove deletes the object from the running engine. The ID remains
+// known (old sessions referencing it keep resolving) but the object
+// stops appearing in results at the next snapshot refresh.
+func (e *Engine) Remove(id ObjectID) error {
+	return e.core.Remove(object.ID(id))
+}
+
+// Refresh forces a snapshot refresh, publishing any mutations still
+// buffered by Options.RefreshEvery batching.
+func (e *Engine) Refresh() { e.core.Refresh() }
+
+// Object returns the indexed object with the given ID, including
+// removed ones (check with Objects for the live set).
 func (e *Engine) Object(id ObjectID) (Object, error) {
 	if int(id) >= e.Len() {
 		return Object{}, fmt.Errorf("yask: unknown object ID %d", id)
@@ -227,15 +280,19 @@ func (e *Engine) Object(id ObjectID) (Object, error) {
 	}, nil
 }
 
-// Objects returns all indexed objects with their IDs, in ID order.
+// Objects returns all live indexed objects with their IDs, in ID order.
 func (e *Engine) Objects() []Result {
-	all := e.core.Collection().All()
-	out := make([]Result, len(all))
-	for i, o := range all {
-		out[i] = Result{
+	coll := e.core.Collection()
+	all := coll.All()
+	out := make([]Result, 0, coll.LiveLen())
+	for _, o := range all {
+		if !coll.Alive(o.ID) {
+			continue
+		}
+		out = append(out, Result{
 			ID: uint32(o.ID), Name: o.Name, X: o.Loc.X, Y: o.Loc.Y,
 			Keywords: e.vocab.Words(o.Doc),
-		}
+		})
 	}
 	return out
 }
@@ -497,6 +554,9 @@ func (e *Engine) Rank(q Query, id ObjectID) (int, error) {
 	if int(id) >= e.Len() {
 		return 0, fmt.Errorf("yask: unknown object ID %d", id)
 	}
+	if !e.core.Collection().Alive(object.ID(id)) {
+		return 0, fmt.Errorf("yask: object %d has been removed", id)
+	}
 	s := score.NewScorer(sq, e.core.Collection())
-	return e.core.SetIndex().RankOf(s, object.ID(id)), nil
+	return e.core.SetIndex().RankOf(s, object.ID(id))
 }
