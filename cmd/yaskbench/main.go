@@ -1,7 +1,8 @@
 // Command yaskbench regenerates the experiment tables of DESIGN.md's
-// experiment index (E1–E7): query-engine comparisons, index
+// experiment index (E1–E10): query-engine comparisons, index
 // construction, why-not refinement latency and quality, λ sweeps,
-// scalability, and HTTP round trips.
+// scalability, HTTP round trips, the concurrent batch executor, and
+// the sharded scatter-gather executor.
 //
 // Usage:
 //
@@ -11,9 +12,9 @@
 //	yaskbench -json        # machine-readable hot-path snapshot
 //
 // The -json mode measures the hot-path suite (warm top-k latency, node
-// accesses, allocs/query, batch throughput) and emits one JSON document;
-// BENCH_baseline.json at the repo root is a checked-in snapshot of it,
-// the reference future PRs diff against.
+// accesses, allocs/query, batch throughput, and per-shard-count rows)
+// and emits one JSON document; BENCH_baseline.json at the repo root is
+// a checked-in snapshot of it, the reference future PRs diff against.
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e9) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e10) or 'all'")
 	full := flag.Bool("full", false, "run at paper-shaped scale (much slower)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable hot-path snapshot instead of tables")
 	flag.Parse()

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m]
+//	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m] [-shards 4]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
-// synthetic stand-in for the paper's 539 Hong Kong hotels.
+// synthetic stand-in for the paper's 539 Hong Kong hotels. With
+// -shards > 1 the engine partitions the collection into that many
+// spatial shards and executes queries by scatter-gather (identical
+// results; per-shard statistics on GET /api/stats).
 package main
 
 import (
@@ -25,21 +28,23 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "dataset file (.json or .csv); empty serves the HK hotel demo")
 	ttl := flag.Duration("session-ttl", server.DefaultSessionTTL, "idle lifetime of cached query sessions")
+	shards := flag.Int("shards", 1, "spatial shards to partition the engine into (1 = single index)")
 	flag.Parse()
 
+	opts := yask.EngineOptions{Shards: *shards}
 	var (
 		engine *yask.Engine
 		err    error
 	)
 	if *data == "" {
-		engine = yask.HKDemoEngine()
-		log.Printf("serving built-in demo dataset (%d HK hotels)", engine.Len())
+		engine = yask.HKDemoEngineWith(opts)
+		log.Printf("serving built-in demo dataset (%d HK hotels, %d shard(s))", engine.Len(), engine.Stats().Shards)
 	} else {
-		engine, err = yask.LoadEngine(*data)
+		engine, err = yask.LoadEngineWith(*data, opts)
 		if err != nil {
 			log.Fatalf("loading %s: %v", *data, err)
 		}
-		log.Printf("serving %s (%d objects)", *data, engine.Len())
+		log.Printf("serving %s (%d objects, %d shard(s))", *data, engine.Len(), engine.Stats().Shards)
 	}
 
 	srv := server.New(engine, server.Config{SessionTTL: *ttl})

@@ -140,6 +140,10 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 		add(fmt.Sprintf("e9/speedup/workers=%d", workers), float64(seq)/float64(d), "x")
 	}
 
+	// Sharded executor: one row per shard count, so multi-core hosts
+	// can finally quantify the batch/shard speedup from the snapshot.
+	addShardMetrics(env, scale, add)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

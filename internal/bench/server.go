@@ -127,4 +127,5 @@ var Experiments = []struct {
 	{"e7", "server round trip", RunE7Server},
 	{"e8", "SetR-tree bound ablation", RunE8BoundAblation},
 	{"e9", "concurrent batch executor", RunE9Batch},
+	{"e10", "sharded scatter-gather executor", RunE10Shard},
 }

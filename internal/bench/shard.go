@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// shardCounts is the shard sweep of E10 and the JSON report's
+// per-shard-count rows.
+var shardCounts = []int{1, 2, 4, 8}
+
+// measureShard builds one engine at the given shard count over the
+// env's dataset and measures warm single-query top-k latency and batch
+// wall time over qs — the one measurement both the E10 table and the
+// JSON baseline rows are derived from, so they can never desynchronize.
+func measureShard(env *Env, qs []score.Query, shards int) (topk, batch time.Duration) {
+	eng := core.NewEngine(env.DS.Objects, core.Options{Shards: shards})
+	// Warm the per-shard scratch pools before timing.
+	for _, q := range qs[:4] {
+		if _, err := eng.TopK(q); err != nil {
+			panic(err)
+		}
+	}
+	topk = timeIt(func() {
+		for _, q := range qs {
+			if _, err := eng.TopK(q); err != nil {
+				panic(err)
+			}
+		}
+	}) / time.Duration(len(qs))
+	batch = timeIt(func() {
+		if _, err := eng.TopKBatch(qs, core.BatchOptions{}); err != nil {
+			panic(err)
+		}
+	})
+	return topk, batch
+}
+
+// RunE10Shard regenerates experiment E10: the sharded scatter-gather
+// executor across shard counts, measured as single-query latency and
+// batch throughput against the unsharded engine. Like E9, speedup is
+// bounded by GOMAXPROCS — on a single-core host the table shows the
+// scatter-gather and merge overhead instead of a win, which is itself a
+// reproduction target (sharding must stay near-free when it cannot
+// help); multi-core hosts read the per-shard-count scaling from it.
+func RunE10Shard(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	qs := env.Queries(scale.queries()*8, 10, 2)
+	fmt.Fprintf(w, "E10 — sharded scatter-gather executor (N=%d, %d queries/batch, GOMAXPROCS=%d, %s scale)\n",
+		scale.baseN(), len(qs), runtime.GOMAXPROCS(0), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "shards\ttop-k µs\tbatch ms\tqueries/s\tspeedup\t")
+
+	var baseBatch time.Duration
+	for _, shards := range shardCounts {
+		topk, batch := measureShard(env, qs, shards)
+		if shards == 1 {
+			baseBatch = batch
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.0f\t%.1fx\t\n",
+			shards, us(topk), ms(batch),
+			float64(len(qs))/batch.Seconds(), float64(baseBatch)/float64(batch))
+	}
+	tw.Flush()
+}
+
+// addShardMetrics appends the per-shard-count rows of the JSON report:
+// warm top-k latency and batch throughput for each shard count, so
+// multi-core hosts can quantify the batch/shard speedup from the same
+// machine-readable snapshot the perf trajectory is tracked with.
+func addShardMetrics(env *Env, scale Scale, add func(name string, value float64, unit string)) {
+	qs := env.Queries(scale.queries()*8, 10, 2)
+	for _, shards := range shardCounts {
+		topk, batch := measureShard(env, qs, shards)
+		add(fmt.Sprintf("e10/topk/shards=%d", shards), float64(topk.Nanoseconds()), "ns/op")
+		add(fmt.Sprintf("e10/batch/shards=%d", shards),
+			float64(len(qs))/batch.Seconds(), "queries/s")
+	}
+}

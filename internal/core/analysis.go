@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/score"
 	"github.com/yask-engine/yask/internal/vocab"
@@ -23,7 +24,11 @@ type RankStep struct {
 // points; the rank at each interval is the rank attained by any wt
 // strictly inside it.
 func (e *Engine) WeightProfile(q score.Query, missing object.ID) ([]RankStep, error) {
-	s, objs, _, err := e.validateWhyNot(q, []object.ID{missing})
+	sn, err := e.acquireSet()
+	if err != nil {
+		return nil, err
+	}
+	s, objs, _, err := e.validateWhyNot(sn, q, []object.ID{missing})
 	if err != nil {
 		return nil, err
 	}
@@ -95,21 +100,21 @@ type KeywordImpact struct {
 // improvement (ties by keyword ID). It answers the user's "which one
 // keyword should I change?" directly.
 func (e *Engine) KeywordImpacts(q score.Query, missing []object.ID) ([]KeywordImpact, error) {
-	s, objs, rankBefore, err := e.validateWhyNot(q, missing)
+	v, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	s, objs, rankBefore, err := e.validateWhyNot(v.set, q, missing)
 	if err != nil {
 		return nil, err
 	}
 	universe := q.Doc.Union(MissingDocUnion(objs))
 
-	kf, err := e.kc.Snapshot()
-	if err != nil {
-		return nil, err
-	}
 	worstRank := func(doc vocab.KeywordSet) int {
 		s2 := score.Scorer{Query: q.WithDoc(doc), MaxDist: s.MaxDist}
 		worst := 0
 		for _, m := range objs {
-			if r := e.kc.RankOfOn(kf, s2, m.ID); r > worst {
+			if r := index.RankOf(v.kc, s2, m); r > worst {
 				worst = r
 			}
 		}
@@ -221,14 +226,14 @@ func (e *Engine) RefineBest(q score.Query, missing []object.ID, lambda float64) 
 	// the keyword stage already needed no k enlargement there is nothing
 	// left to recover, so only try the composition when Δk > 0.
 	if kw.DeltaK > 0 {
-		sf, err := e.set.Snapshot()
+		sn, err := e.acquireSet()
 		if err != nil {
 			return BestRefinement{}, err
 		}
-		s2 := score.NewScorer(kw.Refined, e.coll)
+		s2 := setScorer(sn, kw.Refined)
 		stillMissing := make([]object.ID, 0, len(missing))
 		for _, id := range missing {
-			if e.set.RankOfOn(sf, s2, id) > q.K {
+			if index.RankOf(sn, s2, e.coll.Get(id)) > q.K {
 				stillMissing = append(stillMissing, id)
 			}
 		}
@@ -257,13 +262,13 @@ func (e *Engine) RefineBest(q score.Query, missing []object.ID, lambda float64) 
 // query q. A stale snapshot counts as "not within": the composition is
 // simply not accepted.
 func (e *Engine) allWithin(q score.Query, ids []object.ID) bool {
-	sf, err := e.set.Snapshot()
+	sn, err := e.acquireSet()
 	if err != nil {
 		return false
 	}
-	s := score.NewScorer(q, e.coll)
+	s := setScorer(sn, q)
 	for _, id := range ids {
-		if e.set.RankOfOn(sf, s, id) > q.K {
+		if index.RankOf(sn, s, e.coll.Get(id)) > q.K {
 			return false
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/score"
 )
@@ -72,6 +73,14 @@ func RunBatch(n, workers int, job func(i int)) {
 // worker pool and returns one result slice per query, index-aligned
 // with qs. Every query is validated before any work starts; the first
 // invalid query fails the whole batch.
+//
+// The executor schedules (job × partition) work units: on a sharded
+// engine every query fans into one unit per shard, all pulled from the
+// same pool, so shard work interleaves with query work instead of
+// serializing behind it. Units of one query share a cross-partition
+// score bound, letting a unit that starts late prune against the best
+// k-th score its siblings have proven. A final per-query merge pass
+// gathers partition results exactly.
 func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Result, error) {
 	for i := range qs {
 		if err := qs[i].Validate(); err != nil {
@@ -79,15 +88,32 @@ func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Resul
 		}
 	}
 	// One checked snapshot serves the whole batch: every query in it
-	// sees the same consistent arena even with mutations in flight.
-	sf, err := e.set.Snapshot()
+	// sees the same consistent arena set even with mutations in flight.
+	sn, err := e.acquireSet()
 	if err != nil {
 		return nil, err
 	}
+	parts := sn.Parts()
 	out := make([][]score.Result, len(qs))
+	if parts == 1 {
+		RunBatch(len(qs), opts.Workers, func(i int) {
+			out[i] = sn.TopK(setScorer(sn, qs[i]), qs[i].K, nil, nil)
+		})
+		return out, nil
+	}
+
+	// Scatter phase: the (job × partition) grid, unit u = (u/parts)-th
+	// query on the (u%parts)-th shard.
+	partial := make([][]score.Result, len(qs)*parts)
+	bounds := make([]index.Bound, len(qs))
+	RunBatch(len(qs)*parts, opts.Workers, func(u int) {
+		i, p := u/parts, u%parts
+		partial[u] = sn.TopKPart(p, setScorer(sn, qs[i]), qs[i].K, &bounds[i], nil)
+	})
+	// Gather phase: exact per-query k-merge, itself fanned over the pool
+	// so it does not become a serial tail.
 	RunBatch(len(qs), opts.Workers, func(i int) {
-		s := score.NewScorer(qs[i], e.coll)
-		out[i] = e.set.TopKScorerAppendOn(sf, s, nil)
+		out[i] = index.MergeTopK(partial[i*parts:(i+1)*parts], qs[i].K, nil)
 	})
 	return out, nil
 }

@@ -5,7 +5,14 @@
 // and the keyword-adapted why-not module (Definition 3, penalty Eqn 4).
 //
 // The Engine owns a SetR-tree (top-k, explanations, preference
-// adjustment) and a KcR-tree (keyword adaption) over one collection.
+// adjustment) and a KcR-tree (keyword adaption) over one collection —
+// either as two single indexes (Options.Shards ≤ 1, the fast path) or
+// as two spatially sharded families executing every query by
+// scatter-gather (Options.Shards > 1). Both backends are driven through
+// the shared index.Provider/index.Snapshot contract, so every algorithm
+// here is written once: it acquires one consistent view per computation
+// and runs against index.Snapshot primitives, never a concrete arena.
+//
 // Queries run against immutable frozen snapshots of the indexes, so all
 // methods — including the live-update path Insert/Remove/Refresh — are
 // safe for concurrent use: a query always sees a complete, consistent
@@ -17,12 +24,15 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/kcrtree"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 	"github.com/yask-engine/yask/internal/settree"
+	"github.com/yask-engine/yask/internal/shard"
 	"github.com/yask-engine/yask/internal/vocab"
 )
 
@@ -33,16 +43,36 @@ const DefaultLambda = 0.5
 // Engine is the YASK query processor.
 type Engine struct {
 	coll *object.Collection
-	set  *settree.Index
-	kc   *kcrtree.Index
+
+	// Single-index backend (Options.Shards ≤ 1): the two indexes plus
+	// their provider slice, through which the lifecycle fan-out runs.
+	set       *settree.Index
+	kc        *kcrtree.Index
+	providers []index.Provider
+
+	// Sharded backend (Options.Shards > 1): family 0 is the SetR-tree,
+	// family 1 the KcR-tree.
+	group *shard.Group
 
 	// mu serializes the mutation path (Insert/Remove/Refresh); queries
 	// never take it — they read atomically published snapshots.
 	mu sync.Mutex
+	// epochMu makes snapshot acquisition atomic across the two index
+	// families: refreshLocked holds the write side while it republishes
+	// both, acquire/acquireSet hold the read side, so a view can never
+	// pair a post-refresh SetR arena with a pre-refresh KcR arena (or
+	// vice versa). Mutations never take it — they buffer without
+	// swapping arenas — and readers only wait while a refresh publishes.
+	epochMu sync.RWMutex
 	// pending counts mutations applied to the trees since the last
 	// snapshot refresh; refreshEvery bounds it.
-	pending      int
-	refreshEvery int
+	pending         int
+	refreshEvery    int
+	refreshInterval time.Duration
+	lastRefresh     time.Time
+	// refreshTimerSet guards the single outstanding trailing-edge timer
+	// that publishes mutations deferred by the interval rate limit.
+	refreshTimerSet bool
 }
 
 // Options configures engine construction.
@@ -57,15 +87,23 @@ type Options struct {
 	// published snapshot (complete and consistent, minus the buffered
 	// mutations). Zero or one refreshes on every mutation; Refresh
 	// forces one at any time.
-	//
-	// One caveat while mutations are buffered: the SDist normalization
-	// constant (the data-space diagonal) is engine-global and grows the
-	// moment an out-of-space insert lands, so queries in the window
-	// between the insert and its refresh score the old arena under the
-	// new constant. Each query is still internally consistent — bounds
-	// and exact scores share one Scorer — but absolute scores can
-	// differ from both the pre-insert and post-refresh answers.
 	RefreshEvery int
+	// RefreshInterval rate-limits mutation-triggered refreshes: under a
+	// mutation storm the engine re-freezes at most once per interval,
+	// even when the RefreshEvery count threshold is reached, bounding
+	// the O(n) freeze work a storm can cause. Mutations deferred inside
+	// the window publish automatically at its trailing edge (a one-shot
+	// timer), so staleness is bounded by the interval even when the
+	// storm stops — or immediately through an explicit Refresh, which
+	// is never rate-limited. Zero disables the rate limit.
+	RefreshInterval time.Duration
+	// Shards partitions the collection into this many spatial shards,
+	// each with its own independently built and refreshed indexes;
+	// queries execute by scatter-gather and return results byte-
+	// identical to the unsharded engine. Values ≤ 1 select the
+	// single-index fast path (identical allocations to before sharding
+	// existed).
+	Shards int
 }
 
 // NewEngine builds the engine (both indexes) over the collection.
@@ -78,18 +116,98 @@ func NewEngine(c *object.Collection, opts Options) *Engine {
 	if refreshEvery < 1 {
 		refreshEvery = 1
 	}
-	return &Engine{
-		coll:         c,
-		set:          settree.Build(c, maxE),
-		kc:           kcrtree.Build(c, maxE),
-		refreshEvery: refreshEvery,
+	e := &Engine{
+		coll:            c,
+		refreshEvery:    refreshEvery,
+		refreshInterval: opts.RefreshInterval,
+		lastRefresh:     time.Now(),
 	}
+	if opts.Shards > 1 {
+		e.group = shard.NewGroup(c, opts.Shards, []index.Builder{
+			settree.Builder(maxE),
+			kcrtree.Builder(maxE),
+		})
+	} else {
+		e.set = settree.Build(c, maxE)
+		e.kc = kcrtree.Build(c, maxE)
+		e.providers = []index.Provider{e.set, e.kc}
+	}
+	return e
+}
+
+// Shards returns the number of spatial shards the engine executes over
+// (1 for the single-index backend).
+func (e *Engine) Shards() int {
+	if e.group != nil {
+		return e.group.Map().Shards()
+	}
+	return 1
+}
+
+// engineView is one consistent cross-index acquisition: the SetR-family
+// snapshot the top-k and explanation paths run on and the KcR-family
+// snapshot the rank-bound machinery runs on, taken together so a whole
+// why-not computation sees one arena set. Both fields are
+// index.Snapshots — a single arena or a sharded scatter-gather view —
+// which is what keeps every algorithm in this package backend-agnostic.
+type engineView struct {
+	set index.Snapshot
+	kc  index.Snapshot
+}
+
+// acquire returns the current cross-index view, atomically with
+// respect to refreshes. It fails with an error matching
+// rtree.ErrStaleSnapshot if any index was mutated outside the managed
+// path.
+func (e *Engine) acquire() (engineView, error) {
+	e.epochMu.RLock()
+	defer e.epochMu.RUnlock()
+	if e.group != nil {
+		sv, err := e.group.Family(0).Acquire()
+		if err != nil {
+			return engineView{}, err
+		}
+		kv, err := e.group.Family(1).Acquire()
+		if err != nil {
+			return engineView{}, err
+		}
+		return engineView{set: sv, kc: kv}, nil
+	}
+	sa, err := e.set.Snapshot()
+	if err != nil {
+		return engineView{}, err
+	}
+	ka, err := e.kc.Snapshot()
+	if err != nil {
+		return engineView{}, err
+	}
+	return engineView{set: sa, kc: ka}, nil
+}
+
+// acquireSet returns only the SetR-family snapshot — the cheaper
+// acquisition for the paths that never touch the rank-bound machinery
+// (top-k, rank, batches): a sharded KcR acquisition would otherwise
+// assemble a whole unused scatter-gather view per query.
+func (e *Engine) acquireSet() (index.Snapshot, error) {
+	e.epochMu.RLock()
+	defer e.epochMu.RUnlock()
+	if e.group != nil {
+		return e.group.Family(0).AcquireSnapshot()
+	}
+	return e.set.Acquire()
+}
+
+// setScorer builds a scorer for q pinned to the snapshot's
+// normalization constant.
+func setScorer(sn index.Snapshot, q score.Query) score.Scorer {
+	return score.Scorer{Query: q, MaxDist: sn.MaxDist()}
 }
 
 // Insert adds a new object to the collection and both indexes and
 // returns its assigned ID. The o.ID field is ignored; IDs stay dense.
 // The new object becomes visible to queries at the next snapshot refresh
-// (immediately unless Options.RefreshEvery batches mutations).
+// (immediately unless Options.RefreshEvery or Options.RefreshInterval
+// batches mutations).
 func (e *Engine) Insert(o object.Object) (object.ID, error) {
 	if o.Doc.Empty() {
 		return 0, errors.New("core: object needs at least one keyword")
@@ -103,10 +221,16 @@ func (e *Engine) Insert(o object.Object) (object.ID, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	id := e.coll.Append(o)
-	o = e.coll.Get(id) // pick up the assigned ID
-	e.set.Insert(o)
-	e.kc.Insert(o)
+	var id object.ID
+	if e.group != nil {
+		id = e.group.Insert(o)
+	} else {
+		id = e.coll.Append(o)
+		o = e.coll.Get(id) // pick up the assigned ID
+		for _, p := range e.providers {
+			p.Insert(o)
+		}
+	}
 	e.bumpPendingLocked()
 	return id, nil
 }
@@ -121,20 +245,28 @@ func (e *Engine) Remove(id object.ID) error {
 	if int(id) >= e.coll.Len() {
 		return fmt.Errorf("core: unknown object ID %d", id)
 	}
-	if !e.coll.Tombstone(id) {
-		return fmt.Errorf("core: object %d is already removed", id)
+	if e.group != nil {
+		if !e.group.Remove(id) {
+			return fmt.Errorf("core: object %d is already removed", id)
+		}
+	} else {
+		if !e.coll.Tombstone(id) {
+			return fmt.Errorf("core: object %d is already removed", id)
+		}
+		o := e.coll.Get(id)
+		for _, p := range e.providers {
+			p.Remove(o)
+		}
 	}
-	o := e.coll.Get(id)
-	e.set.Remove(o)
-	e.kc.Remove(o)
 	e.bumpPendingLocked()
 	return nil
 }
 
-// Refresh re-freezes both index arenas and atomically publishes them,
-// making every buffered mutation visible to queries. The copy-on-write
-// freeze runs off the query path: concurrent queries keep traversing the
-// old snapshots until the swap.
+// Refresh re-freezes both index arenas (every shard's, when sharded)
+// and atomically publishes them, making every buffered mutation visible
+// to queries. The copy-on-write freeze runs off the query path:
+// concurrent queries keep traversing the old snapshots until the swap.
+// Explicit refreshes are never debounced.
 func (e *Engine) Refresh() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -143,56 +275,188 @@ func (e *Engine) Refresh() {
 
 func (e *Engine) bumpPendingLocked() {
 	e.pending++
-	if e.pending >= e.refreshEvery {
-		e.refreshLocked()
+	if e.pending < e.refreshEvery {
+		return
 	}
+	if e.refreshInterval > 0 {
+		if wait := e.refreshInterval - time.Since(e.lastRefresh); wait > 0 {
+			// Mid-storm: the count threshold fired inside the rate-limit
+			// window. Keep buffering, and arm one trailing-edge timer so
+			// the buffered mutations publish at the window's end even if
+			// the storm stops — staleness stays bounded by the interval.
+			if !e.refreshTimerSet {
+				e.refreshTimerSet = true
+				time.AfterFunc(wait, e.trailingRefresh)
+			}
+			return
+		}
+	}
+	e.refreshLocked()
+}
+
+// trailingRefresh is the interval rate limit's trailing edge: it
+// publishes whatever is still buffered when the window closes.
+func (e *Engine) trailingRefresh() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshTimerSet = false
+	if e.pending == 0 {
+		return
+	}
+	if wait := e.refreshInterval - time.Since(e.lastRefresh); wait > 0 {
+		// An explicit Refresh moved the window forward while this timer
+		// was armed; re-arm for the new trailing edge instead of
+		// re-freezing inside the window — the rate limit stays
+		// at-most-once-per-interval.
+		e.refreshTimerSet = true
+		time.AfterFunc(wait, e.trailingRefresh)
+		return
+	}
+	e.refreshLocked()
 }
 
 func (e *Engine) refreshLocked() {
-	e.set.Refresh()
-	e.kc.Refresh()
+	e.epochMu.Lock()
+	if e.group != nil {
+		e.group.Refresh()
+	} else {
+		for _, p := range e.providers {
+			p.Refresh()
+		}
+	}
+	e.epochMu.Unlock()
 	e.pending = 0
+	e.lastRefresh = time.Now()
 }
 
 // PendingMutations returns the number of mutations buffered since the
-// last snapshot refresh (always 0 unless Options.RefreshEvery > 1).
+// last snapshot refresh (always 0 unless Options.RefreshEvery or
+// Options.RefreshInterval batches mutations).
 func (e *Engine) PendingMutations() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.pending
 }
 
-// Collection returns the indexed collection.
+// Collection returns the indexed collection (the global one, when
+// sharded).
 func (e *Engine) Collection() *object.Collection { return e.coll }
 
-// SetIndex returns the SetR-tree the top-k engine runs on.
+// SetIndex returns the single-backend SetR-tree, nil when the engine is
+// sharded (per-shard providers live behind the shard group).
 func (e *Engine) SetIndex() *settree.Index { return e.set }
 
-// KcIndex returns the KcR-tree the keyword-adaption module runs on.
+// KcIndex returns the single-backend KcR-tree, nil when the engine is
+// sharded.
 func (e *Engine) KcIndex() *kcrtree.Index { return e.kc }
+
+// ShardStats is one shard's row of EngineStats.
+type ShardStats struct {
+	// Shard is the shard number (0 for the single-index backend).
+	Shard int `json:"shard"`
+	// Objects is the size of the shard's ID space, Live the number of
+	// live (non-tombstoned) objects in it.
+	Objects int `json:"objects"`
+	Live    int `json:"live"`
+	// SetNodeAccesses and KcNodeAccesses are the cumulative index node
+	// accesses of the shard's two indexes.
+	SetNodeAccesses int64 `json:"setNodeAccesses"`
+	KcNodeAccesses  int64 `json:"kcNodeAccesses"`
+}
+
+// EngineStats is the engine's execution snapshot: shard layout, buffered
+// mutations, and per-shard index statistics.
+type EngineStats struct {
+	Shards  int     `json:"shards"`
+	Objects int     `json:"objects"`
+	Live    int     `json:"live"`
+	Pending int     `json:"pendingMutations"`
+	MaxDist float64 `json:"maxDist"`
+	// PerShard has one row per shard (one row for the single backend).
+	PerShard []ShardStats `json:"perShard"`
+}
+
+// Stats reports the engine's execution statistics.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Shards:  e.Shards(),
+		Objects: e.coll.Len(),
+		Live:    e.coll.LiveLen(),
+		Pending: e.PendingMutations(),
+		MaxDist: e.coll.MaxDist(),
+	}
+	if e.group == nil {
+		st.PerShard = []ShardStats{{
+			Shard:           0,
+			Objects:         e.coll.Len(),
+			Live:            e.coll.LiveLen(),
+			SetNodeAccesses: e.set.Stats().NodeAccesses(),
+			KcNodeAccesses:  e.kc.Stats().NodeAccesses(),
+		}}
+		return st
+	}
+	m := e.group.Map()
+	setP := e.group.Family(0).Providers()
+	kcP := e.group.Family(1).Providers()
+	st.PerShard = make([]ShardStats, m.Shards())
+	for t := range st.PerShard {
+		c := m.Part(t).Collection()
+		st.PerShard[t] = ShardStats{
+			Shard:           t,
+			Objects:         c.Len(),
+			Live:            c.LiveLen(),
+			SetNodeAccesses: setP[t].Stats().NodeAccesses(),
+			KcNodeAccesses:  kcP[t].Stats().NodeAccesses(),
+		}
+	}
+	return st
+}
 
 // TopK answers a spatial keyword top-k query (Definition 1).
 func (e *Engine) TopK(q score.Query) ([]score.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return e.set.TopK(q)
+	sn, err := e.acquireSet()
+	if err != nil {
+		return nil, err
+	}
+	return sn.TopK(setScorer(sn, q), q.K, nil, nil), nil
+}
+
+// Rank returns the 1-based rank of an object under the query.
+func (e *Engine) Rank(q score.Query, id object.ID) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if int(id) >= e.coll.Len() {
+		return 0, fmt.Errorf("core: unknown object ID %d", id)
+	}
+	if !e.coll.Alive(id) {
+		return 0, fmt.Errorf("core: object %d has been removed", id)
+	}
+	sn, err := e.acquireSet()
+	if err != nil {
+		return 0, err
+	}
+	return index.RankOf(sn, setScorer(sn, q), e.coll.Get(id)), nil
 }
 
 // validateWhyNot checks the common preconditions of the why-not
-// operations: a valid initial query and a non-empty missing set of
-// objects that are genuinely absent from the initial result (rank > k).
-// It returns the scorer, the missing objects, and R(M, q) — the lowest
-// (worst) rank of any missing object under the initial query, the
-// normalization constant of both penalty functions.
-func (e *Engine) validateWhyNot(q score.Query, missing []object.ID) (score.Scorer, []object.Object, int, error) {
+// operations against an already-acquired SetR-family snapshot: a valid
+// initial query and a non-empty missing set of objects that are
+// genuinely absent from the initial result (rank > k). It returns the
+// scorer (pinned to the snapshot), the missing objects, and R(M, q) —
+// the lowest (worst) rank of any missing object under the initial
+// query, the normalization constant of both penalty functions.
+func (e *Engine) validateWhyNot(sn index.Snapshot, q score.Query, missing []object.ID) (score.Scorer, []object.Object, int, error) {
 	if err := q.Validate(); err != nil {
 		return score.Scorer{}, nil, 0, err
 	}
 	if len(missing) == 0 {
 		return score.Scorer{}, nil, 0, errors.New("core: why-not question needs at least one missing object")
 	}
-	s := score.NewScorer(q, e.coll)
+	s := setScorer(sn, q)
 	seen := make(map[object.ID]bool, len(missing))
 	objs := make([]object.Object, 0, len(missing))
 	worst := 0
@@ -208,10 +472,7 @@ func (e *Engine) validateWhyNot(q score.Query, missing []object.ID) (score.Score
 		}
 		seen[id] = true
 		o := e.coll.Get(id)
-		rank, err := e.set.RankOf(s, id)
-		if err != nil {
-			return score.Scorer{}, nil, 0, err
-		}
+		rank := index.RankOf(sn, s, o)
 		if rank <= q.K {
 			return score.Scorer{}, nil, 0, fmt.Errorf(
 				"core: object %d is already in the top-%d result (rank %d); not a why-not question", id, q.K, rank)
@@ -225,7 +486,10 @@ func (e *Engine) validateWhyNot(q score.Query, missing []object.ID) (score.Score
 }
 
 // MissingDocUnion returns M.doc = ⋃ o.doc over the missing objects, the
-// keyword universe of the Δdoc normalization in Eqn 4.
+// keyword universe of the Δdoc normalization in Eqn 4. For a sharded
+// engine this is exactly the union of the per-shard candidate keyword
+// sets: each missing object's document is gathered from its home shard
+// before the global re-rank.
 func MissingDocUnion(objs []object.Object) vocab.KeywordSet {
 	var u vocab.KeywordSet
 	for _, o := range objs {

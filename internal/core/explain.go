@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/score"
 )
@@ -72,17 +73,17 @@ type Explanation struct {
 // Explain runs the explanation generator for each missing object. The
 // missing objects must be absent from the initial top-k result.
 func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, error) {
-	s, objs, _, err := e.validateWhyNot(q, missing)
+	// One checked view serves the whole analysis, so the top-k and
+	// every rank computation agree on one consistent arena set.
+	sn, err := e.acquireSet()
 	if err != nil {
 		return nil, err
 	}
-	// One checked snapshot serves the whole analysis, so the top-k and
-	// every rank computation agree on one consistent arena.
-	sf, err := e.set.Snapshot()
+	s, objs, _, err := e.validateWhyNot(sn, q, missing)
 	if err != nil {
 		return nil, err
 	}
-	result := e.set.TopKScorerAppendOn(sf, s, nil)
+	result := sn.TopK(s, q.K, nil, nil)
 	if len(result) == 0 {
 		return nil, fmt.Errorf("core: initial query has an empty result")
 	}
@@ -101,7 +102,7 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 		ts := s.TSim(o)
 		ex := Explanation{
 			Missing:        o,
-			Rank:           e.set.RankOfOn(sf, s, o.ID),
+			Rank:           index.RankOf(sn, s, o),
 			Score:          s.Score(o),
 			SDist:          sd,
 			TSim:           ts,

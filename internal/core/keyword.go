@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/score"
 	"github.com/yask-engine/yask/internal/settree"
@@ -89,8 +90,17 @@ type KeywordResult struct {
 // outside that universe appear in no missing object's document, so
 // adding one strictly lowers every missing object's similarity while
 // costing an edit, and can never improve the penalty.
+//
+// One checked cross-index view serves the whole enumeration — every
+// candidate is ranked against the same consistent arena (or arena set,
+// when sharded: per-shard rank bounds and counts sum into the global
+// rank).
 func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordOptions) (KeywordResult, error) {
-	s, objs, rankBefore, err := e.validateWhyNot(q, missing)
+	v, err := e.acquire()
+	if err != nil {
+		return KeywordResult{}, err
+	}
+	s, objs, rankBefore, err := e.validateWhyNot(v.set, q, missing)
 	if err != nil {
 		return KeywordResult{}, err
 	}
@@ -130,13 +140,6 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 	best.CandidatesGenerated = 1
 	best.CandidatesEvaluated = 1
 
-	// One checked snapshot serves the whole enumeration: every candidate
-	// is ranked against the same consistent arena.
-	kf, err := e.kc.Snapshot()
-	if err != nil {
-		return KeywordResult{}, err
-	}
-
 	// worstRank returns R(M, q′) for candidate doc, exactly.
 	worstRank := func(doc vocab.KeywordSet) int {
 		s2 := score.Scorer{Query: q.WithDoc(doc), MaxDist: s.MaxDist}
@@ -146,7 +149,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 			if opts.Algorithm == KwExhaustive {
 				r = settree.ScanRank(e.coll, s2, m.ID)
 			} else {
-				r = e.kc.RankOfOn(kf, s2, m.ID)
+				r = index.RankOf(v.kc, s2, m)
 			}
 			if r > worst {
 				worst = r
@@ -162,7 +165,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 		worstLo := 0
 		for _, m := range objs {
 			refScore := s2.Score(m)
-			lo, _ := e.kc.RankBoundsOn(kf, s2, refScore, m.ID, boundDepth)
+			lo, _ := v.kc.RankBounds(s2, refScore, m.ID, boundDepth)
 			if lo+1 > worstLo {
 				worstLo = lo + 1
 			}
@@ -273,7 +276,11 @@ func forEachSubset(set vocab.KeywordSet, k int, fn func(vocab.KeywordSet)) {
 // for a why-not question; tooling and the web UI use it to show users
 // what the adapter may add.
 func (e *Engine) KeywordUniverse(q score.Query, missing []object.ID) (vocab.KeywordSet, error) {
-	_, objs, _, err := e.validateWhyNot(q, missing)
+	v, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	_, objs, _, err := e.validateWhyNot(v.set, q, missing)
 	if err != nil {
 		return nil, err
 	}

@@ -5,9 +5,8 @@ import (
 	"math"
 	"sort"
 
-	"github.com/yask-engine/yask/internal/kcrtree"
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
-	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 )
 
@@ -149,7 +148,11 @@ type prefEvent struct {
 // (Definition 2): it returns the refined query (loc, doc, k′, w⃗′) with
 // minimum penalty Eqn 3 whose result contains every missing object.
 func (e *Engine) AdjustPreference(q score.Query, missing []object.ID, opts PreferenceOptions) (PreferenceResult, error) {
-	s, objs, rankBefore, err := e.validateWhyNot(q, missing)
+	v, err := e.acquire()
+	if err != nil {
+		return PreferenceResult{}, err
+	}
+	s, objs, rankBefore, err := e.validateWhyNot(v.set, q, missing)
 	if err != nil {
 		return PreferenceResult{}, err
 	}
@@ -158,9 +161,9 @@ func (e *Engine) AdjustPreference(q score.Query, missing []object.ID, opts Prefe
 	}
 	switch opts.Algorithm {
 	case PrefSweep, PrefSweepIndexed:
-		return e.adjustBySweep(s, objs, rankBefore, opts)
+		return e.adjustBySweep(v, s, objs, rankBefore, opts)
 	case PrefSampling:
-		return e.adjustBySampling(s, objs, rankBefore, opts)
+		return e.adjustBySampling(v, s, objs, rankBefore, opts)
 	default:
 		return PreferenceResult{}, fmt.Errorf("core: unknown preference algorithm %d", opts.Algorithm)
 	}
@@ -195,7 +198,7 @@ const crossingNudge = 1e-9
 // maintaining each missing object's rank incrementally (the rank update
 // theorem), and evaluate penalty Eqn 3 at every intersection, nudged one
 // epsilon past the crossing away from the initial weight.
-func (e *Engine) adjustBySweep(s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+func (e *Engine) adjustBySweep(v engineView, s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
 	q := s.Query
 	mLines := make([]scoreLine, len(objs))
 	for i, o := range objs {
@@ -205,38 +208,55 @@ func (e *Engine) adjustBySweep(s score.Scorer, objs []object.Object, rankBefore 
 	var events []prefEvent
 	curAbove := make([]int, len(objs)) // objects above m in the current interval
 
-	addObject := func(line scoreLine) {
-		for mi, ml := range mLines {
-			if line.id == ml.id {
-				continue
+	// addLine folds one competitor line into missing object mi's event
+	// list and interval count.
+	addLine := func(mi int, line scoreLine) {
+		ml := mLines[mi]
+		above0 := line.aboveNear0(ml)
+		if wt, ok := line.crossing(ml); ok {
+			events = append(events, prefEvent{wt: wt, mIdx: mi, other: line, wasAbove: above0})
+			if above0 {
+				curAbove[mi]++
 			}
-			above0 := line.aboveNear0(ml)
-			if wt, ok := line.crossing(ml); ok {
-				events = append(events, prefEvent{wt: wt, mIdx: mi, other: line, wasAbove: above0})
-				if above0 {
-					curAbove[mi]++
-				}
-			} else if above0 {
-				curAbove[mi]++ // above on the whole interval
-			}
+		} else if above0 {
+			curAbove[mi]++ // above on the whole interval
 		}
 	}
 
 	if opts.Algorithm == PrefSweep {
 		// Missing objects are competitors of each other too, so no
-		// object other than m itself is skipped (addObject handles it).
+		// object other than m itself is skipped. Score each object once
+		// and fold its line into every missing object's events.
 		for _, o := range e.coll.All() {
 			if !e.coll.Alive(o.ID) {
 				continue
 			}
-			addObject(lineOf(s, o))
+			line := lineOf(s, o)
+			for mi, ml := range mLines {
+				if o.ID == ml.id {
+					continue
+				}
+				addLine(mi, line)
+			}
 		}
 	} else {
-		kf, err := e.kc.Snapshot()
-		if err != nil {
-			return PreferenceResult{}, err
+		// Indexed event construction: one KcR-family descent per missing
+		// object, pruning subtrees whose score bounds prove every object
+		// stays on one side of the missing line over the whole weight
+		// interval — the index-based analogue of the paper's two range
+		// queries. Sharded views fan the descent across partitions and
+		// report back in global ID space.
+		for mi, ml := range mLines {
+			mi, ml := mi, ml
+			v.kc.ForEachCross(s, ml.a, ml.a+ml.b,
+				func(o object.Object) {
+					if o.ID == ml.id {
+						return
+					}
+					addLine(mi, lineOf(s, o))
+				},
+				func(count int) { curAbove[mi] += count })
 		}
-		e.collectCrossings(kf, s, mLines, curAbove, &events)
 	}
 
 	sort.Slice(events, func(i, j int) bool { return events[i].wt < events[j].wt })
@@ -330,70 +350,10 @@ func min2(a, b, c float64) float64 {
 	return math.Min(a, math.Min(b, c))
 }
 
-// collectCrossings is the indexed event construction: a KcR-tree descent
-// per missing object that prunes subtrees whose score bounds prove every
-// object stays on one side of the missing object's line over the whole
-// weight interval — the index-based analogue of the paper's two range
-// queries over segment endpoints.
-func (e *Engine) collectCrossings(f *rtree.Flat[object.Object, kcrtree.Aug], s score.Scorer, mLines []scoreLine, curAbove []int, events *[]prefEvent) {
-	if f.Empty() {
-		return
-	}
-	stats := e.kc.Stats()
-	stack := make([]int32, 0, 64)
-	accesses := int64(0)
-	for mi, ml := range mLines {
-		m0, m1 := ml.a, ml.a+ml.b // scores of m at wt = 0 and wt = 1
-		stack = append(stack[:0], 0)
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			accesses++
-			if f.IsLeaf(n) {
-				for _, en := range f.Entries(n) {
-					if en.Item.ID == ml.id {
-						continue
-					}
-					line := lineOf(s, en.Item)
-					above0 := line.aboveNear0(ml)
-					if wt, ok := line.crossing(ml); ok {
-						*events = append(*events, prefEvent{wt: wt, mIdx: mi, other: line, wasAbove: above0})
-						if above0 {
-							curAbove[mi]++
-						}
-					} else if above0 {
-						curAbove[mi]++
-					}
-				}
-				continue
-			}
-			cLo, cHi := f.Children(n)
-			for c := cLo; c < cHi; c++ {
-				// Subtree score bounds at the two endpoints of the
-				// weight interval: a = 1 − SDist ∈ [aLo, aHi] and the
-				// Jaccard bounds give the wt = 1 endpoint.
-				aug := f.Aug(c)
-				tLo, tHi := kcrtree.TSimBounds(*aug, s.Query.Doc, s.Query.Sim)
-				aLo := 1 - s.SDistRectMax(f.Rect(c))
-				aHi := 1 - s.SDistRectMin(f.Rect(c))
-				if aHi < m0 && tHi < m1 {
-					continue // strictly below m at both ends: never above, never crossing
-				}
-				if aLo > m0 && tLo > m1 {
-					curAbove[mi] += int(aug.Cnt) // strictly above throughout
-					continue
-				}
-				stack = append(stack, c)
-			}
-		}
-	}
-	stats.AddNodeAccesses(accesses)
-}
-
 // adjustBySampling evaluates a uniform grid of wt values, computing
-// R(M, q′) through the SetR-tree rank primitive. Approximate: the best
+// R(M, q′) through the SetR-family rank primitive. Approximate: the best
 // grid point's penalty upper-bounds the optimum.
-func (e *Engine) adjustBySampling(s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+func (e *Engine) adjustBySampling(v engineView, s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
 	q := s.Query
 	samples := opts.Samples
 	if samples <= 0 {
@@ -408,16 +368,12 @@ func (e *Engine) adjustBySampling(s score.Scorer, objs []object.Object, rankBefo
 		Candidates: 1,
 	}
 	best.Refined.K = rankBefore
-	sf, err := e.set.Snapshot()
-	if err != nil {
-		return PreferenceResult{}, err
-	}
 	for i := 1; i <= samples; i++ {
 		wt := float64(i) / float64(samples+1)
 		s2 := score.Scorer{Query: q.WithWeights(score.WeightsFromWt(wt)), MaxDist: s.MaxDist}
 		worst := 0
 		for _, o := range objs {
-			if r := e.set.RankOfOn(sf, s2, o.ID); r > worst {
+			if r := index.RankOf(v.set, s2, o); r > worst {
 				worst = r
 			}
 		}

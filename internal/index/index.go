@@ -1,0 +1,178 @@
+// Package index defines the contract every YASK index family — the
+// SetR-tree, the KcR-tree, and the IR-tree baseline — exposes to the
+// engine layers above it: a Provider owning the build/mutate/refresh
+// lifecycle and a Snapshot carrying the arena-scoped query primitives.
+//
+// The contract is what makes the engine composable: internal/core
+// drives the publish/settle/epoch protocol of every family through one
+// Provider slice, and internal/shard stacks S per-partition Providers
+// behind a single scatter-gather Snapshot without knowing which family
+// it is sharding. A sharded family is itself a Snapshot, so every query
+// algorithm in core is written once and runs unchanged over one arena
+// or over S of them.
+package index
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// Snapshot is one immutable, consistent arena of an index: the unit a
+// multi-traversal algorithm (a why-not sweep, a candidate enumeration,
+// a batch) acquires once so every traversal it runs sees the same data.
+//
+// Scoring runs under the caller's score.Scorer; implementations must
+// not substitute their own normalization constant — MaxDist exists so
+// the caller can build a scorer pinned to the snapshot. The reference
+// ID in CountBetter and RankBounds is a tie-break threshold, not an
+// object to skip: the count is over objects whose (score, ID) pair
+// strictly dominates the reference pair, which is what lets a sharded
+// composite translate one global reference into per-shard thresholds.
+type Snapshot interface {
+	// MaxDist is the SDist normalization constant (the data-space
+	// diagonal) captured when this snapshot was published. Scorers built
+	// from it make scores deterministic even while mutations are
+	// buffered: the constant and the arena always agree.
+	MaxDist() float64
+
+	// Parts reports how many independently queryable partitions back the
+	// snapshot: 1 for a single arena, the shard count for a sharded
+	// composite. Batch executors schedule (job × part) work units.
+	Parts() int
+
+	// TopK appends the k best objects under scorer s to dst, best first,
+	// ranked by (score desc, ID asc). A non-nil shared bound lets
+	// concurrent sibling searches exchange their k-th-best scores so a
+	// lagging partition can prune; pass nil when searching alone.
+	TopK(s score.Scorer, k int, shared *Bound, dst []score.Result) []score.Result
+
+	// TopKPart is TopK restricted to partition part ∈ [0, Parts()).
+	// Partition results merge exactly via MergeTopK. For a single-arena
+	// snapshot, TopKPart(0, ...) is TopK.
+	TopKPart(part int, s score.Scorer, k int, shared *Bound, dst []score.Result) []score.Result
+
+	// CountBetter returns the number of objects whose (score, ID) pair
+	// strictly dominates (refScore, tie) under scorer s, per
+	// score.Better. The rank of an object o is CountBetter(s, s.Score(o),
+	// o.ID) + 1 — see RankOf.
+	CountBetter(s score.Scorer, refScore float64, tie object.ID) int
+
+	// RankBounds returns bounds [lo, hi] on CountBetter(s, refScore,
+	// tie), descending at most maxDepth levels and bounding whole
+	// subtrees from their augmentations. Families without subtree
+	// cardinality summaries may return the exact count as both bounds.
+	RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int)
+
+	// ForEachCross supports the preference-adjustment sweep: the
+	// reference score line runs from m0 at wt=0 to m1 at wt=1, and the
+	// index must call visit for every object whose own line is not
+	// provably strictly below the reference over the whole interval.
+	// Subtrees provably strictly above at both ends may be reported
+	// wholesale through above(count) instead of being visited, when the
+	// family's augmentation can prove it. The reference object itself may
+	// be visited; callers filter by ID.
+	ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(count int))
+}
+
+// Provider owns one index's lifecycle: building, the managed mutation
+// path, and checked snapshot acquisition. All implementations follow
+// the copy-on-write publication protocol of rtree.SnapshotPublisher:
+// mutations buffer against the live tree while queries keep serving the
+// last published arena, and Refresh atomically swaps in a fresh one.
+type Provider interface {
+	// Acquire returns the published snapshot after verifying every
+	// mutation since the freeze went through the managed path; it fails
+	// with an error matching rtree.ErrStaleSnapshot otherwise.
+	Acquire() (Snapshot, error)
+
+	// Insert adds the object through the managed mutation path. It
+	// becomes visible at the next Refresh.
+	Insert(o object.Object)
+
+	// Remove deletes the object (matched by ID at its location) through
+	// the managed mutation path and reports whether it was present.
+	Remove(o object.Object) bool
+
+	// Refresh re-freezes the index and atomically publishes the new
+	// snapshot; concurrent queries keep the old one until the swap.
+	Refresh()
+
+	// Stats returns the node-access statistics collector.
+	Stats() *rtree.Stats
+}
+
+// Builder constructs one Provider over a collection — the factory the
+// shard subsystem calls once per partition, which is how it stays
+// generic over index families.
+type Builder func(c *object.Collection) Provider
+
+// RankOf returns the 1-based rank of object o under scorer s in the
+// snapshot: one plus the number of objects strictly dominating it.
+func RankOf(sn Snapshot, s score.Scorer, o object.Object) int {
+	return sn.CountBetter(s, s.Score(o), o.ID) + 1
+}
+
+// Bound is a monotonically increasing score shared by concurrent top-k
+// searches over disjoint partitions. Once any partition holds k
+// candidates, the global k-th best score is at least that partition's
+// k-th best, so every sibling may prune nodes bounded strictly below
+// it. The zero value is ready to use (no bound yet — scores are never
+// negative, so the initial 0 prunes nothing).
+type Bound struct {
+	bits atomic.Uint64
+}
+
+// Load returns the current bound.
+func (b *Bound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// Raise lifts the bound to x if x exceeds it; lower values are ignored,
+// so the bound only tightens.
+func (b *Bound) Raise(x float64) {
+	for {
+		cur := b.bits.Load()
+		if x <= math.Float64frombits(cur) {
+			return
+		}
+		if b.bits.CompareAndSwap(cur, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// MergeTopK merges per-partition top-k lists — each already in rank
+// order — into the global top k, appended to dst. The merge compares
+// (score, ID) exactly like every index traversal, so the result is
+// byte-identical to a single-arena search over the union.
+func MergeTopK(parts [][]score.Result, k int, dst []score.Result) []score.Result {
+	// Cursor per non-empty partition; repeatedly take the best head.
+	// Partition counts are small (k lists of ≤ k entries), so the linear
+	// scan beats a heap in practice and keeps the code obvious.
+	heads := make([]int, len(parts))
+	base := len(dst)
+	for len(dst)-base < k {
+		best := -1
+		for p, h := range heads {
+			if h >= len(parts[p]) {
+				continue
+			}
+			if best == -1 {
+				best = p
+				continue
+			}
+			a, b := parts[p][h], parts[best][heads[best]]
+			if score.Better(a.Score, a.Obj.ID, b.Score, b.Obj.ID) {
+				best = p
+			}
+		}
+		if best == -1 {
+			break
+		}
+		dst = append(dst, parts[best][heads[best]])
+		heads[best]++
+	}
+	return dst
+}

@@ -1,0 +1,137 @@
+package index
+
+import (
+	"slices"
+
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/pqueue"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// PrunedDFS is the one pruned depth-first traversal driver the rank
+// and crossing primitives of every index family share: an explicit
+// stack from the caller's pooled scratch, a per-child decision
+// callback — descend (true) or not (false: the caller pruned the
+// subtree or accounted for it wholesale from its augmentation) — and a
+// leaf callback receiving every reached leaf node. Node accesses are
+// recorded into the arena's stats; the (drained) stack's backing
+// storage is returned for the caller to pool.
+func PrunedDFS[A any](f *rtree.Flat[object.Object, A], stack []int32, leaf func(n int32), child func(c int32) bool) []int32 {
+	if f.Empty() {
+		return stack[:0]
+	}
+	stack = append(stack[:0], 0)
+	accesses := int64(0)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		accesses++
+		if f.IsLeaf(n) {
+			leaf(n)
+			continue
+		}
+		lo, hi := f.Children(n)
+		for c := lo; c < hi; c++ {
+			if child(c) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	f.Stats().AddNodeAccesses(accesses)
+	return stack[:0]
+}
+
+// NodeEntry is one best-first frontier element: a flat-arena node and
+// its score upper bound.
+type NodeEntry struct {
+	Bound float64
+	Node  int32
+}
+
+// NodeOrder orders frontier entries best bound first — the less
+// function of the frontier heap every index family pools.
+func NodeOrder(a, b NodeEntry) bool { return a.Bound > b.Bound }
+
+// BestFirstTopK is the one best-first top-k driver all index families
+// share: a max-heap of nodes ordered by the family's admissible score
+// upper bound, a bounded min-heap of the k best objects seen, and the
+// shared-bound protocol for cross-partition pruning. The caller
+// supplies the two family-specific ingredients — bound (node score
+// upper bound) and scoreOf (exact object score) — plus its pooled
+// heaps, which the driver drains before returning; results append to
+// dst in rank order (score desc, ID asc).
+//
+// A node whose bound is strictly below the pruning limit cannot
+// contribute; ties must still be expanded — they can hide an
+// equal-score object with a smaller ID. The limit is the local k-th
+// best once the candidate heap is full, tightened by the shared
+// cross-partition bound when concurrent sibling searches exchange one.
+func BestFirstTopK[A any](
+	f *rtree.Flat[object.Object, A],
+	k int,
+	shared *Bound,
+	nodes *pqueue.Queue[NodeEntry],
+	cand *pqueue.Queue[score.Result],
+	bound func(n int32) float64,
+	scoreOf func(o object.Object) float64,
+	dst []score.Result,
+) []score.Result {
+	if f.Empty() || k <= 0 {
+		return dst
+	}
+	nodes.Push(NodeEntry{Bound: bound(0), Node: 0})
+	accesses := int64(0)
+	for nodes.Len() > 0 {
+		top := nodes.Pop()
+		limit := -1.0
+		if cand.Len() == k {
+			limit = cand.Peek().Score
+		}
+		if shared != nil {
+			if b := shared.Load(); b > limit {
+				limit = b
+			}
+		}
+		if top.Bound < limit {
+			break // no remaining node can contribute
+		}
+		n := top.Node
+		accesses++
+		if f.IsLeaf(n) {
+			for _, e := range f.Entries(n) {
+				scv := scoreOf(e.Item)
+				if cand.Len() < k {
+					cand.Push(score.Result{Obj: e.Item, Score: scv})
+				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
+					cand.Pop()
+					cand.Push(score.Result{Obj: e.Item, Score: scv})
+				}
+			}
+			if shared != nil && cand.Len() == k {
+				// k candidates at ≥ this score exist, so the global k-th
+				// best is at least it: let lagging partitions prune.
+				shared.Raise(cand.Peek().Score)
+			}
+			continue
+		}
+		// The leaf pass may have raised the local k-th best past the
+		// limit computed at pop time; re-tighten before fanning out.
+		if cand.Len() == k && cand.Peek().Score > limit {
+			limit = cand.Peek().Score
+		}
+		lo, hi := f.Children(n)
+		for c := lo; c < hi; c++ {
+			if b := bound(c); b >= limit {
+				nodes.Push(NodeEntry{Bound: b, Node: c})
+			}
+		}
+	}
+	f.Stats().AddNodeAccesses(accesses)
+	base, n := len(dst), cand.Len()
+	dst = slices.Grow(dst, n)[:base+n]
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = cand.Pop()
+	}
+	return dst
+}

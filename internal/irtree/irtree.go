@@ -12,15 +12,22 @@
 // baseline: it implements the tf-idf cosine model the IR-tree was built
 // for, and the E1 benches compare the two engines under their native
 // text models.
+//
+// The Index implements index.Provider and its Arena implements
+// index.Snapshot. The native cosine entry points are Index.TopK /
+// Index.TopKAppend; the contract methods (Arena.TopK, CountBetter,
+// RankBounds, ForEachCross) instead score under the caller's set-based
+// scorer, pruning on the spatial component only — the posting bounds
+// are cosine-specific and cannot bound Jaccard — so the family remains
+// a correct, if text-blind, drop-in behind the shared interface.
 package irtree
 
 import (
 	"math"
-	"slices"
 	"sync"
-	"sync/atomic"
 
 	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/pqueue"
 	"github.com/yask-engine/yask/internal/rtree"
@@ -239,49 +246,44 @@ func (g augmenter) Merge(a, b Aug) Aug {
 }
 
 // Index is an IR-tree over a collection. Queries traverse an immutable
-// epoch — tree, frozen Flat arena, and the text model whose weights the
-// arena's postings were computed with — published through one atomic
-// pointer, so a query always sees a mutually consistent triple even
-// while Refresh swaps in a new epoch. Mutating the tree directly via
-// Tree() makes every query fail with rtree.ErrStaleSnapshot until
-// Refresh.
+// epoch — the tree, its frozen Flat arena, and the text model whose
+// weights the arena's postings were computed with — published through
+// the shared rtree.SnapshotPublisher, so a query always sees a mutually
+// consistent triple even while Refresh swaps in a new epoch. Mutating
+// the tree directly via Tree() makes every query fail with
+// rtree.ErrStaleSnapshot until Refresh.
 //
 // Unlike the SetR-/KcR-trees, the IR-tree's per-node postings depend on
 // corpus statistics (idf, vector norms), so Refresh rebuilds the whole
-// epoch from the live collection instead of re-freezing the mutated
-// tree: direct tree edits are discarded, the collection is the source of
-// truth.
+// epoch from the live collection — through the publisher's Publish —
+// instead of re-freezing the mutated tree: direct tree edits are
+// discarded, the collection is the source of truth. Managed Insert and
+// Remove buffer against the tree like every other family; a freshly
+// inserted object weighs 0 under the old model until the rebuild.
 type Index struct {
-	st   atomic.Pointer[epoch]
+	pub  *rtree.SnapshotPublisher[object.Object, Aug]
 	coll *object.Collection
-	// mu serializes Refresh; queries never take it.
-	mu sync.Mutex
-	// knownGen is the generation of the published epoch's tree; the tree
-	// moving past it means an unmanaged mutation.
-	knownGen atomic.Uint64
 	// scratch pools per-query traversal state so warm queries run
 	// allocation-free.
 	scratch sync.Pool
 }
 
-// epoch is one immutable (tree, arena, model) triple.
-type epoch struct {
-	tree  *rtree.Tree[object.Object, Aug]
-	flat  *rtree.Flat[object.Object, Aug]
-	model *TextModel
+// Arena is one published epoch: the frozen arena, the text model its
+// postings were weighted with, and the SDist normalization constant
+// captured at the freeze. It implements index.Snapshot.
+type Arena struct {
+	ix      *Index
+	f       *rtree.Flat[object.Object, Aug]
+	model   *TextModel
+	maxDist float64
 }
 
 // searchScratch is the reusable traversal state of one query.
 type searchScratch struct {
-	nodes *pqueue.Queue[flatEntry]
+	nodes *pqueue.Queue[index.NodeEntry]
 	cand  *pqueue.Queue[score.Result]
+	stack []int32
 	qw    []float64
-}
-
-// flatEntry is one best-first frontier element over the flat arena.
-type flatEntry struct {
-	bound float64
-	node  int32
 }
 
 func (ix *Index) getScratch() *searchScratch {
@@ -289,33 +291,48 @@ func (ix *Index) getScratch() *searchScratch {
 		return sc
 	}
 	return &searchScratch{
-		nodes: pqueue.NewWithCapacity(func(a, b flatEntry) bool {
-			return a.bound > b.bound
-		}, 64),
-		cand: pqueue.NewWithCapacity(score.WorstFirst, 16),
+		nodes: pqueue.NewWithCapacity(index.NodeOrder, 64),
+		cand:  pqueue.NewWithCapacity(score.WorstFirst, 16),
 	}
 }
 
 func (ix *Index) putScratch(sc *searchScratch) {
 	sc.nodes.Reset()
 	sc.cand.Reset()
+	sc.stack = sc.stack[:0]
 	sc.qw = sc.qw[:0]
 	ix.scratch.Put(sc)
 }
 
 // Build bulk-loads an IR-tree over the live objects of the collection.
-// vocabSize must cover every keyword ID in use.
+// vocabSize must cover every keyword ID in use (the model widens it from
+// the data when it does not).
 func Build(c *object.Collection, vocabSize, maxEntries int) *Index {
 	ix := &Index{coll: c}
-	ix.st.Store(buildEpoch(c, vocabSize, maxEntries))
-	ix.knownGen.Store(ix.st.Load().tree.Generation())
+	t, model := buildEpoch(c, vocabSize, maxEntries)
+	ix.pub = rtree.NewSnapshotPublisher(t, ix.wrapWith(model))
 	return ix
 }
 
-// buildEpoch constructs a fresh (tree, arena, model) triple from one
-// consistent view of the collection, so model arrays and indexed
-// objects cannot disagree under a concurrent Append.
-func buildEpoch(c *object.Collection, vocabSize, maxEntries int) *epoch {
+// Builder returns an index.Builder constructing IR-trees with the given
+// fanout; the vocabulary size is derived from each collection's data.
+func Builder(maxEntries int) index.Builder {
+	return func(c *object.Collection) index.Provider { return Build(c, 0, maxEntries) }
+}
+
+// wrapWith returns the publisher payload builder for one epoch's model:
+// every arena frozen while it is installed is published together with
+// that model and the normalization constant captured at the freeze.
+func (ix *Index) wrapWith(model *TextModel) func(*rtree.Flat[object.Object, Aug]) any {
+	return func(f *rtree.Flat[object.Object, Aug]) any {
+		return &Arena{ix: ix, f: f, model: model, maxDist: ix.coll.MaxDist()}
+	}
+}
+
+// buildEpoch constructs a fresh (tree, model) pair from one consistent
+// view of the collection, so model arrays and indexed objects cannot
+// disagree under a concurrent Append.
+func buildEpoch(c *object.Collection, vocabSize, maxEntries int) (*rtree.Tree[object.Object, Aug], *TextModel) {
 	v := c.View()
 	model := newTextModel(v, vocabSize)
 	t := rtree.New[object.Object, Aug](augmenter{model: model}, maxEntries)
@@ -327,33 +344,37 @@ func buildEpoch(c *object.Collection, vocabSize, maxEntries int) *epoch {
 		entries = append(entries, rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o})
 	}
 	t.BulkLoad(entries)
-	return &epoch{tree: t, flat: t.Freeze(), model: model}
+	return t, model
 }
 
 // Snapshot returns the published epoch after verifying no unmanaged tree
 // mutation happened; it fails with a *rtree.StaleSnapshotError otherwise.
-//
-// NOTE: this mirrors rtree.SnapshotPublisher.Snapshot's settle-under-lock
-// protocol. The IR-tree cannot reuse the publisher because its unit of
-// publication is the (tree, arena, model) epoch — the arena's postings
-// are only meaningful next to the model they were weighted with, and
-// Refresh replaces the tree itself. Keep the two implementations in
-// sync when touching either.
-func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], *TextModel, error) {
-	st := ix.st.Load()
-	if g := st.tree.Generation(); g == ix.knownGen.Load() {
-		return st.flat, st.model, nil
+func (ix *Index) Snapshot() (*Arena, error) {
+	_, p, err := ix.pub.Snapshot()
+	if err != nil {
+		return nil, err
 	}
-	// Settle a possible Refresh in flight under the mutation lock; only
-	// an unmanaged mutation still mismatches afterwards.
-	ix.mu.Lock()
-	st = ix.st.Load()
-	g, known := st.tree.Generation(), ix.knownGen.Load()
-	ix.mu.Unlock()
-	if g != known {
-		return nil, nil, &rtree.StaleSnapshotError{FrozenGen: st.flat.Generation(), TreeGen: g}
+	return p.(*Arena), nil
+}
+
+// Acquire implements index.Provider.
+func (ix *Index) Acquire() (index.Snapshot, error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return nil, err
 	}
-	return st.flat, st.model, nil
+	return a, nil
+}
+
+// Insert adds the object through the managed mutation path. The new
+// object weighs 0 under the current epoch's text model; Refresh rebuilds
+// the model over it.
+func (ix *Index) Insert(o object.Object) { ix.pub.Insert(o.Rect(), o) }
+
+// Remove deletes the object (matched by ID at its location) through the
+// managed mutation path and reports whether it was present.
+func (ix *Index) Remove(o object.Object) bool {
+	return ix.pub.Remove(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
 }
 
 // Refresh rebuilds the epoch — corpus statistics, tree, and frozen arena
@@ -361,31 +382,30 @@ func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], *TextModel, error)
 // size is re-derived from the data (newTextModel widens it from the
 // view) so documents interned after Build are covered.
 func (ix *Index) Refresh() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	old := ix.st.Load()
-	next := buildEpoch(ix.coll, len(old.model.idf), old.tree.MaxEntries())
-	ix.st.Store(next)
-	ix.knownGen.Store(next.tree.Generation())
+	old := ix.pub.Tree()
+	t, model := buildEpoch(ix.coll, len(ix.Model().idf), old.MaxEntries())
+	ix.pub.Publish(t, ix.wrapWith(model))
 }
 
 // Flat exposes the current frozen arena without a freshness check; the
 // query algorithms go through Snapshot instead.
-func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.st.Load().flat }
+func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.pub.Flat() }
 
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
 
-// Model returns the text model the index currently scores with.
-func (ix *Index) Model() *TextModel { return ix.st.Load().model }
+// Model returns the text model of the current published epoch. The
+// model and the arena publish atomically, so the pair is always
+// mutually consistent.
+func (ix *Index) Model() *TextModel { return ix.pub.Payload().(*Arena).model }
 
 // Tree exposes the underlying augmented R-tree. Mutating it directly
 // makes queries error until Refresh, which rebuilds from the collection.
-func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.st.Load().tree }
+func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.pub.Tree() }
 
 // Stats returns the node-access statistics collector of the current
 // epoch's tree.
-func (ix *Index) Stats() *rtree.Stats { return ix.st.Load().tree.Stats() }
+func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
 
 // Score returns the IR-tree ranking score of object o for query q:
 // ws·(1 − SDist) + wt·Cosine. It mirrors Eqn 1 with the cosine model in
@@ -395,7 +415,110 @@ func (ix *Index) Score(q score.Query, maxDist float64, o object.Object) float64 
 	if d > 1 {
 		d = 1
 	}
-	return q.W.Ws*(1-d) + q.W.Wt*ix.st.Load().model.Cosine(o.ID, o.Doc, q.Doc)
+	return q.W.Ws*(1-d) + q.W.Wt*ix.Model().Cosine(o.ID, o.Doc, q.Doc)
+}
+
+// Flat exposes the underlying frozen arena for structural tests.
+func (a *Arena) Flat() *rtree.Flat[object.Object, Aug] { return a.f }
+
+// Model returns the text model the arena's postings were weighted with.
+func (a *Arena) Model() *TextModel { return a.model }
+
+// MaxDist implements index.Snapshot: the normalization constant frozen
+// with this epoch.
+func (a *Arena) MaxDist() float64 { return a.maxDist }
+
+// Scorer returns a scorer for q pinned to this snapshot's normalization
+// constant.
+func (a *Arena) Scorer(q score.Query) score.Scorer {
+	return score.Scorer{Query: q, MaxDist: a.maxDist}
+}
+
+// Generation returns the tree generation the arena was frozen at.
+func (a *Arena) Generation() uint64 { return a.f.Generation() }
+
+// Len returns the number of indexed objects in the arena.
+func (a *Arena) Len() int { return a.f.Len() }
+
+// Parts implements index.Snapshot: a single arena is one partition.
+func (a *Arena) Parts() int { return 1 }
+
+// TopKPart implements index.Snapshot; part must be 0.
+func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	return a.TopK(s, k, shared, dst)
+}
+
+// spatialBound upper-bounds the score of every object under node n for
+// ANY similarity model: ws·(1 − minSDist) + wt·1. The posting bounds
+// are cosine-specific and unsound for the caller's set-based scorer, so
+// the contract methods prune on the spatial component only.
+func spatialBound(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) float64 {
+	return s.Query.W.Ws*(1-s.SDistRectMin(f.Rect(n))) + s.Query.W.Wt
+}
+
+// TopK implements index.Snapshot through the shared index.BestFirstTopK
+// driver: best-first top-k under the caller's scorer, admissible for
+// any similarity model via the spatial-only bound. For the IR-tree's
+// native cosine ranking use Index.TopK.
+func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	ix, f := a.ix, a.f
+	if f.Empty() || k <= 0 {
+		return dst
+	}
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	return index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+		func(n int32) float64 { return spatialBound(f, s, n) },
+		s.Score, dst)
+}
+
+// CountBetter implements index.Snapshot: the number of objects whose
+// (score, ID) pair strictly dominates (refScore, tie) under the
+// caller's scorer, pruning subtrees on the spatial-only bound.
+func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+	ix, f := a.ix, a.f
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	count := 0
+	sc.stack = index.PrunedDFS(f, sc.stack,
+		func(n int32) {
+			for _, e := range f.Entries(n) {
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
+					count++
+				}
+			}
+		},
+		func(c int32) bool { return spatialBound(f, s, c) >= refScore })
+	return count
+}
+
+// RankBounds implements index.Snapshot. The IR-tree augmentation
+// carries no subtree cardinality, so the exact count is returned as
+// both bounds regardless of maxDepth.
+func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+	n := a.CountBetter(s, refScore, tie)
+	return n, n
+}
+
+// ForEachCross implements index.Snapshot. The IR-tree can bound the
+// wt=0 endpoint spatially but has no set-based similarity bound for the
+// wt=1 endpoint, so only subtrees strictly below on the spatial side
+// with a reference line above 1 would prune — in practice it visits
+// every object, the correct baseline behavior.
+func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+	ix, f := a.ix, a.f
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.stack = index.PrunedDFS(f, sc.stack,
+		func(n int32) {
+			for _, e := range f.Entries(n) {
+				visit(e.Item)
+			}
+		},
+		func(c int32) bool {
+			aHi := 1 - s.SDistRectMin(f.Rect(c))
+			return !(aHi < m0 && 1 < m1)
+		})
 }
 
 // TopK runs the best-first top-k algorithm of [4] over the IR-tree under
@@ -409,16 +532,19 @@ func (ix *Index) TopK(q score.Query) ([]score.Result, error) {
 // TopKAppend is TopK appending results to dst, so a caller reusing its
 // buffer across queries runs the warm path without allocating. All
 // traversal state — the two heaps and the query weight vector — comes
-// from the per-index scratch pool.
+// from the per-index scratch pool; the search runs through the shared
+// index.BestFirstTopK driver with the IR-tree's max-posting cosine
+// bound and precomputed query weights.
 func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, error) {
-	f, model, err := ix.Snapshot()
+	a, err := ix.Snapshot()
 	if err != nil {
 		return nil, err
 	}
+	f, model := a.f, a.model
 	if f.Empty() || q.K <= 0 {
 		return dst, nil
 	}
-	maxDist := ix.coll.MaxDist()
+	maxDist := a.maxDist
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qw := model.queryWeights(q.Doc, sc.qw[:0])
@@ -439,48 +565,10 @@ func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, 
 		}
 		return q.W.Ws*(1-d) + q.W.Wt*text
 	}
-
-	nodes, cand := sc.nodes, sc.cand
-	nodes.Push(flatEntry{bound: nodeBound(0), node: 0})
-
-	accesses := int64(0)
-	for nodes.Len() > 0 {
-		top := nodes.Pop()
-		if cand.Len() == q.K && top.bound < cand.Peek().Score {
-			break
-		}
-		accesses++
-		n := top.node
-		if f.IsLeaf(n) {
-			for _, e := range f.Entries(n) {
-				scv := scoreWeights(model, q, maxDist, qw, e.Item)
-				if cand.Len() < q.K {
-					cand.Push(score.Result{Obj: e.Item, Score: scv})
-				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
-					cand.Pop()
-					cand.Push(score.Result{Obj: e.Item, Score: scv})
-				}
-			}
-			continue
-		}
-		kth := -1.0
-		if cand.Len() == q.K {
-			kth = cand.Peek().Score
-		}
-		lo, hi := f.Children(n)
-		for c := lo; c < hi; c++ {
-			if b := nodeBound(c); b >= kth {
-				nodes.Push(flatEntry{bound: b, node: c})
-			}
-		}
-	}
-	f.Stats().AddNodeAccesses(accesses)
-	base, n := len(dst), cand.Len()
-	dst = slices.Grow(dst, n)[:base+n]
-	for i := n - 1; i >= 0; i-- {
-		dst[base+i] = cand.Pop()
-	}
-	return dst, nil
+	return index.BestFirstTopK(f, q.K, nil, sc.nodes, sc.cand,
+		nodeBound,
+		func(o object.Object) float64 { return scoreWeights(model, q, maxDist, qw, o) },
+		dst), nil
 }
 
 // scoreWeights is Score with a precomputed query weight vector, the
@@ -520,7 +608,7 @@ func (ix *Index) ScanTopK(q score.Query) []score.Result {
 // SpatialOnlyNearest returns the spatially nearest object, a convenience
 // used by explanation heuristics and tests.
 func (ix *Index) SpatialOnlyNearest(p geo.Point) (object.Object, bool) {
-	nn := ix.st.Load().tree.KNN(p, 1)
+	nn := ix.pub.Tree().KNN(p, 1)
 	if len(nn) == 0 {
 		return object.Object{}, false
 	}

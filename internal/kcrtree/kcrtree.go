@@ -11,12 +11,20 @@
 // Keywords present in every object below (count == cnt) form the node's
 // intersection set, keywords present at all form its union set, so the
 // count map strictly generalizes the SetR-tree augmentation.
+//
+// The Index implements index.Provider and its Arena implements
+// index.Snapshot; the two-sided similarity bounds make it the family of
+// choice for rank computation (CountBetter counts whole subtrees
+// wholesale, RankBounds brackets ranks at bounded depth, ForEachCross
+// prunes the preference sweep's event construction).
 package kcrtree
 
 import (
 	"sync"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/pqueue"
 	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 	"github.com/yask-engine/yask/internal/vocab"
@@ -143,22 +151,33 @@ func (augmenter) Merge(a, b Aug) Aug {
 }
 
 // Index is a KcR-tree over a collection. Rank queries traverse an
-// immutable Flat snapshot published through an atomic pointer and are
+// immutable Arena snapshot published through an atomic pointer and are
 // safe for concurrent use with the managed mutation path
 // (Insert/Remove/Refresh); mutating the tree directly via Tree() makes
 // every query fail with rtree.ErrStaleSnapshot until Refresh.
 type Index struct {
 	pub  *rtree.SnapshotPublisher[object.Object, Aug]
 	coll *object.Collection
-	// scratch pools the DFS stacks of the bound/exact rank passes so
-	// warm rank queries run allocation-free.
+	// scratch pools the traversal state of the rank and top-k passes so
+	// warm queries run allocation-free.
 	scratch sync.Pool
 }
 
-// rankScratch is the reusable traversal state of one rank computation.
+// Arena is one published snapshot: the frozen flat arena plus the SDist
+// normalization constant captured at the freeze. It implements
+// index.Snapshot.
+type Arena struct {
+	ix      *Index
+	f       *rtree.Flat[object.Object, Aug]
+	maxDist float64
+}
+
+// rankScratch is the reusable traversal state of one query.
 type rankScratch struct {
 	stack  []int32
 	frames []depthFrame
+	nodes  *pqueue.Queue[index.NodeEntry]
+	cand   *pqueue.Queue[score.Result]
 }
 
 // depthFrame is one depth-limited DFS frame of RankBounds.
@@ -171,12 +190,19 @@ func (ix *Index) getScratch() *rankScratch {
 	if sc, ok := ix.scratch.Get().(*rankScratch); ok {
 		return sc
 	}
-	return &rankScratch{stack: make([]int32, 0, 64), frames: make([]depthFrame, 0, 64)}
+	return &rankScratch{
+		stack:  make([]int32, 0, 64),
+		frames: make([]depthFrame, 0, 64),
+		nodes:  pqueue.NewWithCapacity(index.NodeOrder, 64),
+		cand:   pqueue.NewWithCapacity(score.WorstFirst, 16),
+	}
 }
 
 func (ix *Index) putScratch(sc *rankScratch) {
 	sc.stack = sc.stack[:0]
 	sc.frames = sc.frames[:0]
+	sc.nodes.Reset()
+	sc.cand.Reset()
 	ix.scratch.Put(sc)
 }
 
@@ -210,18 +236,41 @@ func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 }
 
 func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
-	return &Index{pub: rtree.NewSnapshotPublisher(t), coll: c}
+	ix := &Index{coll: c}
+	ix.pub = rtree.NewSnapshotPublisher(t, func(f *rtree.Flat[object.Object, Aug]) any {
+		return &Arena{ix: ix, f: f, maxDist: c.MaxDist()}
+	})
+	return ix
+}
+
+// Builder returns an index.Builder constructing KcR-trees with the
+// given fanout.
+func Builder(maxEntries int) index.Builder {
+	return func(c *object.Collection) index.Provider { return Build(c, maxEntries) }
 }
 
 // Flat exposes the current frozen arena without a freshness check; the
 // rank algorithms go through Snapshot instead.
 func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.pub.Flat() }
 
-// Snapshot returns the published frozen arena after verifying that every
-// tree mutation went through the managed path; it fails with a
+// Snapshot returns the published arena after verifying that every tree
+// mutation went through the managed path; it fails with a
 // *rtree.StaleSnapshotError on direct Tree() mutation without Refresh.
-func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], error) {
-	return ix.pub.Snapshot()
+func (ix *Index) Snapshot() (*Arena, error) {
+	_, p, err := ix.pub.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Arena), nil
+}
+
+// Acquire implements index.Provider.
+func (ix *Index) Acquire() (index.Snapshot, error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // Insert adds the object through the managed mutation path; queries keep
@@ -336,7 +385,7 @@ func (ix *Index) ScoreBounds(s score.Scorer, n *rtree.Node[object.Object, Aug]) 
 }
 
 // scoreBoundsAt is ScoreBounds addressed into the flat arena.
-func (ix *Index) scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) (lo, hi float64) {
+func scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) (lo, hi float64) {
 	r := f.Rect(n)
 	tLo, tHi := TSimBounds(*f.Aug(n), s.Query.Doc, s.Query.Sim)
 	w := s.Query.W
@@ -345,102 +394,104 @@ func (ix *Index) scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer
 	return lo, hi
 }
 
-// CountBetter returns the number of objects ranking strictly above the
-// reference (refScore, refID) under scorer s. Subtrees whose score upper
-// bound is below refScore are pruned; subtrees whose score lower bound
-// is above refScore are counted wholesale via cnt without descending —
-// the two-sided bound is what distinguishes the KcR-tree from the
-// SetR-tree for rank computation. It fails with rtree.ErrStaleSnapshot
-// when the tree was mutated without a Refresh.
-func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) (int, error) {
-	f, err := ix.Snapshot()
-	if err != nil {
-		return 0, err
-	}
-	return ix.CountBetterOn(f, s, refScore, refID), nil
+// Flat exposes the underlying frozen arena for structural tests.
+func (a *Arena) Flat() *rtree.Flat[object.Object, Aug] { return a.f }
+
+// MaxDist implements index.Snapshot: the normalization constant frozen
+// with this arena.
+func (a *Arena) MaxDist() float64 { return a.maxDist }
+
+// Scorer returns a scorer for q pinned to this snapshot's normalization
+// constant.
+func (a *Arena) Scorer(q score.Query) score.Scorer {
+	return score.Scorer{Query: q, MaxDist: a.maxDist}
 }
 
-// CountBetterOn is CountBetter over a snapshot the caller already
-// acquired via Snapshot.
-func (ix *Index) CountBetterOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, refScore float64, refID object.ID) int {
-	if f.Empty() {
-		return 0
+// Generation returns the tree generation the arena was frozen at.
+func (a *Arena) Generation() uint64 { return a.f.Generation() }
+
+// Len returns the number of indexed objects in the arena.
+func (a *Arena) Len() int { return a.f.Len() }
+
+// Parts implements index.Snapshot: a single arena is one partition.
+func (a *Arena) Parts() int { return 1 }
+
+// TopKPart implements index.Snapshot; part must be 0.
+func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	return a.TopK(s, k, shared, dst)
+}
+
+// TopK implements index.Snapshot through the shared index.BestFirstTopK
+// driver, pruning on the upper half of the two-sided score bounds. The
+// engine's top-k path uses the SetR-tree; this exists so a KcR-tree
+// partition set satisfies the full contract.
+func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	ix, f := a.ix, a.f
+	if f.Empty() || k <= 0 {
+		return dst
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
-	stack := append(sc.stack[:0], 0)
+	return index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+		func(n int32) float64 {
+			_, hi := scoreBoundsAt(f, s, n)
+			return hi
+		},
+		s.Score, dst)
+}
+
+// CountBetter implements index.Snapshot: the number of objects whose
+// (score, ID) pair strictly dominates (refScore, tie) under scorer s.
+// Subtrees whose score upper bound is below refScore are pruned;
+// subtrees whose score lower bound is above refScore are counted
+// wholesale via cnt without descending — the two-sided bound is what
+// distinguishes the KcR-tree from the SetR-tree for rank computation.
+// The reference pair need not name an indexed object: an object scoring
+// exactly refScore with ID tie never dominates itself, so RankOf needs
+// no self-exclusion, and a sharded composite may pass per-shard
+// tie-break thresholds.
+func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+	ix, f := a.ix, a.f
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
 	count := 0
-	accesses := int64(0)
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		accesses++
-		if f.IsLeaf(n) {
+	sc.stack = index.PrunedDFS(f, sc.stack,
+		func(n int32) {
 			for _, e := range f.Entries(n) {
-				if e.Item.ID == refID {
-					continue
-				}
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
 					count++
 				}
 			}
-			continue
-		}
-		cLo, cHi := f.Children(n)
-		for c := cLo; c < cHi; c++ {
-			lo, hi := ix.scoreBoundsAt(f, s, c)
+		},
+		func(c int32) bool {
+			lo, hi := scoreBoundsAt(f, s, c)
 			if hi < refScore {
-				continue // nothing below can beat the reference
+				return false // nothing below can beat the reference
 			}
 			if lo > refScore {
 				count += int(f.Aug(c).Cnt) // everything below beats it
-				continue
+				return false
 			}
-			stack = append(stack, c)
-		}
-	}
-	sc.stack = stack[:0]
-	f.Stats().AddNodeAccesses(accesses)
+			return true
+		})
 	return count
 }
 
-// RankOf returns the 1-based rank of object oid under scorer s. It fails
-// with rtree.ErrStaleSnapshot when the tree was mutated without a
-// Refresh.
-func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
-	f, err := ix.Snapshot()
-	if err != nil {
-		return 0, err
-	}
-	return ix.RankOfOn(f, s, oid), nil
+// RankOf returns the 1-based rank of object oid under scorer s: one
+// plus the number of objects strictly dominating it.
+func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
+	o := a.ix.coll.Get(oid)
+	return a.CountBetter(s, s.Score(o), oid) + 1
 }
 
-// RankOfOn is RankOf over a snapshot the caller already acquired via
-// Snapshot.
-func (ix *Index) RankOfOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, oid object.ID) int {
-	o := ix.coll.Get(oid)
-	return ix.CountBetterOn(f, s, s.Score(o), oid) + 1
-}
-
-// RankBounds returns bounds [lo, hi] on the count of objects ranking
-// strictly above the reference, by traversing at most maxDepth levels
-// and bounding whole subtrees from their augmentation instead of
-// descending further. With maxDepth ≥ tree height it degenerates to the
-// exact CountBetter. The keyword-adaption candidate pruning uses shallow
-// depths to reject refined keyword sets cheaply. It fails with
-// rtree.ErrStaleSnapshot when the tree was mutated without a Refresh.
-func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int, err error) {
-	f, err := ix.Snapshot()
-	if err != nil {
-		return 0, 0, err
-	}
-	lo, hi = ix.RankBoundsOn(f, s, refScore, refID, maxDepth)
-	return lo, hi, nil
-}
-
-// RankBoundsOn is RankBounds over a snapshot the caller already acquired
-// via Snapshot.
-func (ix *Index) RankBoundsOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int) {
+// RankBounds implements index.Snapshot: bounds [lo, hi] on the count of
+// objects strictly dominating the reference, by traversing at most
+// maxDepth levels and bounding whole subtrees from their augmentation
+// instead of descending further. With maxDepth ≥ tree height it
+// degenerates to the exact CountBetter. The keyword-adaption candidate
+// pruning uses shallow depths to reject refined keyword sets cheaply.
+func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+	ix, f := a.ix, a.f
 	if f.Empty() {
 		return 0, 0
 	}
@@ -454,10 +505,7 @@ func (ix *Index) RankBoundsOn(f *rtree.Flat[object.Object, Aug], s score.Scorer,
 		accesses++
 		if f.IsLeaf(fr.node) {
 			for _, e := range f.Entries(fr.node) {
-				if e.Item.ID == refID {
-					continue
-				}
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
 					lo++
 					hi++
 				}
@@ -466,7 +514,7 @@ func (ix *Index) RankBoundsOn(f *rtree.Flat[object.Object, Aug], s score.Scorer,
 		}
 		cLo, cHi := f.Children(fr.node)
 		for c := cLo; c < cHi; c++ {
-			bLo, bHi := ix.scoreBoundsAt(f, s, c)
+			bLo, bHi := scoreBoundsAt(f, s, c)
 			switch {
 			case bHi < refScore:
 				// contributes nothing
@@ -485,4 +533,75 @@ func (ix *Index) RankBoundsOn(f *rtree.Flat[object.Object, Aug], s score.Scorer,
 	sc.frames = frames[:0]
 	f.Stats().AddNodeAccesses(accesses)
 	return lo, hi
+}
+
+// ForEachCross implements index.Snapshot: the event construction of the
+// preference-adjustment sweep. A subtree whose score bounds prove every
+// object stays strictly below the reference line (m0 at wt=0, m1 at
+// wt=1) over the whole weight interval is pruned; one provably strictly
+// above at both ends is reported wholesale through above(cnt); the rest
+// descend to object-level visits — the index-based analogue of the
+// paper's two range queries over segment endpoints.
+func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+	ix, f := a.ix, a.f
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.stack = index.PrunedDFS(f, sc.stack,
+		func(n int32) {
+			for _, e := range f.Entries(n) {
+				visit(e.Item)
+			}
+		},
+		func(c int32) bool {
+			// Subtree score bounds at the two endpoints of the weight
+			// interval: a = 1 − SDist ∈ [aLo, aHi] and the similarity
+			// bounds give the wt = 1 endpoint.
+			aug := f.Aug(c)
+			tLo, tHi := TSimBounds(*aug, s.Query.Doc, s.Query.Sim)
+			aLo := 1 - s.SDistRectMax(f.Rect(c))
+			aHi := 1 - s.SDistRectMin(f.Rect(c))
+			if aHi < m0 && tHi < m1 {
+				return false // strictly below at both ends: never above, never crossing
+			}
+			if aLo > m0 && tLo > m1 {
+				above(int(aug.Cnt)) // strictly above throughout
+				return false
+			}
+			return true
+		})
+}
+
+// CountBetter returns the number of objects whose (score, ID) pair
+// strictly dominates the reference pair under scorer s. It fails with
+// rtree.ErrStaleSnapshot when the tree was mutated without a Refresh.
+func (ix *Index) CountBetter(s score.Scorer, refScore float64, tie object.ID) (int, error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return a.CountBetter(s, refScore, tie), nil
+}
+
+// RankOf returns the 1-based rank of object oid under scorer s. It fails
+// with rtree.ErrStaleSnapshot when the tree was mutated without a
+// Refresh.
+func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return a.RankOf(s, oid), nil
+}
+
+// RankBounds returns bounds [lo, hi] on the count of objects ranking
+// strictly above the reference, traversing at most maxDepth levels. It
+// fails with rtree.ErrStaleSnapshot when the tree was mutated without a
+// Refresh.
+func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, maxDepth int) (lo, hi int, err error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = a.RankBounds(s, refScore, refID, maxDepth)
+	return lo, hi, nil
 }

@@ -7,65 +7,100 @@ import (
 	"github.com/yask-engine/yask/internal/geo"
 )
 
+// pubState is one published epoch: the tree, its frozen arena, and the
+// index-specific payload (the arena-scoped query wrapper of the index
+// package owning the publisher) frozen together. Swapping all three
+// behind one pointer is what lets rebuild-style indexes like the
+// IR-tree — whose refresh replaces the tree itself — share this
+// lifecycle with re-freeze-style indexes.
+type pubState[L, A any] struct {
+	tree    *Tree[L, A]
+	flat    *Flat[L, A]
+	payload any
+}
+
 // SnapshotPublisher owns the freeze/refresh lifecycle of one Tree: it
-// publishes an immutable Flat arena through an atomic pointer and
-// tracks which tree generations were produced by its own (managed)
-// mutation path. Index packages embed one publisher each so the
-// lifecycle protocol — including the subtle settle-under-lock check —
-// lives in exactly one place.
+// publishes an immutable Flat arena (plus an index-specific payload
+// built from it) through an atomic pointer and tracks which tree
+// generations were produced by its own (managed) mutation path. Index
+// packages embed one publisher each so the lifecycle protocol —
+// including the subtle settle-under-lock check — lives in exactly one
+// place, for all three index families.
 //
 // Contract: queries acquire the arena via Snapshot, which fails with a
 // *StaleSnapshotError once the tree has been mutated outside Insert/
-// Remove/Refresh. Managed mutations leave the published snapshot
-// serving (complete and consistent, minus the buffered changes) until
-// Refresh re-freezes off the query path and swaps atomically.
+// Remove/Refresh/Publish. Managed mutations leave the published
+// snapshot serving (complete and consistent, minus the buffered
+// changes) until Refresh re-freezes off the query path and swaps
+// atomically, or Publish swaps in a whole rebuilt epoch.
 type SnapshotPublisher[L, A any] struct {
-	tree *Tree[L, A]
-	flat atomic.Pointer[Flat[L, A]]
+	st atomic.Pointer[pubState[L, A]]
 	// mu serializes mutations and refreshes; queries never take it.
 	mu sync.Mutex
-	// knownGen is the highest tree generation produced by the managed
-	// mutation path. The tree moving past it means someone mutated the
-	// tree behind the publisher's back.
+	// knownGen is the highest generation of the current tree produced by
+	// the managed mutation path. The tree moving past it means someone
+	// mutated the tree behind the publisher's back.
 	knownGen atomic.Uint64
+	// wrap builds the payload published alongside each frozen arena.
+	// Nil publishes a nil payload.
+	wrap func(*Flat[L, A]) any
 }
 
 // NewSnapshotPublisher freezes the tree's current content and returns a
-// publisher serving it.
-func NewSnapshotPublisher[L, A any](t *Tree[L, A]) *SnapshotPublisher[L, A] {
-	p := &SnapshotPublisher[L, A]{tree: t}
-	p.flat.Store(t.Freeze())
-	p.knownGen.Store(t.Generation())
+// publisher serving it. wrap, if non-nil, is called with every arena
+// the publisher freezes — at construction, on Refresh, and on Publish —
+// and its result is published atomically with the arena; index packages
+// use it to attach their arena-scoped query wrappers.
+func NewSnapshotPublisher[L, A any](t *Tree[L, A], wrap func(*Flat[L, A]) any) *SnapshotPublisher[L, A] {
+	p := &SnapshotPublisher[L, A]{wrap: wrap}
+	p.publishLocked(t)
 	return p
 }
 
-// Tree returns the underlying tree. Mutating it directly leaves the
-// published snapshot stale and Snapshot will error until Refresh.
-func (p *SnapshotPublisher[L, A]) Tree() *Tree[L, A] { return p.tree }
+// publishLocked freezes t and publishes the new epoch. Callers hold mu
+// (or, at construction, exclusive access).
+func (p *SnapshotPublisher[L, A]) publishLocked(t *Tree[L, A]) {
+	f := t.Freeze()
+	st := &pubState[L, A]{tree: t, flat: f}
+	if p.wrap != nil {
+		st.payload = p.wrap(f)
+	}
+	p.st.Store(st)
+	p.knownGen.Store(t.Generation())
+}
+
+// Tree returns the underlying tree of the current epoch. Mutating it
+// directly leaves the published snapshot stale and Snapshot will error
+// until Refresh.
+func (p *SnapshotPublisher[L, A]) Tree() *Tree[L, A] { return p.st.Load().tree }
 
 // Flat returns the current published arena without a freshness check.
-func (p *SnapshotPublisher[L, A]) Flat() *Flat[L, A] { return p.flat.Load() }
+func (p *SnapshotPublisher[L, A]) Flat() *Flat[L, A] { return p.st.Load().flat }
 
-// Snapshot returns the published arena after verifying that every tree
-// mutation went through the managed path; it fails with a
-// *StaleSnapshotError (matching ErrStaleSnapshot) otherwise.
-func (p *SnapshotPublisher[L, A]) Snapshot() (*Flat[L, A], error) {
-	f := p.flat.Load()
-	if g := p.tree.Generation(); g == p.knownGen.Load() {
-		return f, nil
+// Payload returns the payload published with the current arena, without
+// a freshness check.
+func (p *SnapshotPublisher[L, A]) Payload() any { return p.st.Load().payload }
+
+// Snapshot returns the published arena and its payload after verifying
+// that every tree mutation went through the managed path; it fails with
+// a *StaleSnapshotError (matching ErrStaleSnapshot) otherwise.
+func (p *SnapshotPublisher[L, A]) Snapshot() (*Flat[L, A], any, error) {
+	st := p.st.Load()
+	if g := st.tree.Generation(); g == p.knownGen.Load() {
+		return st.flat, st.payload, nil
 	}
 	// The mismatch may be a managed mutation caught mid-flight (the tree
 	// generation moves before knownGen catches up); settle under the
 	// mutation lock, after which only an unmanaged mutation still
 	// mismatches.
 	p.mu.Lock()
-	f = p.flat.Load()
-	g, known := p.tree.Generation(), p.knownGen.Load()
+	st = p.st.Load()
+	g, known := st.tree.Generation(), p.knownGen.Load()
 	p.mu.Unlock()
 	if g != known {
-		return nil, &StaleSnapshotError{FrozenGen: f.Generation(), TreeGen: g}
+		return nil, nil, &StaleSnapshotError{FrozenGen: st.flat.Generation(), TreeGen: g}
 	}
-	return f, nil
+	return st.flat, st.payload, nil
 }
 
 // Insert adds an item through the managed mutation path; the published
@@ -73,8 +108,9 @@ func (p *SnapshotPublisher[L, A]) Snapshot() (*Flat[L, A], error) {
 func (p *SnapshotPublisher[L, A]) Insert(rect geo.Rect, item L) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.tree.Insert(rect, item)
-	p.knownGen.Store(p.tree.Generation())
+	t := p.st.Load().tree
+	t.Insert(rect, item)
+	p.knownGen.Store(t.Generation())
 }
 
 // Remove deletes one matching item through the managed mutation path
@@ -82,17 +118,31 @@ func (p *SnapshotPublisher[L, A]) Insert(rect geo.Rect, item L) {
 func (p *SnapshotPublisher[L, A]) Remove(rect geo.Rect, match func(L) bool) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	ok := p.tree.Delete(rect, match)
-	p.knownGen.Store(p.tree.Generation())
+	t := p.st.Load().tree
+	ok := t.Delete(rect, match)
+	p.knownGen.Store(t.Generation())
 	return ok
 }
 
-// Refresh re-freezes the tree and atomically publishes the new arena.
-// Concurrent queries keep traversing the old snapshot and pick up the
-// new one on their next acquisition.
+// Refresh re-freezes the current tree and atomically publishes the new
+// arena. Concurrent queries keep traversing the old snapshot and pick
+// up the new one on their next acquisition.
 func (p *SnapshotPublisher[L, A]) Refresh() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.flat.Store(p.tree.Freeze())
-	p.knownGen.Store(p.tree.Generation())
+	p.publishLocked(p.st.Load().tree)
+}
+
+// Publish replaces the whole epoch with a freshly built tree — the
+// refresh style of corpus-dependent indexes (the IR-tree rebuilds its
+// text model and tree together). wrap, if non-nil, replaces the
+// publisher's payload builder from this epoch on; the previous tree and
+// any direct mutations to it are discarded.
+func (p *SnapshotPublisher[L, A]) Publish(t *Tree[L, A], wrap func(*Flat[L, A]) any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if wrap != nil {
+		p.wrap = wrap
+	}
+	p.publishLocked(t)
 }

@@ -47,6 +47,7 @@ func New(engine *yask.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /api/whynot", s.handleWhyNot)
 	s.mux.HandleFunc("POST /api/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/log", s.handleLog)
 	s.mux.HandleFunc("DELETE /api/session/{id}", s.handleDropSession)
 	return s
@@ -413,6 +414,22 @@ func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	}
 	s.log.add(logEntry{Time: time.Now(), Kind: "remove"})
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// statsResponse is the wire form of GET /api/stats: the engine's shard
+// layout and per-shard execution statistics, plus the server's session
+// count. Operators watching a sharded deployment read shard balance
+// (objects/live per shard) and index work (node accesses) from it.
+type statsResponse struct {
+	Engine   yask.EngineStats `json:"engine"`
+	Sessions int              `json:"sessions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Engine:   s.engine.Stats(),
+		Sessions: s.sessions.len(),
+	})
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {

@@ -437,3 +437,60 @@ func TestBatchQueryEndpointRejectsBadInput(t *testing.T) {
 		t.Fatalf("oversized batch status %d: %s", status, raw)
 	}
 }
+
+// TestStatsEndpoint: GET /api/stats reports the engine's shard layout
+// and per-shard statistics — one row for the demo engine, S rows (with
+// shard-local object counts summing to the total) for a sharded one.
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Shards != 1 || len(st.Engine.PerShard) != 1 {
+		t.Fatalf("demo engine stats: %+v", st.Engine)
+	}
+	if st.Engine.Objects == 0 || st.Engine.PerShard[0].Objects != st.Engine.Objects {
+		t.Fatalf("object counts inconsistent: %+v", st.Engine)
+	}
+
+	// Sharded engine: rows per shard, counts summing to the total.
+	objs := make([]yask.Object, 0, 40)
+	for i := 0; i < 40; i++ {
+		objs = append(objs, yask.Object{
+			Name: fmt.Sprintf("o%d", i),
+			X:    float64(i % 8), Y: float64(i / 8),
+			Keywords: []string{"kw", fmt.Sprintf("k%d", i%5)},
+		})
+	}
+	eng, err := yask.NewEngineWith(objs, yask.EngineOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(eng, Config{}))
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 statsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Engine.Shards != 4 || len(st2.Engine.PerShard) != 4 {
+		t.Fatalf("sharded stats: %+v", st2.Engine)
+	}
+	sum := 0
+	for _, sh := range st2.Engine.PerShard {
+		sum += sh.Objects
+	}
+	if sum != 40 || st2.Engine.Objects != 40 {
+		t.Fatalf("per-shard objects sum %d, total %d, want 40", sum, st2.Engine.Objects)
+	}
+}

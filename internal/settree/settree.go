@@ -10,13 +10,16 @@
 //
 // The package provides the best-first top-k algorithm of [4] over this
 // index, plus the rank-counting primitive (how many objects rank above a
-// given score) that both why-not modules are built on.
+// given score) that both why-not modules are built on. The Index
+// implements index.Provider and its Arena implements index.Snapshot, so
+// the engine and the shard executor drive it through the shared
+// contract.
 package settree
 
 import (
-	"slices"
 	"sync"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/pqueue"
 	"github.com/yask-engine/yask/internal/rtree"
@@ -76,7 +79,7 @@ const (
 )
 
 // Index is a SetR-tree over a collection of objects. Queries traverse an
-// immutable Flat snapshot published through an atomic pointer, so they
+// immutable Arena snapshot published through an atomic pointer, so they
 // are safe for concurrent use with the mutation path (SetBoundMode must
 // still be called before sharing).
 //
@@ -96,19 +99,24 @@ type Index struct {
 	scratch sync.Pool
 }
 
+// Arena is one published snapshot of the index: the frozen flat arena
+// together with the SDist normalization constant (the data-space
+// diagonal) captured at the freeze, so scores computed against it are
+// deterministic even while mutations are buffered. Arena implements
+// index.Snapshot.
+type Arena struct {
+	ix      *Index
+	f       *rtree.Flat[object.Object, Aug]
+	maxDist float64
+}
+
 // searchScratch is the reusable traversal state of one query. One value
 // serves one query at a time; the pool hands each concurrent query its
 // own.
 type searchScratch struct {
-	nodes *pqueue.Queue[flatEntry]
+	nodes *pqueue.Queue[index.NodeEntry]
 	cand  *pqueue.Queue[score.Result]
 	stack []int32
-}
-
-// flatEntry is one best-first frontier element over the flat arena.
-type flatEntry struct {
-	bound float64
-	node  int32
 }
 
 func (ix *Index) getScratch() *searchScratch {
@@ -116,10 +124,8 @@ func (ix *Index) getScratch() *searchScratch {
 		return sc
 	}
 	return &searchScratch{
-		nodes: pqueue.NewWithCapacity(func(a, b flatEntry) bool {
-			return a.bound > b.bound
-		}, 64),
-		cand: pqueue.NewWithCapacity(score.WorstFirst, 16),
+		nodes: pqueue.NewWithCapacity(index.NodeOrder, 64),
+		cand:  pqueue.NewWithCapacity(score.WorstFirst, 16),
 	}
 }
 
@@ -163,22 +169,45 @@ func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 }
 
 func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
-	return &Index{pub: rtree.NewSnapshotPublisher(t), coll: c}
+	ix := &Index{coll: c}
+	ix.pub = rtree.NewSnapshotPublisher(t, func(f *rtree.Flat[object.Object, Aug]) any {
+		return &Arena{ix: ix, f: f, maxDist: c.MaxDist()}
+	})
+	return ix
+}
+
+// Builder returns an index.Builder constructing SetR-trees with the
+// given fanout — the factory the shard executor builds partitions with.
+func Builder(maxEntries int) index.Builder {
+	return func(c *object.Collection) index.Provider { return Build(c, maxEntries) }
 }
 
 // Flat exposes the current frozen arena without a freshness check; the
 // query algorithms go through Snapshot instead.
 func (ix *Index) Flat() *rtree.Flat[object.Object, Aug] { return ix.pub.Flat() }
 
-// Snapshot returns the published frozen arena after verifying that every
-// tree mutation went through the managed path (Insert/Remove/Refresh).
-// It returns a *rtree.StaleSnapshotError — matching rtree.ErrStaleSnapshot
+// Snapshot returns the published arena after verifying that every tree
+// mutation went through the managed path (Insert/Remove/Refresh). It
+// returns a *rtree.StaleSnapshotError — matching rtree.ErrStaleSnapshot
 // — when the tree was mutated directly via Tree() without a Refresh. A
 // snapshot that merely lags managed mutations pending a Refresh is still
 // served: it is complete and consistent, which is the live-update
 // contract.
-func (ix *Index) Snapshot() (*rtree.Flat[object.Object, Aug], error) {
-	return ix.pub.Snapshot()
+func (ix *Index) Snapshot() (*Arena, error) {
+	_, p, err := ix.pub.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Arena), nil
+}
+
+// Acquire implements index.Provider.
+func (ix *Index) Acquire() (index.Snapshot, error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // Insert adds the object to the underlying tree through the managed
@@ -192,9 +221,9 @@ func (ix *Index) Remove(o object.Object) bool {
 	return ix.pub.Remove(o.Rect(), func(item object.Object) bool { return item.ID == o.ID })
 }
 
-// Refresh re-freezes the tree into a new Flat arena and atomically
-// publishes it. The freeze runs off the query path: concurrent queries
-// keep traversing the old snapshot and pick up the new one on their next
+// Refresh re-freezes the tree into a new Arena and atomically publishes
+// it. The freeze runs off the query path: concurrent queries keep
+// traversing the old snapshot and pick up the new one on their next
 // acquisition.
 func (ix *Index) Refresh() { ix.pub.Refresh() }
 
@@ -305,14 +334,131 @@ func TSimUpperBoundBasic(a Aug, qdoc vocab.KeywordSet) float64 {
 	return float64(num) / float64(den)
 }
 
+// Flat exposes the underlying frozen arena for structural tests.
+func (a *Arena) Flat() *rtree.Flat[object.Object, Aug] { return a.f }
+
+// MaxDist implements index.Snapshot: the normalization constant frozen
+// with this arena.
+func (a *Arena) MaxDist() float64 { return a.maxDist }
+
+// Scorer returns a scorer for q pinned to this snapshot's normalization
+// constant.
+func (a *Arena) Scorer(q score.Query) score.Scorer {
+	return score.Scorer{Query: q, MaxDist: a.maxDist}
+}
+
+// Generation returns the tree generation the arena was frozen at.
+func (a *Arena) Generation() uint64 { return a.f.Generation() }
+
+// Len returns the number of indexed objects in the arena.
+func (a *Arena) Len() int { return a.f.Len() }
+
+// Parts implements index.Snapshot: a single arena is one partition.
+func (a *Arena) Parts() int { return 1 }
+
+// TopKPart implements index.Snapshot; part must be 0.
+func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	return a.TopK(s, k, shared, dst)
+}
+
 // TopK runs the best-first spatial keyword top-k algorithm of [4] over
-// the SetR-tree: a priority queue holds nodes keyed by their score upper
-// bound and objects keyed by their exact score; when an object surfaces
-// before every remaining node bound, it is guaranteed to be the next
-// result. Results come back in rank order (Definition 1 with ID
-// tie-break). Fewer than k results are returned only when the collection
-// is smaller than k. It fails with rtree.ErrStaleSnapshot when the tree
-// was mutated without a Refresh.
+// the SetR-tree through the shared index.BestFirstTopK driver, with the
+// SetR-tree's doc-length-tightened Jaccard bound as the node bound.
+// Results come back in rank order (Definition 1 with ID tie-break).
+// Fewer than k results are returned only when the collection is smaller
+// than k — or when a non-nil shared bound proves the missing tail
+// cannot enter the cross-partition top k.
+func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	ix, f := a.ix, a.f
+	if f.Empty() || k <= 0 {
+		return dst
+	}
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	return index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+		func(n int32) float64 { return ix.boundAt(f, s, n) },
+		s.Score, dst)
+}
+
+// CountBetter implements index.Snapshot: the number of objects whose
+// (score, ID) pair strictly dominates (refScore, tie) under scorer s.
+// The traversal prunes subtrees whose score upper bound cannot beat the
+// reference; it descends otherwise. The reference pair need not name an
+// indexed object — an object scoring exactly refScore with ID tie never
+// dominates itself, so RankOf needs no self-exclusion.
+func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+	ix, f := a.ix, a.f
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	count := 0
+	sc.stack = index.PrunedDFS(f, sc.stack,
+		func(n int32) {
+			for _, e := range f.Entries(n) {
+				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
+					count++
+				}
+			}
+		},
+		// A subtree whose best possible score is below the reference
+		// (or ties with a larger smallest-possible ID — unknowable
+		// cheaply, so only strict inequality prunes) contributes
+		// nothing.
+		func(c int32) bool { return ix.boundAt(f, s, c) >= refScore })
+	return count
+}
+
+// RankBounds implements index.Snapshot. The SetR-tree augmentation
+// carries no subtree cardinality, so depth-limited bounding cannot
+// count pruned subtrees wholesale; the exact count is returned as both
+// bounds regardless of maxDepth.
+func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+	n := a.CountBetter(s, refScore, tie)
+	return n, n
+}
+
+// RankOf returns the 1-based rank of object oid under scorer s: one plus
+// the number of objects ranking strictly above it.
+func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
+	o := a.ix.coll.Get(oid)
+	return a.CountBetter(s, s.Score(o), oid) + 1
+}
+
+// ForEachCross implements index.Snapshot: it visits every object whose
+// score line over wt ∈ (0, 1) is not provably strictly below the
+// reference line (m0 at wt=0, m1 at wt=1). The SetR-tree has upper
+// bounds only — no subtree cardinality, no similarity lower bound — so
+// it never reports wholesale-above subtrees; survivors are visited
+// object by object.
+func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+	ix, f := a.ix, a.f
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.stack = index.PrunedDFS(f, sc.stack,
+		func(n int32) {
+			for _, e := range f.Entries(n) {
+				visit(e.Item)
+			}
+		},
+		func(c int32) bool {
+			aug := f.Aug(c)
+			var tHi float64
+			if ix.bound == BoundBasic {
+				tHi = TSimUpperBoundBasic(*aug, s.Query.Doc)
+			} else {
+				tHi = TSimUpperBound(*aug, s.Query.Doc, s.Query.Sim)
+			}
+			aHi := 1 - s.SDistRectMin(f.Rect(c))
+			// Every line below the node is bracketed by aHi at wt=0 and
+			// tHi at wt=1; below the reference at both ends means below
+			// on the whole interval — prune.
+			return !(aHi < m0 && tHi < m1)
+		})
+}
+
+// TopK answers the spatial keyword top-k query over the current
+// snapshot, building the scorer from the snapshot's normalization
+// constant. It fails with rtree.ErrStaleSnapshot when the tree was
+// mutated without a Refresh.
 func (ix *Index) TopK(q score.Query) ([]score.Result, error) {
 	return ix.TopKAppend(q, nil)
 }
@@ -320,162 +466,44 @@ func (ix *Index) TopK(q score.Query) ([]score.Result, error) {
 // TopKAppend is TopK appending results to dst, so a caller reusing its
 // buffer across queries runs the warm path without allocating.
 func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, error) {
-	f, err := ix.Snapshot()
+	a, err := ix.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	s := score.NewScorer(q, ix.coll)
-	return ix.topKAppend(f, s, q.K, dst), nil
+	return a.TopK(a.Scorer(q), q.K, nil, dst), nil
 }
 
 // TopKScorer is TopK with a caller-prepared scorer, letting the why-not
 // engines re-run queries with modified weights or keywords without
 // re-deriving normalization.
 func (ix *Index) TopKScorer(s score.Scorer) ([]score.Result, error) {
-	f, err := ix.Snapshot()
+	a, err := ix.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return ix.topKAppend(f, s, s.Query.K, nil), nil
+	return a.TopK(s, s.Query.K, nil, nil), nil
 }
 
-// TopKScorerAppendOn is TopKScorer appending into dst over a snapshot
-// the caller already acquired (and freshness-checked) via Snapshot —
-// the building block for multi-traversal algorithms that must run
-// entirely against one consistent arena.
-func (ix *Index) TopKScorerAppendOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, dst []score.Result) []score.Result {
-	return ix.topKAppend(f, s, s.Query.K, dst)
-}
-
-// topKAppend is the two-heap best-first search of [4] over the flat
-// arena: a max-heap of nodes ordered by score upper bound, and a bounded
-// min-heap of the k best objects seen. A node whose bound is strictly
-// below the current k-th best score cannot contribute (ties must still
-// be expanded: they can hide an equal-score object with a smaller ID).
-// Both heaps come from the per-index scratch pool, so the warm path does
-// not allocate.
-func (ix *Index) topKAppend(f *rtree.Flat[object.Object, Aug], s score.Scorer, k int, dst []score.Result) []score.Result {
-	if f.Empty() || k <= 0 {
-		return dst
-	}
-	sc := ix.getScratch()
-	defer ix.putScratch(sc)
-	nodes, cand := sc.nodes, sc.cand
-	nodes.Push(flatEntry{bound: ix.boundAt(f, s, 0), node: 0})
-
-	accesses := int64(0)
-	for nodes.Len() > 0 {
-		top := nodes.Pop()
-		if cand.Len() == k && top.bound < cand.Peek().Score {
-			break // no remaining node can improve the result
-		}
-		n := top.node
-		accesses++
-		if f.IsLeaf(n) {
-			for _, e := range f.Entries(n) {
-				scv := s.Score(e.Item)
-				if cand.Len() < k {
-					cand.Push(score.Result{Obj: e.Item, Score: scv})
-				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
-					cand.Pop()
-					cand.Push(score.Result{Obj: e.Item, Score: scv})
-				}
-			}
-			continue
-		}
-		kth := -1.0
-		if cand.Len() == k {
-			kth = cand.Peek().Score
-		}
-		lo, hi := f.Children(n)
-		for c := lo; c < hi; c++ {
-			if b := ix.boundAt(f, s, c); b >= kth {
-				nodes.Push(flatEntry{bound: b, node: c})
-			}
-		}
-	}
-	f.Stats().AddNodeAccesses(accesses)
-	base, n := len(dst), cand.Len()
-	dst = slices.Grow(dst, n)[:base+n]
-	for i := n - 1; i >= 0; i-- {
-		dst[base+i] = cand.Pop()
-	}
-	return dst
-}
-
-// CountBetter returns the number of objects that rank strictly above the
-// reference (refScore, refID) pair under scorer s, i.e. the reference's
-// rank minus one. It fails with rtree.ErrStaleSnapshot when the tree was
-// mutated without a Refresh.
-func (ix *Index) CountBetter(s score.Scorer, refScore float64, refID object.ID) (int, error) {
-	f, err := ix.Snapshot()
-	if err != nil {
-		return 0, err
-	}
-	return ix.CountBetterOn(f, s, refScore, refID), nil
-}
-
-// CountBetterOn is CountBetter over a snapshot the caller already
-// acquired via Snapshot. The traversal prunes subtrees whose score upper
-// bound cannot beat the reference; it descends otherwise. The reference
-// object itself (matched by ID) is never counted.
-func (ix *Index) CountBetterOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, refScore float64, refID object.ID) int {
-	if f.Empty() {
-		return 0
-	}
-	sc := ix.getScratch()
-	defer ix.putScratch(sc)
-	stack := append(sc.stack[:0], 0)
-	count := 0
-	accesses := int64(0)
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		accesses++
-		if f.IsLeaf(n) {
-			for _, e := range f.Entries(n) {
-				if e.Item.ID == refID {
-					continue
-				}
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, refID) {
-					count++
-				}
-			}
-			continue
-		}
-		lo, hi := f.Children(n)
-		for c := lo; c < hi; c++ {
-			// A subtree whose best possible score is below the
-			// reference (or ties with a larger smallest-possible ID —
-			// unknowable cheaply, so only strict inequality prunes)
-			// contributes nothing.
-			if ix.boundAt(f, s, c) < refScore {
-				continue
-			}
-			stack = append(stack, c)
-		}
-	}
-	sc.stack = stack[:0]
-	f.Stats().AddNodeAccesses(accesses)
-	return count
-}
-
-// RankOf returns the 1-based rank of object oid under scorer s: one plus
-// the number of objects ranking strictly above it. It fails with
+// CountBetter returns the number of objects whose (score, ID) pair
+// strictly dominates the reference pair under scorer s. It fails with
 // rtree.ErrStaleSnapshot when the tree was mutated without a Refresh.
-func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
-	f, err := ix.Snapshot()
+func (ix *Index) CountBetter(s score.Scorer, refScore float64, tie object.ID) (int, error) {
+	a, err := ix.Snapshot()
 	if err != nil {
 		return 0, err
 	}
-	return ix.RankOfOn(f, s, oid), nil
+	return a.CountBetter(s, refScore, tie), nil
 }
 
-// RankOfOn is RankOf over a snapshot the caller already acquired via
-// Snapshot.
-func (ix *Index) RankOfOn(f *rtree.Flat[object.Object, Aug], s score.Scorer, oid object.ID) int {
-	o := ix.coll.Get(oid)
-	return ix.CountBetterOn(f, s, s.Score(o), oid) + 1
+// RankOf returns the 1-based rank of object oid under scorer s. It
+// fails with rtree.ErrStaleSnapshot when the tree was mutated without a
+// Refresh.
+func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
+	a, err := ix.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return a.RankOf(s, oid), nil
 }
 
 // ScanTopK is the brute-force oracle: score every object and select the

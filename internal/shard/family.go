@@ -1,0 +1,314 @@
+package shard
+
+import (
+	"sync"
+
+	"github.com/yask-engine/yask/internal/index"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// fanOut runs f(0..n-1) concurrently and waits for all of them — the
+// little parallel loop behind per-shard builds, refreshes, and the
+// scatter phase of single-query top-k.
+func fanOut(n int, f func(int)) {
+	if n == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Family is one index family sharded over a Map: S index.Providers,
+// one per partition, built and refreshed independently (and in
+// parallel). It stays generic over families by construction — the
+// Builder is the only family-specific input — which is what the
+// no-type-switching contract of the engine demands.
+type Family struct {
+	m         *Map
+	providers []index.Provider
+	// lifecycle guards cross-shard snapshot consistency: Refresh holds
+	// the write side while it swaps every partition's arena and the
+	// normalization constant, and Acquire assembles its view under the
+	// read side — so a view can never pair a pre-refresh shard with a
+	// post-refresh one, or old arenas with a new constant. Mutations
+	// never take it (they buffer against the trees without swapping
+	// arenas), and readers only wait while a refresh is publishing.
+	lifecycle sync.RWMutex
+	// maxDist is the SDist normalization constant (global data-space
+	// diagonal) captured at the last Refresh, guarded by lifecycle.
+	// Pinning it per refresh keeps sharded scores deterministic while
+	// mutations are buffered, matching the snapshot-scoped constant of
+	// the single-index arenas.
+	maxDist float64
+}
+
+// NewFamily builds one provider per partition of the map, in parallel.
+func NewFamily(m *Map, build index.Builder) *Family {
+	fa := &Family{
+		m:         m,
+		providers: make([]index.Provider, m.Shards()),
+		maxDist:   m.Global().MaxDist(),
+	}
+	fanOut(m.Shards(), func(t int) {
+		fa.providers[t] = build(m.Part(t).Collection())
+	})
+	return fa
+}
+
+// Map returns the partition map the family is sharded over.
+func (fa *Family) Map() *Map { return fa.m }
+
+// Providers returns the per-shard providers, indexed by shard.
+func (fa *Family) Providers() []index.Provider { return fa.providers }
+
+// InsertAt adds a shard-local object (as returned by Map.Append) to
+// shard t's index through its managed mutation path.
+func (fa *Family) InsertAt(t int, local object.Object) { fa.providers[t].Insert(local) }
+
+// RemoveAt deletes a shard-local object from shard t's index.
+func (fa *Family) RemoveAt(t int, local object.Object) bool { return fa.providers[t].Remove(local) }
+
+// Refresh re-freezes every partition's arena in parallel and recaptures
+// the normalization constant from the global collection, publishing the
+// whole family epoch under the lifecycle write lock so concurrent
+// acquisitions see either the old epoch or the new one, never a mix.
+func (fa *Family) Refresh() {
+	fa.lifecycle.Lock()
+	defer fa.lifecycle.Unlock()
+	fanOut(len(fa.providers), func(t int) { fa.providers[t].Refresh() })
+	fa.maxDist = fa.m.Global().MaxDist()
+}
+
+// MaxDist returns the normalization constant captured at the last
+// refresh.
+func (fa *Family) MaxDist() float64 {
+	fa.lifecycle.RLock()
+	defer fa.lifecycle.RUnlock()
+	return fa.maxDist
+}
+
+// Acquire returns a scatter-gather View over one checked snapshot per
+// partition. It runs under the family's lifecycle read lock, so the
+// view is one consistent epoch: every partition's arena and the
+// normalization constant were published by the same refresh.
+func (fa *Family) Acquire() (*View, error) {
+	fa.lifecycle.RLock()
+	defer fa.lifecycle.RUnlock()
+	v := &View{
+		fa:      fa,
+		snaps:   make([]index.Snapshot, len(fa.providers)),
+		globals: make([][]object.ID, len(fa.providers)),
+		maxDist: fa.maxDist,
+	}
+	for t, p := range fa.providers {
+		sn, err := p.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		v.snaps[t] = sn
+		// Capture the ID table after the snapshot: every local ID the
+		// arena holds is covered by a table at least as long.
+		v.globals[t] = fa.m.Part(t).Globals()
+	}
+	return v, nil
+}
+
+// AcquireSnapshot is Acquire typed as the shared contract; Family
+// implements the acquisition half of index.Provider.
+func (fa *Family) AcquireSnapshot() (index.Snapshot, error) {
+	v, err := fa.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// View is one consistent scatter-gather snapshot over every partition
+// of a Family. It implements index.Snapshot in global ID space: results
+// and references are global, and each primitive decomposes into
+// per-shard calls whose tie-breaks are translated through the ID
+// tables captured at acquisition.
+type View struct {
+	fa      *Family
+	snaps   []index.Snapshot
+	globals [][]object.ID
+	maxDist float64
+}
+
+// MaxDist implements index.Snapshot: the normalization constant the
+// family captured at its last refresh.
+func (v *View) MaxDist() float64 { return v.maxDist }
+
+// Scorer returns a scorer for q pinned to the view's constant.
+func (v *View) Scorer(q score.Query) score.Scorer {
+	return score.Scorer{Query: q, MaxDist: v.maxDist}
+}
+
+// Parts implements index.Snapshot: one partition per shard.
+func (v *View) Parts() int { return len(v.snaps) }
+
+// Snap returns partition t's underlying snapshot (local ID space);
+// tests and stats use it, query code goes through the global-space
+// methods.
+func (v *View) Snap(t int) index.Snapshot { return v.snaps[t] }
+
+// toGlobal rewrites one shard-local result to global ID space. Only the
+// ID differs: the local collection stores the same location, document,
+// and name.
+func (v *View) toGlobal(t int, r score.Result) score.Result {
+	r.Obj.ID = v.globals[t][r.Obj.ID]
+	return r
+}
+
+// TopKPart implements index.Snapshot: the top k of partition t under
+// scorer s, in global ID space. Within a shard local ID order equals
+// global ID order, so the local (score, ID) selection picks exactly the
+// objects a global tie-break would, and the per-partition lists merge
+// exactly via index.MergeTopK.
+func (v *View) TopKPart(t int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	base := len(dst)
+	dst = v.snaps[t].TopK(s, k, shared, dst)
+	for i := base; i < len(dst); i++ {
+		dst[i] = v.toGlobal(t, dst[i])
+	}
+	return dst
+}
+
+// TopK implements index.Snapshot: scatter the query across all
+// partitions in parallel — a shared k-th-best bound lets lagging shards
+// prune against the best score any shard has proven — and gather with
+// an exact k-merge. Results are byte-identical to a single-arena search
+// over the whole collection.
+func (v *View) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	if len(v.snaps) == 1 {
+		return v.TopKPart(0, s, k, shared, dst)
+	}
+	if shared == nil {
+		shared = &index.Bound{}
+	}
+	parts := make([][]score.Result, len(v.snaps))
+	fanOut(len(v.snaps), func(t int) {
+		parts[t] = v.TopKPart(t, s, k, shared, nil)
+	})
+	return index.MergeTopK(parts, k, dst)
+}
+
+// CountBetter implements index.Snapshot: the global strict-dominance
+// count is the sum of per-shard counts, with the global tie ID
+// translated into each shard's local threshold (the number of its
+// objects appended before the reference). The per-shard counts are
+// independent, so they scatter across shards like TopK does — the
+// rank-dominated why-not paths scale with cores too.
+func (v *View) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+	if len(v.snaps) == 1 {
+		return v.snaps[0].CountBetter(s, refScore, thresholdIn(v.globals[0], tie))
+	}
+	parts := make([]int, len(v.snaps))
+	fanOut(len(v.snaps), func(t int) {
+		parts[t] = v.snaps[t].CountBetter(s, refScore, thresholdIn(v.globals[t], tie))
+	})
+	total := 0
+	for _, n := range parts {
+		total += n
+	}
+	return total
+}
+
+// RankBounds implements index.Snapshot: per-shard bounds sum into
+// global bounds, scattered like CountBetter.
+func (v *View) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+	if len(v.snaps) == 1 {
+		return v.snaps[0].RankBounds(s, refScore, thresholdIn(v.globals[0], tie), maxDepth)
+	}
+	los := make([]int, len(v.snaps))
+	his := make([]int, len(v.snaps))
+	fanOut(len(v.snaps), func(t int) {
+		los[t], his[t] = v.snaps[t].RankBounds(s, refScore, thresholdIn(v.globals[t], tie), maxDepth)
+	})
+	for t := range los {
+		lo += los[t]
+		hi += his[t]
+	}
+	return lo, hi
+}
+
+// ForEachCross implements index.Snapshot: each shard reports its own
+// crossing candidates — visited objects are rewritten to global IDs
+// before the callback — and wholesale strictly-above counts pass
+// through; the union of the per-shard reports is exactly the global
+// candidate set, since every object lives in one shard. Shards run
+// sequentially: the callbacks mutate caller state (event lists, rank
+// counters) and the contract does not require them to be thread-safe.
+func (v *View) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+	for t, sn := range v.snaps {
+		globals := v.globals[t]
+		sn.ForEachCross(s, m0, m1, func(o object.Object) {
+			o.ID = globals[o.ID]
+			visit(o)
+		}, above)
+	}
+}
+
+// Group couples one Map with the index families built over its parts —
+// the engine's sharded backend. Mutations route through the Map once
+// (one global ID assignment, one shard decision) and fan out to every
+// family; Refresh re-freezes every family in parallel.
+type Group struct {
+	m        *Map
+	families []*Family
+}
+
+// NewGroup partitions the collection and builds every family over the
+// parts.
+func NewGroup(global *object.Collection, shards int, builders []index.Builder) *Group {
+	m := NewMap(global, shards)
+	g := &Group{m: m, families: make([]*Family, len(builders))}
+	for i, b := range builders {
+		g.families[i] = NewFamily(m, b)
+	}
+	return g
+}
+
+// Map returns the partition map.
+func (g *Group) Map() *Map { return g.m }
+
+// Family returns the i-th family, in builder order.
+func (g *Group) Family(i int) *Family { return g.families[i] }
+
+// Insert routes the object into its shard and inserts it into every
+// family's index there, returning the assigned global ID. The object
+// becomes visible at the next Refresh.
+func (g *Group) Insert(o object.Object) object.ID {
+	gid, t, local := g.m.Append(o)
+	for _, fa := range g.families {
+		fa.InsertAt(t, local)
+	}
+	return gid
+}
+
+// Remove tombstones the global ID and deletes it from every family's
+// index in its shard, reporting whether it was live.
+func (g *Group) Remove(gid object.ID) bool {
+	t, local, ok := g.m.Tombstone(gid)
+	if !ok {
+		return false
+	}
+	for _, fa := range g.families {
+		fa.RemoveAt(t, local)
+	}
+	return true
+}
+
+// Refresh re-freezes every family in parallel.
+func (g *Group) Refresh() {
+	fanOut(len(g.families), func(i int) { g.families[i].Refresh() })
+}

@@ -1,0 +1,219 @@
+// Package shard partitions a collection into S spatial shards and runs
+// per-shard index builds, refreshes, and queries independently — the
+// layer that lets the engine scale with cores (and, later, machines)
+// without the index families knowing they are sharded.
+//
+// The subsystem is generic over index families: a Family stacks S
+// index.Providers (one per partition, built by an index.Builder) behind
+// a single scatter-gather View that itself implements index.Snapshot,
+// so every query algorithm written against the shared contract runs
+// unchanged over one arena or over S of them.
+//
+// Identity model: each shard owns a local object.Collection with dense
+// local IDs; the Map records local↔global translations. Objects are
+// assigned to shards in global ID order and appends route through the
+// Map, so within any shard, local ID order equals global ID order —
+// the invariant that makes per-shard tie-breaks compose into the exact
+// global (score, ID) ranking: a global rank is the sum of per-shard
+// strict-dominance counts against per-shard tie thresholds, and a
+// global top-k is the k-merge of per-shard top-k lists.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+)
+
+// homeRef locates one global ID inside the partition: its shard and its
+// dense local ID there.
+type homeRef struct {
+	shard int32
+	local object.ID
+}
+
+// Part is one spatial partition: a shard-local collection (dense local
+// IDs) plus the append-ordered local→global ID table.
+type Part struct {
+	coll *object.Collection
+	// globals maps local ID → global ID. Appends publish a new slice
+	// header atomically (copy-on-write growth like object.Collection),
+	// so query paths read it lock-free; entries are ascending because
+	// appends arrive in global ID order.
+	globals atomic.Pointer[[]object.ID]
+}
+
+// Collection returns the shard-local collection the partition's indexes
+// are built over.
+func (p *Part) Collection() *object.Collection { return p.coll }
+
+// Globals returns the current local→global ID table. Callers must not
+// mutate it.
+func (p *Part) Globals() []object.ID { return *p.globals.Load() }
+
+// Map partitions one global collection into S spatial shards over a
+// grid frozen at construction: the data-space MBR is cut into gx × gy
+// cells (gx·gy = S) and an object belongs to the cell its location
+// falls in, clamped into the grid for out-of-space points. The grid
+// never moves, so routing is deterministic across the Map's lifetime —
+// a later insert outside the original space still lands in a fixed
+// shard.
+//
+// Readers (query paths) are never blocked: the ID tables are
+// copy-on-write. Writers serialize on the Map's mutex.
+type Map struct {
+	global *object.Collection
+	space  geo.Rect
+	gx, gy int
+
+	mu    sync.Mutex
+	parts []*Part
+	home  atomic.Pointer[[]homeRef]
+}
+
+// gridDims factors s into the most square gx × gy = s grid (gx ≤ gy).
+func gridDims(s int) (gx, gy int) {
+	gx = 1
+	for d := int(math.Sqrt(float64(s))); d >= 1; d-- {
+		if s%d == 0 {
+			gx = d
+			break
+		}
+	}
+	return gx, s / gx
+}
+
+// NewMap partitions the global collection into shards spatial parts.
+// It panics for shards < 1 — shard counts are configuration, not data.
+func NewMap(global *object.Collection, shards int) *Map {
+	if shards < 1 {
+		panic(fmt.Sprintf("shard: shard count %d < 1", shards))
+	}
+	gx, gy := gridDims(shards)
+	m := &Map{global: global, space: global.Space(), gx: gx, gy: gy}
+
+	v := global.View()
+	buckets := make([][]object.Object, shards)
+	home := make([]homeRef, v.Len())
+	globals := make([][]object.ID, shards)
+	// Assign in global ID order so each shard's local IDs ascend with
+	// global IDs — the tie-break invariant everything above relies on.
+	for _, o := range v.All() {
+		t := m.shardOf(o.Loc)
+		local := object.ID(len(buckets[t]))
+		home[o.ID] = homeRef{shard: int32(t), local: local}
+		globals[t] = append(globals[t], o.ID)
+		lo := o
+		lo.ID = local
+		buckets[t] = append(buckets[t], lo)
+	}
+	m.parts = make([]*Part, shards)
+	for t := range m.parts {
+		p := &Part{coll: object.NewCollection(buckets[t])}
+		g := globals[t]
+		p.globals.Store(&g)
+		// Carry tombstones over so a Map built over a mutated collection
+		// serves the same live set.
+		for local, gid := range g {
+			if !v.Alive(gid) {
+				p.coll.Tombstone(object.ID(local))
+			}
+		}
+		m.parts[t] = p
+	}
+	m.home.Store(&home)
+	return m
+}
+
+// shardOf returns the shard owning a location, clamping out-of-space
+// points into the frozen grid.
+func (m *Map) shardOf(p geo.Point) int {
+	cx := cellOf(p.X, m.space.Min.X, m.space.Max.X, m.gx)
+	cy := cellOf(p.Y, m.space.Min.Y, m.space.Max.Y, m.gy)
+	return cy*m.gx + cx
+}
+
+// cellOf maps v into one of n grid cells over [lo, hi], clamped.
+func cellOf(v, lo, hi float64, n int) int {
+	if n <= 1 || hi <= lo {
+		return 0
+	}
+	c := int(float64(n) * (v - lo) / (hi - lo))
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// Shards returns the number of partitions.
+func (m *Map) Shards() int { return len(m.parts) }
+
+// Part returns partition t.
+func (m *Map) Part(t int) *Part { return m.parts[t] }
+
+// Global returns the global collection the map partitions.
+func (m *Map) Global() *object.Collection { return m.global }
+
+// Home returns the shard and local ID of a global ID.
+func (m *Map) Home(gid object.ID) (shard int, local object.ID, ok bool) {
+	home := *m.home.Load()
+	if int(gid) >= len(home) {
+		return 0, 0, false
+	}
+	h := home[gid]
+	return int(h.shard), h.local, true
+}
+
+// Append adds the object to the global collection (assigning the next
+// dense global ID) and routes it into its shard's local collection. It
+// returns the global ID, the owning shard, and the object as stored
+// locally (local ID). Writers serialize; concurrent readers keep
+// working against the previous tables.
+func (m *Map) Append(o object.Object) (gid object.ID, shard int, local object.Object) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gid = m.global.Append(o)
+	o = m.global.Get(gid)
+	t := m.shardOf(o.Loc)
+	p := m.parts[t]
+	local = o
+	local.ID = p.coll.Append(local) // local collection overwrites the ID
+
+	g := append(*p.globals.Load(), gid)
+	p.globals.Store(&g)
+	home := append(*m.home.Load(), homeRef{shard: int32(t), local: local.ID})
+	m.home.Store(&home)
+	return gid, t, local
+}
+
+// Tombstone marks the global ID removed in both the global and its
+// shard-local collection, returning the owning shard and the local
+// object so callers can delete it from the per-shard indexes.
+func (m *Map) Tombstone(gid object.ID) (shard int, local object.Object, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, lid, found := m.Home(gid)
+	if !found || !m.global.Tombstone(gid) {
+		return 0, object.Object{}, false
+	}
+	m.parts[t].coll.Tombstone(lid)
+	return t, m.parts[t].coll.Get(lid), true
+}
+
+// thresholdIn returns the tie-break threshold of a global reference ID
+// within one shard's local ID space: the number of locals whose global
+// ID is below gid. Because local order equals global order within a
+// shard, a local object dominates the global reference on an exact
+// score tie iff its local ID is below this threshold.
+func thresholdIn(globals []object.ID, gid object.ID) object.ID {
+	i := sort.Search(len(globals), func(i int) bool { return globals[i] >= gid })
+	return object.ID(i)
+}

@@ -27,6 +27,7 @@ package yask
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/yask-engine/yask/internal/core"
 	"github.com/yask-engine/yask/internal/dataset"
@@ -166,6 +167,19 @@ type EngineOptions struct {
 	// storm (call Refresh to force publication early). Zero or one
 	// refreshes on every mutation.
 	RefreshEvery int
+	// RefreshInterval rate-limits mutation-triggered refreshes: under a
+	// mutation storm the engine re-freezes at most once per interval
+	// even when RefreshEvery fires, bounding the freeze work a storm
+	// can cause. Mutations deferred inside the window publish
+	// automatically at its trailing edge, so staleness is bounded by
+	// the interval; an explicit Refresh is never rate-limited. Zero
+	// disables the rate limit.
+	RefreshInterval time.Duration
+	// Shards partitions the collection into this many spatial shards
+	// with independently built and refreshed indexes; queries execute
+	// by scatter-gather across them and return results identical to the
+	// unsharded engine. Values ≤ 1 select the single-index fast path.
+	Shards int
 }
 
 // NewEngine indexes the given objects and returns a ready engine.
@@ -192,16 +206,24 @@ func NewEngineWith(objects []Object, opts EngineOptions) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		core:  core.NewEngine(object.NewCollection(objs), core.Options{RefreshEvery: opts.RefreshEvery}),
+		core: core.NewEngine(object.NewCollection(objs), core.Options{
+			RefreshEvery:    opts.RefreshEvery,
+			RefreshInterval: opts.RefreshInterval,
+			Shards:          opts.Shards,
+		}),
 		vocab: v,
 	}, nil
 }
 
 // newFromDataset wraps an internal dataset; used by the demo constructor
 // and the server.
-func newFromDataset(ds *dataset.Dataset) *Engine {
+func newFromDataset(ds *dataset.Dataset, opts EngineOptions) *Engine {
 	return &Engine{
-		core:  core.NewEngine(ds.Objects, core.Options{}),
+		core: core.NewEngine(ds.Objects, core.Options{
+			RefreshEvery:    opts.RefreshEvery,
+			RefreshInterval: opts.RefreshInterval,
+			Shards:          opts.Shards,
+		}),
 		vocab: ds.Vocab,
 	}
 }
@@ -209,12 +231,22 @@ func newFromDataset(ds *dataset.Dataset) *Engine {
 // HKDemoEngine returns an engine over the built-in demo dataset: a
 // deterministic synthetic stand-in for the paper's 539 Hong Kong hotels.
 func HKDemoEngine() *Engine {
-	return newFromDataset(dataset.HKHotels())
+	return HKDemoEngineWith(EngineOptions{})
+}
+
+// HKDemoEngineWith is HKDemoEngine with explicit engine options.
+func HKDemoEngineWith(opts EngineOptions) *Engine {
+	return newFromDataset(dataset.HKHotels(), opts)
 }
 
 // LoadEngine reads a dataset file (.json or .csv, as written by the
 // yaskgen tool) and indexes it.
 func LoadEngine(path string) (*Engine, error) {
+	return LoadEngineWith(path, EngineOptions{})
+}
+
+// LoadEngineWith is LoadEngine with explicit engine options.
+func LoadEngineWith(path string, opts EngineOptions) (*Engine, error) {
 	ds, err := dataset.LoadFile(path)
 	if err != nil {
 		return nil, err
@@ -222,7 +254,7 @@ func LoadEngine(path string) (*Engine, error) {
 	if ds.Objects.Len() == 0 {
 		return nil, fmt.Errorf("yask: dataset %q is empty", path)
 	}
-	return newFromDataset(ds), nil
+	return newFromDataset(ds, opts), nil
 }
 
 // Len returns the size of the engine's ID space: live objects plus
@@ -557,6 +589,51 @@ func (e *Engine) Rank(q Query, id ObjectID) (int, error) {
 	if !e.core.Collection().Alive(object.ID(id)) {
 		return 0, fmt.Errorf("yask: object %d has been removed", id)
 	}
-	s := score.NewScorer(sq, e.core.Collection())
-	return e.core.SetIndex().RankOf(s, object.ID(id))
+	return e.core.Rank(sq, object.ID(id))
+}
+
+// ShardStats is one shard's execution statistics.
+type ShardStats struct {
+	// Shard is the shard number (0 for an unsharded engine).
+	Shard int `json:"shard"`
+	// Objects is the shard's ID-space size; Live the number of live
+	// (not removed) objects in it.
+	Objects int `json:"objects"`
+	Live    int `json:"live"`
+	// SetNodeAccesses and KcNodeAccesses are the cumulative index node
+	// accesses of the shard's SetR- and KcR-trees.
+	SetNodeAccesses int64 `json:"setNodeAccesses"`
+	KcNodeAccesses  int64 `json:"kcNodeAccesses"`
+}
+
+// EngineStats is the engine's execution snapshot: shard layout,
+// buffered mutations, and per-shard index statistics.
+type EngineStats struct {
+	Shards           int          `json:"shards"`
+	Objects          int          `json:"objects"`
+	Live             int          `json:"live"`
+	PendingMutations int          `json:"pendingMutations"`
+	MaxDist          float64      `json:"maxDist"`
+	PerShard         []ShardStats `json:"perShard"`
+}
+
+// Stats reports the engine's execution statistics, one row per spatial
+// shard (a single row for an unsharded engine).
+func (e *Engine) Stats() EngineStats {
+	st := e.core.Stats()
+	out := EngineStats{
+		Shards:           st.Shards,
+		Objects:          st.Objects,
+		Live:             st.Live,
+		PendingMutations: st.Pending,
+		MaxDist:          st.MaxDist,
+		PerShard:         make([]ShardStats, len(st.PerShard)),
+	}
+	for i, sh := range st.PerShard {
+		out.PerShard[i] = ShardStats{
+			Shard: sh.Shard, Objects: sh.Objects, Live: sh.Live,
+			SetNodeAccesses: sh.SetNodeAccesses, KcNodeAccesses: sh.KcNodeAccesses,
+		}
+	}
+	return out
 }
