@@ -10,14 +10,21 @@
 //	yaskbench -exp e3,e5   # selected experiments
 //	yaskbench -full        # paper-shaped dataset sizes (slow)
 //	yaskbench -json        # machine-readable hot-path snapshot
+//	yaskbench -json -o bench.json -baseline BENCH_baseline.json
+//	                       # CI bench-smoke: measure, save, gate
 //
 // The -json mode measures the hot-path suite (warm top-k latency, node
-// accesses, allocs/query, batch throughput, and per-shard-count rows)
-// and emits one JSON document; BENCH_baseline.json at the repo root is
-// a checked-in snapshot of it, the reference future PRs diff against.
+// accesses, allocs/query, batch throughput, per-shard-count rows, and
+// the skewed-dataset balance sweep) and emits one JSON document;
+// BENCH_baseline.json at the repo root is a checked-in snapshot of it,
+// the reference future PRs diff against. With -baseline, the fresh
+// report is diffed against that snapshot and the process exits non-zero
+// if any allocs/op row the baseline records as zero regressed — the CI
+// gate protecting the zero-allocation hot paths.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +34,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e10) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e11) or 'all'")
 	full := flag.Bool("full", false, "run at paper-shaped scale (much slower)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable hot-path snapshot instead of tables")
+	out := flag.String("o", "", "write the -json report to this file instead of stdout")
+	baseline := flag.String("baseline", "", "diff the -json report against this baseline snapshot; exit 1 if a zero-allocs/op row regressed")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -37,11 +46,8 @@ func main() {
 		scale = bench.Full
 	}
 
-	if *jsonOut {
-		if err := bench.WriteJSONReport(os.Stdout, scale); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if *jsonOut || *baseline != "" {
+		runJSON(scale, *out, *baseline)
 		return
 	}
 
@@ -71,4 +77,48 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+}
+
+// runJSON measures the machine-readable snapshot once, writes it to the
+// requested destination, and optionally gates it against a baseline.
+func runJSON(scale bench.Scale, out, baseline string) {
+	rep := bench.MeasureReport(scale)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if baseline == "" {
+		return
+	}
+	base, err := bench.LoadReport(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	summary, regressions := bench.CompareBaseline(rep, base)
+	for _, line := range summary {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nALLOCATION REGRESSIONS vs %s:\n", baseline)
+		for _, line := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench-smoke: all zero-allocs/op rows held vs %s\n", baseline)
 }

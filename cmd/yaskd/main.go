@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m] [-shards 4]
+//	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m]
+//	      [-shards 4] [-splitter str] [-rebalance-factor 1.5]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
 // synthetic stand-in for the paper's 539 Hong Kong hotels. With
 // -shards > 1 the engine partitions the collection into that many
 // spatial shards and executes queries by scatter-gather (identical
-// results; per-shard statistics on GET /api/stats).
+// results; per-shard statistics on GET /api/stats). -splitter selects
+// the partitioning strategy: "grid" freezes a uniform grid, "str"
+// sort-tile-recursive-packs a sample of the data into balanced
+// rectangles (even shard populations on skewed datasets). A non-zero
+// -rebalance-factor enables online rebalancing: when max/mean shard
+// population exceeds the factor, the engine re-splits in the background
+// and publishes the new partition atomically — watch the live
+// imbalanceFactor and per-shard balance fields on GET /api/stats.
 package main
 
 import (
@@ -29,9 +37,17 @@ func main() {
 	data := flag.String("data", "", "dataset file (.json or .csv); empty serves the HK hotel demo")
 	ttl := flag.Duration("session-ttl", server.DefaultSessionTTL, "idle lifetime of cached query sessions")
 	shards := flag.Int("shards", 1, "spatial shards to partition the engine into (1 = single index)")
+	splitter := flag.String("splitter", "grid", "sharding strategy: grid (uniform grid over the data space) or str (sort-tile-recursive packing of a data sample; balances skewed datasets)")
+	rebalance := flag.Float64("rebalance-factor", 0, "enable online shard rebalancing when the max/mean shard population ratio exceeds this factor (must be > 1; 0 disables)")
 	flag.Parse()
 
-	opts := yask.EngineOptions{Shards: *shards}
+	if *splitter != "grid" && *splitter != "str" {
+		log.Fatalf("unknown -splitter %q (want grid or str)", *splitter)
+	}
+	if *rebalance != 0 && *rebalance <= 1 {
+		log.Fatalf("-rebalance-factor %v must exceed 1 (max/mean imbalance is never below 1)", *rebalance)
+	}
+	opts := yask.EngineOptions{Shards: *shards, Splitter: *splitter, RebalanceFactor: *rebalance}
 	var (
 		engine *yask.Engine
 		err    error

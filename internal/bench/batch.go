@@ -64,10 +64,20 @@ type Report struct {
 	Metrics    []Metric `json:"metrics"`
 }
 
-// WriteJSONReport measures the hot-path suite — warm top-k latency,
-// node accesses, allocations per query, and batch throughput — and
-// writes it as indented JSON.
+// WriteJSONReport measures the hot-path suite and writes it as indented
+// JSON.
 func WriteJSONReport(w io.Writer, scale Scale) error {
+	rep := MeasureReport(scale)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// MeasureReport measures the hot-path suite — warm top-k latency, node
+// accesses, allocations per query, batch throughput, per-shard-count
+// rows, and the skewed-dataset balance sweep — and returns the
+// machine-readable report CI diffs against BENCH_baseline.json.
+func MeasureReport(scale Scale) Report {
 	env := NewEnv(scale.baseN())
 	rep := Report{
 		Schema:     "yask-bench/v1",
@@ -144,7 +154,8 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 	// can finally quantify the batch/shard speedup from the snapshot.
 	addShardMetrics(env, scale, add)
 
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	// Skew-aware sharding: balance and latency per splitter strategy.
+	addSkewMetrics(scale, add)
+
+	return rep
 }

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadReport reads a machine-readable benchmark report (as written by
+// `yaskbench -json`) from a file.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if rep.Schema != "yask-bench/v1" {
+		return Report{}, fmt.Errorf("bench: %s has schema %q, want yask-bench/v1", path, rep.Schema)
+	}
+	return rep, nil
+}
+
+// CompareBaseline diffs cur against base for the CI bench-smoke gate.
+//
+// The hard rule protects the zero-allocation hot paths: every allocs/op
+// row that is zero in the baseline must stay zero — a warm top-k that
+// starts allocating is a regression no matter how fast it is. A row
+// missing from the current report also hard-fails, so a metric rename
+// forces a deliberate baseline update instead of silently dropping the
+// guarantee.
+//
+// Everything else (latency, throughput) is reported as context in
+// summary but never fails: shared CI runners are far too noisy to gate
+// on wall-clock numbers.
+func CompareBaseline(cur, base Report) (summary, regressions []string) {
+	byName := make(map[string]Metric, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		byName[m.Name] = m
+	}
+	for _, b := range base.Metrics {
+		c, ok := byName[b.Name]
+		if b.Unit == "allocs/op" && b.Value == 0 {
+			switch {
+			case !ok:
+				regressions = append(regressions,
+					fmt.Sprintf("%s: row missing from current report (baseline guarantees 0 allocs/op)", b.Name))
+			case c.Value != 0:
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2f allocs/op, baseline guarantees 0", b.Name, c.Value))
+			}
+			continue
+		}
+		if ok && b.Value != 0 {
+			summary = append(summary, fmt.Sprintf("%s: %.0f -> %.0f %s (%+.1f%%)",
+				b.Name, b.Value, c.Value, b.Unit, (c.Value-b.Value)/b.Value*100))
+		}
+	}
+	return summary, regressions
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineFixture() Report {
+	return Report{
+		Schema: "yask-bench/v1", Scale: "quick", N: 10000, GoMaxProcs: 1,
+		Metrics: []Metric{
+			{Name: "e1/topk/setr/k=3", Value: 350000, Unit: "ns/op"},
+			{Name: "e1/allocs/setr/k=3", Value: 0, Unit: "allocs/op"},
+			{Name: "e1/allocs/ir/k=3", Value: 0, Unit: "allocs/op"},
+			{Name: "e9/batch/loop", Value: 2500, Unit: "queries/s"},
+		},
+	}
+}
+
+// TestCompareBaselineHolds: a report whose zero-allocs rows stay zero
+// passes the gate, however much the timing rows moved.
+func TestCompareBaselineHolds(t *testing.T) {
+	cur := baselineFixture()
+	cur.Metrics[0].Value = 900000 // latency tripled: context, not a failure
+	summary, regressions := CompareBaseline(cur, baselineFixture())
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressions)
+	}
+	if len(summary) == 0 || !strings.Contains(summary[0], "e1/topk/setr/k=3") {
+		t.Fatalf("timing delta missing from summary: %v", summary)
+	}
+}
+
+// TestCompareBaselineCatchesAllocRegression is the deliberate-regression
+// demonstration of the bench-smoke gate: a hot path that starts
+// allocating — or a guaranteed row that disappears — hard-fails.
+func TestCompareBaselineCatchesAllocRegression(t *testing.T) {
+	leaky := baselineFixture()
+	leaky.Metrics[1].Value = 3 // e1/allocs/setr/k=3: 0 -> 3
+	_, regressions := CompareBaseline(leaky, baselineFixture())
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "e1/allocs/setr/k=3") {
+		t.Fatalf("allocation regression not caught: %v", regressions)
+	}
+
+	renamed := baselineFixture()
+	renamed.Metrics = renamed.Metrics[:1] // both allocs rows gone
+	_, regressions = CompareBaseline(renamed, baselineFixture())
+	if len(regressions) != 2 {
+		t.Fatalf("missing guaranteed rows not caught: %v", regressions)
+	}
+}
+
+// TestLoadReport round-trips the checked-in baseline format and rejects
+// wrong schemas.
+func TestLoadReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"schema":"yask-bench/v1","scale":"quick","n":1,"gomaxprocs":1,"metrics":[{"name":"a","value":1,"unit":"x"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadReport(good)
+	if err != nil || len(rep.Metrics) != 1 {
+		t.Fatalf("LoadReport = %+v, %v", rep, err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := LoadReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -128,4 +128,5 @@ var Experiments = []struct {
 	{"e8", "SetR-tree bound ablation", RunE8BoundAblation},
 	{"e9", "concurrent batch executor", RunE9Batch},
 	{"e10", "sharded scatter-gather executor", RunE10Shard},
+	{"e11", "skew-aware sharding", RunE11Skew},
 }

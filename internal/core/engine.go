@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/yask-engine/yask/internal/index"
@@ -73,6 +74,19 @@ type Engine struct {
 	// refreshTimerSet guards the single outstanding trailing-edge timer
 	// that publishes mutations deferred by the interval rate limit.
 	refreshTimerSet bool
+	// rebalanceFactor is the max/mean imbalance that triggers an online
+	// rebalance of the sharded backend; 0 disables.
+	rebalanceFactor float64
+	// rebalanceFloor is the imbalance measured right after the last
+	// rebalance — the level the splitter proved it cannot get below for
+	// the current data. The automatic trigger requires the imbalance to
+	// exceed this floor (with headroom) again, so a dataset whose skew
+	// is irreducible (many objects at one exact coordinate, which no
+	// cut can separate) costs one rebuild, not one per mutation.
+	// Guarded by mu.
+	rebalanceFloor float64
+	// rebalancing claims the single in-flight background rebalance.
+	rebalancing atomic.Bool
 }
 
 // Options configures engine construction.
@@ -104,6 +118,27 @@ type Options struct {
 	// single-index fast path (identical allocations to before sharding
 	// existed).
 	Shards int
+	// Splitter selects the spatial partitioning strategy of the sharded
+	// backend: nil selects shard.GridSplitter{} (the uniform grid),
+	// shard.STRSplitter{} packs a sample of the collection into balanced
+	// rectangles so skewed datasets keep even shard populations. Ignored
+	// for Shards ≤ 1.
+	Splitter shard.Splitter
+	// RebalanceFactor enables online shard rebalancing: after a
+	// mutation, when the max/mean live-population ratio across shards
+	// exceeds this factor, a background rebalance re-splits the
+	// collection with the configured splitter, rebuilds every family off
+	// the query path, and publishes the new partition atomically behind
+	// the epoch lock — in-flight queries keep a consistent view
+	// throughout. A rebalance counts as a refresh (the rebuilt arenas
+	// include every buffered mutation). Skew the splitter provably
+	// cannot reduce (e.g. many objects at one exact coordinate) is
+	// remembered as a floor: the trigger only re-fires after the
+	// imbalance drifts ~10% past it, so an irreducible hotspot costs
+	// one rebuild, not one per mutation. Zero disables; values in
+	// (0, 1] panic, because every non-empty layout has imbalance ≥ 1
+	// and the engine would rebalance forever. Ignored for Shards ≤ 1.
+	RebalanceFactor float64
 }
 
 // NewEngine builds the engine (both indexes) over the collection.
@@ -116,14 +151,18 @@ func NewEngine(c *object.Collection, opts Options) *Engine {
 	if refreshEvery < 1 {
 		refreshEvery = 1
 	}
+	if opts.RebalanceFactor != 0 && opts.RebalanceFactor <= 1 {
+		panic(fmt.Sprintf("core: rebalance factor %v must exceed 1 (imbalance is never below 1)", opts.RebalanceFactor))
+	}
 	e := &Engine{
 		coll:            c,
 		refreshEvery:    refreshEvery,
 		refreshInterval: opts.RefreshInterval,
 		lastRefresh:     time.Now(),
+		rebalanceFactor: opts.RebalanceFactor,
 	}
 	if opts.Shards > 1 {
-		e.group = shard.NewGroup(c, opts.Shards, []index.Builder{
+		e.group = shard.NewGroup(c, opts.Shards, opts.Splitter, []index.Builder{
 			settree.Builder(maxE),
 			kcrtree.Builder(maxE),
 		})
@@ -163,11 +202,12 @@ func (e *Engine) acquire() (engineView, error) {
 	e.epochMu.RLock()
 	defer e.epochMu.RUnlock()
 	if e.group != nil {
-		sv, err := e.group.Family(0).Acquire()
+		_, families := e.group.State()
+		sv, err := families[0].Acquire()
 		if err != nil {
 			return engineView{}, err
 		}
-		kv, err := e.group.Family(1).Acquire()
+		kv, err := families[1].Acquire()
 		if err != nil {
 			return engineView{}, err
 		}
@@ -232,6 +272,7 @@ func (e *Engine) Insert(o object.Object) (object.ID, error) {
 		}
 	}
 	e.bumpPendingLocked()
+	e.maybeRebalanceLocked()
 	return id, nil
 }
 
@@ -259,6 +300,7 @@ func (e *Engine) Remove(id object.ID) error {
 		}
 	}
 	e.bumpPendingLocked()
+	e.maybeRebalanceLocked()
 	return nil
 }
 
@@ -329,6 +371,83 @@ func (e *Engine) refreshLocked() {
 	e.lastRefresh = time.Now()
 }
 
+// rebalanceHeadroom is how much the imbalance must grow past the last
+// rebalance's floor before the automatic trigger re-fires: re-splitting
+// an essentially unchanged distribution yields an essentially identical
+// partition, so re-attempts are only worth a full rebuild after real
+// drift. The 10% margin bounds rebuild frequency geometrically under a
+// steadily worsening hotspot.
+const rebalanceHeadroom = 1.1
+
+// maybeRebalanceLocked launches a background rebalance when the sharded
+// backend's live-population imbalance exceeds the configured factor and
+// the floor the previous rebalance could not get below. The caller
+// holds e.mu; the rebalance goroutine reacquires it, so the collection
+// is stable while the new partition is built, and queries keep
+// scatter-gathering the old epoch until the atomic publish. At most one
+// rebalance is in flight at a time.
+func (e *Engine) maybeRebalanceLocked() {
+	if e.group == nil || e.rebalanceFactor == 0 {
+		return
+	}
+	if !e.wantRebalanceLocked() {
+		return
+	}
+	if !e.rebalancing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.rebalancing.Store(false)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if !e.wantRebalanceLocked() {
+			return // the mutation storm evened itself out meanwhile
+		}
+		e.rebalanceLocked()
+	}()
+}
+
+// wantRebalanceLocked reports whether the automatic trigger should
+// fire: the imbalance exceeds the configured factor and has drifted
+// past what the last rebalance achieved.
+func (e *Engine) wantRebalanceLocked() bool {
+	imb := e.group.Imbalance()
+	return imb > e.rebalanceFactor && imb > e.rebalanceFloor*rebalanceHeadroom
+}
+
+// rebalanceLocked re-splits the collection with the configured splitter,
+// rebuilds every family off the query path, and publishes the new
+// partition behind the epoch lock — snapshot acquisitions see the old
+// epoch or the new one, never a mix. The rebuilt arenas are frozen from
+// the live collection, so a rebalance also publishes every buffered
+// mutation: it accounts as a refresh.
+func (e *Engine) rebalanceLocked() {
+	commit := e.group.PrepareRebalance()
+	e.epochMu.Lock()
+	commit()
+	e.epochMu.Unlock()
+	e.pending = 0
+	e.lastRefresh = time.Now()
+	// Whatever imbalance survived the re-split is irreducible for the
+	// current data; don't burn rebuilds re-attempting it until the
+	// distribution actually drifts further.
+	e.rebalanceFloor = e.group.Imbalance()
+}
+
+// Rebalance forces a synchronous re-split of the sharded backend,
+// regardless of the current imbalance or the RebalanceFactor setting —
+// the post-bulk-load hook. It reports whether a rebalance ran (false
+// for the single-index backend, which has nothing to re-split).
+func (e *Engine) Rebalance() bool {
+	if e.group == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rebalanceLocked()
+	return true
+}
+
 // PendingMutations returns the number of mutations buffered since the
 // last snapshot refresh (always 0 unless Options.RefreshEvery or
 // Options.RefreshInterval batches mutations).
@@ -362,6 +481,10 @@ type ShardStats struct {
 	// accesses of the shard's two indexes.
 	SetNodeAccesses int64 `json:"setNodeAccesses"`
 	KcNodeAccesses  int64 `json:"kcNodeAccesses"`
+	// Balance is the shard's live population relative to the ideal
+	// (total live / shards): 1.0 is a perfectly balanced shard, 0 an
+	// empty one, values near Shards mean the shard holds everything.
+	Balance float64 `json:"balance"`
 }
 
 // EngineStats is the engine's execution snapshot: shard layout, buffered
@@ -372,6 +495,16 @@ type EngineStats struct {
 	Live    int     `json:"live"`
 	Pending int     `json:"pendingMutations"`
 	MaxDist float64 `json:"maxDist"`
+	// Splitter names the sharding strategy ("grid", "str"); empty for
+	// the single-index backend.
+	Splitter string `json:"splitter,omitempty"`
+	// ImbalanceFactor is the max/mean live-population ratio across
+	// shards: 1.0 is perfectly balanced, Shards means one shard holds
+	// everything, 0 an empty engine. The single-index backend trivially
+	// reports 1 (or 0 when empty).
+	ImbalanceFactor float64 `json:"imbalanceFactor"`
+	// Rebalances counts the online rebalances published so far.
+	Rebalances int64 `json:"rebalances"`
 	// PerShard has one row per shard (one row for the single backend).
 	PerShard []ShardStats `json:"perShard"`
 }
@@ -386,28 +519,43 @@ func (e *Engine) Stats() EngineStats {
 		MaxDist: e.coll.MaxDist(),
 	}
 	if e.group == nil {
+		if st.Live > 0 {
+			st.ImbalanceFactor = 1
+		}
 		st.PerShard = []ShardStats{{
 			Shard:           0,
 			Objects:         e.coll.Len(),
 			Live:            e.coll.LiveLen(),
 			SetNodeAccesses: e.set.Stats().NodeAccesses(),
 			KcNodeAccesses:  e.kc.Stats().NodeAccesses(),
+			Balance:         st.ImbalanceFactor,
 		}}
 		return st
 	}
-	m := e.group.Map()
-	setP := e.group.Family(0).Providers()
-	kcP := e.group.Family(1).Providers()
+	m, families := e.group.State()
+	st.Splitter = e.group.Splitter().Name()
+	st.ImbalanceFactor = m.ImbalanceFactor()
+	st.Rebalances = e.group.Rebalances()
+	setP := families[0].Providers()
+	kcP := families[1].Providers()
+	totalLive := 0
+	for _, live := range m.LiveCounts() {
+		totalLive += live
+	}
 	st.PerShard = make([]ShardStats, m.Shards())
 	for t := range st.PerShard {
 		c := m.Part(t).Collection()
-		st.PerShard[t] = ShardStats{
+		row := ShardStats{
 			Shard:           t,
 			Objects:         c.Len(),
 			Live:            c.LiveLen(),
 			SetNodeAccesses: setP[t].Stats().NodeAccesses(),
 			KcNodeAccesses:  kcP[t].Stats().NodeAccesses(),
 		}
+		if totalLive > 0 {
+			row.Balance = float64(row.Live) * float64(m.Shards()) / float64(totalLive)
+		}
+		st.PerShard[t] = row
 	}
 	return st
 }

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/shard"
+)
+
+// skewedCollection generates the tightly clustered dataset the STR
+// splitter and the rebalancer exist for.
+func skewedCollection(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig(n, seed)
+	cfg.Clusters = 3
+	cfg.ClusterStd = 0.01
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// hotspotObject derives a deterministic insert jittered around a source
+// object — the drift pattern that skews a balanced layout.
+func hotspotObject(ds *dataset.Dataset, src object.Object, i int) object.Object {
+	loc := src.Loc
+	loc.X += float64(i%89) * 1e-5
+	loc.Y += float64(i%89) * 1e-5
+	return object.Object{Loc: loc, Doc: ds.Objects.Get(object.ID(i % ds.Objects.Len())).Doc, Name: "hot"}
+}
+
+// TestRebalancedEngineEquivalence is the rebalance acceptance property:
+// the STR-sharded engine answers byte-identically to the unsharded
+// engine before a rebalance, after explicit rebalances interleaved with
+// a hotspot mutation storm, and after the storm settles.
+func TestRebalancedEngineEquivalence(t *testing.T) {
+	ds := skewedCollection(t, 500, 91)
+	for _, shards := range []int{3, 4} {
+		single := NewEngine(cloneCollection(ds.Objects), Options{MaxEntries: 16})
+		sharded := NewEngine(cloneCollection(ds.Objects), Options{
+			MaxEntries: 16, Shards: shards, Splitter: shard.STRSplitter{},
+		})
+		qs := dataset.Workload(ds, dataset.WorkloadConfig{
+			Queries: 4, Seed: 92, K: 5, Keywords: 2,
+			W: score.DefaultWeights, FromObjectDocs: true,
+		})
+		ctx := func(phase string) string { return fmt.Sprintf("%s/shards=%d", phase, shards) }
+		assertEquivalent(t, ctx("fresh"), single, sharded, qs)
+
+		// Identical hotspot mutations on both engines, with rebalances
+		// interleaved mid-stream on the sharded one only — answers must
+		// not move.
+		rng := rand.New(rand.NewSource(93))
+		hot := ds.Objects.Get(3)
+		var added []object.ID
+		for i := 0; i < 90; i++ {
+			if i%5 == 4 && len(added) > 0 {
+				id := added[rng.Intn(len(added))]
+				e1, e2 := single.Remove(id), sharded.Remove(id)
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatalf("remove(%d) diverges: %v vs %v", id, e1, e2)
+				}
+			} else {
+				o := hotspotObject(ds, hot, i)
+				id1, err1 := single.Insert(o)
+				id2, err2 := sharded.Insert(o)
+				if err1 != nil || err2 != nil || id1 != id2 {
+					t.Fatalf("insert diverges: (%d, %v) vs (%d, %v)", id1, err1, id2, err2)
+				}
+				added = append(added, id1)
+			}
+			if i%30 == 29 {
+				if !sharded.Rebalance() {
+					t.Fatal("Rebalance() = false on a sharded engine")
+				}
+				assertEquivalent(t, ctx(fmt.Sprintf("mid-rebalance-%d", i)), single, sharded, qs[:1])
+			}
+		}
+		assertEquivalent(t, ctx("after-storm"), single, sharded, qs)
+
+		st := sharded.Stats()
+		if st.Splitter != "str" {
+			t.Fatalf("Stats().Splitter = %q, want str", st.Splitter)
+		}
+		if st.Rebalances < 3 {
+			t.Fatalf("Stats().Rebalances = %d, want ≥ 3", st.Rebalances)
+		}
+		if st.ImbalanceFactor > 1.6 {
+			t.Fatalf("post-rebalance imbalance %.2f — rebalance did not restore balance", st.ImbalanceFactor)
+		}
+	}
+}
+
+// TestAutoRebalance: with a RebalanceFactor configured, a hotspot
+// insert storm triggers a background rebalance on its own, balance is
+// restored, and answers keep matching the unsharded engine.
+func TestAutoRebalance(t *testing.T) {
+	ds := skewedCollection(t, 400, 94)
+	single := NewEngine(cloneCollection(ds.Objects), Options{MaxEntries: 16})
+	sharded := NewEngine(cloneCollection(ds.Objects), Options{
+		MaxEntries: 16, Shards: 4, Splitter: shard.STRSplitter{}, RebalanceFactor: 1.5,
+	})
+	hot := ds.Objects.Get(11)
+	for i := 0; i < 400; i++ {
+		o := hotspotObject(ds, hot, i)
+		if _, err := single.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The trigger fires on the mutation path but the rebalance itself is
+	// asynchronous; wait for it to publish.
+	deadline := time.Now().Add(10 * time.Second)
+	for sharded.Stats().Rebalances == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background rebalance never ran (imbalance %.2f)", sharded.Stats().ImbalanceFactor)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Let any in-flight rebalance finish (it holds the mutation mutex),
+	// then verify balance and equivalence.
+	sharded.Refresh()
+	if got := sharded.Stats().ImbalanceFactor; got > 1.5 {
+		t.Fatalf("imbalance %.2f after auto-rebalance, want ≤ 1.5", got)
+	}
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: 4, Seed: 95, K: 5, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	assertEquivalent(t, "auto-rebalanced", single, sharded, qs)
+}
+
+// TestRebalanceStorm drives concurrent top-k traffic against a hotspot
+// mutation storm with both automatic and explicit rebalances — the
+// race-detector exercise of the publish path. Zero queries may fail,
+// and the final state must answer identically to a fresh unsharded
+// engine over the same collection.
+func TestRebalanceStorm(t *testing.T) {
+	ds := skewedCollection(t, 300, 96)
+	e := NewEngine(cloneCollection(ds.Objects), Options{
+		MaxEntries: 16, Shards: 4, Splitter: shard.STRSplitter{},
+		RebalanceFactor: 1.3, RefreshEvery: 5,
+	})
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: 6, Seed: 97, K: 5, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[(i+w)%len(qs)]
+				res, err := e.TopK(q)
+				if err != nil {
+					t.Errorf("worker %d: TopK: %v", w, err)
+					return
+				}
+				for j := 1; j < len(res); j++ {
+					if score.Better(res[j].Score, res[j].Obj.ID, res[j-1].Score, res[j-1].Obj.ID) {
+						t.Errorf("worker %d: results out of order", w)
+						return
+					}
+				}
+				if i%16 == 0 {
+					if _, err := e.Rank(q, res[len(res)-1].Obj.ID); err != nil {
+						// The storm may tombstone the object between the
+						// two calls — a validation error is fine, only
+						// missing answers are not.
+						continue
+					}
+				}
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewSource(98))
+	hot := ds.Objects.Get(5)
+	var added []object.ID
+	for i := 0; i < 250; i++ {
+		if i%4 == 3 && len(added) > 0 {
+			j := rng.Intn(len(added))
+			_ = e.Remove(added[j])
+			added = append(added[:j], added[j+1:]...)
+			continue
+		}
+		id, err := e.Insert(hotspotObject(ds, hot, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, id)
+		if i%100 == 99 {
+			e.Rebalance()
+		}
+	}
+	e.Refresh()
+	close(stop)
+	wg.Wait()
+
+	if e.Stats().Rebalances == 0 {
+		t.Fatal("storm never rebalanced")
+	}
+	// Final equivalence: a fresh unsharded engine over a clone of the
+	// storm's end state answers identically.
+	single := NewEngine(cloneCollection(e.Collection()), Options{MaxEntries: 16})
+	for qi, q := range qs {
+		want, err1 := single.TopK(q)
+		got, err2 := e.TopK(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("final q%d: errs %v / %v", qi, err1, err2)
+		}
+		assertSameResults(t, fmt.Sprintf("final q%d", qi), got, want)
+	}
+}
+
+// TestStatsBalanceFields: the stats surface carries the balance
+// telemetry — splitter name, per-shard balance rows summing to the
+// shard count, and an imbalance factor matching the worst row.
+func TestStatsBalanceFields(t *testing.T) {
+	ds := skewedCollection(t, 400, 99)
+	for _, tc := range []struct {
+		opts     Options
+		splitter string
+	}{
+		{Options{MaxEntries: 16}, ""},
+		{Options{MaxEntries: 16, Shards: 4}, "grid"},
+		{Options{MaxEntries: 16, Shards: 4, Splitter: shard.STRSplitter{}}, "str"},
+	} {
+		e := NewEngine(cloneCollection(ds.Objects), tc.opts)
+		st := e.Stats()
+		if st.Splitter != tc.splitter {
+			t.Fatalf("splitter %q, want %q", st.Splitter, tc.splitter)
+		}
+		sum, worst := 0.0, 0.0
+		for _, row := range st.PerShard {
+			sum += row.Balance
+			if row.Balance > worst {
+				worst = row.Balance
+			}
+		}
+		if diff := sum - float64(st.Shards); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("per-shard balance sums to %v, want %d", sum, st.Shards)
+		}
+		if diff := worst - st.ImbalanceFactor; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("worst balance %v != imbalance factor %v", worst, st.ImbalanceFactor)
+		}
+		if tc.splitter == "str" && st.ImbalanceFactor > 1.5 {
+			t.Fatalf("STR imbalance %v on build, want near 1", st.ImbalanceFactor)
+		}
+	}
+	// Invalid configuration panics: a factor ≤ 1 would rebalance forever.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RebalanceFactor 0.5 did not panic")
+		}
+	}()
+	NewEngine(cloneCollection(ds.Objects), Options{Shards: 2, RebalanceFactor: 0.5})
+}
+
+// TestRebalanceIrreducibleSkewNoThrash: when many objects share one
+// exact coordinate, no cut can separate them, so the rebalance cannot
+// push the imbalance below the factor. The engine must pay one rebuild
+// and remember that floor — not rebuild the world on every subsequent
+// mutation.
+func TestRebalanceIrreducibleSkewNoThrash(t *testing.T) {
+	ds := skewedCollection(t, 300, 101)
+	e := NewEngine(cloneCollection(ds.Objects), Options{
+		MaxEntries: 16, Shards: 4, Splitter: shard.STRSplitter{}, RebalanceFactor: 1.2,
+	})
+	// An irreducible hotspot: every insert lands on the same point.
+	hot := ds.Objects.Get(0)
+	for i := 0; i < 300; i++ {
+		if _, err := e.Insert(object.Object{Loc: hot.Loc, Doc: hot.Doc, Name: "pile"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the background rebalance(s) to settle: the count must
+	// stop moving even though the imbalance stays above the factor.
+	deadline := time.Now().Add(10 * time.Second)
+	last, stableSince := int64(-1), time.Now()
+	for {
+		if n := e.Stats().Rebalances; n != last {
+			last, stableSince = n, time.Now()
+		} else if time.Since(stableSince) > 300*time.Millisecond {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebalance count never settled (at %d)", last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if last < 1 {
+		t.Fatalf("Rebalances = %d, want ≥ 1", last)
+	}
+	if imb := e.Stats().ImbalanceFactor; imb <= 1.2 {
+		t.Fatalf("imbalance %.2f — the pile was reducible, test premise broken", imb)
+	}
+	// More mutations on the same pile must not trigger further rebuilds:
+	// the floor remembers what the splitter could not improve.
+	for i := 0; i < 20; i++ {
+		if _, err := e.Insert(object.Object{Loc: hot.Loc, Doc: hot.Doc, Name: "pile2"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := e.Stats().Rebalances; got != last {
+		t.Fatalf("irreducible skew re-triggered rebalances: %d -> %d", last, got)
+	}
+}

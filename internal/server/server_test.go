@@ -468,7 +468,7 @@ func TestStatsEndpoint(t *testing.T) {
 			Keywords: []string{"kw", fmt.Sprintf("k%d", i%5)},
 		})
 	}
-	eng, err := yask.NewEngineWith(objs, yask.EngineOptions{Shards: 4})
+	eng, err := yask.NewEngineWith(objs, yask.EngineOptions{Shards: 4, Splitter: "str"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,5 +492,20 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if sum != 40 || st2.Engine.Objects != 40 {
 		t.Fatalf("per-shard objects sum %d, total %d, want 40", sum, st2.Engine.Objects)
+	}
+	// The shard-balance telemetry reaches the wire: splitter name, the
+	// engine-level imbalance factor, and one balance value per shard.
+	if st2.Engine.Splitter != "str" {
+		t.Fatalf("wire splitter %q, want str", st2.Engine.Splitter)
+	}
+	if st2.Engine.ImbalanceFactor < 1 {
+		t.Fatalf("wire imbalance factor %v, want ≥ 1", st2.Engine.ImbalanceFactor)
+	}
+	balSum := 0.0
+	for _, sh := range st2.Engine.PerShard {
+		balSum += sh.Balance
+	}
+	if balSum < 3.99 || balSum > 4.01 {
+		t.Fatalf("per-shard balance sums to %v, want shard count 4", balSum)
 	}
 }

@@ -114,7 +114,7 @@ type logEntry struct {
 	Query     yask.Query
 	// BatchSize is the number of queries of a "batch" entry (the Query
 	// field holds only the first); zero for single-query kinds.
-	BatchSize int `json:"batchSize,omitempty"`
+	BatchSize int     `json:"batchSize,omitempty"`
 	Penalty   float64 `json:"penalty,omitempty"`
 	ElapsedMS float64 `json:"elapsedMs"`
 }

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
@@ -258,38 +259,88 @@ func (v *View) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Ob
 	}
 }
 
-// Group couples one Map with the index families built over its parts —
-// the engine's sharded backend. Mutations route through the Map once
-// (one global ID assignment, one shard decision) and fan out to every
-// family; Refresh re-freezes every family in parallel.
-type Group struct {
+// groupState is one immutable (Map, families) pairing: the unit the
+// online rebalancer replaces wholesale, so readers always see families
+// built over the map they are paired with.
+type groupState struct {
 	m        *Map
 	families []*Family
 }
 
-// NewGroup partitions the collection and builds every family over the
-// parts.
-func NewGroup(global *object.Collection, shards int, builders []index.Builder) *Group {
-	m := NewMap(global, shards)
-	g := &Group{m: m, families: make([]*Family, len(builders))}
-	for i, b := range builders {
-		g.families[i] = NewFamily(m, b)
+// Group couples one Map with the index families built over its parts —
+// the engine's sharded backend. Mutations route through the Map once
+// (one global ID assignment, one shard decision) and fan out to every
+// family; Refresh re-freezes every family in parallel.
+//
+// The (map, families) pair lives behind one atomic pointer so the
+// online rebalancer can replace the whole partition — a new Map split
+// by the group's Splitter plus freshly built families — in a single
+// publication. Mutations must be serialized by the caller (the engine's
+// mutation mutex), which also orders them against rebalances; query
+// paths read the current state lock-free.
+type Group struct {
+	global     *object.Collection
+	splitter   Splitter
+	builders   []index.Builder
+	state      atomic.Pointer[groupState]
+	rebalances atomic.Int64
+}
+
+// NewGroup partitions the collection with the splitter (nil selects
+// GridSplitter) and builds every family over the parts.
+func NewGroup(global *object.Collection, shards int, sp Splitter, builders []index.Builder) *Group {
+	if sp == nil {
+		sp = GridSplitter{}
 	}
+	g := &Group{global: global, splitter: sp, builders: builders}
+	g.state.Store(buildGroupState(global, shards, sp, builders))
 	return g
 }
 
-// Map returns the partition map.
-func (g *Group) Map() *Map { return g.m }
+// buildGroupState splits the collection and builds one family per
+// builder over the new parts — the shared construction path of NewGroup
+// and PrepareRebalance.
+func buildGroupState(global *object.Collection, shards int, sp Splitter, builders []index.Builder) *groupState {
+	m := NewMapWith(global, shards, sp)
+	st := &groupState{m: m, families: make([]*Family, len(builders))}
+	for i, b := range builders {
+		st.families[i] = NewFamily(m, b)
+	}
+	return st
+}
+
+// Map returns the current partition map.
+func (g *Group) Map() *Map { return g.state.Load().m }
 
 // Family returns the i-th family, in builder order.
-func (g *Group) Family(i int) *Family { return g.families[i] }
+func (g *Group) Family(i int) *Family { return g.state.Load().families[i] }
+
+// State returns the current map and families as one consistent pair —
+// readers that correlate per-shard rows across families (stats, the
+// batch scheduler) use it so a concurrent rebalance cannot tear the
+// pairing.
+func (g *Group) State() (*Map, []*Family) {
+	st := g.state.Load()
+	return st.m, st.families
+}
+
+// Splitter returns the partitioning strategy rebalances re-split with.
+func (g *Group) Splitter() Splitter { return g.splitter }
+
+// Imbalance returns the current max/mean live-population ratio across
+// shards (see Map.ImbalanceFactor).
+func (g *Group) Imbalance() float64 { return g.Map().ImbalanceFactor() }
+
+// Rebalances returns how many rebalances have been published.
+func (g *Group) Rebalances() int64 { return g.rebalances.Load() }
 
 // Insert routes the object into its shard and inserts it into every
 // family's index there, returning the assigned global ID. The object
 // becomes visible at the next Refresh.
 func (g *Group) Insert(o object.Object) object.ID {
-	gid, t, local := g.m.Append(o)
-	for _, fa := range g.families {
+	st := g.state.Load()
+	gid, t, local := st.m.Append(o)
+	for _, fa := range st.families {
 		fa.InsertAt(t, local)
 	}
 	return gid
@@ -298,11 +349,12 @@ func (g *Group) Insert(o object.Object) object.ID {
 // Remove tombstones the global ID and deletes it from every family's
 // index in its shard, reporting whether it was live.
 func (g *Group) Remove(gid object.ID) bool {
-	t, local, ok := g.m.Tombstone(gid)
+	st := g.state.Load()
+	t, local, ok := st.m.Tombstone(gid)
 	if !ok {
 		return false
 	}
-	for _, fa := range g.families {
+	for _, fa := range st.families {
 		fa.RemoveAt(t, local)
 	}
 	return true
@@ -310,5 +362,27 @@ func (g *Group) Remove(gid object.ID) bool {
 
 // Refresh re-freezes every family in parallel.
 func (g *Group) Refresh() {
-	fanOut(len(g.families), func(i int) { g.families[i].Refresh() })
+	_, families := g.State()
+	fanOut(len(families), func(i int) { families[i].Refresh() })
+}
+
+// PrepareRebalance re-splits the live collection with the group's
+// splitter and rebuilds every family over the new parts, off the query
+// path: concurrent queries keep scatter-gathering the old epoch. It
+// returns a commit function that publishes the new (map, families)
+// pair; the caller runs it under its epoch write lock so no snapshot
+// acquisition can pair an old family with a new one.
+//
+// The caller must hold the mutation lock from before PrepareRebalance
+// until commit returns: the new map re-appends every object in global
+// ID order (preserving the local-order == global-order invariant), so
+// the collection must not move underneath it. A rebalance publishes
+// rebuilt arenas of the live collection, so it also makes every
+// buffered mutation visible — callers account for it as a refresh.
+func (g *Group) PrepareRebalance() (commit func()) {
+	next := buildGroupState(g.global, g.Map().Shards(), g.splitter, g.builders)
+	return func() {
+		g.state.Store(next)
+		g.rebalances.Add(1)
+	}
 }

@@ -57,19 +57,19 @@ func (p *Part) Collection() *object.Collection { return p.coll }
 func (p *Part) Globals() []object.ID { return *p.globals.Load() }
 
 // Map partitions one global collection into S spatial shards over a
-// grid frozen at construction: the data-space MBR is cut into gx × gy
-// cells (gx·gy = S) and an object belongs to the cell its location
-// falls in, clamped into the grid for out-of-space points. The grid
-// never moves, so routing is deterministic across the Map's lifetime —
-// a later insert outside the original space still lands in a fixed
-// shard.
+// Partition frozen at construction: a Splitter computes the layout once
+// — a uniform grid, or STR-packed rectangles tracking the data
+// distribution — and the partition never moves for the Map's lifetime,
+// so routing is deterministic: a later insert outside the original
+// space still lands in a fixed shard (the partition clamps it into a
+// boundary cell). Re-splitting is a whole-Map replacement, performed by
+// the Group's online rebalancer.
 //
 // Readers (query paths) are never blocked: the ID tables are
 // copy-on-write. Writers serialize on the Map's mutex.
 type Map struct {
 	global *object.Collection
-	space  geo.Rect
-	gx, gy int
+	part   Partition
 
 	mu    sync.Mutex
 	parts []*Part
@@ -88,14 +88,25 @@ func gridDims(s int) (gx, gy int) {
 	return gx, s / gx
 }
 
-// NewMap partitions the global collection into shards spatial parts.
+// NewMap partitions the global collection into shards spatial parts
+// over the default uniform grid.
 // It panics for shards < 1 — shard counts are configuration, not data.
 func NewMap(global *object.Collection, shards int) *Map {
+	return NewMapWith(global, shards, GridSplitter{})
+}
+
+// NewMapWith partitions the global collection into shards spatial parts
+// with the given splitter (nil selects GridSplitter). The caller must
+// not mutate the collection concurrently with construction — engine
+// construction and the rebalancer both hold the mutation lock.
+func NewMapWith(global *object.Collection, shards int, sp Splitter) *Map {
 	if shards < 1 {
 		panic(fmt.Sprintf("shard: shard count %d < 1", shards))
 	}
-	gx, gy := gridDims(shards)
-	m := &Map{global: global, space: global.Space(), gx: gx, gy: gy}
+	if sp == nil {
+		sp = GridSplitter{}
+	}
+	m := &Map{global: global, part: sp.Split(global, shards)}
 
 	v := global.View()
 	buckets := make([][]object.Object, shards)
@@ -131,30 +142,45 @@ func NewMap(global *object.Collection, shards int) *Map {
 }
 
 // shardOf returns the shard owning a location, clamping out-of-space
-// points into the frozen grid.
+// points into the frozen partition.
 func (m *Map) shardOf(p geo.Point) int {
-	cx := cellOf(p.X, m.space.Min.X, m.space.Max.X, m.gx)
-	cy := cellOf(p.Y, m.space.Min.Y, m.space.Max.Y, m.gy)
-	return cy*m.gx + cx
-}
-
-// cellOf maps v into one of n grid cells over [lo, hi], clamped.
-func cellOf(v, lo, hi float64, n int) int {
-	if n <= 1 || hi <= lo {
-		return 0
-	}
-	c := int(float64(n) * (v - lo) / (hi - lo))
-	if c < 0 {
-		return 0
-	}
-	if c >= n {
-		return n - 1
-	}
-	return c
+	return m.part.Locate(p)
 }
 
 // Shards returns the number of partitions.
 func (m *Map) Shards() int { return len(m.parts) }
+
+// Partition returns the frozen routing partition.
+func (m *Map) Partition() Partition { return m.part }
+
+// LiveCounts returns the number of live (non-tombstoned) objects per
+// shard — the balance signal the online rebalancer and the stats
+// endpoint read.
+func (m *Map) LiveCounts() []int {
+	counts := make([]int, len(m.parts))
+	for t, p := range m.parts {
+		counts[t] = p.coll.LiveLen()
+	}
+	return counts
+}
+
+// ImbalanceFactor returns the ratio of the most populated shard's live
+// count to the mean live count: 1.0 is perfectly balanced, Shards()
+// means every object lives in one shard. It returns 0 for an empty map,
+// so the zero value never trips a rebalance threshold.
+func (m *Map) ImbalanceFactor() float64 {
+	total, max := 0, 0
+	for _, c := range m.LiveCounts() {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(m.parts)) / float64(total)
+}
 
 // Part returns partition t.
 func (m *Map) Part(t int) *Part { return m.parts[t] }

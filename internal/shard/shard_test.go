@@ -270,7 +270,7 @@ func TestViewForEachCrossEquivalence(t *testing.T) {
 // insert/remove/refresh storm, with zero failed acquisitions.
 func TestGroupMutationStorm(t *testing.T) {
 	ds := testDataset(t, 400, 11)
-	g := NewGroup(ds.Objects, 4, []index.Builder{settree.Builder(16), kcrtree.Builder(16)})
+	g := NewGroup(ds.Objects, 4, nil, []index.Builder{settree.Builder(16), kcrtree.Builder(16)})
 	qs := testQueries(ds, 8, 12, 5, 2)
 
 	stop := make(chan struct{})

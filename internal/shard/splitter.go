@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/object"
+)
+
+// Partition is a frozen spatial partitioning of the plane into shards:
+// the routing half of a Splitter's output. Locate must be total — every
+// point of the plane, including locations outside the data space the
+// partition was computed from, routes to exactly one shard — and
+// deterministic for the Partition's lifetime, which is what keeps the
+// home table, the per-shard ID tables, and the local-order ==
+// global-order invariant consistent across appends.
+type Partition interface {
+	// Shards reports how many shards the partition routes into.
+	Shards() int
+	// Locate returns the shard owning p, in [0, Shards()).
+	Locate(p geo.Point) int
+}
+
+// Splitter computes a Partition from the collection's current contents.
+// It is the pluggable policy half of the shard subsystem: the Map calls
+// it once at construction, and the Group's online rebalancer calls it
+// again whenever shard populations drift out of balance, so a Splitter
+// must be cheap enough to re-run against a live collection.
+//
+// Implementations must be deterministic: the same collection state and
+// shard count always produce the same partition, so two engines applying
+// identical mutation sequences stay byte-identical.
+type Splitter interface {
+	// Name identifies the strategy in configuration and stats ("grid",
+	// "str").
+	Name() string
+	// Split partitions the collection into the given number of shards.
+	Split(c *object.Collection, shards int) Partition
+}
+
+// SplitterByName maps a configuration string to a Splitter: "" or
+// "grid" selects the uniform GridSplitter, "str" the sort-tile-
+// recursive STRSplitter with its default sample size.
+func SplitterByName(name string) (Splitter, error) {
+	switch name {
+	case "", "grid":
+		return GridSplitter{}, nil
+	case "str":
+		return STRSplitter{}, nil
+	}
+	return nil, fmt.Errorf("shard: unknown splitter %q (want grid or str)", name)
+}
+
+// GridSplitter cuts the data-space MBR into a uniform gx × gy grid
+// (gx·gy = shards, as square as the factorization allows). It ignores
+// the data distribution entirely: cheap and perfectly predictable, but
+// skewed datasets concentrate most objects in a few cells.
+type GridSplitter struct{}
+
+// Name implements Splitter.
+func (GridSplitter) Name() string { return "grid" }
+
+// Split implements Splitter.
+func (GridSplitter) Split(c *object.Collection, shards int) Partition {
+	gx, gy := gridDims(shards)
+	return &gridPartition{space: c.Space(), gx: gx, gy: gy}
+}
+
+// gridPartition routes by uniform grid cell over a frozen space,
+// clamping out-of-space points into the boundary cells.
+type gridPartition struct {
+	space  geo.Rect
+	gx, gy int
+}
+
+func (g *gridPartition) Shards() int { return g.gx * g.gy }
+
+func (g *gridPartition) Locate(p geo.Point) int {
+	cx := cellOf(p.X, g.space.Min.X, g.space.Max.X, g.gx)
+	cy := cellOf(p.Y, g.space.Min.Y, g.space.Max.Y, g.gy)
+	return cy*g.gx + cx
+}
+
+// cellOf maps v into one of n grid cells over [lo, hi], clamped.
+func cellOf(v, lo, hi float64, n int) int {
+	if n <= 1 || hi <= lo {
+		return 0
+	}
+	c := int(float64(n) * (v - lo) / (hi - lo))
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// DefaultSTRSample bounds how many live locations STRSplitter sorts when
+// no explicit sample size is configured. Equal-count cuts over a sample
+// of this size keep every shard within a few percent of the ideal
+// population while the split stays O(sample·log sample) even on
+// million-object collections.
+const DefaultSTRSample = 16384
+
+// STRSplitter sort-tile-recursive-packs a sample of the live collection
+// into balanced rectangles: the sample is sorted by X and cut into gx
+// vertical slabs of equal count, then each slab is sorted by Y and cut
+// into gy cells of equal count. Cut boundaries land on data coordinates,
+// so shard populations track the actual distribution — a skewed dataset
+// splits its dense regions finely instead of drowning one grid cell.
+//
+// Routing is total over the plane: a point beyond every cut clamps into
+// the nearest boundary slab/cell, so out-of-space inserts always land in
+// a valid shard.
+type STRSplitter struct {
+	// SampleSize bounds how many live locations the splitter sorts;
+	// zero selects DefaultSTRSample. Collections at or below the bound
+	// are split exactly.
+	SampleSize int
+}
+
+// Name implements Splitter.
+func (STRSplitter) Name() string { return "str" }
+
+// Split implements Splitter.
+func (s STRSplitter) Split(c *object.Collection, shards int) Partition {
+	gx, gy := gridDims(shards)
+	limit := s.SampleSize
+	if limit <= 0 {
+		limit = DefaultSTRSample
+	}
+	pts := sampleLive(c.View(), limit)
+	if len(pts) == 0 {
+		// Nothing live to learn a layout from; the grid over the frozen
+		// space is the only deterministic choice left.
+		return GridSplitter{}.Split(c, shards)
+	}
+	// Sort by (X, Y): the secondary key makes the slab boundaries
+	// deterministic under duplicate X coordinates.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	p := &strPartition{gy: gy, xCuts: make([]float64, 0, gx-1), yCuts: make([][]float64, gx)}
+	for i := 1; i < gx; i++ {
+		p.xCuts = append(p.xCuts, pts[i*len(pts)/gx].X)
+	}
+	for j := 0; j < gx; j++ {
+		slab := pts[j*len(pts)/gx : (j+1)*len(pts)/gx]
+		ys := make([]float64, len(slab))
+		for i, pt := range slab {
+			ys[i] = pt.Y
+		}
+		sort.Float64s(ys)
+		cuts := make([]float64, 0, gy-1)
+		for i := 1; i < gy; i++ {
+			if len(ys) == 0 {
+				break
+			}
+			cuts = append(cuts, ys[i*len(ys)/gy])
+		}
+		p.yCuts[j] = cuts
+	}
+	return p
+}
+
+// sampleLive collects up to limit live locations by deterministic
+// striding over the collection in ID order.
+func sampleLive(v object.View, limit int) []geo.Point {
+	stride := 1
+	if live := v.LiveLen(); live > limit {
+		stride = (live + limit - 1) / limit
+	}
+	pts := make([]geo.Point, 0, limit)
+	n := 0
+	for _, o := range v.All() {
+		if !v.Alive(o.ID) {
+			continue
+		}
+		if n%stride == 0 {
+			pts = append(pts, o.Loc)
+		}
+		n++
+	}
+	return pts
+}
+
+// strPartition routes by binary search over the STR cut coordinates: the
+// X cuts pick the vertical slab, the slab's Y cuts pick the cell. A
+// value equal to a cut belongs to the upper run, and values beyond every
+// cut fall into the last run, which is what clamps out-of-space points.
+type strPartition struct {
+	xCuts []float64   // gx-1 slab boundaries, ascending
+	yCuts [][]float64 // per slab: gy-1 cell boundaries, ascending
+	gy    int
+}
+
+func (p *strPartition) Shards() int { return (len(p.xCuts) + 1) * p.gy }
+
+func (p *strPartition) Locate(pt geo.Point) int {
+	sx := upperBound(p.xCuts, pt.X)
+	sy := upperBound(p.yCuts[sx], pt.Y)
+	return sx*p.gy + sy
+}
+
+// upperBound returns the number of cuts ≤ v — the run index of v in a
+// layout where each cut is the first value of the run above it.
+func upperBound(cuts []float64, v float64) int {
+	return sort.Search(len(cuts), func(i int) bool { return v < cuts[i] })
+}

@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/index"
+	"github.com/yask-engine/yask/internal/kcrtree"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+// skewedTestDataset generates the skew regime the STR splitter exists
+// for: a few very tight Gaussian clusters, so a uniform grid leaves
+// most cells nearly empty.
+func skewedTestDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig(n, seed)
+	cfg.Clusters = 3
+	cfg.ClusterStd = 0.01
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func minMaxLive(counts []int) (min, max int) {
+	min, max = counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return min, max
+}
+
+func TestSplitterByName(t *testing.T) {
+	for name, want := range map[string]string{"": "grid", "grid": "grid", "str": "str"} {
+		sp, err := SplitterByName(name)
+		if err != nil || sp.Name() != want {
+			t.Fatalf("SplitterByName(%q) = %v, %v; want %s", name, sp, err, want)
+		}
+	}
+	if _, err := SplitterByName("hilbert"); err == nil {
+		t.Fatal("unknown splitter accepted")
+	}
+}
+
+// TestSTRBalanceOnSkew is the acceptance property of the STR splitter:
+// on a skewed (tightly clustered) dataset, STR shard populations stay
+// within a 2× max/min ratio while the fixed grid exceeds 5× (typically
+// with empty cells).
+func TestSTRBalanceOnSkew(t *testing.T) {
+	for _, seed := range []int64{71, 72} {
+		ds := skewedTestDataset(t, 4000, seed)
+		for _, shards := range []int{4, 8} {
+			gridMin, gridMax := minMaxLive(NewMap(ds.Objects, shards).LiveCounts())
+			strMin, strMax := minMaxLive(NewMapWith(ds.Objects, shards, STRSplitter{}).LiveCounts())
+
+			if strMin == 0 || float64(strMax)/float64(strMin) > 2 {
+				t.Errorf("seed=%d shards=%d: STR populations [%d, %d] exceed 2x", seed, shards, strMin, strMax)
+			}
+			if gridMin > 0 && float64(gridMax)/float64(gridMin) <= 5 {
+				t.Errorf("seed=%d shards=%d: grid populations [%d, %d] unexpectedly balanced — dataset not skewed enough for the property",
+					seed, shards, gridMin, gridMax)
+			}
+		}
+	}
+}
+
+// TestSTRSampledBalance: the stride sample keeps the balance property
+// even when the splitter sorts far fewer points than the collection
+// holds.
+func TestSTRSampledBalance(t *testing.T) {
+	ds := skewedTestDataset(t, 4000, 73)
+	m := NewMapWith(ds.Objects, 8, STRSplitter{SampleSize: 256})
+	min, max := minMaxLive(m.LiveCounts())
+	if min == 0 || float64(max)/float64(min) > 2 {
+		t.Fatalf("sampled STR populations [%d, %d] exceed 2x", min, max)
+	}
+}
+
+// TestSTRPartitionInvariants: an STR map upholds the same identity
+// invariants as the grid map — full coverage, ascending per-shard
+// global IDs, and a home table inverting the shard tables.
+func TestSTRPartitionInvariants(t *testing.T) {
+	ds := skewedTestDataset(t, 600, 74)
+	for _, shards := range []int{1, 2, 6, 8} {
+		assertMapInvariants(t, NewMapWith(ds.Objects, shards, STRSplitter{}), ds.Objects, shards)
+	}
+}
+
+// assertMapInvariants checks the partition identity invariants of any
+// map: every global ID lives in exactly one shard, local IDs are dense
+// and ascend with global IDs, and Home inverts the per-shard tables.
+func assertMapInvariants(t *testing.T, m *Map, global *object.Collection, shards int) {
+	t.Helper()
+	seen := 0
+	for tIdx := 0; tIdx < m.Shards(); tIdx++ {
+		p := m.Part(tIdx)
+		globals := p.Globals()
+		if p.Collection().Len() != len(globals) {
+			t.Fatalf("shards=%d: shard %d has %d objects but %d global entries",
+				shards, tIdx, p.Collection().Len(), len(globals))
+		}
+		for local, gid := range globals {
+			seen++
+			if local > 0 && globals[local-1] >= gid {
+				t.Fatalf("shards=%d: shard %d global IDs not ascending at local %d", shards, tIdx, local)
+			}
+			ht, hl, ok := m.Home(gid)
+			if !ok || ht != tIdx || int(hl) != local {
+				t.Fatalf("shards=%d: Home(%d) = (%d,%d,%v), want (%d,%d)", shards, gid, ht, hl, ok, tIdx, local)
+			}
+			if p.Collection().Alive(object.ID(local)) != global.Alive(gid) {
+				t.Fatalf("shards=%d: liveness of %d diverges from global", shards, gid)
+			}
+		}
+	}
+	if seen != global.Len() {
+		t.Fatalf("shards=%d: partition covers %d of %d objects", shards, seen, global.Len())
+	}
+}
+
+// TestSTROutOfSpaceClamp: inserts far outside the space the STR cuts
+// were computed from clamp into a valid boundary shard, and the routing
+// stays consistent with the home table.
+func TestSTROutOfSpaceClamp(t *testing.T) {
+	ds := skewedTestDataset(t, 300, 75)
+	m := NewMapWith(ds.Objects, 6, STRSplitter{})
+	space := ds.Objects.Space()
+	outliers := []geo.Point{
+		{X: space.Max.X + 1e6, Y: space.Max.Y + 1e6},
+		{X: space.Min.X - 1e6, Y: space.Min.Y - 1e6},
+		{X: space.Min.X - 42, Y: space.Max.Y + 42},
+		{X: -1e18, Y: 1e18},
+	}
+	doc := ds.Objects.Get(0).Doc
+	for i, loc := range outliers {
+		if got := m.Partition().Locate(loc); got < 0 || got >= m.Shards() {
+			t.Fatalf("outlier %d: Locate = %d, outside [0, %d)", i, got, m.Shards())
+		}
+		gid, tIdx, local := m.Append(object.Object{Loc: loc, Doc: doc, Name: "outlier"})
+		ht, hl, ok := m.Home(gid)
+		if !ok || ht != tIdx || hl != local.ID {
+			t.Fatalf("outlier %d: Home(%d) = (%d,%d,%v), want (%d,%d)", i, gid, ht, hl, ok, tIdx, local.ID)
+		}
+		if m.Part(tIdx).Globals()[local.ID] != gid {
+			t.Fatalf("outlier %d: shard table does not map local back to %d", i, gid)
+		}
+		// Routing must stay stable: the same location locates to the
+		// same shard after the append.
+		if again := m.Partition().Locate(loc); again != tIdx {
+			t.Fatalf("outlier %d: routing moved from %d to %d", i, tIdx, again)
+		}
+	}
+	assertMapInvariants(t, m, ds.Objects, 6)
+}
+
+// TestSTRTopKEquivalence: scatter-gather answers over an STR partition
+// are byte-identical to a single index — the splitter changes layout,
+// never results.
+func TestSTRTopKEquivalence(t *testing.T) {
+	ds := skewedTestDataset(t, 700, 76)
+	qs := testQueries(ds, 8, 77, 10, 2)
+	for name, build := range map[string]index.Builder{
+		"settree": settree.Builder(16),
+		"kcrtree": kcrtree.Builder(16),
+	} {
+		single := build(ds.Objects)
+		sn, err := single.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{3, 8} {
+			fa := NewFamily(NewMapWith(ds.Objects, shards, STRSplitter{}), build)
+			v, err := fa.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range qs {
+				for _, k := range []int{1, 10, 40} {
+					s := score.Scorer{Query: q, MaxDist: ds.Objects.MaxDist()}
+					want := sn.TopK(s, k, nil, nil)
+					got := v.TopK(s, k, nil, nil)
+					if len(got) != len(want) {
+						t.Fatalf("%s shards=%d q%d k=%d: %d results, want %d", name, shards, qi, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Obj.ID != want[i].Obj.ID || got[i].Score != want[i].Score {
+							t.Fatalf("%s shards=%d q%d k=%d rank %d: got (%d, %v), want (%d, %v)",
+								name, shards, qi, k, i, got[i].Obj.ID, got[i].Score, want[i].Obj.ID, want[i].Score)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupRebalance: a hotspot bulk load skews an STR group; a
+// prepared + committed rebalance restores balance and upholds every
+// partition invariant afterwards.
+func TestGroupRebalance(t *testing.T) {
+	ds := testDataset(t, 500, 78)
+	g := NewGroup(ds.Objects, 4, STRSplitter{}, []index.Builder{settree.Builder(16), kcrtree.Builder(16)})
+
+	hot := ds.Objects.Get(0)
+	for i := 0; i < 500; i++ {
+		loc := hot.Loc
+		loc.X += float64(i%89) * 1e-5
+		loc.Y += float64(i%89) * 1e-5
+		g.Insert(object.Object{Loc: loc, Doc: ds.Objects.Get(object.ID(i)).Doc, Name: "hot"})
+	}
+	g.Refresh()
+	before := g.Imbalance()
+	if before < 1.5 {
+		t.Fatalf("hotspot storm produced imbalance %.2f — too balanced to exercise the rebalancer", before)
+	}
+
+	commit := g.PrepareRebalance()
+	commit()
+	if got := g.Rebalances(); got != 1 {
+		t.Fatalf("Rebalances = %d, want 1", got)
+	}
+	after := g.Imbalance()
+	if after > 1.5 {
+		t.Fatalf("rebalance left imbalance at %.2f (was %.2f)", after, before)
+	}
+	assertMapInvariants(t, g.Map(), ds.Objects, 4)
+
+	// Post-rebalance answers still match a fresh single index.
+	single := settree.Builder(16)(ds.Objects)
+	sn, err := single.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.Family(0).Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range testQueries(ds, 5, 79, 10, 2) {
+		s := score.Scorer{Query: q, MaxDist: ds.Objects.MaxDist()}
+		want := sn.TopK(s, 10, nil, nil)
+		got := v.TopK(s, 10, nil, nil)
+		if len(got) != len(want) {
+			t.Fatalf("post-rebalance: %d results, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Obj.ID != want[i].Obj.ID || got[i].Score != want[i].Score {
+				t.Fatalf("post-rebalance rank %d: got (%d, %v), want (%d, %v)",
+					i, got[i].Obj.ID, got[i].Score, want[i].Obj.ID, want[i].Score)
+			}
+		}
+	}
+}
+
+// TestGroupRebalanceStorm is the -race exercise of the rebalancer:
+// concurrent scatter-gather queries against a Group whose (serialized)
+// mutator interleaves inserts, removes, refreshes, and whole-partition
+// rebalances. Every acquisition must succeed and stay internally
+// consistent.
+func TestGroupRebalanceStorm(t *testing.T) {
+	ds := skewedTestDataset(t, 400, 80)
+	g := NewGroup(ds.Objects, 4, STRSplitter{}, []index.Builder{settree.Builder(16), kcrtree.Builder(16)})
+	qs := testQueries(ds, 8, 81, 5, 2)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[(i+w)%len(qs)]
+				v, err := g.Family(0).Acquire()
+				if err != nil {
+					t.Errorf("worker %d: acquire: %v", w, err)
+					return
+				}
+				s := v.Scorer(q)
+				res := v.TopK(s, q.K, nil, nil)
+				for j := 1; j < len(res); j++ {
+					if score.Better(res[j].Score, res[j].Obj.ID, res[j-1].Score, res[j-1].Obj.ID) {
+						t.Errorf("worker %d: results out of order", w)
+						return
+					}
+				}
+				if len(res) > 0 {
+					_ = v.CountBetter(s, res[0].Score, res[0].Obj.ID)
+				}
+			}
+		}(w)
+	}
+
+	// One mutator goroutine: Group mutations must be serialized, and
+	// serializing them also orders the rebalances (as the engine's
+	// mutation mutex does in production).
+	rng := rand.New(rand.NewSource(82))
+	hot := ds.Objects.Get(7)
+	var added []object.ID
+	for i := 0; i < 240; i++ {
+		switch {
+		case i%4 == 3 && len(added) > 0:
+			j := rng.Intn(len(added))
+			g.Remove(added[j])
+			added = append(added[:j], added[j+1:]...)
+		default:
+			loc := hot.Loc
+			loc.X += rng.Float64() * 1e-3
+			loc.Y += rng.Float64() * 1e-3
+			added = append(added, g.Insert(object.Object{Loc: loc, Doc: ds.Objects.Get(object.ID(rng.Intn(400))).Doc}))
+		}
+		if i%9 == 0 {
+			g.Refresh()
+		}
+		if i%60 == 59 {
+			commit := g.PrepareRebalance()
+			commit()
+		}
+	}
+	g.Refresh()
+	close(stop)
+	wg.Wait()
+	if g.Rebalances() == 0 {
+		t.Fatal("storm never rebalanced")
+	}
+	assertMapInvariants(t, g.Map(), ds.Objects, 4)
+}

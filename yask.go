@@ -34,6 +34,7 @@ import (
 	"github.com/yask-engine/yask/internal/geo"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/shard"
 	"github.com/yask-engine/yask/internal/vocab"
 )
 
@@ -180,6 +181,39 @@ type EngineOptions struct {
 	// by scatter-gather across them and return results identical to the
 	// unsharded engine. Values ≤ 1 select the single-index fast path.
 	Shards int
+	// Splitter selects the sharding strategy: "" or "grid" freezes a
+	// uniform grid over the data space at build time, "str" sort-tile-
+	// recursive-packs a sample of the collection into balanced
+	// rectangles, so skewed (clustered) datasets keep even shard
+	// populations. Ignored for Shards ≤ 1.
+	Splitter string
+	// RebalanceFactor enables online shard rebalancing: when the
+	// max/mean live-population ratio across shards exceeds this factor
+	// after a mutation, a background rebalance re-splits the collection
+	// with the configured splitter and publishes the new partition
+	// atomically — queries are never disturbed and answers stay
+	// identical to the unsharded engine throughout. Must exceed 1 when
+	// set; zero disables. Ignored for Shards ≤ 1.
+	RebalanceFactor float64
+}
+
+// coreOptions maps the public options onto the internal engine,
+// resolving the splitter name.
+func (opts EngineOptions) coreOptions() (core.Options, error) {
+	sp, err := shard.SplitterByName(opts.Splitter)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("yask: %w", err)
+	}
+	if opts.RebalanceFactor != 0 && opts.RebalanceFactor <= 1 {
+		return core.Options{}, fmt.Errorf("yask: rebalance factor %v must exceed 1", opts.RebalanceFactor)
+	}
+	return core.Options{
+		RefreshEvery:    opts.RefreshEvery,
+		RefreshInterval: opts.RefreshInterval,
+		Shards:          opts.Shards,
+		Splitter:        sp,
+		RebalanceFactor: opts.RebalanceFactor,
+	}, nil
 }
 
 // NewEngine indexes the given objects and returns a ready engine.
@@ -191,6 +225,10 @@ func NewEngine(objects []Object) (*Engine, error) {
 func NewEngineWith(objects []Object, opts EngineOptions) (*Engine, error) {
 	if len(objects) == 0 {
 		return nil, errors.New("yask: need at least one object")
+	}
+	copts, err := opts.coreOptions()
+	if err != nil {
+		return nil, err
 	}
 	v := vocab.NewVocabulary()
 	objs := make([]object.Object, len(objects))
@@ -206,26 +244,22 @@ func NewEngineWith(objects []Object, opts EngineOptions) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		core: core.NewEngine(object.NewCollection(objs), core.Options{
-			RefreshEvery:    opts.RefreshEvery,
-			RefreshInterval: opts.RefreshInterval,
-			Shards:          opts.Shards,
-		}),
+		core:  core.NewEngine(object.NewCollection(objs), copts),
 		vocab: v,
 	}, nil
 }
 
 // newFromDataset wraps an internal dataset; used by the demo constructor
 // and the server.
-func newFromDataset(ds *dataset.Dataset, opts EngineOptions) *Engine {
-	return &Engine{
-		core: core.NewEngine(ds.Objects, core.Options{
-			RefreshEvery:    opts.RefreshEvery,
-			RefreshInterval: opts.RefreshInterval,
-			Shards:          opts.Shards,
-		}),
-		vocab: ds.Vocab,
+func newFromDataset(ds *dataset.Dataset, opts EngineOptions) (*Engine, error) {
+	copts, err := opts.coreOptions()
+	if err != nil {
+		return nil, err
 	}
+	return &Engine{
+		core:  core.NewEngine(ds.Objects, copts),
+		vocab: ds.Vocab,
+	}, nil
 }
 
 // HKDemoEngine returns an engine over the built-in demo dataset: a
@@ -234,9 +268,16 @@ func HKDemoEngine() *Engine {
 	return HKDemoEngineWith(EngineOptions{})
 }
 
-// HKDemoEngineWith is HKDemoEngine with explicit engine options.
+// HKDemoEngineWith is HKDemoEngine with explicit engine options. It
+// panics on invalid options (an unknown splitter name, a rebalance
+// factor ≤ 1): the demo constructor takes configuration, not data, so a
+// bad value is a programming error.
 func HKDemoEngineWith(opts EngineOptions) *Engine {
-	return newFromDataset(dataset.HKHotels(), opts)
+	e, err := newFromDataset(dataset.HKHotels(), opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // LoadEngine reads a dataset file (.json or .csv, as written by the
@@ -254,7 +295,7 @@ func LoadEngineWith(path string, opts EngineOptions) (*Engine, error) {
 	if ds.Objects.Len() == 0 {
 		return nil, fmt.Errorf("yask: dataset %q is empty", path)
 	}
-	return newFromDataset(ds, opts), nil
+	return newFromDataset(ds, opts)
 }
 
 // Len returns the size of the engine's ID space: live objects plus
@@ -296,6 +337,14 @@ func (e *Engine) Remove(id ObjectID) error {
 // Refresh forces a snapshot refresh, publishing any mutations still
 // buffered by Options.RefreshEvery batching.
 func (e *Engine) Refresh() { e.core.Refresh() }
+
+// Rebalance forces a synchronous re-split of a sharded engine with its
+// configured splitter — useful after a bulk load has skewed the shard
+// populations, independent of the automatic RebalanceFactor trigger.
+// It reports whether a rebalance ran (false for an unsharded engine).
+// Queries keep their consistent view throughout; answers before and
+// after are identical.
+func (e *Engine) Rebalance() bool { return e.core.Rebalance() }
 
 // Object returns the indexed object with the given ID, including
 // removed ones (check with Objects for the live set).
@@ -604,17 +653,30 @@ type ShardStats struct {
 	// accesses of the shard's SetR- and KcR-trees.
 	SetNodeAccesses int64 `json:"setNodeAccesses"`
 	KcNodeAccesses  int64 `json:"kcNodeAccesses"`
+	// Balance is the shard's live population relative to the ideal
+	// (total live / shards): 1.0 is a perfectly balanced shard, 0 an
+	// empty one.
+	Balance float64 `json:"balance"`
 }
 
 // EngineStats is the engine's execution snapshot: shard layout,
 // buffered mutations, and per-shard index statistics.
 type EngineStats struct {
-	Shards           int          `json:"shards"`
-	Objects          int          `json:"objects"`
-	Live             int          `json:"live"`
-	PendingMutations int          `json:"pendingMutations"`
-	MaxDist          float64      `json:"maxDist"`
-	PerShard         []ShardStats `json:"perShard"`
+	Shards           int     `json:"shards"`
+	Objects          int     `json:"objects"`
+	Live             int     `json:"live"`
+	PendingMutations int     `json:"pendingMutations"`
+	MaxDist          float64 `json:"maxDist"`
+	// Splitter names the sharding strategy ("grid", "str"); empty for
+	// an unsharded engine.
+	Splitter string `json:"splitter,omitempty"`
+	// ImbalanceFactor is the max/mean live-population ratio across
+	// shards — the skew signal operators watch: 1.0 is perfectly
+	// balanced, Shards means one shard holds everything.
+	ImbalanceFactor float64 `json:"imbalanceFactor"`
+	// Rebalances counts the online rebalances published so far.
+	Rebalances int64        `json:"rebalances"`
+	PerShard   []ShardStats `json:"perShard"`
 }
 
 // Stats reports the engine's execution statistics, one row per spatial
@@ -627,12 +689,16 @@ func (e *Engine) Stats() EngineStats {
 		Live:             st.Live,
 		PendingMutations: st.Pending,
 		MaxDist:          st.MaxDist,
+		Splitter:         st.Splitter,
+		ImbalanceFactor:  st.ImbalanceFactor,
+		Rebalances:       st.Rebalances,
 		PerShard:         make([]ShardStats, len(st.PerShard)),
 	}
 	for i, sh := range st.PerShard {
 		out.PerShard[i] = ShardStats{
 			Shard: sh.Shard, Objects: sh.Objects, Live: sh.Live,
 			SetNodeAccesses: sh.SetNodeAccesses, KcNodeAccesses: sh.KcNodeAccesses,
+			Balance: sh.Balance,
 		}
 	}
 	return out

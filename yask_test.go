@@ -441,3 +441,61 @@ func TestShardedEnginePublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitterPublicAPI: the STR splitter and online rebalancing are
+// selectable through EngineOptions, reported through Stats, and never
+// change answers; bad configurations are rejected up front.
+func TestSplitterPublicAPI(t *testing.T) {
+	single, err := NewEngine(demoObjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := NewEngineWith(demoObjects(), EngineOptions{
+		Shards: 3, Splitter: "str", RebalanceFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := str.Stats(); st.Splitter != "str" || st.ImbalanceFactor < 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	q := Query{X: 0.2, Y: 0.2, Keywords: []string{"coffee", "cafe"}, K: 3}
+	want, err := single.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameIDs := func(ctx string) {
+		t.Helper()
+		got, err := str.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", ctx, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				t.Fatalf("%s rank %d: got (%d, %v), want (%d, %v)",
+					ctx, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	}
+	assertSameIDs("str")
+	if !str.Rebalance() {
+		t.Fatal("Rebalance() = false on a sharded engine")
+	}
+	assertSameIDs("rebalanced")
+	if got := str.Stats().Rebalances; got < 1 {
+		t.Fatalf("Stats().Rebalances = %d, want ≥ 1", got)
+	}
+	if single.Rebalance() {
+		t.Fatal("Rebalance() = true on an unsharded engine")
+	}
+
+	if _, err := NewEngineWith(demoObjects(), EngineOptions{Shards: 2, Splitter: "hilbert"}); err == nil {
+		t.Fatal("unknown splitter accepted")
+	}
+	if _, err := NewEngineWith(demoObjects(), EngineOptions{Shards: 2, RebalanceFactor: 0.5}); err == nil {
+		t.Fatal("rebalance factor 0.5 accepted")
+	}
+}
