@@ -122,6 +122,21 @@ func TestTopKAllocationGuard(t *testing.T) {
 	if coldSet > 4 {
 		t.Errorf("plain SetR-tree TopK averaged %.2f allocs/query, want ≤ 4", coldSet)
 	}
+
+	// The signature-free fallback path must stay warm-zero too: the
+	// e12 off rows join the bench-smoke gate through the baseline.
+	offSet := settree.BuildWith(e.DS.Objects, rtree.DefaultMaxEntries, false)
+	for _, q := range qs {
+		buf, _ = offSet.TopKAppend(q, buf[:0]) // warm the scratch pool
+	}
+	warmOff := testing.AllocsPerRun(50, func() {
+		for _, q := range qs {
+			buf, _ = offSet.TopKAppend(q, buf[:0])
+		}
+	}) / float64(len(qs))
+	if warmOff > 1 {
+		t.Errorf("warm signature-free SetR-tree TopK averaged %.2f allocs/query, want ≤ 1", warmOff)
+	}
 }
 
 func BenchmarkE1TopKScan(b *testing.B) {

@@ -1,8 +1,9 @@
 // Command yaskbench regenerates the experiment tables of DESIGN.md's
-// experiment index (E1–E10): query-engine comparisons, index
+// experiment index (E1–E12): query-engine comparisons, index
 // construction, why-not refinement latency and quality, λ sweeps,
-// scalability, HTTP round trips, the concurrent batch executor, and
-// the sharded scatter-gather executor.
+// scalability, HTTP round trips, the concurrent batch executor, the
+// sharded scatter-gather executor, and the keyword-signature pruning
+// ablation.
 //
 // Usage:
 //
@@ -10,6 +11,8 @@
 //	yaskbench -exp e3,e5   # selected experiments
 //	yaskbench -full        # paper-shaped dataset sizes (slow)
 //	yaskbench -json        # machine-readable hot-path snapshot
+//	yaskbench -json -signatures both
+//	                       # e12 rows for the signature AND exact paths
 //	yaskbench -json -o bench.json -baseline BENCH_baseline.json
 //	                       # CI bench-smoke: measure, save, gate
 //
@@ -39,7 +42,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable hot-path snapshot instead of tables")
 	out := flag.String("o", "", "write the -json report to this file instead of stdout")
 	baseline := flag.String("baseline", "", "diff the -json report against this baseline snapshot; exit 1 if a zero-allocs/op row regressed")
+	signatures := flag.String("signatures", "both", "signature configurations the -json report measures: on, off, or both (both exercises the signature path and the exact path in one run)")
 	flag.Parse()
+
+	sigMode, err := bench.ParseSigMode(*signatures)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *baseline != "" && sigMode != bench.SigBoth {
+		// The baseline gate hard-fails on any zero-allocs row missing
+		// from the current report, and a single-mode run necessarily
+		// omits the other mode's e12 rows.
+		fmt.Fprintln(os.Stderr, "yaskbench: -baseline requires -signatures=both (the gate checks the e12 rows of both paths)")
+		os.Exit(2)
+	}
 
 	scale := bench.Quick
 	if *full {
@@ -47,7 +64,7 @@ func main() {
 	}
 
 	if *jsonOut || *baseline != "" {
-		runJSON(scale, *out, *baseline)
+		runJSON(scale, sigMode, *out, *baseline)
 		return
 	}
 
@@ -81,8 +98,8 @@ func main() {
 
 // runJSON measures the machine-readable snapshot once, writes it to the
 // requested destination, and optionally gates it against a baseline.
-func runJSON(scale bench.Scale, out, baseline string) {
-	rep := bench.MeasureReport(scale)
+func runJSON(scale bench.Scale, sigMode bench.SigMode, out, baseline string) {
+	rep := bench.MeasureReportMode(scale, sigMode)
 
 	w := os.Stdout
 	if out != "" {

@@ -7,6 +7,7 @@
 //
 //	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m]
 //	      [-shards 4] [-splitter str] [-rebalance-factor 1.5]
+//	      [-signatures=false]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
 // synthetic stand-in for the paper's 539 Hong Kong hotels. With
@@ -20,6 +21,11 @@
 // population exceeds the factor, the engine re-splits in the background
 // and publishes the new partition atomically — watch the live
 // imbalanceFactor and per-shard balance fields on GET /api/stats.
+//
+// -signatures (default true) controls the keyword-signature pruning
+// layer baked into the index arenas; answers are byte-identical either
+// way, and the live hit rate (sigHitRate, plus per-shard probe/hit
+// counters) is reported on GET /api/stats.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 	shards := flag.Int("shards", 1, "spatial shards to partition the engine into (1 = single index)")
 	splitter := flag.String("splitter", "grid", "sharding strategy: grid (uniform grid over the data space) or str (sort-tile-recursive packing of a data sample; balances skewed datasets)")
 	rebalance := flag.Float64("rebalance-factor", 0, "enable online shard rebalancing when the max/mean shard population ratio exceeds this factor (must be > 1; 0 disables)")
+	signatures := flag.Bool("signatures", true, "enable the keyword-signature pruning layer (constant-time bitmap bounds before exact keyword merge-walks; identical answers either way)")
 	flag.Parse()
 
 	if *splitter != "grid" && *splitter != "str" {
@@ -47,7 +54,10 @@ func main() {
 	if *rebalance != 0 && *rebalance <= 1 {
 		log.Fatalf("-rebalance-factor %v must exceed 1 (max/mean imbalance is never below 1)", *rebalance)
 	}
-	opts := yask.EngineOptions{Shards: *shards, Splitter: *splitter, RebalanceFactor: *rebalance}
+	opts := yask.EngineOptions{
+		Shards: *shards, Splitter: *splitter, RebalanceFactor: *rebalance,
+		DisableSignatures: !*signatures,
+	}
 	var (
 		engine *yask.Engine
 		err    error
@@ -61,6 +71,11 @@ func main() {
 			log.Fatalf("loading %s: %v", *data, err)
 		}
 		log.Printf("serving %s (%d objects, %d shard(s))", *data, engine.Len(), engine.Stats().Shards)
+	}
+	if engine.Stats().Signatures {
+		log.Printf("keyword-signature pruning enabled (256-bit arena bitmaps; hit rate on GET /api/stats)")
+	} else {
+		log.Printf("keyword-signature pruning disabled (-signatures=false): exact keyword merge-walks on every textual evaluation")
 	}
 
 	srv := server.New(engine, server.Config{SessionTTL: *ttl})

@@ -57,10 +57,13 @@ type Metric struct {
 // emits. Future PRs diff a fresh run against the checked-in
 // BENCH_baseline.json to track the perf trajectory.
 type Report struct {
-	Schema     string   `json:"schema"`
-	Scale      string   `json:"scale"`
-	N          int      `json:"n"`
-	GoMaxProcs int      `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	N          int    `json:"n"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Signatures records which signature configurations the run
+	// measured ("both", "on", "off") — see yaskbench -signatures.
+	Signatures string   `json:"signatures"`
 	Metrics    []Metric `json:"metrics"`
 }
 
@@ -75,15 +78,23 @@ func WriteJSONReport(w io.Writer, scale Scale) error {
 
 // MeasureReport measures the hot-path suite — warm top-k latency, node
 // accesses, allocations per query, batch throughput, per-shard-count
-// rows, and the skewed-dataset balance sweep — and returns the
-// machine-readable report CI diffs against BENCH_baseline.json.
-func MeasureReport(scale Scale) Report {
-	env := NewEnv(scale.baseN())
+// rows, the skewed-dataset balance sweep, and the signature on/off
+// comparison — and returns the machine-readable report CI diffs
+// against BENCH_baseline.json.
+func MeasureReport(scale Scale) Report { return MeasureReportMode(scale, SigBoth) }
+
+// MeasureReportMode is MeasureReport with the signature configuration
+// pinned: SigBoth (the default and the CI setting) measures the main
+// suite with signatures on and emits e12 rows for both paths; SigOn and
+// SigOff restrict the whole run — including the e1 rows — to one path.
+func MeasureReportMode(scale Scale, mode SigMode) Report {
+	env := NewEnvSig(scale.baseN(), mode != SigOff)
 	rep := Report{
 		Schema:     "yask-bench/v1",
 		Scale:      scale.String(),
 		N:          scale.baseN(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Signatures: mode.String(),
 	}
 	add := func(name string, value float64, unit string) {
 		rep.Metrics = append(rep.Metrics, Metric{Name: name, Value: value, Unit: unit})
@@ -156,6 +167,10 @@ func MeasureReport(scale Scale) Report {
 
 	// Skew-aware sharding: balance and latency per splitter strategy.
 	addSkewMetrics(scale, add)
+
+	// Keyword-signature pruning: on/off latency, exact set ops, hit
+	// rate.
+	addSignatureMetrics(env, scale, mode, add)
 
 	return rep
 }

@@ -82,19 +82,26 @@ type Env struct {
 }
 
 // NewEnv builds the experiment environment for n objects.
-func NewEnv(n int) *Env {
+func NewEnv(n int) *Env { return NewEnvSig(n, true) }
+
+// NewEnvSig is NewEnv with the keyword-signature pruning layer toggled
+// on every index and the engine — the ablation switch of experiment E12
+// and `yaskbench -signatures=off`.
+func NewEnvSig(n int, signatures bool) *Env {
 	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
 	if err != nil {
 		// Config is static; failure is a programming error.
 		panic(err)
 	}
-	return &Env{
+	env := &Env{
 		DS:     ds,
-		Set:    settree.Build(ds.Objects, rtree.DefaultMaxEntries),
-		Kc:     kcrtree.Build(ds.Objects, rtree.DefaultMaxEntries),
+		Set:    settree.BuildWith(ds.Objects, rtree.DefaultMaxEntries, signatures),
+		Kc:     kcrtree.BuildWith(ds.Objects, rtree.DefaultMaxEntries, signatures),
 		Ir:     irtree.Build(ds.Objects, ds.Vocab.Len(), rtree.DefaultMaxEntries),
-		Engine: core.NewEngine(ds.Objects, core.Options{}),
+		Engine: core.NewEngine(ds.Objects, core.Options{DisableSignatures: !signatures}),
 	}
+	env.Ir.SetSignatures(signatures)
+	return env
 }
 
 // Queries generates a deterministic query workload over the env.
@@ -445,7 +452,7 @@ func RunE6Scale(w io.Writer, scale Scale) {
 // |q ∩ U|/|q ∪ I| bound, measured as top-k latency and node accesses.
 func RunE8BoundAblation(w io.Writer, scale Scale) {
 	env := NewEnv(scale.baseN())
-	basic := settree.Build(env.DS.Objects, rtree.DefaultMaxEntries)
+	basic := settree.BuildWith(env.DS.Objects, rtree.DefaultMaxEntries, false)
 	basic.SetBoundMode(settree.BoundBasic)
 	fmt.Fprintf(w, "E8 — SetR-tree bound ablation (N=%d, %s scale)\n", scale.baseN(), scale)
 	tw := newTable(w)

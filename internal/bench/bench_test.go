@@ -53,6 +53,24 @@ func TestEnvHelpers(t *testing.T) {
 	}
 }
 
+func TestParseSigMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SigMode
+	}{{"on", SigOn}, {"off", SigOff}, {"both", SigBoth}, {"", SigBoth}} {
+		got, err := ParseSigMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSigMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseSigMode("sometimes"); err == nil {
+		t.Fatal("ParseSigMode accepted a bogus mode")
+	}
+	if SigOn.String() != "on" || SigOff.String() != "off" || SigBoth.String() != "both" {
+		t.Fatal("SigMode names wrong")
+	}
+}
+
 func TestScaleSettings(t *testing.T) {
 	if Quick.String() != "quick" || Full.String() != "full" {
 		t.Fatal("scale names wrong")

@@ -129,4 +129,5 @@ var Experiments = []struct {
 	{"e9", "concurrent batch executor", RunE9Batch},
 	{"e10", "sharded scatter-gather executor", RunE10Shard},
 	{"e11", "skew-aware sharding", RunE11Skew},
+	{"e12", "keyword-signature pruning", RunE12Signatures},
 }

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+// SigMode selects which signature configurations the machine-readable
+// report measures for the e12 rows (`yaskbench -signatures`).
+type SigMode int
+
+const (
+	// SigBoth measures both configurations — the default, so one CI run
+	// exercises the signature path and the exact path.
+	SigBoth SigMode = iota
+	// SigOn measures only the signature-accelerated path.
+	SigOn
+	// SigOff measures only the exact path (the whole environment is
+	// built with signatures disabled, so the e1 rows cover it too).
+	SigOff
+)
+
+// ParseSigMode parses the -signatures flag value.
+func ParseSigMode(s string) (SigMode, error) {
+	switch s {
+	case "both", "":
+		return SigBoth, nil
+	case "on":
+		return SigOn, nil
+	case "off":
+		return SigOff, nil
+	}
+	return SigBoth, fmt.Errorf("bench: unknown signature mode %q (want on, off, or both)", s)
+}
+
+func (m SigMode) String() string {
+	switch m {
+	case SigOn:
+		return "on"
+	case SigOff:
+		return "off"
+	default:
+		return "both"
+	}
+}
+
+// RunE12Signatures regenerates experiment E12: the keyword-signature
+// pruning layer of the flat arenas, on vs off. The signatures never
+// change answers — the columns to watch are the warm top-k latency, the
+// exact keyword set operations per query (the merge-walks the bitmap
+// bound replaced), and the signature hit rate.
+func RunE12Signatures(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	off := settree.BuildWith(env.DS.Objects, rtree.DefaultMaxEntries, false)
+	fmt.Fprintf(w, "E12 — keyword-signature pruning (SetR-tree, N=%d, %s scale)\n", scale.baseN(), scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "k\t|q.doc|\ton µs\toff µs\tspeedup\texact/op on\texact/op off\thit rate\t")
+	var buf []score.Result
+	for _, k := range []int{3, 10, 50} {
+		for _, kw := range []int{1, 3} {
+			qs := env.Queries(scale.queries(), k, kw)
+			// Warm both scratch pools before timing.
+			for _, q := range qs {
+				buf, _ = env.Set.TopKAppend(q, buf[:0])
+				buf, _ = off.TopKAppend(q, buf[:0])
+			}
+			env.Set.Stats().Reset()
+			onTime := timeIt(func() {
+				for _, q := range qs {
+					buf, _ = env.Set.TopKAppend(q, buf[:0])
+				}
+			}) / time.Duration(len(qs))
+			onExact := env.Set.Stats().ExactSetOps() / int64(len(qs))
+			hitRate := 0.0
+			if probes := env.Set.Stats().SigProbes(); probes > 0 {
+				hitRate = float64(env.Set.Stats().SigHits()) / float64(probes)
+			}
+			off.Stats().Reset()
+			offTime := timeIt(func() {
+				for _, q := range qs {
+					buf, _ = off.TopKAppend(q, buf[:0])
+				}
+			}) / time.Duration(len(qs))
+			offExact := off.Stats().ExactSetOps() / int64(len(qs))
+			fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%.1fx\t%d\t%d\t%.2f\t\n",
+				k, kw, us(onTime), us(offTime), float64(offTime)/float64(onTime),
+				onExact, offExact, hitRate)
+		}
+	}
+	tw.Flush()
+}
+
+// addSignatureMetrics emits the e12 rows of the machine-readable
+// report: warm SetR top-k latency, allocations, and exact keyword set
+// operations per query with the signature layer on and/or off, plus the
+// signature hit rate. The allocs rows are zero and join the bench-smoke
+// gate via the regenerated baseline.
+func addSignatureMetrics(env *Env, scale Scale, mode SigMode, add func(name string, value float64, unit string)) {
+	measure := func(ix *settree.Index, label string) {
+		for _, k := range []int{10, 50} {
+			qs := env.Queries(scale.queries(), k, 2)
+			var buf []score.Result
+			for _, q := range qs {
+				buf, _ = ix.TopKAppend(q, buf[:0]) // warm the scratch pool
+			}
+			ix.Stats().Reset()
+			t := timeIt(func() {
+				for _, q := range qs {
+					buf, _ = ix.TopKAppend(q, buf[:0])
+				}
+			}) / time.Duration(len(qs))
+			add(fmt.Sprintf("e12/topk/sig=%s/k=%d", label, k), float64(t.Nanoseconds()), "ns/op")
+			add(fmt.Sprintf("e12/exact/sig=%s/k=%d", label, k),
+				float64(ix.Stats().ExactSetOps()/int64(len(qs))), "exact-ops/op")
+			if probes := ix.Stats().SigProbes(); probes > 0 {
+				add(fmt.Sprintf("e12/sighitrate/k=%d", k),
+					float64(ix.Stats().SigHits())/float64(probes), "ratio")
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				for _, q := range qs {
+					buf, _ = ix.TopKAppend(q, buf[:0])
+				}
+			}) / float64(len(qs))
+			add(fmt.Sprintf("e12/allocs/sig=%s/k=%d", label, k), allocs, "allocs/op")
+		}
+	}
+	if mode != SigOff {
+		measure(env.Set, "on") // env indexes carry signatures unless SigOff
+	}
+	if mode != SigOn {
+		off := env.Set
+		if mode != SigOff {
+			off = settree.BuildWith(env.DS.Objects, rtree.DefaultMaxEntries, false)
+		}
+		measure(off, "off")
+	}
+}

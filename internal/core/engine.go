@@ -87,6 +87,9 @@ type Engine struct {
 	rebalanceFloor float64
 	// rebalancing claims the single in-flight background rebalance.
 	rebalancing atomic.Bool
+	// signatures records whether the keyword-signature pruning layer is
+	// active (Options.DisableSignatures inverted), for stats reporting.
+	signatures bool
 }
 
 // Options configures engine construction.
@@ -124,6 +127,14 @@ type Options struct {
 	// rectangles so skewed datasets keep even shard populations. Ignored
 	// for Shards ≤ 1.
 	Splitter shard.Splitter
+	// DisableSignatures turns off the keyword-signature pruning layer:
+	// the fixed-width hashed bitmaps frozen into every index arena that
+	// give traversals a constant-time upper bound on keyword
+	// intersections, skipping the exact merge-walks whenever the bound
+	// alone is decisive. Signatures are on by default and never change
+	// results (answers are byte-identical either way); the switch exists
+	// for ablation measurements and as an operational escape hatch.
+	DisableSignatures bool
 	// RebalanceFactor enables online shard rebalancing: after a
 	// mutation, when the max/mean live-population ratio across shards
 	// exceeds this factor, a background rebalance re-splits the
@@ -160,15 +171,16 @@ func NewEngine(c *object.Collection, opts Options) *Engine {
 		refreshInterval: opts.RefreshInterval,
 		lastRefresh:     time.Now(),
 		rebalanceFactor: opts.RebalanceFactor,
+		signatures:      !opts.DisableSignatures,
 	}
 	if opts.Shards > 1 {
 		e.group = shard.NewGroup(c, opts.Shards, opts.Splitter, []index.Builder{
-			settree.Builder(maxE),
-			kcrtree.Builder(maxE),
+			settree.BuilderWith(maxE, e.signatures),
+			kcrtree.BuilderWith(maxE, e.signatures),
 		})
 	} else {
-		e.set = settree.Build(c, maxE)
-		e.kc = kcrtree.Build(c, maxE)
+		e.set = settree.BuildWith(c, maxE, e.signatures)
+		e.kc = kcrtree.BuildWith(c, maxE, e.signatures)
 		e.providers = []index.Provider{e.set, e.kc}
 	}
 	return e
@@ -481,6 +493,14 @@ type ShardStats struct {
 	// accesses of the shard's two indexes.
 	SetNodeAccesses int64 `json:"setNodeAccesses"`
 	KcNodeAccesses  int64 `json:"kcNodeAccesses"`
+	// SetSigProbes/SetSigHits and KcSigProbes/KcSigHits are the shard's
+	// keyword-signature pruning counters per index family: probes are
+	// signature bounds consulted, hits the decisive ones (each an exact
+	// keyword set operation skipped).
+	SetSigProbes int64 `json:"setSigProbes"`
+	SetSigHits   int64 `json:"setSigHits"`
+	KcSigProbes  int64 `json:"kcSigProbes"`
+	KcSigHits    int64 `json:"kcSigHits"`
 	// Balance is the shard's live population relative to the ideal
 	// (total live / shards): 1.0 is a perfectly balanced shard, 0 an
 	// empty one, values near Shards mean the shard holds everything.
@@ -505,6 +525,15 @@ type EngineStats struct {
 	ImbalanceFactor float64 `json:"imbalanceFactor"`
 	// Rebalances counts the online rebalances published so far.
 	Rebalances int64 `json:"rebalances"`
+	// Signatures reports whether the keyword-signature pruning layer is
+	// active; SigProbes/SigHits aggregate the per-shard, per-family
+	// counters and SigHitRate is hits/probes (0 when never probed) —
+	// the fraction of textual evaluations answered by a constant-time
+	// bitmap bound instead of an exact keyword merge-walk.
+	Signatures bool    `json:"signatures"`
+	SigProbes  int64   `json:"sigProbes"`
+	SigHits    int64   `json:"sigHits"`
+	SigHitRate float64 `json:"sigHitRate"`
 	// PerShard has one row per shard (one row for the single backend).
 	PerShard []ShardStats `json:"perShard"`
 }
@@ -512,24 +541,31 @@ type EngineStats struct {
 // Stats reports the engine's execution statistics.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Shards:  e.Shards(),
-		Objects: e.coll.Len(),
-		Live:    e.coll.LiveLen(),
-		Pending: e.PendingMutations(),
-		MaxDist: e.coll.MaxDist(),
+		Shards:     e.Shards(),
+		Objects:    e.coll.Len(),
+		Live:       e.coll.LiveLen(),
+		Pending:    e.PendingMutations(),
+		MaxDist:    e.coll.MaxDist(),
+		Signatures: e.signatures,
 	}
 	if e.group == nil {
 		if st.Live > 0 {
 			st.ImbalanceFactor = 1
 		}
+		setS, kcS := e.set.Stats(), e.kc.Stats()
 		st.PerShard = []ShardStats{{
 			Shard:           0,
 			Objects:         e.coll.Len(),
 			Live:            e.coll.LiveLen(),
-			SetNodeAccesses: e.set.Stats().NodeAccesses(),
-			KcNodeAccesses:  e.kc.Stats().NodeAccesses(),
+			SetNodeAccesses: setS.NodeAccesses(),
+			KcNodeAccesses:  kcS.NodeAccesses(),
+			SetSigProbes:    setS.SigProbes(),
+			SetSigHits:      setS.SigHits(),
+			KcSigProbes:     kcS.SigProbes(),
+			KcSigHits:       kcS.SigHits(),
 			Balance:         st.ImbalanceFactor,
 		}}
+		st.finishSigTotals()
 		return st
 	}
 	m, families := e.group.State()
@@ -545,19 +581,37 @@ func (e *Engine) Stats() EngineStats {
 	st.PerShard = make([]ShardStats, m.Shards())
 	for t := range st.PerShard {
 		c := m.Part(t).Collection()
+		setS, kcS := setP[t].Stats(), kcP[t].Stats()
 		row := ShardStats{
 			Shard:           t,
 			Objects:         c.Len(),
 			Live:            c.LiveLen(),
-			SetNodeAccesses: setP[t].Stats().NodeAccesses(),
-			KcNodeAccesses:  kcP[t].Stats().NodeAccesses(),
+			SetNodeAccesses: setS.NodeAccesses(),
+			KcNodeAccesses:  kcS.NodeAccesses(),
+			SetSigProbes:    setS.SigProbes(),
+			SetSigHits:      setS.SigHits(),
+			KcSigProbes:     kcS.SigProbes(),
+			KcSigHits:       kcS.SigHits(),
 		}
 		if totalLive > 0 {
 			row.Balance = float64(row.Live) * float64(m.Shards()) / float64(totalLive)
 		}
 		st.PerShard[t] = row
 	}
+	st.finishSigTotals()
 	return st
+}
+
+// finishSigTotals aggregates the per-shard signature counters into the
+// engine-level totals and hit rate.
+func (st *EngineStats) finishSigTotals() {
+	for _, row := range st.PerShard {
+		st.SigProbes += row.SetSigProbes + row.KcSigProbes
+		st.SigHits += row.SetSigHits + row.KcSigHits
+	}
+	if st.SigProbes > 0 {
+		st.SigHitRate = float64(st.SigHits) / float64(st.SigProbes)
+	}
 }
 
 // TopK answers a spatial keyword top-k query (Definition 1).

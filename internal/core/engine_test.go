@@ -27,7 +27,7 @@ func testEngine(t *testing.T, n int, seed int64) (*Engine, *dataset.Dataset) {
 func missingFromResult(e *Engine, q score.Query, count int) []object.ID {
 	extended := q
 	extended.K = q.K + count
-	res, _ := e.set.TopK(extended)
+	res, _ := e.TopK(extended)
 	ids := make([]object.ID, 0, count)
 	for _, r := range res[q.K:] {
 		ids = append(ids, r.Obj.ID)

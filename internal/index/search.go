@@ -1,13 +1,93 @@
 package index
 
 import (
+	"math"
 	"slices"
 
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/pqueue"
 	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
 )
+
+// SigCounters batches one query's signature-layer statistics so hot
+// paths never touch the arena's atomic counters per node or entry; each
+// family keeps one in its pooled scratch and flushes it once per
+// traversal.
+type SigCounters struct {
+	// Probes counts signature bounds consulted, Hits the decisive ones
+	// (an exact keyword set operation skipped), Exact the exact set
+	// operations that ran (with signatures disabled: all of them).
+	Probes, Hits, Exact int64
+}
+
+// Flush adds the counters to st and zeroes them.
+func (c *SigCounters) Flush(st *rtree.Stats) {
+	st.AddSigCounts(c.Probes, c.Hits, c.Exact)
+	c.Probes, c.Hits, c.Exact = 0, 0, 0
+}
+
+// SigScoreEntry scores one leaf entry under s, probing the entry's
+// keyword signature before the exact similarity merge-walk:
+//
+//   - a disjoint signature AND proves TSim = 0, so the exact score is
+//     returned without the walk;
+//   - otherwise, if the signature's intersection upper bound caps the
+//     score strictly below limit, the entry is skipped (skip = true,
+//     the returned score is meaningless) — strictness preserves the
+//     (score, ID) tie-break, so skipping never changes results;
+//   - otherwise the exact score is computed.
+//
+// exactAvoided reports whether the merge-walk was avoided (either way
+// above). Pass limit = math.Inf(-1) to force an exact score.
+func SigScoreEntry(s *score.Scorer, e *rtree.LeafEntry[object.Object], esig *vocab.Signature, qs *vocab.QuerySig, limit float64) (scv float64, skip, exactAvoided bool) {
+	w := s.Query.W
+	sp := w.Ws * (1 - s.SDistAt(e.Item.Loc))
+	if qs.Disjoint(esig) {
+		return sp, false, true
+	}
+	olen := len(e.Item.Doc)
+	m := qs.IntersectBound(esig)
+	if ub := sp + w.Wt*score.SigSimUpperBound(s.Query.Sim, m, olen, olen, olen, qs.Len); ub < limit {
+		return 0, true, true
+	}
+	return sp + w.Wt*s.TSim(e.Item), false, false
+}
+
+// PrepareSig readies one traversal's signature state: the query
+// signature (computed once, a pure stack value) and the arena's
+// entry-signature column, when the family's layer is enabled and the
+// arena carries columns; the zero state with use = false otherwise.
+// Every traversal entry point of every family starts with this call.
+func PrepareSig[A any](f *rtree.Flat[object.Object, A], enabled bool, qdoc vocab.KeywordSet) (qs vocab.QuerySig, esigs []vocab.Signature, use bool) {
+	if !enabled || !f.HasSigs() {
+		return vocab.QuerySig{}, nil, false
+	}
+	return vocab.NewQuerySig(qdoc), f.EntrySigs(), true
+}
+
+// ScoreEntryCounted is the one leaf-entry scoring wrapper every
+// set-scored traversal shares: SigScoreEntry through the counter
+// protocol when the entry signature column is present (esigs non-nil),
+// the plain exact score otherwise. Returned ok = false means the entry
+// is provably strictly below limit and must be skipped. It is a plain
+// function — call it from an inline closure so the closure itself can
+// stay off the heap.
+func ScoreEntryCounted(s *score.Scorer, e *rtree.LeafEntry[object.Object], esigs []vocab.Signature, ei int32, qs *vocab.QuerySig, limit float64, ctr *SigCounters) (scv float64, ok bool) {
+	if esigs != nil {
+		ctr.Probes++
+		scv, skip, avoided := SigScoreEntry(s, e, &esigs[ei], qs, limit)
+		if avoided {
+			ctr.Hits++
+		} else {
+			ctr.Exact++
+		}
+		return scv, !skip
+	}
+	ctr.Exact++
+	return s.Score(e.Item), true
+}
 
 // PrunedDFS is the one pruned depth-first traversal driver the rank
 // and crossing primitives of every index family share: an explicit
@@ -58,29 +138,45 @@ func NodeOrder(a, b NodeEntry) bool { return a.Bound > b.Bound }
 // upper bound, a bounded min-heap of the k best objects seen, and the
 // shared-bound protocol for cross-partition pruning. The caller
 // supplies the two family-specific ingredients — bound (node score
-// upper bound) and scoreOf (exact object score) — plus its pooled
+// upper bound) and scoreEntry (leaf-entry scoring) — plus its pooled
 // heaps, which the driver drains before returning; results append to
 // dst in rank order (score desc, ID asc).
+//
+// Both callbacks receive the pruning limit current at their call, which
+// is what lets a signature-accelerated family stop short of its exact
+// bound: bound(n, limit) may return any admissible upper bound when the
+// result is ≥ limit, and any value < limit once a cheaper bound already
+// proves the node cannot contribute (the driver discards it either
+// way). scoreEntry(ei, e, limit) returns the entry's exact score, or
+// ok = false to skip an entry it proved strictly below limit — entries
+// at the limit must be scored, since an equal score with a smaller ID
+// still wins the tie-break. Entries are addressed by arena index ei so
+// families can consult per-entry signature columns, and passed by
+// pointer to keep the hot loop free of large copies.
 //
 // A node whose bound is strictly below the pruning limit cannot
 // contribute; ties must still be expanded — they can hide an
 // equal-score object with a smaller ID. The limit is the local k-th
 // best once the candidate heap is full, tightened by the shared
-// cross-partition bound when concurrent sibling searches exchange one.
+// cross-partition bound when concurrent sibling searches exchange one
+// (entry skipping uses only the local k-th best, keeping per-partition
+// results deterministic).
 func BestFirstTopK[A any](
 	f *rtree.Flat[object.Object, A],
 	k int,
 	shared *Bound,
 	nodes *pqueue.Queue[NodeEntry],
 	cand *pqueue.Queue[score.Result],
-	bound func(n int32) float64,
-	scoreOf func(o object.Object) float64,
+	bound func(n int32, limit float64) float64,
+	scoreEntry func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool),
 	dst []score.Result,
 ) []score.Result {
 	if f.Empty() || k <= 0 {
 		return dst
 	}
-	nodes.Push(NodeEntry{Bound: bound(0), Node: 0})
+	negInf := math.Inf(-1)
+	entries := f.AllEntries()
+	nodes.Push(NodeEntry{Bound: bound(0, negInf), Node: 0})
 	accesses := int64(0)
 	for nodes.Len() > 0 {
 		top := nodes.Pop()
@@ -99,8 +195,17 @@ func BestFirstTopK[A any](
 		n := top.Node
 		accesses++
 		if f.IsLeaf(n) {
-			for _, e := range f.Entries(n) {
-				scv := scoreOf(e.Item)
+			elimit := negInf
+			eLo, eHi := f.EntryRange(n)
+			for ei := eLo; ei < eHi; ei++ {
+				e := &entries[ei]
+				if cand.Len() == k {
+					elimit = cand.Peek().Score
+				}
+				scv, ok := scoreEntry(ei, e, elimit)
+				if !ok {
+					continue
+				}
 				if cand.Len() < k {
 					cand.Push(score.Result{Obj: e.Item, Score: scv})
 				} else if w := cand.Peek(); score.Better(scv, e.Item.ID, w.Score, w.Obj.ID) {
@@ -122,7 +227,7 @@ func BestFirstTopK[A any](
 		}
 		lo, hi := f.Children(n)
 		for c := lo; c < hi; c++ {
-			if b := bound(c); b >= limit {
+			if b := bound(c, limit); b >= limit {
 				nodes.Push(NodeEntry{Bound: b, Node: c})
 			}
 		}

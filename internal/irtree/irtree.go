@@ -210,6 +210,19 @@ type augmenter struct {
 	model *TextModel
 }
 
+// NodeSig implements rtree.KeywordSigger: the node signature covers
+// every keyword with a posting below the node.
+func (augmenter) NodeSig(a *Aug) vocab.Signature {
+	var g vocab.Signature
+	for _, p := range a.Postings {
+		g.Add(p.K)
+	}
+	return g
+}
+
+// LeafSig implements rtree.KeywordSigger.
+func (augmenter) LeafSig(o *object.Object) vocab.Signature { return o.Doc.Signature() }
+
 func (g augmenter) FromLeaf(o object.Object) Aug {
 	ps := make([]Posting, len(o.Doc))
 	for i, kw := range o.Doc {
@@ -263,6 +276,11 @@ func (g augmenter) Merge(a, b Aug) Aug {
 type Index struct {
 	pub  *rtree.SnapshotPublisher[object.Object, Aug]
 	coll *object.Collection
+	// sigs enables the keyword-signature layer (default on): a disjoint
+	// signature AND proves a node or document shares no keyword with the
+	// query, so its cosine contribution is exactly 0 and the posting or
+	// merge-walk is skipped. Results are byte-identical either way.
+	sigs bool
 	// scratch pools per-query traversal state so warm queries run
 	// allocation-free.
 	scratch sync.Pool
@@ -284,6 +302,9 @@ type searchScratch struct {
 	cand  *pqueue.Queue[score.Result]
 	stack []int32
 	qw    []float64
+	// ctr batches the query's signature-layer statistics; flushed to
+	// the arena's Stats once per traversal.
+	ctr index.SigCounters
 }
 
 func (ix *Index) getScratch() *searchScratch {
@@ -308,7 +329,7 @@ func (ix *Index) putScratch(sc *searchScratch) {
 // vocabSize must cover every keyword ID in use (the model widens it from
 // the data when it does not).
 func Build(c *object.Collection, vocabSize, maxEntries int) *Index {
-	ix := &Index{coll: c}
+	ix := &Index{coll: c, sigs: true}
 	t, model := buildEpoch(c, vocabSize, maxEntries)
 	ix.pub = rtree.NewSnapshotPublisher(t, ix.wrapWith(model))
 	return ix
@@ -319,6 +340,18 @@ func Build(c *object.Collection, vocabSize, maxEntries int) *Index {
 func Builder(maxEntries int) index.Builder {
 	return func(c *object.Collection) index.Provider { return Build(c, 0, maxEntries) }
 }
+
+// SetSignatures toggles the keyword-signature layer (default on);
+// results are byte-identical either way. Future freezes also stop
+// materializing the signature columns (Refresh carries the setting
+// into each rebuilt epoch). Must be called before the index is shared.
+func (ix *Index) SetSignatures(on bool) {
+	ix.sigs = on
+	ix.pub.Tree().SetFreezeSigs(on)
+}
+
+// Signatures reports whether the signature layer is enabled.
+func (ix *Index) Signatures() bool { return ix.sigs }
 
 // wrapWith returns the publisher payload builder for one epoch's model:
 // every arena frozen while it is installed is published together with
@@ -384,6 +417,7 @@ func (ix *Index) Remove(o object.Object) bool {
 func (ix *Index) Refresh() {
 	old := ix.pub.Tree()
 	t, model := buildEpoch(ix.coll, len(ix.Model().idf), old.MaxEntries())
+	t.SetFreezeSigs(ix.sigs)
 	ix.pub.Publish(t, ix.wrapWith(model))
 }
 
@@ -467,9 +501,15 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
-	return index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
-		func(n int32) float64 { return spatialBound(f, s, n) },
-		s.Score, dst)
+	qs, esigs, _ := index.PrepareSig(f, ix.sigs, s.Query.Doc)
+	dst = index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+		func(n int32, limit float64) float64 { return spatialBound(f, s, n) },
+		func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool) {
+			return index.ScoreEntryCounted(&s, e, esigs, ei, &qs, limit, &sc.ctr)
+		},
+		dst)
+	sc.ctr.Flush(f.Stats())
+	return dst
 }
 
 // CountBetter implements index.Snapshot: the number of objects whose
@@ -479,16 +519,22 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qs, esigs, _ := index.PrepareSig(f, ix.sigs, s.Query.Doc)
+	entries := f.AllEntries()
 	count := 0
 	sc.stack = index.PrunedDFS(f, sc.stack,
 		func(n int32) {
-			for _, e := range f.Entries(n) {
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
+			eLo, eHi := f.EntryRange(n)
+			for ei := eLo; ei < eHi; ei++ {
+				e := &entries[ei]
+				scv, ok := index.ScoreEntryCounted(&s, e, esigs, ei, &qs, refScore, &sc.ctr)
+				if ok && score.Better(scv, e.Item.ID, refScore, tie) {
 					count++
 				}
 			}
 		},
 		func(c int32) bool { return spatialBound(f, s, c) >= refScore })
+	sc.ctr.Flush(f.Stats())
 	return count
 }
 
@@ -549,26 +595,55 @@ func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, 
 	defer ix.putScratch(sc)
 	qw := model.queryWeights(q.Doc, sc.qw[:0])
 	sc.qw = qw
+	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, q.Doc)
 
-	nodeBound := func(n int32) float64 {
+	nodeBound := func(n int32, limit float64) float64 {
 		d := f.Rect(n).MinDist(q.Loc) / maxDist
 		if d > 1 {
 			d = 1
 		}
-		text := 0.0
+		spatial := q.W.Ws * (1 - d)
 		aug := f.Aug(n)
+		if useSig {
+			sc.ctr.Probes++
+			if qs.Disjoint(f.Sig(n)) {
+				// No query keyword has a posting below: text bound is
+				// exactly 0, skip the per-keyword posting walk.
+				sc.ctr.Hits++
+				return spatial
+			}
+		}
+		sc.ctr.Exact++
+		text := 0.0
 		for j, kw := range q.Doc {
 			text += qw[j] * aug.maxWeight(kw)
 		}
 		if text > 1 {
 			text = 1
 		}
-		return q.W.Ws*(1-d) + q.W.Wt*text
+		return spatial + q.W.Wt*text
 	}
-	return index.BestFirstTopK(f, q.K, nil, sc.nodes, sc.cand,
+	dst = index.BestFirstTopK(f, q.K, nil, sc.nodes, sc.cand,
 		nodeBound,
-		func(o object.Object) float64 { return scoreWeights(model, q, maxDist, qw, o) },
-		dst), nil
+		func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool) {
+			if useSig {
+				sc.ctr.Probes++
+				if qs.Disjoint(&esigs[ei]) {
+					// Disjoint documents have cosine exactly 0.
+					sc.ctr.Hits++
+					d := q.Loc.Dist(e.Item.Loc) / maxDist
+					if d > 1 {
+						d = 1
+					}
+					return q.W.Ws * (1 - d), true
+				}
+			}
+			sc.ctr.Exact++
+			return scoreWeights(model, q, maxDist, qw, e.Item), true
+		},
+		dst)
+	sc.ctr.Flush(f.Stats())
+	return dst, nil
 }
 
 // scoreWeights is Score with a precomputed query weight vector, the

@@ -130,6 +130,19 @@ func (augmenter) FromLeaf(o object.Object) Aug {
 	return Aug{Counts: counts, Cnt: 1, InterLen: n, MinLen: n, MaxLen: n}
 }
 
+// NodeSig implements rtree.KeywordSigger: the node signature covers
+// every keyword present below the node (the keys of the count map).
+func (augmenter) NodeSig(a *Aug) vocab.Signature {
+	var g vocab.Signature
+	for _, kv := range a.Counts {
+		g.Add(kv.K)
+	}
+	return g
+}
+
+// LeafSig implements rtree.KeywordSigger.
+func (augmenter) LeafSig(o *object.Object) vocab.Signature { return o.Doc.Signature() }
+
 func (augmenter) Merge(a, b Aug) Aug {
 	out := Aug{
 		Counts: a.Counts.merge(b.Counts),
@@ -158,6 +171,9 @@ func (augmenter) Merge(a, b Aug) Aug {
 type Index struct {
 	pub  *rtree.SnapshotPublisher[object.Object, Aug]
 	coll *object.Collection
+	// sigs enables the keyword-signature pruning layer (default on);
+	// see settree.Index. Results are byte-identical either way.
+	sigs bool
 	// scratch pools the traversal state of the rank and top-k passes so
 	// warm queries run allocation-free.
 	scratch sync.Pool
@@ -178,6 +194,9 @@ type rankScratch struct {
 	frames []depthFrame
 	nodes  *pqueue.Queue[index.NodeEntry]
 	cand   *pqueue.Queue[score.Result]
+	// ctr batches the query's signature-layer statistics; flushed to
+	// the arena's Stats once per traversal.
+	ctr index.SigCounters
 }
 
 // depthFrame is one depth-limited DFS frame of RankBounds.
@@ -208,7 +227,15 @@ func (ix *Index) putScratch(sc *rankScratch) {
 
 // Build bulk-loads a KcR-tree over the live objects of the collection.
 func Build(c *object.Collection, maxEntries int) *Index {
+	return BuildWith(c, maxEntries, true)
+}
+
+// BuildWith is Build with the signature layer pre-configured, so a
+// disabled index never materializes signature columns — not even in
+// the freeze that publishes the initial arena.
+func BuildWith(c *object.Collection, maxEntries int, signatures bool) *Index {
 	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
+	t.SetFreezeSigs(signatures)
 	v := c.View()
 	entries := make([]rtree.LeafEntry[object.Object], 0, v.LiveLen())
 	for _, o := range v.All() {
@@ -218,7 +245,9 @@ func Build(c *object.Collection, maxEntries int) *Index {
 		entries = append(entries, rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o})
 	}
 	t.BulkLoad(entries)
-	return newIndex(t, c)
+	ix := newIndex(t, c)
+	ix.sigs = signatures
+	return ix
 }
 
 // BuildByInsertion constructs the index by repeated insertion; used by
@@ -236,7 +265,7 @@ func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 }
 
 func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
-	ix := &Index{coll: c}
+	ix := &Index{coll: c, sigs: true}
 	ix.pub = rtree.NewSnapshotPublisher(t, func(f *rtree.Flat[object.Object, Aug]) any {
 		return &Arena{ix: ix, f: f, maxDist: c.MaxDist()}
 	})
@@ -245,9 +274,27 @@ func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
 
 // Builder returns an index.Builder constructing KcR-trees with the
 // given fanout.
-func Builder(maxEntries int) index.Builder {
-	return func(c *object.Collection) index.Provider { return Build(c, maxEntries) }
+func Builder(maxEntries int) index.Builder { return BuilderWith(maxEntries, true) }
+
+// BuilderWith is Builder with the keyword-signature pruning layer
+// toggled; the sharded engine threads its configuration through here.
+func BuilderWith(maxEntries int, signatures bool) index.Builder {
+	return func(c *object.Collection) index.Provider {
+		return BuildWith(c, maxEntries, signatures)
+	}
 }
+
+// SetSignatures toggles the keyword-signature pruning layer (default
+// on); results are byte-identical either way. Future freezes also stop
+// materializing the signature columns. Must be called before the index
+// is shared.
+func (ix *Index) SetSignatures(on bool) {
+	ix.sigs = on
+	ix.pub.Tree().SetFreezeSigs(on)
+}
+
+// Signatures reports whether the signature pruning layer is enabled.
+func (ix *Index) Signatures() bool { return ix.sigs }
 
 // Flat exposes the current frozen arena without a freshness check; the
 // rank algorithms go through Snapshot instead.
@@ -394,6 +441,42 @@ func scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) (
 	return lo, hi
 }
 
+// quickTSimHi is the constant-time signature upper bound on the textual
+// similarity of any object under a node, evaluated in place of the
+// per-keyword count-map walk of TSimBounds.
+func quickTSimHi(aug *Aug, s *score.Scorer, qs *vocab.QuerySig, nsig *vocab.Signature) float64 {
+	m := qs.IntersectBound(nsig)
+	return score.SigSimUpperBound(s.Query.Sim, m, int(aug.MinLen), int(aug.MaxLen), int(aug.InterLen), qs.Len)
+}
+
+// boundsAt is scoreBoundsAt behind the signature layer: a disjoint node
+// signature yields the exact (spatial-only) bounds without the count-map
+// walk, and a signature upper bound already strictly below prune — the
+// caller's reject threshold — returns (0, quick), which the caller
+// discards the same way it would the exact bounds (hi < prune). Only
+// when the signature is indecisive does the exact walk run, so every
+// caller decision is identical to the signature-free traversal.
+func (ix *Index) boundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, qs *vocab.QuerySig, useSig bool, n int32, prune float64, ctr *index.SigCounters) (lo, hi float64) {
+	if useSig {
+		ctr.Probes++
+		w := s.Query.W
+		r := f.Rect(n)
+		nsig := f.Sig(n)
+		if qs.Disjoint(nsig) {
+			// Textual bounds exactly (0, 0): spatial-only, no walk.
+			ctr.Hits++
+			return w.Ws * (1 - s.SDistRectMax(r)), w.Ws * (1 - s.SDistRectMin(r))
+		}
+		quick := w.Ws*(1-s.SDistRectMin(r)) + w.Wt*quickTSimHi(f.Aug(n), &s, qs, nsig)
+		if quick < prune {
+			ctr.Hits++
+			return 0, quick
+		}
+	}
+	ctr.Exact++
+	return scoreBoundsAt(f, s, n)
+}
+
 // Flat exposes the underlying frozen arena for structural tests.
 func (a *Arena) Flat() *rtree.Flat[object.Object, Aug] { return a.f }
 
@@ -432,12 +515,18 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
-	return index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
-		func(n int32) float64 {
-			_, hi := scoreBoundsAt(f, s, n)
+	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
+	dst = index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+		func(n int32, limit float64) float64 {
+			_, hi := ix.boundsAt(f, s, &qs, useSig, n, limit, &sc.ctr)
 			return hi
 		},
-		s.Score, dst)
+		func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool) {
+			return index.ScoreEntryCounted(&s, e, esigs, ei, &qs, limit, &sc.ctr)
+		},
+		dst)
+	sc.ctr.Flush(f.Stats())
+	return dst
 }
 
 // CountBetter implements index.Snapshot: the number of objects whose
@@ -454,17 +543,22 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
+	entries := f.AllEntries()
 	count := 0
 	sc.stack = index.PrunedDFS(f, sc.stack,
 		func(n int32) {
-			for _, e := range f.Entries(n) {
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
+			eLo, eHi := f.EntryRange(n)
+			for ei := eLo; ei < eHi; ei++ {
+				e := &entries[ei]
+				scv, ok := index.ScoreEntryCounted(&s, e, esigs, ei, &qs, refScore, &sc.ctr)
+				if ok && score.Better(scv, e.Item.ID, refScore, tie) {
 					count++
 				}
 			}
 		},
 		func(c int32) bool {
-			lo, hi := scoreBoundsAt(f, s, c)
+			lo, hi := ix.boundsAt(f, s, &qs, useSig, c, refScore, &sc.ctr)
 			if hi < refScore {
 				return false // nothing below can beat the reference
 			}
@@ -474,6 +568,7 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 			}
 			return true
 		})
+	sc.ctr.Flush(f.Stats())
 	return count
 }
 
@@ -497,6 +592,8 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
+	entries := f.AllEntries()
 	frames := append(sc.frames[:0], depthFrame{node: 0})
 	accesses := int64(0)
 	for len(frames) > 0 {
@@ -504,8 +601,11 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 		frames = frames[:len(frames)-1]
 		accesses++
 		if f.IsLeaf(fr.node) {
-			for _, e := range f.Entries(fr.node) {
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
+			eLo, eHi := f.EntryRange(fr.node)
+			for ei := eLo; ei < eHi; ei++ {
+				e := &entries[ei]
+				scv, ok := index.ScoreEntryCounted(&s, e, esigs, ei, &qs, refScore, &sc.ctr)
+				if ok && score.Better(scv, e.Item.ID, refScore, tie) {
 					lo++
 					hi++
 				}
@@ -514,7 +614,7 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 		}
 		cLo, cHi := f.Children(fr.node)
 		for c := cLo; c < cHi; c++ {
-			bLo, bHi := scoreBoundsAt(f, s, c)
+			bLo, bHi := ix.boundsAt(f, s, &qs, useSig, c, refScore, &sc.ctr)
 			switch {
 			case bHi < refScore:
 				// contributes nothing
@@ -532,6 +632,7 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 	}
 	sc.frames = frames[:0]
 	f.Stats().AddNodeAccesses(accesses)
+	sc.ctr.Flush(f.Stats())
 	return lo, hi
 }
 
@@ -546,6 +647,7 @@ func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.O
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qs, _, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
 	sc.stack = index.PrunedDFS(f, sc.stack,
 		func(n int32) {
 			for _, e := range f.Entries(n) {
@@ -557,9 +659,33 @@ func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.O
 			// interval: a = 1 − SDist ∈ [aLo, aHi] and the similarity
 			// bounds give the wt = 1 endpoint.
 			aug := f.Aug(c)
-			tLo, tHi := TSimBounds(*aug, s.Query.Doc, s.Query.Sim)
 			aLo := 1 - s.SDistRectMax(f.Rect(c))
 			aHi := 1 - s.SDistRectMin(f.Rect(c))
+			if useSig {
+				sc.ctr.Probes++
+				nsig := f.Sig(c)
+				if qs.Disjoint(nsig) {
+					// Textual bounds exactly (0, 0).
+					sc.ctr.Hits++
+					if aHi < m0 && 0 < m1 {
+						return false
+					}
+					if aLo > m0 && 0 > m1 {
+						above(int(aug.Cnt))
+						return false
+					}
+					return true
+				}
+				// Only the below-at-both-ends prune can be decided from
+				// the upper bound alone; the wholesale-above report
+				// needs the exact similarity lower bound.
+				if aHi < m0 && quickTSimHi(aug, &s, &qs, nsig) < m1 {
+					sc.ctr.Hits++
+					return false
+				}
+			}
+			sc.ctr.Exact++
+			tLo, tHi := TSimBounds(*aug, s.Query.Doc, s.Query.Sim)
 			if aHi < m0 && tHi < m1 {
 				return false // strictly below at both ends: never above, never crossing
 			}
@@ -569,6 +695,7 @@ func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.O
 			}
 			return true
 		})
+	sc.ctr.Flush(f.Stats())
 }
 
 // CountBetter returns the number of objects whose (score, ID) pair

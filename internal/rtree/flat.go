@@ -5,7 +5,25 @@ import (
 	"fmt"
 
 	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/vocab"
 )
+
+// KeywordSigger is the optional companion interface of an Augmenter:
+// when the augmenter passed to New implements it, Freeze materializes a
+// keyword-signature column alongside the arena — one fixed-width hashed
+// bitmap per node (covering the keyword union of everything below, via
+// the augmentation) and one per leaf entry (the entry's own document).
+// Query traversals use the signatures as constant-time upper bounds on
+// keyword intersections, skipping exact merge-walks whenever the bound
+// alone is decisive.
+type KeywordSigger[L, A any] interface {
+	// NodeSig returns the signature covering every keyword below a node
+	// with augmentation a. It must be a superset signature: every
+	// keyword of every object below must set its bit.
+	NodeSig(a *A) vocab.Signature
+	// LeafSig returns the signature of one leaf item's keyword set.
+	LeafSig(item *L) vocab.Signature
+}
 
 // ErrStaleSnapshot is the sentinel matched (via errors.Is) by every
 // stale-snapshot error: the source tree has been mutated since the Flat
@@ -58,8 +76,13 @@ type Flat[L, A any] struct {
 	entryStart []int32
 	entryEnd   []int32
 	entries    []LeafEntry[L]
-	size       int
-	stats      *Stats
+	// sigs and entrySigs are the keyword-signature columns, parallel to
+	// the node slices and to entries respectively; nil when the tree's
+	// augmenter does not implement KeywordSigger.
+	sigs      []vocab.Signature
+	entrySigs []vocab.Signature
+	size      int
+	stats     *Stats
 	// tree is the source tree and gen the generation it had when the
 	// snapshot was frozen; together they implement the staleness check.
 	tree *Tree[L, A]
@@ -83,6 +106,14 @@ func (t *Tree[L, A]) Freeze() *Flat[L, A] {
 	f.entryStart = make([]int32, 0, nodes)
 	f.entryEnd = make([]int32, 0, nodes)
 	f.entries = make([]LeafEntry[L], 0, t.size)
+	sigger, _ := t.aug.(KeywordSigger[L, A])
+	if t.noFreezeSigs {
+		sigger = nil
+	}
+	if sigger != nil {
+		f.sigs = make([]vocab.Signature, 0, nodes)
+		f.entrySigs = make([]vocab.Signature, 0, t.size)
+	}
 
 	// Breadth-first layout: the queue position of a node is its ID, so
 	// appending a node's children consecutively yields contiguous child
@@ -93,12 +124,20 @@ func (t *Tree[L, A]) Freeze() *Flat[L, A] {
 		n := queue[head]
 		f.rects = append(f.rects, n.rect)
 		f.augs = append(f.augs, n.aug)
+		if sigger != nil {
+			f.sigs = append(f.sigs, sigger.NodeSig(&n.aug))
+		}
 		if n.leaf {
 			f.childStart = append(f.childStart, 0)
 			f.childEnd = append(f.childEnd, 0)
 			f.entryStart = append(f.entryStart, int32(len(f.entries)))
 			f.entries = append(f.entries, n.entries...)
 			f.entryEnd = append(f.entryEnd, int32(len(f.entries)))
+			if sigger != nil {
+				for i := range n.entries {
+					f.entrySigs = append(f.entrySigs, sigger.LeafSig(&n.entries[i].Item))
+				}
+			}
 		} else {
 			lo := int32(len(queue))
 			queue = append(queue, n.children...)
@@ -173,6 +212,27 @@ func (f *Flat[L, A]) Entries(n int32) []LeafEntry[L] {
 	return f.entries[f.entryStart[n]:f.entryEnd[n]]
 }
 
+// EntryRange returns the index range [lo, hi) of node n's leaf entries
+// in the shared entry arena (AllEntries / EntrySigs); empty for
+// internal nodes. Traversals that need the per-entry signature column
+// address entries by arena index instead of Entries' sub-slice.
+func (f *Flat[L, A]) EntryRange(n int32) (lo, hi int32) {
+	return f.entryStart[n], f.entryEnd[n]
+}
+
 // AllEntries returns every leaf entry in the snapshot in layout order.
 // Callers must not mutate the returned slice.
 func (f *Flat[L, A]) AllEntries() []LeafEntry[L] { return f.entries }
+
+// HasSigs reports whether the snapshot carries keyword-signature
+// columns (the source tree's augmenter implements KeywordSigger).
+func (f *Flat[L, A]) HasSigs() bool { return f.sigs != nil }
+
+// Sig returns a pointer to node n's keyword signature. Only valid when
+// HasSigs; the signature must not be mutated.
+func (f *Flat[L, A]) Sig(n int32) *vocab.Signature { return &f.sigs[n] }
+
+// EntrySigs returns the per-entry signature column, parallel to
+// AllEntries; nil when the snapshot carries no signatures. Callers must
+// not mutate it.
+func (f *Flat[L, A]) EntrySigs() []vocab.Signature { return f.entrySigs }

@@ -56,10 +56,17 @@ type LeafEntry[L any] struct {
 
 // Stats counts node visits during queries. Node accesses are the classic
 // proxy for I/O cost in the disk-resident indexes of the paper; the
-// benches report them alongside wall-clock time. Counters are atomic so
-// concurrent readers can share a tree.
+// benches report them alongside wall-clock time. It also tracks the
+// keyword-signature pruning layer: probes (signature bounds consulted),
+// hits (exact keyword set operations the signature made unnecessary),
+// and the exact set operations that still ran. Counters are atomic so
+// concurrent readers can share a tree; traversals batch their counts
+// locally and flush once per query.
 type Stats struct {
 	nodeAccesses atomic.Int64
+	sigProbes    atomic.Int64
+	sigHits      atomic.Int64
+	exactSetOps  atomic.Int64
 }
 
 // AddNodeAccesses records n node visits. Exported so that the index
@@ -70,8 +77,43 @@ func (s *Stats) AddNodeAccesses(n int64) { s.nodeAccesses.Add(n) }
 // NodeAccesses returns the number of node visits recorded so far.
 func (s *Stats) NodeAccesses() int64 { return s.nodeAccesses.Load() }
 
+// AddSigCounts records one query's signature-layer activity: probes
+// signature bounds consulted, of which hits were decisive (the exact
+// keyword set operation was skipped), plus exact set operations
+// (merge-walks, per-keyword augmentation walks) that ran.
+func (s *Stats) AddSigCounts(probes, hits, exact int64) {
+	if probes != 0 {
+		s.sigProbes.Add(probes)
+	}
+	if hits != 0 {
+		s.sigHits.Add(hits)
+	}
+	if exact != 0 {
+		s.exactSetOps.Add(exact)
+	}
+}
+
+// SigProbes returns the number of signature bounds consulted so far.
+func (s *Stats) SigProbes() int64 { return s.sigProbes.Load() }
+
+// SigHits returns the number of signature probes that were decisive —
+// each one an exact keyword set operation skipped.
+func (s *Stats) SigHits() int64 { return s.sigHits.Load() }
+
+// ExactSetOps returns the number of exact keyword set operations
+// (similarity merge-walks and per-keyword augmentation walks) query
+// traversals have performed. With signatures disabled it counts every
+// textual evaluation; the ratio against a signatures-on run is the
+// data-skipping win the e12 bench reports.
+func (s *Stats) ExactSetOps() int64 { return s.exactSetOps.Load() }
+
 // Reset zeroes the counters.
-func (s *Stats) Reset() { s.nodeAccesses.Store(0) }
+func (s *Stats) Reset() {
+	s.nodeAccesses.Store(0)
+	s.sigProbes.Store(0)
+	s.sigHits.Store(0)
+	s.exactSetOps.Store(0)
+}
 
 // DefaultMaxEntries is the default node fanout. 64 entries per node
 // approximates a 4 KiB page of 64-byte entries, the page model the
@@ -93,7 +135,18 @@ type Tree[L, A any] struct {
 	// Atomic because snapshot freshness checks run concurrently with
 	// (externally serialized) mutations.
 	gen atomic.Uint64
+	// noFreezeSigs suppresses the keyword-signature columns at Freeze
+	// even when the augmenter implements KeywordSigger — set by index
+	// packages whose signature layer is disabled, so the off switch
+	// skips the column build cost and memory, not just the probes.
+	noFreezeSigs bool
 }
+
+// SetFreezeSigs controls whether Freeze materializes keyword-signature
+// columns (on by default when the augmenter implements KeywordSigger).
+// Like the index-level signature toggles it must be set before the tree
+// is shared; already-frozen snapshots keep whatever columns they have.
+func (t *Tree[L, A]) SetFreezeSigs(on bool) { t.noFreezeSigs = !on }
 
 // New returns an empty tree with the given augmenter and node fanout.
 // maxEntries < 4 is raised to 4; minimum fill is 40% of the maximum, the

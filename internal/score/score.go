@@ -197,6 +197,53 @@ func (s Scorer) Components(o object.Object) (spatial, textual float64) {
 	return 1 - s.SDist(o), s.TSim(o)
 }
 
+// SigSimUpperBound returns an upper bound on the textual similarity
+// between a query of qlen keywords and any document d with
+// minLen ≤ |d| ≤ maxLen sharing at most m keywords with the query,
+// where the documents additionally contain a common core of interLen
+// keywords (pass |d| itself for a single document; a node's
+// intersection-set size for a subtree). It is the O(1) bound the
+// keyword-signature pruning layer evaluates in place of the exact
+// merge-walk bounds:
+//
+//	Jaccard: |d ∩ q| ≤ min(m, maxLen) and
+//	         |d ∪ q| ≥ max(minLen + qlen − m, interLen, qlen)
+//	Dice:    2·min(m, maxLen) / (minLen + qlen), capped at 1
+//
+// Both are admissible whenever m truly bounds |d ∩ q| — the signature
+// soundness invariant (vocab.Signature) — so every family's exact bound
+// is ≤ this one, and pruning on it never changes results.
+func SigSimUpperBound(sim TextSim, m, minLen, maxLen, interLen, qlen int) float64 {
+	num := m
+	if maxLen < num {
+		num = maxLen
+	}
+	if num <= 0 {
+		return 0
+	}
+	if sim == SimDice {
+		den := minLen + qlen
+		if den <= 0 {
+			return 0
+		}
+		if ub := 2 * float64(num) / float64(den); ub < 1 {
+			return ub
+		}
+		return 1
+	}
+	den := minLen + qlen - m
+	if interLen > den {
+		den = interLen
+	}
+	if qlen > den {
+		den = qlen
+	}
+	if den < num {
+		den = num
+	}
+	return float64(num) / float64(den)
+}
+
 // Better reports whether object a with score sa ranks strictly above
 // object b with score sb. Ties break by ascending object ID, which makes
 // the total ranking order deterministic — Definition 1 admits any

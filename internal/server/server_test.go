@@ -509,3 +509,60 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("per-shard balance sums to %v, want shard count 4", balSum)
 	}
 }
+
+// TestStatsSignatureFields: the keyword-signature telemetry reaches the
+// wire — the configuration flag, live probe/hit counters (engine-level
+// and per shard, per family), and the hit rate — and a disabled engine
+// reports the layer off with zero activity.
+func TestStatsSignatureFields(t *testing.T) {
+	_, ts := testServer(t)
+	runQuery(t, ts) // generate some signature probes
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Engine.Signatures {
+		t.Fatalf("signatures off by default: %+v", st.Engine)
+	}
+	if st.Engine.SigProbes == 0 {
+		t.Fatalf("no signature probes after a query: %+v", st.Engine)
+	}
+	if st.Engine.SigHits > st.Engine.SigProbes {
+		t.Fatalf("hits %d exceed probes %d", st.Engine.SigHits, st.Engine.SigProbes)
+	}
+	if st.Engine.SigHitRate < 0 || st.Engine.SigHitRate > 1 {
+		t.Fatalf("hit rate %v outside [0, 1]", st.Engine.SigHitRate)
+	}
+	var probes int64
+	for _, sh := range st.Engine.PerShard {
+		probes += sh.SetSigProbes + sh.KcSigProbes
+	}
+	if probes != st.Engine.SigProbes {
+		t.Fatalf("per-shard probes %d != engine total %d", probes, st.Engine.SigProbes)
+	}
+
+	// A signature-disabled engine reports the layer off, with zero
+	// probe/hit activity, over the same wire fields.
+	eng := yask.HKDemoEngineWith(yask.EngineOptions{DisableSignatures: true})
+	ts2 := httptest.NewServer(New(eng, Config{}))
+	defer ts2.Close()
+	runQuery(t, ts2)
+	resp2, err := http.Get(ts2.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 statsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Engine.Signatures || st2.Engine.SigProbes != 0 || st2.Engine.SigHits != 0 {
+		t.Fatalf("disabled engine reports signature activity: %+v", st2.Engine)
+	}
+}

@@ -50,6 +50,14 @@ func (augmenter) FromLeaf(o object.Object) Aug {
 	return Aug{Inter: o.Doc, Union: o.Doc, MinLen: n, MaxLen: n}
 }
 
+// NodeSig implements rtree.KeywordSigger: the node signature covers the
+// keyword union of everything below, so a query keyword absent from the
+// signature is provably absent from every object in the subtree.
+func (augmenter) NodeSig(a *Aug) vocab.Signature { return a.Union.Signature() }
+
+// LeafSig implements rtree.KeywordSigger.
+func (augmenter) LeafSig(o *object.Object) vocab.Signature { return o.Doc.Signature() }
+
 func (augmenter) Merge(a, b Aug) Aug {
 	out := Aug{
 		Inter:  a.Inter.Intersect(b.Inter),
@@ -94,6 +102,12 @@ type Index struct {
 	pub   *rtree.SnapshotPublisher[object.Object, Aug]
 	coll  *object.Collection
 	bound BoundMode
+	// sigs enables the keyword-signature pruning layer (default on):
+	// traversals probe the arena's per-node/per-entry signature bitmaps
+	// for a constant-time intersection upper bound before running the
+	// exact merge-walk bounds. Answers are byte-identical either way —
+	// signatures only decide when the exact computation can be skipped.
+	sigs bool
 	// scratch pools per-query traversal state (priority queues, DFS
 	// stack) so warm queries run allocation-free.
 	scratch sync.Pool
@@ -117,6 +131,9 @@ type searchScratch struct {
 	nodes *pqueue.Queue[index.NodeEntry]
 	cand  *pqueue.Queue[score.Result]
 	stack []int32
+	// ctr batches the query's signature-layer statistics; flushed to
+	// the arena's Stats once per traversal.
+	ctr index.SigCounters
 }
 
 func (ix *Index) getScratch() *searchScratch {
@@ -138,10 +155,38 @@ func (ix *Index) putScratch(sc *searchScratch) {
 // SetBoundMode switches the pruning bound; the default is BoundFull.
 func (ix *Index) SetBoundMode(m BoundMode) { ix.bound = m }
 
+// SetSignatures toggles the keyword-signature pruning layer (default
+// on). Disabling it forces every traversal onto the exact merge-walk
+// bounds — the ablation/off switch of the e12 bench and the
+// equivalence suite; results are byte-identical either way. Future
+// freezes also stop materializing the signature columns (arenas
+// already published keep theirs, unused). Like SetBoundMode it must be
+// called before the index is shared.
+func (ix *Index) SetSignatures(on bool) {
+	ix.sigs = on
+	ix.pub.Tree().SetFreezeSigs(on)
+}
+
+// Signatures reports whether the signature pruning layer is enabled.
+func (ix *Index) Signatures() bool { return ix.sigs }
+
+// sigEnabled reports whether query traversals may probe signatures:
+// the layer is on and the production bound mode is active (the
+// BoundBasic ablation measures the textbook bound alone).
+func (ix *Index) sigEnabled() bool { return ix.sigs && ix.bound == BoundFull }
+
 // Build bulk-loads a SetR-tree over the live objects of the collection
 // with the given node fanout (use rtree.DefaultMaxEntries when in doubt).
 func Build(c *object.Collection, maxEntries int) *Index {
+	return BuildWith(c, maxEntries, true)
+}
+
+// BuildWith is Build with the signature layer pre-configured, so a
+// disabled index never materializes signature columns — not even in
+// the freeze that publishes the initial arena.
+func BuildWith(c *object.Collection, maxEntries int, signatures bool) *Index {
 	t := rtree.New[object.Object, Aug](augmenter{}, maxEntries)
+	t.SetFreezeSigs(signatures)
 	v := c.View()
 	entries := make([]rtree.LeafEntry[object.Object], 0, v.LiveLen())
 	for _, o := range v.All() {
@@ -151,7 +196,9 @@ func Build(c *object.Collection, maxEntries int) *Index {
 		entries = append(entries, rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o})
 	}
 	t.BulkLoad(entries)
-	return newIndex(t, c)
+	ix := newIndex(t, c)
+	ix.sigs = signatures
+	return ix
 }
 
 // BuildByInsertion constructs the index by repeated insertion instead of
@@ -169,7 +216,7 @@ func BuildByInsertion(c *object.Collection, maxEntries int) *Index {
 }
 
 func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
-	ix := &Index{coll: c}
+	ix := &Index{coll: c, sigs: true}
 	ix.pub = rtree.NewSnapshotPublisher(t, func(f *rtree.Flat[object.Object, Aug]) any {
 		return &Arena{ix: ix, f: f, maxDist: c.MaxDist()}
 	})
@@ -178,8 +225,14 @@ func newIndex(t *rtree.Tree[object.Object, Aug], c *object.Collection) *Index {
 
 // Builder returns an index.Builder constructing SetR-trees with the
 // given fanout — the factory the shard executor builds partitions with.
-func Builder(maxEntries int) index.Builder {
-	return func(c *object.Collection) index.Provider { return Build(c, maxEntries) }
+func Builder(maxEntries int) index.Builder { return BuilderWith(maxEntries, true) }
+
+// BuilderWith is Builder with the keyword-signature pruning layer
+// toggled; the sharded engine threads its configuration through here.
+func BuilderWith(maxEntries int, signatures bool) index.Builder {
+	return func(c *object.Collection) index.Provider {
+		return BuildWith(c, maxEntries, signatures)
+	}
 }
 
 // Flat exposes the current frozen arena without a freshness check; the
@@ -298,17 +351,48 @@ func TSimUpperBound(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) float64 {
 	return float64(num) / float64(den)
 }
 
+// quickTSimHi is the constant-time signature upper bound on the textual
+// similarity of any object under a node, evaluated in place of the
+// exact per-keyword Union walk of TSimUpperBound.
+func quickTSimHi(a *Aug, s *score.Scorer, qs *vocab.QuerySig, nsig *vocab.Signature) float64 {
+	m := qs.IntersectBound(nsig)
+	return score.SigSimUpperBound(s.Query.Sim, m, int(a.MinLen), int(a.MaxLen), len(a.Inter), qs.Len)
+}
+
 // boundAt bounds ST(o, q) for every object o under node n of arena f.
-func (ix *Index) boundAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) float64 {
-	minSD := s.SDistRectMin(f.Rect(n))
+// With the signature layer active (useSig), a constant-time bound from
+// the node's keyword signature is tried first: a disjoint signature
+// proves the textual bound is exactly 0, and a signature bound already
+// strictly below limit is returned as-is — the caller discards bounds
+// below its limit, so the exact merge-walk never runs for nodes the
+// cheap bound can dismiss. Bounds at or above the limit fall through to
+// the exact computation, so heap ordering and results are identical to
+// the signature-free traversal.
+func (ix *Index) boundAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, qs *vocab.QuerySig, useSig bool, n int32, limit float64, ctr *index.SigCounters) float64 {
+	w := s.Query.W
+	spatial := w.Ws * (1 - s.SDistRectMin(f.Rect(n)))
 	a := f.Aug(n)
+	if useSig {
+		ctr.Probes++
+		nsig := f.Sig(n)
+		if qs.Disjoint(nsig) {
+			ctr.Hits++
+			return spatial // textual bound exactly 0
+		}
+		quick := spatial + w.Wt*quickTSimHi(a, &s, qs, nsig)
+		if quick < limit {
+			ctr.Hits++
+			return quick
+		}
+	}
+	ctr.Exact++
 	var tUB float64
 	if ix.bound == BoundBasic {
 		tUB = TSimUpperBoundBasic(*a, s.Query.Doc)
 	} else {
 		tUB = TSimUpperBound(*a, s.Query.Doc, s.Query.Sim)
 	}
-	return s.Query.W.Ws*(1-minSD) + s.Query.W.Wt*tUB
+	return spatial + w.Wt*tUB
 }
 
 // TSimUpperBoundBasic is the textbook SetR-tree Jaccard bound
@@ -375,9 +459,17 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 	}
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
-	return index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
-		func(n int32) float64 { return ix.boundAt(f, s, n) },
-		s.Score, dst)
+	qs, esigs, useSig := index.PrepareSig(f, ix.sigEnabled(), s.Query.Doc)
+	dst = index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+		func(n int32, limit float64) float64 {
+			return ix.boundAt(f, s, &qs, useSig, n, limit, &sc.ctr)
+		},
+		func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool) {
+			return index.ScoreEntryCounted(&s, e, esigs, ei, &qs, limit, &sc.ctr)
+		},
+		dst)
+	sc.ctr.Flush(f.Stats())
+	return dst
 }
 
 // CountBetter implements index.Snapshot: the number of objects whose
@@ -390,11 +482,18 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qs, esigs, useSig := index.PrepareSig(f, ix.sigEnabled(), s.Query.Doc)
+	entries := f.AllEntries()
 	count := 0
 	sc.stack = index.PrunedDFS(f, sc.stack,
 		func(n int32) {
-			for _, e := range f.Entries(n) {
-				if score.Better(s.Score(e.Item), e.Item.ID, refScore, tie) {
+			eLo, eHi := f.EntryRange(n)
+			for ei := eLo; ei < eHi; ei++ {
+				e := &entries[ei]
+				// An entry capped strictly below refScore cannot
+				// dominate the reference pair, whatever its ID.
+				scv, ok := index.ScoreEntryCounted(&s, e, esigs, ei, &qs, refScore, &sc.ctr)
+				if ok && score.Better(scv, e.Item.ID, refScore, tie) {
 					count++
 				}
 			}
@@ -403,7 +502,10 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 		// (or ties with a larger smallest-possible ID — unknowable
 		// cheaply, so only strict inequality prunes) contributes
 		// nothing.
-		func(c int32) bool { return ix.boundAt(f, s, c) >= refScore })
+		func(c int32) bool {
+			return ix.boundAt(f, s, &qs, useSig, c, refScore, &sc.ctr) >= refScore
+		})
+	sc.ctr.Flush(f.Stats())
 	return count
 }
 
@@ -433,6 +535,7 @@ func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.O
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
+	qs, _, useSig := index.PrepareSig(f, ix.sigEnabled(), s.Query.Doc)
 	sc.stack = index.PrunedDFS(f, sc.stack,
 		func(n int32) {
 			for _, e := range f.Entries(n) {
@@ -440,19 +543,39 @@ func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.O
 			}
 		},
 		func(c int32) bool {
+			// Every line below the node is bracketed by aHi at wt=0 and
+			// tHi at wt=1; below the reference at both ends means below
+			// on the whole interval — prune. A node already above the
+			// reference at the spatial end descends without any textual
+			// work.
+			aHi := 1 - s.SDistRectMin(f.Rect(c))
+			if aHi >= m0 {
+				return true
+			}
 			aug := f.Aug(c)
+			if useSig {
+				ctr := &sc.ctr
+				ctr.Probes++
+				nsig := f.Sig(c)
+				if qs.Disjoint(nsig) {
+					ctr.Hits++
+					return !(0 < m1) // tHi exactly 0
+				}
+				if quick := quickTSimHi(aug, &s, &qs, nsig); quick < m1 {
+					ctr.Hits++
+					return false // exact tHi ≤ quick: provably below at both ends
+				}
+			}
+			sc.ctr.Exact++
 			var tHi float64
 			if ix.bound == BoundBasic {
 				tHi = TSimUpperBoundBasic(*aug, s.Query.Doc)
 			} else {
 				tHi = TSimUpperBound(*aug, s.Query.Doc, s.Query.Sim)
 			}
-			aHi := 1 - s.SDistRectMin(f.Rect(c))
-			// Every line below the node is bracketed by aHi at wt=0 and
-			// tHi at wt=1; below the reference at both ends means below
-			// on the whole interval — prune.
-			return !(aHi < m0 && tHi < m1)
+			return !(tHi < m1)
 		})
+	sc.ctr.Flush(f.Stats())
 }
 
 // TopK answers the spatial keyword top-k query over the current

@@ -1,0 +1,129 @@
+package vocab
+
+import "math/bits"
+
+// SigWords is the fixed width of a keyword Signature in 64-bit words.
+// Four words (256 bits) keep a whole signature in half a cache line
+// while leaving single-document signatures (3–12 keywords in the bench
+// datasets) nearly collision-free.
+const SigWords = 4
+
+// SigBits is the number of bits in a Signature.
+const SigBits = SigWords * 64
+
+// Signature is a fixed-width hashed bitmap summary of a KeywordSet: one
+// bit per keyword, positioned by a multiplicative hash of the keyword
+// ID. Signatures support constant-time *upper bounds* on set
+// intersection sizes — the data-skipping primitive the index arenas use
+// to avoid exact merge-walks over sorted []Keyword slices.
+//
+// The soundness invariant every user relies on: for any sets s, t,
+//
+//	|s ∩ t| ≤ popcount(sig(s) ∧ sig(t)) + (|t| − popcount(sig(t)))
+//
+// because every keyword of s ∩ t sets its bit in both signatures, and
+// the correction term accounts for t-internal hash collisions (each bit
+// of sig(t) outside the intersection absorbs at least one element of
+// t). In particular sig(s) ∧ sig(t) = 0 proves s ∩ t = ∅ exactly.
+type Signature [SigWords]uint64
+
+// sigPosBits is log2(SigBits): sigPos keeps the top sigPosBits of the
+// hash, yielding positions in [0, SigBits).
+const sigPosBits = 8
+
+// Compile-time guard: SigBits must equal 1 << sigPosBits, or sigPos
+// would address bits outside the signature (or strand the upper words
+// permanently zero). Either array has negative length if the constants
+// drift apart.
+var (
+	_ [SigBits - (1 << sigPosBits)]struct{}
+	_ [(1 << sigPosBits) - SigBits]struct{}
+)
+
+// sigPos maps a keyword to its bit position via golden-ratio
+// multiplicative hashing; the top bits of the product are well mixed
+// even for the dense sequential IDs Intern assigns.
+func sigPos(kw Keyword) uint64 {
+	return (uint64(kw) * 0x9E3779B97F4A7C15) >> (64 - sigPosBits)
+}
+
+// Add sets the bit for kw.
+func (g *Signature) Add(kw Keyword) {
+	p := sigPos(kw)
+	g[p>>6] |= 1 << (p & 63)
+}
+
+// Merge ORs o into g — the signature of a union of sets.
+func (g *Signature) Merge(o *Signature) {
+	for i := range g {
+		g[i] |= o[i]
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (g *Signature) OnesCount() int {
+	return bits.OnesCount64(g[0]) + bits.OnesCount64(g[1]) +
+		bits.OnesCount64(g[2]) + bits.OnesCount64(g[3])
+}
+
+// IntersectCount returns popcount(g ∧ o).
+func (g *Signature) IntersectCount(o *Signature) int {
+	return bits.OnesCount64(g[0]&o[0]) + bits.OnesCount64(g[1]&o[1]) +
+		bits.OnesCount64(g[2]&o[2]) + bits.OnesCount64(g[3]&o[3])
+}
+
+// Disjoint reports whether g ∧ o is empty, which *proves* the
+// underlying keyword sets share no keyword (no false negatives: a
+// shared keyword sets the same bit in both signatures).
+func (g *Signature) Disjoint(o *Signature) bool {
+	return g[0]&o[0] == 0 && g[1]&o[1] == 0 && g[2]&o[2] == 0 && g[3]&o[3] == 0
+}
+
+// Signature returns the hashed bitmap summary of s.
+func (s KeywordSet) Signature() Signature {
+	var g Signature
+	for _, kw := range s {
+		g.Add(kw)
+	}
+	return g
+}
+
+// QuerySig is one query keyword set prepared for signature probing: the
+// signature itself plus the collision slack that keeps the intersection
+// bound sound when two query keywords hash to the same bit. Queries are
+// tiny, so a QuerySig is computed once per traversal (pure stack value,
+// no allocation) and probed once per node or entry.
+type QuerySig struct {
+	// Sig is the signature of the query keyword set.
+	Sig Signature
+	// Len is the cardinality of the query keyword set.
+	Len int
+	// Excess is Len − popcount(Sig): the number of query keywords lost
+	// to hash collisions, added back by IntersectBound so the bound
+	// stays sound (almost always 0 for realistic query sizes).
+	Excess int
+}
+
+// NewQuerySig prepares doc for signature probing.
+func NewQuerySig(doc KeywordSet) QuerySig {
+	sig := doc.Signature()
+	return QuerySig{Sig: sig, Len: len(doc), Excess: len(doc) - sig.OnesCount()}
+}
+
+// Disjoint reports whether s ∧ q's signature is empty, proving the
+// summarized set shares no keyword with the query.
+func (q *QuerySig) Disjoint(s *Signature) bool { return q.Sig.Disjoint(s) }
+
+// IntersectBound returns an upper bound on |t ∩ q.doc| for any keyword
+// set t summarized by s (t itself, or any subset of the set s
+// summarizes — signatures are monotone under union, so the bound also
+// covers every object under a node whose sig covers the node's keyword
+// union). See the Signature soundness invariant; the bound is
+// additionally capped at the query cardinality.
+func (q *QuerySig) IntersectBound(s *Signature) int {
+	m := q.Sig.IntersectCount(s) + q.Excess
+	if m > q.Len {
+		m = q.Len
+	}
+	return m
+}

@@ -1,0 +1,137 @@
+package vocab
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSignatureSoundness is the load-bearing property of the whole
+// signature pruning layer: the signature intersection bound is never
+// below the true intersection size, and a disjoint signature AND always
+// means a truly empty intersection. Violating either would let the
+// index arenas prune objects that belong in the answer.
+func TestSignatureSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20000; trial++ {
+		// Sweep vocabulary sizes around and far past SigBits so hash
+		// collisions actually occur.
+		vocabSize := []int{10, 100, 257, 5000}[trial%4]
+		s := randomSet(rng, vocabSize, 40)
+		q := randomSet(rng, vocabSize, 8)
+		ssig := s.Signature()
+		qs := NewQuerySig(q)
+		truth := s.IntersectLen(q)
+		if bound := qs.IntersectBound(&ssig); bound < truth {
+			t.Fatalf("trial %d: signature bound %d < true |s∩q| %d (s=%v q=%v)",
+				trial, bound, truth, s, q)
+		}
+		if qs.Disjoint(&ssig) && truth != 0 {
+			t.Fatalf("trial %d: Disjoint reported but |s∩q| = %d (s=%v q=%v)",
+				trial, truth, s, q)
+		}
+	}
+}
+
+// TestSignatureSubsetMonotone checks the property node signatures rely
+// on: a signature built from a superset bounds the intersection of any
+// subset with the query (the node's union signature covers every object
+// below).
+func TestSignatureSubsetMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5000; trial++ {
+		super := randomSet(rng, 600, 60)
+		// Draw a subset.
+		var sub KeywordSet
+		for _, kw := range super {
+			if rng.Intn(2) == 0 {
+				sub = append(sub, kw)
+			}
+		}
+		q := randomSet(rng, 600, 6)
+		superSig := super.Signature()
+		qs := NewQuerySig(q)
+		if truth := sub.IntersectLen(q); qs.IntersectBound(&superSig) < truth {
+			t.Fatalf("trial %d: superset signature bound %d < subset intersection %d",
+				trial, qs.IntersectBound(&superSig), truth)
+		}
+	}
+}
+
+func TestQuerySigExcess(t *testing.T) {
+	// Force a query-internal collision: two keywords hashing to the same
+	// bit must be absorbed by Excess, not undercount the bound.
+	base := Keyword(3)
+	var collider Keyword
+	found := false
+	for kw := Keyword(4); kw < 1_000_000; kw++ {
+		if sigPos(kw) == sigPos(base) {
+			collider = kw
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no colliding keyword found (hash changed?)")
+	}
+	q := NewKeywordSet(base, collider)
+	qs := NewQuerySig(q)
+	if qs.Excess != 1 {
+		t.Fatalf("excess = %d, want 1 for a two-keyword one-bit query", qs.Excess)
+	}
+	s := q.Clone()
+	ssig := s.Signature()
+	if bound := qs.IntersectBound(&ssig); bound < 2 {
+		t.Fatalf("collision query: bound %d < true intersection 2", bound)
+	}
+}
+
+func TestSignatureMerge(t *testing.T) {
+	a := NewKeywordSet(1, 2, 3).Signature()
+	b := NewKeywordSet(3, 4, 5).Signature()
+	merged := a
+	merged.Merge(&b)
+	want := NewKeywordSet(1, 2, 3, 4, 5).Signature()
+	if merged != want {
+		t.Fatalf("merge mismatch: %v != %v", merged, want)
+	}
+}
+
+func TestSignatureOnesAndIntersectCount(t *testing.T) {
+	empty := KeywordSet(nil).Signature()
+	if empty.OnesCount() != 0 {
+		t.Fatalf("empty signature has %d bits", empty.OnesCount())
+	}
+	a := NewKeywordSet(10, 20).Signature()
+	if got := a.IntersectCount(&a); got != a.OnesCount() {
+		t.Fatalf("self intersect count %d != ones count %d", got, a.OnesCount())
+	}
+	if !a.Disjoint(&empty) {
+		t.Fatal("any signature must be disjoint from the empty one")
+	}
+}
+
+func BenchmarkKeywordSetContains(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	set := randomSet(rng, 1_000_000, 0)
+	for len(set) < 512 {
+		set = set.Add(Keyword(rng.Intn(1_000_000)))
+	}
+	probes := make([]Keyword, 256)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = set[rng.Intn(len(set))] // present
+		} else {
+			probes[i] = Keyword(rng.Intn(1_000_000)) // mostly absent
+		}
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if set.Contains(probes[i%len(probes)]) {
+			hits++
+		}
+	}
+	if hits < 0 {
+		b.Fatal("unreachable; keeps hits live")
+	}
+}

@@ -167,10 +167,22 @@ func (s KeywordSet) Len() int { return len(s) }
 // Empty reports whether s has no elements.
 func (s KeywordSet) Empty() bool { return len(s) == 0 }
 
-// Contains reports whether id is in s.
+// Contains reports whether id is in s. The binary search is hand-rolled
+// rather than delegated to sort.Search: Contains sits on the index
+// bound hot paths (one probe per query keyword per node), and the
+// closure call sort.Search makes per comparison costs more than the
+// comparison itself.
 func (s KeywordSet) Contains(id Keyword) bool {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
-	return i < len(s) && s[i] == id
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == id
 }
 
 // Clone returns an independent copy of s.

@@ -195,6 +195,13 @@ type EngineOptions struct {
 	// identical to the unsharded engine throughout. Must exceed 1 when
 	// set; zero disables. Ignored for Shards ≤ 1.
 	RebalanceFactor float64
+	// DisableSignatures turns off the keyword-signature pruning layer —
+	// the fixed-width hashed bitmaps frozen into every index arena that
+	// let traversals skip exact keyword merge-walks whenever a
+	// constant-time bitmap bound is decisive. On by default; answers
+	// are byte-identical either way. The switch exists for ablation
+	// measurements and as an operational escape hatch.
+	DisableSignatures bool
 }
 
 // coreOptions maps the public options onto the internal engine,
@@ -208,11 +215,12 @@ func (opts EngineOptions) coreOptions() (core.Options, error) {
 		return core.Options{}, fmt.Errorf("yask: rebalance factor %v must exceed 1", opts.RebalanceFactor)
 	}
 	return core.Options{
-		RefreshEvery:    opts.RefreshEvery,
-		RefreshInterval: opts.RefreshInterval,
-		Shards:          opts.Shards,
-		Splitter:        sp,
-		RebalanceFactor: opts.RebalanceFactor,
+		RefreshEvery:      opts.RefreshEvery,
+		RefreshInterval:   opts.RefreshInterval,
+		Shards:            opts.Shards,
+		Splitter:          sp,
+		RebalanceFactor:   opts.RebalanceFactor,
+		DisableSignatures: opts.DisableSignatures,
 	}, nil
 }
 
@@ -653,6 +661,14 @@ type ShardStats struct {
 	// accesses of the shard's SetR- and KcR-trees.
 	SetNodeAccesses int64 `json:"setNodeAccesses"`
 	KcNodeAccesses  int64 `json:"kcNodeAccesses"`
+	// SetSigProbes/SetSigHits and KcSigProbes/KcSigHits are the shard's
+	// keyword-signature pruning counters per index family: probes are
+	// signature bounds consulted, hits the decisive ones (each an exact
+	// keyword set operation skipped).
+	SetSigProbes int64 `json:"setSigProbes"`
+	SetSigHits   int64 `json:"setSigHits"`
+	KcSigProbes  int64 `json:"kcSigProbes"`
+	KcSigHits    int64 `json:"kcSigHits"`
 	// Balance is the shard's live population relative to the ideal
 	// (total live / shards): 1.0 is a perfectly balanced shard, 0 an
 	// empty one.
@@ -675,7 +691,16 @@ type EngineStats struct {
 	// balanced, Shards means one shard holds everything.
 	ImbalanceFactor float64 `json:"imbalanceFactor"`
 	// Rebalances counts the online rebalances published so far.
-	Rebalances int64        `json:"rebalances"`
+	Rebalances int64 `json:"rebalances"`
+	// Signatures reports whether the keyword-signature pruning layer is
+	// active; SigProbes/SigHits aggregate the per-shard, per-family
+	// counters and SigHitRate is hits/probes — the fraction of textual
+	// evaluations answered by a constant-time bitmap bound instead of
+	// an exact keyword merge-walk.
+	Signatures bool         `json:"signatures"`
+	SigProbes  int64        `json:"sigProbes"`
+	SigHits    int64        `json:"sigHits"`
+	SigHitRate float64      `json:"sigHitRate"`
 	PerShard   []ShardStats `json:"perShard"`
 }
 
@@ -692,12 +717,18 @@ func (e *Engine) Stats() EngineStats {
 		Splitter:         st.Splitter,
 		ImbalanceFactor:  st.ImbalanceFactor,
 		Rebalances:       st.Rebalances,
+		Signatures:       st.Signatures,
+		SigProbes:        st.SigProbes,
+		SigHits:          st.SigHits,
+		SigHitRate:       st.SigHitRate,
 		PerShard:         make([]ShardStats, len(st.PerShard)),
 	}
 	for i, sh := range st.PerShard {
 		out.PerShard[i] = ShardStats{
 			Shard: sh.Shard, Objects: sh.Objects, Live: sh.Live,
 			SetNodeAccesses: sh.SetNodeAccesses, KcNodeAccesses: sh.KcNodeAccesses,
+			SetSigProbes: sh.SetSigProbes, SetSigHits: sh.SetSigHits,
+			KcSigProbes: sh.KcSigProbes, KcSigHits: sh.KcSigHits,
 			Balance: sh.Balance,
 		}
 	}
