@@ -7,7 +7,8 @@
 //
 //	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m]
 //	      [-shards 4] [-splitter str] [-rebalance-factor 1.5]
-//	      [-signatures=false]
+//	      [-signatures=false] [-data-dir ./yask-data] [-fsync always]
+//	      [-fsync-interval 100ms] [-checkpoint-every 1000]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
 // synthetic stand-in for the paper's 539 Hong Kong hotels. With
@@ -26,17 +27,37 @@
 // layer baked into the index arenas; answers are byte-identical either
 // way, and the live hit rate (sigHitRate, plus per-shard probe/hit
 // counters) is reported on GET /api/stats.
+//
+// -data-dir enables crash-safe durability: every accepted insert and
+// remove is appended to a write-ahead log in that directory before it
+// mutates the engine, and checkpoints snapshot the whole collection.
+// On startup the engine recovers from the newest valid checkpoint plus
+// the log; -data/-demo seed the very first boot only. -fsync selects
+// the acknowledgement policy (always, interval, none), -fsync-interval
+// the flush period of "interval", and -checkpoint-every the automatic
+// checkpoint cadence (0 = only POST /api/checkpoint and shutdown).
+// On SIGINT/SIGTERM the server drains in-flight requests, writes a
+// final checkpoint, and closes the log.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/yask-engine/yask"
 	"github.com/yask-engine/yask/internal/server"
 )
+
+// shutdownTimeout bounds the in-flight request drain on SIGINT/SIGTERM;
+// the final checkpoint runs after the drain, whatever its outcome.
+const shutdownTimeout = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -46,6 +67,10 @@ func main() {
 	splitter := flag.String("splitter", "grid", "sharding strategy: grid (uniform grid over the data space) or str (sort-tile-recursive packing of a data sample; balances skewed datasets)")
 	rebalance := flag.Float64("rebalance-factor", 0, "enable online shard rebalancing when the max/mean shard population ratio exceeds this factor (must be > 1; 0 disables)")
 	signatures := flag.Bool("signatures", true, "enable the keyword-signature pruning layer (constant-time bitmap bounds before exact keyword merge-walks; identical answers either way)")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints; empty runs memory-only")
+	fsync := flag.String("fsync", "always", "WAL acknowledgement policy: always (fsync before every mutation returns), interval (fsync on a timer), or none (leave flushing to the OS)")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "flush period of -fsync interval (0 = 100ms default)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write a checkpoint automatically after this many logged mutations (0 = only POST /api/checkpoint and shutdown)")
 	flag.Parse()
 
 	if *splitter != "grid" && *splitter != "str" {
@@ -57,13 +82,18 @@ func main() {
 	opts := yask.EngineOptions{
 		Shards: *shards, Splitter: *splitter, RebalanceFactor: *rebalance,
 		DisableSignatures: !*signatures,
+		DataDir:           *dataDir, Fsync: *fsync,
+		FsyncInterval: *fsyncInterval, CheckpointEvery: *checkpointEvery,
 	}
 	var (
 		engine *yask.Engine
 		err    error
 	)
 	if *data == "" {
-		engine = yask.HKDemoEngineWith(opts)
+		engine, err = yask.OpenHKDemoEngine(opts)
+		if err != nil {
+			log.Fatalf("opening engine: %v", err)
+		}
 		log.Printf("serving built-in demo dataset (%d HK hotels, %d shard(s))", engine.Len(), engine.Stats().Shards)
 	} else {
 		engine, err = yask.LoadEngineWith(*data, opts)
@@ -77,12 +107,51 @@ func main() {
 	} else {
 		log.Printf("keyword-signature pruning disabled (-signatures=false): exact keyword merge-walks on every textual evaluation")
 	}
+	if d := engine.Stats().Durability; d != nil {
+		log.Printf("durability on: %s (fsync %s, %d records replayed, checkpoint at LSN %d)",
+			d.Dir, d.Fsync, d.ReplayedRecords, d.LastCheckpoint)
+	}
 
 	srv := server.New(engine, server.Config{SessionTTL: *ttl})
-	log.Printf("YASK listening on %s — open http://localhost%s/", *addr, portSuffix(*addr))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// A slow or stalled client must not pin a connection (and its
+		// goroutine) forever; the write timeout also bounds the largest
+		// batch response we'll stream.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("YASK listening on %s — open http://localhost%s/", *addr, portSuffix(*addr))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining in-flight requests (up to %s)", shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := engine.Checkpoint(); err != nil && !errors.Is(err, yask.ErrNotDurable) {
+		log.Printf("final checkpoint: %v", err)
+	}
+	if err := engine.Close(); err != nil {
+		log.Printf("closing engine: %v", err)
+	}
+	log.Printf("bye")
 }
 
 func portSuffix(addr string) string {

@@ -172,5 +172,9 @@ func MeasureReportMode(scale Scale, mode SigMode) Report {
 	// rate.
 	addSignatureMetrics(env, scale, mode, add)
 
+	// Durability: per-fsync-policy mutation cost, recovery replay, and
+	// the zero-alloc warm query path of a durable engine.
+	addDurabilityMetrics(scale, add)
+
 	return rep
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/wal"
+)
+
+// e13Muts returns how many mutations each durability measurement logs.
+// Kept modest: the "always" policy pays one fsync per mutation, and the
+// point is the per-mutation cost, not disk endurance.
+func e13Muts(s Scale) int {
+	if s == Full {
+		return 1000
+	}
+	return 200
+}
+
+// e13Open boots a durable engine over the dataset in dir. Refreshes are
+// batched far out so the measurement isolates the durability cost of a
+// mutation (log append + fsync policy) from index rebuild work, which
+// is identical with and without durability.
+func e13Open(ds *dataset.Dataset, dir string, policy wal.SyncPolicy) *core.Engine {
+	eng, err := core.Open(ds.Objects.All(), core.Options{
+		DataDir: dir, Fsync: policy, Vocab: ds.Vocab,
+		RefreshEvery: 1 << 30,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
+
+// e13Insert appends m objects cloned from the dataset and returns the
+// mean per-mutation latency.
+func e13Insert(eng *core.Engine, ds *dataset.Dataset, m int) time.Duration {
+	src := ds.Objects.All()
+	d := timeIt(func() {
+		for i := 0; i < m; i++ {
+			o := src[i%len(src)]
+			if _, err := eng.Insert(object.Object{Loc: o.Loc, Doc: o.Doc, Name: o.Name}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return d / time.Duration(m)
+}
+
+// RunE13Durability regenerates experiment E13: the cost of crash-safe
+// durability. One row per fsync policy measures the per-mutation price
+// of the write-ahead log against the memory-only engine, plus the
+// recovery time of reopening the directory (checkpoint load + WAL
+// replay). The closing line is the guarantee the CI baseline gates:
+// the warm query path is untouched by durability — same arena indexes,
+// zero allocations — because the WAL sits entirely on the mutation
+// path.
+func RunE13Durability(w io.Writer, scale Scale) {
+	n, m := scale.baseN(), e13Muts(scale)
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(w, "E13 — durability cost (N=%d, %d mutations per policy, %s scale)\n", n, m, scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "policy\tinsert µs\tvs memory\trecovery ms\treplayed\t")
+
+	mem := core.NewEngine(object.NewCollection(ds.Objects.All()), core.Options{RefreshEvery: 1 << 30})
+	memIns := e13Insert(mem, ds, m)
+	fmt.Fprintf(tw, "memory\t%s\t%.1fx\t\t\t\n", us(memIns), 1.0)
+
+	for _, policy := range []wal.SyncPolicy{wal.SyncNone, wal.SyncInterval, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "yask-e13-*")
+		if err != nil {
+			panic(err)
+		}
+		eng := e13Open(ds, dir, policy)
+		ins := e13Insert(eng, ds, m)
+		if err := eng.Close(); err != nil {
+			panic(err)
+		}
+		recovery := timeIt(func() {
+			eng = e13Open(ds, dir, policy)
+		})
+		replayed := 0
+		if d := eng.Stats().Durability; d != nil {
+			replayed = d.ReplayedRecords
+		}
+		eng.Close()
+		os.RemoveAll(dir)
+		fmt.Fprintf(tw, "%s\t%s\t%.1fx\t%s\t%d\t\n",
+			policy, us(ins), float64(ins)/float64(memIns), ms(recovery), replayed)
+	}
+	tw.Flush()
+
+	// The query-path guarantee: a durable engine answers from the same
+	// frozen arenas as a memory one.
+	dir, err := os.MkdirTemp("", "yask-e13-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	eng := e13Open(ds, dir, wal.SyncAlways)
+	defer eng.Close()
+	e13Insert(eng, ds, m)
+	eng.Refresh()
+	qTime, allocs := e13QueryPath(eng, ds, scale)
+	fmt.Fprintf(w, "warm top-k with durability on: %s µs/op, %.0f allocs/op\n", us(qTime), allocs)
+}
+
+// e13QueryPath measures the warm arena top-k path of a durable engine:
+// mean latency and allocations per query.
+func e13QueryPath(eng *core.Engine, ds *dataset.Dataset, scale Scale) (time.Duration, float64) {
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: scale.queries(), Seed: seed + 1, K: 10, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	set := eng.SetIndex()
+	var buf []score.Result
+	for _, q := range qs {
+		buf, _ = set.TopKAppend(q, buf[:0])
+	}
+	d := timeIt(func() {
+		for _, q := range qs {
+			buf, _ = set.TopKAppend(q, buf[:0])
+		}
+	}) / time.Duration(len(qs))
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, q := range qs {
+			buf, _ = set.TopKAppend(q, buf[:0])
+		}
+	}) / float64(len(qs))
+	return d, allocs
+}
+
+// addDurabilityMetrics emits the e13 rows of the machine-readable
+// report: per-policy mutation latency, recovery replay speed, and the
+// gated guarantee that the warm query path of a durable engine stays
+// allocation-free.
+func addDurabilityMetrics(scale Scale, add func(name string, value float64, unit string)) {
+	n, m := scale.baseN(), e13Muts(scale)
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		panic(err)
+	}
+
+	mem := core.NewEngine(object.NewCollection(ds.Objects.All()), core.Options{RefreshEvery: 1 << 30})
+	add("e13/insert/memory", float64(e13Insert(mem, ds, m).Nanoseconds()), "ns/op")
+
+	for _, policy := range []wal.SyncPolicy{wal.SyncNone, wal.SyncInterval, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "yask-e13-*")
+		if err != nil {
+			panic(err)
+		}
+		eng := e13Open(ds, dir, policy)
+		add(fmt.Sprintf("e13/insert/fsync=%s", policy),
+			float64(e13Insert(eng, ds, m).Nanoseconds()), "ns/op")
+		if err := eng.Close(); err != nil {
+			panic(err)
+		}
+		if policy == wal.SyncAlways {
+			recovery := timeIt(func() {
+				eng = e13Open(ds, dir, policy)
+			})
+			add("e13/recovery/replay", float64(recovery.Nanoseconds())/float64(m), "ns/record")
+			eng.Refresh()
+			_, allocs := e13QueryPath(eng, ds, scale)
+			add("e13/allocs/topk/durable", allocs, "allocs/op")
+			eng.Close()
+		}
+		os.RemoveAll(dir)
+	}
+}

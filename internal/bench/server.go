@@ -130,4 +130,5 @@ var Experiments = []struct {
 	{"e10", "sharded scatter-gather executor", RunE10Shard},
 	{"e11", "skew-aware sharding", RunE11Skew},
 	{"e12", "keyword-signature pruning", RunE12Signatures},
+	{"e13", "durability cost", RunE13Durability},
 }

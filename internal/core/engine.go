@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"github.com/yask-engine/yask/internal/settree"
 	"github.com/yask-engine/yask/internal/shard"
 	"github.com/yask-engine/yask/internal/vocab"
+	"github.com/yask-engine/yask/internal/wal"
 )
 
 // DefaultLambda is the default preference λ between modifying k and
@@ -90,6 +92,13 @@ type Engine struct {
 	// signatures records whether the keyword-signature pruning layer is
 	// active (Options.DisableSignatures inverted), for stats reporting.
 	signatures bool
+	// dur is the durability state (nil for a memory-only engine). Set
+	// once by Open before the engine is shared; the mutation path reads
+	// it under mu.
+	dur *durability
+	// closed marks an engine shut down by Close: mutations fail, queries
+	// keep serving the last published snapshots. Guarded by mu.
+	closed bool
 }
 
 // Options configures engine construction.
@@ -150,6 +159,34 @@ type Options struct {
 	// (0, 1] panic, because every non-empty layout has imbalance ≥ 1
 	// and the engine would rebalance forever. Ignored for Shards ≤ 1.
 	RebalanceFactor float64
+
+	// DataDir enables durability (via Open, not NewEngine): the
+	// directory holding the engine's WAL segments and checkpoint files.
+	// Empty means memory-only.
+	DataDir string
+	// Fsync selects when a WAL append is made power-cut durable
+	// (wal.SyncAlways, the zero value, acknowledges a mutation only
+	// after fsync). FsyncInterval is the flush period of
+	// wal.SyncInterval.
+	Fsync         wal.SyncPolicy
+	FsyncInterval time.Duration
+	// WALSegmentSize overrides the WAL segment rotation threshold
+	// (bytes); zero means wal.DefaultSegmentSize.
+	WALSegmentSize int64
+	// CheckpointEvery writes a snapshot checkpoint (and retires the WAL
+	// segments it covers) after this many logged mutations; zero means
+	// checkpoints happen only through explicit Checkpoint calls and at
+	// shutdown.
+	CheckpointEvery int
+	// Vocab is the vocabulary the collection's keyword sets are interned
+	// in. Durability needs it to spell keyword IDs back into strings for
+	// WAL records and checkpoints (and to re-intern them on replay), so
+	// recovery is independent of vocabulary ID assignment order.
+	// Required when DataDir is set.
+	Vocab *vocab.Vocabulary
+	// WrapWALFile is the fault-injection hook passed through to
+	// wal.Options.WrapFile; tests only.
+	WrapWALFile func(*os.File) wal.File
 }
 
 // NewEngine builds the engine (both indexes) over the collection.
@@ -273,19 +310,42 @@ func (e *Engine) Insert(o object.Object) (object.ID, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var id object.ID
-	if e.group != nil {
-		id = e.group.Insert(o)
-	} else {
-		id = e.coll.Append(o)
-		o = e.coll.Get(id) // pick up the assigned ID
-		for _, p := range e.providers {
-			p.Insert(o)
+	if e.closed {
+		return 0, errEngineClosed
+	}
+	// Write-ahead: the mutation is logged (and acknowledged per the
+	// fsync policy) before any in-memory state changes, so recovery
+	// replays exactly the acknowledged sequence in global-ID order. A
+	// failed append leaves the engine untouched.
+	if e.dur != nil {
+		if err := e.dur.logInsert(object.ID(e.coll.Len()), o); err != nil {
+			return 0, err
 		}
 	}
+	id := e.applyInsertLocked(o)
 	e.bumpPendingLocked()
 	e.maybeRebalanceLocked()
+	e.maybeCheckpointLocked()
 	return id, nil
+}
+
+var errEngineClosed = errors.New("core: engine is closed")
+
+// applyInsertLocked performs the in-memory half of an insert: append to
+// the collection (assigning the next dense global ID) and insert into
+// the index backend. Shared by the live mutation path and WAL replay —
+// both run under mu and in global-ID order, which is what keeps a
+// recovered engine (sharded or not) byte-identical to the original.
+func (e *Engine) applyInsertLocked(o object.Object) object.ID {
+	if e.group != nil {
+		return e.group.Insert(o)
+	}
+	id := e.coll.Append(o)
+	o = e.coll.Get(id) // pick up the assigned ID
+	for _, p := range e.providers {
+		p.Insert(o)
+	}
+	return id
 }
 
 // Remove tombstones the object and deletes it from both indexes. The ID
@@ -295,25 +355,41 @@ func (e *Engine) Insert(o object.Object) (object.ID, error) {
 func (e *Engine) Remove(id object.ID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return errEngineClosed
+	}
 	if int(id) >= e.coll.Len() {
 		return fmt.Errorf("core: unknown object ID %d", id)
 	}
-	if e.group != nil {
-		if !e.group.Remove(id) {
-			return fmt.Errorf("core: object %d is already removed", id)
-		}
-	} else {
-		if !e.coll.Tombstone(id) {
-			return fmt.Errorf("core: object %d is already removed", id)
-		}
-		o := e.coll.Get(id)
-		for _, p := range e.providers {
-			p.Remove(o)
+	// Reject before logging: only accepted mutations reach the WAL.
+	// Under mu the aliveness check cannot race the apply below.
+	if !e.coll.Alive(id) {
+		return fmt.Errorf("core: object %d is already removed", id)
+	}
+	if e.dur != nil {
+		if err := e.dur.logRemove(id); err != nil {
+			return err
 		}
 	}
+	e.applyRemoveLocked(id)
 	e.bumpPendingLocked()
 	e.maybeRebalanceLocked()
+	e.maybeCheckpointLocked()
 	return nil
+}
+
+// applyRemoveLocked performs the in-memory half of a remove; the caller
+// has verified id is in range and alive.
+func (e *Engine) applyRemoveLocked(id object.ID) {
+	if e.group != nil {
+		e.group.Remove(id)
+		return
+	}
+	e.coll.Tombstone(id)
+	o := e.coll.Get(id)
+	for _, p := range e.providers {
+		p.Remove(o)
+	}
 }
 
 // Refresh re-freezes both index arenas (every shard's, when sharded)
@@ -536,6 +612,9 @@ type EngineStats struct {
 	SigHitRate float64 `json:"sigHitRate"`
 	// PerShard has one row per shard (one row for the single backend).
 	PerShard []ShardStats `json:"perShard"`
+	// Durability reports the WAL/checkpoint state; nil for a memory-only
+	// engine.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats reports the engine's execution statistics.
@@ -548,6 +627,7 @@ func (e *Engine) Stats() EngineStats {
 		MaxDist:    e.coll.MaxDist(),
 		Signatures: e.signatures,
 	}
+	st.Durability = e.durabilityStats()
 	if e.group == nil {
 		if st.Live > 0 {
 			st.ImbalanceFactor = 1

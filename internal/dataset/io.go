@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -125,11 +126,72 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	return &Dataset{Objects: object.NewCollection(out), Vocab: v}, nil
 }
 
+// encode writes the dataset to w in the format named by path's
+// extension: .json or .csv.
+func (d *Dataset) encode(w io.Writer, path string) error {
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		return d.WriteJSON(w)
+	case strings.HasSuffix(path, ".csv"):
+		return d.WriteCSV(w)
+	default:
+		return fmt.Errorf("dataset: unknown extension in %q (want .json or .csv)", path)
+	}
+}
+
 // SaveFile writes the dataset to path, choosing the format from the
-// extension: .json or .csv. The file is closed exactly once; a close
-// error (the last chance for the OS to report a failed write) is
-// returned unless an earlier write error already explains the failure.
+// extension: .json or .csv. The write is atomic: the data goes to a
+// same-directory temporary file, is synced to disk and closed, and only
+// then renamed over path — a crash or full disk mid-save never leaves a
+// truncated dataset where a good one was. When path already exists as
+// something other than a regular file (a symlink, a device node),
+// renaming would silently replace what the name is, so SaveFile writes
+// through the name in place instead.
 func (d *Dataset) SaveFile(path string) (err error) {
+	// Reject a bad extension before touching the filesystem.
+	if !strings.HasSuffix(path, ".json") && !strings.HasSuffix(path, ".csv") {
+		return fmt.Errorf("dataset: unknown extension in %q (want .json or .csv)", path)
+	}
+	if fi, lerr := os.Lstat(path); lerr == nil && !fi.Mode().IsRegular() {
+		return d.saveInPlace(path)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = d.encode(bw, path); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	// Sync before rename: the rename must never become visible ahead of
+	// the data it names.
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// saveInPlace is the non-atomic fallback for destinations that are not
+// regular files. The file is closed exactly once; a close error (the
+// last chance for the OS to report a failed write) is returned unless
+// an earlier write error already explains the failure.
+func (d *Dataset) saveInPlace(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -140,18 +202,23 @@ func (d *Dataset) SaveFile(path string) (err error) {
 		}
 	}()
 	bw := bufio.NewWriter(f)
-	switch {
-	case strings.HasSuffix(path, ".json"):
-		err = d.WriteJSON(bw)
-	case strings.HasSuffix(path, ".csv"):
-		err = d.WriteCSV(bw)
-	default:
-		err = fmt.Errorf("dataset: unknown extension in %q (want .json or .csv)", path)
-	}
-	if err != nil {
+	if err = d.encode(bw, path); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile reads a dataset from path, choosing the format from the

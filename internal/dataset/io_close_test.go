@@ -45,3 +45,69 @@ func TestSaveFileSingleClose(t *testing.T) {
 		t.Fatalf("round trip lost objects: %d != %d", back.Objects.Len(), ds.Objects.Len())
 	}
 }
+
+// TestSaveFileAtomicReplace: overwriting an existing dataset must never
+// leave a truncated file, and a failed save must leave the old contents
+// untouched (and no temp litter).
+func TestSaveFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	ds := HKHotels()
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A save into an unwritable directory fails without touching the
+	// destination.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := ds.SaveFile(path); err == nil {
+		if os.Getuid() != 0 { // root ignores directory permissions
+			t.Fatal("save into read-only dir succeeded")
+		}
+	}
+	if err := os.Chmod(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("failed save changed the destination")
+	}
+	// Successful re-save replaces the contents and leaves no temp files.
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatalf("re-save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ds.json" {
+			t.Fatalf("leftover file %q after save", e.Name())
+		}
+	}
+}
+
+// TestSaveFileBadExtensionTouchesNothing: an unknown extension fails
+// before any file is created.
+func TestSaveFileBadExtensionTouchesNothing(t *testing.T) {
+	dir := t.TempDir()
+	if err := HKHotels().SaveFile(filepath.Join(dir, "ds.xml")); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("bad-extension save left %d files", len(entries))
+	}
+}

@@ -91,6 +91,39 @@ func NewCollection(objs []Object) *Collection {
 	return c
 }
 
+// NewCollectionWithDead builds a collection from objs with the given
+// tombstone flags — the checkpoint-restore constructor. Like
+// NewCollection it validates dense IDs; dead may be nil (no tombstones)
+// or must have len(objs) entries. Dead objects keep contributing to the
+// bounding space (see Append), so a restored collection scores queries
+// byte-identically to the one that was snapshotted.
+func NewCollectionWithDead(objs []Object, dead []bool) *Collection {
+	c := NewCollection(objs)
+	if dead == nil {
+		return c
+	}
+	if len(dead) != len(objs) {
+		panic(fmt.Sprintf("object: %d tombstone flags for %d objects", len(dead), len(objs)))
+	}
+	live := 0
+	anyDead := false
+	for _, d := range dead {
+		if d {
+			anyDead = true
+		} else {
+			live++
+		}
+	}
+	if !anyDead {
+		return c
+	}
+	st := c.state.Load()
+	deadCopy := make([]bool, len(dead))
+	copy(deadCopy, dead)
+	c.state.Store(&collState{objs: st.objs, dead: deadCopy, live: live, space: st.space})
+	return c
+}
+
 // Len returns the size of the ID space: live plus tombstoned objects.
 // Every ID in [0, Len) is addressable via Get.
 func (c *Collection) Len() int { return len(c.state.Load().objs) }

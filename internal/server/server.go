@@ -47,6 +47,7 @@ func New(engine *yask.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /api/whynot", s.handleWhyNot)
 	s.mux.HandleFunc("POST /api/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/log", s.handleLog)
 	s.mux.HandleFunc("DELETE /api/session/{id}", s.handleDropSession)
@@ -430,6 +431,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Engine:   s.engine.Stats(),
 		Sessions: s.sessions.len(),
 	})
+}
+
+// handleCheckpoint forces a durable snapshot of the collection and
+// retires the WAL segments it covers. 409 on a memory-only engine (no
+// -data-dir), 500 when the checkpoint itself fails; on success it
+// returns the engine's fresh durability counters.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.engine.Checkpoint(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, yask.ErrNotDurable) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.log.add(logEntry{Time: time.Now(), Kind: "checkpoint"})
+	writeJSON(w, http.StatusOK, s.engine.Stats().Durability)
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {

@@ -566,3 +566,48 @@ func TestStatsSignatureFields(t *testing.T) {
 		t.Fatalf("disabled engine reports signature activity: %+v", st2.Engine)
 	}
 }
+
+func TestCheckpointEndpoint(t *testing.T) {
+	// Memory-only engine: the endpoint refuses with 409.
+	_, ts := testServer(t)
+	status, raw := postJSON(t, ts.URL+"/api/checkpoint", struct{}{}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("checkpoint on memory engine: status %d: %s", status, raw)
+	}
+
+	// Durable engine: 200 plus fresh durability counters, and the stats
+	// endpoint carries the same durability section.
+	eng, err := yask.OpenHKDemoEngine(yask.EngineOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ts2 := httptest.NewServer(New(eng, Config{}))
+	defer ts2.Close()
+	status, raw = postJSON(t, ts2.URL+"/api/objects", insertObjectRequest{
+		Name: "new", X: 114.1, Y: 22.3, Keywords: []string{"wifi"},
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("insert status %d: %s", status, raw)
+	}
+	var d yask.DurabilityStats
+	status, raw = postJSON(t, ts2.URL+"/api/checkpoint", struct{}{}, &d)
+	if status != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", status, raw)
+	}
+	if d.LastCheckpoint != 1 || d.SinceCheckpoint != 0 || d.Checkpoints == 0 {
+		t.Fatalf("checkpoint response: %+v", d)
+	}
+	resp, err := http.Get(ts2.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Durability == nil || st.Engine.Durability.LastCheckpoint != 1 {
+		t.Fatalf("stats durability section: %+v", st.Engine.Durability)
+	}
+}

@@ -1,0 +1,276 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is one object in a checkpoint snapshot. Dead rows are kept:
+// tombstoned IDs stay addressable (Rank and why-not accept them) and
+// dead locations still stretch the collection's bounding space, which
+// normalizes distance scores — dropping them would change answers.
+type Row struct {
+	ID       uint32
+	Alive    bool
+	X, Y     float64
+	Name     string
+	Keywords []string
+}
+
+const (
+	ckptMagic      = "YASKCKP1"
+	ckptVersion    = 1
+	ckptHeaderSize = 8 + 4 + 8 + 4 // magic + version u32 + lsn u64 + count u32
+	ckptPrefix     = "ckpt-"
+	ckptSuffix     = ".ckpt"
+	// KeepCheckpoints is how many newest checkpoints PruneCheckpoints
+	// preserves: the latest plus one fallback in case the latest is
+	// damaged on disk.
+	KeepCheckpoints = 2
+)
+
+func checkpointName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix)
+}
+
+// appendRow serializes one checkpoint row.
+func appendRow(buf []byte, r Row) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, r.ID)
+	if r.Alive {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Y))
+	var err error
+	if buf, err = appendString(buf, r.Name); err != nil {
+		return nil, err
+	}
+	if len(r.Keywords) > maxStringLen {
+		return nil, fmt.Errorf("wal: checkpoint row has %d keywords (max %d)", len(r.Keywords), maxStringLen)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Keywords)))
+	for _, kw := range r.Keywords {
+		if buf, err = appendString(buf, kw); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func readRow(p *payloadReader) (Row, error) {
+	var r Row
+	id, err := p.u32()
+	if err != nil {
+		return Row{}, err
+	}
+	r.ID = id
+	ab, err := p.need(1)
+	if err != nil {
+		return Row{}, err
+	}
+	switch ab[0] {
+	case 0:
+	case 1:
+		r.Alive = true
+	default:
+		return Row{}, fmt.Errorf("bad alive flag %d", ab[0])
+	}
+	xb, err := p.u64()
+	if err != nil {
+		return Row{}, err
+	}
+	yb, err := p.u64()
+	if err != nil {
+		return Row{}, err
+	}
+	r.X, r.Y = math.Float64frombits(xb), math.Float64frombits(yb)
+	if r.Name, err = p.str(); err != nil {
+		return Row{}, err
+	}
+	nkw, err := p.u16()
+	if err != nil {
+		return Row{}, err
+	}
+	if nkw > 0 {
+		r.Keywords = make([]string, nkw)
+		for i := range r.Keywords {
+			if r.Keywords[i], err = p.str(); err != nil {
+				return Row{}, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// WriteCheckpoint atomically writes a snapshot of rows covering every
+// mutation through lsn into dir as ckpt-<lsn>.ckpt: serialized to a
+// same-dir temp file, fsynced, closed, renamed into place, and the
+// directory fsynced — a crash at any point leaves either the complete
+// previous state or the complete new file, never a partial one. It
+// returns the final path.
+func WriteCheckpoint(dir string, lsn uint64, rows []Row) (string, error) {
+	buf := make([]byte, 0, ckptHeaderSize+len(rows)*64)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, ckptVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	var err error
+	for _, r := range rows {
+		if buf, err = appendRow(buf, r); err != nil {
+			return "", err
+		}
+	}
+	// Trailing CRC32C over everything before it seals the whole file.
+	buf = binary.LittleEndian.AppendUint32(buf, crc32Checksum(buf))
+
+	final := filepath.Join(dir, checkpointName(lsn))
+	tmp, err := os.CreateTemp(dir, ckptPrefix+"*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() { os.Remove(tmpPath) }
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := os.Rename(tmpPath, final); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// readCheckpoint parses and fully verifies one checkpoint file.
+func readCheckpoint(path string) (lsn uint64, rows []Row, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < ckptHeaderSize+4 {
+		return 0, nil, corrupt(path, 0, "checkpoint shorter than its header")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if c := crc32Checksum(body); c != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, corrupt(path, int64(len(body)), "checkpoint CRC mismatch")
+	}
+	if string(body[:8]) != ckptMagic {
+		return 0, nil, corrupt(path, 0, "bad checkpoint magic")
+	}
+	if v := binary.LittleEndian.Uint32(body[8:]); v != ckptVersion {
+		return 0, nil, corrupt(path, 8, "unsupported checkpoint version %d", v)
+	}
+	lsn = binary.LittleEndian.Uint64(body[12:])
+	count := binary.LittleEndian.Uint32(body[20:])
+	p := payloadReader{b: body, off: ckptHeaderSize}
+	rows = make([]Row, 0, count)
+	for i := uint32(0); i < count; i++ {
+		r, err := readRow(&p)
+		if err != nil {
+			return 0, nil, corrupt(path, int64(p.off), "checkpoint row %d: %v", i, err)
+		}
+		rows = append(rows, r)
+	}
+	if p.off != len(body) {
+		return 0, nil, corrupt(path, int64(p.off), "%d trailing checkpoint bytes", len(body)-p.off)
+	}
+	return lsn, rows, nil
+}
+
+// listCheckpoints returns dir's checkpoint files sorted by LSN
+// ascending.
+func listCheckpoints(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var cps []segmentFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		lsn, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // a *.tmp leftover or foreign file; ignore
+		}
+		cps = append(cps, segmentFile{path: filepath.Join(dir, name), start: lsn})
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].start < cps[j].start })
+	return cps, nil
+}
+
+// LoadCheckpoint returns the newest checkpoint in dir that verifies
+// end-to-end, skipping damaged newer ones (the atomic-write protocol
+// makes damage unlikely, but a fallback beats refusing to start when an
+// older complete snapshot exists). It returns lsn 0 and nil rows when
+// dir holds no checkpoint at all; it returns an error only when every
+// present checkpoint is damaged — silently booting empty over corrupt
+// snapshots would be the "silently stale answer" failure mode.
+func LoadCheckpoint(dir string) (lsn uint64, rows []Row, err error) {
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(cps) == 0 {
+		return 0, nil, nil
+	}
+	var firstErr error
+	for i := len(cps) - 1; i >= 0; i-- {
+		lsn, rows, err := readCheckpoint(cps[i].path)
+		if err == nil {
+			return lsn, rows, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return 0, nil, firstErr
+}
+
+// PruneCheckpoints deletes all but the newest KeepCheckpoints
+// checkpoint files, returning how many were removed.
+func PruneCheckpoints(dir string) (int, error) {
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+KeepCheckpoints < len(cps); i++ {
+		if err := os.Remove(cps[i].path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

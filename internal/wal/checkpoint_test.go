@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ckptRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			ID:       uint32(i),
+			Alive:    i%4 != 3,
+			X:        float64(i) * 2.5,
+			Y:        float64(i) * -1.25,
+			Name:     fmt.Sprintf("row-%d", i),
+			Keywords: []string{"kw", fmt.Sprintf("tag%d", i%5)},
+		}
+	}
+	return rows
+}
+
+func sameRows(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Alive != b[i].Alive || a[i].X != b[i].X || a[i].Y != b[i].Y || a[i].Name != b[i].Name {
+			return false
+		}
+		if len(a[i].Keywords) != len(b[i].Keywords) {
+			return false
+		}
+		for j := range a[i].Keywords {
+			if a[i].Keywords[j] != b[i].Keywords[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := ckptRows(37)
+	path, err := WriteCheckpoint(dir, 99, want)
+	if err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("checkpoint landed in %s", path)
+	}
+	lsn, got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if lsn != 99 {
+		t.Fatalf("lsn = %d, want 99", lsn)
+	}
+	if !sameRows(got, want) {
+		t.Fatalf("rows mismatch")
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadCheckpointEmptyDir(t *testing.T) {
+	lsn, rows, err := LoadCheckpoint(t.TempDir())
+	if err != nil || lsn != 0 || rows != nil {
+		t.Fatalf("empty dir: lsn=%d rows=%v err=%v", lsn, rows, err)
+	}
+	// A directory that does not exist at all behaves the same.
+	lsn, rows, err = LoadCheckpoint(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || lsn != 0 || rows != nil {
+		t.Fatalf("missing dir: lsn=%d rows=%v err=%v", lsn, rows, err)
+	}
+}
+
+func TestLoadCheckpointNewestWinsAndFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	oldRows, newRows := ckptRows(5), ckptRows(9)
+	if _, err := WriteCheckpoint(dir, 10, oldRows); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := WriteCheckpoint(dir, 20, newRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, rows, err := LoadCheckpoint(dir)
+	if err != nil || lsn != 20 || !sameRows(rows, newRows) {
+		t.Fatalf("newest-wins failed: lsn=%d err=%v", lsn, err)
+	}
+
+	// Damage the newest: loading falls back to the older complete one.
+	data, _ := os.ReadFile(newest)
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lsn, rows, err = LoadCheckpoint(dir)
+	if err != nil || lsn != 10 || !sameRows(rows, oldRows) {
+		t.Fatalf("fallback failed: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestLoadCheckpointAllDamagedIsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteCheckpoint(dir, 5, ckptRows(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	for off := 0; off < len(data); off++ {
+		c := make([]byte, len(data))
+		copy(c, data)
+		c[off] ^= 0x40
+		if err := os.WriteFile(path, c, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrCorrupt", off, err)
+		}
+	}
+	// Truncations anywhere must also be typed corruption.
+	for cut := 0; cut < len(data); cut += 7 {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 5; i++ {
+		if _, err := WriteCheckpoint(dir, uint64(i*10), ckptRows(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := PruneCheckpoints(dir)
+	if err != nil {
+		t.Fatalf("PruneCheckpoints: %v", err)
+	}
+	if removed != 5-KeepCheckpoints {
+		t.Fatalf("removed %d, want %d", removed, 5-KeepCheckpoints)
+	}
+	cps, err := listCheckpoints(dir)
+	if err != nil || len(cps) != KeepCheckpoints {
+		t.Fatalf("left %d checkpoints (err %v), want %d", len(cps), err, KeepCheckpoints)
+	}
+	if cps[len(cps)-1].start != 50 {
+		t.Fatalf("newest surviving checkpoint at LSN %d, want 50", cps[len(cps)-1].start)
+	}
+	lsn, _, err := LoadCheckpoint(dir)
+	if err != nil || lsn != 50 {
+		t.Fatalf("load after prune: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestCheckpointIgnoresForeignAndTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ckptPrefix+"x.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(dir, 7, ckptRows(2)); err != nil {
+		t.Fatal(err)
+	}
+	lsn, _, err := LoadCheckpoint(dir)
+	if err != nil || lsn != 7 {
+		t.Fatalf("temp file confused loading: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestCheckpointEmptyRows(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(dir, 0, nil); err != nil {
+		t.Fatalf("empty checkpoint: %v", err)
+	}
+	lsn, rows, err := LoadCheckpoint(dir)
+	if err != nil || lsn != 0 || len(rows) != 0 {
+		t.Fatalf("empty checkpoint load: lsn=%d rows=%d err=%v", lsn, len(rows), err)
+	}
+}

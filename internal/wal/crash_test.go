@@ -1,0 +1,289 @@
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/wal"
+	"github.com/yask-engine/yask/internal/wal/faultio"
+)
+
+func rec(i int) wal.Record {
+	if i%4 == 3 {
+		return wal.Record{Op: wal.OpRemove, ID: uint32(i - 1)}
+	}
+	return wal.Record{
+		Op:       wal.OpInsert,
+		ID:       uint32(i),
+		X:        float64(i) * 0.5,
+		Y:        float64(-i) * 0.25,
+		Name:     fmt.Sprintf("obj-%d", i),
+		Keywords: []string{"coffee", "bar", fmt.Sprintf("k%d", i%3)},
+	}
+}
+
+// writeFully appends n records with no fault and returns the directory
+// and total bytes the log occupies, so crash tests can enumerate every
+// byte offset.
+func writeFully(t *testing.T, n int, segSize int64) (dir string, totalBytes int64, acked int) {
+	t.Helper()
+	dir = t.TempDir()
+	l, _, err := wal.Open(dir, 0, wal.Options{Sync: wal.SyncAlways, SegmentSize: segSize})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return dir, st.Size, n
+}
+
+// TestCrashAtEveryByteOffset is the core power-cut property: for every
+// byte budget from 0 to the full log size, a writer that dies at that
+// offset must leave a log that recovers to an exact prefix of the
+// acknowledged records — never a wrong record, never an error.
+func TestCrashAtEveryByteOffset(t *testing.T) {
+	const n = 12
+	// Small segments so the crash points also cover rotation boundaries.
+	_, totalBytes, _ := writeFully(t, n, 256)
+
+	for limit := int64(0); limit <= totalBytes; limit++ {
+		dir := t.TempDir()
+		in := faultio.NewInjector(limit)
+		l, _, err := wal.Open(dir, 0, wal.Options{
+			Sync:        wal.SyncAlways,
+			SegmentSize: 256,
+			WrapFile:    in.Wrap,
+		})
+		acked := 0
+		if err == nil {
+			for i := 0; i < n; i++ {
+				if _, err := l.Append(rec(i)); err != nil {
+					break
+				}
+				acked++
+			}
+			l.Close()
+		}
+
+		// Recover with a plain writer: the "power is back" boot.
+		l2, recs, err := wal.Open(dir, 0, wal.Options{Sync: wal.SyncAlways, SegmentSize: 256})
+		if err != nil {
+			t.Fatalf("limit %d: recovery failed: %v", limit, err)
+		}
+		// Under SyncAlways every acknowledged record must survive, and
+		// nothing beyond the attempted sequence can exist.
+		if len(recs) < acked {
+			t.Fatalf("limit %d: recovered %d records, acknowledged %d", limit, len(recs), acked)
+		}
+		if len(recs) > acked+1 {
+			t.Fatalf("limit %d: recovered %d records but only %d+1 were ever written", limit, len(recs), acked)
+		}
+		for i, r := range recs {
+			want := rec(i)
+			want.LSN = uint64(i + 1)
+			if !recordsEqual(r, want) {
+				t.Fatalf("limit %d: record %d mismatch:\n got %+v\nwant %+v", limit, i, r, want)
+			}
+		}
+		// The recovered log must accept new appends at the right LSN.
+		lsn, err := l2.Append(rec(len(recs)))
+		if err != nil || lsn != uint64(len(recs)+1) {
+			t.Fatalf("limit %d: post-recovery append: lsn %d, err %v", limit, lsn, err)
+		}
+		l2.Close()
+	}
+}
+
+func recordsEqual(a, b wal.Record) bool {
+	if a.LSN != b.LSN || a.Op != b.Op || a.ID != b.ID || a.X != b.X || a.Y != b.Y || a.Name != b.Name || len(a.Keywords) != len(b.Keywords) {
+		return false
+	}
+	for i := range a.Keywords {
+		if a.Keywords[i] != b.Keywords[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShortWriteRepairKeepsLogUsable drives appends into an injected
+// short write and checks the same process can keep appending after the
+// error — the truncate-repair path, not just the reopen path.
+func TestShortWriteRepairKeepsLogUsable(t *testing.T) {
+	for limit := int64(20); limit <= 400; limit += 7 {
+		dir := t.TempDir()
+		in := faultio.NewInjector(limit)
+		l, _, err := wal.Open(dir, 0, wal.Options{Sync: wal.SyncNone, SegmentSize: 1 << 20, WrapFile: in.Wrap})
+		if err != nil {
+			continue // header write already hit the limit
+		}
+		acked := 0
+		sawErr := false
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append(rec(i)); err != nil {
+				sawErr = true
+				break
+			}
+			acked++
+		}
+		l.Close()
+		if !sawErr && acked == 10 {
+			continue // limit above total volume; nothing tripped
+		}
+		_, recs, err := wal.Open(dir, 0, wal.Options{})
+		if err != nil {
+			t.Fatalf("limit %d: recovery: %v", limit, err)
+		}
+		if len(recs) != acked {
+			t.Fatalf("limit %d: recovered %d records, acknowledged %d", limit, len(recs), acked)
+		}
+	}
+}
+
+// TestBitFlipSurfacesTypedCorruption flips every byte inside sealed
+// (non-final) segments and the interior records of the final segment:
+// recovery must fail with an error matching wal.ErrCorrupt — a wrong
+// answer is never acceptable, and interior damage is never a torn tail.
+func TestBitFlipSurfacesTypedCorruption(t *testing.T) {
+	const n = 10
+	dir, _, _ := writeFully(t, n, 256)
+	infos, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatalf("Segments: %v", err)
+	}
+	for si, info := range infos {
+		data, err := os.ReadFile(info.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := si == len(infos)-1
+		// In the final segment only damage strictly before the last
+		// record is unambiguous corruption; at the tail it is
+		// indistinguishable from a torn write and may legally truncate.
+		flipEnd := int64(len(data))
+		if final && len(info.Records) > 0 {
+			last := info.Records[len(info.Records)-1]
+			flipEnd = last.Offset
+		}
+		for off := int64(0); off < flipEnd; off++ {
+			corrupted := make([]byte, len(data))
+			copy(corrupted, data)
+			corrupted[off] ^= 0x80
+			if err := os.WriteFile(info.Path, corrupted, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := wal.Open(dir, 0, wal.Options{})
+			if err == nil {
+				t.Fatalf("segment %d byte %d: bit flip recovered silently", si, off)
+			}
+			if !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("segment %d byte %d: err %v does not match wal.ErrCorrupt", si, off, err)
+			}
+			var ce *wal.CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("segment %d byte %d: err %T is not *wal.CorruptionError", si, off, err)
+			}
+		}
+		if err := os.WriteFile(info.Path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTailFlipNeverYieldsWrongRecord flips bytes in the final record of
+// the newest segment: the outcome may be a clean truncation (torn-tail
+// classification) or a typed corruption error, but never a record that
+// differs from what was written.
+func TestTailFlipNeverYieldsWrongRecord(t *testing.T) {
+	const n = 6
+	dir, _, _ := writeFully(t, n, 1<<20) // one segment
+	infos, err := wal.Segments(dir)
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("want 1 segment, got %d (err %v)", len(infos), err)
+	}
+	info := infos[0]
+	last := info.Records[len(info.Records)-1]
+	data, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := last.Offset; off < int64(len(data)); off++ {
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		corrupted[off] ^= 0x01
+		if err := os.WriteFile(info.Path, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err := wal.Open(dir, 0, wal.Options{})
+		if err != nil {
+			if !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("byte %d: untyped error %v", off, err)
+			}
+			continue
+		}
+		if len(recs) > n {
+			t.Fatalf("byte %d: recovered %d records from a log of %d", off, len(recs), n)
+		}
+		for i, r := range recs {
+			want := rec(i)
+			want.LSN = uint64(i + 1)
+			if !recordsEqual(r, want) {
+				t.Fatalf("byte %d: flip produced a wrong record %d: %+v", off, i, r)
+			}
+		}
+	}
+	if err := os.WriteFile(info.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingSegmentIsCorruption deletes an interior segment: the LSN
+// chain break must surface as typed corruption.
+func TestMissingSegmentIsCorruption(t *testing.T) {
+	dir, _, _ := writeFully(t, 12, 256)
+	infos, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatalf("Segments: %v", err)
+	}
+	if len(infos) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(infos))
+	}
+	if err := os.Remove(infos[1].Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.Open(dir, 0, wal.Options{}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("missing interior segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFailSyncSurfacesError checks a failing fsync is reported to the
+// appender under SyncAlways — an unreported sync failure would break
+// the acknowledgement contract.
+func TestFailSyncSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	in := faultio.NewInjector(200).FailSync()
+	l, _, err := wal.Open(dir, 0, wal.Options{Sync: wal.SyncAlways, WrapFile: in.Wrap})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	sawErr := false
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatalf("20 appends with a tripping injector all acknowledged")
+	}
+}

@@ -1,0 +1,99 @@
+// Package faultio provides a fault-injecting file wrapper for the WAL
+// tests: a writer that short-writes or fails outright once a byte
+// budget is exhausted, simulating a power cut at an exact byte offset,
+// and optionally failing Sync. Injected via wal.Options.WrapFile, it
+// exercises the log's short-write repair and torn-tail recovery without
+// touching the on-disk format.
+package faultio
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"github.com/yask-engine/yask/internal/wal"
+)
+
+// ErrInjected is the error every injected failure returns (wrapped).
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Injector produces wrapped files sharing one byte budget, so a limit
+// spans segment rotations exactly like a machine-wide power cut would.
+type Injector struct {
+	mu sync.Mutex
+	// remaining is how many more bytes writes may consume before faults
+	// begin; negative means unlimited.
+	remaining int64
+	failSync  bool
+	tripped   bool
+}
+
+// NewInjector returns an injector that lets limit bytes through across
+// all wrapped files, then short-writes the crossing write and fails
+// every write after it. A negative limit never trips.
+func NewInjector(limit int64) *Injector {
+	return &Injector{remaining: limit}
+}
+
+// FailSync makes every Sync after the trip point fail too.
+func (in *Injector) FailSync() *Injector {
+	in.mu.Lock()
+	in.failSync = true
+	in.mu.Unlock()
+	return in
+}
+
+// Tripped reports whether the byte budget has been exhausted.
+func (in *Injector) Tripped() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.tripped
+}
+
+// Wrap is the wal.Options.WrapFile hook.
+func (in *Injector) Wrap(f *os.File) wal.File {
+	return &file{in: in, f: f}
+}
+
+type file struct {
+	in *Injector
+	f  *os.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	w.in.mu.Lock()
+	defer w.in.mu.Unlock()
+	if w.in.remaining < 0 {
+		return w.f.Write(p)
+	}
+	if w.in.remaining == 0 {
+		w.in.tripped = true
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > w.in.remaining {
+		// The power cut lands mid-write: persist the prefix, report the
+		// short write.
+		n, err := w.f.Write(p[:w.in.remaining])
+		w.in.remaining = 0
+		w.in.tripped = true
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	n, err := w.f.Write(p)
+	w.in.remaining -= int64(n)
+	return n, err
+}
+
+func (w *file) Sync() error {
+	w.in.mu.Lock()
+	failing := w.in.tripped && w.in.failSync
+	w.in.mu.Unlock()
+	if failing {
+		return ErrInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Close() error { return w.f.Close() }

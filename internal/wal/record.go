@@ -1,0 +1,264 @@
+// Package wal implements the engine's durability subsystem: a
+// segmented, append-only write-ahead log of Insert/Remove mutation
+// records plus atomic checkpoint files that snapshot the whole
+// collection and retire the log segments they cover.
+//
+// Every record is framed as
+//
+//	u32 payload length | u32 CRC32C(payload) | payload
+//
+// (little-endian, Castagnoli polynomial) and carries a log sequence
+// number (LSN) assigned densely from 1. Segments are files named
+// wal-<first LSN>.log with an 16-byte header; when one grows past
+// Options.SegmentSize the log rotates to a new file, and a checkpoint
+// at LSN C deletes every segment whose records all have LSN ≤ C.
+//
+// Recovery discipline (the Badger/etcd WAL contract): a crash can only
+// tear the tail of the newest segment — rotation syncs a segment before
+// the next one is created — so on open a short or CRC-failing record at
+// the very end of the newest segment is truncated away (a torn write of
+// a record that was never acknowledged), while any damage earlier in
+// the chain (a bit flip, a missing segment, an LSN gap) surfaces as a
+// *CorruptionError. Recovery therefore always restores an exact prefix
+// of the acknowledged mutation sequence or fails loudly — never a wrong
+// or silently stale state.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Op is the mutation kind of one log record.
+type Op uint8
+
+const (
+	// OpInsert records an object insertion (the full object travels in
+	// the record, keywords as strings so recovery survives vocabulary
+	// re-interning).
+	OpInsert Op = 1
+	// OpRemove records a tombstone of an existing object ID.
+	OpRemove Op = 2
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Record is one logged mutation. LSNs are dense from 1; the log assigns
+// them on Append and replay returns them so callers can checkpoint at
+// an exact position.
+type Record struct {
+	LSN uint64
+	Op  Op
+	// ID is the dense object ID the mutation targets: the ID the insert
+	// will be assigned (recovery verifies the replayed assignment
+	// matches) or the ID being removed.
+	ID uint32
+	// X, Y, Name, Keywords carry the inserted object; zero for removes.
+	X, Y     float64
+	Name     string
+	Keywords []string
+}
+
+// ErrCorrupt is the sentinel every *CorruptionError matches via
+// errors.Is: damage to the log or a checkpoint that recovery cannot
+// attribute to a torn tail write.
+var ErrCorrupt = errors.New("wal: corruption")
+
+// CorruptionError reports unrecoverable damage at a byte offset of a
+// log segment or checkpoint file. It matches ErrCorrupt.
+type CorruptionError struct {
+	Path   string
+	Offset int64
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: corrupt %s at offset %d: %s", e.Path, e.Offset, e.Detail)
+}
+
+// Is reports target == ErrCorrupt so errors.Is(err, wal.ErrCorrupt)
+// identifies any corruption error.
+func (e *CorruptionError) Is(target error) bool { return target == ErrCorrupt }
+
+func corrupt(path string, off int64, format string, args ...any) error {
+	return &CorruptionError{Path: path, Offset: off, Detail: fmt.Sprintf(format, args...)}
+}
+
+// castagnoli is the CRC32C table shared by record frames and
+// checkpoints (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	// frameHeaderSize is the per-record prefix: u32 length + u32 CRC32C.
+	frameHeaderSize = 8
+	// maxRecordSize bounds one payload; a declared length beyond it is
+	// corruption, never a real record — it also caps the allocation a
+	// corrupt length field can demand during a scan.
+	maxRecordSize = 16 << 20
+	// maxStringLen bounds names and keywords inside a payload.
+	maxStringLen = math.MaxUint16
+)
+
+// appendPayload serializes r (without the frame) onto buf.
+func appendPayload(buf []byte, r Record) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN)
+	buf = append(buf, byte(r.Op))
+	buf = binary.LittleEndian.AppendUint32(buf, r.ID)
+	if r.Op == OpRemove {
+		return buf, nil
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.X))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Y))
+	var err error
+	if buf, err = appendString(buf, r.Name); err != nil {
+		return nil, err
+	}
+	if len(r.Keywords) > maxStringLen {
+		return nil, fmt.Errorf("wal: record has %d keywords (max %d)", len(r.Keywords), maxStringLen)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Keywords)))
+	for _, kw := range r.Keywords {
+		if buf, err = appendString(buf, kw); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) ([]byte, error) {
+	if len(s) > maxStringLen {
+		return nil, fmt.Errorf("wal: string of %d bytes exceeds the %d-byte record field limit", len(s), maxStringLen)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+// appendFrame serializes r as a full frame (header + payload) onto buf.
+func appendFrame(buf []byte, r Record) ([]byte, error) {
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf, err := appendPayload(buf, r)
+	if err != nil {
+		return nil, err
+	}
+	payload := buf[base+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// payloadReader is a bounds-checked cursor over one record payload.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) need(n int) ([]byte, error) {
+	if p.off+n > len(p.b) {
+		return nil, fmt.Errorf("payload truncated: need %d bytes at offset %d of %d", n, p.off, len(p.b))
+	}
+	b := p.b[p.off : p.off+n]
+	p.off += n
+	return b, nil
+}
+
+func (p *payloadReader) u16() (uint16, error) {
+	b, err := p.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (p *payloadReader) u32() (uint32, error) {
+	b, err := p.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (p *payloadReader) u64() (uint64, error) {
+	b, err := p.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (p *payloadReader) str() (string, error) {
+	n, err := p.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := p.need(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// decodePayload parses one CRC-verified payload back into a Record.
+func decodePayload(b []byte) (Record, error) {
+	p := payloadReader{b: b}
+	var r Record
+	var err error
+	if r.LSN, err = p.u64(); err != nil {
+		return Record{}, err
+	}
+	op, err := p.need(1)
+	if err != nil {
+		return Record{}, err
+	}
+	r.Op = Op(op[0])
+	if id, err := p.u32(); err != nil {
+		return Record{}, err
+	} else {
+		r.ID = id
+	}
+	switch r.Op {
+	case OpRemove:
+	case OpInsert:
+		xb, err := p.u64()
+		if err != nil {
+			return Record{}, err
+		}
+		yb, err := p.u64()
+		if err != nil {
+			return Record{}, err
+		}
+		r.X, r.Y = math.Float64frombits(xb), math.Float64frombits(yb)
+		if r.Name, err = p.str(); err != nil {
+			return Record{}, err
+		}
+		nkw, err := p.u16()
+		if err != nil {
+			return Record{}, err
+		}
+		if nkw > 0 {
+			r.Keywords = make([]string, nkw)
+			for i := range r.Keywords {
+				if r.Keywords[i], err = p.str(); err != nil {
+					return Record{}, err
+				}
+			}
+		}
+	default:
+		return Record{}, fmt.Errorf("unknown op %d", uint8(r.Op))
+	}
+	if p.off != len(b) {
+		return Record{}, fmt.Errorf("%d trailing payload bytes", len(b)-p.off)
+	}
+	return r, nil
+}

@@ -1,0 +1,442 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func insertRec(id uint32) Record {
+	return Record{
+		Op:       OpInsert,
+		ID:       id,
+		X:        float64(id) * 1.5,
+		Y:        float64(id) * -0.25,
+		Name:     fmt.Sprintf("object-%d", id),
+		Keywords: []string{"coffee", fmt.Sprintf("kw%d", id%7)},
+	}
+}
+
+func mustAppend(t *testing.T, l *Log, r Record) uint64 {
+	t.Helper()
+	lsn, err := l.Append(r)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+func sameRecord(a, b Record) bool {
+	if a.LSN != b.LSN || a.Op != b.Op || a.ID != b.ID || a.X != b.X || a.Y != b.Y || a.Name != b.Name {
+		return false
+	}
+	if len(a.Keywords) != len(b.Keywords) {
+		return false
+	}
+	for i := range a.Keywords {
+		if a.Keywords[i] != b.Keywords[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	var want []Record
+	for i := 0; i < 25; i++ {
+		r := insertRec(uint32(i))
+		if i%5 == 4 {
+			r = Record{Op: OpRemove, ID: uint32(i - 2)}
+		}
+		lsn := mustAppend(t, l, r)
+		if lsn != uint64(i+1) {
+			t.Fatalf("record %d got LSN %d, want %d", i, lsn, i+1)
+		}
+		r.LSN = lsn
+		want = append(want, r)
+	}
+	// The live byte counter must track what is actually on disk — it is
+	// the walBytes operators watch, not a recount-time snapshot.
+	onDisk := int64(0)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += fi.Size()
+	}
+	if st := l.Stats(); st.Size != onDisk {
+		t.Fatalf("Stats.Size %d, on-disk %d", st.Size, onDisk)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, got, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpenSkipsThroughAfterLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, insertRec(uint32(i)))
+	}
+	l.Close()
+
+	_, recs, err := Open(dir, 6, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 4 || recs[0].LSN != 7 {
+		t.Fatalf("afterLSN=6 replayed %d records starting at %d, want 4 starting at 7", len(recs), recs[0].LSN)
+	}
+}
+
+func TestSegmentRotationAndRetire(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of records.
+	l, _, err := Open(dir, 0, Options{SegmentSize: 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		mustAppend(t, l, insertRec(uint32(i)))
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotations at SegmentSize=128 after 20 records")
+	}
+	if st.Segments < 2 {
+		t.Fatalf("got %d segments, want >= 2", st.Segments)
+	}
+
+	// Everything except the active segment is retirable at the last LSN.
+	removed, err := l.Retire(l.LastLSN())
+	if err != nil {
+		t.Fatalf("Retire: %v", err)
+	}
+	if removed != st.Segments-1 {
+		t.Fatalf("retired %d segments, want %d", removed, st.Segments-1)
+	}
+	// Retiring below the oldest remaining record removes nothing.
+	if n, _ := l.Retire(l.LastLSN()); n != 0 {
+		t.Fatalf("second retire removed %d segments", n)
+	}
+	l.Close()
+
+	// The chain must still replay from the records' own LSNs after
+	// retirement, given a checkpoint covering the deleted prefix.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly 1 segment after retire, got %d (err %v)", len(segs), err)
+	}
+	_, recs, err := Open(dir, segs[0].start-1, Options{})
+	if err != nil {
+		t.Fatalf("reopen after retire: %v", err)
+	}
+	if len(recs) == 0 || recs[0].LSN != segs[0].start {
+		t.Fatalf("replay after retire got %d records starting at %d, want start %d", len(recs), recs[0].LSN, segs[0].start)
+	}
+	// Without a covering checkpoint the missing prefix is corruption.
+	if _, _, err := Open(dir, 0, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with afterLSN=0 over a retired prefix: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotateSealsForRetire(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, insertRec(uint32(i)))
+	}
+	// Nothing retirable while all records sit in the active segment.
+	if n, _ := l.Retire(l.LastLSN()); n != 0 {
+		t.Fatalf("retired %d segments before rotate", n)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	n, err := l.Retire(l.LastLSN())
+	if err != nil || n != 1 {
+		t.Fatalf("retire after rotate removed %d (err %v), want 1", n, err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		l, _, err := Open(t.TempDir(), 0, Options{Sync: SyncAlways})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer l.Close()
+		for i := 0; i < 3; i++ {
+			mustAppend(t, l, insertRec(uint32(i)))
+		}
+		// Header write plus three records: at least one fsync per append.
+		if st := l.Stats(); st.Fsyncs < 3 {
+			t.Fatalf("SyncAlways issued %d fsyncs for 3 appends", st.Fsyncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		l, _, err := Open(t.TempDir(), 0, Options{Sync: SyncInterval, SyncInterval: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer l.Close()
+		for i := 0; i < 3; i++ {
+			mustAppend(t, l, insertRec(uint32(i)))
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for l.Stats().Fsyncs == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("interval sync never fired")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		l, _, err := Open(t.TempDir(), 0, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			mustAppend(t, l, insertRec(uint32(i)))
+		}
+		if st := l.Stats(); st.Fsyncs != 0 {
+			t.Fatalf("SyncNone issued %d fsyncs before close", st.Fsyncs)
+		}
+		l.Close()
+	})
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"none", SyncNone, true},
+		{"sometimes", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSyncPolicy(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		back, err := ParseSyncPolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round-trip %v via %q failed: %v, %v", p, p.String(), back, err)
+		}
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{Sync: SyncNone, SegmentSize: 4 << 10})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(insertRec(uint32(w*per + i))); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Stats must be safe to read concurrently with appends.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = l.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, recs, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != workers*per {
+		t.Fatalf("replayed %d records, want %d", len(recs), workers*per)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, _, err := Open(t.TempDir(), 0, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Close()
+	if _, err := l.Append(insertRec(1)); err == nil {
+		t.Fatalf("Append after Close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestEmptySegmentAfterHeaderTornAway(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, l, insertRec(1))
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	l.Close()
+	// Tear the newest (empty) segment down to a partial header.
+	segs, _ := listSegments(dir)
+	last := segs[len(segs)-1].path
+	if err := os.Truncate(last, 3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	l2, recs, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("reopen over torn header: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	// The log must still be appendable (header rewritten).
+	if _, err := l2.Append(insertRec(2)); err != nil {
+		t.Fatalf("append after torn-header repair: %v", err)
+	}
+	l2.Close()
+	if _, recs, err = Open(dir, 0, Options{}); err != nil || len(recs) != 2 {
+		t.Fatalf("final replay: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestSegmentsScan(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, insertRec(uint32(i)))
+	}
+	l.Close()
+	infos, err := Segments(dir)
+	if err != nil {
+		t.Fatalf("Segments: %v", err)
+	}
+	total, next := 0, uint64(1)
+	for _, info := range infos {
+		off := int64(segHeaderSize)
+		for _, rp := range info.Records {
+			if rp.Offset != off {
+				t.Fatalf("record %d of %s at offset %d, want %d", rp.Record.LSN, info.Path, rp.Offset, off)
+			}
+			if rp.Record.LSN != next {
+				t.Fatalf("scan out of order: LSN %d, want %d", rp.Record.LSN, next)
+			}
+			off += rp.Size
+			next++
+			total++
+		}
+		fi, err := os.Stat(info.Path)
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		if off != fi.Size() {
+			t.Fatalf("%s: record sizes sum to %d, file is %d", info.Path, off, fi.Size())
+		}
+	}
+	if total != 10 {
+		t.Fatalf("scanned %d records, want 10", total)
+	}
+}
+
+func TestOversizeFieldsRejected(t *testing.T) {
+	l, _, err := Open(t.TempDir(), 0, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	big := make([]byte, maxStringLen+1)
+	if _, err := l.Append(Record{Op: OpInsert, ID: 0, Name: string(big)}); err == nil {
+		t.Fatalf("oversize name accepted")
+	}
+	// The failed append must not burn an LSN or poison the log.
+	lsn := mustAppend(t, l, insertRec(1))
+	if lsn != 1 {
+		t.Fatalf("LSN after rejected append = %d, want 1", lsn)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "wal-subdir.log"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatalf("Open with foreign files: %v", err)
+	}
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from foreign files", len(recs))
+	}
+}

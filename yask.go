@@ -36,7 +36,12 @@ import (
 	"github.com/yask-engine/yask/internal/score"
 	"github.com/yask-engine/yask/internal/shard"
 	"github.com/yask-engine/yask/internal/vocab"
+	"github.com/yask-engine/yask/internal/wal"
 )
+
+// ErrNotDurable is returned by Checkpoint on a memory-only engine
+// (EngineOptions.DataDir unset).
+var ErrNotDurable = core.ErrNotDurable
 
 // ObjectID identifies an object within an engine. IDs are assigned
 // densely, in input order, at engine construction.
@@ -202,17 +207,44 @@ type EngineOptions struct {
 	// are byte-identical either way. The switch exists for ablation
 	// measurements and as an operational escape hatch.
 	DisableSignatures bool
+	// DataDir enables crash-safe durability: every accepted
+	// Insert/Remove is appended to a write-ahead log in this directory
+	// before it mutates the engine, and checkpoints snapshot the whole
+	// collection. On construction the engine recovers from the newest
+	// valid checkpoint plus the WAL; the constructor's objects/dataset
+	// seed the very first boot only. Empty means memory-only.
+	DataDir string
+	// Fsync selects when a mutation is acknowledged as durable:
+	// "always" (default — fsync before every mutation returns),
+	// "interval" (write immediately, fsync on a timer: a process crash
+	// loses nothing, a power cut at most FsyncInterval of acknowledged
+	// mutations), or "none" (leave flushing to the OS).
+	Fsync string
+	// FsyncInterval is the flush period of Fsync "interval"; zero
+	// selects a 100ms default.
+	FsyncInterval time.Duration
+	// CheckpointEvery writes a checkpoint (and retires the WAL segments
+	// it covers) automatically after this many logged mutations; zero
+	// means checkpoints happen only through explicit Checkpoint calls
+	// and at graceful shutdown.
+	CheckpointEvery int
 }
 
 // coreOptions maps the public options onto the internal engine,
-// resolving the splitter name.
-func (opts EngineOptions) coreOptions() (core.Options, error) {
+// resolving the splitter name and fsync policy. v is the vocabulary the
+// engine's documents are interned in; the durability layer needs it to
+// spell keywords back into strings for its log records.
+func (opts EngineOptions) coreOptions(v *vocab.Vocabulary) (core.Options, error) {
 	sp, err := shard.SplitterByName(opts.Splitter)
 	if err != nil {
 		return core.Options{}, fmt.Errorf("yask: %w", err)
 	}
 	if opts.RebalanceFactor != 0 && opts.RebalanceFactor <= 1 {
 		return core.Options{}, fmt.Errorf("yask: rebalance factor %v must exceed 1", opts.RebalanceFactor)
+	}
+	fsync, err := wal.ParseSyncPolicy(opts.Fsync)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("yask: %w", err)
 	}
 	return core.Options{
 		RefreshEvery:      opts.RefreshEvery,
@@ -221,7 +253,22 @@ func (opts EngineOptions) coreOptions() (core.Options, error) {
 		Splitter:          sp,
 		RebalanceFactor:   opts.RebalanceFactor,
 		DisableSignatures: opts.DisableSignatures,
+		DataDir:           opts.DataDir,
+		Fsync:             fsync,
+		FsyncInterval:     opts.FsyncInterval,
+		CheckpointEvery:   opts.CheckpointEvery,
+		Vocab:             v,
 	}, nil
+}
+
+// buildCore constructs the internal engine: memory-only through
+// core.NewEngine, durable (Options.DataDir set) through core.Open with
+// initial as the first-boot seed.
+func buildCore(initial []object.Object, coll *object.Collection, copts core.Options) (*core.Engine, error) {
+	if copts.DataDir == "" {
+		return core.NewEngine(coll, copts), nil
+	}
+	return core.Open(initial, copts)
 }
 
 // NewEngine indexes the given objects and returns a ready engine.
@@ -234,11 +281,11 @@ func NewEngineWith(objects []Object, opts EngineOptions) (*Engine, error) {
 	if len(objects) == 0 {
 		return nil, errors.New("yask: need at least one object")
 	}
-	copts, err := opts.coreOptions()
+	v := vocab.NewVocabulary()
+	copts, err := opts.coreOptions(v)
 	if err != nil {
 		return nil, err
 	}
-	v := vocab.NewVocabulary()
 	objs := make([]object.Object, len(objects))
 	for i, o := range objects {
 		objs[i] = object.Object{
@@ -251,23 +298,25 @@ func NewEngineWith(objects []Object, opts EngineOptions) (*Engine, error) {
 			return nil, fmt.Errorf("yask: object %d (%q) has no keywords", i, o.Name)
 		}
 	}
-	return &Engine{
-		core:  core.NewEngine(object.NewCollection(objs), copts),
-		vocab: v,
-	}, nil
+	c, err := buildCore(objs, object.NewCollection(objs), copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: c, vocab: v}, nil
 }
 
 // newFromDataset wraps an internal dataset; used by the demo constructor
 // and the server.
 func newFromDataset(ds *dataset.Dataset, opts EngineOptions) (*Engine, error) {
-	copts, err := opts.coreOptions()
+	copts, err := opts.coreOptions(ds.Vocab)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
-		core:  core.NewEngine(ds.Objects, copts),
-		vocab: ds.Vocab,
-	}, nil
+	c, err := buildCore(ds.Objects.All(), ds.Objects, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: c, vocab: ds.Vocab}, nil
 }
 
 // HKDemoEngine returns an engine over the built-in demo dataset: a
@@ -279,13 +328,22 @@ func HKDemoEngine() *Engine {
 // HKDemoEngineWith is HKDemoEngine with explicit engine options. It
 // panics on invalid options (an unknown splitter name, a rebalance
 // factor ≤ 1): the demo constructor takes configuration, not data, so a
-// bad value is a programming error.
+// bad value is a programming error. When options carry a DataDir —
+// where construction can fail for operational I/O reasons — use
+// OpenHKDemoEngine instead.
 func HKDemoEngineWith(opts EngineOptions) *Engine {
-	e, err := newFromDataset(dataset.HKHotels(), opts)
+	e, err := OpenHKDemoEngine(opts)
 	if err != nil {
 		panic(err)
 	}
 	return e
+}
+
+// OpenHKDemoEngine is HKDemoEngineWith returning errors instead of
+// panicking — the form for durable configurations, where a bad data
+// directory is an operational error, not a programming one.
+func OpenHKDemoEngine(opts EngineOptions) (*Engine, error) {
+	return newFromDataset(dataset.HKHotels(), opts)
 }
 
 // LoadEngine reads a dataset file (.json or .csv, as written by the
@@ -345,6 +403,18 @@ func (e *Engine) Remove(id ObjectID) error {
 // Refresh forces a snapshot refresh, publishing any mutations still
 // buffered by Options.RefreshEvery batching.
 func (e *Engine) Refresh() { e.core.Refresh() }
+
+// Checkpoint forces a durable snapshot of the whole collection and
+// retires the WAL segments it covers, independent of the automatic
+// EngineOptions.CheckpointEvery trigger. It returns an error wrapping
+// ErrNotDurable on a memory-only engine.
+func (e *Engine) Checkpoint() error { return e.core.Checkpoint() }
+
+// Close releases the engine's durability resources: it flushes and
+// closes the write-ahead log, after which Insert and Remove fail.
+// Queries keep working on the last published snapshot. Close is
+// idempotent and a no-op for memory-only engines.
+func (e *Engine) Close() error { return e.core.Close() }
 
 // Rebalance forces a synchronous re-split of a sharded engine with its
 // configured splitter — useful after a bulk load has skewed the shard
@@ -702,6 +772,35 @@ type EngineStats struct {
 	SigHits    int64        `json:"sigHits"`
 	SigHitRate float64      `json:"sigHitRate"`
 	PerShard   []ShardStats `json:"perShard"`
+	// Durability reports the write-ahead log and checkpoint state of a
+	// durable engine; nil when the engine is memory-only.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// DurabilityStats is the durability section of EngineStats.
+type DurabilityStats struct {
+	// Dir is the data directory; Fsync the acknowledgement policy
+	// ("always", "interval", "none").
+	Dir   string `json:"dir"`
+	Fsync string `json:"fsync"`
+	// WalAppends, WalFsyncs, and WalRotations count log records written,
+	// fsync calls issued, and segment rotations since boot.
+	WalAppends   int64 `json:"walAppends"`
+	WalFsyncs    int64 `json:"walFsyncs"`
+	WalRotations int64 `json:"walRotations"`
+	// Segments and WalBytes size the live log: segment files on disk and
+	// their total bytes.
+	Segments int   `json:"segments"`
+	WalBytes int64 `json:"walBytes"`
+	// LastLSN is the newest logged mutation; LastCheckpoint the LSN the
+	// newest checkpoint covers; SinceCheckpoint the mutations logged
+	// since then; Checkpoints the checkpoints written since boot.
+	LastLSN         uint64 `json:"lastLSN"`
+	LastCheckpoint  uint64 `json:"lastCheckpoint"`
+	SinceCheckpoint int    `json:"sinceCheckpoint"`
+	Checkpoints     int64  `json:"checkpoints"`
+	// ReplayedRecords is the number of WAL records replayed at boot.
+	ReplayedRecords int `json:"replayedRecords"`
 }
 
 // Stats reports the engine's execution statistics, one row per spatial
@@ -730,6 +829,16 @@ func (e *Engine) Stats() EngineStats {
 			SetSigProbes: sh.SetSigProbes, SetSigHits: sh.SetSigHits,
 			KcSigProbes: sh.KcSigProbes, KcSigHits: sh.KcSigHits,
 			Balance: sh.Balance,
+		}
+	}
+	if d := st.Durability; d != nil {
+		out.Durability = &DurabilityStats{
+			Dir: d.Dir, Fsync: d.Fsync,
+			WalAppends: d.WalAppends, WalFsyncs: d.WalFsyncs, WalRotations: d.WalRotations,
+			Segments: d.Segments, WalBytes: d.WalBytes,
+			LastLSN: d.LastLSN, LastCheckpoint: d.LastCheckpoint,
+			SinceCheckpoint: d.SinceCheckpoint, Checkpoints: d.Checkpoints,
+			ReplayedRecords: d.ReplayedRecords,
 		}
 	}
 	return out
