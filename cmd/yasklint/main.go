@@ -1,0 +1,80 @@
+// Command yasklint runs the engine's invariant analyzers (internal/
+// lint) over the packages matched by its arguments, ./... by default.
+// It prints findings in go vet style, or as a JSON array with -json,
+// and exits 1 when there are findings, 2 when the load itself fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/yask-engine/yask/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("yasklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of vet-style lines")
+	list := fs.Bool("analyzers", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: yasklint [-json] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the YASK invariant analyzers over the given package patterns\n(default ./...). Exit status: 0 clean, 1 findings, 2 load failure.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	diags, err := lint.Run(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "yasklint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "yasklint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the -json output shape, one element per finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersFlag lists the suite; every analyzer must appear.
+func TestAnalyzersFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"hotpath", "snapshotdiscipline", "walfirst", "publishdiscipline", "senterr", "atomicwrite"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("analyzer %s missing from -analyzers output", name)
+		}
+	}
+}
+
+// TestJSONOutput runs the suite over a small clean package with -json:
+// the output must be a valid JSON array (empty on a clean tree), and
+// the exit status 0.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "../../internal/geo/..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected a clean run, got %d findings", len(findings))
+	}
+}

@@ -331,6 +331,11 @@ func (e *Engine) Insert(o object.Object) (object.ID, error) {
 
 var errEngineClosed = errors.New("core: engine is closed")
 
+// ErrAlreadyRemoved reports a Remove of an object that is already
+// tombstoned. Callers distinguish it with errors.Is, never by matching
+// error text.
+var ErrAlreadyRemoved = errors.New("already removed")
+
 // applyInsertLocked performs the in-memory half of an insert: append to
 // the collection (assigning the next dense global ID) and insert into
 // the index backend. Shared by the live mutation path and WAL replay —
@@ -364,7 +369,7 @@ func (e *Engine) Remove(id object.ID) error {
 	// Reject before logging: only accepted mutations reach the WAL.
 	// Under mu the aliveness check cannot race the apply below.
 	if !e.coll.Alive(id) {
-		return fmt.Errorf("core: object %d is already removed", id)
+		return fmt.Errorf("core: object %d: %w", id, ErrAlreadyRemoved)
 	}
 	if e.dur != nil {
 		if err := e.dur.logRemove(id); err != nil {

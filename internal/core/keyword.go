@@ -7,7 +7,6 @@ import (
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/score"
-	"github.com/yask-engine/yask/internal/settree"
 	"github.com/yask-engine/yask/internal/vocab"
 )
 
@@ -147,7 +146,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 		for _, m := range objs {
 			var r int
 			if opts.Algorithm == KwExhaustive {
-				r = settree.ScanRank(e.coll, s2, m.ID)
+				r = index.ScanRank(e.coll, s2, m.ID)
 			} else {
 				r = index.RankOf(v.kc, s2, m)
 			}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"math"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -286,5 +285,5 @@ func TestConcurrentQueriesDuringMutationStorm(t *testing.T) {
 }
 
 func alreadyRemoved(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "already removed")
+	return errors.Is(err, ErrAlreadyRemoved)
 }

@@ -19,6 +19,8 @@ type Point struct {
 }
 
 // Dist returns the Euclidean distance between p and q.
+//
+//yask:hotpath
 func (p Point) Dist(q Point) float64 {
 	dx := p.X - q.X
 	dy := p.Y - q.Y
@@ -27,6 +29,8 @@ func (p Point) Dist(q Point) float64 {
 
 // Dist2 returns the squared Euclidean distance between p and q. It avoids
 // the square root on hot paths where only comparisons are needed.
+//
+//yask:hotpath
 func (p Point) Dist2(q Point) float64 {
 	dx := p.X - q.X
 	dy := p.Y - q.Y
@@ -140,11 +144,15 @@ func (r Rect) OverlapArea(s Rect) float64 {
 // r. It is zero when p is inside r. MinDist lower-bounds the distance
 // from p to every object stored under an R-tree node with MBR r, which
 // makes it the admissible bound used by best-first search.
+//
+//yask:hotpath
 func (r Rect) MinDist(p Point) float64 {
 	return math.Sqrt(r.MinDist2(p))
 }
 
 // MinDist2 returns the squared MinDist.
+//
+//yask:hotpath
 func (r Rect) MinDist2(p Point) float64 {
 	dx := axisDelta(p.X, r.Min.X, r.Max.X)
 	dy := axisDelta(p.Y, r.Min.Y, r.Max.Y)
@@ -154,6 +162,8 @@ func (r Rect) MinDist2(p Point) float64 {
 // MaxDist returns the largest Euclidean distance from p to any point of
 // r (always attained at one of the four corners). It upper-bounds the
 // distance from p to every object under a node with MBR r.
+//
+//yask:hotpath
 func (r Rect) MaxDist(p Point) float64 {
 	dx := math.Max(math.Abs(p.X-r.Min.X), math.Abs(p.X-r.Max.X))
 	dy := math.Max(math.Abs(p.Y-r.Min.Y), math.Abs(p.Y-r.Max.Y))
@@ -162,6 +172,8 @@ func (r Rect) MaxDist(p Point) float64 {
 
 // axisDelta returns how far v lies outside the interval [lo, hi] along
 // one axis, or 0 if it is inside.
+//
+//yask:hotpath
 func axisDelta(v, lo, hi float64) float64 {
 	switch {
 	case v < lo:

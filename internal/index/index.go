@@ -127,10 +127,14 @@ type Bound struct {
 }
 
 // Load returns the current bound.
+//
+//yask:hotpath
 func (b *Bound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
 
 // Raise lifts the bound to x if x exceeds it; lower values are ignored,
 // so the bound only tightens.
+//
+//yask:hotpath
 func (b *Bound) Raise(x float64) {
 	for {
 		cur := b.bits.Load()

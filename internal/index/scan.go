@@ -1,0 +1,52 @@
+package index
+
+import (
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/pqueue"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// ScanTopK is the brute-force oracle: score every object and select the
+// top k. It exists as the baseline the benches compare against and as
+// the reference implementation tests validate every index family
+// against; it lives here (not in a family package) because it depends
+// only on the collection and the scoring model.
+func ScanTopK(c *object.Collection, q score.Query) []score.Result {
+	s := score.NewScorer(q, c)
+	if q.K <= 0 || c.Len() == 0 {
+		return nil
+	}
+	// Keep a bounded max-heap (invert: pop worst) of the k best.
+	pq := pqueue.NewWithCapacity(score.WorstFirst, q.K+1)
+	for _, o := range c.All() {
+		if !c.Alive(o.ID) {
+			continue
+		}
+		pq.Push(score.Result{Obj: o, Score: s.Score(o)})
+		if pq.Len() > q.K {
+			pq.Pop()
+		}
+	}
+	out := make([]score.Result, pq.Len())
+	for i := pq.Len() - 1; i >= 0; i-- {
+		out[i] = pq.Pop()
+	}
+	return out
+}
+
+// ScanRank is the brute-force rank oracle matching the families'
+// RankOf.
+func ScanRank(c *object.Collection, s score.Scorer, oid object.ID) int {
+	ref := c.Get(oid)
+	refScore := s.Score(ref)
+	rank := 1
+	for _, o := range c.All() {
+		if o.ID == oid || !c.Alive(o.ID) {
+			continue
+		}
+		if score.Better(s.Score(o), o.ID, refScore, oid) {
+			rank++
+		}
+	}
+	return rank
+}

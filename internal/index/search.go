@@ -23,6 +23,8 @@ type SigCounters struct {
 }
 
 // Flush adds the counters to st and zeroes them.
+//
+//yask:hotpath
 func (c *SigCounters) Flush(st *rtree.Stats) {
 	st.AddSigCounts(c.Probes, c.Hits, c.Exact)
 	c.Probes, c.Hits, c.Exact = 0, 0, 0
@@ -41,6 +43,8 @@ func (c *SigCounters) Flush(st *rtree.Stats) {
 //
 // exactAvoided reports whether the merge-walk was avoided (either way
 // above). Pass limit = math.Inf(-1) to force an exact score.
+//
+//yask:hotpath
 func SigScoreEntry(s *score.Scorer, e *rtree.LeafEntry[object.Object], esig *vocab.Signature, qs *vocab.QuerySig, limit float64) (scv float64, skip, exactAvoided bool) {
 	w := s.Query.W
 	sp := w.Ws * (1 - s.SDistAt(e.Item.Loc))
@@ -60,6 +64,8 @@ func SigScoreEntry(s *score.Scorer, e *rtree.LeafEntry[object.Object], esig *voc
 // entry-signature column, when the family's layer is enabled and the
 // arena carries columns; the zero state with use = false otherwise.
 // Every traversal entry point of every family starts with this call.
+//
+//yask:hotpath
 func PrepareSig[A any](f *rtree.Flat[object.Object, A], enabled bool, qdoc vocab.KeywordSet) (qs vocab.QuerySig, esigs []vocab.Signature, use bool) {
 	if !enabled || !f.HasSigs() {
 		return vocab.QuerySig{}, nil, false
@@ -74,6 +80,8 @@ func PrepareSig[A any](f *rtree.Flat[object.Object, A], enabled bool, qdoc vocab
 // is provably strictly below limit and must be skipped. It is a plain
 // function — call it from an inline closure so the closure itself can
 // stay off the heap.
+//
+//yask:hotpath
 func ScoreEntryCounted(s *score.Scorer, e *rtree.LeafEntry[object.Object], esigs []vocab.Signature, ei int32, qs *vocab.QuerySig, limit float64, ctr *SigCounters) (scv float64, ok bool) {
 	if esigs != nil {
 		ctr.Probes++
@@ -97,11 +105,13 @@ func ScoreEntryCounted(s *score.Scorer, e *rtree.LeafEntry[object.Object], esigs
 // leaf callback receiving every reached leaf node. Node accesses are
 // recorded into the arena's stats; the (drained) stack's backing
 // storage is returned for the caller to pool.
+//
+//yask:hotpath
 func PrunedDFS[A any](f *rtree.Flat[object.Object, A], stack []int32, leaf func(n int32), child func(c int32) bool) []int32 {
 	if f.Empty() {
 		return stack[:0]
 	}
-	stack = append(stack[:0], 0)
+	stack = append(stack[:0], 0) //yask:allocok(pooled scratch; grows only on a pool miss)
 	accesses := int64(0)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
@@ -114,7 +124,7 @@ func PrunedDFS[A any](f *rtree.Flat[object.Object, A], stack []int32, leaf func(
 		lo, hi := f.Children(n)
 		for c := lo; c < hi; c++ {
 			if child(c) {
-				stack = append(stack, c)
+				stack = append(stack, c) //yask:allocok(pooled scratch; growth is amortized across queries)
 			}
 		}
 	}
@@ -131,6 +141,8 @@ type NodeEntry struct {
 
 // NodeOrder orders frontier entries best bound first — the less
 // function of the frontier heap every index family pools.
+//
+//yask:hotpath
 func NodeOrder(a, b NodeEntry) bool { return a.Bound > b.Bound }
 
 // BestFirstTopK is the one best-first top-k driver all index families
@@ -161,6 +173,8 @@ func NodeOrder(a, b NodeEntry) bool { return a.Bound > b.Bound }
 // cross-partition bound when concurrent sibling searches exchange one
 // (entry skipping uses only the local k-th best, keeping per-partition
 // results deterministic).
+//
+//yask:hotpath
 func BestFirstTopK[A any](
 	f *rtree.Flat[object.Object, A],
 	k int,
@@ -234,7 +248,7 @@ func BestFirstTopK[A any](
 	}
 	f.Stats().AddNodeAccesses(accesses)
 	base, n := len(dst), cand.Len()
-	dst = slices.Grow(dst, n)[:base+n]
+	dst = slices.Grow(dst, n)[:base+n] //yask:allocok(result buffer; callers reuse dst across queries)
 	for i := n - 1; i >= 0; i-- {
 		dst[base+i] = cand.Pop()
 	}

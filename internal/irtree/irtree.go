@@ -307,22 +307,24 @@ type searchScratch struct {
 	ctr index.SigCounters
 }
 
+//yask:hotpath
 func (ix *Index) getScratch() *searchScratch {
-	if sc, ok := ix.scratch.Get().(*searchScratch); ok {
+	if sc, ok := ix.scratch.Get().(*searchScratch); ok { //yask:allocok(sync.Pool hit path does not allocate)
 		return sc
 	}
-	return &searchScratch{
-		nodes: pqueue.NewWithCapacity(index.NodeOrder, 64),
-		cand:  pqueue.NewWithCapacity(score.WorstFirst, 16),
+	return &searchScratch{ //yask:allocok(pool miss: one-time scratch construction, amortized across queries)
+		nodes: pqueue.NewWithCapacity(index.NodeOrder, 64),  //yask:allocok(pool miss construction)
+		cand:  pqueue.NewWithCapacity(score.WorstFirst, 16), //yask:allocok(pool miss construction)
 	}
 }
 
+//yask:hotpath
 func (ix *Index) putScratch(sc *searchScratch) {
 	sc.nodes.Reset()
 	sc.cand.Reset()
 	sc.stack = sc.stack[:0]
 	sc.qw = sc.qw[:0]
-	ix.scratch.Put(sc)
+	ix.scratch.Put(sc) //yask:allocok(sync.Pool put does not allocate; the interface box is the pooled pointer)
 }
 
 // Build bulk-loads an IR-tree over the live objects of the collection.
@@ -478,6 +480,8 @@ func (a *Arena) Len() int { return a.f.Len() }
 func (a *Arena) Parts() int { return 1 }
 
 // TopKPart implements index.Snapshot; part must be 0.
+//
+//yask:hotpath
 func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	return a.TopK(s, k, shared, dst)
 }
@@ -486,6 +490,8 @@ func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, d
 // ANY similarity model: ws·(1 − minSDist) + wt·1. The posting bounds
 // are cosine-specific and unsound for the caller's set-based scorer, so
 // the contract methods prune on the spatial component only.
+//
+//yask:hotpath
 func spatialBound(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) float64 {
 	return s.Query.W.Ws*(1-s.SDistRectMin(f.Rect(n))) + s.Query.W.Wt
 }
@@ -494,6 +500,8 @@ func spatialBound(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) fl
 // driver: best-first top-k under the caller's scorer, admissible for
 // any similarity model via the spatial-only bound. For the IR-tree's
 // native cosine ranking use Index.TopK.
+//
+//yask:hotpath
 func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	ix, f := a.ix, a.f
 	if f.Empty() || k <= 0 {
@@ -515,6 +523,8 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 // CountBetter implements index.Snapshot: the number of objects whose
 // (score, ID) pair strictly dominates (refScore, tie) under the
 // caller's scorer, pruning subtrees on the spatial-only bound.
+//
+//yask:hotpath
 func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
@@ -541,6 +551,8 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 // RankBounds implements index.Snapshot. The IR-tree augmentation
 // carries no subtree cardinality, so the exact count is returned as
 // both bounds regardless of maxDepth.
+//
+//yask:hotpath
 func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
 	n := a.CountBetter(s, refScore, tie)
 	return n, n
@@ -551,6 +563,8 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 // wt=1 endpoint, so only subtrees strictly below on the spatial side
 // with a reference line above 1 would prune — in practice it visits
 // every object, the correct baseline behavior.
+//
+//yask:hotpath
 func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()

@@ -42,6 +42,8 @@ type KV struct {
 type Counts []KV
 
 // Get returns the count for kw, 0 if absent.
+//
+//yask:hotpath
 func (c Counts) Get(kw vocab.Keyword) int32 {
 	lo, hi := 0, len(c)
 	for lo < hi {
@@ -205,24 +207,26 @@ type depthFrame struct {
 	depth int32
 }
 
+//yask:hotpath
 func (ix *Index) getScratch() *rankScratch {
-	if sc, ok := ix.scratch.Get().(*rankScratch); ok {
+	if sc, ok := ix.scratch.Get().(*rankScratch); ok { //yask:allocok(sync.Pool hit path does not allocate)
 		return sc
 	}
-	return &rankScratch{
-		stack:  make([]int32, 0, 64),
-		frames: make([]depthFrame, 0, 64),
-		nodes:  pqueue.NewWithCapacity(index.NodeOrder, 64),
-		cand:   pqueue.NewWithCapacity(score.WorstFirst, 16),
+	return &rankScratch{ //yask:allocok(pool miss: one-time scratch construction, amortized across queries)
+		stack:  make([]int32, 0, 64),                         //yask:allocok(pool miss construction)
+		frames: make([]depthFrame, 0, 64),                    //yask:allocok(pool miss construction)
+		nodes:  pqueue.NewWithCapacity(index.NodeOrder, 64),  //yask:allocok(pool miss construction)
+		cand:   pqueue.NewWithCapacity(score.WorstFirst, 16), //yask:allocok(pool miss construction)
 	}
 }
 
+//yask:hotpath
 func (ix *Index) putScratch(sc *rankScratch) {
 	sc.stack = sc.stack[:0]
 	sc.frames = sc.frames[:0]
 	sc.nodes.Reset()
 	sc.cand.Reset()
-	ix.scratch.Put(sc)
+	ix.scratch.Put(sc) //yask:allocok(sync.Pool put does not allocate; the interface box is the pooled pointer)
 }
 
 // Build bulk-loads a KcR-tree over the live objects of the collection.
@@ -354,6 +358,8 @@ func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
 // Lower bound: an object shares at least the qdoc keywords every object
 // below contains (count == cnt) and its union with qdoc has at most
 // |Union ∪ qdoc| keywords.
+//
+//yask:hotpath
 func TSimBounds(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) (lo, hi float64) {
 	if a.Cnt == 0 || len(qdoc) == 0 {
 		return 0, 0
@@ -432,6 +438,8 @@ func (ix *Index) ScoreBounds(s score.Scorer, n *rtree.Node[object.Object, Aug]) 
 }
 
 // scoreBoundsAt is ScoreBounds addressed into the flat arena.
+//
+//yask:hotpath
 func scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) (lo, hi float64) {
 	r := f.Rect(n)
 	tLo, tHi := TSimBounds(*f.Aug(n), s.Query.Doc, s.Query.Sim)
@@ -444,6 +452,8 @@ func scoreBoundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) (
 // quickTSimHi is the constant-time signature upper bound on the textual
 // similarity of any object under a node, evaluated in place of the
 // per-keyword count-map walk of TSimBounds.
+//
+//yask:hotpath
 func quickTSimHi(aug *Aug, s *score.Scorer, qs *vocab.QuerySig, nsig *vocab.Signature) float64 {
 	m := qs.IntersectBound(nsig)
 	return score.SigSimUpperBound(s.Query.Sim, m, int(aug.MinLen), int(aug.MaxLen), int(aug.InterLen), qs.Len)
@@ -456,6 +466,8 @@ func quickTSimHi(aug *Aug, s *score.Scorer, qs *vocab.QuerySig, nsig *vocab.Sign
 // discards the same way it would the exact bounds (hi < prune). Only
 // when the signature is indecisive does the exact walk run, so every
 // caller decision is identical to the signature-free traversal.
+//
+//yask:hotpath
 func (ix *Index) boundsAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, qs *vocab.QuerySig, useSig bool, n int32, prune float64, ctr *index.SigCounters) (lo, hi float64) {
 	if useSig {
 		ctr.Probes++
@@ -500,6 +512,8 @@ func (a *Arena) Len() int { return a.f.Len() }
 func (a *Arena) Parts() int { return 1 }
 
 // TopKPart implements index.Snapshot; part must be 0.
+//
+//yask:hotpath
 func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	return a.TopK(s, k, shared, dst)
 }
@@ -508,6 +522,8 @@ func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, d
 // driver, pruning on the upper half of the two-sided score bounds. The
 // engine's top-k path uses the SetR-tree; this exists so a KcR-tree
 // partition set satisfies the full contract.
+//
+//yask:hotpath
 func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	ix, f := a.ix, a.f
 	if f.Empty() || k <= 0 {
@@ -539,6 +555,8 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 // exactly refScore with ID tie never dominates itself, so RankOf needs
 // no self-exclusion, and a sharded composite may pass per-shard
 // tie-break thresholds.
+//
+//yask:hotpath
 func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
@@ -574,6 +592,8 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 
 // RankOf returns the 1-based rank of object oid under scorer s: one
 // plus the number of objects strictly dominating it.
+//
+//yask:hotpath
 func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 	o := a.ix.coll.Get(oid)
 	return a.CountBetter(s, s.Score(o), oid) + 1
@@ -585,6 +605,8 @@ func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 // instead of descending further. With maxDepth ≥ tree height it
 // degenerates to the exact CountBetter. The keyword-adaption candidate
 // pruning uses shallow depths to reject refined keyword sets cheaply.
+//
+//yask:hotpath
 func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
 	ix, f := a.ix, a.f
 	if f.Empty() {
@@ -594,7 +616,7 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 	defer ix.putScratch(sc)
 	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
 	entries := f.AllEntries()
-	frames := append(sc.frames[:0], depthFrame{node: 0})
+	frames := append(sc.frames[:0], depthFrame{node: 0}) //yask:allocok(pooled scratch; grows only on a pool miss)
 	accesses := int64(0)
 	for len(frames) > 0 {
 		fr := frames[len(frames)-1]
@@ -626,7 +648,7 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 				// Unknown: between 0 and all objects below.
 				hi += int(f.Aug(c).Cnt)
 			default:
-				frames = append(frames, depthFrame{node: c, depth: fr.depth + 1})
+				frames = append(frames, depthFrame{node: c, depth: fr.depth + 1}) //yask:allocok(pooled scratch; growth is amortized across queries)
 			}
 		}
 	}
@@ -643,6 +665,8 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 // above at both ends is reported wholesale through above(cnt); the rest
 // descend to object-level visits — the index-based analogue of the
 // paper's two range queries over segment endpoints.
+//
+//yask:hotpath
 func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()

@@ -1,0 +1,237 @@
+// Package analysis is YASK's self-contained substitute for the
+// golang.org/x/tools/go/analysis framework: the same Analyzer/Pass
+// shape, built entirely on the standard library's go/ast and go/types.
+// The module deliberately carries no third-party dependencies, so the
+// lint suite (internal/lint) brings its own micro-framework instead of
+// importing x/tools; the surface is kept close enough that porting an
+// analyzer in either direction is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //yask:allow(name) suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by yasklint -help.
+	Doc string
+	// IncludeTests makes the driver feed the package's test files
+	// (in-package and external) through the analyzer in addition to the
+	// regular sources. Invariants about error matching hold in tests
+	// too; invariants about hot paths and mutation discipline do not.
+	IncludeTests bool
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state through one
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the files the analyzer should inspect (test files
+	// included only when the analyzer asks for them). TypesInfo covers
+	// them all.
+	Files []*ast.File
+	// Pkg and TypesInfo are the type-checked package the files belong
+	// to. For an external test package (foo_test), Pkg is that separate
+	// package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Module is the module path of the tree under lint; analyzers use it
+	// to tell module-internal calls from standard-library calls.
+	Module string
+	// Facts is the module-wide annotation index (hot-path functions),
+	// built by the driver before any analyzer runs.
+	Facts *Facts
+	// ReportRaw records one diagnostic; the driver wraps it with the
+	// //yask: suppression filter. Analyzers call Report/Reportf.
+	ReportRaw func(Diagnostic)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	p.ReportRaw(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  msg,
+	})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and the message.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String renders the go vet style "file:line:col: analyzer: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Facts is the cross-package state analyzers share: the set of
+// //yask:hotpath-annotated functions across the whole module. It is
+// built syntactically (a parse of every module source in the dependency
+// closure), so an analyzer checking package P can resolve annotations
+// on functions P calls in other packages.
+type Facts struct {
+	// Module is the module path the facts were collected for.
+	Module string
+	// Hotpath maps FuncKey-qualified names of //yask:hotpath-annotated
+	// functions to true.
+	Hotpath map[string]bool
+}
+
+// FuncKey returns the qualified name this framework uses to identify a
+// function across packages: "pkgpath.Name" for package functions and
+// "pkgpath.Recv.Name" for methods, with pointers and type parameters
+// stripped from the receiver. Generic instantiations resolve to their
+// origin, so an annotation on a generic declaration covers every
+// instantiation.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name() // error.Error and friends: universe scope
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if named := namedRecv(sig.Recv().Type()); named != nil {
+			return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		// Interface or unnamed receiver: fall through to a plain key.
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// namedRecv unwraps a receiver type to its named type, through one
+// pointer level.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// RecvIsInterface reports whether fn is declared on an interface —
+// calls to it dispatch dynamically.
+func RecvIsInterface(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// DeclKey returns the FuncKey-compatible qualified name of a function
+// declaration, derived syntactically (no type information needed):
+// "pkgpath.Name" or "pkgpath.Recv.Name".
+func DeclKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkgPath + "." + d.Name.Name
+	}
+	return pkgPath + "." + recvTypeName(d.Recv.List[0].Type) + "." + d.Name.Name
+}
+
+// recvTypeName extracts the base type name of a receiver type
+// expression: strip stars and type-parameter brackets down to the
+// identifier.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// CalleeOf resolves the static callee of a call expression to its
+// *types.Func: a package function, a method (value or pointer), or a
+// qualified identifier. It returns nil for calls of func-typed values,
+// type conversions, and builtins.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation: f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// BuiltinOf resolves the builtin a call invokes ("append", "make", …),
+// or "" when the call is not a builtin.
+func BuiltinOf(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// IsTypeConversion reports whether the call expression is a type
+// conversion rather than a function call.
+func IsTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// PkgOf returns the package path of a function, "" for universe-scope
+// functions.
+func PkgOf(fn *types.Func) string {
+	if p := fn.Pkg(); p != nil {
+		return p.Path()
+	}
+	return ""
+}
+
+// InModule reports whether pkgPath belongs to module (the module root
+// package or any package under it).
+func InModule(pkgPath, module string) bool {
+	return pkgPath == module || strings.HasPrefix(pkgPath, module+"/")
+}

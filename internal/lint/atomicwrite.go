@@ -1,0 +1,93 @@
+// The atomicwrite analyzer: the write-temp-then-rename pattern is only
+// crash-atomic if the temp file is fsynced before the rename (else the
+// rename can publish a zero-length file) and the containing directory
+// is fsynced after it (else the rename itself can vanish). Every
+// os.Rename in the module must sit between those two syncs within its
+// function.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/yask-engine/yask/internal/lint/analysis"
+)
+
+// AtomicWrite is the durable-rename analyzer.
+var AtomicWrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "requires os.Rename to be preceded by a file fsync and followed by a directory fsync",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRenames(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkRenames(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var renames []*ast.CallExpr
+	var syncs, dirSyncs []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeOf(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case analysis.PkgOf(fn) == "os" && fn.Name() == "Rename":
+			renames = append(renames, call)
+		case fn.Name() == "Sync":
+			// (*os.File).Sync or a wrapper exposing the same contract.
+			syncs = append(syncs, call.Pos())
+		case isDirSyncName(fn.Name()):
+			dirSyncs = append(dirSyncs, call.Pos())
+		}
+		return true
+	})
+	for _, r := range renames {
+		if !anyBefore(syncs, r.Pos()) {
+			pass.Report(r.Pos(), "os.Rename without fsyncing the temp file first: a crash can publish an empty file")
+		}
+		if !anyAfter(syncs, r.End()) && !anyAfter(dirSyncs, r.End()) {
+			pass.Report(r.Pos(), "os.Rename without fsyncing the containing directory after: the rename itself may not survive a crash")
+		}
+	}
+}
+
+// isDirSyncName recognizes directory-sync helpers by name (syncDir,
+// fsyncDir, SyncDir, …).
+func isDirSyncName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "sync") && strings.Contains(lower, "dir")
+}
+
+func anyBefore(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q > p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+// Directive parsing: the //yask: comment surface the analyzers and the
+// engine code share.
+//
+//	//yask:hotpath
+//	    On a function declaration's doc comment: the function is a warm
+//	    query path; the hotpath analyzer checks its body (and requires
+//	    its module-internal callees to carry the same annotation).
+//
+//	//yask:allocok(reason)
+//	    Suppresses hotpath diagnostics on the line it ends on (or, for a
+//	    standalone comment line, on the following line). The reason is
+//	    mandatory: every sanctioned allocation documents why it is
+//	    amortized or off the steady-state path.
+//
+//	//yask:allow(analyzer) reason
+//	    The generic escape hatch: suppresses the named analyzer the same
+//	    way. The reason is mandatory.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/yask-engine/yask/internal/lint/analysis"
+)
+
+const (
+	hotpathDirective = "//yask:hotpath"
+	allocokPrefix    = "//yask:allocok"
+	allowPrefix      = "//yask:allow"
+	yaskPrefix       = "//yask:"
+)
+
+// directiveIndex is one package's parsed suppression state.
+type directiveIndex struct {
+	// suppressed maps filename → line → analyzer names suppressed there.
+	suppressed map[string]map[int]map[string]bool
+	// problems are malformed directives, reported by the driver under
+	// the pseudo-analyzer "directive".
+	problems []analysis.Diagnostic
+}
+
+// suppresses reports whether a diagnostic from analyzer at pos is
+// silenced by a directive.
+func (ix *directiveIndex) suppresses(analyzer string, pos token.Position) bool {
+	lines := ix.suppressed[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+// scanDirectives parses every //yask: comment in files. known is the
+// set of analyzer names //yask:allow may reference; src maps filenames
+// to content (used to decide whether a comment stands alone on its
+// line).
+func scanDirectives(fset *token.FileSet, files []*ast.File, src map[string][]byte, known map[string]bool) *directiveIndex {
+	ix := &directiveIndex{suppressed: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ix.scanComment(fset, c, src, known)
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *directiveIndex) scanComment(fset *token.FileSet, c *ast.Comment, src map[string][]byte, known map[string]bool) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, yaskPrefix) {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	problem := func(msg string) {
+		ix.problems = append(ix.problems, analysis.Diagnostic{Pos: pos, Analyzer: "directive", Message: msg})
+	}
+	switch {
+	case text == hotpathDirective:
+		// Attachment to a function declaration is validated by the facts
+		// collector, which sees the declarations.
+		return
+	case strings.HasPrefix(text, allocokPrefix):
+		reason, ok := parenArg(text[len(allocokPrefix):])
+		if !ok {
+			problem("malformed //yask:allocok directive: want //yask:allocok(reason)")
+			return
+		}
+		if strings.TrimSpace(reason) == "" {
+			problem("//yask:allocok needs a non-empty reason")
+			return
+		}
+		ix.add(pos, src, "hotpath")
+	case strings.HasPrefix(text, allowPrefix):
+		rest := text[len(allowPrefix):]
+		name, ok := parenArg(rest)
+		if !ok {
+			problem("malformed //yask:allow directive: want //yask:allow(analyzer) reason")
+			return
+		}
+		if !known[name] {
+			problem("//yask:allow names unknown analyzer " + name)
+			return
+		}
+		after := rest[strings.Index(rest, ")")+1:]
+		if strings.TrimSpace(after) == "" {
+			problem("//yask:allow(" + name + ") needs a non-empty reason")
+			return
+		}
+		ix.add(pos, src, name)
+	default:
+		problem("unknown //yask: directive " + text)
+	}
+}
+
+// add records a suppression of analyzer at the directive's effective
+// line: the directive's own line, or the next line when the comment is
+// the only thing on its line.
+func (ix *directiveIndex) add(pos token.Position, src map[string][]byte, analyzer string) {
+	line := pos.Line
+	if standsAlone(src[pos.Filename], pos.Offset) {
+		line++
+	}
+	byLine := ix.suppressed[pos.Filename]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		ix.suppressed[pos.Filename] = byLine
+	}
+	if byLine[line] == nil {
+		byLine[line] = map[string]bool{}
+	}
+	byLine[line][analyzer] = true
+}
+
+// standsAlone reports whether only whitespace precedes offset on its
+// line.
+func standsAlone(src []byte, offset int) bool {
+	if src == nil || offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parenArg extracts the argument of a leading "(arg)" group.
+func parenArg(s string) (string, bool) {
+	if !strings.HasPrefix(s, "(") {
+		return "", false
+	}
+	end := strings.Index(s, ")")
+	if end < 0 {
+		return "", false
+	}
+	return s[1:end], true
+}

@@ -1,0 +1,71 @@
+// Facts collection: the module-wide //yask:hotpath annotation index.
+// Annotations are collected syntactically from every module package in
+// the load — targets and their module-internal dependencies — so an
+// analyzer checking one package can resolve annotations on the
+// functions it calls elsewhere in the module.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/yask-engine/yask/internal/lint/analysis"
+	"github.com/yask-engine/yask/internal/lint/loader"
+)
+
+// collectFacts builds the annotation index over every loaded module
+// package. It also validates attachment: a //yask:hotpath comment that
+// is not a function declaration's doc comment marks nothing and has
+// rotted (or never worked), which is itself a finding.
+func collectFacts(res *loader.Result) (*analysis.Facts, []analysis.Diagnostic) {
+	facts := &analysis.Facts{Module: res.Module, Hotpath: map[string]bool{}}
+	var diags []analysis.Diagnostic
+	scan := func(pkgPath string, files []*ast.File) {
+		diags = append(diags, factsFromFiles(res.Fset, pkgPath, files, facts)...)
+	}
+	for _, pkg := range res.Targets {
+		scan(pkg.ImportPath, pkg.AllFiles())
+		if pkg.XTest != nil {
+			scan(pkg.XTest.ImportPath, pkg.XTest.Files)
+		}
+	}
+	for _, pkg := range res.FactDeps {
+		scan(pkg.ImportPath, pkg.Files)
+	}
+	return facts, diags
+}
+
+// factsFromFiles records the hotpath annotations of files (declared
+// under pkgPath) into facts and reports floating hotpath directives.
+func factsFromFiles(fset *token.FileSet, pkgPath string, files []*ast.File, facts *analysis.Facts) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		attached := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == hotpathDirective {
+					attached[c] = true
+					facts.Hotpath[analysis.DeclKey(pkgPath, fd)] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) != hotpathDirective || attached[c] {
+					continue
+				}
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: "directive",
+					Message:  "//yask:hotpath is not attached to a function declaration: it annotates nothing",
+				})
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/lint/analysis"
+	"github.com/yask-engine/yask/internal/lint/loader"
+)
+
+// testModule is the module path fixture packages pretend to live in, so
+// the analyzers' real per-package configuration applies to them.
+const testModule = "github.com/yask-engine/yask"
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// moduleExports lists (once) the export data of the real module's
+// dependency closure plus the standard-library packages the fixtures
+// import; fixtures type-check against the real compiled packages.
+func moduleExports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		exportsMap, exportsErr = loader.ListExports("../..",
+			"./...", "strings", "os", "path/filepath", "sync/atomic", "errors", "fmt")
+	})
+	if exportsErr != nil {
+		t.Fatalf("listing module export data: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+// fixtureCase is one testdata package run against a subset of the
+// suite. Every case provides at least one positive (// want) and one
+// negative (clean code) example.
+type fixtureCase struct {
+	dir       string // under testdata/src
+	pkgPath   string // declared import path (real paths activate real configs)
+	analyzers []*analysis.Analyzer
+}
+
+func TestFixtures(t *testing.T) {
+	cases := []fixtureCase{
+		{"fixhot", testModule + "/internal/lint/fixhot", []*analysis.Analyzer{Hotpath}},
+		{"fixcore", testModule + "/internal/core", []*analysis.Analyzer{SnapshotDiscipline}},
+		{"fixwal", testModule + "/internal/core", []*analysis.Analyzer{WalFirst}},
+		{"fixpub", testModule + "/internal/rtree", []*analysis.Analyzer{PublishDiscipline}},
+		{"fixerr", testModule + "/internal/lint/fixerr", []*analysis.Analyzer{SentErr}},
+		{"fixaw", testModule + "/internal/lint/fixaw", []*analysis.Analyzer{AtomicWrite}},
+		{"fixdir", testModule + "/internal/lint/fixdir", nil}, // directive problems only
+	}
+	for _, fc := range cases {
+		t.Run(fc.dir, func(t *testing.T) { runFixture(t, fc) })
+	}
+}
+
+func runFixture(t *testing.T, fc fixtureCase) {
+	t.Helper()
+	fset := token.NewFileSet()
+	dir := filepath.Join("testdata", "src", fc.dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	sources := map[string][]byte{}
+	wants := map[string]map[int][]*regexp.Regexp{} // base filename -> line -> pending wants
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		sources[path] = src
+		files = append(files, f)
+		wants[e.Name()] = parseWants(t, src)
+	}
+
+	exp := loader.NewExportSet(fset, moduleExports(t))
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: exp.Importer(), Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(fc.pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fc.dir, err)
+	}
+
+	facts := &analysis.Facts{Module: testModule, Hotpath: map[string]bool{}}
+	diags := factsFromFiles(fset, fc.pkgPath, files, facts)
+	ix := scanDirectives(fset, files, sources, knownAnalyzers())
+	diags = append(diags, ix.problems...)
+	for _, a := range fc.analyzers {
+		diags = append(diags, runOne(fset, testModule, facts, ix, a, files, pkg, info)...)
+	}
+	sortDiagnostics(diags)
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		if !consumeWant(wants[base], d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for base, byLine := range wants {
+		for line, res := range byLine {
+			for _, re := range res {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", base, line, re)
+			}
+		}
+	}
+}
+
+// wantRe matches the fixture expectation comments: `// want \x60re\x60`
+// expects a diagnostic on its own line, `// wantbelow \x60re\x60` on
+// the next line (for diagnostics reported on //yask: directive lines,
+// which cannot carry a second comment).
+var wantRe = regexp.MustCompile("// want(below)? `([^`]*)`")
+
+func parseWants(t *testing.T, src []byte) map[int][]*regexp.Regexp {
+	t.Helper()
+	out := map[int][]*regexp.Regexp{}
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			re, err := regexp.Compile(m[2])
+			if err != nil {
+				t.Fatalf("bad want pattern %q: %v", m[2], err)
+			}
+			target := i + 1 // lines are 1-based
+			if m[1] == "below" {
+				target++
+			}
+			out[target] = append(out[target], re)
+		}
+	}
+	return out
+}
+
+// consumeWant matches a diagnostic against the pending wants of its
+// line, removing the matched expectation.
+func consumeWant(byLine map[int][]*regexp.Regexp, line int, msg string) bool {
+	for i, re := range byLine[line] {
+		if re.MatchString(msg) {
+			byLine[line] = append(byLine[line][:i], byLine[line][i+1:]...)
+			if len(byLine[line]) == 0 {
+				delete(byLine, line)
+			}
+			return true
+		}
+	}
+	return false
+}

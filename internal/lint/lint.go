@@ -1,0 +1,135 @@
+// Package lint is yasklint: a suite of go/analysis-style analyzers
+// that mechanize the engine's cross-cutting invariants — hot paths
+// don't allocate, queries stay on the snapshot contract, the WAL
+// append dominates every mutation, epoch pointers are published at
+// commit sites only, errors are matched by sentinel, and renames are
+// made durable. See README.md in this directory for the full catalog.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/yask-engine/yask/internal/lint/analysis"
+	"github.com/yask-engine/yask/internal/lint/loader"
+)
+
+// Analyzers returns the full yasklint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicWrite,
+		Hotpath,
+		PublishDiscipline,
+		SentErr,
+		SnapshotDiscipline,
+		WalFirst,
+	}
+}
+
+// Run loads the packages matched by patterns (from dir, which may be
+// any directory inside the module) and runs the whole suite, returning
+// surviving diagnostics sorted by position. A non-nil error means the
+// load itself failed; lint findings are not errors.
+func Run(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	res, err := loader.Load(loader.Config{Dir: dir, Tests: true}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	facts, diags := collectFacts(res)
+	known := knownAnalyzers()
+	for _, pkg := range res.Targets {
+		diags = append(diags, lintPackage(res, facts, known, pkg)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func knownAnalyzers() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// lintPackage runs every analyzer over one loaded package (and its
+// external test package), filtering through the //yask: directives.
+func lintPackage(res *loader.Result, facts *analysis.Facts, known map[string]bool, pkg *loader.Package) []analysis.Diagnostic {
+	files := pkg.AllFiles()
+	src := pkg.Sources
+	if pkg.XTest != nil {
+		files = append(append([]*ast.File{}, files...), pkg.XTest.Files...)
+		src = map[string][]byte{}
+		for k, v := range pkg.Sources {
+			src[k] = v
+		}
+		for k, v := range pkg.XTest.Sources {
+			src[k] = v
+		}
+	}
+	ix := scanDirectives(res.Fset, files, src, known)
+	out := append([]analysis.Diagnostic{}, ix.problems...)
+
+	for _, a := range Analyzers() {
+		if pkg.Pkg != nil {
+			runFiles := pkg.Files
+			if a.IncludeTests {
+				runFiles = pkg.AllFiles()
+			}
+			out = append(out, runOne(res.Fset, res.Module, facts, ix, a, runFiles, pkg.Pkg, pkg.Info)...)
+		}
+		if a.IncludeTests && pkg.XTest != nil && pkg.XTest.Pkg != nil {
+			out = append(out, runOne(res.Fset, res.Module, facts, ix, a, pkg.XTest.Files, pkg.XTest.Pkg, pkg.XTest.Info)...)
+		}
+	}
+	return out
+}
+
+// runOne runs a single analyzer over one type-checked unit.
+func runOne(fset *token.FileSet, module string, facts *analysis.Facts, ix *directiveIndex, a *analysis.Analyzer, files []*ast.File, tpkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Module:    module,
+		Facts:     facts,
+		ReportRaw: func(d analysis.Diagnostic) {
+			if !ix.suppresses(d.Analyzer, d.Pos) {
+				out = append(out, d)
+			}
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		out = append(out, analysis.Diagnostic{
+			Analyzer: a.Name,
+			Message:  "internal error: " + err.Error(),
+		})
+	}
+	return out
+}
+
+// sortDiagnostics orders diagnostics by position, then analyzer, then
+// message, for stable output.
+func sortDiagnostics(diags []analysis.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

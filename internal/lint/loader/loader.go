@@ -1,0 +1,399 @@
+// Package loader loads type-checked packages for the lint suite using
+// only the standard library and the go command: `go list -export -deps`
+// supplies package metadata plus compiled export data for every
+// dependency (standard library included), and go/types checks the
+// target packages' sources against that export data through the
+// compiler importer. This is the dependency-free core of what
+// golang.org/x/tools/go/packages does; it exists because this module
+// vendors nothing.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded package: parsed sources and, for lint targets,
+// the type-checked package and its types.Info.
+type Package struct {
+	// ImportPath is the package's import path; for an external test
+	// package it carries the real "foo_test" package path of its files.
+	ImportPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Module is the module path the package belongs to.
+	Module string
+	// Files are the parsed non-test sources, TestFiles the parsed
+	// in-package _test.go sources (loaded only when Config.Tests).
+	Files     []*ast.File
+	TestFiles []*ast.File
+	// XTest is the external test package (package foo_test), nil when
+	// the package has none or tests were not requested.
+	XTest *Package
+	// Pkg and Info are the type-checked package covering Files and
+	// TestFiles together; nil for FactsOnly packages.
+	Pkg  *types.Package
+	Info *types.Info
+	// Sources maps absolute file paths to their content, for directive
+	// scanning.
+	Sources map[string][]byte
+	// FactsOnly marks a module package loaded only because a target
+	// depends on it: parsed (so annotations can be collected) but not
+	// type-checked or linted.
+	FactsOnly bool
+}
+
+// AllFiles returns the package's parsed files: sources plus test files.
+func (p *Package) AllFiles() []*ast.File {
+	if len(p.TestFiles) == 0 {
+		return p.Files
+	}
+	all := make([]*ast.File, 0, len(p.Files)+len(p.TestFiles))
+	all = append(all, p.Files...)
+	all = append(all, p.TestFiles...)
+	return all
+}
+
+// Config controls a Load.
+type Config struct {
+	// Dir is the directory the go command runs in (any directory inside
+	// the module); empty means the current directory.
+	Dir string
+	// Tests loads and type-checks _test.go files (in-package and
+	// external) alongside the regular sources.
+	Tests bool
+}
+
+// Result is a completed load: one shared FileSet, the lint targets in
+// a stable order, and the module path.
+type Result struct {
+	Fset *token.FileSet
+	// Targets are the packages matched by the load patterns, type-
+	// checked and ready to lint.
+	Targets []*Package
+	// FactDeps are module packages the targets depend on but that were
+	// not themselves matched: parsed for annotation facts only.
+	FactDeps []*Package
+	// Module is the module path of the tree under lint.
+	Module string
+}
+
+// listedPkg mirrors the `go list -json` fields the loader consumes.
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	TestImports  []string
+	XTestImports []string
+	DepOnly      bool
+	Standard     bool
+	Module       *struct{ Path, Dir string }
+	Error        *struct{ Err string }
+}
+
+const listFields = "ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles," +
+	"TestImports,XTestImports,DepOnly,Standard,Module,Error"
+
+// Load lists patterns with the go command, loads export data for the
+// dependency closure, and parses and type-checks every matched package.
+func Load(cfg Config, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := runList(cfg.Dir, append([]string{"-e", "-export", "-deps", "-json=" + listFields}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var targets, factDeps []listedPkg
+	module := ""
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.DepOnly {
+			factDeps = append(factDeps, p)
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 && len(p.XTestGoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+		if module == "" {
+			module = p.Module.Path
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("loader: no packages matched %v", patterns)
+	}
+
+	if cfg.Tests {
+		if err := addTestImportExports(cfg.Dir, targets, exports); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	exp := NewExportSet(fset, exports)
+	res := &Result{Fset: fset, Module: module}
+
+	for _, lp := range targets {
+		pkg, err := checkTarget(fset, exp, lp, cfg.Tests)
+		if err != nil {
+			return nil, err
+		}
+		res.Targets = append(res.Targets, pkg)
+	}
+	for _, lp := range factDeps {
+		pkg := &Package{
+			ImportPath: lp.ImportPath, Dir: lp.Dir, Module: lp.Module.Path,
+			FactsOnly: true, Sources: map[string][]byte{},
+		}
+		if err := parseInto(fset, lp.Dir, lp.GoFiles, &pkg.Files, pkg.Sources); err != nil {
+			return nil, err
+		}
+		res.FactDeps = append(res.FactDeps, pkg)
+	}
+	sort.Slice(res.Targets, func(i, j int) bool { return res.Targets[i].ImportPath < res.Targets[j].ImportPath })
+	return res, nil
+}
+
+// addTestImportExports lists export data for packages imported only by
+// test files, which `-deps` over the base patterns does not cover.
+func addTestImportExports(dir string, targets []listedPkg, exports map[string]string) error {
+	need := map[string]bool{}
+	for _, p := range targets {
+		for _, imp := range p.TestImports {
+			need[imp] = true
+		}
+		for _, imp := range p.XTestImports {
+			need[imp] = true
+		}
+	}
+	var missing []string
+	for imp := range need {
+		if imp == "C" || imp == "unsafe" {
+			continue
+		}
+		if _, ok := exports[imp]; !ok {
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	listed, err := runList(dir, append([]string{"-e", "-export", "-deps", "-json=ImportPath,Export"}, missing...))
+	if err != nil {
+		return err
+	}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// checkTarget parses and type-checks one listed package (plus its
+// external test package when tests are requested).
+func checkTarget(fset *token.FileSet, exp *ExportSet, lp listedPkg, tests bool) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath, Dir: lp.Dir, Module: lp.Module.Path,
+		Sources: map[string][]byte{},
+	}
+	if err := parseInto(fset, lp.Dir, lp.GoFiles, &pkg.Files, pkg.Sources); err != nil {
+		return nil, err
+	}
+	if tests {
+		if err := parseInto(fset, lp.Dir, lp.TestGoFiles, &pkg.TestFiles, pkg.Sources); err != nil {
+			return nil, err
+		}
+	}
+	if len(pkg.Files)+len(pkg.TestFiles) > 0 {
+		tpkg, info, err := typeCheck(fset, lp.ImportPath, pkg.AllFiles(), exp.Importer())
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", lp.ImportPath, err)
+		}
+		pkg.Pkg, pkg.Info = tpkg, info
+	}
+	if tests && len(lp.XTestGoFiles) > 0 {
+		x := &Package{
+			ImportPath: lp.ImportPath + "_test", Dir: lp.Dir, Module: lp.Module.Path,
+			Sources: map[string][]byte{},
+		}
+		if err := parseInto(fset, lp.Dir, lp.XTestGoFiles, &x.Files, x.Sources); err != nil {
+			return nil, err
+		}
+		// The external test package imports the package under test. Prefer
+		// its export data: other dependencies' export data refers to that
+		// identity, and mixing it with the in-memory package breaks type
+		// identity. Fall back to the in-memory, test-augmented package for
+		// external tests that use exported in-package test helpers.
+		tpkg, info, err := typeCheck(fset, x.ImportPath, x.Files, exp.Importer())
+		if err != nil && pkg.Pkg != nil {
+			imp := &overrideImporter{base: exp.Importer(), override: map[string]*types.Package{lp.ImportPath: pkg.Pkg}}
+			tpkg, info, err = typeCheck(fset, x.ImportPath, x.Files, imp)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", x.ImportPath, err)
+		}
+		x.Pkg, x.Info = tpkg, info
+		pkg.XTest = x
+	}
+	return pkg, nil
+}
+
+// parseInto parses names (relative to dir) into files, recording the
+// sources.
+func parseInto(fset *token.FileSet, dir string, names []string, files *[]*ast.File, sources map[string][]byte) error {
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		sources[path] = src
+		*files = append(*files, f)
+	}
+	return nil
+}
+
+// typeCheck runs go/types over one package's files.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, errors.Join(errs...)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// ExportSet resolves import paths to compiled export data through the
+// standard library's gc importer, sharing one importer (and therefore
+// one set of *types.Package identities) across every type-check of a
+// load.
+type ExportSet struct {
+	exports map[string]string
+	imp     types.Importer
+}
+
+// NewExportSet builds an ExportSet over an import-path → export-file
+// map (as produced by `go list -export`).
+func NewExportSet(fset *token.FileSet, exports map[string]string) *ExportSet {
+	s := &ExportSet{exports: exports}
+	s.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := s.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return s
+}
+
+// Importer returns the shared compiler importer.
+func (s *ExportSet) Importer() types.Importer { return s.imp }
+
+// ListExports runs `go list -e -export -deps` in dir over patterns and
+// returns the import-path → export-file map of the whole closure. It is
+// the fixture-loading entry point: the lint tests type-check testdata
+// sources against the real module's compiled packages.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := runList(dir, append([]string{"-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// overrideImporter serves a fixed set of in-memory packages and
+// delegates everything else.
+type overrideImporter struct {
+	base     types.Importer
+	override map[string]*types.Package
+}
+
+func (o *overrideImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.override[path]; ok {
+		return p, nil
+	}
+	return o.base.Import(path)
+}
+
+// runList invokes `go list` with args in dir and decodes the JSON
+// stream.
+func runList(dir string, args []string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("loader: go list: %s", msg)
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,79 @@
+// The senterr analyzer: error identity is matched with errors.Is /
+// errors.As against sentinels (ErrStaleSnapshot, wal.ErrCorrupt,
+// ErrNotDurable, …), never by comparing err.Error() text. Message
+// strings are documentation; wrapping (%w) changes them, and a test
+// that greps them breaks on reword. This invariant holds in tests too,
+// so the analyzer runs over test files.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/yask-engine/yask/internal/lint/analysis"
+)
+
+// SentErr is the sentinel-error-matching analyzer.
+var SentErr = &analysis.Analyzer{
+	Name:         "senterr",
+	Doc:          "bans matching on err.Error() text; use errors.Is/errors.As against sentinels",
+	IncludeTests: true,
+	Run:          runSentErr,
+}
+
+// senterrStringMatchers are the strings-package predicates that turn an
+// error message into a match.
+var senterrStringMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+	"Index":     true,
+}
+
+func runSentErr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) &&
+					(isErrErrorCall(pass.TypesInfo, n.X) || isErrErrorCall(pass.TypesInfo, n.Y)) {
+					pass.Report(n.Pos(), "comparing err.Error() text: match with errors.Is against a sentinel instead")
+				}
+			case *ast.CallExpr:
+				fn := analysis.CalleeOf(pass.TypesInfo, n)
+				if fn == nil || analysis.PkgOf(fn) != "strings" || !senterrStringMatchers[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isErrErrorCall(pass.TypesInfo, arg) {
+						pass.Reportf(n.Pos(), "strings.%s over err.Error() text: match with errors.Is/errors.As against a sentinel instead", fn.Name())
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrErrorCall reports whether expr is a call of the Error() string
+// method on a value that implements the error interface.
+func isErrErrorCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errType != nil && types.Implements(recv, errType)
+}

@@ -1,0 +1,32 @@
+// Package fixaw exercises the atomicwrite analyzer: a rename between a
+// file fsync and a directory fsync is clean; a bare rename earns both
+// diagnostics.
+package fixaw
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeGood(tmp *os.File, final string) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(final))
+}
+
+func writeBad(tmpPath, final string) error {
+	return os.Rename(tmpPath, final) // want `without fsyncing the temp file` // want `without fsyncing the containing directory`
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,11 @@
+// Package core is a fixture twin of internal/core for the
+// snapshotdiscipline analyzer: it declares the real package path, so
+// the real restricted-package configuration applies. engine.go is on
+// the construction allowlist — its settree import is sanctioned.
+package core
+
+import "github.com/yask-engine/yask/internal/settree"
+
+type backend struct{ ix *settree.Index }
+
+func newBackend(ix *settree.Index) *backend { return &backend{ix: ix} }

@@ -1,0 +1,14 @@
+package core
+
+import (
+	"github.com/yask-engine/yask/internal/index"
+	"github.com/yask-engine/yask/internal/settree" // want `must not import`
+)
+
+func sneak(s index.Snapshot) bool {
+	a, ok := s.(*settree.Arena) // want `type assertion to concrete index type Arena`
+	if !ok {
+		return false
+	}
+	return a.Flat() != nil // want `raw Flat\(\) access`
+}

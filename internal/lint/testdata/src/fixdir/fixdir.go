@@ -1,0 +1,28 @@
+// Package fixdir exercises the //yask: directive surface itself:
+// floating annotations, missing reasons, and unknown names are all
+// findings of the "directive" pseudo-analyzer.
+package fixdir
+
+var notAFunc = 1
+
+func f() int {
+	// wantbelow `not attached to a function declaration`
+	//yask:hotpath
+	x := notAFunc
+
+	// wantbelow `needs a non-empty reason`
+	//yask:allocok()
+	x++
+
+	// wantbelow `malformed //yask:allocok`
+	//yask:allocok
+	x++
+
+	// wantbelow `names unknown analyzer nosuch`
+	//yask:allow(nosuch) because reasons
+	x++
+
+	// wantbelow `unknown //yask: directive`
+	//yask:frobnicate
+	return x
+}

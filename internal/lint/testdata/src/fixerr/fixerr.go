@@ -1,0 +1,25 @@
+// Package fixerr exercises the senterr analyzer: text matching on
+// err.Error() is a diagnostic; errors.Is is the sanctioned form; the
+// generic //yask:allow escape hatch silences a finding.
+package fixerr
+
+import (
+	"errors"
+	"strings"
+)
+
+var ErrGone = errors.New("gone")
+
+func badCompare(err error) bool {
+	return err.Error() == "gone" // want `comparing err.Error\(\) text`
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want `strings.Contains over err.Error\(\) text`
+}
+
+func good(err error) bool { return errors.Is(err, ErrGone) }
+
+func tolerated(err error) bool {
+	return err.Error() == "gone" //yask:allow(senterr) fixture demonstrates the generic escape hatch
+}

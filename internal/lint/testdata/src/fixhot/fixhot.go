@@ -1,0 +1,57 @@
+// Package fixhot exercises the hotpath analyzer: positive cases for
+// every allocation construct, negative cases for annotated callees,
+// the calm-closure rule, and the //yask:allocok escape hatch.
+package fixhot
+
+import "fmt"
+
+//yask:hotpath
+func leafOK(x float64) float64 { return x * 2 }
+
+//yask:hotpath
+func hotClean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += leafOK(x)
+	}
+	return s
+}
+
+func coldHelper() int { return 1 }
+
+//yask:hotpath
+func hotBad(xs []int, m map[int]int) []int {
+	xs = append(xs, 1)    // want `append may grow`
+	buf := make([]int, 4) // want `make allocates`
+	m[1] = 2              // want `map write may allocate`
+	_ = coldHelper()      // want `not annotated //yask:hotpath`
+	fmt.Println(buf)      // want `call into fmt may allocate`
+	return xs
+}
+
+//yask:hotpath
+func hotHatched(xs []int) []int {
+	xs = append(xs, 1) //yask:allocok(fixture: sanctioned amortized growth)
+	return xs
+}
+
+//yask:hotpath
+func hotStrings(a string, b []byte, n int) string {
+	s := a + a    // want `string concatenation allocates`
+	_ = string(b) // want `conversion to string allocates`
+	go leafOK(1)  // want `go statement allocates`
+	c := n
+	f := func() int { return c } // want `closure captures variables`
+	_ = f()
+	return s
+}
+
+//yask:hotpath
+func driver(cb func(int) bool) bool { return cb(1) }
+
+//yask:hotpath
+func hotCalm(limit int) bool {
+	// A closure handed straight to an annotated driver is the sanctioned
+	// callback pattern: no diagnostic.
+	return driver(func(x int) bool { return x < limit })
+}

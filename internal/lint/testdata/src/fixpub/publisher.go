@@ -1,0 +1,27 @@
+// Package rtree is a fixture twin of internal/rtree for the
+// publishdiscipline analyzer: SnapshotPublisher.publishLocked is the
+// sanctioned commit site; any other Store on an epoch pointer is a
+// diagnostic.
+package rtree
+
+import "sync/atomic"
+
+type pubState struct{ gen uint64 }
+
+type SnapshotPublisher struct {
+	st atomic.Pointer[pubState]
+}
+
+func (p *SnapshotPublisher) publishLocked(s *pubState) {
+	p.st.Store(s)
+}
+
+func (p *SnapshotPublisher) Poke(s *pubState) {
+	p.st.Store(s) // want `outside a publish commit site`
+}
+
+func (p *SnapshotPublisher) Grab(s *pubState) *pubState {
+	return p.st.Swap(s) // want `outside a publish commit site`
+}
+
+func (p *SnapshotPublisher) Read() *pubState { return p.st.Load() }

@@ -1,0 +1,58 @@
+// Package core is a fixture twin of internal/core for the walfirst
+// analyzer: same package path, same function names as the real managed
+// mutation path, so the real allowlists apply.
+package core
+
+import "github.com/yask-engine/yask/internal/object"
+
+type durability struct{}
+
+func (d *durability) logInsert(id object.ID, o object.Object) error { return nil }
+func (d *durability) logRemove(id object.ID) error                  { return nil }
+
+type Engine struct {
+	coll *object.Collection
+	dur  *durability
+}
+
+func (e *Engine) applyInsertLocked(o object.Object) object.ID {
+	return e.coll.Append(o)
+}
+
+func (e *Engine) applyRemoveLocked(id object.ID) {
+	e.coll.Tombstone(id)
+}
+
+// Insert applies the mutation before logging it: on a crash between the
+// two, the object is visible but not durable.
+func (e *Engine) Insert(o object.Object) (object.ID, error) {
+	id := e.applyInsertLocked(o) // want `not dominated by a WAL append`
+	if e.dur != nil {
+		if err := e.dur.logInsert(id, o); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Remove has the correct shape: durability guard, log, then apply.
+func (e *Engine) Remove(id object.ID) error {
+	if e.dur != nil {
+		if err := e.dur.logRemove(id); err != nil {
+			return err
+		}
+	}
+	e.applyRemoveLocked(id)
+	return nil
+}
+
+// replayLocked re-applies a record read from the WAL: exempt from the
+// dominance rule.
+func (e *Engine) replayLocked(o object.Object) {
+	e.applyInsertLocked(o)
+}
+
+// sneakAppend mutates the collection outside the managed path.
+func sneakAppend(c *object.Collection, o object.Object) object.ID {
+	return c.Append(o) // want `outside the managed appliers`
+}

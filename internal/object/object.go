@@ -126,6 +126,8 @@ func NewCollectionWithDead(objs []Object, dead []bool) *Collection {
 
 // Len returns the size of the ID space: live plus tombstoned objects.
 // Every ID in [0, Len) is addressable via Get.
+//
+//yask:hotpath
 func (c *Collection) Len() int { return len(c.state.Load().objs) }
 
 // LiveLen returns the number of live (non-tombstoned) objects.
@@ -133,9 +135,13 @@ func (c *Collection) LiveLen() int { return c.state.Load().live }
 
 // Get returns the object with the given ID. It panics on out-of-range
 // IDs. Tombstoned objects remain addressable; check Alive.
+//
+//yask:hotpath
 func (c *Collection) Get(id ID) Object { return c.state.Load().objs[id] }
 
 // Alive reports whether id is in range and not tombstoned.
+//
+//yask:hotpath
 func (c *Collection) Alive(id ID) bool {
 	st := c.state.Load()
 	if int(id) >= len(st.objs) {

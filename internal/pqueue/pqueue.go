@@ -25,19 +25,27 @@ func NewWithCapacity[T any](less func(a, b T) bool, capacity int) *Queue[T] {
 }
 
 // Len returns the number of queued elements.
+//
+//yask:hotpath
 func (q *Queue[T]) Len() int { return len(q.items) }
 
 // Empty reports whether the queue has no elements.
+//
+//yask:hotpath
 func (q *Queue[T]) Empty() bool { return len(q.items) == 0 }
 
 // Push adds v to the queue.
+//
+//yask:hotpath
 func (q *Queue[T]) Push(v T) {
-	q.items = append(q.items, v)
+	q.items = append(q.items, v) //yask:allocok(pooled heap storage; growth is amortized across queries)
 	q.up(len(q.items) - 1)
 }
 
 // Pop removes and returns the highest-priority element. It panics on an
 // empty queue.
+//
+//yask:hotpath
 func (q *Queue[T]) Pop() T {
 	if len(q.items) == 0 {
 		panic("pqueue: Pop from empty queue")
@@ -56,6 +64,8 @@ func (q *Queue[T]) Pop() T {
 
 // Peek returns the highest-priority element without removing it. It
 // panics on an empty queue.
+//
+//yask:hotpath
 func (q *Queue[T]) Peek() T {
 	if len(q.items) == 0 {
 		panic("pqueue: Peek on empty queue")
@@ -64,6 +74,8 @@ func (q *Queue[T]) Peek() T {
 }
 
 // Reset removes all elements but keeps the allocated storage.
+//
+//yask:hotpath
 func (q *Queue[T]) Reset() {
 	var zero T
 	for i := range q.items {
@@ -72,6 +84,7 @@ func (q *Queue[T]) Reset() {
 	q.items = q.items[:0]
 }
 
+//yask:hotpath
 func (q *Queue[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -83,6 +96,7 @@ func (q *Queue[T]) up(i int) {
 	}
 }
 
+//yask:hotpath
 func (q *Queue[T]) down(i int) {
 	n := len(q.items)
 	for {

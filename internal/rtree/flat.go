@@ -151,18 +151,28 @@ func (t *Tree[L, A]) Freeze() *Flat[L, A] {
 }
 
 // Empty reports whether the snapshot holds no nodes.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Empty() bool { return len(f.rects) == 0 }
 
 // NumNodes returns the number of nodes in the snapshot.
+//
+//yask:hotpath
 func (f *Flat[L, A]) NumNodes() int { return len(f.rects) }
 
 // Len returns the number of leaf items in the snapshot.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Len() int { return f.size }
 
 // Stats returns the statistics collector shared with the source tree.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Stats() *Stats { return f.stats }
 
 // Generation returns the tree generation the snapshot was frozen at.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Generation() uint64 { return f.gen }
 
 // Stale reports whether the source tree has been mutated since the
@@ -191,23 +201,33 @@ func (f *Flat[L, A]) CheckFresh() error {
 }
 
 // Rect returns node n's MBR.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Rect(n int32) geo.Rect { return f.rects[n] }
 
 // Aug returns a pointer to node n's augmentation summary. The summary
 // must not be mutated.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Aug(n int32) *A { return &f.augs[n] }
 
 // IsLeaf reports whether node n is a leaf.
+//
+//yask:hotpath
 func (f *Flat[L, A]) IsLeaf(n int32) bool { return f.childEnd[n] == f.childStart[n] }
 
 // Children returns the contiguous node-ID range [lo, hi) of node n's
 // children; empty for leaves.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Children(n int32) (lo, hi int32) {
 	return f.childStart[n], f.childEnd[n]
 }
 
 // Entries returns node n's leaf entries as a sub-slice of the shared
 // entry arena; empty for internal nodes. Callers must not mutate it.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Entries(n int32) []LeafEntry[L] {
 	return f.entries[f.entryStart[n]:f.entryEnd[n]]
 }
@@ -216,23 +236,33 @@ func (f *Flat[L, A]) Entries(n int32) []LeafEntry[L] {
 // in the shared entry arena (AllEntries / EntrySigs); empty for
 // internal nodes. Traversals that need the per-entry signature column
 // address entries by arena index instead of Entries' sub-slice.
+//
+//yask:hotpath
 func (f *Flat[L, A]) EntryRange(n int32) (lo, hi int32) {
 	return f.entryStart[n], f.entryEnd[n]
 }
 
 // AllEntries returns every leaf entry in the snapshot in layout order.
 // Callers must not mutate the returned slice.
+//
+//yask:hotpath
 func (f *Flat[L, A]) AllEntries() []LeafEntry[L] { return f.entries }
 
 // HasSigs reports whether the snapshot carries keyword-signature
 // columns (the source tree's augmenter implements KeywordSigger).
+//
+//yask:hotpath
 func (f *Flat[L, A]) HasSigs() bool { return f.sigs != nil }
 
 // Sig returns a pointer to node n's keyword signature. Only valid when
 // HasSigs; the signature must not be mutated.
+//
+//yask:hotpath
 func (f *Flat[L, A]) Sig(n int32) *vocab.Signature { return &f.sigs[n] }
 
 // EntrySigs returns the per-entry signature column, parallel to
 // AllEntries; nil when the snapshot carries no signatures. Callers must
 // not mutate it.
+//
+//yask:hotpath
 func (f *Flat[L, A]) EntrySigs() []vocab.Signature { return f.entrySigs }

@@ -72,6 +72,8 @@ type Stats struct {
 // AddNodeAccesses records n node visits. Exported so that the index
 // packages' custom traversals contribute to the same counter as the
 // built-in queries.
+//
+//yask:hotpath
 func (s *Stats) AddNodeAccesses(n int64) { s.nodeAccesses.Add(n) }
 
 // NodeAccesses returns the number of node visits recorded so far.
@@ -81,6 +83,8 @@ func (s *Stats) NodeAccesses() int64 { return s.nodeAccesses.Load() }
 // signature bounds consulted, of which hits were decisive (the exact
 // keyword set operation was skipped), plus exact set operations
 // (merge-walks, per-keyword augmentation walks) that ran.
+//
+//yask:hotpath
 func (s *Stats) AddSigCounts(probes, hits, exact int64) {
 	if probes != 0 {
 		s.sigProbes.Add(probes)

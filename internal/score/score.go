@@ -143,11 +143,15 @@ func NewScorer(q Query, c *object.Collection) Scorer {
 
 // SDist returns the normalized spatial distance of o, clamped to [0, 1].
 // Clamping matters only when the query point lies outside the data space.
+//
+//yask:hotpath
 func (s Scorer) SDist(o object.Object) float64 {
 	return s.SDistAt(o.Loc)
 }
 
 // SDistAt returns the normalized spatial distance of a location.
+//
+//yask:hotpath
 func (s Scorer) SDistAt(p geo.Point) float64 {
 	d := s.Query.Loc.Dist(p) / s.MaxDist
 	if d > 1 {
@@ -159,6 +163,8 @@ func (s Scorer) SDistAt(p geo.Point) float64 {
 // SDistRectMin returns a lower bound on the normalized spatial distance
 // of every location inside r, clamped to [0, 1]. Index traversals use it
 // to upper-bound the spatial component ws·(1 − SDist) of a subtree.
+//
+//yask:hotpath
 func (s Scorer) SDistRectMin(r geo.Rect) float64 {
 	d := r.MinDist(s.Query.Loc) / s.MaxDist
 	if d > 1 {
@@ -169,6 +175,8 @@ func (s Scorer) SDistRectMin(r geo.Rect) float64 {
 
 // SDistRectMax returns an upper bound on the normalized spatial distance
 // of every location inside r, clamped to [0, 1].
+//
+//yask:hotpath
 func (s Scorer) SDistRectMax(r geo.Rect) float64 {
 	d := r.MaxDist(s.Query.Loc) / s.MaxDist
 	if d > 1 {
@@ -179,6 +187,8 @@ func (s Scorer) SDistRectMax(r geo.Rect) float64 {
 
 // TSim returns the textual similarity of o to the query keywords under
 // the query's similarity model (Eqn 2; Jaccard by default).
+//
+//yask:hotpath
 func (s Scorer) TSim(o object.Object) float64 {
 	if s.Query.Sim == SimDice {
 		return s.Query.Doc.Dice(o.Doc)
@@ -187,6 +197,8 @@ func (s Scorer) TSim(o object.Object) float64 {
 }
 
 // Score returns ST(o, q) per Eqn 1.
+//
+//yask:hotpath
 func (s Scorer) Score(o object.Object) float64 {
 	return s.Query.W.Ws*(1-s.SDist(o)) + s.Query.W.Wt*s.TSim(o)
 }
@@ -213,6 +225,8 @@ func (s Scorer) Components(o object.Object) (spatial, textual float64) {
 // Both are admissible whenever m truly bounds |d ∩ q| — the signature
 // soundness invariant (vocab.Signature) — so every family's exact bound
 // is ≤ this one, and pruning on it never changes results.
+//
+//yask:hotpath
 func SigSimUpperBound(sim TextSim, m, minLen, maxLen, interLen, qlen int) float64 {
 	num := m
 	if maxLen < num {
@@ -248,6 +262,8 @@ func SigSimUpperBound(sim TextSim, m, minLen, maxLen, interLen, qlen int) float6
 // object b with score sb. Ties break by ascending object ID, which makes
 // the total ranking order deterministic — Definition 1 admits any
 // tie-break, and every engine here must use the same one.
+//
+//yask:hotpath
 func Better(sa float64, a object.ID, sb float64, b object.ID) bool {
 	if sa != sb {
 		return sa > sb
@@ -263,6 +279,8 @@ type Result struct {
 
 // WorstFirst orders results worst-ranked first — the ordering of the
 // bounded min-heap every top-k engine keeps its k best candidates in.
+//
+//yask:hotpath
 func WorstFirst(a, b Result) bool {
 	return Better(b.Score, b.Obj.ID, a.Score, a.Obj.ID)
 }

@@ -136,20 +136,22 @@ type searchScratch struct {
 	ctr index.SigCounters
 }
 
+//yask:hotpath
 func (ix *Index) getScratch() *searchScratch {
-	if sc, ok := ix.scratch.Get().(*searchScratch); ok {
+	if sc, ok := ix.scratch.Get().(*searchScratch); ok { //yask:allocok(sync.Pool hit path does not allocate)
 		return sc
 	}
-	return &searchScratch{
-		nodes: pqueue.NewWithCapacity(index.NodeOrder, 64),
-		cand:  pqueue.NewWithCapacity(score.WorstFirst, 16),
+	return &searchScratch{ //yask:allocok(pool miss: one-time scratch construction, amortized across queries)
+		nodes: pqueue.NewWithCapacity(index.NodeOrder, 64),  //yask:allocok(pool miss construction)
+		cand:  pqueue.NewWithCapacity(score.WorstFirst, 16), //yask:allocok(pool miss construction)
 	}
 }
 
+//yask:hotpath
 func (ix *Index) putScratch(sc *searchScratch) {
 	sc.nodes.Reset()
 	sc.cand.Reset()
-	ix.scratch.Put(sc)
+	ix.scratch.Put(sc) //yask:allocok(sync.Pool put does not allocate; the interface box is the pooled pointer)
 }
 
 // SetBoundMode switches the pruning bound; the default is BoundFull.
@@ -173,6 +175,8 @@ func (ix *Index) Signatures() bool { return ix.sigs }
 // sigEnabled reports whether query traversals may probe signatures:
 // the layer is on and the production bound mode is active (the
 // BoundBasic ablation measures the textbook bound alone).
+//
+//yask:hotpath
 func (ix *Index) sigEnabled() bool { return ix.sigs && ix.bound == BoundFull }
 
 // Build bulk-loads a SetR-tree over the live objects of the collection
@@ -308,6 +312,8 @@ func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
 //
 // Under the Dice model the bound is 2·num / (MinLen + |q|), since the
 // denominator |o.doc| + |q| is bounded by the minimum document length.
+//
+//yask:hotpath
 func TSimUpperBound(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) float64 {
 	if len(qdoc) == 0 {
 		return 0
@@ -354,6 +360,8 @@ func TSimUpperBound(a Aug, qdoc vocab.KeywordSet, sim score.TextSim) float64 {
 // quickTSimHi is the constant-time signature upper bound on the textual
 // similarity of any object under a node, evaluated in place of the
 // exact per-keyword Union walk of TSimUpperBound.
+//
+//yask:hotpath
 func quickTSimHi(a *Aug, s *score.Scorer, qs *vocab.QuerySig, nsig *vocab.Signature) float64 {
 	m := qs.IntersectBound(nsig)
 	return score.SigSimUpperBound(s.Query.Sim, m, int(a.MinLen), int(a.MaxLen), len(a.Inter), qs.Len)
@@ -368,6 +376,8 @@ func quickTSimHi(a *Aug, s *score.Scorer, qs *vocab.QuerySig, nsig *vocab.Signat
 // cheap bound can dismiss. Bounds at or above the limit fall through to
 // the exact computation, so heap ordering and results are identical to
 // the signature-free traversal.
+//
+//yask:hotpath
 func (ix *Index) boundAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, qs *vocab.QuerySig, useSig bool, n int32, limit float64, ctr *index.SigCounters) float64 {
 	w := s.Query.W
 	spatial := w.Ws * (1 - s.SDistRectMin(f.Rect(n)))
@@ -398,6 +408,8 @@ func (ix *Index) boundAt(f *rtree.Flat[object.Object, Aug], s score.Scorer, qs *
 // TSimUpperBoundBasic is the textbook SetR-tree Jaccard bound
 // |q ∩ Union| / |q ∪ Inter| without the doc-length tightening. Exported
 // for the ablation bench; production code uses TSimUpperBound.
+//
+//yask:hotpath
 func TSimUpperBoundBasic(a Aug, qdoc vocab.KeywordSet) float64 {
 	if len(qdoc) == 0 {
 		return 0
@@ -441,6 +453,8 @@ func (a *Arena) Len() int { return a.f.Len() }
 func (a *Arena) Parts() int { return 1 }
 
 // TopKPart implements index.Snapshot; part must be 0.
+//
+//yask:hotpath
 func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	return a.TopK(s, k, shared, dst)
 }
@@ -452,6 +466,8 @@ func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, d
 // Fewer than k results are returned only when the collection is smaller
 // than k — or when a non-nil shared bound proves the missing tail
 // cannot enter the cross-partition top k.
+//
+//yask:hotpath
 func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	ix, f := a.ix, a.f
 	if f.Empty() || k <= 0 {
@@ -478,6 +494,8 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 // reference; it descends otherwise. The reference pair need not name an
 // indexed object — an object scoring exactly refScore with ID tie never
 // dominates itself, so RankOf needs no self-exclusion.
+//
+//yask:hotpath
 func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
@@ -513,6 +531,8 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 // carries no subtree cardinality, so depth-limited bounding cannot
 // count pruned subtrees wholesale; the exact count is returned as both
 // bounds regardless of maxDepth.
+//
+//yask:hotpath
 func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
 	n := a.CountBetter(s, refScore, tie)
 	return n, n
@@ -520,6 +540,8 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 
 // RankOf returns the 1-based rank of object oid under scorer s: one plus
 // the number of objects ranking strictly above it.
+//
+//yask:hotpath
 func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 	o := a.ix.coll.Get(oid)
 	return a.CountBetter(s, s.Score(o), oid) + 1
@@ -531,6 +553,8 @@ func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 // bounds only — no subtree cardinality, no similarity lower bound — so
 // it never reports wholesale-above subtrees; survivors are visited
 // object by object.
+//
+//yask:hotpath
 func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
@@ -630,43 +654,14 @@ func (ix *Index) RankOf(s score.Scorer, oid object.ID) (int, error) {
 }
 
 // ScanTopK is the brute-force oracle: score every object and select the
-// top k. It exists as the baseline the benches compare against and as
-// the reference implementation tests validate the index against.
+// top k. It delegates to index.ScanTopK, kept as an alias so the
+// family's tests and benches read naturally.
 func ScanTopK(c *object.Collection, q score.Query) []score.Result {
-	s := score.NewScorer(q, c)
-	if q.K <= 0 || c.Len() == 0 {
-		return nil
-	}
-	// Keep a bounded max-heap (invert: pop worst) of the k best.
-	pq := pqueue.NewWithCapacity(score.WorstFirst, q.K+1)
-	for _, o := range c.All() {
-		if !c.Alive(o.ID) {
-			continue
-		}
-		pq.Push(score.Result{Obj: o, Score: s.Score(o)})
-		if pq.Len() > q.K {
-			pq.Pop()
-		}
-	}
-	out := make([]score.Result, pq.Len())
-	for i := pq.Len() - 1; i >= 0; i-- {
-		out[i] = pq.Pop()
-	}
-	return out
+	return index.ScanTopK(c, q)
 }
 
-// ScanRank is the brute-force rank oracle matching RankOf.
+// ScanRank is the brute-force rank oracle matching RankOf; an alias of
+// index.ScanRank.
 func ScanRank(c *object.Collection, s score.Scorer, oid object.ID) int {
-	ref := c.Get(oid)
-	refScore := s.Score(ref)
-	rank := 1
-	for _, o := range c.All() {
-		if o.ID == oid || !c.Alive(o.ID) {
-			continue
-		}
-		if score.Better(s.Score(o), o.ID, refScore, oid) {
-			rank++
-		}
-	}
-	return rank
+	return index.ScanRank(c, s, oid)
 }

@@ -43,17 +43,23 @@ var (
 // sigPos maps a keyword to its bit position via golden-ratio
 // multiplicative hashing; the top bits of the product are well mixed
 // even for the dense sequential IDs Intern assigns.
+//
+//yask:hotpath
 func sigPos(kw Keyword) uint64 {
 	return (uint64(kw) * 0x9E3779B97F4A7C15) >> (64 - sigPosBits)
 }
 
 // Add sets the bit for kw.
+//
+//yask:hotpath
 func (g *Signature) Add(kw Keyword) {
 	p := sigPos(kw)
 	g[p>>6] |= 1 << (p & 63)
 }
 
 // Merge ORs o into g — the signature of a union of sets.
+//
+//yask:hotpath
 func (g *Signature) Merge(o *Signature) {
 	for i := range g {
 		g[i] |= o[i]
@@ -61,12 +67,16 @@ func (g *Signature) Merge(o *Signature) {
 }
 
 // OnesCount returns the number of set bits.
+//
+//yask:hotpath
 func (g *Signature) OnesCount() int {
 	return bits.OnesCount64(g[0]) + bits.OnesCount64(g[1]) +
 		bits.OnesCount64(g[2]) + bits.OnesCount64(g[3])
 }
 
 // IntersectCount returns popcount(g ∧ o).
+//
+//yask:hotpath
 func (g *Signature) IntersectCount(o *Signature) int {
 	return bits.OnesCount64(g[0]&o[0]) + bits.OnesCount64(g[1]&o[1]) +
 		bits.OnesCount64(g[2]&o[2]) + bits.OnesCount64(g[3]&o[3])
@@ -75,11 +85,15 @@ func (g *Signature) IntersectCount(o *Signature) int {
 // Disjoint reports whether g ∧ o is empty, which *proves* the
 // underlying keyword sets share no keyword (no false negatives: a
 // shared keyword sets the same bit in both signatures).
+//
+//yask:hotpath
 func (g *Signature) Disjoint(o *Signature) bool {
 	return g[0]&o[0] == 0 && g[1]&o[1] == 0 && g[2]&o[2] == 0 && g[3]&o[3] == 0
 }
 
 // Signature returns the hashed bitmap summary of s.
+//
+//yask:hotpath
 func (s KeywordSet) Signature() Signature {
 	var g Signature
 	for _, kw := range s {
@@ -105,6 +119,8 @@ type QuerySig struct {
 }
 
 // NewQuerySig prepares doc for signature probing.
+//
+//yask:hotpath
 func NewQuerySig(doc KeywordSet) QuerySig {
 	sig := doc.Signature()
 	return QuerySig{Sig: sig, Len: len(doc), Excess: len(doc) - sig.OnesCount()}
@@ -112,6 +128,8 @@ func NewQuerySig(doc KeywordSet) QuerySig {
 
 // Disjoint reports whether s ∧ q's signature is empty, proving the
 // summarized set shares no keyword with the query.
+//
+//yask:hotpath
 func (q *QuerySig) Disjoint(s *Signature) bool { return q.Sig.Disjoint(s) }
 
 // IntersectBound returns an upper bound on |t ∩ q.doc| for any keyword
@@ -120,6 +138,8 @@ func (q *QuerySig) Disjoint(s *Signature) bool { return q.Sig.Disjoint(s) }
 // covers every object under a node whose sig covers the node's keyword
 // union). See the Signature soundness invariant; the bound is
 // additionally capped at the query cardinality.
+//
+//yask:hotpath
 func (q *QuerySig) IntersectBound(s *Signature) int {
 	m := q.Sig.IntersectCount(s) + q.Excess
 	if m > q.Len {

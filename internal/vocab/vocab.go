@@ -162,9 +162,13 @@ func (s KeywordSet) Canonical() bool {
 }
 
 // Len returns the cardinality of s.
+//
+//yask:hotpath
 func (s KeywordSet) Len() int { return len(s) }
 
 // Empty reports whether s has no elements.
+//
+//yask:hotpath
 func (s KeywordSet) Empty() bool { return len(s) == 0 }
 
 // Contains reports whether id is in s. The binary search is hand-rolled
@@ -172,6 +176,8 @@ func (s KeywordSet) Empty() bool { return len(s) == 0 }
 // bound hot paths (one probe per query keyword per node), and the
 // closure call sort.Search makes per comparison costs more than the
 // comparison itself.
+//
+//yask:hotpath
 func (s KeywordSet) Contains(id Keyword) bool {
 	lo, hi := 0, len(s)
 	for lo < hi {
@@ -209,6 +215,8 @@ func (s KeywordSet) Equal(t KeywordSet) bool {
 }
 
 // IntersectLen returns |s ∩ t| without allocating.
+//
+//yask:hotpath
 func (s KeywordSet) IntersectLen(t KeywordSet) int {
 	n, i, j := 0, 0, 0
 	for i < len(s) && j < len(t) {
@@ -227,6 +235,8 @@ func (s KeywordSet) IntersectLen(t KeywordSet) int {
 }
 
 // UnionLen returns |s ∪ t| without allocating.
+//
+//yask:hotpath
 func (s KeywordSet) UnionLen(t KeywordSet) int {
 	return len(s) + len(t) - s.IntersectLen(t)
 }
@@ -330,6 +340,8 @@ func (s KeywordSet) Remove(id Keyword) KeywordSet {
 // Jaccard returns |s ∩ t| / |s ∪ t|, the textual similarity of Eqn 2.
 // The Jaccard similarity of two empty sets is defined as 0 here: an
 // object with no keywords has no textual evidence for any query.
+//
+//yask:hotpath
 func (s KeywordSet) Jaccard(t KeywordSet) float64 {
 	inter := s.IntersectLen(t)
 	union := len(s) + len(t) - inter
@@ -343,6 +355,8 @@ func (s KeywordSet) Jaccard(t KeywordSet) float64 {
 // the alternative textual similarity model of the paper's footnote 1.
 // The Dice similarity of two empty sets is defined as 0, matching
 // Jaccard.
+//
+//yask:hotpath
 func (s KeywordSet) Dice(t KeywordSet) float64 {
 	den := len(s) + len(t)
 	if den == 0 {
@@ -355,6 +369,8 @@ func (s KeywordSet) Dice(t KeywordSet) float64 {
 // delete operations transforming s into t. Because both are sets this is
 // exactly |s \ t| + |t \ s| (the symmetric difference), the Δdoc measure
 // of Eqn 4.
+//
+//yask:hotpath
 func (s KeywordSet) EditDistance(t KeywordSet) int {
 	inter := s.IntersectLen(t)
 	return (len(s) - inter) + (len(t) - inter)
