@@ -123,6 +123,28 @@ func TestTopKAllocationGuard(t *testing.T) {
 		t.Errorf("plain SetR-tree TopK averaged %.2f allocs/query, want ≤ 4", coldSet)
 	}
 
+	// The engine-level cache-hit path must be exactly allocation-free:
+	// after a priming pass every TopKAppend is answered from the
+	// epoch-keyed result cache, and a hit that allocates would erase the
+	// latency win the e14 rows certify.
+	cachedEng := core.NewEngine(e.DS.Objects, core.Options{})
+	for _, q := range qs {
+		if _, err := cachedEng.TopKAppend(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitAllocs := testing.AllocsPerRun(50, func() {
+		for _, q := range qs {
+			buf, _ = cachedEng.TopKAppend(q, buf[:0])
+		}
+	}) / float64(len(qs))
+	if hitAllocs != 0 {
+		t.Errorf("cached engine TopKAppend averaged %.2f allocs/query, want 0", hitAllocs)
+	}
+	if st := cachedEng.Stats(); st.Cache == nil || st.Cache.Hits == 0 {
+		t.Fatal("allocation guard ran without cache hits")
+	}
+
 	// The signature-free fallback path must stay warm-zero too: the
 	// e12 off rows join the bench-smoke gate through the baseline.
 	offSet := settree.BuildWith(e.DS.Objects, rtree.DefaultMaxEntries, false)

@@ -1,0 +1,83 @@
+package yask
+
+import (
+	"testing"
+
+	"github.com/yask-engine/yask/internal/qcache"
+)
+
+// TestCanonicalCacheKey proves that semantically identical public
+// queries collapse to one cache key: keyword order, duplicates, and
+// case vanish in canonicalization, and an omitted similarity model or
+// weight equals its explicit default. Without this property the result
+// cache would fragment across spellings of the same question.
+func TestCanonicalCacheKey(t *testing.T) {
+	e := HKDemoEngine()
+	base := Query{X: 114.17, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 3}
+	variants := map[string]Query{
+		"keyword order":       {X: 114.17, Y: 22.30, Keywords: []string{"cafe", "bar"}, K: 3},
+		"duplicate keyword":   {X: 114.17, Y: 22.30, Keywords: []string{"cafe", "bar", "cafe"}, K: 3},
+		"keyword case":        {X: 114.17, Y: 22.30, Keywords: []string{"Bar", "CAFE"}, K: 3},
+		"explicit similarity": {X: 114.17, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 3, Similarity: "jaccard"},
+		"explicit weight":     {X: 114.17, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 3, Wt: 0.5},
+	}
+	bq, err := e.buildQuery(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range variants {
+		vq, err := e.buildQuery(v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !qcache.EqualQueries(bq, vq) {
+			t.Errorf("%s: canonical queries differ: %+v vs %+v", name, bq, vq)
+		}
+		if qcache.HashQuery(bq) != qcache.HashQuery(vq) {
+			t.Errorf("%s: canonical queries hash apart", name)
+		}
+	}
+
+	// Genuinely different questions must keep distinct keys.
+	for name, d := range map[string]Query{
+		"similarity": {X: 114.17, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 3, Similarity: "dice"},
+		"k":          {X: 114.17, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 4},
+		"weight":     {X: 114.17, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 3, Wt: 0.7},
+		"keywords":   {X: 114.17, Y: 22.30, Keywords: []string{"bar", "wifi"}, K: 3},
+		"location":   {X: 114.18, Y: 22.30, Keywords: []string{"bar", "cafe"}, K: 3},
+	} {
+		dq, err := e.buildQuery(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if qcache.EqualQueries(bq, dq) {
+			t.Errorf("distinct %s compared equal", name)
+		}
+	}
+
+	// End to end: every variant must be served from the entry the base
+	// query filled — same key, same epoch, so all of them hit.
+	want, err := e.TopK(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats().Cache.Hits
+	for name, v := range variants {
+		got, err := e.TopK(v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				t.Fatalf("%s rank %d: (%d, %v), want (%d, %v)",
+					name, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	}
+	if hits := e.Stats().Cache.Hits - before; hits < int64(len(variants)) {
+		t.Fatalf("variants hit the cache %d times, want %d", hits, len(variants))
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	yaskd [-addr :8080] [-data hotels.json] [-session-ttl 30m]
 //	      [-shards 4] [-splitter str] [-rebalance-factor 1.5]
-//	      [-signatures=false] [-data-dir ./yask-data] [-fsync always]
+//	      [-signatures=false] [-cache=off] [-cache-entries 4096]
+//	      [-cache-bytes 67108864] [-data-dir ./yask-data] [-fsync always]
 //	      [-fsync-interval 100ms] [-checkpoint-every 1000]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
@@ -27,6 +28,18 @@
 // layer baked into the index arenas; answers are byte-identical either
 // way, and the live hit rate (sigHitRate, plus per-shard probe/hit
 // counters) is reported on GET /api/stats.
+//
+// The epoch-keyed result cache is on by default: repeated queries
+// against an unchanged snapshot are answered from memory, and every
+// refresh/rebalance/recovery silently orphans stale entries, so answers
+// never change. -cache=off disables it; -cache-entries and -cache-bytes
+// bound it (0 = defaults: 4096 entries, 64 MiB). Live hit rate and
+// sizes are in the cache section of GET /api/stats.
+//
+// GET /api/subscribe registers a continuous top-k query (parameters
+// x, y, k, keywords, and optional wt/similarity in the URL) and streams
+// result updates as server-sent events; see the README for a curl
+// example.
 //
 // -data-dir enables crash-safe durability: every accepted insert and
 // remove is appended to a write-ahead log in that directory before it
@@ -67,6 +80,9 @@ func main() {
 	splitter := flag.String("splitter", "grid", "sharding strategy: grid (uniform grid over the data space) or str (sort-tile-recursive packing of a data sample; balances skewed datasets)")
 	rebalance := flag.Float64("rebalance-factor", 0, "enable online shard rebalancing when the max/mean shard population ratio exceeds this factor (must be > 1; 0 disables)")
 	signatures := flag.Bool("signatures", true, "enable the keyword-signature pruning layer (constant-time bitmap bounds before exact keyword merge-walks; identical answers either way)")
+	cache := flag.String("cache", "on", "epoch-keyed result cache: on or off (identical answers either way)")
+	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound (0 = 4096)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte bound (0 = 64 MiB)")
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints; empty runs memory-only")
 	fsync := flag.String("fsync", "always", "WAL acknowledgement policy: always (fsync before every mutation returns), interval (fsync on a timer), or none (leave flushing to the OS)")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "flush period of -fsync interval (0 = 100ms default)")
@@ -79,10 +95,15 @@ func main() {
 	if *rebalance != 0 && *rebalance <= 1 {
 		log.Fatalf("-rebalance-factor %v must exceed 1 (max/mean imbalance is never below 1)", *rebalance)
 	}
+	if *cache != "on" && *cache != "off" {
+		log.Fatalf("unknown -cache %q (want on or off)", *cache)
+	}
 	opts := yask.EngineOptions{
 		Shards: *shards, Splitter: *splitter, RebalanceFactor: *rebalance,
 		DisableSignatures: !*signatures,
-		DataDir:           *dataDir, Fsync: *fsync,
+		DisableCache:      *cache == "off",
+		CacheEntries:      *cacheEntries, CacheBytes: *cacheBytes,
+		DataDir: *dataDir, Fsync: *fsync,
 		FsyncInterval: *fsyncInterval, CheckpointEvery: *checkpointEvery,
 	}
 	var (
@@ -107,6 +128,11 @@ func main() {
 	} else {
 		log.Printf("keyword-signature pruning disabled (-signatures=false): exact keyword merge-walks on every textual evaluation")
 	}
+	if c := engine.Stats().Cache; c != nil {
+		log.Printf("result cache enabled (epoch-keyed; hit rate on GET /api/stats); continuous queries on GET /api/subscribe")
+	} else {
+		log.Printf("result cache disabled (-cache=off): every query re-traverses the indexes")
+	}
 	if d := engine.Stats().Durability; d != nil {
 		log.Printf("durability on: %s (fsync %s, %d records replayed, checkpoint at LSN %d)",
 			d.Dir, d.Fsync, d.ReplayedRecords, d.LastCheckpoint)
@@ -118,7 +144,10 @@ func main() {
 		Handler: srv,
 		// A slow or stalled client must not pin a connection (and its
 		// goroutine) forever; the write timeout also bounds the largest
-		// batch response we'll stream.
+		// batch response we'll stream. The /api/subscribe handler clears
+		// its own write deadline — long-lived event streams are its
+		// point — and relies on the engine's slow-client disconnect
+		// instead.
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

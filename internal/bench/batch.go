@@ -176,5 +176,9 @@ func MeasureReportMode(scale Scale, mode SigMode) Report {
 	// the zero-alloc warm query path of a durable engine.
 	addDurabilityMetrics(scale, add)
 
+	// Result cache: cache on/off latency over a Zipfian repeat stream,
+	// hit rate, and the zero-alloc hit path.
+	addCacheMetrics(scale, add)
+
 	return rep
 }

@@ -94,11 +94,15 @@ func NewEnvSig(n int, signatures bool) *Env {
 		panic(err)
 	}
 	env := &Env{
-		DS:     ds,
-		Set:    settree.BuildWith(ds.Objects, rtree.DefaultMaxEntries, signatures),
-		Kc:     kcrtree.BuildWith(ds.Objects, rtree.DefaultMaxEntries, signatures),
-		Ir:     irtree.Build(ds.Objects, ds.Vocab.Len(), rtree.DefaultMaxEntries),
-		Engine: core.NewEngine(ds.Objects, core.Options{DisableSignatures: !signatures}),
+		DS:  ds,
+		Set: settree.BuildWith(ds.Objects, rtree.DefaultMaxEntries, signatures),
+		Kc:  kcrtree.BuildWith(ds.Objects, rtree.DefaultMaxEntries, signatures),
+		Ir:  irtree.Build(ds.Objects, ds.Vocab.Len(), rtree.DefaultMaxEntries),
+		// The experiments over this engine measure index traversal and
+		// executor scheduling; the result cache would short-circuit every
+		// repeated query, so it stays off here. E14 builds its own
+		// cache-enabled engine to measure exactly that effect.
+		Engine: core.NewEngine(ds.Objects, core.Options{DisableSignatures: !signatures, DisableCache: true}),
 	}
 	env.Ir.SetSignatures(signatures)
 	return env

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// e14Distinct returns the distinct-query pool size for the cache
+// experiment. Full scale is the issue-shaped setting (10k distinct
+// queries); quick keeps the cache-off baseline affordable while
+// preserving the same draws/distinct ratio, so the hit rate — and
+// therefore the speedup shape — match the full run.
+func e14Distinct(s Scale) int {
+	if s == Full {
+		return 10_000
+	}
+	return 2_000
+}
+
+// e14Stream draws the shared Zipfian request stream: `draws` ranks over
+// a pool of `distinct` queries with exponent s≈1.1 — the repeat-heavy
+// shape of production query traffic. Both engines replay the identical
+// sequence, so the comparison isolates the cache.
+func e14Stream(distinct, draws int) []int {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed+2)), 1.1, 1, uint64(distinct-1))
+	stream := make([]int, draws)
+	for i := range stream {
+		stream[i] = int(z.Uint64())
+	}
+	return stream
+}
+
+// e14Engines builds the cached/uncached engine pair over one dataset.
+// The cached engine's entry bound is sized to hold the whole distinct
+// pool: the experiment measures the hit path, not the eviction policy
+// (which has its own unit and property tests), so capacity pressure
+// would only add noise.
+func e14Engines(ds *dataset.Dataset, distinct int) (cached, plain *core.Engine) {
+	cached = core.NewEngine(ds.Objects, core.Options{CacheEntries: 2 * distinct})
+	plain = core.NewEngine(ds.Objects, core.Options{DisableCache: true})
+	return cached, plain
+}
+
+// e14Replay runs the stream against one engine and returns the mean
+// per-draw latency.
+func e14Replay(eng *core.Engine, qs []score.Query, stream []int) time.Duration {
+	var buf []score.Result
+	d := timeIt(func() {
+		for _, i := range stream {
+			var err error
+			if buf, err = eng.TopKAppend(qs[i], buf[:0]); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return d / time.Duration(len(stream))
+}
+
+// RunE14Cache regenerates experiment E14: the epoch-keyed result cache
+// under Zipfian repeat traffic. Both rows replay the same request
+// stream; the cache-on row pays the index traversal once per distinct
+// query and answers every repeat from the cache, so its mean latency
+// approaches miss-cost × (1 − hit rate). The closing line is the gated
+// guarantee: a cache hit allocates nothing.
+func RunE14Cache(w io.Writer, scale Scale) {
+	n, distinct := scale.baseN(), e14Distinct(scale)
+	draws := 10 * distinct
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		panic(err)
+	}
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: distinct, Seed: seed + 1, K: 10, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	stream := e14Stream(distinct, draws)
+	cached, plain := e14Engines(ds, distinct)
+
+	fmt.Fprintf(w, "E14 — result cache under Zipfian traffic (N=%d, %d distinct queries, %d draws, s=1.1, %s scale)\n",
+		n, distinct, draws, scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "cache\tµs/query\thit rate\tspeedup\t")
+
+	offTime := e14Replay(plain, qs, stream)
+	fmt.Fprintf(tw, "off\t%s\t\t1.0x\t\n", us(offTime))
+
+	onTime := e14Replay(cached, qs, stream)
+	st := cached.Stats().Cache
+	fmt.Fprintf(tw, "on\t%s\t%.3f\t%.1fx\t\n",
+		us(onTime), st.HitRate, float64(offTime)/float64(onTime))
+	tw.Flush()
+
+	// Warm pass: every draw hits, and a hit must not allocate.
+	allocs := testing.AllocsPerRun(5, func() {
+		var buf []score.Result
+		for _, i := range stream[:distinct] {
+			buf, _ = cached.TopKAppend(qs[i], buf[:0])
+		}
+	}) / float64(distinct)
+	fmt.Fprintf(w, "warm hit path: %.0f allocs/op (entries %d, %d KiB)\n",
+		allocs, st.Entries, st.Bytes/1024)
+}
+
+// addCacheMetrics emits the e14 rows of the machine-readable report:
+// cache-off vs cache-on mean latency over the shared Zipfian stream,
+// the resulting speedup and hit rate, and the gated zero-allocation
+// guarantee of the hit path.
+func addCacheMetrics(scale Scale, add func(name string, value float64, unit string)) {
+	n, distinct := scale.baseN(), e14Distinct(scale)
+	draws := 10 * distinct
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		panic(err)
+	}
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: distinct, Seed: seed + 1, K: 10, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	stream := e14Stream(distinct, draws)
+	cached, plain := e14Engines(ds, distinct)
+
+	offTime := e14Replay(plain, qs, stream)
+	add("e14/topk/cache=off", float64(offTime.Nanoseconds()), "ns/op")
+	onTime := e14Replay(cached, qs, stream)
+	add("e14/topk/cache=on", float64(onTime.Nanoseconds()), "ns/op")
+	add("e14/speedup", float64(offTime)/float64(onTime), "x")
+	add("e14/hitrate", cached.Stats().Cache.HitRate, "ratio")
+
+	// One warm sub-stream pass, all hits: the allocs row the bench-smoke
+	// gate holds at zero.
+	var buf []score.Result
+	allocs := testing.AllocsPerRun(5, func() {
+		for _, i := range stream[:distinct] {
+			buf, _ = cached.TopKAppend(qs[i], buf[:0])
+		}
+	}) / float64(distinct)
+	add("e14/allocs/hit", allocs, "allocs/op")
+}

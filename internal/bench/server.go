@@ -131,4 +131,5 @@ var Experiments = []struct {
 	{"e11", "skew-aware sharding", RunE11Skew},
 	{"e12", "keyword-signature pruning", RunE12Signatures},
 	{"e13", "durability cost", RunE13Durability},
+	{"e14", "result cache under Zipfian traffic", RunE14Cache},
 }

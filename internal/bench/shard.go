@@ -19,7 +19,7 @@ var shardCounts = []int{1, 2, 4, 8}
 // wall time over qs — the one measurement both the E10 table and the
 // JSON baseline rows are derived from, so they can never desynchronize.
 func measureShard(env *Env, qs []score.Query, shards int) (topk, batch time.Duration) {
-	eng := core.NewEngine(env.DS.Objects, core.Options{Shards: shards})
+	eng := core.NewEngine(env.DS.Objects, core.Options{Shards: shards, DisableCache: true})
 	// Warm the per-shard scratch pools before timing.
 	for _, q := range qs[:4] {
 		if _, err := eng.TopK(q); err != nil {

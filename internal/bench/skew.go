@@ -91,10 +91,10 @@ func measureSkew(scale Scale) []skewRow {
 	})
 
 	grid := core.NewEngine(cloneObjects(ds.Objects), core.Options{
-		Shards: skewShards, Splitter: shard.GridSplitter{},
+		Shards: skewShards, Splitter: shard.GridSplitter{}, DisableCache: true,
 	})
 	str := core.NewEngine(cloneObjects(ds.Objects), core.Options{
-		Shards: skewShards, Splitter: shard.STRSplitter{}, RefreshEvery: 1 << 20,
+		Shards: skewShards, Splitter: shard.STRSplitter{}, RefreshEvery: 1 << 20, DisableCache: true,
 	})
 	rows := []skewRow{
 		measureSkewRow("grid", grid, qs),

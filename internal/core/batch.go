@@ -8,6 +8,7 @@ import (
 
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/qcache"
 	"github.com/yask-engine/yask/internal/score"
 )
 
@@ -81,6 +82,12 @@ func RunBatch(n, workers int, job func(i int)) {
 // score bound, letting a unit that starts late prune against the best
 // k-th score its siblings have proven. A final per-query merge pass
 // gathers partition results exactly.
+//
+// Before any index work, every query is resolved against the result
+// cache, and the remaining misses are deduplicated: identical queries
+// in one batch (the canonical key makes "identical" mean semantically
+// identical) hit the index exactly once, with followers receiving their
+// own copy of the leader's answer.
 func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Result, error) {
 	for i := range qs {
 		if err := qs[i].Validate(); err != nil {
@@ -93,28 +100,72 @@ func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Resul
 	if err != nil {
 		return nil, err
 	}
-	parts := sn.Parts()
+	epoch := sn.Epoch()
 	out := make([][]score.Result, len(qs))
-	if parts == 1 {
-		RunBatch(len(qs), opts.Workers, func(i int) {
-			out[i] = sn.TopK(setScorer(sn, qs[i]), qs[i].K, nil, nil)
-		})
-		return out, nil
+
+	// Resolve-and-dedupe: each query becomes a cache hit, the leader of
+	// its equality class, or a follower of an earlier leader.
+	const resolved = -1          // answered from cache
+	const leader = -2            // computes its own answer
+	role := make([]int, len(qs)) // resolved, leader, or the leader's index
+	leaders := make([]int, 0, len(qs))
+	byHash := make(map[uint64][]int)
+	for i := range qs {
+		if res, ok := e.cache.GetTopK(epoch, qs[i], nil); ok {
+			out[i] = res
+			role[i] = resolved
+			continue
+		}
+		h := qcache.HashQuery(qs[i])
+		role[i] = leader
+		for _, j := range byHash[h] {
+			if qcache.EqualQueries(qs[i], qs[j]) {
+				role[i] = j
+				break
+			}
+		}
+		if role[i] == leader {
+			byHash[h] = append(byHash[h], i)
+			leaders = append(leaders, i)
+		}
 	}
 
-	// Scatter phase: the (job × partition) grid, unit u = (u/parts)-th
-	// query on the (u%parts)-th shard.
-	partial := make([][]score.Result, len(qs)*parts)
-	bounds := make([]index.Bound, len(qs))
-	RunBatch(len(qs)*parts, opts.Workers, func(u int) {
-		i, p := u/parts, u%parts
-		partial[u] = sn.TopKPart(p, setScorer(sn, qs[i]), qs[i].K, &bounds[i], nil)
-	})
-	// Gather phase: exact per-query k-merge, itself fanned over the pool
-	// so it does not become a serial tail.
-	RunBatch(len(qs), opts.Workers, func(i int) {
-		out[i] = index.MergeTopK(partial[i*parts:(i+1)*parts], qs[i].K, nil)
-	})
+	parts := sn.Parts()
+	switch {
+	case len(leaders) == 0:
+		// Whole batch served from cache.
+	case parts == 1:
+		RunBatch(len(leaders), opts.Workers, func(li int) {
+			i := leaders[li]
+			out[i] = e.topKOn(sn, qs[i], nil)
+		})
+	default:
+		// Scatter phase: the (leader × partition) grid, unit
+		// u = (u/parts)-th leader on the (u%parts)-th shard.
+		partial := make([][]score.Result, len(leaders)*parts)
+		bounds := make([]index.Bound, len(leaders))
+		RunBatch(len(leaders)*parts, opts.Workers, func(u int) {
+			li, p := u/parts, u%parts
+			i := leaders[li]
+			partial[u] = sn.TopKPart(p, setScorer(sn, qs[i]), qs[i].K, &bounds[li], nil)
+		})
+		// Gather phase: exact per-leader k-merge, itself fanned over the
+		// pool so it does not become a serial tail; each merged answer is
+		// stored for future repeats.
+		RunBatch(len(leaders), opts.Workers, func(li int) {
+			i := leaders[li]
+			out[i] = index.MergeTopK(partial[li*parts:(li+1)*parts], qs[i].K, nil)
+			e.cache.PutTopK(epoch, qs[i], out[i])
+		})
+	}
+
+	// Followers get their own copy of the leader's answer, so every
+	// returned slice is independently caller-owned.
+	for i, r := range role {
+		if r >= 0 {
+			out[i] = append([]score.Result(nil), out[r]...)
+		}
+	}
 	return out, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/kcrtree"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/qcache"
 	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 	"github.com/yask-engine/yask/internal/settree"
@@ -92,6 +93,15 @@ type Engine struct {
 	// signatures records whether the keyword-signature pruning layer is
 	// active (Options.DisableSignatures inverted), for stats reporting.
 	signatures bool
+	// cache is the epoch-keyed result cache; nil when disabled. Answers
+	// are keyed by the SetR-family epoch of the snapshot they were
+	// computed against — both families always republish together under
+	// epochMu, so that epoch uniquely identifies the engine's whole
+	// published state.
+	cache *qcache.Cache
+	// subs manages continuous top-k subscriptions; re-evaluation is
+	// kicked after every published epoch.
+	subs *subManager
 	// dur is the durability state (nil for a memory-only engine). Set
 	// once by Open before the engine is shared; the mutation path reads
 	// it under mu.
@@ -159,6 +169,16 @@ type Options struct {
 	// (0, 1] panic, because every non-empty layout has imbalance ≥ 1
 	// and the engine would rebalance forever. Ignored for Shards ≤ 1.
 	RebalanceFactor float64
+	// CacheEntries and CacheBytes bound the epoch-keyed result cache
+	// (entry count and approximate retained bytes); zero selects the
+	// qcache defaults. DisableCache turns the cache off entirely — the
+	// ablation and escape hatch, mirroring DisableSignatures. The cache
+	// never changes answers: entries are keyed by the epoch identity of
+	// the published snapshot they were computed against, so any publish
+	// (refresh, rebalance, recovery) silently orphans stale entries.
+	CacheEntries int
+	CacheBytes   int64
+	DisableCache bool
 
 	// DataDir enables durability (via Open, not NewEngine): the
 	// directory holding the engine's WAL segments and checkpoint files.
@@ -210,6 +230,10 @@ func NewEngine(c *object.Collection, opts Options) *Engine {
 		rebalanceFactor: opts.RebalanceFactor,
 		signatures:      !opts.DisableSignatures,
 	}
+	if !opts.DisableCache {
+		e.cache = qcache.New(opts.CacheEntries, opts.CacheBytes)
+	}
+	e.subs = newSubManager(e)
 	if opts.Shards > 1 {
 		e.group = shard.NewGroup(c, opts.Shards, opts.Splitter, []index.Builder{
 			settree.BuilderWith(maxE, e.signatures),
@@ -323,6 +347,7 @@ func (e *Engine) Insert(o object.Object) (object.ID, error) {
 		}
 	}
 	id := e.applyInsertLocked(o)
+	e.subs.noteInsert(e.coll.Get(id))
 	e.bumpPendingLocked()
 	e.maybeRebalanceLocked()
 	e.maybeCheckpointLocked()
@@ -377,6 +402,7 @@ func (e *Engine) Remove(id object.ID) error {
 		}
 	}
 	e.applyRemoveLocked(id)
+	e.subs.noteRemove(id)
 	e.bumpPendingLocked()
 	e.maybeRebalanceLocked()
 	e.maybeCheckpointLocked()
@@ -462,6 +488,25 @@ func (e *Engine) refreshLocked() {
 	e.epochMu.Unlock()
 	e.pending = 0
 	e.lastRefresh = time.Now()
+	e.postPublishLocked()
+}
+
+// postPublishLocked runs after every epoch publication (refresh or
+// rebalance), still under the mutation lock: it reclaims result-cache
+// entries orphaned by the old epoch and hands the new snapshot plus the
+// closed mutation window to the subscription manager. Both are
+// off-query-path bookkeeping; subscription evaluation itself runs on
+// the manager's drain goroutine.
+func (e *Engine) postPublishLocked() {
+	if e.cache == nil && e.subs == nil {
+		return
+	}
+	sn, err := e.acquireSet()
+	if err != nil {
+		return
+	}
+	e.cache.PurgeBelow(sn.Epoch())
+	e.subs.kick(sn)
 }
 
 // rebalanceHeadroom is how much the imbalance must grow past the last
@@ -521,6 +566,7 @@ func (e *Engine) rebalanceLocked() {
 	e.epochMu.Unlock()
 	e.pending = 0
 	e.lastRefresh = time.Now()
+	e.postPublishLocked()
 	// Whatever imbalance survived the re-split is irreducible for the
 	// current data; don't burn rebuilds re-attempting it until the
 	// distribution actually drifts further.
@@ -617,9 +663,27 @@ type EngineStats struct {
 	SigHitRate float64 `json:"sigHitRate"`
 	// PerShard has one row per shard (one row for the single backend).
 	PerShard []ShardStats `json:"perShard"`
+	// Cache reports the epoch-keyed result cache; nil when disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Subscriptions reports the continuous-query counters.
+	Subscriptions *SubscriptionStats `json:"subscriptions,omitempty"`
 	// Durability reports the WAL/checkpoint state; nil for a memory-only
 	// engine.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// CacheStats is the result cache's row of EngineStats.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	// HitRate is Hits / (Hits + Misses), 0 before any lookup.
+	HitRate   float64 `json:"hitRate"`
+	Evictions int64   `json:"evictions"`
+	// OrphanedEpochs counts epochs that still held entries when a
+	// publish-triggered purge dropped them.
+	OrphanedEpochs int64 `json:"orphanedEpochs"`
 }
 
 // Stats reports the engine's execution statistics.
@@ -633,6 +697,22 @@ func (e *Engine) Stats() EngineStats {
 		Signatures: e.signatures,
 	}
 	st.Durability = e.durabilityStats()
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		st.Cache = &CacheStats{
+			Entries:        cs.Entries,
+			Bytes:          cs.Bytes,
+			Hits:           cs.Hits,
+			Misses:         cs.Misses,
+			HitRate:        cs.HitRate(),
+			Evictions:      cs.Evictions,
+			OrphanedEpochs: cs.OrphanedEpochs,
+		}
+	}
+	if e.subs != nil {
+		ss := e.subs.stats()
+		st.Subscriptions = &ss
+	}
 	if e.group == nil {
 		if st.Live > 0 {
 			st.ImbalanceFactor = 1
@@ -701,14 +781,39 @@ func (st *EngineStats) finishSigTotals() {
 
 // TopK answers a spatial keyword top-k query (Definition 1).
 func (e *Engine) TopK(q score.Query) ([]score.Result, error) {
+	return e.TopKAppend(q, nil)
+}
+
+// TopKAppend is TopK appending into a caller-owned buffer — the
+// allocation-free warm path: on a result-cache hit the cached entry is
+// copied straight into dst (zero allocations once dst has capacity),
+// and on a miss the index search itself appends into dst and the
+// freshly computed answer is stored for the next repeat.
+func (e *Engine) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return dst, err
 	}
 	sn, err := e.acquireSet()
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	return sn.TopK(setScorer(sn, q), q.K, nil, nil), nil
+	return e.topKOn(sn, q, dst), nil
+}
+
+// topKOn answers q against the acquired snapshot through the result
+// cache: epoch-keyed hit, or compute-and-store. Results append to dst.
+// Shared by the single-query path, the batch executor, and the
+// subscription evaluator, so every repeat of a query — wherever it
+// comes from — lands on the same entry.
+func (e *Engine) topKOn(sn index.Snapshot, q score.Query, dst []score.Result) []score.Result {
+	epoch := sn.Epoch()
+	if res, ok := e.cache.GetTopK(epoch, q, dst); ok {
+		return res
+	}
+	base := len(dst)
+	dst = sn.TopK(setScorer(sn, q), q.K, nil, dst)
+	e.cache.PutTopK(epoch, q, dst[base:])
+	return dst
 }
 
 // Rank returns the 1-based rank of an object under the query.
@@ -726,7 +831,14 @@ func (e *Engine) Rank(q score.Query, id object.ID) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return index.RankOf(sn, setScorer(sn, q), e.coll.Get(id)), nil
+	epoch := sn.Epoch()
+	extra := [1]uint64{uint64(id)}
+	if v, ok := e.cache.GetValue(epoch, qcache.KindRank, q, extra[:]); ok {
+		return v.(int), nil
+	}
+	rank := index.RankOf(sn, setScorer(sn, q), e.coll.Get(id))
+	e.cache.PutValue(epoch, qcache.KindRank, q, extra[:], rank)
+	return rank, nil
 }
 
 // validateWhyNot checks the common preconditions of the why-not

@@ -5,6 +5,7 @@ import (
 
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/qcache"
 	"github.com/yask-engine/yask/internal/score"
 )
 
@@ -83,6 +84,18 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 	if err != nil {
 		return nil, err
 	}
+	// Cached analyses are keyed on the missing IDs as well as the query;
+	// validation above runs either way, so a hit and a recompute reject
+	// exactly the same inputs. Hits hand out a fresh slice: Explanation
+	// values are plain data the caller may scribble on.
+	epoch := sn.Epoch()
+	extra := make([]uint64, len(missing))
+	for i, id := range missing {
+		extra[i] = uint64(id)
+	}
+	if v, ok := e.cache.GetValue(epoch, qcache.KindExplain, q, extra); ok {
+		return append([]Explanation(nil), v.([]Explanation)...), nil
+	}
 	result := sn.TopK(s, q.K, nil, nil)
 	if len(result) == 0 {
 		return nil, fmt.Errorf("core: initial query has an empty result")
@@ -146,6 +159,7 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 		ex.SuggestKeyword = ex.Reason == ReasonBorderline || farBehindText
 		out[i] = ex
 	}
+	e.cache.PutValue(epoch, qcache.KindExplain, q, extra, append([]Explanation(nil), out...))
 	return out, nil
 }
 

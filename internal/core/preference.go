@@ -7,7 +7,9 @@ import (
 
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/qcache"
 	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
 )
 
 // PreferenceAlgorithm selects the preference-adjustment implementation.
@@ -159,14 +161,40 @@ func (e *Engine) AdjustPreference(q score.Query, missing []object.ID, opts Prefe
 	if err := validateLambda(opts.Lambda); err != nil {
 		return PreferenceResult{}, err
 	}
+	// The options join the missing IDs in the cache key: λ, algorithm,
+	// and grid size all change the refined query. Validation above runs
+	// on hits too, so cached and computed paths reject alike.
+	epoch := v.set.Epoch()
+	extra := make([]uint64, 0, len(missing)+3)
+	for _, id := range missing {
+		extra = append(extra, uint64(id))
+	}
+	extra = append(extra, math.Float64bits(opts.Lambda), uint64(opts.Algorithm), uint64(opts.Samples))
+	if cached, ok := e.cache.GetValue(epoch, qcache.KindPreference, q, extra); ok {
+		return copyPreferenceResult(cached.(PreferenceResult)), nil
+	}
+	var res PreferenceResult
 	switch opts.Algorithm {
 	case PrefSweep, PrefSweepIndexed:
-		return e.adjustBySweep(v, s, objs, rankBefore, opts)
+		res, err = e.adjustBySweep(v, s, objs, rankBefore, opts)
 	case PrefSampling:
-		return e.adjustBySampling(v, s, objs, rankBefore, opts)
+		res, err = e.adjustBySampling(v, s, objs, rankBefore, opts)
 	default:
 		return PreferenceResult{}, fmt.Errorf("core: unknown preference algorithm %d", opts.Algorithm)
 	}
+	if err != nil {
+		return PreferenceResult{}, err
+	}
+	e.cache.PutValue(epoch, qcache.KindPreference, q, extra, copyPreferenceResult(res))
+	return res, nil
+}
+
+// copyPreferenceResult detaches the one shared slice in a
+// PreferenceResult (the refined query's keyword set) so cached values
+// never alias caller-owned memory in either direction.
+func copyPreferenceResult(r PreferenceResult) PreferenceResult {
+	r.Refined.Doc = append(vocab.KeywordSet(nil), r.Refined.Doc...)
+	return r
 }
 
 // prefPenalty evaluates Eqn 3.

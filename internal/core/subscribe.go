@@ -1,0 +1,474 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/index"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/vocab"
+)
+
+// Continuous top-k subscriptions: a registered query is re-evaluated
+// after each published epoch — but only when the epoch's mutation delta
+// could possibly have changed its answer. The engine accumulates, per
+// refresh window, a sound summary of what changed (merged keyword
+// signature, MBR and length range of inserted documents, the removed
+// IDs, whether the normalization constant moved) and each subscription
+// is tested against it:
+//
+//   - the normalization constant changed → every score moved → re-eval;
+//   - a removed object sits in the subscription's current result →
+//     re-eval (removals outside the result cannot change it: scores are
+//     independent and the candidate set only shrank);
+//   - insertions: an upper bound on any inserted object's score —
+//     ws·(1−minSDist(insert MBR)) + wt·SigSimUpperBound over the merged
+//     insert signature — at or below the current k-th score proves no
+//     inserted object can crack the result. Inserted objects always
+//     carry larger IDs than every existing object (dense append order),
+//     so a score tie never displaces an incumbent and the bound may be
+//     compared non-strictly. A result still short of k entries accepts
+//     any insertion, so it always re-evaluates.
+//
+// A skip is only taken when the window's delta provably covers every
+// change since the subscription's previous evaluation (the epoch chain
+// below); every skip is therefore answer-preserving, and a subscriber's
+// view stays byte-identical to polling at every epoch — the equivalence
+// the tests assert.
+
+// maxTrackedRemovals caps the per-window removed-ID list; a window
+// that overflows it re-evaluates every subscription (sound, never
+// wrong, just unprofitable for enormous delete storms).
+const maxTrackedRemovals = 64
+
+// DefaultSubscribeBuffer is the per-subscription update-channel
+// capacity used when SubscribeOptions.Buffer is zero.
+const DefaultSubscribeBuffer = 8
+
+// mutDelta summarizes the mutations of one refresh window.
+type mutDelta struct {
+	inserts int
+	// insSig is the OR of every inserted document's signature; insMBR
+	// the bounding rectangle of inserted locations; insMinLen/insMaxLen
+	// the document length range — together the inputs of the admissible
+	// insertion score bound.
+	insSig    vocab.Signature
+	insMBR    geo.Rect
+	insMinLen int
+	insMaxLen int
+	removed   []object.ID
+	// overflow is set when removed would exceed maxTrackedRemovals; the
+	// window then re-evaluates unconditionally.
+	overflow bool
+}
+
+func (d *mutDelta) noteInsert(o object.Object) {
+	sig := o.Doc.Signature()
+	if d.inserts == 0 {
+		d.insMBR = geo.RectFromPoint(o.Loc)
+		d.insMinLen, d.insMaxLen = len(o.Doc), len(o.Doc)
+	} else {
+		d.insMBR = d.insMBR.UnionPoint(o.Loc)
+		if len(o.Doc) < d.insMinLen {
+			d.insMinLen = len(o.Doc)
+		}
+		if len(o.Doc) > d.insMaxLen {
+			d.insMaxLen = len(o.Doc)
+		}
+	}
+	d.insSig.Merge(&sig)
+	d.inserts++
+}
+
+func (d *mutDelta) noteRemove(id object.ID) {
+	if d.overflow {
+		return
+	}
+	if len(d.removed) >= maxTrackedRemovals {
+		d.overflow = true
+		d.removed = nil
+		return
+	}
+	d.removed = append(d.removed, id)
+}
+
+// Update is one pushed subscription result: the new top-k and the epoch
+// it was computed at.
+type Update struct {
+	Epoch   uint64
+	Results []score.Result
+}
+
+// Subscription is one registered continuous top-k query. Updates are
+// delivered on Updates(); the channel closes when the subscription is
+// cancelled (Close) or force-dropped because the receiver fell behind
+// its buffer (slow-client disconnect).
+type Subscription struct {
+	mgr *subManager
+	id  uint64
+	q   score.Query
+	// qsig is the query's prepared signature, probed against each
+	// window's merged insert signature.
+	qsig vocab.QuerySig
+
+	updates chan Update
+	// sendMu makes (closed-check, send) and (close) mutually exclusive,
+	// so a slow-client drop can never race a send onto a closed channel.
+	sendMu sync.Mutex
+	closed atomic.Bool
+
+	// last is the result of the newest evaluation, lastMaxDist the
+	// normalization constant it was computed under, and lastEpoch the
+	// epoch it answers. Written by Subscribe before registration, then
+	// owned by the manager's serialized drain loop.
+	last        []score.Result
+	lastMaxDist float64
+	lastEpoch   uint64
+}
+
+// Updates returns the receive side of the subscription's update
+// channel. The initial result is delivered as the first update.
+func (s *Subscription) Updates() <-chan Update { return s.updates }
+
+// Query returns the subscribed query.
+func (s *Subscription) Query() score.Query { return s.q }
+
+// Close cancels the subscription and closes its update channel.
+// Closing twice is a no-op.
+func (s *Subscription) Close() { s.mgr.drop(s) }
+
+// trySend delivers u unless the channel is closed (not sent) or full
+// (full=true, the slow-client signal).
+func (s *Subscription) trySend(u Update) (sent, full bool) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed.Load() {
+		return false, false
+	}
+	select {
+	case s.updates <- u:
+		return true, false
+	default:
+		return false, true
+	}
+}
+
+// hasResult reports whether id is in the subscription's current result.
+func (s *Subscription) hasResult(id object.ID) bool {
+	for _, r := range s.last {
+		if r.Obj.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SubscriptionStats are the engine's continuous-query counters.
+type SubscriptionStats struct {
+	// Active is the number of live subscriptions.
+	Active int `json:"active"`
+	// Reevaluated counts full top-k re-evaluations across all epochs and
+	// subscriptions; SigSkipped counts the re-evaluations the mutation
+	// delta prefilter proved unnecessary.
+	Reevaluated int64 `json:"reevaluated"`
+	SigSkipped  int64 `json:"sigSkipped"`
+	// Pushed counts updates actually delivered (changed results).
+	Pushed int64 `json:"pushed"`
+	// Dropped counts slow-client force-disconnects.
+	Dropped int64 `json:"dropped"`
+}
+
+// evalTask is one published epoch awaiting subscription evaluation: the
+// snapshot and the mutation delta of the window it closed.
+type evalTask struct {
+	sn index.Snapshot
+	d  mutDelta
+}
+
+// subManager owns the subscription set, the per-window mutation delta,
+// and the post-publish evaluation queue. Evaluation runs on a single
+// drain goroutine in strict publish order, so the per-window deltas
+// chain exactly: each task's delta is precisely the change set between
+// the previous task's snapshot and its own.
+type subManager struct {
+	e *Engine
+
+	// mu guards subs, nextID, delta, queue, and draining.
+	mu       sync.Mutex
+	subs     map[uint64]*Subscription
+	nextID   uint64
+	delta    mutDelta
+	queue    []evalTask
+	draining bool
+	// drained wakes WaitIdle when the queue empties; tests use it to
+	// observe a quiescent manager.
+	drained *sync.Cond
+
+	// prevEpoch is the snapshot epoch of the last drained task — the
+	// left edge of the next window. Only subscriptions last evaluated
+	// exactly at prevEpoch may use the window's delta to skip; any other
+	// lineage re-evaluates unconditionally. Owned by the drain loop.
+	prevEpoch uint64
+
+	reevaluated atomic.Int64
+	sigSkipped  atomic.Int64
+	pushed      atomic.Int64
+	dropped     atomic.Int64
+}
+
+func newSubManager(e *Engine) *subManager {
+	m := &subManager{e: e, subs: make(map[uint64]*Subscription)}
+	m.drained = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *subManager) noteInsert(o object.Object) {
+	m.mu.Lock()
+	m.delta.noteInsert(o)
+	m.mu.Unlock()
+}
+
+func (m *subManager) noteRemove(id object.ID) {
+	m.mu.Lock()
+	m.delta.noteRemove(id)
+	m.mu.Unlock()
+}
+
+// SubscribeOptions configures one subscription.
+type SubscribeOptions struct {
+	// Buffer is the update-channel capacity; a subscriber that falls
+	// this many undelivered updates behind is force-disconnected (its
+	// channel closes) rather than allowed to stall the engine. Zero
+	// means DefaultSubscribeBuffer.
+	Buffer int
+}
+
+// Subscribe registers a continuous top-k query. The initial result is
+// computed synchronously against the current snapshot and delivered as
+// the first update; afterwards the engine re-evaluates the query after
+// each published epoch whose mutation delta could have changed the
+// answer, pushing an update whenever the result actually changed.
+func (e *Engine) Subscribe(q score.Query, opts SubscribeOptions) (*Subscription, error) {
+	if e.subs == nil {
+		return nil, errors.New("core: engine built without subscription support")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = DefaultSubscribeBuffer
+	}
+	sn, err := e.acquireSet()
+	if err != nil {
+		return nil, err
+	}
+	m := e.subs
+	sub := &Subscription{
+		mgr:         m,
+		q:           q,
+		qsig:        vocab.NewQuerySig(q.Doc),
+		updates:     make(chan Update, buffer),
+		lastMaxDist: sn.MaxDist(),
+		lastEpoch:   sn.Epoch(),
+	}
+	sub.last = e.topKOn(sn, q, nil)
+	// Deliver the initial result before registering: the buffered
+	// channel is empty so the send always fits, and registration
+	// ordering guarantees no evaluation update can precede it.
+	sub.updates <- Update{Epoch: sn.Epoch(), Results: append([]score.Result(nil), sub.last...)}
+
+	m.mu.Lock()
+	m.nextID++
+	sub.id = m.nextID
+	m.subs[sub.id] = sub
+	m.mu.Unlock()
+	return sub, nil
+}
+
+// drop removes the subscription and closes its channel (idempotent).
+func (m *subManager) drop(s *Subscription) {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	m.mu.Lock()
+	delete(m.subs, s.id)
+	m.mu.Unlock()
+	// Close under sendMu so an in-flight trySend either completes first
+	// or observes the closed flag.
+	s.sendMu.Lock()
+	close(s.updates)
+	s.sendMu.Unlock()
+}
+
+// active returns the current subscription list.
+func (m *subManager) active() []*Subscription {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Subscription, 0, len(m.subs))
+	for _, s := range m.subs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// kick is called after each published epoch, under the engine's
+// mutation lock: it captures and resets the window's mutation delta and
+// enqueues the (snapshot, delta) pair for the drain loop. With no
+// subscribers the delta is dropped — the epoch chain breaks, and the
+// next evaluated window simply re-evaluates instead of skipping.
+func (m *subManager) kick(sn index.Snapshot) {
+	m.mu.Lock()
+	d := m.delta
+	m.delta = mutDelta{}
+	if len(m.subs) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, evalTask{sn: sn, d: d})
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	m.mu.Unlock()
+	go m.drain()
+}
+
+// drain processes queued epochs in publish order until the queue is
+// empty. At most one drain goroutine exists at a time.
+func (m *subManager) drain() {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 {
+			m.draining = false
+			m.drained.Broadcast()
+			m.mu.Unlock()
+			return
+		}
+		t := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.evaluate(t.sn, &t.d)
+	}
+}
+
+// WaitIdle blocks until the evaluation queue is empty and no drain is
+// running — the point where every published epoch has been applied to
+// every subscription. Tests synchronize on it.
+func (m *subManager) WaitIdle() {
+	m.mu.Lock()
+	for m.draining || len(m.queue) > 0 {
+		m.drained.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// needsEval decides whether the window's delta could have changed the
+// subscription's answer; every false is a proof the previous result is
+// still byte-identical to a fresh evaluation against sn.
+func (m *subManager) needsEval(s *Subscription, sn index.Snapshot, d *mutDelta) bool {
+	// The delta only describes the window (prevEpoch, sn.Epoch()]; a
+	// subscription last evaluated anywhere else (registered mid-window,
+	// or registered while no drain chain was running) re-evaluates.
+	if s.lastEpoch != m.prevEpoch {
+		return true
+	}
+	if d.overflow {
+		return true
+	}
+	// The normalization constant moving rescales every score.
+	if sn.MaxDist() != s.lastMaxDist {
+		return true
+	}
+	for _, id := range d.removed {
+		if s.hasResult(id) {
+			return true
+		}
+	}
+	if d.inserts == 0 {
+		return false
+	}
+	// A short result accepts any insertion.
+	if len(s.last) < s.q.K {
+		return true
+	}
+	// Admissible score upper bound over every inserted object.
+	sc := setScorer(sn, s.q)
+	mBound := s.qsig.IntersectBound(&d.insSig)
+	tsimUB := score.SigSimUpperBound(s.q.Sim, mBound, d.insMinLen, d.insMaxLen, 0, len(s.q.Doc))
+	bound := s.q.W.Ws*(1-sc.SDistRectMin(d.insMBR)) + s.q.W.Wt*tsimUB
+	kth := s.last[len(s.last)-1].Score
+	// Ties lose: inserted IDs exceed every incumbent's, so only a
+	// strictly better score can displace the k-th result.
+	return bound > kth
+}
+
+// sameResults reports whether two result lists are identical in
+// (ID, score) order.
+func sameResults(a, b []score.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Obj.ID != b[i].Obj.ID || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluate runs one window: each subscription is either proven
+// unchanged (skip) or re-evaluated, and changed results are pushed. A
+// subscriber whose buffer is full is force-dropped rather than waited
+// on.
+func (m *subManager) evaluate(sn index.Snapshot, d *mutDelta) {
+	epoch := sn.Epoch()
+	for _, s := range m.active() {
+		if s.closed.Load() || s.lastEpoch >= epoch {
+			continue
+		}
+		if !m.needsEval(s, sn, d) {
+			m.sigSkipped.Add(1)
+			s.lastEpoch = epoch
+			continue
+		}
+		m.reevaluated.Add(1)
+		res := m.e.topKOn(sn, s.q, nil)
+		changed := !sameResults(s.last, res)
+		s.last = res
+		s.lastMaxDist = sn.MaxDist()
+		s.lastEpoch = epoch
+		if !changed {
+			continue
+		}
+		sent, full := s.trySend(Update{Epoch: epoch, Results: append([]score.Result(nil), res...)})
+		switch {
+		case sent:
+			m.pushed.Add(1)
+		case full:
+			// Slow client: its buffer is full. Dropping the subscription
+			// (and closing the channel) is the disconnect signal.
+			m.dropped.Add(1)
+			m.drop(s)
+		}
+	}
+	m.prevEpoch = epoch
+}
+
+// stats snapshots the counters.
+func (m *subManager) stats() SubscriptionStats {
+	m.mu.Lock()
+	active := len(m.subs)
+	m.mu.Unlock()
+	return SubscriptionStats{
+		Active:      active,
+		Reevaluated: m.reevaluated.Load(),
+		SigSkipped:  m.sigSkipped.Load(),
+		Pushed:      m.pushed.Load(),
+		Dropped:     m.dropped.Load(),
+	}
+}

@@ -39,6 +39,14 @@ type Snapshot interface {
 	// buffered: the constant and the arena always agree.
 	MaxDist() float64
 
+	// Epoch is the process-wide identity of this published state, drawn
+	// from the rtree epoch counter at publication. Two snapshots with
+	// equal epochs are the same immutable state, so any answer computed
+	// against one is valid for the other — the invariant result caches
+	// key on. Refresh, rebalance, and recovery all publish new epochs,
+	// silently orphaning entries keyed to old ones.
+	Epoch() uint64
+
 	// Parts reports how many independently queryable partitions back the
 	// snapshot: 1 for a single arena, the shard count for a sharded
 	// composite. Batch executors schedule (job × part) work units.

@@ -1,0 +1,485 @@
+// Package qcache is the epoch-keyed result cache: a sharded, bounded
+// LRU mapping (epoch identity, canonical query key) to computed
+// answers. Every answer the engine produces is a pure function of the
+// published snapshot it was computed against, and each published state
+// carries a process-wide unique epoch (rtree.NextEpoch), so an entry
+// keyed by the epoch it was computed at can never go stale: a refresh,
+// rebalance, or recovery publishes a new epoch and silently orphans the
+// old entries. Invalidation is free — eviction is the only policy.
+//
+// The canonical query key is the query itself: keyword sets are interned
+// in sorted, deduplicated form at the API boundary (vocab.InternSet via
+// yask.buildQuery), weights and similarity are defaulted in exactly one
+// place, so semantically identical requests compare equal here. Hashes
+// mix every scoring-relevant field; hits verify full equality, so a
+// hash collision degrades to a miss, never a wrong answer.
+//
+// The top-k hit path is allocation-free: cached results are immutable
+// slices copied into the caller-owned destination buffer, in the
+// TopKAppend shape the index arenas use.
+package qcache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// Kind discriminates what operation an entry answers; it is part of the
+// key so a rank and a top-k for the same query never collide.
+type Kind uint8
+
+const (
+	// KindTopK entries hold a top-k result list.
+	KindTopK Kind = iota
+	// KindRank entries hold a 1-based rank.
+	KindRank
+	// KindExplain entries hold a why-not explanation set.
+	KindExplain
+	// KindPreference entries hold a preference-adjustment answer.
+	KindPreference
+)
+
+const (
+	// numShards spreads lock contention; power of two so the shard pick
+	// is a mask.
+	numShards = 16
+
+	// DefaultEntries and DefaultBytes are the bounds used when the
+	// caller passes zero: generous enough for repeat-heavy traffic,
+	// small enough to be invisible next to the index arenas.
+	DefaultEntries = 4096
+	DefaultBytes   = 64 << 20
+
+	// entryOverheadBytes approximates the fixed cost of one entry (the
+	// entry struct, its map slot, and LRU links) for the byte bound.
+	entryOverheadBytes = 192
+	// payloadBytes is the flat byte charge for an opaque non-top-k
+	// payload; the bound is an eviction heuristic, not an accountant.
+	payloadBytes = 512
+)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// entry is one cached answer, a member of exactly one shard's map and
+// LRU list. All fields are immutable after insertion except the links.
+type entry struct {
+	epoch uint64
+	kind  Kind
+	hash  uint64
+
+	// The full canonical query plus any operation-specific discriminator
+	// (object IDs, option bits), kept for collision-safe verification.
+	q     score.Query
+	extra []uint64
+
+	// results is the top-k payload (KindTopK); value carries every other
+	// kind's answer, boxed once at insertion so hits never allocate.
+	results []score.Result
+	value   any
+
+	bytes      int64
+	prev, next *entry
+}
+
+// shard is one lock-striped segment: a hash map over entries plus an
+// intrusive LRU list (head = most recent).
+type shard struct {
+	mu         sync.Mutex
+	m          map[uint64]*entry
+	head, tail *entry
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+}
+
+// Cache is the sharded, bounded, epoch-keyed LRU. The zero value is not
+// usable; construct with New. A nil *Cache is a valid disabled cache:
+// every lookup misses and every insert is dropped, so callers wire it
+// through unconditionally.
+type Cache struct {
+	shards [numShards]shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	// orphaned counts epochs that still held entries when a purge
+	// dropped them — how often published state turned over with cached
+	// answers outstanding.
+	orphaned atomic.Int64
+}
+
+// New returns a cache bounded by maxEntries and maxBytes (approximate,
+// split across shards). Zero selects the defaults; negative bounds are
+// clamped to the defaults too — callers disable caching by using a nil
+// *Cache, not by a zero-sized one.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultBytes
+	}
+	c := &Cache{}
+	perEntries := (maxEntries + numShards - 1) / numShards
+	perBytes := (maxBytes + numShards - 1) / numShards
+	for i := range c.shards {
+		c.shards[i] = shard{
+			m:          make(map[uint64]*entry),
+			maxEntries: perEntries,
+			maxBytes:   perBytes,
+		}
+	}
+	return c
+}
+
+// hashQuery mixes every scoring-relevant query field, the epoch, the
+// kind, and the extra words into one FNV-1a style hash. Float fields
+// hash by bit pattern; queries are validated finite before they reach
+// the engine, so NaN never gets here.
+//
+//yask:hotpath
+func hashQuery(epoch uint64, kind Kind, q score.Query, extra []uint64) uint64 {
+	h := uint64(fnvOffset)
+	h = mix(h, epoch)
+	h = mix(h, uint64(kind))
+	h = mix(h, floatBits(q.Loc.X))
+	h = mix(h, floatBits(q.Loc.Y))
+	h = mix(h, uint64(q.K))
+	h = mix(h, floatBits(q.W.Ws))
+	h = mix(h, floatBits(q.W.Wt))
+	h = mix(h, uint64(q.Sim))
+	for _, kw := range q.Doc {
+		h = mix(h, uint64(kw))
+	}
+	for _, x := range extra {
+		h = mix(h, x)
+	}
+	return h
+}
+
+//yask:hotpath
+func mix(h, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime
+	return h
+}
+
+//yask:hotpath
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// matches reports whether the stored entry answers exactly this
+// request.
+//
+//yask:hotpath
+func (e *entry) matches(epoch uint64, kind Kind, q score.Query, extra []uint64) bool {
+	if e.epoch != epoch || e.kind != kind {
+		return false
+	}
+	if !EqualQueries(e.q, q) || len(e.extra) != len(extra) {
+		return false
+	}
+	for i, x := range e.extra {
+		if x != extra[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualQueries reports whether two canonical queries are the same cache
+// key: every scoring-relevant field identical, float fields compared by
+// bit pattern to match the hash, keyword sets elementwise (canonical
+// sets are sorted and deduplicated, so elementwise equality is set
+// equality). The batch executor uses it to dedupe identical queries
+// within one scatter.
+//
+//yask:hotpath
+func EqualQueries(a, b score.Query) bool {
+	if floatBits(a.Loc.X) != floatBits(b.Loc.X) || floatBits(a.Loc.Y) != floatBits(b.Loc.Y) {
+		return false
+	}
+	if a.K != b.K || a.Sim != b.Sim {
+		return false
+	}
+	if floatBits(a.W.Ws) != floatBits(b.W.Ws) || floatBits(a.W.Wt) != floatBits(b.W.Wt) {
+		return false
+	}
+	if len(a.Doc) != len(b.Doc) {
+		return false
+	}
+	for i, kw := range a.Doc {
+		if kw != b.Doc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HashQuery returns the epoch- and kind-free hash of a canonical query
+// — the grouping key the batch executor dedupes with (exact equality is
+// still checked via EqualQueries).
+func HashQuery(q score.Query) uint64 {
+	return hashQuery(0, KindTopK, q, nil)
+}
+
+//yask:hotpath
+func (c *Cache) shardFor(hash uint64) *shard {
+	return &c.shards[hash&(numShards-1)]
+}
+
+// moveToFront makes e the shard's most recently used entry. Caller
+// holds the shard lock.
+//
+//yask:hotpath
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+//yask:hotpath
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.head == e {
+		s.head = e.next
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// lookup is the shared hit path: find, verify, touch. Caller holds the
+// shard lock.
+//
+//yask:hotpath
+func (s *shard) lookup(hash, epoch uint64, kind Kind, q score.Query, extra []uint64) *entry {
+	e := s.m[hash]
+	if e == nil || !e.matches(epoch, kind, q, extra) {
+		return nil
+	}
+	s.moveToFront(e)
+	return e
+}
+
+// GetTopK appends the cached top-k results for (epoch, q) to dst and
+// reports a hit. The copy lands in the caller-owned buffer — the warm
+// path reuses its capacity, so a hit performs no allocation.
+//
+//yask:hotpath
+func (c *Cache) GetTopK(epoch uint64, q score.Query, dst []score.Result) ([]score.Result, bool) {
+	if c == nil {
+		return dst, false
+	}
+	hash := hashQuery(epoch, KindTopK, q, nil)
+	s := c.shardFor(hash)
+	s.mu.Lock() //yask:allocok(mutex lock does not allocate)
+	e := s.lookup(hash, epoch, KindTopK, q, nil)
+	if e == nil {
+		s.mu.Unlock() //yask:allocok(mutex unlock does not allocate)
+		c.misses.Add(1)
+		return dst, false
+	}
+	dst = append(dst, e.results...) //yask:allocok(caller-owned result buffer; the warm path reuses its capacity)
+	s.mu.Unlock()                   //yask:allocok(mutex unlock does not allocate)
+	c.hits.Add(1)
+	return dst, true
+}
+
+// PutTopK stores a top-k result list for (epoch, q). The results slice
+// is copied, so the caller keeps ownership of its buffer.
+func (c *Cache) PutTopK(epoch uint64, q score.Query, results []score.Result) {
+	if c == nil {
+		return
+	}
+	stored := make([]score.Result, len(results))
+	copy(stored, results)
+	bytes := int64(entryOverheadBytes) + queryBytes(q)
+	for _, r := range results {
+		bytes += int64(unsafe.Sizeof(r)) + int64(4*len(r.Obj.Doc)) + int64(len(r.Obj.Name))
+	}
+	c.put(&entry{
+		epoch:   epoch,
+		kind:    KindTopK,
+		hash:    hashQuery(epoch, KindTopK, q, nil),
+		q:       q,
+		results: stored,
+		bytes:   bytes,
+	})
+}
+
+// GetValue returns the cached opaque answer for (epoch, kind, q, extra)
+// — ranks, explanations, refinement answers. The value was boxed once
+// at insertion, so hits do not allocate; extra is an operation-specific
+// discriminator (object IDs, option bits) compared exactly.
+func (c *Cache) GetValue(epoch uint64, kind Kind, q score.Query, extra []uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	hash := hashQuery(epoch, kind, q, extra)
+	s := c.shardFor(hash)
+	s.mu.Lock()
+	e := s.lookup(hash, epoch, kind, q, extra)
+	s.mu.Unlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.value, true
+}
+
+// PutValue stores an opaque answer for (epoch, kind, q, extra). The
+// extra slice is copied; the value must be immutable from here on (the
+// engine stores freshly computed answers it has already handed out by
+// value, or that callers treat as read-only).
+func (c *Cache) PutValue(epoch uint64, kind Kind, q score.Query, extra []uint64, value any) {
+	if c == nil {
+		return
+	}
+	var storedExtra []uint64
+	if len(extra) > 0 {
+		storedExtra = make([]uint64, len(extra))
+		copy(storedExtra, extra)
+	}
+	c.put(&entry{
+		epoch: epoch,
+		kind:  kind,
+		hash:  hashQuery(epoch, kind, q, extra),
+		q:     q,
+		extra: storedExtra,
+		value: value,
+		bytes: int64(entryOverheadBytes) + queryBytes(q) + int64(8*len(extra)) + payloadBytes,
+	})
+}
+
+// queryBytes approximates the retained size of the key's query.
+func queryBytes(q score.Query) int64 {
+	return int64(unsafe.Sizeof(q)) + int64(4*len(q.Doc))
+}
+
+// put inserts (or replaces) the entry and evicts from the LRU tail
+// until the shard is back within its bounds. Entries larger than a
+// whole shard's byte budget are dropped rather than cached.
+func (c *Cache) put(e *entry) {
+	s := c.shardFor(e.hash)
+	if e.bytes > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	if old := s.m[e.hash]; old != nil {
+		s.unlink(old)
+		s.bytes -= old.bytes
+		delete(s.m, old.hash)
+	}
+	s.m[e.hash] = e
+	s.bytes += e.bytes
+	s.moveToFront(e)
+	evicted := int64(0)
+	for (len(s.m) > s.maxEntries || s.bytes > s.maxBytes) && s.tail != nil && s.tail != e {
+		victim := s.tail
+		s.unlink(victim)
+		s.bytes -= victim.bytes
+		delete(s.m, victim.hash)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// PurgeBelow drops every entry whose epoch is below the given one —
+// the off-query-path reclamation the engine runs after publishing a new
+// epoch. Entries keyed to orphaned epochs are already unreachable by
+// construction (no lookup carries an old epoch); purging just returns
+// their memory early instead of waiting for LRU pressure.
+func (c *Cache) PurgeBelow(epoch uint64) {
+	if c == nil {
+		return
+	}
+	seen := make(map[uint64]bool)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.head; e != nil; {
+			next := e.next
+			if e.epoch < epoch {
+				s.unlink(e)
+				s.bytes -= e.bytes
+				delete(s.m, e.hash)
+				seen[e.epoch] = true
+			}
+			e = next
+		}
+		s.mu.Unlock()
+	}
+	if len(seen) > 0 {
+		c.orphaned.Add(int64(len(seen)))
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Entries and Bytes are the current footprint (bytes approximate).
+	Entries int
+	Bytes   int64
+	// Hits, Misses, Evictions are cumulative since construction.
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// OrphanedEpochs counts distinct epochs that still held entries when
+	// a purge dropped them.
+	OrphanedEpochs int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (st Stats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats returns the current counters. A nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		OrphanedEpochs: c.orphaned.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

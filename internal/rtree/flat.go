@@ -87,7 +87,16 @@ type Flat[L, A any] struct {
 	// snapshot was frozen; together they implement the staleness check.
 	tree *Tree[L, A]
 	gen  uint64
+	// epoch is the process-wide epoch identity stamped by the publisher
+	// at publication; 0 for snapshots frozen outside a publisher.
+	epoch uint64
 }
+
+// Epoch returns the process-wide epoch identity stamped when the
+// snapshot was published, or 0 if it was frozen outside a publisher.
+// Distinct published states always carry distinct epochs, which is the
+// identity result caches key on.
+func (f *Flat[L, A]) Epoch() uint64 { return f.epoch }
 
 // Freeze returns a Flat snapshot of the tree's current content. Later
 // mutations of the tree are not reflected in the snapshot; the snapshot

@@ -7,6 +7,18 @@ import (
 	"github.com/yask-engine/yask/internal/geo"
 )
 
+// epochCounter issues process-wide unique, strictly increasing epoch
+// identities. Every publisher stamps one into each arena it publishes,
+// and the shard layer draws family-level epochs from the same counter —
+// so an epoch value identifies one published state across the whole
+// process, which is what lets a result cache key on it and have
+// refresh/rebalance/recovery orphan stale entries for free.
+var epochCounter atomic.Uint64
+
+// NextEpoch returns the next process-wide epoch identity. Epoch 0 is
+// never issued: it marks arenas frozen outside a publisher.
+func NextEpoch() uint64 { return epochCounter.Add(1) }
+
 // pubState is one published epoch: the tree, its frozen arena, and the
 // index-specific payload (the arena-scoped query wrapper of the index
 // package owning the publisher) frozen together. Swapping all three
@@ -61,6 +73,7 @@ func NewSnapshotPublisher[L, A any](t *Tree[L, A], wrap func(*Flat[L, A]) any) *
 // (or, at construction, exclusive access).
 func (p *SnapshotPublisher[L, A]) publishLocked(t *Tree[L, A]) {
 	f := t.Freeze()
+	f.epoch = NextEpoch()
 	st := &pubState[L, A]{tree: t, flat: f}
 	if p.wrap != nil {
 		st.payload = p.wrap(f)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/yask-engine/yask"
@@ -48,6 +49,7 @@ func New(engine *yask.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /api/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
 	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /api/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/log", s.handleLog)
 	s.mux.HandleFunc("DELETE /api/session/{id}", s.handleDropSession)
@@ -415,6 +417,88 @@ func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	}
 	s.log.add(logEntry{Time: time.Now(), Kind: "remove"})
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseSubscribeQuery reads a top-k query from URL parameters — the
+// subscribe endpoint is a GET (EventSource cannot POST), so the query
+// rides in the URL: x, y, k, keywords (comma-separated), and the
+// optional wt and similarity.
+func parseSubscribeQuery(r *http.Request) (yask.Query, error) {
+	p := r.URL.Query()
+	var q yask.Query
+	var err error
+	if q.X, err = strconv.ParseFloat(p.Get("x"), 64); err != nil {
+		return q, fmt.Errorf("bad or missing x %q", p.Get("x"))
+	}
+	if q.Y, err = strconv.ParseFloat(p.Get("y"), 64); err != nil {
+		return q, fmt.Errorf("bad or missing y %q", p.Get("y"))
+	}
+	if q.K, err = strconv.Atoi(p.Get("k")); err != nil {
+		return q, fmt.Errorf("bad or missing k %q", p.Get("k"))
+	}
+	for _, kw := range strings.Split(p.Get("keywords"), ",") {
+		if kw = strings.TrimSpace(kw); kw != "" {
+			q.Keywords = append(q.Keywords, kw)
+		}
+	}
+	if wt := p.Get("wt"); wt != "" {
+		if q.Wt, err = strconv.ParseFloat(wt, 64); err != nil {
+			return q, fmt.Errorf("bad wt %q", wt)
+		}
+	}
+	q.Similarity = p.Get("similarity")
+	return q, nil
+}
+
+// handleSubscribe registers a continuous top-k query and streams its
+// pushed updates as server-sent events: one "topk" event per changed
+// result, the initial result first. The stream ends when the client
+// disconnects or the engine drops a subscriber that stopped reading.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	q, err := parseSubscribeQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sub, err := s.engine.Subscribe(q, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer sub.Close()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	// The stream outlives any server-wide write timeout by design; clear
+	// the deadline so long-idle subscriptions aren't cut mid-stream.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	s.log.add(logEntry{Time: time.Now(), Kind: "subscribe", Query: q})
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case u, ok := <-sub.Updates():
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(u)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: topk\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 // statsResponse is the wire form of GET /api/stats: the engine's shard

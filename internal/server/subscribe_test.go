@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/yask-engine/yask"
+)
+
+// sseEvent reads one server-sent event from the stream, returning its
+// decoded data payload.
+func sseEvent(t *testing.T, sc *bufio.Scanner) yask.SubscriptionUpdate {
+	t.Helper()
+	var u yask.SubscriptionUpdate
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			if err := json.Unmarshal([]byte(data), &u); err != nil {
+				t.Fatalf("bad event payload %q: %v", data, err)
+			}
+			return u
+		}
+	}
+	t.Fatalf("stream ended mid-event: %v", sc.Err())
+	return u
+}
+
+// TestSubscribeEndpoint drives a live SSE subscription end to end: the
+// initial result arrives as the first event, a mutation that changes
+// the subscribed top-k pushes a second event reflecting it, and a
+// malformed request is rejected up front.
+func TestSubscribeEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/api/subscribe?x=114.172&y=22.298&k=3&keywords=wifi,breakfast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+
+	initial := sseEvent(t, sc)
+	if len(initial.Results) != 3 {
+		t.Fatalf("initial event has %d results, want 3", len(initial.Results))
+	}
+
+	// An unbeatable object at the query location with both keywords must
+	// take rank 1 and arrive as a pushed event.
+	status, raw := postJSON(t, ts.URL+"/api/objects", insertObjectRequest{
+		Name: "takeover", X: 114.172, Y: 22.298, Keywords: []string{"wifi", "breakfast"},
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("insert status %d: %s", status, raw)
+	}
+	update := sseEvent(t, sc)
+	if update.Epoch <= initial.Epoch {
+		t.Fatalf("update epoch %d did not advance past %d", update.Epoch, initial.Epoch)
+	}
+	if len(update.Results) != 3 || update.Results[0].Name != "takeover" {
+		t.Fatalf("update does not lead with the inserted object: %+v", update.Results)
+	}
+
+	// Malformed parameters fail fast with 400, not an empty stream.
+	for _, bad := range []string{
+		"/api/subscribe", // everything missing
+		"/api/subscribe?x=1&y=2&k=0&keywords=wifi", // invalid k
+		"/api/subscribe?x=1&y=2&k=nope&keywords=wifi",
+		"/api/subscribe?x=1&y=2&k=3", // no keywords
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsCacheAndSubscriptionSections: the result-cache and
+// subscription telemetry reach the wire — entries, hit counters, and a
+// consistent hit rate after a repeated query, subscription counters
+// after a subscribe — and a cache-disabled engine omits the section.
+func TestStatsCacheAndSubscriptionSections(t *testing.T) {
+	_, ts := testServer(t)
+	runQuery(t, ts) // fills the cache
+	runQuery(t, ts) // must hit it
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Engine.Cache
+	if c == nil {
+		t.Fatalf("no cache section: %+v", st.Engine)
+	}
+	if c.Entries == 0 || c.Bytes == 0 {
+		t.Fatalf("cache empty after queries: %+v", c)
+	}
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Fatalf("repeat query did not hit: %+v", c)
+	}
+	if want := float64(c.Hits) / float64(c.Hits+c.Misses); c.HitRate != want {
+		t.Fatalf("hit rate %v inconsistent with hits %d / misses %d", c.HitRate, c.Hits, c.Misses)
+	}
+	if st.Engine.Subscriptions == nil {
+		t.Fatalf("no subscriptions section: %+v", st.Engine)
+	}
+	if st.Engine.Subscriptions.Active != 0 {
+		t.Fatalf("phantom active subscriptions: %+v", st.Engine.Subscriptions)
+	}
+
+	// A live subscription shows up in the active gauge.
+	sub, err := http.Get(ts.URL + "/api/subscribe?x=114.172&y=22.298&k=3&keywords=wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Body.Close()
+	sseEvent(t, bufio.NewScanner(sub.Body)) // initial event: registration done
+	resp2, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 statsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if s := st2.Engine.Subscriptions; s == nil || s.Active != 1 {
+		t.Fatalf("subscriptions section after subscribe: %+v", s)
+	}
+
+	// Cache disabled: the section disappears rather than reporting zeros.
+	eng := yask.HKDemoEngineWith(yask.EngineOptions{DisableCache: true})
+	ts2 := httptest.NewServer(New(eng, Config{}))
+	defer ts2.Close()
+	runQuery(t, ts2)
+	resp3, err := http.Get(ts2.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var st3 statsResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&st3); err != nil {
+		t.Fatal(err)
+	}
+	if st3.Engine.Cache != nil {
+		t.Fatalf("disabled engine reports cache section: %+v", st3.Engine.Cache)
+	}
+}

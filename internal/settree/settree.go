@@ -446,6 +446,10 @@ func (a *Arena) Scorer(q score.Query) score.Scorer {
 // Generation returns the tree generation the arena was frozen at.
 func (a *Arena) Generation() uint64 { return a.f.Generation() }
 
+// Epoch implements index.Snapshot: the process-wide identity the
+// publisher stamped into this arena at publication.
+func (a *Arena) Epoch() uint64 { return a.f.Epoch() }
+
 // Len returns the number of indexed objects in the arena.
 func (a *Arena) Len() int { return a.f.Len() }
 

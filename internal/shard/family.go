@@ -6,6 +6,7 @@ import (
 
 	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
 )
 
@@ -50,6 +51,12 @@ type Family struct {
 	// mutations are buffered, matching the snapshot-scoped constant of
 	// the single-index arenas.
 	maxDist float64
+	// epoch is the family-level epoch identity, drawn from the shared
+	// rtree counter under the lifecycle write lock at construction and at
+	// every Refresh. It identifies the (per-shard arenas, maxDist) set as
+	// one published state — rebuilds (rebalance, recovery) construct new
+	// families and therefore new epochs.
+	epoch uint64
 }
 
 // NewFamily builds one provider per partition of the map, in parallel.
@@ -62,6 +69,7 @@ func NewFamily(m *Map, build index.Builder) *Family {
 	fanOut(m.Shards(), func(t int) {
 		fa.providers[t] = build(m.Part(t).Collection())
 	})
+	fa.epoch = rtree.NextEpoch()
 	return fa
 }
 
@@ -87,6 +95,7 @@ func (fa *Family) Refresh() {
 	defer fa.lifecycle.Unlock()
 	fanOut(len(fa.providers), func(t int) { fa.providers[t].Refresh() })
 	fa.maxDist = fa.m.Global().MaxDist()
+	fa.epoch = rtree.NextEpoch()
 }
 
 // MaxDist returns the normalization constant captured at the last
@@ -109,6 +118,7 @@ func (fa *Family) Acquire() (*View, error) {
 		snaps:   make([]index.Snapshot, len(fa.providers)),
 		globals: make([][]object.ID, len(fa.providers)),
 		maxDist: fa.maxDist,
+		epoch:   fa.epoch,
 	}
 	for t, p := range fa.providers {
 		sn, err := p.Acquire()
@@ -143,11 +153,18 @@ type View struct {
 	snaps   []index.Snapshot
 	globals [][]object.ID
 	maxDist float64
+	epoch   uint64
 }
 
 // MaxDist implements index.Snapshot: the normalization constant the
 // family captured at its last refresh.
 func (v *View) MaxDist() float64 { return v.maxDist }
+
+// Epoch implements index.Snapshot: the family-level epoch captured at
+// acquisition. Equal epochs mean identical per-shard arenas and
+// normalization constant, so answers computed against one view are
+// valid for any view carrying the same epoch.
+func (v *View) Epoch() uint64 { return v.epoch }
 
 // Scorer returns a scorer for q pinned to the view's constant.
 func (v *View) Scorer(q score.Query) score.Scorer {

@@ -207,6 +207,17 @@ type EngineOptions struct {
 	// are byte-identical either way. The switch exists for ablation
 	// measurements and as an operational escape hatch.
 	DisableSignatures bool
+	// CacheEntries and CacheBytes bound the epoch-keyed result cache:
+	// repeated queries against an unchanged published snapshot are
+	// answered from memory instead of re-traversing the indexes. Zero
+	// selects the defaults (4096 entries, 64 MiB). The cache never
+	// changes answers — entries are keyed by the snapshot's epoch
+	// identity, so every refresh, rebalance, or recovery silently
+	// orphans stale entries. DisableCache turns it off entirely (the
+	// ablation and escape hatch, mirroring DisableSignatures).
+	CacheEntries int
+	CacheBytes   int64
+	DisableCache bool
 	// DataDir enables crash-safe durability: every accepted
 	// Insert/Remove is appended to a write-ahead log in this directory
 	// before it mutates the engine, and checkpoints snapshot the whole
@@ -253,6 +264,9 @@ func (opts EngineOptions) coreOptions(v *vocab.Vocabulary) (core.Options, error)
 		Splitter:          sp,
 		RebalanceFactor:   opts.RebalanceFactor,
 		DisableSignatures: opts.DisableSignatures,
+		CacheEntries:      opts.CacheEntries,
+		CacheBytes:        opts.CacheBytes,
+		DisableCache:      opts.DisableCache,
 		DataDir:           opts.DataDir,
 		Fsync:             fsync,
 		FsyncInterval:     opts.FsyncInterval,
@@ -564,6 +578,81 @@ func (e *Engine) TopKBatch(queries []Query, workers int) ([][]Result, error) {
 	return out, nil
 }
 
+// SubscriptionUpdate is one pushed continuous-query result: the new
+// top-k of a subscribed query and the engine epoch it was computed at.
+type SubscriptionUpdate struct {
+	// Epoch identifies the published snapshot behind Results; it
+	// strictly increases across the updates of one subscription.
+	Epoch   uint64   `json:"epoch"`
+	Results []Result `json:"results"`
+}
+
+// Subscription is a registered continuous top-k query. Receive pushed
+// results from Updates; the channel closes when the subscription is
+// cancelled with Close or force-dropped because the receiver fell too
+// far behind (slow-client disconnect).
+type Subscription struct {
+	sub     *core.Subscription
+	updates chan SubscriptionUpdate
+}
+
+// Updates returns the subscription's update channel. The initial
+// result arrives as the first update.
+func (s *Subscription) Updates() <-chan SubscriptionUpdate { return s.updates }
+
+// Close cancels the subscription; idempotent.
+func (s *Subscription) Close() { s.sub.Close() }
+
+// Subscribe registers q as a continuous top-k query: the engine
+// computes the initial result immediately and thereafter re-evaluates
+// the query after each published mutation batch whose delta could have
+// changed the answer (a signature-and-distance prefilter skips the
+// rest), pushing an update whenever the result actually changes.
+// buffer bounds undelivered updates (≤ 0 selects the default 8); a
+// subscriber that falls behind is disconnected rather than allowed to
+// stall the engine.
+func (e *Engine) Subscribe(q Query, buffer int) (*Subscription, error) {
+	sq, err := e.buildQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := e.core.Subscribe(sq, core.SubscribeOptions{Buffer: buffer})
+	if err != nil {
+		return nil, err
+	}
+	if buffer <= 0 {
+		buffer = core.DefaultSubscribeBuffer
+	}
+	s := &Subscription{sub: cs, updates: make(chan SubscriptionUpdate, buffer)}
+	// The forwarder converts internal updates to the public form. It
+	// never blocks on the public channel: a full buffer means the
+	// consumer fell behind, and the subscription is dropped exactly as
+	// the core layer drops its own slow clients — so a stalled consumer
+	// can neither stall the engine nor leak this goroutine.
+	go func() {
+		defer close(s.updates)
+		for u := range cs.Updates() {
+			sc := score.NewScorer(sq, e.core.Collection())
+			pu := SubscriptionUpdate{Epoch: u.Epoch, Results: make([]Result, len(u.Results))}
+			for i, r := range u.Results {
+				pu.Results[i] = Result{
+					ID: uint32(r.Obj.ID), Name: r.Obj.Name,
+					X: r.Obj.Loc.X, Y: r.Obj.Loc.Y,
+					Score: r.Score, SDist: sc.SDist(r.Obj), TSim: sc.TSim(r.Obj),
+					Keywords: e.vocab.Words(r.Obj.Doc),
+				}
+			}
+			select {
+			case s.updates <- pu:
+			default:
+				cs.Close()
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
 // WhyNotKeywordsJob is one keyword-adaption why-not question of a
 // WhyNotKeywordsBatch call.
 type WhyNotKeywordsJob struct {
@@ -772,9 +861,46 @@ type EngineStats struct {
 	SigHits    int64        `json:"sigHits"`
 	SigHitRate float64      `json:"sigHitRate"`
 	PerShard   []ShardStats `json:"perShard"`
+	// Cache reports the epoch-keyed result cache; nil when the engine was
+	// built with DisableCache.
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Subscriptions reports the continuous-query counters.
+	Subscriptions *SubscriptionStats `json:"subscriptions,omitempty"`
 	// Durability reports the write-ahead log and checkpoint state of a
 	// durable engine; nil when the engine is memory-only.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// CacheStats is the result-cache section of EngineStats.
+type CacheStats struct {
+	// Entries and Bytes size the cache's current contents.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Hits and Misses count lookups; HitRate is Hits / (Hits + Misses),
+	// 0 before any lookup.
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+	// Evictions counts LRU evictions under the entry/byte bounds;
+	// OrphanedEpochs counts epochs that still held entries when a
+	// publish-triggered purge dropped them.
+	Evictions      int64 `json:"evictions"`
+	OrphanedEpochs int64 `json:"orphanedEpochs"`
+}
+
+// SubscriptionStats is the continuous-query section of EngineStats.
+type SubscriptionStats struct {
+	// Active is the number of live subscriptions.
+	Active int `json:"active"`
+	// Reevaluated counts full top-k re-evaluations across all published
+	// epochs; SigSkipped counts the ones the mutation-delta signature
+	// prefilter proved unnecessary.
+	Reevaluated int64 `json:"reevaluated"`
+	SigSkipped  int64 `json:"sigSkipped"`
+	// Pushed counts updates actually delivered (changed results);
+	// Dropped counts slow-client force-disconnects.
+	Pushed  int64 `json:"pushed"`
+	Dropped int64 `json:"dropped"`
 }
 
 // DurabilityStats is the durability section of EngineStats.
@@ -829,6 +955,19 @@ func (e *Engine) Stats() EngineStats {
 			SetSigProbes: sh.SetSigProbes, SetSigHits: sh.SetSigHits,
 			KcSigProbes: sh.KcSigProbes, KcSigHits: sh.KcSigHits,
 			Balance: sh.Balance,
+		}
+	}
+	if c := st.Cache; c != nil {
+		out.Cache = &CacheStats{
+			Entries: c.Entries, Bytes: c.Bytes,
+			Hits: c.Hits, Misses: c.Misses, HitRate: c.HitRate,
+			Evictions: c.Evictions, OrphanedEpochs: c.OrphanedEpochs,
+		}
+	}
+	if s := st.Subscriptions; s != nil {
+		out.Subscriptions = &SubscriptionStats{
+			Active: s.Active, Reevaluated: s.Reevaluated,
+			SigSkipped: s.SigSkipped, Pushed: s.Pushed, Dropped: s.Dropped,
 		}
 	}
 	if d := st.Durability; d != nil {
