@@ -9,7 +9,7 @@
 //	      [-shards 4] [-splitter str] [-rebalance-factor 1.5]
 //	      [-signatures=false] [-cache=off] [-cache-entries 4096]
 //	      [-cache-bytes 67108864] [-data-dir ./yask-data] [-fsync always]
-//	      [-fsync-interval 100ms] [-checkpoint-every 1000]
+//	      [-fsync-interval 100ms] [-checkpoint-every 1000] [-mmap-arenas]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
 // synthetic stand-in for the paper's 539 Hong Kong hotels. With
@@ -51,6 +51,13 @@
 // checkpoint cadence (0 = only POST /api/checkpoint and shutdown).
 // On SIGINT/SIGTERM the server drains in-flight requests, writes a
 // final checkpoint, and closes the log.
+//
+// -mmap-arenas (requires -data-dir, single shard) additionally persists
+// the frozen index arenas next to every checkpoint and boots by
+// memory-mapping them instead of rebuilding the indexes; a damaged
+// arena file silently falls back to the ordinary rebuild. The arena
+// section of GET /api/stats shows whether the current boot mapped or
+// rebuilt. See docs/FORMATS.md for the file format.
 package main
 
 import (
@@ -87,6 +94,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL acknowledgement policy: always (fsync before every mutation returns), interval (fsync on a timer), or none (leave flushing to the OS)")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "flush period of -fsync interval (0 = 100ms default)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a checkpoint automatically after this many logged mutations (0 = only POST /api/checkpoint and shutdown)")
+	mmapArenas := flag.Bool("mmap-arenas", false, "persist index arenas alongside checkpoints and boot by memory-mapping them instead of rebuilding (requires -data-dir; single shard only; damaged arenas fall back to a rebuild)")
 	flag.Parse()
 
 	if *splitter != "grid" && *splitter != "str" {
@@ -105,6 +113,7 @@ func main() {
 		CacheEntries:      *cacheEntries, CacheBytes: *cacheBytes,
 		DataDir: *dataDir, Fsync: *fsync,
 		FsyncInterval: *fsyncInterval, CheckpointEvery: *checkpointEvery,
+		MmapArenas: *mmapArenas,
 	}
 	var (
 		engine *yask.Engine

@@ -82,6 +82,86 @@ func TestDurableEnginePublicAPI(t *testing.T) {
 	}
 }
 
+// TestMmapArenasPublicAPI drives the arena persistence lifecycle
+// through the public surface: the ArenaStats section must be mapped
+// through (not dropped) by EngineStats, prove the reboot skipped the
+// rebuild, and the mapped engine must answer like the one that wrote
+// the arenas.
+func TestMmapArenasPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	opts := EngineOptions{DataDir: dir, Fsync: "always", MmapArenas: true}
+
+	e, err := NewEngineWith(liveTestObjects(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{X: 0.1, Y: 0.1, Keywords: []string{"coffee", "wifi"}, K: 3}
+	want, err := e.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.Stats().Durability.Arena
+	if a == nil {
+		t.Fatal("MmapArenas engine reports no arena stats")
+	}
+	if !a.Enabled || a.MmapBoot || a.SetsWritten != 1 || a.BytesWritten == 0 {
+		t.Fatalf("first-boot arena stats: %+v", a)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with the same seed objects (the normal operator pattern
+	// — yaskd reloads the same dataset) re-interns the same vocabulary,
+	// so the arena's embedded labeling pins cleanly and boot maps.
+	re, err := NewEngineWith(liveTestObjects(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	a = re.Stats().Durability.Arena
+	if !a.MmapBoot || !a.RebuildSkipped || a.MappedNow != 2 || a.FallbackReason != "" {
+		t.Fatalf("mmap-boot arena stats: %+v", a)
+	}
+	got, err := re.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mapped TopK %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("mapped result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := re.Insert(Object{Name: "thaw", X: 0.2, Y: 0.2, Keywords: []string{"tea"}}); err != nil {
+		t.Fatal(err)
+	}
+	if a = re.Stats().Durability.Arena; a.MappedNow != 0 {
+		t.Fatalf("after mutation %d families still mapped", a.MappedNow)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with a conflicting seed vocabulary cannot pin the
+	// arena's labeling: boot must fall back to a rebuild with a recorded
+	// reason and still answer correctly — never map wrongly.
+	dec, err := NewEngineWith([]Object{{Name: "decoy", X: 99, Y: 99, Keywords: []string{"decoy"}}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	a = dec.Stats().Durability.Arena
+	if a.MmapBoot || a.FallbackReason == "" {
+		t.Fatalf("conflicting-vocabulary boot arena stats: %+v", a)
+	}
+	if n := dec.LiveLen(); n != len(liveTestObjects())+1 {
+		t.Fatalf("fallback boot recovered %d live objects", n)
+	}
+}
+
 func TestCheckpointOnMemoryEngineFails(t *testing.T) {
 	e, err := NewEngine(liveTestObjects())
 	if err != nil {

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/core"
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/wal"
+)
+
+// e15Dir seeds a durable data directory with the dataset and returns
+// it; the first-boot checkpoint also writes the arena files.
+func e15Dir(ds *dataset.Dataset) string {
+	dir, err := os.MkdirTemp("", "yask-e15-*")
+	if err != nil {
+		panic(err)
+	}
+	eng, err := core.Open(ds.Objects.All(), core.Options{
+		DataDir: dir, Fsync: wal.SyncNone, Vocab: ds.Vocab,
+		RefreshEvery: 1 << 30, MmapArenas: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := eng.Close(); err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// e15Boot reopens dir with or without arena mapping and returns the
+// engine and the wall-clock boot time.
+func e15Boot(ds *dataset.Dataset, dir string, mmap bool) (*core.Engine, time.Duration) {
+	var eng *core.Engine
+	d := timeIt(func() {
+		var err error
+		eng, err = core.Open(nil, core.Options{
+			DataDir: dir, Fsync: wal.SyncNone, Vocab: ds.Vocab,
+			RefreshEvery: 1 << 30, MmapArenas: mmap,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	if mmap {
+		st := eng.Stats().Durability.Arena
+		if st == nil || !st.MmapBoot || !st.RebuildSkipped {
+			panic(fmt.Sprintf("e15: mmap boot fell back to rebuild: %+v", st))
+		}
+	}
+	return eng, d
+}
+
+// e15QueryPath measures the warm top-k path over the engine's set
+// index: mean latency and allocations per query.
+func e15QueryPath(eng *core.Engine, ds *dataset.Dataset, scale Scale) (time.Duration, float64) {
+	qs := dataset.Workload(ds, dataset.WorkloadConfig{
+		Queries: scale.queries(), Seed: seed + 2, K: 10, Keywords: 2,
+		W: score.DefaultWeights, FromObjectDocs: true,
+	})
+	set := eng.SetIndex()
+	var buf []score.Result
+	for _, q := range qs {
+		buf, _ = set.TopKAppend(q, buf[:0])
+	}
+	d := timeIt(func() {
+		for _, q := range qs {
+			buf, _ = set.TopKAppend(q, buf[:0])
+		}
+	}) / time.Duration(len(qs))
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, q := range qs {
+			buf, _ = set.TopKAppend(q, buf[:0])
+		}
+	}) / float64(len(qs))
+	return d, allocs
+}
+
+// RunE15MmapBoot regenerates experiment E15: boot time with mmap'd
+// index arenas against the ordinary checkpoint rebuild, and the
+// query-path guarantee that the mapped columns serve warm top-k without
+// allocating. The rebuild boot pays O(n log n) bulk loads per index
+// family; the mmap boot opens and verifies the arena files and serves
+// straight off the mapping.
+func RunE15MmapBoot(w io.Writer, scale Scale) {
+	n := scale.baseN()
+	ds, err := dataset.Generate(dataset.DefaultConfig(n, seed))
+	if err != nil {
+		panic(err)
+	}
+	dir := e15Dir(ds)
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(w, "E15 — mmap arena boot (N=%d, %s scale)\n", n, scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "boot\tms\tmapped families\t")
+
+	rebuilt, dRebuild := e15Boot(ds, dir, false)
+	rebuilt.Close()
+	fmt.Fprintf(tw, "rebuild\t%s\t0\t\n", ms(dRebuild))
+
+	mapped, dMmap := e15Boot(ds, dir, true)
+	defer mapped.Close()
+	st := mapped.Stats().Durability.Arena
+	fmt.Fprintf(tw, "mmap\t%s\t%d\t\n", ms(dMmap), st.MappedNow)
+	tw.Flush()
+	if dMmap > 0 {
+		fmt.Fprintf(w, "boot speedup: %.1fx (index rebuild skipped: %v)\n",
+			float64(dRebuild)/float64(dMmap), st.RebuildSkipped)
+	}
+
+	qTime, allocs := e15QueryPath(mapped, ds, scale)
+	fmt.Fprintf(w, "warm top-k on mapped arenas: %s µs/op, %.0f allocs/op\n", us(qTime), allocs)
+}
+
+// addArenaMetrics emits the e15 rows of the machine-readable report:
+// boot time for rebuild vs mmap, and the gated guarantee that warm
+// top-k on the mapped file-backed columns allocates nothing.
+func addArenaMetrics(scale Scale, add func(name string, value float64, unit string)) {
+	ds, err := dataset.Generate(dataset.DefaultConfig(scale.baseN(), seed))
+	if err != nil {
+		panic(err)
+	}
+	dir := e15Dir(ds)
+	defer os.RemoveAll(dir)
+
+	rebuilt, dRebuild := e15Boot(ds, dir, false)
+	rebuilt.Close()
+	add("e15/boot/rebuild", float64(dRebuild.Nanoseconds()), "ns")
+
+	mapped, dMmap := e15Boot(ds, dir, true)
+	defer mapped.Close()
+	add("e15/boot/mmap", float64(dMmap.Nanoseconds()), "ns")
+
+	_, allocs := e15QueryPath(mapped, ds, scale)
+	add("e15/allocs/topk/mmap", allocs, "allocs/op")
+}

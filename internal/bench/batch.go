@@ -180,5 +180,9 @@ func MeasureReportMode(scale Scale, mode SigMode) Report {
 	// hit rate, and the zero-alloc hit path.
 	addCacheMetrics(scale, add)
 
+	// Arena persistence: boot time rebuild vs mmap, and the zero-alloc
+	// warm query path over the mapped columns.
+	addArenaMetrics(scale, add)
+
 	return rep
 }

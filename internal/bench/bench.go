@@ -1,12 +1,14 @@
 // Package bench implements the experiment harness behind both the
 // `yaskbench` command and the root-level testing.B benchmarks. Each
-// exported Run function regenerates one experiment of DESIGN.md's
-// experiment index (E1–E7): it builds the workload, sweeps the
-// parameter the experiment varies, and prints one table in the style
-// the papers report (who wins, by what factor, where the crossover is).
+// exported Run function regenerates one experiment (E1–E15, see the
+// Experiments registry in server.go): it builds the workload, sweeps
+// the parameter the experiment varies, and prints one table in the
+// style the papers report (who wins, by what factor, where the
+// crossover is).
 //
 // Absolute numbers depend on the machine; the *shape* of each table is
-// the reproduction target recorded in EXPERIMENTS.md.
+// the reproduction target. MeasureReportMode (batch.go) produces the
+// machine-readable snapshot diffed against BENCH_baseline.json in CI.
 package bench
 
 import (
@@ -451,7 +453,7 @@ func RunE6Scale(w io.Writer, scale Scale) {
 	tw.Flush()
 }
 
-// RunE8BoundAblation regenerates the ablation of DESIGN.md §5: the
+// RunE8BoundAblation regenerates the bound ablation: the
 // SetR-tree's doc-length-tightened Jaccard bound vs the textbook
 // |q ∩ U|/|q ∪ I| bound, measured as top-k latency and node accesses.
 func RunE8BoundAblation(w io.Writer, scale Scale) {

@@ -132,4 +132,5 @@ var Experiments = []struct {
 	{"e12", "keyword-signature pruning", RunE12Signatures},
 	{"e13", "durability cost", RunE13Durability},
 	{"e14", "result cache under Zipfian traffic", RunE14Cache},
+	{"e15", "mmap arena boot", RunE15MmapBoot},
 }

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/vocab"
+	"github.com/yask-engine/yask/internal/wal"
+	"github.com/yask-engine/yask/internal/wal/faultio"
+)
+
+// arenaStats fetches the durability.arena stats section or fails.
+func arenaStats(t *testing.T, e *Engine) *ArenaStats {
+	t.Helper()
+	st := e.Stats().Durability
+	if st == nil || st.Arena == nil {
+		t.Fatal("durable engine with MmapArenas has no arena stats section")
+	}
+	return st.Arena
+}
+
+// TestMmapBootSkipsRebuild is the tentpole acceptance test: a durable
+// engine with MmapArenas reboots by mapping its arena files — the stats
+// prove the index rebuild was skipped — and serves byte-identical
+// answers; the first post-boot mutation thaws the mapped families, and
+// the next checkpoint writes a fresh arena set that the next boot maps
+// again.
+func TestMmapBootSkipsRebuild(t *testing.T) {
+	ds, err := dataset.Generate(dataset.DefaultConfig(150, 201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testWorkload(ds, 4, 202)
+	dir := t.TempDir()
+
+	e, err := Open(initialObjects(ds), Options{
+		MaxEntries: 16, DataDir: dir, Vocab: ds.Vocab,
+		Fsync: wal.SyncAlways, MmapArenas: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := arenaStats(t, e)
+	if !first.Enabled || first.MmapBoot || first.SetsWritten != 1 || first.BytesWritten == 0 {
+		t.Fatalf("first boot arena stats: %+v", first)
+	}
+	for _, family := range arenaFamilies {
+		if _, err := os.Stat(arenaPath(dir, family, 0)); err != nil {
+			t.Fatalf("first checkpoint left no %s arena: %v", family, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot with a fresh vocabulary: must map, not rebuild.
+	recV := vocab.NewVocabulary()
+	rec, err := Open(nil, Options{MaxEntries: 16, DataDir: dir, Vocab: recV, MmapArenas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := arenaStats(t, rec)
+	if !st.MmapBoot || !st.RebuildSkipped || st.MappedNow != 2 || st.FallbackReason != "" {
+		t.Fatalf("mmap boot stats: %+v", st)
+	}
+	refV := vocab.NewVocabulary()
+	ref := NewEngine(object.NewCollection(reinternedObjects(ds, refV)), Options{MaxEntries: 16})
+	assertAnswersMatch(t, "mmap boot", ref, refV, rec, recV, qs)
+
+	// First mutation thaws; a checkpoint then persists a fresh arena set.
+	m := mutationScript(ds, 1, 203)[0]
+	m.apply(t, rec, recV)
+	m.apply(t, ref, refV)
+	if st := arenaStats(t, rec); st.MappedNow != 0 {
+		t.Fatalf("after mutation %d families still mapped", st.MappedNow)
+	}
+	assertAnswersMatch(t, "after thawing mutation", ref, refV, rec, recV, qs)
+	if err := rec.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	lsn := rec.Stats().Durability.LastCheckpoint
+	if lsn == 0 {
+		t.Fatal("checkpoint after mutation kept LSN 0")
+	}
+	for _, family := range arenaFamilies {
+		if _, err := os.Stat(arenaPath(dir, family, lsn)); err != nil {
+			t.Fatalf("checkpoint left no %s arena at LSN %d: %v", family, lsn, err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third boot maps the post-mutation arena set.
+	recV2 := vocab.NewVocabulary()
+	rec2, err := Open(nil, Options{MaxEntries: 16, DataDir: dir, Vocab: recV2, MmapArenas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	if st := arenaStats(t, rec2); !st.MmapBoot || !st.RebuildSkipped {
+		t.Fatalf("post-mutation mmap boot stats: %+v", st)
+	}
+	assertAnswersMatch(t, "second mmap boot", ref, refV, rec2, recV2, qs)
+}
+
+// TestMmapBootWithoutArenasFallsBack: enabling the option on a
+// directory whose checkpoints predate it (no .yar files) boots by
+// rebuild with a recorded reason — and the engine still works.
+func TestMmapBootWithoutArenasFallsBack(t *testing.T) {
+	ds, err := dataset.Generate(dataset.DefaultConfig(80, 205))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	e, err := Open(initialObjects(ds), Options{
+		MaxEntries: 16, DataDir: dir, Vocab: ds.Vocab, Fsync: wal.SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	recV := vocab.NewVocabulary()
+	rec, err := Open(nil, Options{MaxEntries: 16, DataDir: dir, Vocab: recV, MmapArenas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	st := arenaStats(t, rec)
+	if st.MmapBoot || st.RebuildSkipped || st.FallbackReason == "" {
+		t.Fatalf("boot without arena files: %+v", st)
+	}
+	refV := vocab.NewVocabulary()
+	ref := NewEngine(object.NewCollection(reinternedObjects(ds, refV)), Options{MaxEntries: 16})
+	assertAnswersMatch(t, "fallback boot", ref, refV, rec, recV, testWorkload(ds, 2, 206))
+}
+
+// TestArenaFaultFallbackEveryByte is the end-to-end fault acceptance
+// test: with a bit flipped at EVERY byte offset of either arena file —
+// and the file truncated at every offset — Open must still succeed and
+// serve byte-identical answers. Detected damage records a fallback
+// reason matching wal.ErrCorrupt semantics; undetected flips can only
+// land in padding, where the mapped answers are provably identical.
+func TestArenaFaultFallbackEveryByte(t *testing.T) {
+	// A small vocabulary keeps the arena files a few KB so the
+	// every-byte sweep stays fast; the format paths exercised are
+	// identical.
+	cfg := dataset.DefaultConfig(24, 207)
+	cfg.VocabSize, cfg.MinKeywords, cfg.MaxKeywords = 60, 2, 4
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testWorkload(ds, 1, 208)
+	dir := t.TempDir()
+	e, err := Open(initialObjects(ds), Options{
+		MaxEntries: 8, DataDir: dir, Vocab: ds.Vocab,
+		Fsync: wal.SyncAlways, MmapArenas: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	refV := vocab.NewVocabulary()
+	ref := NewEngine(object.NewCollection(reinternedObjects(ds, refV)), Options{MaxEntries: 8})
+
+	ckptLSN, rows, err := wal.LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// load drives the complete arena boot decision — open, verify, pin
+	// vocabulary, decode, or fall back with a reason — exactly as Open
+	// does, without re-reading the WAL each time. A fault must either be
+	// rejected (reason recorded; Open then rebuilds, proven by the full
+	// boots below) or yield an engine with byte-identical answers.
+	load := func(ctx string) {
+		recV := vocab.NewVocabulary()
+		arenas, reason := tryLoadArenas(Options{
+			MaxEntries: 8, DataDir: dir, Vocab: recV, MmapArenas: true,
+		}, ckptLSN, rows)
+		if arenas == nil {
+			if reason == "" {
+				t.Fatalf("%s: fallback with no recorded reason", ctx)
+			}
+			return
+		}
+		rec := newEngineWith(arenas.coll, Options{MaxEntries: 8}, arenas.set, arenas.kc)
+		assertAnswersMatch(t, ctx, ref, refV, rec, recV, qs)
+	}
+	// boot is the end-to-end variant: a full Open that must always
+	// succeed — detected damage means silent rebuild — with identical
+	// answers. Run on a stride (it re-reads checkpoint and WAL per call).
+	boot := func(ctx string) {
+		recV := vocab.NewVocabulary()
+		rec, err := Open(nil, Options{MaxEntries: 8, DataDir: dir, Vocab: recV, MmapArenas: true})
+		if err != nil {
+			t.Fatalf("%s: Open: %v", ctx, err)
+		}
+		assertAnswersMatch(t, ctx, ref, refV, rec, recV, qs)
+		rec.Close()
+	}
+
+	for _, family := range arenaFamilies {
+		path := arenaPath(dir, family, 0)
+		pristine, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := func() {
+			if err := os.WriteFile(path, pristine, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for off := int64(0); off < int64(len(pristine)); off++ {
+			if err := faultio.FlipBit(path, off); err != nil {
+				t.Fatal(err)
+			}
+			load(fmt.Sprintf("%s arena, bit flip at byte %d", family, off))
+			if off%101 == 0 {
+				boot(fmt.Sprintf("%s arena, bit flip at byte %d (full boot)", family, off))
+			}
+			restore()
+		}
+		for n := int64(0); n < int64(len(pristine)); n++ {
+			if err := faultio.TruncateAt(path, n); err != nil {
+				t.Fatal(err)
+			}
+			load(fmt.Sprintf("%s arena truncated to %d bytes", family, n))
+			if n%101 == 0 {
+				boot(fmt.Sprintf("%s arena truncated to %d bytes (full boot)", family, n))
+			}
+			restore()
+		}
+		// A missing file is the cheapest fault of all.
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		boot(fmt.Sprintf("%s arena missing", family))
+		restore()
+	}
+}

@@ -45,6 +45,17 @@ type durability struct {
 	lastCheckpointLSN uint64
 	checkpoints       int64
 	replayed          int
+
+	// Arena persistence bookkeeping (arena.go). arenasEnabled is
+	// MmapArenas resolved against the backend (sharded engines never
+	// write or map arenas); the rest feed DurabilityStats.Arena.
+	arenasEnabled  bool
+	mmapBoot       bool
+	rebuildSkipped bool
+	arenaFallback  string
+	arenasWritten  int64
+	arenaBytes     int64
+	arenaWriteErr  string
 }
 
 // DurabilityStats is the WAL/checkpoint section of EngineStats.
@@ -71,6 +82,9 @@ type DurabilityStats struct {
 	Checkpoints     int64  `json:"checkpoints"`
 	// ReplayedRecords is how many WAL records boot recovery replayed.
 	ReplayedRecords int `json:"replayedRecords"`
+	// Arena reports mmap arena persistence state; present when
+	// Options.MmapArenas was requested.
+	Arena *ArenaStats `json:"arena,omitempty"`
 }
 
 // fsyncPolicy reports the policy the log was opened with.
@@ -103,17 +117,34 @@ func Open(initial []object.Object, opts Options) (*Engine, error) {
 
 	var coll *object.Collection
 	firstBoot := rows == nil && ckptLSN == 0
-	if firstBoot {
+	var arenas *loadedArenas
+	var arenaFallback string
+	if opts.MmapArenas && !firstBoot {
+		// The mmap path restores the collection itself (the embedded
+		// vocabulary must be pinned before keywords are interned); on any
+		// failure it reports why and we rebuild below as if the option
+		// were off.
+		arenas, arenaFallback = tryLoadArenas(opts, ckptLSN, rows)
+	}
+	switch {
+	case arenas != nil:
+		coll = arenas.coll
+	case firstBoot:
 		coll = object.NewCollection(initial)
-	} else {
+	default:
 		if coll, err = collectionFromRows(rows, opts.Vocab); err != nil {
 			return nil, err
 		}
 	}
 
 	memOpts := opts
-	memOpts.DataDir = "" // NewEngine builds the in-memory engine only
-	e := NewEngine(coll, memOpts)
+	memOpts.DataDir = "" // newEngineWith builds the in-memory engine only
+	var e *Engine
+	if arenas != nil {
+		e = newEngineWith(coll, memOpts, arenas.set, arenas.kc)
+	} else {
+		e = NewEngine(coll, memOpts)
+	}
 
 	log, records, err := wal.Open(opts.DataDir, ckptLSN, wal.Options{
 		SegmentSize:  opts.WALSegmentSize,
@@ -131,6 +162,9 @@ func Open(initial []object.Object, opts Options) (*Engine, error) {
 		policy:            opts.Fsync,
 		checkpointEvery:   opts.CheckpointEvery,
 		lastCheckpointLSN: ckptLSN,
+		arenasEnabled:     opts.MmapArenas && e.group == nil,
+		mmapBoot:          arenas != nil,
+		arenaFallback:     arenaFallback,
 	}
 
 	e.mu.Lock()
@@ -143,6 +177,9 @@ func Open(initial []object.Object, opts Options) (*Engine, error) {
 	}
 	d.replayed = len(records)
 	d.sinceCheckpoint = len(records)
+	// A replayed mutation thaws the mapped arenas back into trees; only
+	// a clean-suffix boot truly skipped every index build.
+	d.rebuildSkipped = d.mmapBoot && len(records) == 0
 	e.refreshLocked()
 	e.dur = d
 
@@ -310,6 +347,7 @@ func (e *Engine) checkpointLocked() error {
 	d.lastCheckpointLSN = lsn
 	d.sinceCheckpoint = 0
 	d.checkpoints++
+	e.writeArenasLocked(lsn)
 	return nil
 }
 
@@ -346,6 +384,9 @@ func (e *Engine) durabilityStats() *DurabilityStats {
 		SinceCheckpoint: d.sinceCheckpoint,
 		Checkpoints:     d.checkpoints,
 		ReplayedRecords: d.replayed,
+	}
+	if d.arenasEnabled || d.arenaFallback != "" {
+		st.Arena = e.arenaStatsLocked()
 	}
 	e.mu.Unlock()
 	ls := d.log.Stats()

@@ -392,12 +392,13 @@ func truncateWALToPrefix(t *testing.T, dir string, p int) {
 
 // TestRecoveryEquivalenceAtEveryRecordBoundary is the tentpole property
 // test: for a random mutation script, a crash after ANY acknowledged
-// record — exercised for both the single-index and the sharded backend
-// — recovers an engine whose whole query surface (top-k IDs and scores,
-// ranks, preference and keyword refinements) is byte-identical to a
-// never-crashed engine that executed exactly that prefix. Recovery uses
-// a fresh vocabulary each time, so the equivalence also proves keyword
-// relabeling invariance.
+// record — exercised for the single-index backend, the sharded backend,
+// and the mmap-arena boot path (which replays the WAL suffix by thawing
+// the mapped indexes) — recovers an engine whose whole query surface
+// (top-k IDs and scores, ranks, preference and keyword refinements) is
+// byte-identical to a never-crashed engine that executed exactly that
+// prefix. Recovery uses a fresh vocabulary each time, so the
+// equivalence also proves keyword relabeling invariance.
 func TestRecoveryEquivalenceAtEveryRecordBoundary(t *testing.T) {
 	ds, err := dataset.Generate(dataset.DefaultConfig(120, 101))
 	if err != nil {
@@ -407,15 +408,26 @@ func TestRecoveryEquivalenceAtEveryRecordBoundary(t *testing.T) {
 	const nMut = 24
 	muts := mutationScript(ds, nMut, 103)
 
-	for _, shards := range []int{1, 3} {
+	configs := []struct {
+		shards int
+		mmap   bool
+	}{
+		{shards: 1, mmap: false},
+		{shards: 3, mmap: false},
+		{shards: 1, mmap: true},
+		// mmap on a sharded engine must transparently fall back to the
+		// rebuild path with the same answers.
+		{shards: 3, mmap: true},
+	}
+	for _, cfg := range configs {
 		// One full run writes the WAL all prefixes are carved from.
 		master := t.TempDir()
 		e, err := Open(initialObjects(ds), Options{
-			MaxEntries: 16, Shards: shards, DataDir: master, Vocab: ds.Vocab,
-			Fsync: wal.SyncAlways, WALSegmentSize: 1024,
+			MaxEntries: 16, Shards: cfg.shards, DataDir: master, Vocab: ds.Vocab,
+			Fsync: wal.SyncAlways, WALSegmentSize: 1024, MmapArenas: cfg.mmap,
 		})
 		if err != nil {
-			t.Fatalf("shards=%d: Open: %v", shards, err)
+			t.Fatalf("shards=%d: Open: %v", cfg.shards, err)
 		}
 		for _, m := range muts {
 			m.apply(t, e, ds.Vocab)
@@ -427,8 +439,21 @@ func TestRecoveryEquivalenceAtEveryRecordBoundary(t *testing.T) {
 		// Reference engine advances prefix by prefix alongside the crash
 		// points; always unsharded — shard-count invariance of recovery
 		// falls out of comparing the sharded recoveries against it.
+		//
+		// The rebuild path re-interns keywords in checkpoint-row order, so
+		// its reference uses a fresh vocabulary (proving relabeling
+		// invariance). The mmap boot instead pins the recovering
+		// vocabulary to the arena's embedded layout — the writing engine's
+		// own — so it is byte-identical to the ORIGINAL labeling,
+		// including refinement tie-breaks that order by keyword ID; its
+		// reference shares the master vocabulary.
 		refV := vocab.NewVocabulary()
-		ref := NewEngine(object.NewCollection(reinternedObjects(ds, refV)), Options{MaxEntries: 16})
+		refObjs := reinternedObjects(ds, refV)
+		if cfg.mmap && cfg.shards == 1 {
+			refV = ds.Vocab
+			refObjs = initialObjects(ds)
+		}
+		ref := NewEngine(object.NewCollection(refObjs), Options{MaxEntries: 16})
 
 		for p := 0; p <= nMut; p++ {
 			if p > 0 {
@@ -438,15 +463,25 @@ func TestRecoveryEquivalenceAtEveryRecordBoundary(t *testing.T) {
 			truncateWALToPrefix(t, crashed, p)
 			recV := vocab.NewVocabulary()
 			rec, err := Open(nil, Options{
-				MaxEntries: 16, Shards: shards, DataDir: crashed, Vocab: recV,
+				MaxEntries: 16, Shards: cfg.shards, DataDir: crashed, Vocab: recV,
+				MmapArenas: cfg.mmap,
 			})
 			if err != nil {
-				t.Fatalf("shards=%d prefix %d: recovery: %v", shards, p, err)
+				t.Fatalf("shards=%d prefix %d: recovery: %v", cfg.shards, p, err)
 			}
 			if got := rec.Stats().Durability.ReplayedRecords; got != p {
-				t.Fatalf("shards=%d prefix %d: replayed %d records", shards, p, got)
+				t.Fatalf("shards=%d prefix %d: replayed %d records", cfg.shards, p, got)
 			}
-			ctx := fmt.Sprintf("shards=%d/prefix=%d", shards, p)
+			if cfg.mmap && cfg.shards == 1 {
+				st := rec.Stats().Durability.Arena
+				if st == nil || !st.MmapBoot {
+					t.Fatalf("mmap prefix %d: boot did not map the arenas: %+v", p, st)
+				}
+				if skipped := st.RebuildSkipped; skipped != (p == 0) {
+					t.Fatalf("mmap prefix %d: rebuildSkipped = %v", p, skipped)
+				}
+			}
+			ctx := fmt.Sprintf("shards=%d/mmap=%v/prefix=%d", cfg.shards, cfg.mmap, p)
 			assertAnswersMatch(t, ctx, ref, refV, rec, recV, qs)
 			rec.Close()
 		}

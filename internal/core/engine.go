@@ -198,6 +198,16 @@ type Options struct {
 	// checkpoints happen only through explicit Checkpoint calls and at
 	// shutdown.
 	CheckpointEvery int
+	// MmapArenas persists the frozen index arenas alongside every
+	// checkpoint (arena-<family>-<lsn>.yar, see docs/FORMATS.md) and
+	// boots by mmap'ing the newest set matching the restored checkpoint
+	// instead of rebuilding the indexes — recovery skips the bulk-load
+	// and the first mutation thaws a live tree on demand. Any damaged,
+	// missing, or incompatible arena file falls back to the ordinary
+	// rebuild (reason recorded in DurabilityStats.Arena), never a wrong
+	// answer. Ignored for sharded engines (Shards > 1) and memory-only
+	// engines; requires Open.
+	MmapArenas bool
 	// Vocab is the vocabulary the collection's keyword sets are interned
 	// in. Durability needs it to spell keyword IDs back into strings for
 	// WAL records and checkpoints (and to re-intern them on replay), so
@@ -211,6 +221,15 @@ type Options struct {
 
 // NewEngine builds the engine (both indexes) over the collection.
 func NewEngine(c *object.Collection, opts Options) *Engine {
+	return newEngineWith(c, opts, nil, nil)
+}
+
+// newEngineWith is NewEngine with optionally pre-built single-index
+// backends: the mmap-arena boot path (Open) loads both families from
+// checkpoint-consistent arena files and passes them in, skipping the
+// bulk-load rebuild. Both must be non-nil together, built over c, and
+// configured consistently with opts; nil/nil builds them here.
+func newEngineWith(c *object.Collection, opts Options, set *settree.Index, kc *kcrtree.Index) *Engine {
 	maxE := opts.MaxEntries
 	if maxE == 0 {
 		maxE = rtree.DefaultMaxEntries
@@ -240,8 +259,12 @@ func NewEngine(c *object.Collection, opts Options) *Engine {
 			kcrtree.BuilderWith(maxE, e.signatures),
 		})
 	} else {
-		e.set = settree.BuildWith(c, maxE, e.signatures)
-		e.kc = kcrtree.BuildWith(c, maxE, e.signatures)
+		if set != nil && kc != nil {
+			e.set, e.kc = set, kc
+		} else {
+			e.set = settree.BuildWith(c, maxE, e.signatures)
+			e.kc = kcrtree.BuildWith(c, maxE, e.signatures)
+		}
 		e.providers = []index.Provider{e.set, e.kc}
 	}
 	return e

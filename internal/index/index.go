@@ -1,15 +1,5 @@
-// Package index defines the contract every YASK index family — the
-// SetR-tree, the KcR-tree, and the IR-tree baseline — exposes to the
-// engine layers above it: a Provider owning the build/mutate/refresh
-// lifecycle and a Snapshot carrying the arena-scoped query primitives.
-//
-// The contract is what makes the engine composable: internal/core
-// drives the publish/settle/epoch protocol of every family through one
-// Provider slice, and internal/shard stacks S per-partition Providers
-// behind a single scatter-gather Snapshot without knowing which family
-// it is sharding. A sharded family is itself a Snapshot, so every query
-// algorithm in core is written once and runs unchanged over one arena
-// or over S of them.
+// The Provider/Snapshot contract itself. Package overview in doc.go.
+
 package index
 
 import (

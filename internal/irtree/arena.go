@@ -1,0 +1,162 @@
+package irtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/vocab"
+	"github.com/yask-engine/yask/internal/wal"
+)
+
+// This file is the IR-tree's half of the arena persistence format
+// (docs/FORMATS.md). Leaf items serialize as object IDs against the
+// restored collection. The augmentation column stores each node's
+// max-weight postings explicitly packed (u32 keyword + f64 weight, 12
+// bytes, no padding) and decodes by copy — the IR-tree is the
+// comparison baseline, so it takes the simple portable layout instead
+// of the zero-copy aliasing of the two paper families. The text model
+// (idf, norms) is NOT persisted: it is a pure function of the
+// collection, which the checkpoint already restores, so LoadArena
+// rebuilds it deterministically.
+
+// codec implements rtree.ArenaCodec for the IR-tree.
+//
+// Items column: one little-endian u32 object ID per leaf entry.
+//
+// Augs column: a table of u32 posting counts (one per node) followed by
+// the packed postings in node order.
+type codec struct {
+	coll     *object.Collection
+	vocabLen int
+}
+
+func (codec) corrupt(format string, args ...any) error {
+	return &wal.CorruptionError{Detail: "irtree arena: " + fmt.Sprintf(format, args...)}
+}
+
+// AppendItems implements rtree.ArenaCodec.
+func (codec) AppendItems(dst []byte, entries []rtree.LeafEntry[object.Object]) []byte {
+	var b [4]byte
+	for i := range entries {
+		binary.LittleEndian.PutUint32(b[:], uint32(entries[i].Item.ID))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// DecodeItems implements rtree.ArenaCodec.
+func (c codec) DecodeItems(blob []byte, n int) ([]rtree.LeafEntry[object.Object], error) {
+	if len(blob) != n*4 {
+		return nil, c.corrupt("items column is %d bytes, want %d", len(blob), n*4)
+	}
+	entries := make([]rtree.LeafEntry[object.Object], n)
+	for i := 0; i < n; i++ {
+		id := object.ID(binary.LittleEndian.Uint32(blob[i*4:]))
+		if int(id) >= c.coll.Len() {
+			return nil, c.corrupt("entry %d references object %d outside collection of %d", i, id, c.coll.Len())
+		}
+		if !c.coll.Alive(id) {
+			return nil, c.corrupt("entry %d references dead object %d", i, id)
+		}
+		o := c.coll.Get(id)
+		entries[i] = rtree.LeafEntry[object.Object]{Rect: o.Rect(), Item: o}
+	}
+	return entries, nil
+}
+
+// AppendAugs implements rtree.ArenaCodec.
+func (codec) AppendAugs(dst []byte, augs []Aug) []byte {
+	var b [8]byte
+	for i := range augs {
+		binary.LittleEndian.PutUint32(b[:4], uint32(len(augs[i].Postings)))
+		dst = append(dst, b[:4]...)
+	}
+	for i := range augs {
+		for _, p := range augs[i].Postings {
+			binary.LittleEndian.PutUint32(b[:4], uint32(p.K))
+			dst = append(dst, b[:4]...)
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.W))
+			dst = append(dst, b[:]...)
+		}
+	}
+	return dst
+}
+
+// DecodeAugs implements rtree.ArenaCodec.
+func (c codec) DecodeAugs(blob []byte, nodes int) ([]Aug, error) {
+	table := nodes * 4
+	if len(blob) < table {
+		return nil, c.corrupt("aug column is %d bytes, table alone needs %d", len(blob), table)
+	}
+	if (len(blob)-table)%12 != 0 {
+		return nil, c.corrupt("posting slab length %d is not a multiple of 12", len(blob)-table)
+	}
+	total := (len(blob) - table) / 12
+	augs := make([]Aug, nodes)
+	off := 0
+	pos := table
+	for i := 0; i < nodes; i++ {
+		n := int(binary.LittleEndian.Uint32(blob[i*4:]))
+		if n < 0 || off+n > total {
+			return nil, c.corrupt("node %d posting range overruns slab", i)
+		}
+		ps := make([]Posting, n)
+		for j := range ps {
+			k := binary.LittleEndian.Uint32(blob[pos:])
+			w := math.Float64frombits(binary.LittleEndian.Uint64(blob[pos+4:]))
+			if int(k) >= c.vocabLen {
+				return nil, c.corrupt("node %d keyword %d outside embedded vocabulary of %d", i, k, c.vocabLen)
+			}
+			if j > 0 && ps[j-1].K >= vocab.Keyword(k) {
+				return nil, c.corrupt("node %d postings not strictly sorted at index %d", i, j)
+			}
+			if math.IsNaN(w) || w < 0 {
+				return nil, c.corrupt("node %d posting weight %v for keyword %d", i, w, k)
+			}
+			ps[j] = Posting{K: vocab.Keyword(k), W: w}
+			pos += 12
+		}
+		off += n
+		augs[i] = Aug{Postings: ps}
+	}
+	if off != total {
+		return nil, c.corrupt("posting slab has %d unused postings", total-off)
+	}
+	return augs, nil
+}
+
+// SaveArena serializes the currently published arena in the on-disk
+// format; see settree.Index.SaveArena.
+func (ix *Index) SaveArena(lsn uint64, vocabWords []string) []byte {
+	return ix.pub.Flat().AppendArena(nil, codec{coll: ix.coll},
+		rtree.ArenaMeta{LSN: lsn, MaxDist: ix.coll.MaxDist(), Vocab: vocabWords})
+}
+
+// LoadArena builds an Index serving the loaded arena without a tree
+// rebuild. The text model is recomputed from the collection (it is a
+// deterministic function of it, so the persisted posting weights match
+// exactly); maxEntries is the fanout of the thaw tree and of later
+// epoch rebuilds. See settree.LoadArena for the rest of the contract.
+func LoadArena(raw *rtree.RawArena, c *object.Collection, maxEntries int) (*Index, error) {
+	model := newTextModel(c.View(), len(raw.Vocab()))
+	f, err := rtree.BuildFlat[object.Object, Aug](raw, codec{coll: c, vocabLen: len(raw.Vocab())})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{coll: c, sigs: raw.HasSigs(), fanout: maxEntries}
+	ix.pub = rtree.NewMappedPublisher(f, ix.wrapWith(model), func(ff *rtree.Flat[object.Object, Aug]) *rtree.Tree[object.Object, Aug] {
+		t := rtree.New[object.Object, Aug](augmenter{model: ix.Model()}, maxEntries)
+		t.SetFreezeSigs(ix.sigs)
+		// BulkLoad sorts in place; the mapped flat keeps serving its
+		// entry slice, so thaw from a copy.
+		t.BulkLoad(append([]rtree.LeafEntry[object.Object](nil), ff.AllEntries()...))
+		return t
+	})
+	return ix, nil
+}
+
+// Mapped reports whether the index is still serving a mapped arena.
+func (ix *Index) Mapped() bool { return ix.pub.Mapped() }

@@ -1,0 +1,116 @@
+package irtree
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+func saveLoadArena(t *testing.T, ix *Index, ds *dataset.Dataset, maxE int) *Index {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "arena-ir-0000000000000007.yar")
+	if err := rtree.WriteArenaFile(path, ix.SaveArena(7, ds.Vocab.All())); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rtree.OpenArena(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArena(raw, ds.Objects, maxE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestArenaRoundTripQueries: the IR-tree loaded from its arena (text
+// model recomputed from the collection, postings decoded by copy)
+// serves identical top-k answers, with and without signatures.
+func TestArenaRoundTripQueries(t *testing.T) {
+	ds := testDataset(t, 300, 91)
+	qs := lifecycleQueries(ds, 8, 92)
+	for _, sigs := range []bool{true, false} {
+		ix := Build(ds.Objects, ds.Vocab.Len(), 16)
+		if !sigs {
+			ix.SetSignatures(false)
+			ix.Refresh()
+		}
+		loaded := saveLoadArena(t, ix, ds, 16)
+		if !loaded.Mapped() {
+			t.Fatal("loaded index is not serving the mapped arena")
+		}
+		for qi, q := range qs {
+			wr, err := ix.TopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := loaded.TopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wr) != len(gr) {
+				t.Fatalf("sigs=%v q%d: %d results, want %d", sigs, qi, len(gr), len(wr))
+			}
+			for i := range wr {
+				if wr[i].Obj.ID != gr[i].Obj.ID || wr[i].Score != gr[i].Score {
+					t.Fatalf("sigs=%v q%d rank %d: got (%d, %v), want (%d, %v)",
+						sigs, qi, i, gr[i].Obj.ID, gr[i].Score, wr[i].Obj.ID, wr[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaThawOnMutation: the first managed mutation on a mapped
+// IR-tree thaws a live tree; the post-refresh epoch rebuild reuses the
+// fanout the arena was loaded with.
+func TestArenaThawOnMutation(t *testing.T) {
+	ds := testDataset(t, 200, 93)
+	q := lifecycleQueries(ds, 1, 94)[0]
+	loaded := saveLoadArena(t, Build(ds.Objects, ds.Vocab.Len(), 16), ds, 16)
+
+	id := ds.Objects.Append(object.Object{Loc: q.Loc, Doc: q.Doc})
+	loaded.Insert(ds.Objects.Get(id))
+	if loaded.Mapped() {
+		t.Fatal("index still reports mapped after a managed mutation")
+	}
+	loaded.Refresh()
+	after, err := loaded.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Obj.ID != id {
+		t.Fatalf("rank 1 after refresh = %d, want the inserted winner %d", after[0].Obj.ID, id)
+	}
+	want := loaded.ScanTopK(q)
+	for i := range want {
+		if want[i].Obj.ID != after[i].Obj.ID {
+			t.Fatalf("rank %d: tree %d, scan oracle %d", i+1, after[i].Obj.ID, want[i].Obj.ID)
+		}
+	}
+}
+
+// TestArenaWarmTopKZeroAllocs: warm top-k on the mapped IR-tree arena
+// must not allocate.
+func TestArenaWarmTopKZeroAllocs(t *testing.T) {
+	ds := testDataset(t, 400, 95)
+	qs := lifecycleQueries(ds, 16, 96)
+	loaded := saveLoadArena(t, Build(ds.Objects, ds.Vocab.Len(), 16), ds, 16)
+
+	var buf []score.Result
+	for _, q := range qs {
+		buf, _ = loaded.TopKAppend(q, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, q := range qs {
+			buf, _ = loaded.TopKAppend(q, buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm TopK on mapped arena allocated %.2f times per batch, want 0", allocs)
+	}
+}

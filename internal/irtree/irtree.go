@@ -284,6 +284,10 @@ type Index struct {
 	// scratch pools per-query traversal state so warm queries run
 	// allocation-free.
 	scratch sync.Pool
+	// fanout is the tree fanout for epoch rebuilds when the index was
+	// loaded from a mapped arena (LoadArena) and has no tree to read
+	// MaxEntries from; 0 on tree-built indexes.
+	fanout int
 }
 
 // Arena is one published epoch: the frozen arena, the text model its
@@ -349,7 +353,9 @@ func Builder(maxEntries int) index.Builder {
 // into each rebuilt epoch). Must be called before the index is shared.
 func (ix *Index) SetSignatures(on bool) {
 	ix.sigs = on
-	ix.pub.Tree().SetFreezeSigs(on)
+	if t := ix.pub.Tree(); t != nil {
+		t.SetFreezeSigs(on)
+	}
 }
 
 // Signatures reports whether the signature layer is enabled.
@@ -417,8 +423,11 @@ func (ix *Index) Remove(o object.Object) bool {
 // size is re-derived from the data (newTextModel widens it from the
 // view) so documents interned after Build are covered.
 func (ix *Index) Refresh() {
-	old := ix.pub.Tree()
-	t, model := buildEpoch(ix.coll, len(ix.Model().idf), old.MaxEntries())
+	fan := ix.fanout
+	if old := ix.pub.Tree(); old != nil {
+		fan = old.MaxEntries()
+	}
+	t, model := buildEpoch(ix.coll, len(ix.Model().idf), fan)
 	t.SetFreezeSigs(ix.sigs)
 	ix.pub.Publish(t, ix.wrapWith(model))
 }
@@ -440,8 +449,8 @@ func (ix *Index) Model() *TextModel { return ix.pub.Payload().(*Arena).model }
 func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.pub.Tree() }
 
 // Stats returns the node-access statistics collector of the current
-// epoch's tree.
-func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
+// epoch's published arena (shared with its tree when there is one).
+func (ix *Index) Stats() *rtree.Stats { return ix.pub.Flat().Stats() }
 
 // Score returns the IR-tree ranking score of object o for query q:
 // ws·(1 − SDist) + wt·Cosine. It mirrors Eqn 1 with the cosine model in
@@ -701,7 +710,20 @@ func (ix *Index) ScanTopK(q score.Query) []score.Result {
 // SpatialOnlyNearest returns the spatially nearest object, a convenience
 // used by explanation heuristics and tests.
 func (ix *Index) SpatialOnlyNearest(p geo.Point) (object.Object, bool) {
-	nn := ix.pub.Tree().KNN(p, 1)
+	t := ix.pub.Tree()
+	if t == nil {
+		// Mapped arena: scan the frozen entries — this explanation
+		// helper is far off the hot path.
+		best, ok := object.Object{}, false
+		bestD := 0.0
+		for _, e := range ix.pub.Flat().AllEntries() {
+			if d := p.Dist(e.Item.Loc); !ok || d < bestD {
+				best, bestD, ok = e.Item, d, true
+			}
+		}
+		return best, ok
+	}
+	nn := t.KNN(p, 1)
 	if len(nn) == 0 {
 		return object.Object{}, false
 	}

@@ -1,0 +1,96 @@
+package kcrtree
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/dataset"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/rtree"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+func saveLoadArena(t *testing.T, ix *Index, ds *dataset.Dataset, maxE int) *Index {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "arena-kc-0000000000000007.yar")
+	if err := rtree.WriteArenaFile(path, ix.SaveArena(7, ds.Vocab.All())); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rtree.OpenArena(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArena(raw, ds.Objects, maxE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestArenaRoundTripRanks: the kc-rtree loaded from its arena answers
+// the whole rank surface (RankOf, CountBetter) identically to the index
+// it was saved from, with and without signatures.
+func TestArenaRoundTripRanks(t *testing.T) {
+	ds := testDataset(t, 300, 81)
+	qs := lifecycleQueries(ds, 6, 82)
+	for _, sigs := range []bool{true, false} {
+		ix := BuildWith(ds.Objects, 16, sigs)
+		loaded := saveLoadArena(t, ix, ds, 16)
+		if !loaded.Mapped() {
+			t.Fatal("loaded index is not serving the mapped arena")
+		}
+		for qi, q := range qs {
+			s := score.NewScorer(q, ds.Objects)
+			for id := 0; id < ds.Objects.Len(); id += 17 {
+				oid := object.ID(id)
+				wrank, err := ix.RankOf(s, oid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				grank, err := loaded.RankOf(s, oid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wrank != grank {
+					t.Fatalf("sigs=%v q%d: RankOf(%d) = %d, want %d", sigs, qi, id, grank, wrank)
+				}
+				ref := s.Score(ds.Objects.Get(oid))
+				wcb, err := ix.CountBetter(s, ref, oid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gcb, err := loaded.CountBetter(s, ref, oid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wcb != gcb {
+					t.Fatalf("sigs=%v q%d: CountBetter(%d) = %d, want %d", sigs, qi, id, gcb, wcb)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaThawOnMutation: the first managed mutation on a mapped
+// kc-rtree thaws a live tree whose post-refresh ranks include the new
+// object.
+func TestArenaThawOnMutation(t *testing.T) {
+	ds := testDataset(t, 150, 83)
+	q := lifecycleQueries(ds, 1, 84)[0]
+	loaded := saveLoadArena(t, Build(ds.Objects, 16), ds, 16)
+
+	id := ds.Objects.Append(object.Object{Loc: q.Loc, Doc: q.Doc})
+	loaded.Insert(ds.Objects.Get(id))
+	if loaded.Mapped() {
+		t.Fatal("index still reports mapped after a managed mutation")
+	}
+	loaded.Refresh()
+	s := score.NewScorer(q, ds.Objects)
+	rank, err := loaded.RankOf(s, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 1 {
+		t.Fatalf("inserted winner ranks %d, want 1", rank)
+	}
+}

@@ -294,7 +294,9 @@ func BuilderWith(maxEntries int, signatures bool) index.Builder {
 // is shared.
 func (ix *Index) SetSignatures(on bool) {
 	ix.sigs = on
-	ix.pub.Tree().SetFreezeSigs(on)
+	if t := ix.pub.Tree(); t != nil {
+		t.SetFreezeSigs(on)
+	}
 }
 
 // Signatures reports whether the signature pruning layer is enabled.
@@ -340,13 +342,15 @@ func (ix *Index) Refresh() { ix.pub.Refresh() }
 // Collection returns the indexed collection.
 func (ix *Index) Collection() *object.Collection { return ix.coll }
 
-// Tree exposes the underlying augmented R-tree. Mutating it directly
-// leaves the published snapshot stale and queries will error until
-// Refresh.
+// Tree exposes the underlying augmented R-tree; nil while the index
+// serves a mapped arena (LoadArena) that no mutation has thawed yet.
+// Mutating it directly leaves the published snapshot stale and queries
+// will error until Refresh.
 func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.pub.Tree() }
 
-// Stats returns the node-access statistics collector.
-func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
+// Stats returns the node-access statistics collector of the published
+// arena (shared with the source tree when there is one).
+func (ix *Index) Stats() *rtree.Stats { return ix.pub.Flat().Stats() }
 
 // TSimBounds returns lower and upper bounds on the Jaccard similarity
 // between qdoc and the document of any object under a node with

@@ -35,6 +35,7 @@ var publishWriters = map[string]bool{
 // pointers.
 var publishCommitSites = map[string]bool{
 	"/internal/rtree.SnapshotPublisher.publishLocked": true,
+	"/internal/rtree.NewMappedPublisher":              true,
 	"/internal/object.NewCollection":                  true,
 	"/internal/object.NewCollectionWithDead":          true,
 	"/internal/object.Collection.Append":              true,

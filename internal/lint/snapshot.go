@@ -50,10 +50,13 @@ var snapshotFamilies = []string{
 // snapshotImportAllow lists, per file base name inside a restricted
 // package, the family packages that file may import. engine.go is the
 // construction site: it wires concrete builders into the backend and
-// exposes the typed accessors; every algorithm file stays on the
-// contract.
+// exposes the typed accessors. arena.go is the persistence
+// counterpart: it rebuilds those same concrete indexes from mmap'd
+// arena files at boot and serializes them at checkpoints. Every
+// algorithm file stays on the contract.
 var snapshotImportAllow = map[string][]string{
 	"engine.go": {"/internal/settree", "/internal/kcrtree", "/internal/rtree"},
+	"arena.go":  {"/internal/settree", "/internal/kcrtree", "/internal/rtree"},
 }
 
 // snapshotTreeMutators are the rtree.Tree methods that mutate: calling
@@ -109,7 +112,7 @@ func runSnapshotDiscipline(pass *analysis.Pass) error {
 				if !inFamily && key == pass.Module+"/internal/rtree.Tree.Insert" || !inFamily && key == pass.Module+"/internal/rtree.Tree.Delete" {
 					pass.Reportf(n.Pos(), "direct rtree.Tree.%s outside the index families bypasses the publisher's generation protocol", fn.Name())
 				}
-				if restricted && snapshotRawAccessors[fn.Name()] && familyOwned(fn, pass.Module) && fileName != "engine.go" {
+				if restricted && snapshotRawAccessors[fn.Name()] && familyOwned(fn, pass.Module) && snapshotImportAllow[fileName] == nil {
 					pass.Reportf(n.Pos(), "raw %s() access from %s: acquire an index.Snapshot instead", fn.Name(), pkgPath)
 				}
 			}

@@ -1,0 +1,34 @@
+package rtree
+
+import "unsafe"
+
+// hostLittleEndian reports whether this process can alias the arena
+// file's little-endian columns directly as Go slices. The file format
+// itself is endianness-fixed (always little-endian); on a big-endian
+// host OpenArena refuses and the caller rebuilds instead — correctness
+// is never at stake, only the zero-copy boot.
+var hostLittleEndian = func() bool {
+	x := uint32(0x01020304)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04
+}()
+
+// aliasSlice reinterprets a column payload as a slice of its POD
+// element type without copying. The payload is 8-byte aligned by the
+// frame layout (every frame starts on an 8-byte boundary and the 8-byte
+// frame header preserves it), elemSize is unsafe.Sizeof(T), and the
+// caller has already verified len(b) is a multiple of elemSize. Only
+// valid on little-endian hosts — OpenArena guards that.
+func aliasSlice[T any](b []byte, elemSize int) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/elemSize)
+}
+
+// AliasColumn is aliasSlice for the family codecs: it reinterprets a
+// sub-range of a column payload as a slice of a POD element type
+// (keywords, count pairs) without copying. The caller must pass
+// elemSize == unsafe.Sizeof(T), ensure len(b) is a multiple of it, and
+// keep the base offset aligned for T; decoded slices alias the mapped
+// file and must never be written.
+func AliasColumn[T any](b []byte, elemSize int) []T { return aliasSlice[T](b, elemSize) }

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package rtree
+
+// mapArenaFile on platforms without mmap support reads the whole file
+// into memory: same layout, same verification, one copy. Mapped
+// reports false so stats can tell the difference.
+func mapArenaFile(path string) (data []byte, unmap func() error, mapped bool, err error) {
+	return readArenaFile(path)
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package rtree
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapArenaFile maps the file read-only. The returned unmap releases the
+// mapping; mapped is true (this is the real zero-copy path). An empty
+// file cannot be mmap'd, so it degrades to an empty heap slice — the
+// header parser rejects it either way.
+func mapArenaFile(path string) (data []byte, unmap func() error, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, true, nil
+}

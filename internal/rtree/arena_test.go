@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/yask-engine/yask/internal/geo"
+	"github.com/yask-engine/yask/internal/wal"
+)
+
+// testCodec is the simplest possible ArenaCodec: int leaf payloads as
+// little-endian u32, None augmentations as an empty column.
+type testCodec struct{}
+
+func (testCodec) AppendItems(dst []byte, entries []LeafEntry[id]) []byte {
+	var b [4]byte
+	for i := range entries {
+		binary.LittleEndian.PutUint32(b[:], uint32(entries[i].Item))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func (testCodec) DecodeItems(blob []byte, n int) ([]LeafEntry[id], error) {
+	if len(blob) != n*4 {
+		return nil, &wal.CorruptionError{Detail: fmt.Sprintf("test items column is %d bytes, want %d", len(blob), n*4)}
+	}
+	// The rect column is decoded by the generic layer; a real codec
+	// recovers entry rects from its item source (the collection). The
+	// test payload is just the ID, so rebuild point rects from it via
+	// the deterministic generator below.
+	entries := make([]LeafEntry[id], n)
+	for i := 0; i < n; i++ {
+		v := id(binary.LittleEndian.Uint32(blob[i*4:]))
+		entries[i] = LeafEntry[id]{Rect: testArenaPoints[v], Item: v}
+	}
+	return entries, nil
+}
+
+func (testCodec) AppendAugs(dst []byte, _ []None) []byte { return dst }
+
+func (testCodec) DecodeAugs(blob []byte, nodes int) ([]None, error) {
+	if len(blob) != 0 {
+		return nil, &wal.CorruptionError{Detail: "test aug column must be empty"}
+	}
+	return make([]None, nodes), nil
+}
+
+// testArenaPoints is the fixed rect-per-ID table testCodec decodes
+// against (index = leaf item value).
+var testArenaPoints = buildTestArenaPoints(80)
+
+func buildTestArenaPoints(n int) []geo.Rect {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, n)
+	rects := make([]geo.Rect, n)
+	for i, p := range pts {
+		rects[i] = geo.RectFromPoint(p)
+	}
+	return rects
+}
+
+func testArenaFlat(t *testing.T) (*Flat[id, None], ArenaMeta) {
+	t.Helper()
+	tr := New(NoAug[id](), 4)
+	entries := make([]LeafEntry[id], len(testArenaPoints))
+	for i := range testArenaPoints {
+		entries[i] = LeafEntry[id]{Rect: testArenaPoints[i], Item: id(i)}
+	}
+	tr.BulkLoad(entries)
+	return tr.Freeze(), ArenaMeta{LSN: 42, MaxDist: 1234.5, Vocab: []string{"pool", "wifi", "bar"}}
+}
+
+func writeTestArena(t *testing.T, f *Flat[id, None], meta ArenaMeta) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "arena-test-000000000000002a.yar")
+	if err := WriteArenaFile(path, f.AppendArena(nil, testCodec{}, meta)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// flatsEqual compares every column of two snapshots.
+func flatsEqual(a, b *Flat[id, None]) bool {
+	return reflect.DeepEqual(a.rects, b.rects) &&
+		reflect.DeepEqual(a.childStart, b.childStart) &&
+		reflect.DeepEqual(a.childEnd, b.childEnd) &&
+		reflect.DeepEqual(a.entryStart, b.entryStart) &&
+		reflect.DeepEqual(a.entryEnd, b.entryEnd) &&
+		reflect.DeepEqual(a.entries, b.entries) &&
+		a.size == b.size
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	f, meta := testArenaFlat(t)
+	path := writeTestArena(t, f, meta)
+
+	raw, err := OpenArena(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if raw.LSN() != meta.LSN || raw.MaxDist() != meta.MaxDist {
+		t.Fatalf("meta round trip: LSN=%d MaxDist=%v", raw.LSN(), raw.MaxDist())
+	}
+	if raw.HasSigs() {
+		t.Fatal("signature flag set on a sig-less snapshot")
+	}
+	if !reflect.DeepEqual(raw.Vocab(), meta.Vocab) {
+		t.Fatalf("vocab round trip: %v", raw.Vocab())
+	}
+	got, err := BuildFlat[id, None](raw, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatsEqual(f, got) {
+		t.Fatal("loaded snapshot differs from the frozen one")
+	}
+	if got.Generation() != f.Generation() {
+		t.Fatalf("generation: %d vs %d", got.Generation(), f.Generation())
+	}
+}
+
+// TestArenaFaultEveryByte is the format's exhaustive fault test: for
+// EVERY byte of a valid arena file, a single bit flip must either be
+// detected (a typed wal.ErrCorrupt) or be provably harmless (the loaded
+// snapshot is column-identical — flips landing in inter-frame zero
+// padding). Likewise every possible truncation length must be detected.
+// There is no third outcome: a fault can never produce a different
+// snapshot.
+func TestArenaFaultEveryByte(t *testing.T) {
+	f, meta := testArenaFlat(t)
+	path := writeTestArena(t, f, meta)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(ctx string) {
+		raw, err := OpenArena(path)
+		if err != nil {
+			if !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("%s: error %v is not wal.ErrCorrupt", ctx, err)
+			}
+			return
+		}
+		defer raw.Close()
+		got, err := BuildFlat[id, None](raw, testCodec{})
+		if err != nil {
+			if !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("%s: decode error %v is not wal.ErrCorrupt", ctx, err)
+			}
+			return
+		}
+		if !flatsEqual(f, got) {
+			t.Fatalf("%s: fault survived verification AND changed the snapshot", ctx)
+		}
+	}
+
+	for off := range pristine {
+		mutated := append([]byte(nil), pristine...)
+		mutated[off] ^= 1 << (off % 8)
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("bit flip at byte %d", off))
+	}
+	for n := 0; n < len(pristine); n++ {
+		if err := os.WriteFile(path, pristine[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("truncation to %d bytes", n))
+	}
+}

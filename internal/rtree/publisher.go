@@ -56,6 +56,11 @@ type SnapshotPublisher[L, A any] struct {
 	// wrap builds the payload published alongside each frozen arena.
 	// Nil publishes a nil payload.
 	wrap func(*Flat[L, A]) any
+	// thaw, set only by NewMappedPublisher, rebuilds a live Tree from a
+	// mapped arena's entries on the first managed mutation. While the
+	// published state is mapped (pubState.tree == nil) the snapshot is
+	// never stale and Refresh is a no-op.
+	thaw func(*Flat[L, A]) *Tree[L, A]
 }
 
 // NewSnapshotPublisher freezes the tree's current content and returns a
@@ -67,6 +72,41 @@ func NewSnapshotPublisher[L, A any](t *Tree[L, A], wrap func(*Flat[L, A]) any) *
 	p := &SnapshotPublisher[L, A]{wrap: wrap}
 	p.publishLocked(t)
 	return p
+}
+
+// NewMappedPublisher publishes a Flat loaded from an arena file
+// (BuildFlat) without any source tree: queries serve the mapped columns
+// directly and the snapshot is never stale. The mapped state lasts
+// until the first managed mutation, which calls thaw to rebuild a live
+// Tree from the arena's entries and publishes its frozen epoch — from
+// then on the publisher behaves exactly like one built over a tree.
+// Refresh on a still-mapped state is a no-op: there is nothing newer to
+// freeze.
+func NewMappedPublisher[L, A any](f *Flat[L, A], wrap func(*Flat[L, A]) any, thaw func(*Flat[L, A]) *Tree[L, A]) *SnapshotPublisher[L, A] {
+	p := &SnapshotPublisher[L, A]{wrap: wrap, thaw: thaw}
+	f.epoch = NextEpoch()
+	st := &pubState[L, A]{flat: f}
+	if p.wrap != nil {
+		st.payload = p.wrap(f)
+	}
+	p.st.Store(st)
+	return p
+}
+
+// Mapped reports whether the current published state is a mapped arena
+// with no live tree behind it (no managed mutation has thawed it yet).
+func (p *SnapshotPublisher[L, A]) Mapped() bool { return p.st.Load().tree == nil }
+
+// thawLocked returns the current tree, rebuilding one from the mapped
+// arena on first need. Callers hold mu.
+func (p *SnapshotPublisher[L, A]) thawLocked() *Tree[L, A] {
+	st := p.st.Load()
+	if st.tree != nil {
+		return st.tree
+	}
+	t := p.thaw(st.flat)
+	p.publishLocked(t)
+	return t
 }
 
 // publishLocked freezes t and publishes the new epoch. Callers hold mu
@@ -82,9 +122,10 @@ func (p *SnapshotPublisher[L, A]) publishLocked(t *Tree[L, A]) {
 	p.knownGen.Store(t.Generation())
 }
 
-// Tree returns the underlying tree of the current epoch. Mutating it
-// directly leaves the published snapshot stale and Snapshot will error
-// until Refresh.
+// Tree returns the underlying tree of the current epoch, or nil while
+// the published state is a mapped arena (Mapped). Mutating it directly
+// leaves the published snapshot stale and Snapshot will error until
+// Refresh.
 func (p *SnapshotPublisher[L, A]) Tree() *Tree[L, A] { return p.st.Load().tree }
 
 // Flat returns the current published arena without a freshness check.
@@ -99,6 +140,10 @@ func (p *SnapshotPublisher[L, A]) Payload() any { return p.st.Load().payload }
 // a *StaleSnapshotError (matching ErrStaleSnapshot) otherwise.
 func (p *SnapshotPublisher[L, A]) Snapshot() (*Flat[L, A], any, error) {
 	st := p.st.Load()
+	if st.tree == nil {
+		// Mapped arena: immutable by construction, never stale.
+		return st.flat, st.payload, nil
+	}
 	if g := st.tree.Generation(); g == p.knownGen.Load() {
 		return st.flat, st.payload, nil
 	}
@@ -121,7 +166,7 @@ func (p *SnapshotPublisher[L, A]) Snapshot() (*Flat[L, A], any, error) {
 func (p *SnapshotPublisher[L, A]) Insert(rect geo.Rect, item L) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	t := p.st.Load().tree
+	t := p.thawLocked()
 	t.Insert(rect, item)
 	p.knownGen.Store(t.Generation())
 }
@@ -131,7 +176,7 @@ func (p *SnapshotPublisher[L, A]) Insert(rect geo.Rect, item L) {
 func (p *SnapshotPublisher[L, A]) Remove(rect geo.Rect, match func(L) bool) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	t := p.st.Load().tree
+	t := p.thawLocked()
 	ok := t.Delete(rect, match)
 	p.knownGen.Store(t.Generation())
 	return ok
@@ -143,7 +188,13 @@ func (p *SnapshotPublisher[L, A]) Remove(rect geo.Rect, match func(L) bool) bool
 func (p *SnapshotPublisher[L, A]) Refresh() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.publishLocked(p.st.Load().tree)
+	t := p.st.Load().tree
+	if t == nil {
+		// Still serving a mapped arena: no mutations have happened, so
+		// there is nothing newer to freeze.
+		return
+	}
+	p.publishLocked(t)
 }
 
 // Publish replaces the whole epoch with a freshly built tree — the

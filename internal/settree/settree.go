@@ -74,7 +74,7 @@ func (augmenter) Merge(a, b Aug) Aug {
 }
 
 // BoundMode selects the Jaccard bound the index prunes with; it exists
-// for the ablation study of the doc-length tightening (DESIGN.md §5).
+// for the ablation study of the doc-length tightening (experiment e8).
 type BoundMode int
 
 const (
@@ -166,7 +166,9 @@ func (ix *Index) SetBoundMode(m BoundMode) { ix.bound = m }
 // called before the index is shared.
 func (ix *Index) SetSignatures(on bool) {
 	ix.sigs = on
-	ix.pub.Tree().SetFreezeSigs(on)
+	if t := ix.pub.Tree(); t != nil {
+		t.SetFreezeSigs(on)
+	}
 }
 
 // Signatures reports whether the signature pruning layer is enabled.
@@ -288,12 +290,14 @@ func (ix *Index) Refresh() { ix.pub.Refresh() }
 func (ix *Index) Collection() *object.Collection { return ix.coll }
 
 // Tree exposes the underlying augmented R-tree for structural inspection
-// (tests, stats). Mutating it directly leaves the published snapshot
-// stale and queries will error until Refresh.
+// (tests, stats); nil while the index serves a mapped arena (LoadArena)
+// that no mutation has thawed yet. Mutating it directly leaves the
+// published snapshot stale and queries will error until Refresh.
 func (ix *Index) Tree() *rtree.Tree[object.Object, Aug] { return ix.pub.Tree() }
 
-// Stats returns the node-access statistics collector.
-func (ix *Index) Stats() *rtree.Stats { return ix.pub.Tree().Stats() }
+// Stats returns the node-access statistics collector of the published
+// arena (shared with the source tree when there is one).
+func (ix *Index) Stats() *rtree.Stats { return ix.pub.Flat().Stats() }
 
 // TSimUpperBound returns an upper bound on the Jaccard similarity
 // between qdoc and the document of any object under a node with the

@@ -1,22 +1,6 @@
-// Package shard partitions a collection into S spatial shards and runs
-// per-shard index builds, refreshes, and queries independently — the
-// layer that lets the engine scale with cores (and, later, machines)
-// without the index families knowing they are sharded.
-//
-// The subsystem is generic over index families: a Family stacks S
-// index.Providers (one per partition, built by an index.Builder) behind
-// a single scatter-gather View that itself implements index.Snapshot,
-// so every query algorithm written against the shared contract runs
-// unchanged over one arena or over S of them.
-//
-// Identity model: each shard owns a local object.Collection with dense
-// local IDs; the Map records local↔global translations. Objects are
-// assigned to shards in global ID order and appends route through the
-// Map, so within any shard, local ID order equals global ID order —
-// the invariant that makes per-shard tie-breaks compose into the exact
-// global (score, ID) ranking: a global rank is the sum of per-shard
-// strict-dominance counts against per-shard tie thresholds, and a
-// global top-k is the k-merge of per-shard top-k lists.
+// The Map: shard assignment, local↔global ID translation, and the
+// splitter-driven partition bounds. Package overview in doc.go.
+
 package shard
 
 import (

@@ -85,6 +85,35 @@ func (v *Vocabulary) Len() int {
 	return len(v.words)
 }
 
+// All returns every interned word in keyword-ID order: index i is the
+// word of Keyword(i). The arena persistence layer embeds this list in
+// each file so a later process can pin the same IDs to the same words
+// (EnsurePrefix) before mapping keyword columns.
+func (v *Vocabulary) All() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, len(v.words))
+	copy(out, v.words)
+	return out
+}
+
+// EnsurePrefix interns words in order and reports whether they ended up
+// occupying keyword IDs 0..len(words)-1 — i.e. whether this vocabulary
+// now assigns exactly the IDs the list was saved under. It is how boot
+// validates that an arena file's embedded vocabulary is compatible with
+// the engine's: true on an empty (or identically-seeded) vocabulary,
+// false whenever prior interning already claimed a conflicting ID, in
+// which case the caller must not trust any persisted keyword column.
+func (v *Vocabulary) EnsurePrefix(words []string) bool {
+	ok := true
+	for i, w := range words {
+		if v.Intern(w) != Keyword(i) {
+			ok = false
+		}
+	}
+	return ok
+}
+
 // InternSet interns every word and returns them as a KeywordSet.
 func (v *Vocabulary) InternSet(words ...string) KeywordSet {
 	ids := make([]Keyword, 0, len(words))

@@ -1,0 +1,38 @@
+// Package wal implements the engine's durability subsystem: a
+// segmented, append-only write-ahead log of Insert/Remove mutation
+// records plus atomic checkpoint files that snapshot the whole
+// collection and retire the log segments they cover. The byte-level
+// layout of every structure this package writes — and of the index
+// arena files (internal/rtree) that share its CRC framing conventions
+// and its typed corruption errors — is specified normatively in
+// docs/FORMATS.md.
+//
+// Every record is framed as
+//
+//	u32 payload length | u32 CRC32C(payload) | payload
+//
+// (little-endian, Castagnoli polynomial) and carries a log sequence
+// number (LSN) assigned densely from 1. Segments are files named
+// wal-<first LSN>.log with a 16-byte header; when one grows past
+// Options.SegmentSize the log rotates to a new file, and a checkpoint
+// at LSN C deletes every segment whose records all have LSN ≤ C.
+//
+// Checkpoints (ckpt-<LSN>.ckpt) are full-collection snapshots —
+// tombstones included, because dead locations keep stretching the
+// score-normalization space — sealed by a trailing whole-file CRC32C
+// and written with the atomic temp-fsync-rename-dirsync protocol.
+// LoadCheckpoint returns the newest checkpoint that verifies
+// end-to-end, falling back to older ones over damaged newer ones.
+//
+// Recovery discipline (the Badger/etcd WAL contract): a crash can only
+// tear the tail of the newest segment — rotation syncs a segment before
+// the next one is created — so on open a short or CRC-failing record at
+// the very end of the newest segment is truncated away (a torn write of
+// a record that was never acknowledged), while any damage earlier in
+// the chain (a bit flip, a missing segment, an LSN gap) surfaces as a
+// *CorruptionError matching ErrCorrupt. Recovery therefore always
+// restores an exact prefix of the acknowledged mutation sequence or
+// fails loudly — never a wrong or silently stale state. The faultio
+// subpackage injects power cuts, bit flips, and truncations to prove
+// it.
+package wal

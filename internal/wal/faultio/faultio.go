@@ -97,3 +97,28 @@ func (w *file) Sync() error {
 }
 
 func (w *file) Close() error { return w.f.Close() }
+
+// FlipBit flips bit (off mod 8) of the byte at offset off in the file
+// at path — the at-rest counterpart to the injector's in-flight faults,
+// used to prove every on-disk structure (WAL segments, checkpoints,
+// arena files) detects single-bit rot at any offset.
+func FlipBit(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (off % 8)
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// TruncateAt cuts the file at path to n bytes, simulating a torn write
+// or partial copy of an at-rest file.
+func TruncateAt(path string, n int64) error {
+	return os.Truncate(path, n)
+}

@@ -1,27 +1,6 @@
-// Package wal implements the engine's durability subsystem: a
-// segmented, append-only write-ahead log of Insert/Remove mutation
-// records plus atomic checkpoint files that snapshot the whole
-// collection and retire the log segments they cover.
-//
-// Every record is framed as
-//
-//	u32 payload length | u32 CRC32C(payload) | payload
-//
-// (little-endian, Castagnoli polynomial) and carries a log sequence
-// number (LSN) assigned densely from 1. Segments are files named
-// wal-<first LSN>.log with an 16-byte header; when one grows past
-// Options.SegmentSize the log rotates to a new file, and a checkpoint
-// at LSN C deletes every segment whose records all have LSN ≤ C.
-//
-// Recovery discipline (the Badger/etcd WAL contract): a crash can only
-// tear the tail of the newest segment — rotation syncs a segment before
-// the next one is created — so on open a short or CRC-failing record at
-// the very end of the newest segment is truncated away (a torn write of
-// a record that was never acknowledged), while any damage earlier in
-// the chain (a bit flip, a missing segment, an LSN gap) surfaces as a
-// *CorruptionError. Recovery therefore always restores an exact prefix
-// of the acknowledged mutation sequence or fails loudly — never a wrong
-// or silently stale state.
+// Record framing and the typed corruption error. The frame and payload
+// layouts are specified byte by byte in docs/FORMATS.md.
+
 package wal
 
 import (

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Fails if any yaskd flag is missing from README.md's operations table.
+#
+# The flag inventory comes from the flag.* registrations in
+# cmd/yaskd/main.go; the README table documents each as a `-name` row.
+# This keeps the operations docs from silently drifting as flags are
+# added.
+set -eu
+cd "$(dirname "$0")/.."
+
+flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*(\"\([a-z][a-z0-9-]*\)\".*/\1/p' cmd/yaskd/main.go)
+if [ -z "$flags" ]; then
+    echo "check-flag-docs: found no flags in cmd/yaskd/main.go (pattern broken?)" >&2
+    exit 2
+fi
+
+missing=0
+for f in $flags; do
+    if ! grep -q "| \`-$f\`" README.md; then
+        echo "check-flag-docs: yaskd flag -$f has no row in README.md's operations table" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
+echo "check-flag-docs: all $(echo "$flags" | wc -l | tr -d ' ') yaskd flags documented"

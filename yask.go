@@ -239,6 +239,22 @@ type EngineOptions struct {
 	// means checkpoints happen only through explicit Checkpoint calls
 	// and at graceful shutdown.
 	CheckpointEvery int
+	// MmapArenas persists the frozen index arenas alongside every
+	// checkpoint (arena-<family>-<lsn>.yar, docs/FORMATS.md) and boots
+	// by memory-mapping them instead of re-bulk-loading the indexes: the
+	// query structures come up in O(file open), not O(n log n), and warm
+	// top-k stays allocation-free on the mapped columns. Any damaged or
+	// mismatched arena falls back to the ordinary rebuild — the option
+	// trades boot time, never correctness. Ignored for sharded engines
+	// and without DataDir.
+	//
+	// Mapping requires the arena's embedded keyword labeling to pin into
+	// the booting engine's vocabulary, so reopen with the same seed
+	// objects the directory was created with (as a restarted server
+	// reloading its dataset naturally does); a conflicting seed
+	// vocabulary boots by rebuild with the reason recorded in the
+	// durability.arena stats.
+	MmapArenas bool
 }
 
 // coreOptions maps the public options onto the internal engine,
@@ -271,6 +287,7 @@ func (opts EngineOptions) coreOptions(v *vocab.Vocabulary) (core.Options, error)
 		Fsync:             fsync,
 		FsyncInterval:     opts.FsyncInterval,
 		CheckpointEvery:   opts.CheckpointEvery,
+		MmapArenas:        opts.MmapArenas,
 		Vocab:             v,
 	}, nil
 }
@@ -927,6 +944,35 @@ type DurabilityStats struct {
 	Checkpoints     int64  `json:"checkpoints"`
 	// ReplayedRecords is the number of WAL records replayed at boot.
 	ReplayedRecords int `json:"replayedRecords"`
+	// Arena reports the mmap arena persistence state; nil unless
+	// MmapArenas is on (or a boot attempted and declined to map).
+	Arena *ArenaStats `json:"arena,omitempty"`
+}
+
+// ArenaStats is the arena subsection of DurabilityStats: the state of
+// the mmap index-arena persistence layer (EngineOptions.MmapArenas).
+// See docs/FORMATS.md for the on-disk format.
+type ArenaStats struct {
+	// Enabled reports whether this engine writes arena files at
+	// checkpoints and tries to map them at boot.
+	Enabled bool `json:"enabled"`
+	// MmapBoot reports whether this boot mapped arena files;
+	// RebuildSkipped additionally requires that no WAL records had to be
+	// replayed on top, i.e. the index rebuild was skipped entirely.
+	MmapBoot       bool `json:"mmapBoot"`
+	RebuildSkipped bool `json:"rebuildSkipped"`
+	// MappedNow counts index families currently serving a mapped arena
+	// (drops to 0 after the first post-boot mutation thaws them).
+	MappedNow int `json:"mappedNow"`
+	// FallbackReason records why a boot declined to map (empty when it
+	// mapped, or when no attempt was made).
+	FallbackReason string `json:"fallbackReason,omitempty"`
+	// SetsWritten and BytesWritten count arena sets and bytes written by
+	// checkpoints since boot; LastWriteError records the most recent
+	// (non-fatal) arena write failure.
+	SetsWritten    int64  `json:"setsWritten"`
+	BytesWritten   int64  `json:"bytesWritten"`
+	LastWriteError string `json:"lastWriteError,omitempty"`
 }
 
 // Stats reports the engine's execution statistics, one row per spatial
@@ -978,6 +1024,15 @@ func (e *Engine) Stats() EngineStats {
 			LastLSN: d.LastLSN, LastCheckpoint: d.LastCheckpoint,
 			SinceCheckpoint: d.SinceCheckpoint, Checkpoints: d.Checkpoints,
 			ReplayedRecords: d.ReplayedRecords,
+		}
+		if a := d.Arena; a != nil {
+			out.Durability.Arena = &ArenaStats{
+				Enabled: a.Enabled, MmapBoot: a.MmapBoot,
+				RebuildSkipped: a.RebuildSkipped, MappedNow: a.MappedNow,
+				FallbackReason: a.FallbackReason,
+				SetsWritten:    a.SetsWritten, BytesWritten: a.BytesWritten,
+				LastWriteError: a.LastWriteError,
+			}
 		}
 	}
 	return out
