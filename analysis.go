@@ -1,6 +1,8 @@
 package yask
 
 import (
+	"context"
+
 	"github.com/yask-engine/yask/internal/core"
 	"github.com/yask-engine/yask/internal/object"
 )
@@ -17,11 +19,17 @@ type RankStep struct {
 // explanation panel, showing the user *where* in the weight space the
 // object would surface.
 func (e *Engine) RankProfile(q Query, missing ObjectID) ([]RankStep, error) {
+	return e.RankProfileCtx(context.Background(), q, missing)
+}
+
+// RankProfileCtx is RankProfile under a context; see TopKCtx for the
+// cancellation contract.
+func (e *Engine) RankProfileCtx(ctx context.Context, q Query, missing ObjectID) ([]RankStep, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	steps, err := e.core.WeightProfile(sq, object.ID(missing))
+	steps, err := e.core.WeightProfileCtx(ctx, sq, object.ID(missing))
 	if err != nil {
 		return nil, err
 	}
@@ -47,11 +55,17 @@ type KeywordSuggestion struct {
 // candidate universe and returns them best-first — the "which keyword
 // should I change?" analysis of the explanation panel.
 func (e *Engine) SuggestKeywords(q Query, missing []ObjectID) ([]KeywordSuggestion, error) {
+	return e.SuggestKeywordsCtx(context.Background(), q, missing)
+}
+
+// SuggestKeywordsCtx is SuggestKeywords under a context; see TopKCtx
+// for the cancellation contract.
+func (e *Engine) SuggestKeywordsCtx(ctx context.Context, q Query, missing []ObjectID) ([]KeywordSuggestion, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	impacts, err := e.core.KeywordImpacts(sq, toInternalIDs(missing))
+	impacts, err := e.core.KeywordImpactsCtx(ctx, sq, toInternalIDs(missing))
 	if err != nil {
 		return nil, err
 	}
@@ -86,11 +100,17 @@ type BestRefinement struct {
 // the demo's "apply the two refinement functions simultaneously") and
 // returns the lowest-penalty refined query.
 func (e *Engine) WhyNotBest(q Query, missing []ObjectID, opts RefineOptions) (*BestRefinement, error) {
+	return e.WhyNotBestCtx(context.Background(), q, missing, opts)
+}
+
+// WhyNotBestCtx is WhyNotBest under a context; see TopKCtx for the
+// cancellation contract.
+func (e *Engine) WhyNotBestCtx(ctx context.Context, q Query, missing []ObjectID, opts RefineOptions) (*BestRefinement, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	best, err := e.core.RefineBest(sq, toInternalIDs(missing), opts.lambda())
+	best, err := e.core.RefineBestCtx(ctx, sq, toInternalIDs(missing), opts.lambda())
 	if err != nil {
 		return nil, err
 	}

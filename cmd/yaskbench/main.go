@@ -1,10 +1,10 @@
-// Command yaskbench runs the experiment suite (E1–E15) against the
+// Command yaskbench runs the experiment suite (E1–E16) against the
 // paper's workloads: query-engine comparisons, index
 // construction, why-not refinement latency and quality, λ sweeps,
 // scalability, HTTP round trips, the concurrent batch executor, the
 // sharded scatter-gather executor, the keyword-signature pruning
 // ablation, the durability (WAL + checkpoint) cost sweep, the result
-// cache under Zipfian repeat traffic, and the mmap arena boot path.
+// cache under Zipfian repeat traffic, and the mmap arena boot path, and the cancellation-overhead check.
 //
 // Usage:
 //
@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e15) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e16) or 'all'")
 	full := flag.Bool("full", false, "run at paper-shaped scale (much slower)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable hot-path snapshot instead of tables")
 	out := flag.String("o", "", "write the -json report to this file instead of stdout")

@@ -10,6 +10,8 @@
 //	      [-signatures=false] [-cache=off] [-cache-entries 4096]
 //	      [-cache-bytes 67108864] [-data-dir ./yask-data] [-fsync always]
 //	      [-fsync-interval 100ms] [-checkpoint-every 1000] [-mmap-arenas]
+//	      [-query-timeout 30s] [-max-inflight 0] [-queue-depth 64]
+//	      [-queue-wait 1s]
 //
 // Without -data it serves the built-in demo dataset, a deterministic
 // synthetic stand-in for the paper's 539 Hong Kong hotels. With
@@ -52,6 +54,17 @@
 // On SIGINT/SIGTERM the server drains in-flight requests, writes a
 // final checkpoint, and closes the log.
 //
+// Request lifecycle: every query request gets a server-side deadline of
+// -query-timeout (0 disables); work past the deadline is abandoned
+// cooperatively and answered 503. -max-inflight caps concurrently
+// executing queries (0 = unlimited); excess requests wait in a FIFO
+// queue of -queue-depth for at most -queue-wait, and everything beyond
+// that is shed with 429 + Retry-After. GET /api/healthz is the
+// liveness probe; GET /api/readyz reports 503 while the engine is
+// still booting (including WAL recovery replay) and again once
+// shutdown drain begins, so load balancers route around the process.
+// Admission counters are in the admission section of GET /api/stats.
+//
 // -mmap-arenas (requires -data-dir, single shard) additionally persists
 // the frozen index arenas next to every checkpoint and boots by
 // memory-mapping them instead of rebuilding the indexes; a damaged
@@ -68,6 +81,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -95,6 +109,10 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 0, "flush period of -fsync interval (0 = 100ms default)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a checkpoint automatically after this many logged mutations (0 = only POST /api/checkpoint and shutdown)")
 	mmapArenas := flag.Bool("mmap-arenas", false, "persist index arenas alongside checkpoints and boot by memory-mapping them instead of rebuilding (requires -data-dir; single shard only; damaged arenas fall back to a rebuild)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request deadline for query endpoints; expired work is abandoned cooperatively and answered 503 (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently executing query requests; excess waits in the admission queue or is shed with 429 (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 64, "bound on query requests waiting for an inflight slot when -max-inflight is reached")
+	queueWait := flag.Duration("queue-wait", time.Second, "longest a queued query request may wait for a slot before being shed with 429")
 	flag.Parse()
 
 	if *splitter != "grid" && *splitter != "str" {
@@ -115,6 +133,50 @@ func main() {
 		FsyncInterval: *fsyncInterval, CheckpointEvery: *checkpointEvery,
 		MmapArenas: *mmapArenas,
 	}
+	// Listen before the engine opens: WAL recovery replay can take a
+	// while, and during it the process must answer its probes — healthz
+	// 200 (alive), readyz 503 (not ready) — instead of refusing
+	// connections and getting restarted mid-recovery.
+	// atomic.Value requires one consistent concrete type across stores,
+	// and the boot gate (*http.ServeMux) and the real server
+	// (*server.Server) are different ones — hence the box.
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value // handlerBox: boot gate, swapped for the real server
+	boot := http.NewServeMux()
+	boot.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	boot.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"booting"}`)
+	})
+	handler.Store(handlerBox{boot})
+	httpSrv := &http.Server{
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
+		// A slow or stalled client must not pin a connection (and its
+		// goroutine) forever; the write timeout also bounds the largest
+		// batch response we'll stream. The /api/subscribe handler clears
+		// its own write deadline — long-lived event streams are its
+		// point — and relies on the engine's slow-client disconnect
+		// instead.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("YASK listening on %s — open http://localhost%s/", *addr, portSuffix(*addr))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
 	var (
 		engine *yask.Engine
 		err    error
@@ -147,29 +209,19 @@ func main() {
 			d.Dir, d.Fsync, d.ReplayedRecords, d.LastCheckpoint)
 	}
 
-	srv := server.New(engine, server.Config{SessionTTL: *ttl})
-	httpSrv := &http.Server{
-		Addr:    *addr,
-		Handler: srv,
-		// A slow or stalled client must not pin a connection (and its
-		// goroutine) forever; the write timeout also bounds the largest
-		// batch response we'll stream. The /api/subscribe handler clears
-		// its own write deadline — long-lived event streams are its
-		// point — and relies on the engine's slow-client disconnect
-		// instead.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+	if *maxInflight > 0 {
+		log.Printf("admission control on: %d inflight, queue %d (wait %s); excess shed with 429", *maxInflight, *queueDepth, *queueWait)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("YASK listening on %s — open http://localhost%s/", *addr, portSuffix(*addr))
-		errCh <- httpSrv.ListenAndServe()
-	}()
+	srv := server.New(engine, server.Config{
+		SessionTTL:   *ttl,
+		QueryTimeout: *queryTimeout,
+		MaxInflight:  *maxInflight,
+		QueueDepth:   *queueDepth,
+		QueueWait:    *queueWait,
+	})
+	// Boot finished: swap the gate for the real server. Readiness flips
+	// to 200 atomically with query availability.
+	handler.Store(handlerBox{srv})
 
 	select {
 	case err := <-errCh:
@@ -178,6 +230,9 @@ func main() {
 	}
 	stop()
 	log.Printf("shutting down: draining in-flight requests (up to %s)", shutdownTimeout)
+	// Flip readiness to 503 and force-close subscription streams first,
+	// so Shutdown's drain cannot hang on an idle subscriber.
+	srv.StartDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

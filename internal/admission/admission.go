@@ -1,0 +1,206 @@
+// Package admission is the serving layer's load-shedding front door: a
+// bounded-inflight controller with a bounded FIFO wait queue.
+//
+// The engine's query latency is roughly proportional to the number of
+// concurrently executing requests once they exceed the core count, so
+// accepting unbounded work degrades everyone — the melt-down mode of a
+// service under overload. The controller instead caps the number of
+// requests executing at once; excess arrivals wait in a bounded FIFO
+// queue for a bounded time, and everything past that is shed
+// immediately with ErrShed so the HTTP layer can answer 429 and the
+// client can retry against a healthy server.
+//
+// The queue is explicitly FIFO — a buffered-channel semaphore would
+// wake waiters in runtime order, letting an unlucky request starve
+// behind later arrivals — because bounded waiting only helps if the
+// wait is predictable.
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed reports a request rejected by admission control: the
+// inflight cap and the wait queue were both full, or the queue wait
+// budget expired before a slot opened. Callers distinguish it with
+// errors.Is, never by matching error text.
+var ErrShed = errors.New("admission: request shed by overload control")
+
+// Config sizes a Controller.
+type Config struct {
+	// MaxInflight caps concurrently admitted requests. Zero or negative
+	// disables admission control entirely: Acquire always succeeds
+	// immediately (counters still track inflight).
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for a slot when the
+	// cap is reached. Zero means no queue: the cap full ⇒ shed.
+	QueueDepth int
+	// QueueWait bounds how long a queued request may wait before it is
+	// shed. Zero means wait only as long as the request's own context
+	// allows.
+	QueueWait time.Duration
+}
+
+// Stats is a point-in-time snapshot of the controller's counters,
+// exported through GET /api/stats so operators can see shedding happen.
+type Stats struct {
+	// Inflight and Queued are current gauges; the rest are monotonic
+	// counters since process start.
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	// Admitted counts requests that got a slot (immediately or after
+	// queuing); Shed counts rejections by cap, queue bound, or wait
+	// budget.
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	// DeadlineExceeded and Canceled count admitted requests whose
+	// handler returned context.DeadlineExceeded / context.Canceled —
+	// work accepted and then cut short by its own deadline or an
+	// abandoning client.
+	DeadlineExceeded int64 `json:"deadlineExceeded"`
+	Canceled         int64 `json:"canceled"`
+}
+
+// Controller implements the admission policy. The zero value is not
+// ready; use New.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	// queue holds one grant channel per waiter, FIFO. A releasing
+	// request hands its slot to the head by closing the head's channel;
+	// a waiter that times out removes itself, and if its channel is
+	// already gone it was granted concurrently and must re-release.
+	queue []chan struct{}
+
+	admitted         atomic.Int64
+	shed             atomic.Int64
+	deadlineExceeded atomic.Int64
+	canceled         atomic.Int64
+}
+
+// New builds a controller for cfg. Always construct one — a disabled
+// controller (MaxInflight ≤ 0) still tracks counters, so stats output
+// never has a missing section.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg}
+}
+
+// Acquire admits the request or sheds it. On success it returns a
+// release function the caller must invoke exactly once when the
+// request finishes (a deferred call survives handler panics). On
+// rejection it returns ErrShed (cap and queue full, or wait budget
+// spent) or ctx.Err() (the caller gave up while queued).
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c.cfg.MaxInflight <= 0 {
+		c.mu.Lock()
+		c.inflight++
+		c.mu.Unlock()
+		c.admitted.Add(1)
+		return c.release, nil
+	}
+
+	c.mu.Lock()
+	if c.inflight < c.cfg.MaxInflight {
+		c.inflight++
+		c.mu.Unlock()
+		c.admitted.Add(1)
+		return c.release, nil
+	}
+	if len(c.queue) >= c.cfg.QueueDepth {
+		c.mu.Unlock()
+		c.shed.Add(1)
+		return nil, ErrShed
+	}
+	grant := make(chan struct{})
+	c.queue = append(c.queue, grant)
+	c.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if c.cfg.QueueWait > 0 {
+		t := time.NewTimer(c.cfg.QueueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-grant:
+		// The releasing request already transferred its slot to us:
+		// inflight was left unchanged on purpose.
+		c.admitted.Add(1)
+		return c.release, nil
+	case <-timeout:
+		c.abandon(grant)
+		c.shed.Add(1)
+		return nil, ErrShed
+	case <-ctx.Done():
+		c.abandon(grant)
+		c.shed.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon removes a waiter's grant channel from the queue. If the
+// channel is no longer queued, a releaser granted it in the race
+// window between the select and the lock — the waiter now owns a slot
+// it will never use, so pass it on.
+func (c *Controller) abandon(grant chan struct{}) {
+	c.mu.Lock()
+	for i, g := range c.queue {
+		if g == grant {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			c.mu.Unlock()
+			return
+		}
+	}
+	c.mu.Unlock()
+	c.release()
+}
+
+// release returns a slot: to the queue head if anyone is waiting (the
+// slot transfers, inflight stays constant), back to the pool
+// otherwise.
+func (c *Controller) release() {
+	c.mu.Lock()
+	if len(c.queue) > 0 {
+		head := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+		close(head)
+		return
+	}
+	c.inflight--
+	c.mu.Unlock()
+}
+
+// RecordOutcome classifies an admitted request's terminal error into
+// the deadline/cancellation counters. Matching uses errors.Is so
+// wrapped context errors count too; nil and other errors are ignored.
+func (c *Controller) RecordOutcome(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		c.deadlineExceeded.Add(1)
+	case errors.Is(err, context.Canceled):
+		c.canceled.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	inflight, queued := c.inflight, len(c.queue)
+	c.mu.Unlock()
+	return Stats{
+		Inflight:         int64(inflight),
+		Queued:           int64(queued),
+		Admitted:         c.admitted.Load(),
+		Shed:             c.shed.Load(),
+		DeadlineExceeded: c.deadlineExceeded.Load(),
+		Canceled:         c.canceled.Load(),
+	}
+}

@@ -1,0 +1,269 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestUnlimited: a disabled controller admits everything and still
+// counts inflight.
+func TestUnlimited(t *testing.T) {
+	c := New(Config{})
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := c.Stats().Inflight; got != 100 {
+		t.Fatalf("inflight = %d, want 100", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	st := c.Stats()
+	if st.Inflight != 0 || st.Admitted != 100 || st.Shed != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+// TestShedAtCap: with no queue, the (cap+1)-th concurrent request is
+// shed with ErrShed.
+func TestShedAtCap(t *testing.T) {
+	c := New(Config{MaxInflight: 2})
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-cap Acquire: err = %v, want ErrShed", err)
+	}
+	r1()
+	r3, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	st := c.Stats()
+	if st.Inflight != 0 || st.Admitted != 3 || st.Shed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestQueueFIFO: queued waiters are granted strictly in arrival order.
+func TestQueueFIFO(t *testing.T) {
+	c := New(Config{MaxInflight: 1, QueueDepth: 8, QueueWait: 5 * time.Second})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 8
+	order := make(chan int, waiters)
+	var started, wg sync.WaitGroup
+	started.Add(waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			// Serialize queue entry so arrival order is deterministic:
+			// waiter i only starts after waiter i-1 is in the queue.
+			for {
+				c.mu.Lock()
+				n := len(c.queue)
+				c.mu.Unlock()
+				if n == i {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			started.Done()
+			rel, err := c.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			rel()
+		}()
+	}
+	started.Wait()
+	hold()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+// TestQueueDepthBound: the (depth+1)-th waiter is shed immediately.
+func TestQueueDepthBound(t *testing.T) {
+	c := New(Config{MaxInflight: 1, QueueDepth: 1, QueueWait: time.Minute})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(context.Background())
+		if err == nil {
+			rel()
+		}
+		queued <- err
+	}()
+	// Wait until the first waiter is actually queued.
+	for {
+		if c.Stats().Queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-depth Acquire: err = %v, want ErrShed", err)
+	}
+	hold()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestQueueWaitBudget: a waiter whose wait budget expires is shed, and
+// the slot it never got remains usable.
+func TestQueueWaitBudget(t *testing.T) {
+	c := New(Config{MaxInflight: 1, QueueDepth: 4, QueueWait: 10 * time.Millisecond})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("timed-out Acquire: err = %v, want ErrShed", err)
+	}
+	hold()
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after timeout shed: %v", err)
+	}
+	rel()
+	if st := c.Stats(); st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked state: %+v", st)
+	}
+}
+
+// TestQueueCtxCancel: a queued waiter whose own context is canceled
+// gets ctx.Err(), not ErrShed.
+func TestQueueCtxCancel(t *testing.T) {
+	c := New(Config{MaxInflight: 1, QueueDepth: 4, QueueWait: time.Minute})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		done <- err
+	}()
+	for {
+		if c.Stats().Queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRecordOutcome: terminal errors classify via errors.Is, including
+// wrapped ones.
+func TestRecordOutcome(t *testing.T) {
+	c := New(Config{})
+	c.RecordOutcome(nil)
+	c.RecordOutcome(context.DeadlineExceeded)
+	c.RecordOutcome(errors.Join(errors.New("query"), context.DeadlineExceeded))
+	c.RecordOutcome(context.Canceled)
+	c.RecordOutcome(errors.New("unrelated"))
+	st := c.Stats()
+	if st.DeadlineExceeded != 2 || st.Canceled != 1 {
+		t.Fatalf("outcomes: %+v", st)
+	}
+}
+
+// TestStormInvariants floods the controller from many goroutines and
+// checks the global invariants under -race: inflight never exceeds the
+// cap, every admitted request releases, and every request is either
+// admitted or shed exactly once.
+func TestStormInvariants(t *testing.T) {
+	const (
+		cap      = 4
+		depth    = 8
+		clients  = 64
+		requests = 50
+	)
+	c := New(Config{MaxInflight: cap, QueueDepth: depth, QueueWait: 2 * time.Millisecond})
+	var admitted, shed, concurrent, peak atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for g := 0; g < clients; g++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				rel, err := c.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrShed) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				cur := concurrent.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(50 * time.Microsecond)
+				concurrent.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > cap {
+		t.Fatalf("peak concurrency %d exceeds cap %d", got, cap)
+	}
+	if total := admitted.Load() + shed.Load(); total != clients*requests {
+		t.Fatalf("admitted %d + shed %d = %d, want %d",
+			admitted.Load(), shed.Load(), total, clients*requests)
+	}
+	st := c.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked state after storm: %+v", st)
+	}
+	if st.Admitted != admitted.Load() || st.Shed != shed.Load() {
+		t.Fatalf("counter mismatch: stats %+v vs observed admitted %d shed %d",
+			st, admitted.Load(), shed.Load())
+	}
+}

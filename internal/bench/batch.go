@@ -184,5 +184,9 @@ func MeasureReportMode(scale Scale, mode SigMode) Report {
 	// warm query path over the mapped columns.
 	addArenaMetrics(scale, add)
 
+	// Cooperative cancellation: warm top-k with and without a live
+	// deadline token, and the zero-alloc guarantee of the token path.
+	addCancelMetrics(env, scale, add)
+
 	return rep
 }

@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness behind both the
 // `yaskbench` command and the root-level testing.B benchmarks. Each
-// exported Run function regenerates one experiment (E1–E15, see the
+// exported Run function regenerates one experiment (E1–E16, see the
 // Experiments registry in server.go): it builds the workload, sweeps
 // the parameter the experiment varies, and prints one table in the
 // style the papers report (who wins, by what factor, where the

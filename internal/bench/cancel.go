@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/index"
+	"github.com/yask-engine/yask/internal/score"
+)
+
+// e16QueryPath measures the warm top-k path twice over the same arena
+// and buffer: once with NoCancel (the pre-cancellation hot path) and
+// once under a live Cancel token bridged from a context whose deadline
+// is far away — the realistic serving configuration, where every
+// request carries a deadline that never fires. The difference is the
+// whole cost of deadline propagation on the hot path: one amortized
+// non-blocking channel poll per CheckInterval node visits. The token
+// path's allocations are measured too; the row is gated at zero, so
+// plumbing a context through the query path can never reintroduce a
+// per-query allocation.
+func e16QueryPath(env *Env, scale Scale) (noCancel, withCancel time.Duration, allocs float64) {
+	qs := env.Queries(scale.queries(), 10, 2)
+	a, err := env.Set.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	cc := index.CancelOf(ctx)
+
+	var buf []score.Result
+	for _, q := range qs {
+		buf = a.TopK(cc, a.Scorer(q), q.K, nil, buf[:0])
+	}
+	noCancel = timeIt(func() {
+		for _, q := range qs {
+			buf = a.TopK(index.NoCancel, a.Scorer(q), q.K, nil, buf[:0])
+		}
+	}) / time.Duration(len(qs))
+	withCancel = timeIt(func() {
+		for _, q := range qs {
+			buf = a.TopK(cc, a.Scorer(q), q.K, nil, buf[:0])
+		}
+	}) / time.Duration(len(qs))
+	allocs = testing.AllocsPerRun(10, func() {
+		for _, q := range qs {
+			buf = a.TopK(cc, a.Scorer(q), q.K, nil, buf[:0])
+		}
+	}) / float64(len(qs))
+	return noCancel, withCancel, allocs
+}
+
+// RunE16CancelOverhead regenerates experiment E16: the cost of
+// cooperative cancellation on the warm top-k path. A deadline that
+// never fires must be (nearly) free — that is what makes it safe to
+// put one on every request.
+func RunE16CancelOverhead(w io.Writer, scale Scale) {
+	env := NewEnv(scale.baseN())
+	fmt.Fprintf(w, "E16 — deadline-check overhead on warm top-k (N=%d, %s scale)\n", scale.baseN(), scale)
+
+	noCancel, withCancel, allocs := e16QueryPath(env, scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "token\tµs/op\tallocs/op\t")
+	fmt.Fprintf(tw, "NoCancel\t%s\t0\t\n", us(noCancel))
+	fmt.Fprintf(tw, "ctx deadline (unexpired)\t%s\t%.0f\t\n", us(withCancel), allocs)
+	tw.Flush()
+	if noCancel > 0 {
+		fmt.Fprintf(w, "overhead: %.2fx (amortized to one poll per %d node visits)\n",
+			float64(withCancel)/float64(noCancel), index.CheckInterval)
+	}
+}
+
+// addCancelMetrics emits the e16 rows of the machine-readable report:
+// warm top-k latency with and without a live cancellation token, and
+// the gated guarantee that the token path allocates nothing.
+func addCancelMetrics(env *Env, scale Scale, add func(name string, value float64, unit string)) {
+	noCancel, withCancel, allocs := e16QueryPath(env, scale)
+	add("e16/topk/nocancel", float64(noCancel.Nanoseconds()), "ns/op")
+	add("e16/topk/cancel", float64(withCancel.Nanoseconds()), "ns/op")
+	add("e16/allocs/topk/cancel", allocs, "allocs/op")
+}

@@ -133,4 +133,5 @@ var Experiments = []struct {
 	{"e13", "durability cost", RunE13Durability},
 	{"e14", "result cache under Zipfian traffic", RunE14Cache},
 	{"e15", "mmap arena boot", RunE15MmapBoot},
+	{"e16", "cancellation overhead", RunE16CancelOverhead},
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,11 +25,18 @@ type RankStep struct {
 // points; the rank at each interval is the rank attained by any wt
 // strictly inside it.
 func (e *Engine) WeightProfile(q score.Query, missing object.ID) ([]RankStep, error) {
+	return e.WeightProfileCtx(context.Background(), q, missing)
+}
+
+// WeightProfileCtx is WeightProfile under a context; the full scan over
+// the collection polls the cancellation signal every
+// index.CheckInterval objects.
+func (e *Engine) WeightProfileCtx(ctx context.Context, q score.Query, missing object.ID) ([]RankStep, error) {
 	sn, err := e.acquireSet()
 	if err != nil {
 		return nil, err
 	}
-	s, objs, _, err := e.validateWhyNot(sn, q, []object.ID{missing})
+	s, objs, _, err := e.validateWhyNot(ctx, sn, q, []object.ID{missing})
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +50,14 @@ func (e *Engine) WeightProfile(q score.Query, missing object.ID) ([]RankStep, er
 	}
 	var events []ev
 	above := 0
+	countdown := index.CheckInterval
 	for _, o := range e.coll.All() {
+		if countdown--; countdown <= 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			countdown = index.CheckInterval
+		}
 		if o.ID == m.ID || !e.coll.Alive(o.ID) {
 			continue
 		}
@@ -100,21 +115,28 @@ type KeywordImpact struct {
 // improvement (ties by keyword ID). It answers the user's "which one
 // keyword should I change?" directly.
 func (e *Engine) KeywordImpacts(q score.Query, missing []object.ID) ([]KeywordImpact, error) {
+	return e.KeywordImpactsCtx(context.Background(), q, missing)
+}
+
+// KeywordImpactsCtx is KeywordImpacts under a context; each
+// single-edit rank computation polls the cancellation signal.
+func (e *Engine) KeywordImpactsCtx(ctx context.Context, q score.Query, missing []object.ID) ([]KeywordImpact, error) {
 	v, err := e.acquire()
 	if err != nil {
 		return nil, err
 	}
-	s, objs, rankBefore, err := e.validateWhyNot(v.set, q, missing)
+	s, objs, rankBefore, err := e.validateWhyNot(ctx, v.set, q, missing)
 	if err != nil {
 		return nil, err
 	}
 	universe := q.Doc.Union(MissingDocUnion(objs))
+	cc := index.CancelOf(ctx)
 
 	worstRank := func(doc vocab.KeywordSet) int {
 		s2 := score.Scorer{Query: q.WithDoc(doc), MaxDist: s.MaxDist}
 		worst := 0
 		for _, m := range objs {
-			if r := index.RankOf(v.kc, s2, m); r > worst {
+			if r := index.RankOf(cc, v.kc, s2, m); r > worst {
 				worst = r
 			}
 		}
@@ -123,6 +145,9 @@ func (e *Engine) KeywordImpacts(q score.Query, missing []object.ID) ([]KeywordIm
 
 	var out []KeywordImpact
 	for _, kw := range universe {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if q.Doc.Contains(kw) {
 			doc := q.Doc.Remove(kw)
 			if doc.Empty() {
@@ -197,11 +222,17 @@ type BestRefinement struct {
 // identical λ·Δk terms, which is the comparison the demo's explanation
 // panel presents to the user.
 func (e *Engine) RefineBest(q score.Query, missing []object.ID, lambda float64) (BestRefinement, error) {
-	pref, err := e.AdjustPreference(q, missing, PreferenceOptions{Lambda: lambda})
+	return e.RefineBestCtx(context.Background(), q, missing, lambda)
+}
+
+// RefineBestCtx is RefineBest under a context; both refinement modules
+// and the composition stage propagate the cancellation signal.
+func (e *Engine) RefineBestCtx(ctx context.Context, q score.Query, missing []object.ID, lambda float64) (BestRefinement, error) {
+	pref, err := e.AdjustPreferenceCtx(ctx, q, missing, PreferenceOptions{Lambda: lambda})
 	if err != nil {
 		return BestRefinement{}, err
 	}
-	kw, err := e.AdaptKeywords(q, missing, KeywordOptions{Lambda: lambda})
+	kw, err := e.AdaptKeywordsCtx(ctx, q, missing, KeywordOptions{Lambda: lambda})
 	if err != nil {
 		return BestRefinement{}, err
 	}
@@ -231,16 +262,20 @@ func (e *Engine) RefineBest(q score.Query, missing []object.ID, lambda float64) 
 			return BestRefinement{}, err
 		}
 		s2 := setScorer(sn, kw.Refined)
+		cc := index.CancelOf(ctx)
 		stillMissing := make([]object.ID, 0, len(missing))
 		for _, id := range missing {
-			if index.RankOf(sn, s2, e.coll.Get(id)) > q.K {
+			if index.RankOf(cc, sn, s2, e.coll.Get(id)) > q.K {
 				stillMissing = append(stillMissing, id)
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return BestRefinement{}, err
 		}
 		if len(stillMissing) > 0 {
 			q2 := kw.Refined
 			q2.K = q.K // re-refine from the user's k, not the enlarged one
-			pref2, err := e.AdjustPreference(q2, stillMissing, PreferenceOptions{Lambda: lambda})
+			pref2, err := e.AdjustPreferenceCtx(ctx, q2, stillMissing, PreferenceOptions{Lambda: lambda})
 			if err == nil {
 				combined := kw.Penalty - lambda*float64(kw.DeltaK)/float64(kw.RankBefore-q.K) + pref2.Penalty
 				// The weight change may push an object the keyword stage
@@ -268,7 +303,7 @@ func (e *Engine) allWithin(q score.Query, ids []object.ID) bool {
 	}
 	s := setScorer(sn, q)
 	for _, id := range ids {
-		if index.RankOf(sn, s, e.coll.Get(id)) > q.K {
+		if index.RankOf(index.NoCancel, sn, s, e.coll.Get(id)) > q.K {
 			return false
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,12 +43,27 @@ func (o BatchOptions) workers(jobs int) int {
 // to call concurrently and must only touch index i of any shared
 // output.
 func RunBatch(n, workers int, job func(i int)) {
+	RunBatchCtx(context.Background(), n, workers, job)
+}
+
+// RunBatchCtx is RunBatch under a context: once ctx is done, workers
+// stop pulling new job indices and the pool drains after the jobs
+// already in flight return (jobs that traverse an index observe the
+// same cancellation through their own tokens, so in-flight work also
+// stops within a bounded number of node visits). Jobs skipped after
+// the trip simply never run — the caller decides what a partially
+// executed batch means, normally by returning ctx.Err() wholesale.
+func RunBatchCtx(ctx context.Context, n, workers int, job func(i int)) {
 	if n == 0 {
 		return
 	}
+	cc := index.CancelOf(ctx)
 	workers = BatchOptions{Workers: workers}.workers(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cc.Canceled() {
+				return
+			}
 			job(i)
 		}
 		return
@@ -59,6 +75,9 @@ func RunBatch(n, workers int, job func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cc.Canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -89,6 +108,15 @@ func RunBatch(n, workers int, job func(i int)) {
 // identical) hit the index exactly once, with followers receiving their
 // own copy of the leader's answer.
 func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Result, error) {
+	return e.TopKBatchCtx(context.Background(), qs, opts)
+}
+
+// TopKBatchCtx is TopKBatch under a context: one cancellation token is
+// shared by every work unit of the batch, so an expired deadline stops
+// all in-flight traversals within a bounded number of node visits and
+// keeps queued units from starting. A canceled batch returns ctx.Err()
+// wholesale and stores nothing in the result cache.
+func (e *Engine) TopKBatchCtx(ctx context.Context, qs []score.Query, opts BatchOptions) ([][]score.Result, error) {
 	for i := range qs {
 		if err := qs[i].Validate(); err != nil {
 			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
@@ -130,33 +158,42 @@ func (e *Engine) TopKBatch(qs []score.Query, opts BatchOptions) ([][]score.Resul
 		}
 	}
 
+	cc := index.CancelOf(ctx)
 	parts := sn.Parts()
 	switch {
 	case len(leaders) == 0:
 		// Whole batch served from cache.
 	case parts == 1:
-		RunBatch(len(leaders), opts.Workers, func(li int) {
+		RunBatchCtx(ctx, len(leaders), opts.Workers, func(li int) {
 			i := leaders[li]
-			out[i] = e.topKOn(sn, qs[i], nil)
+			out[i], _ = e.topKOn(ctx, sn, qs[i], nil)
 		})
 	default:
 		// Scatter phase: the (leader × partition) grid, unit
 		// u = (u/parts)-th leader on the (u%parts)-th shard.
 		partial := make([][]score.Result, len(leaders)*parts)
 		bounds := make([]index.Bound, len(leaders))
-		RunBatch(len(leaders)*parts, opts.Workers, func(u int) {
+		RunBatchCtx(ctx, len(leaders)*parts, opts.Workers, func(u int) {
 			li, p := u/parts, u%parts
 			i := leaders[li]
-			partial[u] = sn.TopKPart(p, setScorer(sn, qs[i]), qs[i].K, &bounds[li], nil)
+			partial[u] = sn.TopKPart(cc, p, setScorer(sn, qs[i]), qs[i].K, &bounds[li], nil)
 		})
 		// Gather phase: exact per-leader k-merge, itself fanned over the
 		// pool so it does not become a serial tail; each merged answer is
-		// stored for future repeats.
-		RunBatch(len(leaders), opts.Workers, func(li int) {
+		// stored for future repeats. A canceled batch skips the cache
+		// store — partial scatter output must never poison the cache.
+		RunBatchCtx(ctx, len(leaders), opts.Workers, func(li int) {
 			i := leaders[li]
 			out[i] = index.MergeTopK(partial[li*parts:(li+1)*parts], qs[i].K, nil)
-			e.cache.PutTopK(epoch, qs[i], out[i])
+			if ctx.Err() == nil {
+				e.cache.PutTopK(epoch, qs[i], out[i])
+			}
 		})
+	}
+	if err := ctx.Err(); err != nil {
+		// Some units never ran and the ones that did were cut short: the
+		// whole batch is undefined, so no per-query answers survive.
+		return nil, err
 	}
 
 	// Followers get their own copy of the leader's answer, so every
@@ -180,10 +217,24 @@ type KeywordJob struct {
 // that fails (for example because a missing object is already in the
 // top-k) reports its error without failing the rest of the batch.
 func (e *Engine) AdaptKeywordsBatch(jobs []KeywordJob, kopts KeywordOptions, bopts BatchOptions) ([]KeywordResult, []error) {
+	return e.AdaptKeywordsBatchCtx(context.Background(), jobs, kopts, bopts)
+}
+
+// AdaptKeywordsBatchCtx is AdaptKeywordsBatch under a context. Jobs cut
+// short or skipped by cancellation report ctx.Err() in their error
+// slot.
+func (e *Engine) AdaptKeywordsBatchCtx(ctx context.Context, jobs []KeywordJob, kopts KeywordOptions, bopts BatchOptions) ([]KeywordResult, []error) {
 	results := make([]KeywordResult, len(jobs))
 	errs := make([]error, len(jobs))
-	RunBatch(len(jobs), bopts.Workers, func(i int) {
-		results[i], errs[i] = e.AdaptKeywords(jobs[i].Query, jobs[i].Missing, kopts)
+	RunBatchCtx(ctx, len(jobs), bopts.Workers, func(i int) {
+		results[i], errs[i] = e.AdaptKeywordsCtx(ctx, jobs[i].Query, jobs[i].Missing, kopts)
 	})
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if errs[i] == nil && results[i].Refined.K == 0 {
+				errs[i] = err // the job never ran
+			}
+		}
+	}
 	return results, errs
 }

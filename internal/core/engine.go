@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -804,7 +805,15 @@ func (st *EngineStats) finishSigTotals() {
 
 // TopK answers a spatial keyword top-k query (Definition 1).
 func (e *Engine) TopK(q score.Query) ([]score.Result, error) {
-	return e.TopKAppend(q, nil)
+	return e.TopKAppendCtx(context.Background(), q, nil)
+}
+
+// TopKCtx is TopK under a context: the search polls the context's
+// cancellation signal every ≤ index.CheckInterval node visits, and a
+// canceled or deadline-expired query returns ctx.Err() with no result
+// (and stores nothing in the result cache).
+func (e *Engine) TopKCtx(ctx context.Context, q score.Query) ([]score.Result, error) {
+	return e.TopKAppendCtx(ctx, q, nil)
 }
 
 // TopKAppend is TopK appending into a caller-owned buffer — the
@@ -813,6 +822,13 @@ func (e *Engine) TopK(q score.Query) ([]score.Result, error) {
 // and on a miss the index search itself appends into dst and the
 // freshly computed answer is stored for the next repeat.
 func (e *Engine) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, error) {
+	return e.TopKAppendCtx(context.Background(), q, dst)
+}
+
+// TopKAppendCtx is TopKAppend under a context; see TopKCtx for the
+// cancellation contract. On error dst is returned truncated to its
+// original length, so callers can keep reusing their buffer.
+func (e *Engine) TopKAppendCtx(ctx context.Context, q score.Query, dst []score.Result) ([]score.Result, error) {
 	if err := q.Validate(); err != nil {
 		return dst, err
 	}
@@ -820,7 +836,7 @@ func (e *Engine) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, 
 	if err != nil {
 		return dst, err
 	}
-	return e.topKOn(sn, q, dst), nil
+	return e.topKOn(ctx, sn, q, dst)
 }
 
 // topKOn answers q against the acquired snapshot through the result
@@ -828,19 +844,33 @@ func (e *Engine) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, 
 // Shared by the single-query path, the batch executor, and the
 // subscription evaluator, so every repeat of a query — wherever it
 // comes from — lands on the same entry.
-func (e *Engine) topKOn(sn index.Snapshot, q score.Query, dst []score.Result) []score.Result {
+//
+// Cancellation discipline: a canceled search returns dst truncated back
+// to its original length together with ctx.Err(), and the partial
+// answer is never stored — the result cache only ever holds complete
+// answers, so a shed or abandoned request cannot poison later repeats.
+func (e *Engine) topKOn(ctx context.Context, sn index.Snapshot, q score.Query, dst []score.Result) ([]score.Result, error) {
 	epoch := sn.Epoch()
 	if res, ok := e.cache.GetTopK(epoch, q, dst); ok {
-		return res
+		return res, nil
 	}
 	base := len(dst)
-	dst = sn.TopK(setScorer(sn, q), q.K, nil, dst)
+	dst = sn.TopK(index.CancelOf(ctx), setScorer(sn, q), q.K, nil, dst)
+	if err := ctx.Err(); err != nil {
+		return dst[:base], err
+	}
 	e.cache.PutTopK(epoch, q, dst[base:])
-	return dst
+	return dst, nil
 }
 
 // Rank returns the 1-based rank of an object under the query.
 func (e *Engine) Rank(q score.Query, id object.ID) (int, error) {
+	return e.RankCtx(context.Background(), q, id)
+}
+
+// RankCtx is Rank under a context; see TopKCtx for the cancellation
+// contract.
+func (e *Engine) RankCtx(ctx context.Context, q score.Query, id object.ID) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
@@ -859,7 +889,10 @@ func (e *Engine) Rank(q score.Query, id object.ID) (int, error) {
 	if v, ok := e.cache.GetValue(epoch, qcache.KindRank, q, extra[:]); ok {
 		return v.(int), nil
 	}
-	rank := index.RankOf(sn, setScorer(sn, q), e.coll.Get(id))
+	rank := index.RankOf(index.CancelOf(ctx), sn, setScorer(sn, q), e.coll.Get(id))
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	e.cache.PutValue(epoch, qcache.KindRank, q, extra[:], rank)
 	return rank, nil
 }
@@ -871,13 +904,14 @@ func (e *Engine) Rank(q score.Query, id object.ID) (int, error) {
 // scorer (pinned to the snapshot), the missing objects, and R(M, q) —
 // the lowest (worst) rank of any missing object under the initial
 // query, the normalization constant of both penalty functions.
-func (e *Engine) validateWhyNot(sn index.Snapshot, q score.Query, missing []object.ID) (score.Scorer, []object.Object, int, error) {
+func (e *Engine) validateWhyNot(ctx context.Context, sn index.Snapshot, q score.Query, missing []object.ID) (score.Scorer, []object.Object, int, error) {
 	if err := q.Validate(); err != nil {
 		return score.Scorer{}, nil, 0, err
 	}
 	if len(missing) == 0 {
 		return score.Scorer{}, nil, 0, errors.New("core: why-not question needs at least one missing object")
 	}
+	cc := index.CancelOf(ctx)
 	s := setScorer(sn, q)
 	seen := make(map[object.ID]bool, len(missing))
 	objs := make([]object.Object, 0, len(missing))
@@ -894,7 +928,12 @@ func (e *Engine) validateWhyNot(sn index.Snapshot, q score.Query, missing []obje
 		}
 		seen[id] = true
 		o := e.coll.Get(id)
-		rank := index.RankOf(sn, s, o)
+		rank := index.RankOf(cc, sn, s, o)
+		if err := ctx.Err(); err != nil {
+			// A canceled rank is an undefined partial count; it must not
+			// drive the already-in-top-k rejection below.
+			return score.Scorer{}, nil, 0, err
+		}
 		if rank <= q.K {
 			return score.Scorer{}, nil, 0, fmt.Errorf(
 				"core: object %d is already in the top-%d result (rank %d); not a why-not question", id, q.K, rank)

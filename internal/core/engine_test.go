@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -67,24 +68,24 @@ func TestValidateWhyNotErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := e.validateWhyNot(v, q, nil); err == nil {
+	if _, _, _, err := e.validateWhyNot(context.Background(), v, q, nil); err == nil {
 		t.Error("empty missing set accepted")
 	}
-	if _, _, _, err := e.validateWhyNot(v, q, []object.ID{9999}); err == nil {
+	if _, _, _, err := e.validateWhyNot(context.Background(), v, q, []object.ID{9999}); err == nil {
 		t.Error("unknown ID accepted")
 	}
 	m := missingFromResult(e, q, 1)
-	if _, _, _, err := e.validateWhyNot(v, q, []object.ID{m[0], m[0]}); err == nil {
+	if _, _, _, err := e.validateWhyNot(context.Background(), v, q, []object.ID{m[0], m[0]}); err == nil {
 		t.Error("duplicate missing accepted")
 	}
 	// An object already in the result is not a why-not question.
-	if _, _, _, err := e.validateWhyNot(v, q, []object.ID{res[0].Obj.ID}); err == nil {
+	if _, _, _, err := e.validateWhyNot(context.Background(), v, q, []object.ID{res[0].Obj.ID}); err == nil {
 		t.Error("result member accepted as missing")
 	}
 	// Valid case returns the worst initial rank.
 	miss := missingFromResult(e, q, 2)
 	s := score.NewScorer(q, ds.Objects)
-	_, objs, worst, err := e.validateWhyNot(v, q, miss)
+	_, objs, worst, err := e.validateWhyNot(context.Background(), v, q, miss)
 	if err != nil {
 		t.Fatal(err)
 	}

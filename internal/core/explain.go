@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/yask-engine/yask/internal/index"
@@ -74,13 +75,20 @@ type Explanation struct {
 // Explain runs the explanation generator for each missing object. The
 // missing objects must be absent from the initial top-k result.
 func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, error) {
+	return e.ExplainCtx(context.Background(), q, missing)
+}
+
+// ExplainCtx is Explain under a context: the top-k and every rank
+// computation poll the context's cancellation signal, and a canceled
+// analysis returns ctx.Err() without caching anything.
+func (e *Engine) ExplainCtx(ctx context.Context, q score.Query, missing []object.ID) ([]Explanation, error) {
 	// One checked view serves the whole analysis, so the top-k and
 	// every rank computation agree on one consistent arena set.
 	sn, err := e.acquireSet()
 	if err != nil {
 		return nil, err
 	}
-	s, objs, _, err := e.validateWhyNot(sn, q, missing)
+	s, objs, _, err := e.validateWhyNot(ctx, sn, q, missing)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +104,11 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 	if v, ok := e.cache.GetValue(epoch, qcache.KindExplain, q, extra); ok {
 		return append([]Explanation(nil), v.([]Explanation)...), nil
 	}
-	result := sn.TopK(s, q.K, nil, nil)
+	cc := index.CancelOf(ctx)
+	result := sn.TopK(cc, s, q.K, nil, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(result) == 0 {
 		return nil, fmt.Errorf("core: initial query has an empty result")
 	}
@@ -115,7 +127,7 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 		ts := s.TSim(o)
 		ex := Explanation{
 			Missing:        o,
-			Rank:           index.RankOf(sn, s, o),
+			Rank:           index.RankOf(cc, sn, s, o),
 			Score:          s.Score(o),
 			SDist:          sd,
 			TSim:           ts,
@@ -158,6 +170,11 @@ func (e *Engine) Explain(q score.Query, missing []object.ID) ([]Explanation, err
 		ex.SuggestPreference = ex.Reason == ReasonBorderline || (farBehindSpace != farBehindText)
 		ex.SuggestKeyword = ex.Reason == ReasonBorderline || farBehindText
 		out[i] = ex
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled mid-analysis: the ranks above are partial counts, so
+		// the explanations are garbage — discard, and never cache them.
+		return nil, err
 	}
 	e.cache.PutValue(epoch, qcache.KindExplain, q, extra, append([]Explanation(nil), out...))
 	return out, nil

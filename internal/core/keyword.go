@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -95,11 +96,18 @@ type KeywordResult struct {
 // when sharded: per-shard rank bounds and counts sum into the global
 // rank).
 func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordOptions) (KeywordResult, error) {
+	return e.AdaptKeywordsCtx(context.Background(), q, missing, opts)
+}
+
+// AdaptKeywordsCtx is AdaptKeywords under a context: candidate rank
+// bounds and exact ranks poll the context's cancellation signal, and a
+// canceled adaption returns ctx.Err().
+func (e *Engine) AdaptKeywordsCtx(ctx context.Context, q score.Query, missing []object.ID, opts KeywordOptions) (KeywordResult, error) {
 	v, err := e.acquire()
 	if err != nil {
 		return KeywordResult{}, err
 	}
-	s, objs, rankBefore, err := e.validateWhyNot(v.set, q, missing)
+	s, objs, rankBefore, err := e.validateWhyNot(ctx, v.set, q, missing)
 	if err != nil {
 		return KeywordResult{}, err
 	}
@@ -139,6 +147,8 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 	best.CandidatesGenerated = 1
 	best.CandidatesEvaluated = 1
 
+	cc := index.CancelOf(ctx)
+
 	// worstRank returns R(M, q′) for candidate doc, exactly.
 	worstRank := func(doc vocab.KeywordSet) int {
 		s2 := score.Scorer{Query: q.WithDoc(doc), MaxDist: s.MaxDist}
@@ -148,7 +158,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 			if opts.Algorithm == KwExhaustive {
 				r = index.ScanRank(e.coll, s2, m.ID)
 			} else {
-				r = index.RankOf(v.kc, s2, m)
+				r = index.RankOf(cc, v.kc, s2, m)
 			}
 			if r > worst {
 				worst = r
@@ -164,7 +174,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 		worstLo := 0
 		for _, m := range objs {
 			refScore := s2.Score(m)
-			lo, _ := v.kc.RankBounds(s2, refScore, m.ID, boundDepth)
+			lo, _ := v.kc.RankBounds(cc, s2, refScore, m.ID, boundDepth)
 			if lo+1 > worstLo {
 				worstLo = lo + 1
 			}
@@ -172,7 +182,16 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 		return worstLo
 	}
 
+	var ctxErr error
 	evaluate := func(doc vocab.KeywordSet, deltaDoc int) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			// Any rank computed after the trip is an undefined partial
+			// count; stop scoring candidates against it.
+			return
+		}
 		best.CandidatesGenerated++
 		docPart := (1 - opts.Lambda) * float64(deltaDoc) / docNorm
 		// Penalty floor: Δk ≥ 0, so docPart alone already loses ⇒ prune.
@@ -218,7 +237,7 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 	// Enumerate candidates in increasing Δdoc = removals + additions.
 	// The floor (1−λ)·Δdoc/docNorm is monotone in Δdoc, so once it
 	// reaches the best penalty the enumeration can stop entirely.
-	for d := 1; d <= maxEdits; d++ {
+	for d := 1; d <= maxEdits && ctxErr == nil; d++ {
 		if (1-opts.Lambda)*float64(d)/docNorm >= best.Penalty-1e-15 {
 			break
 		}
@@ -238,6 +257,9 @@ func (e *Engine) AdaptKeywords(q score.Query, missing []object.ID, opts KeywordO
 				})
 			})
 		}
+	}
+	if ctxErr != nil {
+		return KeywordResult{}, ctxErr
 	}
 	return best, nil
 }
@@ -279,7 +301,7 @@ func (e *Engine) KeywordUniverse(q score.Query, missing []object.ID) (vocab.Keyw
 	if err != nil {
 		return nil, err
 	}
-	_, objs, _, err := e.validateWhyNot(v.set, q, missing)
+	_, objs, _, err := e.validateWhyNot(context.Background(), v.set, q, missing)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -150,11 +151,19 @@ type prefEvent struct {
 // (Definition 2): it returns the refined query (loc, doc, k′, w⃗′) with
 // minimum penalty Eqn 3 whose result contains every missing object.
 func (e *Engine) AdjustPreference(q score.Query, missing []object.ID, opts PreferenceOptions) (PreferenceResult, error) {
+	return e.AdjustPreferenceCtx(context.Background(), q, missing, opts)
+}
+
+// AdjustPreferenceCtx is AdjustPreference under a context: the event
+// construction and every rank computation poll the context's
+// cancellation signal, and a canceled adjustment returns ctx.Err()
+// without caching anything.
+func (e *Engine) AdjustPreferenceCtx(ctx context.Context, q score.Query, missing []object.ID, opts PreferenceOptions) (PreferenceResult, error) {
 	v, err := e.acquire()
 	if err != nil {
 		return PreferenceResult{}, err
 	}
-	s, objs, rankBefore, err := e.validateWhyNot(v.set, q, missing)
+	s, objs, rankBefore, err := e.validateWhyNot(ctx, v.set, q, missing)
 	if err != nil {
 		return PreferenceResult{}, err
 	}
@@ -176,9 +185,9 @@ func (e *Engine) AdjustPreference(q score.Query, missing []object.ID, opts Prefe
 	var res PreferenceResult
 	switch opts.Algorithm {
 	case PrefSweep, PrefSweepIndexed:
-		res, err = e.adjustBySweep(v, s, objs, rankBefore, opts)
+		res, err = e.adjustBySweep(ctx, v, s, objs, rankBefore, opts)
 	case PrefSampling:
-		res, err = e.adjustBySampling(v, s, objs, rankBefore, opts)
+		res, err = e.adjustBySampling(ctx, v, s, objs, rankBefore, opts)
 	default:
 		return PreferenceResult{}, fmt.Errorf("core: unknown preference algorithm %d", opts.Algorithm)
 	}
@@ -226,7 +235,8 @@ const crossingNudge = 1e-9
 // maintaining each missing object's rank incrementally (the rank update
 // theorem), and evaluate penalty Eqn 3 at every intersection, nudged one
 // epsilon past the crossing away from the initial weight.
-func (e *Engine) adjustBySweep(v engineView, s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+func (e *Engine) adjustBySweep(ctx context.Context, v engineView, s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+	cc := index.CancelOf(ctx)
 	q := s.Query
 	mLines := make([]scoreLine, len(objs))
 	for i, o := range objs {
@@ -255,7 +265,14 @@ func (e *Engine) adjustBySweep(v engineView, s score.Scorer, objs []object.Objec
 		// Missing objects are competitors of each other too, so no
 		// object other than m itself is skipped. Score each object once
 		// and fold its line into every missing object's events.
+		countdown := index.CheckInterval
 		for _, o := range e.coll.All() {
+			if countdown--; countdown <= 0 {
+				if err := ctx.Err(); err != nil {
+					return PreferenceResult{}, err
+				}
+				countdown = index.CheckInterval
+			}
 			if !e.coll.Alive(o.ID) {
 				continue
 			}
@@ -276,7 +293,7 @@ func (e *Engine) adjustBySweep(v engineView, s score.Scorer, objs []object.Objec
 		// report back in global ID space.
 		for mi, ml := range mLines {
 			mi, ml := mi, ml
-			v.kc.ForEachCross(s, ml.a, ml.a+ml.b,
+			v.kc.ForEachCross(cc, s, ml.a, ml.a+ml.b,
 				func(o object.Object) {
 					if o.ID == ml.id {
 						return
@@ -284,6 +301,11 @@ func (e *Engine) adjustBySweep(v engineView, s score.Scorer, objs []object.Objec
 					addLine(mi, lineOf(s, o))
 				},
 				func(count int) { curAbove[mi] += count })
+			if err := ctx.Err(); err != nil {
+				// A truncated descent means missing crossing events: the
+				// sweep below would compute wrong ranks, so bail out here.
+				return PreferenceResult{}, err
+			}
 		}
 	}
 
@@ -381,7 +403,8 @@ func min2(a, b, c float64) float64 {
 // adjustBySampling evaluates a uniform grid of wt values, computing
 // R(M, q′) through the SetR-family rank primitive. Approximate: the best
 // grid point's penalty upper-bounds the optimum.
-func (e *Engine) adjustBySampling(v engineView, s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+func (e *Engine) adjustBySampling(ctx context.Context, v engineView, s score.Scorer, objs []object.Object, rankBefore int, opts PreferenceOptions) (PreferenceResult, error) {
+	cc := index.CancelOf(ctx)
 	q := s.Query
 	samples := opts.Samples
 	if samples <= 0 {
@@ -401,9 +424,12 @@ func (e *Engine) adjustBySampling(v engineView, s score.Scorer, objs []object.Ob
 		s2 := score.Scorer{Query: q.WithWeights(score.WeightsFromWt(wt)), MaxDist: s.MaxDist}
 		worst := 0
 		for _, o := range objs {
-			if r := index.RankOf(v.set, s2, o); r > worst {
+			if r := index.RankOf(cc, v.set, s2, o); r > worst {
 				worst = r
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return PreferenceResult{}, err
 		}
 		pen, dk, dw := prefPenalty(q, opts.Lambda, rankBefore, worst, wt)
 		best.Candidates++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -275,7 +276,7 @@ func (e *Engine) Subscribe(q score.Query, opts SubscribeOptions) (*Subscription,
 		lastMaxDist: sn.MaxDist(),
 		lastEpoch:   sn.Epoch(),
 	}
-	sub.last = e.topKOn(sn, q, nil)
+	sub.last, _ = e.topKOn(context.Background(), sn, q, nil)
 	// Deliver the initial result before registering: the buffered
 	// channel is empty so the send always fits, and registration
 	// ordering guarantees no evaluation update can precede it.
@@ -437,7 +438,7 @@ func (m *subManager) evaluate(sn index.Snapshot, d *mutDelta) {
 			continue
 		}
 		m.reevaluated.Add(1)
-		res := m.e.topKOn(sn, s.q, nil)
+		res, _ := m.e.topKOn(context.Background(), sn, s.q, nil)
 		changed := !sameResults(s.last, res)
 		s.last = res
 		s.lastMaxDist = sn.MaxDist()

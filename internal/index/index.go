@@ -22,6 +22,13 @@ import (
 // object to skip: the count is over objects whose (score, ID) pair
 // strictly dominates the reference pair, which is what lets a sharded
 // composite translate one global reference into per-shard thresholds.
+//
+// Every traversal primitive takes a Cancel token and must stop within
+// CheckInterval node visits of it tripping. A tripped traversal's
+// return value is an undefined partial answer: the caller owns the
+// context behind the token and must check it after the call, discard
+// the result, and propagate ctx.Err(). Callers without a deadline pass
+// NoCancel, which restores the exact pre-cancellation behavior.
 type Snapshot interface {
 	// MaxDist is the SDist normalization constant (the data-space
 	// diagonal) captured when this snapshot was published. Scorers built
@@ -46,24 +53,24 @@ type Snapshot interface {
 	// ranked by (score desc, ID asc). A non-nil shared bound lets
 	// concurrent sibling searches exchange their k-th-best scores so a
 	// lagging partition can prune; pass nil when searching alone.
-	TopK(s score.Scorer, k int, shared *Bound, dst []score.Result) []score.Result
+	TopK(cc Cancel, s score.Scorer, k int, shared *Bound, dst []score.Result) []score.Result
 
 	// TopKPart is TopK restricted to partition part ∈ [0, Parts()).
 	// Partition results merge exactly via MergeTopK. For a single-arena
 	// snapshot, TopKPart(0, ...) is TopK.
-	TopKPart(part int, s score.Scorer, k int, shared *Bound, dst []score.Result) []score.Result
+	TopKPart(cc Cancel, part int, s score.Scorer, k int, shared *Bound, dst []score.Result) []score.Result
 
 	// CountBetter returns the number of objects whose (score, ID) pair
 	// strictly dominates (refScore, tie) under scorer s, per
 	// score.Better. The rank of an object o is CountBetter(s, s.Score(o),
 	// o.ID) + 1 — see RankOf.
-	CountBetter(s score.Scorer, refScore float64, tie object.ID) int
+	CountBetter(cc Cancel, s score.Scorer, refScore float64, tie object.ID) int
 
 	// RankBounds returns bounds [lo, hi] on CountBetter(s, refScore,
 	// tie), descending at most maxDepth levels and bounding whole
 	// subtrees from their augmentations. Families without subtree
 	// cardinality summaries may return the exact count as both bounds.
-	RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int)
+	RankBounds(cc Cancel, s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int)
 
 	// ForEachCross supports the preference-adjustment sweep: the
 	// reference score line runs from m0 at wt=0 to m1 at wt=1, and the
@@ -73,7 +80,7 @@ type Snapshot interface {
 	// wholesale through above(count) instead of being visited, when the
 	// family's augmentation can prove it. The reference object itself may
 	// be visited; callers filter by ID.
-	ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(count int))
+	ForEachCross(cc Cancel, s score.Scorer, m0, m1 float64, visit func(object.Object), above func(count int))
 }
 
 // Provider owns one index's lifecycle: building, the managed mutation
@@ -110,8 +117,10 @@ type Builder func(c *object.Collection) Provider
 
 // RankOf returns the 1-based rank of object o under scorer s in the
 // snapshot: one plus the number of objects strictly dominating it.
-func RankOf(sn Snapshot, s score.Scorer, o object.Object) int {
-	return sn.CountBetter(s, s.Score(o), o.ID) + 1
+// Like every snapshot primitive it takes a Cancel token; the returned
+// rank is meaningless once the token has tripped.
+func RankOf(cc Cancel, sn Snapshot, s score.Scorer, o object.Object) int {
+	return sn.CountBetter(cc, s, s.Score(o), o.ID) + 1
 }
 
 // Bound is a monotonically increasing score shared by concurrent top-k

@@ -106,14 +106,25 @@ func ScoreEntryCounted(s *score.Scorer, e *rtree.LeafEntry[object.Object], esigs
 // recorded into the arena's stats; the (drained) stack's backing
 // storage is returned for the caller to pool.
 //
+// The traversal polls cc every CheckInterval node visits and stops
+// early once it trips; the partial visit set is meaningless then, and
+// the caller (which owns the context behind cc) must discard it.
+//
 //yask:hotpath
-func PrunedDFS[A any](f *rtree.Flat[object.Object, A], stack []int32, leaf func(n int32), child func(c int32) bool) []int32 {
+func PrunedDFS[A any](f *rtree.Flat[object.Object, A], cc Cancel, stack []int32, leaf func(n int32), child func(c int32) bool) []int32 {
 	if f.Empty() {
 		return stack[:0]
 	}
 	stack = append(stack[:0], 0) //yask:allocok(pooled scratch; grows only on a pool miss)
 	accesses := int64(0)
+	countdown := CheckInterval
 	for len(stack) > 0 {
+		if countdown--; countdown <= 0 {
+			if cc.Canceled() {
+				break
+			}
+			countdown = CheckInterval
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		accesses++
@@ -174,9 +185,16 @@ func NodeOrder(a, b NodeEntry) bool { return a.Bound > b.Bound }
 // (entry skipping uses only the local k-th best, keeping per-partition
 // results deterministic).
 //
+// The search polls cc every CheckInterval node visits and stops early
+// once it trips. The candidate heap is still drained into dst (so the
+// caller's pooled scratch comes back clean), but the partial ranking
+// is not a valid answer — the caller must check its context and
+// discard it.
+//
 //yask:hotpath
 func BestFirstTopK[A any](
 	f *rtree.Flat[object.Object, A],
+	cc Cancel,
 	k int,
 	shared *Bound,
 	nodes *pqueue.Queue[NodeEntry],
@@ -192,7 +210,14 @@ func BestFirstTopK[A any](
 	entries := f.AllEntries()
 	nodes.Push(NodeEntry{Bound: bound(0, negInf), Node: 0})
 	accesses := int64(0)
+	countdown := CheckInterval
 	for nodes.Len() > 0 {
+		if countdown--; countdown <= 0 {
+			if cc.Canceled() {
+				break
+			}
+			countdown = CheckInterval
+		}
 		top := nodes.Pop()
 		limit := -1.0
 		if cand.Len() == k {

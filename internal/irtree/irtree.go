@@ -495,8 +495,8 @@ func (a *Arena) Parts() int { return 1 }
 // TopKPart implements index.Snapshot; part must be 0.
 //
 //yask:hotpath
-func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
-	return a.TopK(s, k, shared, dst)
+func (a *Arena) TopKPart(cc index.Cancel, part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	return a.TopK(cc, s, k, shared, dst)
 }
 
 // spatialBound upper-bounds the score of every object under node n for
@@ -515,7 +515,7 @@ func spatialBound(f *rtree.Flat[object.Object, Aug], s score.Scorer, n int32) fl
 // native cosine ranking use Index.TopK.
 //
 //yask:hotpath
-func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+func (a *Arena) TopK(cc index.Cancel, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	ix, f := a.ix, a.f
 	if f.Empty() || k <= 0 {
 		return dst
@@ -523,7 +523,7 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, esigs, _ := index.PrepareSig(f, ix.sigs, s.Query.Doc)
-	dst = index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+	dst = index.BestFirstTopK(f, cc, k, shared, sc.nodes, sc.cand,
 		func(n int32, limit float64) float64 { return spatialBound(f, s, n) },
 		func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool) {
 			return index.ScoreEntryCounted(&s, e, esigs, ei, &qs, limit, &sc.ctr)
@@ -538,14 +538,14 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 // caller's scorer, pruning subtrees on the spatial-only bound.
 //
 //yask:hotpath
-func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+func (a *Arena) CountBetter(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID) int {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, esigs, _ := index.PrepareSig(f, ix.sigs, s.Query.Doc)
 	entries := f.AllEntries()
 	count := 0
-	sc.stack = index.PrunedDFS(f, sc.stack,
+	sc.stack = index.PrunedDFS(f, cc, sc.stack,
 		func(n int32) {
 			eLo, eHi := f.EntryRange(n)
 			for ei := eLo; ei < eHi; ei++ {
@@ -566,8 +566,8 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 // both bounds regardless of maxDepth.
 //
 //yask:hotpath
-func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
-	n := a.CountBetter(s, refScore, tie)
+func (a *Arena) RankBounds(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+	n := a.CountBetter(cc, s, refScore, tie)
 	return n, n
 }
 
@@ -578,11 +578,11 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 // every object, the correct baseline behavior.
 //
 //yask:hotpath
-func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+func (a *Arena) ForEachCross(cc index.Cancel, s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
-	sc.stack = index.PrunedDFS(f, sc.stack,
+	sc.stack = index.PrunedDFS(f, cc, sc.stack,
 		func(n int32) {
 			for _, e := range f.Entries(n) {
 				visit(e.Item)
@@ -650,7 +650,7 @@ func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, 
 		}
 		return spatial + q.W.Wt*text
 	}
-	dst = index.BestFirstTopK(f, q.K, nil, sc.nodes, sc.cand,
+	dst = index.BestFirstTopK(f, index.NoCancel, q.K, nil, sc.nodes, sc.cand,
 		nodeBound,
 		func(ei int32, e *rtree.LeafEntry[object.Object], limit float64) (float64, bool) {
 			if useSig {

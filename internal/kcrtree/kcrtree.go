@@ -522,8 +522,8 @@ func (a *Arena) Parts() int { return 1 }
 // TopKPart implements index.Snapshot; part must be 0.
 //
 //yask:hotpath
-func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
-	return a.TopK(s, k, shared, dst)
+func (a *Arena) TopKPart(cc index.Cancel, part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	return a.TopK(cc, s, k, shared, dst)
 }
 
 // TopK implements index.Snapshot through the shared index.BestFirstTopK
@@ -532,7 +532,7 @@ func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, d
 // partition set satisfies the full contract.
 //
 //yask:hotpath
-func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+func (a *Arena) TopK(cc index.Cancel, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	ix, f := a.ix, a.f
 	if f.Empty() || k <= 0 {
 		return dst
@@ -540,7 +540,7 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
-	dst = index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+	dst = index.BestFirstTopK(f, cc, k, shared, sc.nodes, sc.cand,
 		func(n int32, limit float64) float64 {
 			_, hi := ix.boundsAt(f, s, &qs, useSig, n, limit, &sc.ctr)
 			return hi
@@ -565,14 +565,14 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 // tie-break thresholds.
 //
 //yask:hotpath
-func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+func (a *Arena) CountBetter(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID) int {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, esigs, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
 	entries := f.AllEntries()
 	count := 0
-	sc.stack = index.PrunedDFS(f, sc.stack,
+	sc.stack = index.PrunedDFS(f, cc, sc.stack,
 		func(n int32) {
 			eLo, eHi := f.EntryRange(n)
 			for ei := eLo; ei < eHi; ei++ {
@@ -604,7 +604,7 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 //yask:hotpath
 func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 	o := a.ix.coll.Get(oid)
-	return a.CountBetter(s, s.Score(o), oid) + 1
+	return a.CountBetter(index.NoCancel, s, s.Score(o), oid) + 1
 }
 
 // RankBounds implements index.Snapshot: bounds [lo, hi] on the count of
@@ -615,7 +615,7 @@ func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 // pruning uses shallow depths to reject refined keyword sets cheaply.
 //
 //yask:hotpath
-func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+func (a *Arena) RankBounds(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
 	ix, f := a.ix, a.f
 	if f.Empty() {
 		return 0, 0
@@ -626,7 +626,14 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 	entries := f.AllEntries()
 	frames := append(sc.frames[:0], depthFrame{node: 0}) //yask:allocok(pooled scratch; grows only on a pool miss)
 	accesses := int64(0)
+	countdown := index.CheckInterval
 	for len(frames) > 0 {
+		if countdown--; countdown <= 0 {
+			if cc.Canceled() {
+				break
+			}
+			countdown = index.CheckInterval
+		}
 		fr := frames[len(frames)-1]
 		frames = frames[:len(frames)-1]
 		accesses++
@@ -675,12 +682,12 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 // paper's two range queries over segment endpoints.
 //
 //yask:hotpath
-func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+func (a *Arena) ForEachCross(cc index.Cancel, s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, _, useSig := index.PrepareSig(f, ix.sigs, s.Query.Doc)
-	sc.stack = index.PrunedDFS(f, sc.stack,
+	sc.stack = index.PrunedDFS(f, cc, sc.stack,
 		func(n int32) {
 			for _, e := range f.Entries(n) {
 				visit(e.Item)
@@ -738,7 +745,7 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, tie object.ID) (i
 	if err != nil {
 		return 0, err
 	}
-	return a.CountBetter(s, refScore, tie), nil
+	return a.CountBetter(index.NoCancel, s, refScore, tie), nil
 }
 
 // RankOf returns the 1-based rank of object oid under scorer s. It fails
@@ -761,6 +768,6 @@ func (ix *Index) RankBounds(s score.Scorer, refScore float64, refID object.ID, m
 	if err != nil {
 		return 0, 0, err
 	}
-	lo, hi = a.RankBounds(s, refScore, refID, maxDepth)
+	lo, hi = a.RankBounds(index.NoCancel, s, refScore, refID, maxDepth)
 	return lo, hi, nil
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,17 +9,31 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/yask-engine/yask"
+	"github.com/yask-engine/yask/internal/admission"
 )
 
 // Server is the YASK web service.
 type Server struct {
-	engine   *yask.Engine
-	sessions *sessionStore
-	log      *queryLog
-	mux      *http.ServeMux
+	engine       *yask.Engine
+	sessions     *sessionStore
+	log          *queryLog
+	mux          *http.ServeMux
+	admit        *admission.Controller
+	queryTimeout time.Duration
+	// drainCh closes when graceful shutdown begins: readiness flips to
+	// 503 so load balancers stop routing here, and every streaming
+	// subscription connection unblocks and returns — a drain can never
+	// hang past the shutdown timeout on an idle subscriber.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	// testDelay, when set, runs inside every admitted query request
+	// between admission and the handler — the hook overload-storm tests
+	// use to hold slots occupied deterministically.
+	testDelay func()
 }
 
 // Config configures New.
@@ -28,6 +43,16 @@ type Config struct {
 	SessionTTL time.Duration
 	// LogCapacity bounds the in-memory query log; zero means 256.
 	LogCapacity int
+	// QueryTimeout is the per-request deadline derived for every query
+	// endpoint. Zero means no server-imposed deadline (the client may
+	// still cancel).
+	QueryTimeout time.Duration
+	// MaxInflight, QueueDepth, and QueueWait configure admission
+	// control for the query endpoints; see admission.Config.
+	// MaxInflight ≤ 0 disables shedding.
+	MaxInflight int
+	QueueDepth  int
+	QueueWait   time.Duration
 }
 
 // New returns a Server over the given engine.
@@ -37,17 +62,32 @@ func New(engine *yask.Engine, cfg Config) *Server {
 		sessions: newSessionStore(cfg.SessionTTL),
 		log:      newQueryLog(cfg.LogCapacity),
 		mux:      http.NewServeMux(),
+		admit: admission.New(admission.Config{
+			MaxInflight: cfg.MaxInflight,
+			QueueDepth:  cfg.QueueDepth,
+			QueueWait:   cfg.QueueWait,
+		}),
+		queryTimeout: cfg.QueryTimeout,
+		drainCh:      make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /", s.handleUI)
+	s.mux.HandleFunc("GET /api/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /api/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /api/objects", s.handleObjects)
 	s.mux.HandleFunc("POST /api/objects", s.handleInsertObject)
 	s.mux.HandleFunc("DELETE /api/objects/{id}", s.handleDeleteObject)
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/batch/query", s.handleBatchQuery)
-	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
-	s.mux.HandleFunc("POST /api/whynot", s.handleWhyNot)
-	s.mux.HandleFunc("POST /api/profile", s.handleProfile)
-	s.mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	// The query endpoints — everything that runs index traversals on
+	// behalf of one request — go through admission control and get a
+	// per-request deadline. Health, readiness, stats, and the log stay
+	// exempt so operators can always see a melting server, and the
+	// streaming subscribe endpoint manages its own lifecycle (a
+	// long-lived stream must not pin an admission slot).
+	s.mux.HandleFunc("POST /api/query", s.work(s.handleQuery))
+	s.mux.HandleFunc("POST /api/batch/query", s.work(s.handleBatchQuery))
+	s.mux.HandleFunc("POST /api/explain", s.work(s.handleExplain))
+	s.mux.HandleFunc("POST /api/whynot", s.work(s.handleWhyNot))
+	s.mux.HandleFunc("POST /api/profile", s.work(s.handleProfile))
+	s.mux.HandleFunc("POST /api/suggest", s.work(s.handleSuggest))
 	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /api/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
@@ -64,6 +104,93 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Sessions returns the number of live cached sessions (for monitoring
 // and tests).
 func (s *Server) Sessions() int { return s.sessions.len() }
+
+// StartDrain flips the server into draining mode: readiness reports
+// 503 and every active subscription stream is force-closed, so the
+// HTTP server's graceful Shutdown can finish within its timeout.
+// Idempotent; call it before http.Server.Shutdown.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// draining reports whether StartDrain has been called.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// work wraps a query handler with the request lifecycle: admission
+// control first (shed as 429 + Retry-After so clients back off and
+// retry elsewhere), then a per-request deadline derived from the
+// server's query timeout. The release is deferred, so a handler panic
+// cannot leak an inflight slot.
+func (s *Server) work(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.admit.Acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, admission.ErrShed) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			// The client gave up while queued; the status is a formality
+			// it will likely never read.
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer release()
+		ctx := r.Context()
+		if s.queryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+			defer cancel()
+		}
+		if s.testDelay != nil {
+			s.testDelay()
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// writeQueryError reports a query-path engine error, classifying the
+// request's terminal outcome for the admission counters: an expired
+// deadline is the server's own overload signal (503, the client should
+// back off), a canceled context means the client is gone, and anything
+// else is the caller's bad request.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	s.admit.RecordOutcome(err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("query deadline exceeded: %w", err))
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It stays 200 during drain — liveness and readiness diverge
+// exactly when a draining server should not be restarted.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the server should
+// receive traffic, 503 once draining has begun (and, at the daemon
+// level, before boot and recovery replay finish — yaskd answers 503
+// itself until the engine is open).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
 
 type errorResponse struct {
 	Error string `json:"error"`
@@ -140,9 +267,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q := req.query()
 	start := time.Now()
-	results, err := s.engine.TopK(q)
+	results, err := s.engine.TopKCtx(r.Context(), q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
@@ -198,9 +325,9 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		queries[i] = qr.query()
 	}
 	start := time.Now()
-	results, err := s.engine.TopKBatch(queries, workers)
+	results, err := s.engine.TopKBatchCtx(r.Context(), queries, workers)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
@@ -246,25 +373,25 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	var refined yask.Query
 	switch req.Model {
 	case "preference":
-		ref, err := s.engine.WhyNotPreference(sess.query, req.Missing, opts)
+		ref, err := s.engine.WhyNotPreferenceCtx(r.Context(), sess.query, req.Missing, opts)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeQueryError(w, err)
 			return
 		}
 		resp.Preference = ref
 		refined = ref.Query
 	case "keyword":
-		ref, err := s.engine.WhyNotKeywords(sess.query, req.Missing, opts)
+		ref, err := s.engine.WhyNotKeywordsCtx(r.Context(), sess.query, req.Missing, opts)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeQueryError(w, err)
 			return
 		}
 		resp.Keyword = ref
 		refined = ref.Query
 	case "best":
-		ref, err := s.engine.WhyNotBest(sess.query, req.Missing, opts)
+		ref, err := s.engine.WhyNotBestCtx(r.Context(), sess.query, req.Missing, opts)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeQueryError(w, err)
 			return
 		}
 		resp.Best = ref
@@ -273,8 +400,12 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown model %q (want preference, keyword, or best)", req.Model))
 		return
 	}
-	results, err := s.engine.TopK(refined)
+	results, err := s.engine.TopKCtx(r.Context(), refined)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.writeQueryError(w, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -318,9 +449,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	exps, err := s.engine.Explain(sess.query, req.Missing)
+	exps, err := s.engine.ExplainCtx(r.Context(), sess.query, req.Missing)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
@@ -345,9 +476,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
 		return
 	}
-	steps, err := s.engine.RankProfile(sess.query, req.Missing)
+	steps, err := s.engine.RankProfileCtx(r.Context(), sess.query, req.Missing)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, steps)
@@ -364,9 +495,9 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
 		return
 	}
-	sugs, err := s.engine.SuggestKeywords(sess.query, req.Missing)
+	sugs, err := s.engine.SuggestKeywordsCtx(r.Context(), sess.query, req.Missing)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sugs)
@@ -485,6 +616,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.drainCh:
+			// Graceful shutdown: force-close the stream so the drain
+			// never waits on an idle subscriber.
+			return
 		case u, ok := <-sub.Updates():
 			if !ok {
 				return
@@ -508,12 +643,17 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	Engine   yask.EngineStats `json:"engine"`
 	Sessions int              `json:"sessions"`
+	// Admission is the load-shedding controller's counters: current
+	// inflight/queued gauges plus cumulative admitted, shed,
+	// deadline-exceeded, and canceled request counts.
+	Admission admission.Stats `json:"admission"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		Engine:   s.engine.Stats(),
-		Sessions: s.sessions.len(),
+		Engine:    s.engine.Stats(),
+		Sessions:  s.sessions.len(),
+		Admission: s.admit.Stats(),
 	})
 }
 

@@ -463,8 +463,8 @@ func (a *Arena) Parts() int { return 1 }
 // TopKPart implements index.Snapshot; part must be 0.
 //
 //yask:hotpath
-func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
-	return a.TopK(s, k, shared, dst)
+func (a *Arena) TopKPart(cc index.Cancel, part int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	return a.TopK(cc, s, k, shared, dst)
 }
 
 // TopK runs the best-first spatial keyword top-k algorithm of [4] over
@@ -476,7 +476,7 @@ func (a *Arena) TopKPart(part int, s score.Scorer, k int, shared *index.Bound, d
 // cannot enter the cross-partition top k.
 //
 //yask:hotpath
-func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+func (a *Arena) TopK(cc index.Cancel, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	ix, f := a.ix, a.f
 	if f.Empty() || k <= 0 {
 		return dst
@@ -484,7 +484,7 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, esigs, useSig := index.PrepareSig(f, ix.sigEnabled(), s.Query.Doc)
-	dst = index.BestFirstTopK(f, k, shared, sc.nodes, sc.cand,
+	dst = index.BestFirstTopK(f, cc, k, shared, sc.nodes, sc.cand,
 		func(n int32, limit float64) float64 {
 			return ix.boundAt(f, s, &qs, useSig, n, limit, &sc.ctr)
 		},
@@ -504,14 +504,14 @@ func (a *Arena) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Res
 // dominates itself, so RankOf needs no self-exclusion.
 //
 //yask:hotpath
-func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+func (a *Arena) CountBetter(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID) int {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, esigs, useSig := index.PrepareSig(f, ix.sigEnabled(), s.Query.Doc)
 	entries := f.AllEntries()
 	count := 0
-	sc.stack = index.PrunedDFS(f, sc.stack,
+	sc.stack = index.PrunedDFS(f, cc, sc.stack,
 		func(n int32) {
 			eLo, eHi := f.EntryRange(n)
 			for ei := eLo; ei < eHi; ei++ {
@@ -541,8 +541,8 @@ func (a *Arena) CountBetter(s score.Scorer, refScore float64, tie object.ID) int
 // bounds regardless of maxDepth.
 //
 //yask:hotpath
-func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
-	n := a.CountBetter(s, refScore, tie)
+func (a *Arena) RankBounds(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+	n := a.CountBetter(cc, s, refScore, tie)
 	return n, n
 }
 
@@ -552,7 +552,7 @@ func (a *Arena) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxD
 //yask:hotpath
 func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 	o := a.ix.coll.Get(oid)
-	return a.CountBetter(s, s.Score(o), oid) + 1
+	return a.CountBetter(index.NoCancel, s, s.Score(o), oid) + 1
 }
 
 // ForEachCross implements index.Snapshot: it visits every object whose
@@ -563,12 +563,12 @@ func (a *Arena) RankOf(s score.Scorer, oid object.ID) int {
 // object by object.
 //
 //yask:hotpath
-func (a *Arena) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+func (a *Arena) ForEachCross(cc index.Cancel, s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	ix, f := a.ix, a.f
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	qs, _, useSig := index.PrepareSig(f, ix.sigEnabled(), s.Query.Doc)
-	sc.stack = index.PrunedDFS(f, sc.stack,
+	sc.stack = index.PrunedDFS(f, cc, sc.stack,
 		func(n int32) {
 			for _, e := range f.Entries(n) {
 				visit(e.Item)
@@ -625,7 +625,7 @@ func (ix *Index) TopKAppend(q score.Query, dst []score.Result) ([]score.Result, 
 	if err != nil {
 		return nil, err
 	}
-	return a.TopK(a.Scorer(q), q.K, nil, dst), nil
+	return a.TopK(index.NoCancel, a.Scorer(q), q.K, nil, dst), nil
 }
 
 // TopKScorer is TopK with a caller-prepared scorer, letting the why-not
@@ -636,7 +636,7 @@ func (ix *Index) TopKScorer(s score.Scorer) ([]score.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.TopK(s, s.Query.K, nil, nil), nil
+	return a.TopK(index.NoCancel, s, s.Query.K, nil, nil), nil
 }
 
 // CountBetter returns the number of objects whose (score, ID) pair
@@ -647,7 +647,7 @@ func (ix *Index) CountBetter(s score.Scorer, refScore float64, tie object.ID) (i
 	if err != nil {
 		return 0, err
 	}
-	return a.CountBetter(s, refScore, tie), nil
+	return a.CountBetter(index.NoCancel, s, refScore, tie), nil
 }
 
 // RankOf returns the 1-based rank of object oid under scorer s. It

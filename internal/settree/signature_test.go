@@ -3,6 +3,7 @@ package settree
 import (
 	"testing"
 
+	"github.com/yask-engine/yask/internal/index"
 	"github.com/yask-engine/yask/internal/object"
 	"github.com/yask-engine/yask/internal/rtree"
 	"github.com/yask-engine/yask/internal/score"
@@ -153,7 +154,7 @@ func TestSignatureTraversalEquivalence(t *testing.T) {
 		for _, refID := range []object.ID{3, 250, 600} {
 			ref := ds.Objects.Get(refID)
 			refScore := s.Score(ref)
-			if got, want := aOn.CountBetter(s, refScore, refID), aOff.CountBetter(s, refScore, refID); got != want {
+			if got, want := aOn.CountBetter(index.NoCancel, s, refScore, refID), aOff.CountBetter(index.NoCancel, s, refScore, refID); got != want {
 				t.Fatalf("q%d ref %d: CountBetter %d vs %d", qi, refID, got, want)
 			}
 		}
@@ -161,7 +162,7 @@ func TestSignatureTraversalEquivalence(t *testing.T) {
 		m0, m1 := 0.9, 0.4
 		collect := func(a *Arena) map[object.ID]bool {
 			seen := make(map[object.ID]bool)
-			a.ForEachCross(s, m0, m1, func(o object.Object) { seen[o.ID] = true }, func(int) {})
+			a.ForEachCross(index.NoCancel, s, m0, m1, func(o object.Object) { seen[o.ID] = true }, func(int) {})
 			return seen
 		}
 		gotSet, wantSet := collect(aOn), collect(aOff)

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/yask-engine/yask/internal/index"
+	"github.com/yask-engine/yask/internal/object"
+	"github.com/yask-engine/yask/internal/score"
+	"github.com/yask-engine/yask/internal/settree"
+)
+
+// stallSnap wraps one shard's snapshot and simulates a shard that has
+// stopped making progress: every traversal stalls — polling its Cancel
+// token like a real traversal polls every CheckInterval node visits —
+// until the token trips or the stall budget runs out. It is the chaos
+// double for a shard wedged on a slow disk or a scheduling stall.
+type stallSnap struct {
+	index.Snapshot
+	stall time.Duration
+}
+
+// wait blocks until cc trips or the stall budget elapses, reporting
+// whether the traversal was canceled.
+func (s stallSnap) wait(cc index.Cancel) bool {
+	deadline := time.Now().Add(s.stall)
+	for time.Now().Before(deadline) {
+		if cc.Canceled() {
+			return true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return false
+}
+
+func (s stallSnap) TopK(cc index.Cancel, sc score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+	if s.wait(cc) {
+		return dst
+	}
+	return s.Snapshot.TopK(cc, sc, k, shared, dst)
+}
+
+func (s stallSnap) CountBetter(cc index.Cancel, sc score.Scorer, refScore float64, tie object.ID) int {
+	if s.wait(cc) {
+		return 0
+	}
+	return s.Snapshot.CountBetter(cc, sc, refScore, tie)
+}
+
+// TestSlowShardDeadline is the scatter-gather chaos test: one shard of
+// a sharded view stalls far past the query deadline, and the deadline
+// must still bound the caller's wait — the shared Cancel token trips
+// every scatter goroutine, including the stalled one, so TopK and
+// CountBetter return within the cancellation latency instead of
+// waiting out the slowest shard. An abandoned client (context canceled
+// mid-scatter, no deadline) must unblock the same way.
+func TestSlowShardDeadline(t *testing.T) {
+	ds := testDataset(t, 600, 41)
+	q := testQueries(ds, 1, 42, 10, 2)[0]
+	fa := NewFamily(NewMap(ds.Objects, 4), settree.Builder(16))
+	v, err := fa.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := v.Scorer(q)
+
+	// Healthy baseline, for the post-chaos equivalence check.
+	want := v.TopK(index.NoCancel, s, q.K, nil, nil)
+	if len(want) != q.K {
+		t.Fatalf("baseline returned %d results, want %d", len(want), q.K)
+	}
+
+	// Wedge shard 2 for far longer than any test timeout budget.
+	const stall = 30 * time.Second
+	healthy := v.snaps[2]
+	v.snaps[2] = stallSnap{Snapshot: healthy, stall: stall}
+	defer func() { v.snaps[2] = healthy }()
+
+	// Deadline-expired scatter: the caller waits roughly the deadline,
+	// not the stall.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	v.TopK(index.CancelOf(ctx), s, q.K, nil, nil)
+	if elapsed := time.Since(start); elapsed > stall/10 {
+		t.Fatalf("deadline-expired scatter took %v: the stalled shard was not canceled", elapsed)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("scatter returned before the deadline despite the stalled shard")
+	}
+
+	// Abandoned client: cancellation arrives mid-scatter from another
+	// goroutine, with no deadline at all.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	start = time.Now()
+	v.CountBetter(index.CancelOf(ctx2), s, want[len(want)-1].Score, want[len(want)-1].Obj.ID)
+	if elapsed := time.Since(start); elapsed > stall/10 {
+		t.Fatalf("abandoned scatter took %v: the stalled shard was not canceled", elapsed)
+	}
+
+	// The view recovers completely once the wedged shard is healthy
+	// again: byte-identical answers.
+	v.snaps[2] = healthy
+	got := v.TopK(index.NoCancel, s, q.K, nil, nil)
+	if len(got) != len(want) {
+		t.Fatalf("post-chaos: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Obj.ID != want[i].Obj.ID || got[i].Score != want[i].Score {
+			t.Fatalf("post-chaos rank %d: got (%d, %v), want (%d, %v)",
+				i, got[i].Obj.ID, got[i].Score, want[i].Obj.ID, want[i].Score)
+		}
+	}
+}

@@ -192,9 +192,9 @@ func (v *View) toGlobal(t int, r score.Result) score.Result {
 // global ID order, so the local (score, ID) selection picks exactly the
 // objects a global tie-break would, and the per-partition lists merge
 // exactly via index.MergeTopK.
-func (v *View) TopKPart(t int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+func (v *View) TopKPart(cc index.Cancel, t int, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	base := len(dst)
-	dst = v.snaps[t].TopK(s, k, shared, dst)
+	dst = v.snaps[t].TopK(cc, s, k, shared, dst)
 	for i := base; i < len(dst); i++ {
 		dst[i] = v.toGlobal(t, dst[i])
 	}
@@ -205,17 +205,20 @@ func (v *View) TopKPart(t int, s score.Scorer, k int, shared *index.Bound, dst [
 // partitions in parallel — a shared k-th-best bound lets lagging shards
 // prune against the best score any shard has proven — and gather with
 // an exact k-merge. Results are byte-identical to a single-arena search
-// over the whole collection.
-func (v *View) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
+// over the whole collection. The cancellation token is shared by every
+// scatter goroutine — they all poll the same done channel — so one
+// expired deadline stops every sibling shard within CheckInterval node
+// visits instead of letting the fastest shards run to completion.
+func (v *View) TopK(cc index.Cancel, s score.Scorer, k int, shared *index.Bound, dst []score.Result) []score.Result {
 	if len(v.snaps) == 1 {
-		return v.TopKPart(0, s, k, shared, dst)
+		return v.TopKPart(cc, 0, s, k, shared, dst)
 	}
 	if shared == nil {
 		shared = &index.Bound{}
 	}
 	parts := make([][]score.Result, len(v.snaps))
 	fanOut(len(v.snaps), func(t int) {
-		parts[t] = v.TopKPart(t, s, k, shared, nil)
+		parts[t] = v.TopKPart(cc, t, s, k, shared, nil)
 	})
 	return index.MergeTopK(parts, k, dst)
 }
@@ -226,13 +229,13 @@ func (v *View) TopK(s score.Scorer, k int, shared *index.Bound, dst []score.Resu
 // objects appended before the reference). The per-shard counts are
 // independent, so they scatter across shards like TopK does — the
 // rank-dominated why-not paths scale with cores too.
-func (v *View) CountBetter(s score.Scorer, refScore float64, tie object.ID) int {
+func (v *View) CountBetter(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID) int {
 	if len(v.snaps) == 1 {
-		return v.snaps[0].CountBetter(s, refScore, thresholdIn(v.globals[0], tie))
+		return v.snaps[0].CountBetter(cc, s, refScore, thresholdIn(v.globals[0], tie))
 	}
 	parts := make([]int, len(v.snaps))
 	fanOut(len(v.snaps), func(t int) {
-		parts[t] = v.snaps[t].CountBetter(s, refScore, thresholdIn(v.globals[t], tie))
+		parts[t] = v.snaps[t].CountBetter(cc, s, refScore, thresholdIn(v.globals[t], tie))
 	})
 	total := 0
 	for _, n := range parts {
@@ -243,14 +246,14 @@ func (v *View) CountBetter(s score.Scorer, refScore float64, tie object.ID) int 
 
 // RankBounds implements index.Snapshot: per-shard bounds sum into
 // global bounds, scattered like CountBetter.
-func (v *View) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
+func (v *View) RankBounds(cc index.Cancel, s score.Scorer, refScore float64, tie object.ID, maxDepth int) (lo, hi int) {
 	if len(v.snaps) == 1 {
-		return v.snaps[0].RankBounds(s, refScore, thresholdIn(v.globals[0], tie), maxDepth)
+		return v.snaps[0].RankBounds(cc, s, refScore, thresholdIn(v.globals[0], tie), maxDepth)
 	}
 	los := make([]int, len(v.snaps))
 	his := make([]int, len(v.snaps))
 	fanOut(len(v.snaps), func(t int) {
-		los[t], his[t] = v.snaps[t].RankBounds(s, refScore, thresholdIn(v.globals[t], tie), maxDepth)
+		los[t], his[t] = v.snaps[t].RankBounds(cc, s, refScore, thresholdIn(v.globals[t], tie), maxDepth)
 	})
 	for t := range los {
 		lo += los[t]
@@ -266,10 +269,13 @@ func (v *View) RankBounds(s score.Scorer, refScore float64, tie object.ID, maxDe
 // candidate set, since every object lives in one shard. Shards run
 // sequentially: the callbacks mutate caller state (event lists, rank
 // counters) and the contract does not require them to be thread-safe.
-func (v *View) ForEachCross(s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
+func (v *View) ForEachCross(cc index.Cancel, s score.Scorer, m0, m1 float64, visit func(object.Object), above func(int)) {
 	for t, sn := range v.snaps {
+		if cc.Canceled() {
+			return
+		}
 		globals := v.globals[t]
-		sn.ForEachCross(s, m0, m1, func(o object.Object) {
+		sn.ForEachCross(cc, s, m0, m1, func(o object.Object) {
 			o.ID = globals[o.ID]
 			visit(o)
 		}, above)

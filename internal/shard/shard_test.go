@@ -147,8 +147,8 @@ func TestViewTopKEquivalence(t *testing.T) {
 			for qi, q := range qs {
 				for _, k := range []int{1, 3, 10, 50} {
 					s := score.Scorer{Query: q, MaxDist: ds.Objects.MaxDist()}
-					want := sn.TopK(s, k, nil, nil)
-					got := v.TopK(s, k, nil, nil)
+					want := sn.TopK(index.NoCancel, s, k, nil, nil)
+					got := v.TopK(index.NoCancel, s, k, nil, nil)
 					if len(got) != len(want) {
 						t.Fatalf("%s shards=%d q%d k=%d: %d results, want %d", name, shards, qi, k, len(got), len(want))
 					}
@@ -192,17 +192,17 @@ func TestViewRankEquivalence(t *testing.T) {
 				for i := 0; i < 10; i++ {
 					oid := object.ID(rng.Intn(ds.Objects.Len()))
 					o := ds.Objects.Get(oid)
-					if got, want := index.RankOf(v, s, o), index.RankOf(sn, s, o); got != want {
+					if got, want := index.RankOf(index.NoCancel, v, s, o), index.RankOf(index.NoCancel, sn, s, o); got != want {
 						t.Fatalf("%s shards=%d: rank of %d = %d, want %d", name, shards, oid, got, want)
 					}
-					if got, want := index.RankOf(v, s, o), settree.ScanRank(ds.Objects, s, oid); got != want {
+					if got, want := index.RankOf(index.NoCancel, v, s, o), settree.ScanRank(ds.Objects, s, oid); got != want {
 						t.Fatalf("%s shards=%d: rank of %d = %d, scan says %d", name, shards, oid, got, want)
 					}
 					// Sharded bounds must bracket the exact global count.
 					ref := s.Score(o)
-					exact := sn.CountBetter(s, ref, oid)
+					exact := sn.CountBetter(index.NoCancel, s, ref, oid)
 					for _, depth := range []int{0, 1, 2, 100} {
-						lo, hi := v.RankBounds(s, ref, oid, depth)
+						lo, hi := v.RankBounds(index.NoCancel, s, ref, oid, depth)
 						if lo > exact || hi < exact {
 							t.Fatalf("%s shards=%d depth=%d: bounds [%d,%d] exclude %d", name, shards, depth, lo, hi, exact)
 						}
@@ -233,7 +233,7 @@ func TestViewForEachCrossEquivalence(t *testing.T) {
 
 	count := func(sn index.Snapshot) (visited map[object.ID]bool, above int) {
 		visited = map[object.ID]bool{}
-		sn.ForEachCross(s, m0, m1, func(o object.Object) {
+		sn.ForEachCross(index.NoCancel, s, m0, m1, func(o object.Object) {
 			if visited[o.ID] {
 				t.Fatalf("object %d visited twice", o.ID)
 			}
@@ -293,7 +293,7 @@ func TestGroupMutationStorm(t *testing.T) {
 					return
 				}
 				s := v.Scorer(q)
-				res := v.TopK(s, q.K, nil, nil)
+				res := v.TopK(index.NoCancel, s, q.K, nil, nil)
 				for j := 1; j < len(res); j++ {
 					if score.Better(res[j].Score, res[j].Obj.ID, res[j-1].Score, res[j-1].Obj.ID) {
 						t.Errorf("worker %d: results out of order", w)
@@ -306,7 +306,7 @@ func TestGroupMutationStorm(t *testing.T) {
 					return
 				}
 				if len(res) > 0 {
-					_ = kv.CountBetter(s, res[0].Score, res[0].Obj.ID)
+					_ = kv.CountBetter(index.NoCancel, s, res[0].Score, res[0].Obj.ID)
 				}
 				_ = rng
 			}

@@ -189,8 +189,8 @@ func TestSTRTopKEquivalence(t *testing.T) {
 			for qi, q := range qs {
 				for _, k := range []int{1, 10, 40} {
 					s := score.Scorer{Query: q, MaxDist: ds.Objects.MaxDist()}
-					want := sn.TopK(s, k, nil, nil)
-					got := v.TopK(s, k, nil, nil)
+					want := sn.TopK(index.NoCancel, s, k, nil, nil)
+					got := v.TopK(index.NoCancel, s, k, nil, nil)
 					if len(got) != len(want) {
 						t.Fatalf("%s shards=%d q%d k=%d: %d results, want %d", name, shards, qi, k, len(got), len(want))
 					}
@@ -249,8 +249,8 @@ func TestGroupRebalance(t *testing.T) {
 	}
 	for _, q := range testQueries(ds, 5, 79, 10, 2) {
 		s := score.Scorer{Query: q, MaxDist: ds.Objects.MaxDist()}
-		want := sn.TopK(s, 10, nil, nil)
-		got := v.TopK(s, 10, nil, nil)
+		want := sn.TopK(index.NoCancel, s, 10, nil, nil)
+		got := v.TopK(index.NoCancel, s, 10, nil, nil)
 		if len(got) != len(want) {
 			t.Fatalf("post-rebalance: %d results, want %d", len(got), len(want))
 		}
@@ -292,7 +292,7 @@ func TestGroupRebalanceStorm(t *testing.T) {
 					return
 				}
 				s := v.Scorer(q)
-				res := v.TopK(s, q.K, nil, nil)
+				res := v.TopK(index.NoCancel, s, q.K, nil, nil)
 				for j := 1; j < len(res); j++ {
 					if score.Better(res[j].Score, res[j].Obj.ID, res[j-1].Score, res[j-1].Obj.ID) {
 						t.Errorf("worker %d: results out of order", w)
@@ -300,7 +300,7 @@ func TestGroupRebalanceStorm(t *testing.T) {
 					}
 				}
 				if len(res) > 0 {
-					_ = v.CountBetter(s, res[0].Score, res[0].Obj.ID)
+					_ = v.CountBetter(index.NoCancel, s, res[0].Score, res[0].Obj.ID)
 				}
 			}
 		}(w)

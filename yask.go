@@ -25,6 +25,7 @@
 package yask
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -533,11 +534,20 @@ func (e *Engine) publicQuery(sq score.Query) Query {
 
 // TopK answers a spatial keyword top-k query.
 func (e *Engine) TopK(q Query) ([]Result, error) {
+	return e.TopKCtx(context.Background(), q)
+}
+
+// TopKCtx is TopK under a context: the index search polls the
+// context's cancellation signal every bounded number of node visits,
+// so a canceled or deadline-expired query returns ctx.Err() promptly
+// instead of running to completion. Serving layers derive per-request
+// deadlines and pass them here.
+func (e *Engine) TopKCtx(ctx context.Context, q Query) ([]Result, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.core.TopK(sq)
+	res, err := e.core.TopKCtx(ctx, sq)
 	if err != nil {
 		return nil, err
 	}
@@ -561,6 +571,14 @@ func (e *Engine) TopK(q Query) ([]Result, error) {
 // over a TopK loop: queries share per-worker traversal scratch and the
 // pool bounds concurrency no matter how large the batch is.
 func (e *Engine) TopKBatch(queries []Query, workers int) ([][]Result, error) {
+	return e.TopKBatchCtx(context.Background(), queries, workers)
+}
+
+// TopKBatchCtx is TopKBatch under a context: one cancellation signal
+// covers every work unit of the batch, so an expired deadline stops
+// in-flight shard traversals and keeps queued units from starting. A
+// canceled batch fails wholesale with ctx.Err().
+func (e *Engine) TopKBatchCtx(ctx context.Context, queries []Query, workers int) ([][]Result, error) {
 	sqs := make([]score.Query, len(queries))
 	for i, q := range queries {
 		sq, err := e.buildQuery(q)
@@ -570,7 +588,7 @@ func (e *Engine) TopKBatch(queries []Query, workers int) ([][]Result, error) {
 		sqs[i] = sq
 	}
 	opts := core.BatchOptions{Workers: workers}
-	batches, err := e.core.TopKBatch(sqs, opts)
+	batches, err := e.core.TopKBatchCtx(ctx, sqs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -739,11 +757,17 @@ func toInternalIDs(missing []ObjectID) []object.ID {
 // Explain asks why the given objects are missing from the query's
 // result and returns one explanation per object.
 func (e *Engine) Explain(q Query, missing []ObjectID) ([]Explanation, error) {
+	return e.ExplainCtx(context.Background(), q, missing)
+}
+
+// ExplainCtx is Explain under a context; see TopKCtx for the
+// cancellation contract.
+func (e *Engine) ExplainCtx(ctx context.Context, q Query, missing []ObjectID) ([]Explanation, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	exps, err := e.core.Explain(sq, toInternalIDs(missing))
+	exps, err := e.core.ExplainCtx(ctx, sq, toInternalIDs(missing))
 	if err != nil {
 		return nil, err
 	}
@@ -764,11 +788,17 @@ func (e *Engine) Explain(q Query, missing []ObjectID) ([]Explanation, error) {
 // returns the minimum-penalty refined query (adjusted weights, possibly
 // enlarged k) whose result contains every missing object.
 func (e *Engine) WhyNotPreference(q Query, missing []ObjectID, opts RefineOptions) (*PreferenceRefinement, error) {
+	return e.WhyNotPreferenceCtx(context.Background(), q, missing, opts)
+}
+
+// WhyNotPreferenceCtx is WhyNotPreference under a context; see TopKCtx
+// for the cancellation contract.
+func (e *Engine) WhyNotPreferenceCtx(ctx context.Context, q Query, missing []ObjectID, opts RefineOptions) (*PreferenceRefinement, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.core.AdjustPreference(sq, toInternalIDs(missing), core.PreferenceOptions{
+	res, err := e.core.AdjustPreferenceCtx(ctx, sq, toInternalIDs(missing), core.PreferenceOptions{
 		Lambda:    opts.lambda(),
 		Algorithm: core.PrefSweepIndexed,
 	})
@@ -787,11 +817,17 @@ func (e *Engine) WhyNotPreference(q Query, missing []ObjectID, opts RefineOption
 // returns the minimum-penalty refined query (edited keyword set,
 // possibly enlarged k) whose result contains every missing object.
 func (e *Engine) WhyNotKeywords(q Query, missing []ObjectID, opts RefineOptions) (*KeywordRefinement, error) {
+	return e.WhyNotKeywordsCtx(context.Background(), q, missing, opts)
+}
+
+// WhyNotKeywordsCtx is WhyNotKeywords under a context; see TopKCtx for
+// the cancellation contract.
+func (e *Engine) WhyNotKeywordsCtx(ctx context.Context, q Query, missing []ObjectID, opts RefineOptions) (*KeywordRefinement, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.core.AdaptKeywords(sq, toInternalIDs(missing), core.KeywordOptions{
+	res, err := e.core.AdaptKeywordsCtx(ctx, sq, toInternalIDs(missing), core.KeywordOptions{
 		Lambda:    opts.lambda(),
 		Algorithm: core.KwBoundPrune,
 	})
@@ -812,6 +848,12 @@ func (e *Engine) WhyNotKeywords(q Query, missing []ObjectID, opts RefineOptions)
 // Rank returns the true rank of an object under the query — the number
 // the explanation panel of the demo UI reports.
 func (e *Engine) Rank(q Query, id ObjectID) (int, error) {
+	return e.RankCtx(context.Background(), q, id)
+}
+
+// RankCtx is Rank under a context; see TopKCtx for the cancellation
+// contract.
+func (e *Engine) RankCtx(ctx context.Context, q Query, id ObjectID) (int, error) {
 	sq, err := e.buildQuery(q)
 	if err != nil {
 		return 0, err
@@ -822,7 +864,7 @@ func (e *Engine) Rank(q Query, id ObjectID) (int, error) {
 	if !e.core.Collection().Alive(object.ID(id)) {
 		return 0, fmt.Errorf("yask: object %d has been removed", id)
 	}
-	return e.core.Rank(sq, object.ID(id))
+	return e.core.RankCtx(ctx, sq, object.ID(id))
 }
 
 // ShardStats is one shard's execution statistics.
